@@ -1,0 +1,68 @@
+// §9.5 cost-estimation accuracy: for every candidate physical layout of the
+// MNIST model, measure the true proving time and compare against the cost
+// model's estimate. Reports whether the top-ranked layout is truly fastest
+// and Kendall's rank correlation coefficient, for both backends.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace zkml {
+namespace {
+
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  int concordant = 0;
+  int discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double x = (a[i] - a[j]) * (b[i] - b[j]);
+      if (x > 0) {
+        ++concordant;
+      } else if (x < 0) {
+        ++discordant;
+      }
+    }
+  }
+  const int total = static_cast<int>(n * (n - 1) / 2);
+  return total == 0 ? 0 : static_cast<double>(concordant - discordant) / total;
+}
+
+}  // namespace
+}  // namespace zkml
+
+int main() {
+  using namespace zkml;
+  const HardwareProfile& hw = HardwareProfile::Cached();
+  const Model model = MakeZooModel("mnist");
+  std::printf("Section 9.5: cost estimator accuracy on MNIST physical layouts\n");
+  PrintRule();
+  for (PcsKind backend : {PcsKind::kKzg, PcsKind::kIpa}) {
+    OptimizerOptions opts;
+    opts.backend = backend;
+    opts.min_columns = 8;
+    opts.max_columns = 22;
+    opts.max_k = 14;
+    const OptimizerResult result = OptimizeLayout(model, hw, opts);
+
+    std::vector<double> estimated;
+    std::vector<double> measured;
+    size_t best_est_idx = 0;
+    for (size_t i = 0; i < result.all.size(); ++i) {
+      const RankedLayout& plan = result.all[i];
+      estimated.push_back(plan.cost.total_seconds);
+      measured.push_back(MeasureProvingAtLayout(model, plan.layout, backend));
+      if (estimated[i] < estimated[best_est_idx]) {
+        best_est_idx = i;
+      }
+    }
+    const double best_measured = *std::min_element(measured.begin(), measured.end());
+    const bool top_ranked_fastest = measured[best_est_idx] <= best_measured * 1.05;
+    std::printf("%s: %zu layouts, Kendall tau = %.2f, top-ranked layout %s\n",
+                backend == PcsKind::kKzg ? "KZG" : "IPA", measured.size(),
+                KendallTau(estimated, measured),
+                top_ranked_fastest ? "achieves the lowest proving time"
+                                   : "is NOT the fastest (within 5%)");
+  }
+  PrintRule();
+  return 0;
+}

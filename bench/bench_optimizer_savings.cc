@@ -1,0 +1,63 @@
+// §9.4 time savings: optimizer runtime vs the cost of exhaustively
+// benchmarking every candidate layout by producing a real proof for each. For
+// MNIST the exhaustive cost is measured; for GPT-2 it is estimated from the
+// cost model (as the paper does), since proving every plan is the very thing
+// the optimizer exists to avoid. Also prints the backend case study (§9.4).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  const HardwareProfile& hw = HardwareProfile::Cached();
+  std::printf("Section 9.4: optimizer runtime vs exhaustive benchmarking\n");
+  PrintRule();
+
+  // MNIST: measure both.
+  {
+    const Model model = MakeZooModel("mnist");
+    OptimizerOptions opts;
+    opts.min_columns = 8;
+    opts.max_columns = 24;
+    opts.max_k = 14;
+    const OptimizerResult result = OptimizeLayout(model, hw, opts);
+    Timer exhaustive_timer;
+    size_t proved = 0;
+    for (const RankedLayout& plan : result.all) {
+      MeasureProvingAtLayout(model, plan.layout, PcsKind::kKzg);
+      ++proved;
+    }
+    const double exhaustive = exhaustive_timer.ElapsedSeconds();
+    std::printf("mnist: optimizer %s vs exhaustive benchmarking %s over %zu plans (%.0fx)\n",
+                HumanTime(result.optimizer_seconds).c_str(), HumanTime(exhaustive).c_str(),
+                proved, exhaustive / result.optimizer_seconds);
+  }
+
+  // GPT-2: optimizer measured, exhaustive estimated from the cost model.
+  {
+    const Model model = MakeZooModel("gpt2");
+    OptimizerOptions opts;
+    opts.min_columns = 8;
+    opts.max_columns = 32;
+    opts.max_k = 15;
+    const OptimizerResult result = OptimizeLayout(model, hw, opts);
+    double exhaustive_estimate = 0;
+    for (const RankedLayout& plan : result.all) {
+      exhaustive_estimate += plan.cost.total_seconds;
+    }
+    std::printf("gpt2:  optimizer %s vs estimated exhaustive %s over %zu plans (%.0fx)\n",
+                HumanTime(result.optimizer_seconds).c_str(),
+                HumanTime(exhaustive_estimate).c_str(), result.all.size(),
+                exhaustive_estimate / result.optimizer_seconds);
+
+    // Case study: chosen configuration per backend.
+    opts.backend = PcsKind::kKzg;
+    const OptimizerResult kzg = OptimizeLayout(model, hw, opts);
+    opts.backend = PcsKind::kIpa;
+    const OptimizerResult ipa = OptimizeLayout(model, hw, opts);
+    std::printf("case study, gpt2 chosen layout: KZG -> 2^%d rows x %d cols; "
+                "IPA -> 2^%d rows x %d cols\n",
+                kzg.best.layout.k, kzg.best.layout.num_columns, ipa.best.layout.k,
+                ipa.best.layout.num_columns);
+  }
+  PrintRule();
+  return 0;
+}

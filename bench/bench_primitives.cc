@@ -1,0 +1,101 @@
+// Primitive microbenchmarks (google-benchmark): the FFT/MSM/lookup/field-op
+// timings that the optimizer's hardware profile is built from (§7.4).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "src/base/rng.h"
+#include "src/ec/g1.h"
+#include "src/poly/domain.h"
+
+namespace zkml {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  Fr a = Fr::Random(rng);
+  Fr b = Fr::Random(rng);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInverse(benchmark::State& state) {
+  Rng rng(2);
+  Fr a = Fr::Random(rng);
+  for (auto _ : state) {
+    a = a.Inverse() + Fr::One();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInverse);
+
+void BM_Fft(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  EvaluationDomain dom(k);
+  Rng rng(3);
+  std::vector<Fr> coeffs(dom.size());
+  for (Fr& c : coeffs) {
+    c = Fr::Random(rng);
+  }
+  for (auto _ : state) {
+    auto evals = dom.FftFromCoeffs(coeffs);
+    benchmark::DoNotOptimize(evals);
+  }
+  state.SetComplexityN(dom.size());
+}
+BENCHMARK(BM_Fft)->DenseRange(10, 16, 2)->Unit(benchmark::kMillisecond);
+
+void BM_Msm(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(1) << k;
+  std::vector<G1Affine> bases = DeriveGenerators(4, n);
+  Rng rng(5);
+  std::vector<Fr> scalars(n);
+  for (Fr& s : scalars) {
+    s = Fr::Random(rng);
+  }
+  for (auto _ : state) {
+    G1 r = Msm(bases, scalars);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Msm)->DenseRange(8, 13, 1)->Unit(benchmark::kMillisecond);
+
+void BM_LookupBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(1) << state.range(0);
+  Rng rng(6);
+  std::vector<Fr> table(n);
+  for (Fr& v : table) {
+    v = Fr::Random(rng);
+  }
+  for (auto _ : state) {
+    std::unordered_map<std::string, size_t> first;
+    first.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      const U256 c = table[i].ToCanonical();
+      first.emplace(std::string(reinterpret_cast<const char*>(c.limbs), 32), i);
+    }
+    benchmark::DoNotOptimize(first);
+  }
+}
+BENCHMARK(BM_LookupBuild)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
+
+void BM_G1ScalarMul(benchmark::State& state) {
+  Rng rng(7);
+  G1 g = G1::Generator();
+  Fr s = Fr::Random(rng);
+  for (auto _ : state) {
+    G1 r = g.ScalarMul(s);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_G1ScalarMul)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace zkml
+
+BENCHMARK_MAIN();

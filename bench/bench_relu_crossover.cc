@@ -1,0 +1,66 @@
+// §3 toy example: the cheapest way to perform ReLU depends *globally* on how
+// many ReLUs the model performs. With few ReLUs, paying grid rows for a
+// lookup table loses to bit decomposition; with many, the table wins. This
+// bench sweeps the ReLU count and prints rows + estimated proving cost for
+// both implementations, exposing the crossover the optimizer exploits.
+#include "src/compiler/compiler.h"
+#include "src/model/model_builder.h"
+
+#include "bench/bench_util.h"
+
+namespace zkml {
+namespace {
+
+// A model that applies ReLU `count` times to a small vector (plus one FC so
+// the circuit is non-trivial).
+Model MakeReluModel(int count) {
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  ModelBuilder mb("relus", Shape({16}), qp, 5);
+  int t = mb.FullyConnected(mb.input(), 16);
+  for (int i = 0; i < count; ++i) {
+    t = mb.Activation(t, NonlinFn::kRelu);
+    // A cheap linear op between activations so they are not fused away
+    // logically (keeps one ReLU per op in the statistics).
+    if (i + 1 < count) {
+      t = mb.Add(t, t);
+    }
+  }
+  return mb.Finish(t);
+}
+
+}  // namespace
+}  // namespace zkml
+
+int main() {
+  using namespace zkml;
+  const HardwareProfile& hw = HardwareProfile::Cached();
+  constexpr int kColumns = 12;
+  std::printf("Section 3 toy example: ReLU implementation crossover (%d columns)\n", kColumns);
+  PrintRule();
+  std::printf("%8s | %10s %12s | %10s %12s | %s\n", "#ReLU", "rows(tbl)", "est(tbl)",
+              "rows(bits)", "est(bits)", "winner");
+  PrintRule();
+  for (int count : {1, 4, 16, 64, 256}) {
+    const Model model = MakeReluModel(count);
+    GadgetSet table_gs = GadgetSetForModel(model);
+    table_gs.relu_lookup = true;
+    table_gs.relu_bits = false;
+    GadgetSet bits_gs = GadgetSetForModel(model);
+    bits_gs.relu_lookup = false;
+    bits_gs.relu_bits = true;
+    PhysicalLayout with_table = SimulateLayout(model, table_gs, kColumns);
+    PhysicalLayout with_bits = SimulateLayout(model, bits_gs, kColumns);
+    const double cost_table =
+        EstimateProvingCost(with_table, hw, PcsKind::kKzg).total_seconds;
+    const double cost_bits = EstimateProvingCost(with_bits, hw, PcsKind::kKzg).total_seconds;
+    std::printf("%8d | %7zu 2^%d %12s | %7zu 2^%d %12s | %s\n", count, with_table.min_rows,
+                with_table.k, HumanTime(cost_table).c_str(), with_bits.min_rows, with_bits.k,
+                HumanTime(cost_bits).c_str(), cost_table < cost_bits ? "lookup table" : "bits");
+  }
+  PrintRule();
+  std::printf("(the lookup table forces the grid to at least 2^10 rows; bit decomposition\n"
+              " pays table_bits+2 cells per ReLU instead — cheap once, expensive in bulk)\n");
+  return 0;
+}

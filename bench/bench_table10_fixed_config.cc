@@ -1,0 +1,28 @@
+// Table 10: proving time with the optimizer's layout vs a fixed configuration
+// (one column count for every model, default gadget choices). The paper fixes
+// 40 advice columns; scaled models use 24.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  constexpr int kFixedColumns = 24;
+  std::printf("Table 10: ZKML optimizer vs fixed configuration (%d columns), KZG\n",
+              kFixedColumns);
+  PrintRule();
+  std::printf("%-12s %16s %16s %12s\n", "Model", "Proving (ZKML)", "Proving (fixed)",
+              "Improvement");
+  PrintRule();
+  for (const Model& model : AllZooModels()) {
+    const ZkmlOptions options = BenchOptions(PcsKind::kKzg);
+    const E2eMeasurement opt = MeasureEndToEnd(model, options);
+
+    PhysicalLayout fixed = SimulateLayout(model, GadgetSetForModel(model), kFixedColumns);
+    const double fixed_seconds = MeasureProvingAtLayout(model, fixed, PcsKind::kKzg);
+
+    std::printf("%-12s %16s %16s %11.0f%%\n", model.name.c_str(),
+                HumanTime(opt.prove_seconds).c_str(), HumanTime(fixed_seconds).c_str(),
+                100.0 * (fixed_seconds - opt.prove_seconds) / opt.prove_seconds);
+  }
+  PrintRule();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 12: optimizer runtime with and without plan pruning. Pruning =
+// same-implementation-per-layer heuristic plus early exit from the column
+// sweep; the non-pruned mode additionally explores per-layer implementation
+// deviations. Both must land on the same end configuration.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  const HardwareProfile& hw = HardwareProfile::Cached();
+  std::printf("Table 12: optimizer runtime, pruned vs non-pruned\n");
+  PrintRule();
+  std::printf("%-12s %16s %20s %8s %10s\n", "Model", "Pruned runtime", "Non-pruned runtime",
+              "Plans", "Same plan");
+  PrintRule();
+  for (const char* name : {"mnist", "resnet18", "gpt2"}) {
+    const Model model = MakeZooModel(name);
+    OptimizerOptions opts;
+    opts.min_columns = 8;
+    opts.max_columns = 32;
+    opts.max_k = 15;
+    opts.prune = true;
+    const OptimizerResult pruned = OptimizeLayout(model, hw, opts);
+    opts.prune = false;
+    const OptimizerResult full = OptimizeLayout(model, hw, opts);
+    const bool same = pruned.best.layout.num_columns == full.best.layout.num_columns &&
+                      pruned.best.layout.k == full.best.layout.k &&
+                      pruned.best.layout.gadgets == full.best.layout.gadgets;
+    std::printf("%-12s %16s %20s %3zu/%-4zu %10s\n", name,
+                HumanTime(pruned.optimizer_seconds).c_str(),
+                HumanTime(full.optimizer_seconds).c_str(), pruned.plans_evaluated,
+                full.plans_evaluated, same ? "yes" : "NO");
+  }
+  PrintRule();
+  return 0;
+}

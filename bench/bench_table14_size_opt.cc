@@ -1,0 +1,28 @@
+// Table 14: proving time and proof size when the optimizer targets proving
+// time vs proof size (the blockchain-storage objective of §9.4). The
+// size-optimized plan minimizes columns at the cost of more rows.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  std::printf("Table 14: runtime-optimized vs size-optimized ZK-SNARKs (KZG)\n");
+  PrintRule();
+  std::printf("%-12s | %14s %12s | %14s %12s\n", "Model", "Time (rt-opt)", "Size (rt)",
+              "Time (sz-opt)", "Size (sz)");
+  PrintRule();
+  for (const char* name : {"mnist", "vgg16", "resnet18", "twitter", "dlrm"}) {
+    const Model model = MakeZooModel(name);
+    ZkmlOptions rt = BenchOptions(PcsKind::kKzg);
+    const E2eMeasurement time_opt = MeasureEndToEnd(model, rt);
+
+    ZkmlOptions sz = BenchOptions(PcsKind::kKzg);
+    sz.optimizer.objective = OptimizerOptions::Objective::kProofSize;
+    const E2eMeasurement size_opt = MeasureEndToEnd(model, sz);
+
+    std::printf("%-12s | %14s %10zu B | %14s %10zu B\n", name,
+                HumanTime(time_opt.prove_seconds).c_str(), time_opt.proof_bytes,
+                HumanTime(size_opt.prove_seconds).c_str(), size_opt.proof_bytes);
+  }
+  PrintRule();
+  return 0;
+}

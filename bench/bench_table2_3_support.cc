@@ -1,0 +1,39 @@
+// Tables 2 & 3: model and layer support. Prior work (ZEN/vCNN/zkCNN) handles
+// CNNs only; ZKML's gadget menu covers transformers, recommenders and
+// diffusion too. This bench demonstrates support constructively: it lowers
+// every zoo model and prints which layer families and specialized gadgets
+// each one actually exercised in its circuit.
+#include "src/compiler/compiler.h"
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  std::printf("Tables 2-3: model/layer support matrix (constructed, not claimed)\n");
+  PrintRule(100);
+  std::printf("%-12s %8s %8s | %5s %4s %4s %5s %8s %5s %7s | %7s %6s\n", "Model", "Params",
+              "Flops", "Conv", "DW", "FC", "BMM", "Softmax", "Pool", "LNorm", "Lookups",
+              "Rows");
+  PrintRule(100);
+  for (const Model& model : AllZooModels()) {
+    int conv = 0, dw = 0, fc = 0, bmm = 0, softmax = 0, pool = 0, ln = 0;
+    for (const Op& op : model.ops) {
+      conv += op.type == OpType::kConv2D;
+      dw += op.type == OpType::kDepthwiseConv2D;
+      fc += op.type == OpType::kFullyConnected;
+      bmm += op.type == OpType::kBatchMatMul;
+      softmax += op.type == OpType::kSoftmax;
+      pool += op.type == OpType::kMaxPool2D || op.type == OpType::kAvgPool2D;
+      ln += op.type == OpType::kLayerNorm;
+    }
+    // Prove support constructively: simulate the layout (runs the lowering).
+    const PhysicalLayout layout = SimulateLayout(model, GadgetSetForModel(model), 16);
+    std::printf("%-12s %7lldK %7lldK | %5d %4d %4d %5d %8d %5d %7d | %7zu %6zu\n",
+                model.name.c_str(), static_cast<long long>(model.NumParameters() / 1000),
+                static_cast<long long>(model.ApproxFlops() / 1000), conv, dw, fc, bmm, softmax,
+                pool, ln, layout.num_lookups, layout.rows_used);
+  }
+  PrintRule(100);
+  std::printf("(prior work supports only the Conv/FC/Pool/ReLU columns — paper Tables 2-3)\n");
+  return 0;
+}

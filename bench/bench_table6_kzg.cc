@@ -1,0 +1,20 @@
+// Table 6: end-to-end proving time, verification time, and proof size for
+// every zoo model under the KZG backend.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  std::printf("Table 6: end-to-end numbers, KZG backend (scaled models)\n");
+  PrintRule();
+  std::printf("%-12s %14s %18s %14s %10s\n", "Model", "Proving time", "Verification time",
+              "Proof size", "Layout");
+  PrintRule();
+  for (const Model& model : AllZooModels()) {
+    const E2eMeasurement m = MeasureEndToEnd(model, BenchOptions(PcsKind::kKzg));
+    std::printf("%-12s %14s %18s %11zu B %5dx2^%d\n", m.model.c_str(),
+                HumanTime(m.prove_seconds).c_str(), HumanTime(m.verify_seconds).c_str(),
+                m.proof_bytes, m.columns, m.k);
+  }
+  PrintRule();
+  return 0;
+}

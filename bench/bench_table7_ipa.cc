@@ -1,0 +1,21 @@
+// Table 7: end-to-end proving time, verification time, and proof size for
+// every zoo model under the IPA backend. Expect slower verification than KZG
+// (O(n) group operations) and generally larger proofs.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zkml;
+  std::printf("Table 7: end-to-end numbers, IPA backend (scaled models)\n");
+  PrintRule();
+  std::printf("%-12s %14s %18s %14s %10s\n", "Model", "Proving time", "Verification time",
+              "Proof size", "Layout");
+  PrintRule();
+  for (const Model& model : AllZooModels()) {
+    const E2eMeasurement m = MeasureEndToEnd(model, BenchOptions(PcsKind::kIpa));
+    std::printf("%-12s %14s %18s %11zu B %5dx2^%d\n", m.model.c_str(),
+                HumanTime(m.prove_seconds).c_str(), HumanTime(m.verify_seconds).c_str(),
+                m.proof_bytes, m.columns, m.k);
+  }
+  PrintRule();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Private biometric authentication (paper §2): a user proves their fresh face
+// embedding is close to the enrolled template *without revealing the
+// template*. The template lives in the model weights; the verifier only sees
+// the fresh embedding (public input) and the match score (public output).
+//
+//   $ ./examples/biometric_auth
+#include <cstdio>
+
+#include "src/base/rng.h"
+#include "src/model/model_builder.h"
+#include "src/zkml/zkml.h"
+
+int main() {
+  using namespace zkml;
+  constexpr int64_t kDim = 16;
+
+  // Enrolled template (private!).
+  Rng rng(321);
+  std::vector<float> enrolled(kDim);
+  for (float& v : enrolled) {
+    v = static_cast<float>(rng.NextGaussian() * 0.5);
+  }
+
+  // Matcher model: diff = template - x (an FC layer with W = -I, b = template),
+  // dist = mean(diff^2), score = sigmoid(threshold_margin - gain * dist).
+  QuantParams quant;
+  quant.sf_bits = 6;
+  quant.table_bits = 12;
+  ModelBuilder mb("face-matcher", Shape({kDim}), quant, 1);
+  int diff = mb.FullyConnected(mb.input(), kDim);
+  int sq = mb.Mul(diff, diff);
+  int dist = mb.Mean(mb.Reshape(sq, Shape({1, kDim})));  // [1]
+  int logit = mb.FullyConnected(dist, 1);
+  int score = mb.Activation(logit, NonlinFn::kSigmoid);
+  Model model = mb.Finish(score);
+  // Install the matcher weights: W = -I, b = enrolled template.
+  for (int64_t i = 0; i < kDim; ++i) {
+    for (int64_t j = 0; j < kDim; ++j) {
+      model.weights[0].at({i, j}) = i == j ? -1.0f : 0.0f;
+    }
+    model.weights[1].at({i}) = enrolled[static_cast<size_t>(i)];
+  }
+  model.weights[2].at({0, 0}) = -24.0f;  // gain
+  model.weights[3].at({0}) = 1.5f;       // threshold margin
+
+  ZkmlOptions options;
+  options.optimizer.min_columns = 8;
+  options.optimizer.max_columns = 20;
+  CompiledModel compiled = CompileModel(model, options);
+  std::printf("matcher compiled: %d cols x 2^%d rows\n", compiled.layout.num_columns,
+              compiled.layout.k);
+
+  auto attempt = [&](const char* who, const std::vector<float>& probe) {
+    Tensor<float> x(Shape({kDim}));
+    for (int64_t i = 0; i < kDim; ++i) {
+      x.flat(i) = probe[static_cast<size_t>(i)];
+    }
+    ZkmlProof proof = Prove(compiled, QuantizeTensor(x, quant));
+    const bool valid = Verify(compiled, proof);
+    const double s = DequantizeValue(proof.output_q.flat(0), quant);
+    std::printf("%s: score %.3f, proof %s -> %s\n", who, s, valid ? "valid" : "INVALID",
+                valid && s > 0.5 ? "AUTHENTICATED" : "DENIED");
+    return valid;
+  };
+
+  // Genuine attempt: the enrolled face plus sensor noise.
+  std::vector<float> genuine = enrolled;
+  for (float& v : genuine) {
+    v += static_cast<float>(rng.NextGaussian() * 0.05);
+  }
+  bool ok = attempt("genuine user", genuine);
+
+  // Impostor attempt: an unrelated embedding.
+  std::vector<float> impostor(kDim);
+  for (float& v : impostor) {
+    v = static_cast<float>(rng.NextGaussian() * 0.5);
+  }
+  ok = attempt("impostor    ", impostor) && ok;
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Trustless credit scoring (paper §2): a lender publishes a committed DLRM
+// scoring model; the borrower's on-chain feature summary is scored and the
+// lender proves the score came from the committed model, so both sides trust
+// the result without the weights ever leaving the lender.
+//
+//   $ ./examples/credit_score
+#include <cstdio>
+
+#include "src/model/zoo.h"
+#include "src/zkml/zkml.h"
+
+int main() {
+  using namespace zkml;
+
+  Model model = MakeDlrm();
+  ZkmlOptions options;
+  options.backend = PcsKind::kIpa;  // transparent setup: no trusted ceremony
+  options.optimizer.min_columns = 8;
+  options.optimizer.max_columns = 20;
+  CompiledModel compiled = CompileModel(model, options);
+  std::printf("[lender] DLRM scorer committed (IPA backend, %d cols x 2^%d rows)\n",
+              compiled.layout.num_columns, compiled.layout.k);
+
+  // Three loan applicants; features = dense on-chain summary + embeddings.
+  bool all_valid = true;
+  for (int applicant = 0; applicant < 3; ++applicant) {
+    Tensor<int64_t> features =
+        QuantizeTensor(SyntheticInput(model, 900 + applicant), model.quant);
+    ZkmlProof proof = Prove(compiled, features);
+    const double score = DequantizeValue(proof.output_q.flat(0), model.quant);
+    const bool valid = Verify(compiled, proof);
+    all_valid = all_valid && valid;
+    std::printf("[applicant %d] credit score %.3f | proof %zu bytes %s | %s\n", applicant, score,
+                proof.bytes.size(), valid ? "(verified)" : "(INVALID)",
+                score > 0.5 ? "loan approved" : "loan denied");
+  }
+  return all_valid ? 0 : 1;
+}

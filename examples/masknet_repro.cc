@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "src/model/zoo.h"
+#include "src/zkml/zkml.h"
+using namespace zkml;
+int main() {
+  Model model = MakeMaskNet();
+  ZkmlOptions options;
+  options.backend = PcsKind::kKzg;
+  options.optimizer.min_columns = 10;
+  options.optimizer.max_columns = 24;
+  std::printf("optimizing...\n");
+  CompiledModel compiled = CompileModel(model, options);
+  std::printf("layout %d x 2^%d\n", compiled.layout.num_columns, compiled.layout.k);
+  Tensor<int64_t> features = QuantizeTensor(SyntheticInput(model, 500), model.quant);
+  std::printf("proving...\n");
+  ZkmlProof proof = Prove(compiled, features);
+  std::printf("verify=%d\n", (int)Verify(compiled, proof));
+  return 0;
+}

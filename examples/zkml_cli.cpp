@@ -1,0 +1,213 @@
+// The user-facing command-line interface (paper Fig. 3's "simple bash
+// interface" and §8's standalone verifier): find the optimal circuit for a
+// model, produce proofs, and verify them across process boundaries.
+//
+//   zkml_cli export <zoo-name> <model-file>          serialize a zoo model
+//   zkml_cli inspect <model-file>                    print graph statistics
+//   zkml_cli optimize <model-file> [kzg|ipa]         run the layout optimizer
+//   zkml_cli prove <model-file> <proof-file> [seed]  prove one inference
+//   zkml_cli verify <model-file> <proof-file>        standalone verification
+//
+// Proof files carry the proof bytes plus the public statement; `verify`
+// rebuilds the verifying key deterministically from the model file, so the
+// verifier never sees the prover's witness.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/layers/quant_executor.h"
+#include "src/model/float_executor.h"
+#include "src/model/serialize.h"
+#include "src/model/shape_inference.h"
+#include "src/model/zoo.h"
+#include "src/plonk/proof_io.h"
+#include "src/zkml/zkml.h"
+
+namespace zkml {
+namespace {
+
+ZkmlOptions CliOptions(PcsKind backend) {
+  ZkmlOptions options;
+  options.backend = backend;
+  options.optimizer.min_columns = 8;
+  options.optimizer.max_columns = 32;
+  options.optimizer.max_k = 15;
+  return options;
+}
+
+// Proof file: u32 proof length, proof bytes, u32 instance length, instances.
+bool WriteProofFile(const std::string& path, const ZkmlProof& proof) {
+  std::vector<uint8_t> blob;
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<uint8_t>(proof.bytes.size() >> (8 * i)));
+  }
+  blob.insert(blob.end(), proof.bytes.begin(), proof.bytes.end());
+  for (int i = 0; i < 4; ++i) {
+    blob.push_back(static_cast<uint8_t>(proof.instance.size() >> (8 * i)));
+  }
+  for (const Fr& v : proof.instance) {
+    ProofAppendFr(&blob, v);
+  }
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+bool ReadProofFile(const std::string& path, std::vector<uint8_t>* proof,
+                   std::vector<Fr>* instance) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  size_t off = 0;
+  auto read_u32 = [&](uint32_t* v) {
+    if (off + 4 > blob.size()) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(blob[off + i]) << (8 * i);
+    }
+    off += 4;
+    return true;
+  };
+  uint32_t len = 0;
+  if (!read_u32(&len) || off + len > blob.size()) {
+    return false;
+  }
+  proof->assign(blob.begin() + static_cast<long>(off), blob.begin() + static_cast<long>(off + len));
+  off += len;
+  uint32_t n_inst = 0;
+  if (!read_u32(&n_inst)) {
+    return false;
+  }
+  instance->resize(n_inst);
+  for (uint32_t i = 0; i < n_inst; ++i) {
+    if (!ProofReadFr(blob, &off, &(*instance)[i])) {
+      return false;
+    }
+  }
+  return off == blob.size();
+}
+
+int CmdExport(const std::string& name, const std::string& path) {
+  const Model model = MakeZooModel(name);
+  if (!SaveModelToFile(model, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%lld parameters, %zu ops)\n", path.c_str(),
+              static_cast<long long>(model.NumParameters()), model.ops.size());
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  const Model model = LoadModelFromFile(path);
+  const std::vector<Shape> shapes = InferShapes(model);
+  std::printf("model %s: input %s, %lld parameters, ~%lld flops, quant sf=2^%d tables=2^%d\n",
+              model.name.c_str(), model.input_shape.ToString().c_str(),
+              static_cast<long long>(model.NumParameters()),
+              static_cast<long long>(model.ApproxFlops()), model.quant.sf_bits,
+              model.quant.table_bits);
+  for (const Op& op : model.ops) {
+    std::printf("  %-18s -> tensor %d %s\n", OpTypeName(op.type), op.output,
+                shapes[static_cast<size_t>(op.output)].ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdOptimize(const std::string& path, PcsKind backend) {
+  const Model model = LoadModelFromFile(path);
+  OptimizerOptions opts = CliOptions(backend).optimizer;
+  opts.backend = backend;
+  const OptimizerResult result = OptimizeLayout(model, HardwareProfile::Cached(), opts);
+  std::printf("optimal layout: %d columns x 2^%d rows (%zu plans in %.2fs)\n",
+              result.best.layout.num_columns, result.best.layout.k, result.plans_evaluated,
+              result.optimizer_seconds);
+  std::printf("  gadgets: bias-chaining=%d relu-lookup=%d packed-arith=%d\n",
+              result.best.layout.gadgets.dot_bias_chaining,
+              result.best.layout.gadgets.relu_lookup, result.best.layout.gadgets.packed_arith);
+  std::printf("  predicted proving: %.2fs (%zu FFTs, %zu MSMs); predicted proof: %zu bytes\n",
+              result.best.cost.total_seconds, result.best.cost.n_ffts, result.best.cost.n_msms,
+              result.best.proof_size_bytes);
+  return 0;
+}
+
+int CmdProve(const std::string& model_path, const std::string& proof_path, uint64_t seed,
+             PcsKind backend) {
+  const Model model = LoadModelFromFile(model_path);
+  const CompiledModel compiled = CompileModel(model, CliOptions(backend));
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
+  const ZkmlProof proof = Prove(compiled, input);
+  if (!WriteProofFile(proof_path, proof)) {
+    std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
+    return 1;
+  }
+  std::printf("proved %s on input seed %llu in %.2fs: %zu proof bytes -> %s\n",
+              model.name.c_str(), static_cast<unsigned long long>(seed), proof.prove_seconds,
+              proof.bytes.size(), proof_path.c_str());
+  return 0;
+}
+
+int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsKind backend) {
+  const Model model = LoadModelFromFile(model_path);
+  // The verifier recompiles deterministically (same optimizer + setup seed),
+  // obtaining the same verifying key the prover used — no witness involved.
+  const CompiledModel compiled = CompileModel(model, CliOptions(backend));
+  std::vector<uint8_t> proof;
+  std::vector<Fr> instance;
+  if (!ReadProofFile(proof_path, &proof, &instance)) {
+    std::fprintf(stderr, "cannot read %s\n", proof_path.c_str());
+    return 1;
+  }
+  const bool ok = Verify(compiled.pk.vk, *compiled.pcs, instance, proof);
+  std::printf("%s\n", ok ? "VALID" : "INVALID");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace zkml
+
+int main(int argc, char** argv) {
+  using namespace zkml;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: zkml_cli export <zoo-name> <model-file>\n"
+                 "       zkml_cli inspect <model-file>\n"
+                 "       zkml_cli optimize <model-file> [kzg|ipa]\n"
+                 "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
+                 "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  auto backend_arg = [&](int index, PcsKind fallback) {
+    if (argc > index && std::strcmp(argv[index], "ipa") == 0) {
+      return PcsKind::kIpa;
+    }
+    if (argc > index && std::strcmp(argv[index], "kzg") == 0) {
+      return PcsKind::kKzg;
+    }
+    return fallback;
+  };
+  if (cmd == "export" && argc >= 4) {
+    return CmdExport(argv[2], argv[3]);
+  }
+  if (cmd == "inspect") {
+    return CmdInspect(argv[2]);
+  }
+  if (cmd == "optimize") {
+    return CmdOptimize(argv[2], backend_arg(3, PcsKind::kKzg));
+  }
+  if (cmd == "prove" && argc >= 4) {
+    const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+    return CmdProve(argv[2], argv[3], seed, backend_arg(5, PcsKind::kKzg));
+  }
+  if (cmd == "verify" && argc >= 4) {
+    return CmdVerify(argv[2], argv[3], backend_arg(4, PcsKind::kKzg));
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}

@@ -1,0 +1,34 @@
+// Lightweight invariant checking. ZKML_CHECK is always on (these guard
+// soundness-relevant invariants and cheap API misuse), ZKML_DCHECK compiles
+// out in release-style builds when ZKML_NO_DCHECK is defined.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ZKML_CHECK(cond)                                                              \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "ZKML_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,    \
+                   #cond);                                                            \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#define ZKML_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::fprintf(stderr, "ZKML_CHECK failed at %s:%d: %s (%s)\n", __FILE__,         \
+                   __LINE__, #cond, msg);                                             \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+#ifdef ZKML_NO_DCHECK
+#define ZKML_DCHECK(cond) ((void)0)
+#else
+#define ZKML_DCHECK(cond) ZKML_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_CHECK_H_

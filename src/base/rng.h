@@ -1,0 +1,31 @@
+// Deterministic pseudo-random generation used for synthetic model weights,
+// test vectors, and (insecure, documented) local trusted setups. Determinism
+// keeps benchmark tables reproducible run to run.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace zkml {
+
+// xoshiro256** — fast, high-quality, and trivially seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Approximately standard normal (sum of uniforms; adequate for synthetic
+  // weights, not for statistics).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_RNG_H_

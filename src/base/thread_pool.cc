@@ -1,0 +1,127 @@
+#include "src/base/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace zkml {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+bool ThreadPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tasks_.empty()) {
+      return false;
+    }
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.Enqueue([this, task = std::move(task)] {
+    task();
+    // The decrement happens under the mutex so a waiter that sees zero while
+    // holding (or subsequently acquiring) the mutex knows this worker will
+    // never touch the group again — otherwise Wait() could return and the
+    // group be destroyed between our fetch_sub and notify_all.
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  for (;;) {
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    // Help drain the shared queue: this is what makes nesting deadlock-free.
+    if (pool_.TryRunOne()) {
+      continue;
+    }
+    // Queue empty but our tasks still run elsewhere: block briefly. The
+    // timeout re-checks the queue in case another nested section enqueued
+    // more work that this thread could help with.
+    std::unique_lock<std::mutex> lock(done_mu_);
+    if (pending_.load(std::memory_order_acquire) == 0) {
+      return;  // the last worker has already released the mutex
+    }
+    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+  // Synchronize with the final worker's critical section before returning.
+  std::lock_guard<std::mutex> lock(done_mu_);
+}
+
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn) {
+  if (end <= begin) {
+    return;
+  }
+  const size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t num_chunks = std::min(n, pool.num_threads() * 2);
+  if (n < 1024 || num_chunks <= 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  TaskGroup group(pool);
+  for (size_t c = begin; c < end; c += chunk) {
+    const size_t hi = std::min(end, c + chunk);
+    group.Submit([&chunk_fn, c, hi] { chunk_fn(c, hi); });
+  }
+  group.Wait();
+}
+
+}  // namespace zkml

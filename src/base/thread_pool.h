@@ -1,0 +1,75 @@
+// Work-helping thread pool. Parallel sections (FFT stages, MSM windows,
+// witness generation) nest freely: a thread waiting on its TaskGroup executes
+// queued tasks instead of blocking, so a pool worker that spawns a nested
+// parallel section can never deadlock the pool.
+#ifndef SRC_BASE_THREAD_POOL_H_
+#define SRC_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zkml {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  friend class TaskGroup;
+
+  void Enqueue(std::function<void()> task);
+  // Runs one queued task if available; returns false when the queue is empty.
+  bool TryRunOne();
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  bool shutdown_ = false;
+};
+
+// A set of tasks whose completion can be awaited. Wait() helps execute queued
+// pool tasks while this group is unfinished, making nested parallelism safe.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::Global()) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Tasks must not throw.
+  void Submit(std::function<void()> task);
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::atomic<size_t> pending_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+// Runs chunk_fn over [begin, end) split into contiguous chunks across the
+// global pool. Serial for small ranges, so callers can use it unconditionally.
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn);
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_THREAD_POOL_H_

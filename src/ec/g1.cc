@@ -1,0 +1,308 @@
+#include "src/ec/g1.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+
+namespace zkml {
+namespace {
+
+const Fq& CurveB() {
+  static const Fq b = Fq::FromU64(3);
+  return b;
+}
+
+}  // namespace
+
+bool G1Affine::IsOnCurve() const {
+  if (infinity) {
+    return true;
+  }
+  return y * y == x * x * x + CurveB();
+}
+
+bool G1Affine::operator==(const G1Affine& o) const {
+  if (infinity || o.infinity) {
+    return infinity == o.infinity;
+  }
+  return x == o.x && y == o.y;
+}
+
+std::array<uint8_t, 33> G1Affine::Serialize() const {
+  std::array<uint8_t, 33> out{};
+  if (infinity) {
+    return out;
+  }
+  const U256 xc = x.ToCanonical();
+  const U256 yc = y.ToCanonical();
+  out[0] = static_cast<uint8_t>(2 + (yc.limbs[0] & 1));
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[1 + i * 8 + b] = static_cast<uint8_t>(xc.limbs[i] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+bool G1Affine::Deserialize(const uint8_t* bytes, G1Affine* out) {
+  if (bytes[0] == 0) {
+    *out = Identity();
+    return true;
+  }
+  if (bytes[0] != 2 && bytes[0] != 3) {
+    return false;
+  }
+  U256 xc;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int b = 0; b < 8; ++b) {
+      limb |= static_cast<uint64_t>(bytes[1 + i * 8 + b]) << (8 * b);
+    }
+    xc.limbs[i] = limb;
+  }
+  if (CmpU256(xc, FqParams::Modulus()) >= 0) {
+    return false;
+  }
+  const Fq x = Fq::FromCanonical(xc);
+  Fq y;
+  if (!FqSqrt(x * x * x + CurveB(), &y)) {
+    return false;
+  }
+  const uint8_t want_parity = bytes[0] & 1;
+  if ((y.ToCanonical().limbs[0] & 1) != want_parity) {
+    y = y.Neg();
+  }
+  *out = G1Affine{x, y, /*infinity=*/false};
+  return true;
+}
+
+G1 G1::FromAffine(const G1Affine& p) {
+  G1 r;
+  if (p.infinity) {
+    return r;
+  }
+  r.x_ = p.x;
+  r.y_ = p.y;
+  r.z_ = Fq::FromU64(1);
+  return r;
+}
+
+G1 G1::Double() const {
+  if (IsIdentity()) {
+    return *this;
+  }
+  // dbl-2009-l
+  const Fq a = x_.Square();
+  const Fq b = y_.Square();
+  const Fq c = b.Square();
+  Fq d = (x_ + b).Square() - a - c;
+  d = d.Double();
+  const Fq e = a + a + a;
+  const Fq f = e.Square();
+  G1 r;
+  r.x_ = f - d.Double();
+  r.y_ = e * (d - r.x_) - c.Double().Double().Double();
+  r.z_ = (y_ * z_).Double();
+  return r;
+}
+
+G1 G1::operator+(const G1& o) const {
+  if (IsIdentity()) {
+    return o;
+  }
+  if (o.IsIdentity()) {
+    return *this;
+  }
+  // add-2007-bl
+  const Fq z1z1 = z_.Square();
+  const Fq z2z2 = o.z_.Square();
+  const Fq u1 = x_ * z2z2;
+  const Fq u2 = o.x_ * z1z1;
+  const Fq s1 = y_ * o.z_ * z2z2;
+  const Fq s2 = o.y_ * z_ * z1z1;
+  if (u1 == u2) {
+    if (s1 == s2) {
+      return Double();
+    }
+    return Identity();
+  }
+  const Fq h = u2 - u1;
+  const Fq i = h.Double().Square();
+  const Fq j = h * i;
+  const Fq r2 = (s2 - s1).Double();
+  const Fq v = u1 * i;
+  G1 r;
+  r.x_ = r2.Square() - j - v.Double();
+  r.y_ = r2 * (v - r.x_) - (s1 * j).Double();
+  r.z_ = ((z_ + o.z_).Square() - z1z1 - z2z2) * h;
+  return r;
+}
+
+G1 G1::AddMixed(const G1Affine& o) const {
+  if (o.infinity) {
+    return *this;
+  }
+  if (IsIdentity()) {
+    return FromAffine(o);
+  }
+  // madd-2007-bl
+  const Fq z1z1 = z_.Square();
+  const Fq u2 = o.x * z1z1;
+  const Fq s2 = o.y * z_ * z1z1;
+  if (x_ == u2) {
+    if (y_ == s2) {
+      return Double();
+    }
+    return Identity();
+  }
+  const Fq h = u2 - x_;
+  const Fq hh = h.Square();
+  const Fq i = hh.Double().Double();
+  const Fq j = h * i;
+  const Fq r2 = (s2 - y_).Double();
+  const Fq v = x_ * i;
+  G1 r;
+  r.x_ = r2.Square() - j - v.Double();
+  r.y_ = r2 * (v - r.x_) - (y_ * j).Double();
+  r.z_ = (z_ + h).Square() - z1z1 - hh;
+  return r;
+}
+
+G1 G1::Neg() const {
+  G1 r = *this;
+  r.y_ = r.y_.Neg();
+  return r;
+}
+
+G1 G1::ScalarMul(const Fr& s) const {
+  const U256 e = s.ToCanonical();
+  G1 acc;
+  const int hb = e.HighestBit();
+  for (int i = hb; i >= 0; --i) {
+    acc = acc.Double();
+    if (e.Bit(i)) {
+      acc = acc + *this;
+    }
+  }
+  return acc;
+}
+
+G1Affine G1::ToAffine() const {
+  if (IsIdentity()) {
+    return G1Affine::Identity();
+  }
+  const Fq zinv = z_.Inverse();
+  const Fq zinv2 = zinv.Square();
+  return G1Affine{x_ * zinv2, y_ * zinv2 * zinv, /*infinity=*/false};
+}
+
+bool G1::operator==(const G1& o) const {
+  if (IsIdentity() || o.IsIdentity()) {
+    return IsIdentity() == o.IsIdentity();
+  }
+  // Cross-multiply to compare projective representatives.
+  const Fq z1z1 = z_.Square();
+  const Fq z2z2 = o.z_.Square();
+  if (!(x_ * z2z2 == o.x_ * z1z1)) {
+    return false;
+  }
+  return y_ * z2z2 * o.z_ == o.y_ * z1z1 * z_;
+}
+
+G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars) {
+  ZKML_CHECK(bases.size() == scalars.size());
+  const size_t n = bases.size();
+  if (n == 0) {
+    return G1::Identity();
+  }
+  if (n < 32) {
+    G1 acc;
+    for (size_t i = 0; i < n; ++i) {
+      acc += G1::FromAffine(bases[i]).ScalarMul(scalars[i]);
+    }
+    return acc;
+  }
+
+  // Pippenger. Per-window cost is ~(n additions + 2^{c+1} aggregation adds),
+  // over ceil(254/c) windows; c ~ log2(n) - 4 balances the two terms.
+  int log2n = 0;
+  for (size_t t = n; t > 1; t >>= 1) {
+    ++log2n;
+  }
+  const int c = std::min(16, std::max(4, log2n - 4));
+  const int kScalarBits = 254;
+  const int num_windows = (kScalarBits + c - 1) / c;
+
+  std::vector<U256> raw(n);
+  for (size_t i = 0; i < n; ++i) {
+    raw[i] = scalars[i].ToCanonical();
+  }
+
+  std::vector<G1> window_sums(num_windows);
+  TaskGroup group;
+  for (int w = 0; w < num_windows; ++w) {
+    group.Submit([&, w] {
+      const int bit0 = w * c;
+      std::vector<G1> buckets((static_cast<size_t>(1) << c) - 1);
+      for (size_t i = 0; i < n; ++i) {
+        // Extract c bits starting at bit0.
+        uint64_t digit = 0;
+        const int limb = bit0 / 64;
+        const int off = bit0 % 64;
+        digit = raw[i].limbs[limb] >> off;
+        if (off + c > 64 && limb + 1 < 4) {
+          digit |= raw[i].limbs[limb + 1] << (64 - off);
+        }
+        digit &= (static_cast<uint64_t>(1) << c) - 1;
+        if (digit != 0) {
+          buckets[digit - 1] = buckets[digit - 1].AddMixed(bases[i]);
+        }
+      }
+      G1 running;
+      G1 acc;
+      for (size_t b = buckets.size(); b-- > 0;) {
+        running += buckets[b];
+        acc += running;
+      }
+      window_sums[w] = acc;
+    });
+  }
+  group.Wait();
+
+  G1 total;
+  for (int w = num_windows - 1; w >= 0; --w) {
+    for (int d = 0; d < c; ++d) {
+      total = total.Double();
+    }
+    total += window_sums[w];
+  }
+  return total;
+}
+
+std::vector<G1Affine> DeriveGenerators(uint64_t seed, size_t count) {
+  std::vector<G1Affine> out(count);
+  // Each index gets its own PRNG stream so derivation parallelizes while
+  // staying deterministic.
+  ParallelFor(0, count, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Rng rng((seed ^ 0x5a5a5a5a12345678ULL) + i * 0x9e3779b97f4a7c15ULL);
+      for (;;) {
+        Fq x = Fq::Random(rng);
+        Fq y;
+        if (!FqSqrt(x * x * x + CurveB(), &y)) {
+          continue;
+        }
+        if ((y.ToCanonical().limbs[0] & 1) != 0) {
+          y = y.Neg();
+        }
+        out[i] = G1Affine{x, y, /*infinity=*/false};
+        ZKML_DCHECK(out[i].IsOnCurve());
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace zkml

@@ -1,0 +1,77 @@
+// BN254 G1 group arithmetic: y^2 = x^3 + 3 over Fq, prime order equal to the
+// Fr modulus. Jacobian coordinates internally; affine points for storage,
+// serialization and MSM bases.
+#ifndef SRC_EC_G1_H_
+#define SRC_EC_G1_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ff/fields.h"
+
+namespace zkml {
+
+struct G1Affine {
+  Fq x;
+  Fq y;
+  bool infinity = true;
+
+  static G1Affine Identity() { return G1Affine{}; }
+  static G1Affine Generator() {
+    return G1Affine{Fq::FromU64(1), Fq::FromU64(2), /*infinity=*/false};
+  }
+
+  bool IsOnCurve() const;
+  bool operator==(const G1Affine& o) const;
+
+  // 33-byte compressed encoding: flag byte (0 infinity, 2/3 = y parity) then
+  // the canonical x coordinate, little-endian.
+  std::array<uint8_t, 33> Serialize() const;
+  static bool Deserialize(const uint8_t* bytes, G1Affine* out);
+};
+
+class G1 {
+ public:
+  G1() = default;  // identity
+
+  static G1 Identity() { return G1(); }
+  static G1 Generator() { return FromAffine(G1Affine::Generator()); }
+  static G1 FromAffine(const G1Affine& p);
+
+  bool IsIdentity() const { return z_.IsZero(); }
+
+  G1 Double() const;
+  G1 operator+(const G1& o) const;
+  G1 AddMixed(const G1Affine& o) const;
+  G1 Neg() const;
+  G1 operator-(const G1& o) const { return *this + o.Neg(); }
+  G1& operator+=(const G1& o) { return *this = *this + o; }
+
+  // Scalar multiplication by the canonical representation of s.
+  G1 ScalarMul(const Fr& s) const;
+
+  G1Affine ToAffine() const;
+  bool operator==(const G1& o) const;
+
+ private:
+  // Jacobian: (X/Z^2, Y/Z^3); identity iff Z == 0.
+  Fq x_;
+  Fq y_ = Fq::FromU64(1);
+  Fq z_;  // zero-initialized => identity
+};
+
+// Multi-scalar multiplication sum_i scalars[i] * bases[i] using a parallel
+// Pippenger bucket method. bases and scalars must have equal length.
+G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars);
+
+// Deterministically derives `count` independent curve points ("nothing up my
+// sleeve" bases for Pedersen/IPA commitments) by rejection-sampling x
+// coordinates from a seeded PRNG. Discrete logs between the results are
+// unknown to everyone, which is what IPA binding requires.
+std::vector<G1Affine> DeriveGenerators(uint64_t seed, size_t count);
+
+}  // namespace zkml
+
+#endif  // SRC_EC_G1_H_

@@ -1,0 +1,38 @@
+#include "src/ff/fields.h"
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+Fr FrRootOfUnity(int k) {
+  ZKML_CHECK_MSG(k >= 0 && k <= FrParams::kTwoAdicity, "FFT domain too large for Fr");
+  U256 p_minus_1;
+  SubU256(FrParams::Modulus(), U256::FromU64(1), &p_minus_1);
+  U256 exponent = ShrU256(p_minus_1, k);
+  return Fr::FromU64(FrParams::kGenerator).Pow(exponent);
+}
+
+Fr FrDelta() {
+  // g^{2^S}: exponent is 1 << 28.
+  U256 e;
+  e.limbs[0] = 1ULL << FrParams::kTwoAdicity;
+  return Fr::FromU64(FrParams::kGenerator).Pow(e);
+}
+
+bool FqSqrt(const Fq& a, Fq* out) {
+  if (a.IsZero()) {
+    *out = Fq::Zero();
+    return true;
+  }
+  U256 q_plus_1;
+  AddU256(FqParams::Modulus(), U256::FromU64(1), &q_plus_1);
+  U256 exponent = ShrU256(q_plus_1, 2);
+  Fq candidate = a.Pow(exponent);
+  if (candidate * candidate == a) {
+    *out = candidate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace zkml

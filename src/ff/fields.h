@@ -1,0 +1,49 @@
+// The two BN254 fields used throughout:
+//   Fr — the scalar field (circuit values, polynomials); 2-adicity 28, so FFT
+//        domains up to 2^28 exist, matching the paper's trusted-setup bound.
+//   Fq — the base field of the G1 curve group.
+#ifndef SRC_FF_FIELDS_H_
+#define SRC_FF_FIELDS_H_
+
+#include "src/ff/fp.h"
+#include "src/ff/u256.h"
+
+namespace zkml {
+
+struct FrParams {
+  static const U256& Modulus() {
+    // 21888242871839275222246405745257275088548364400416034343698204186575808495617
+    static const U256 m =
+        U256::FromHex("30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001");
+    return m;
+  }
+  static constexpr uint64_t kGenerator = 5;  // multiplicative generator of Fr*
+  static constexpr int kTwoAdicity = 28;
+};
+
+struct FqParams {
+  static const U256& Modulus() {
+    // 21888242871839275222246405745257275088696311157297823662689037894645226208583
+    static const U256 m =
+        U256::FromHex("30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47");
+    return m;
+  }
+};
+
+using Fr = Fp<FrParams>;
+using Fq = Fp<FqParams>;
+
+// Primitive 2^k-th root of unity in Fr (k <= 28).
+Fr FrRootOfUnity(int k);
+
+// The coset separator delta = g^{2^S} used by the permutation argument: the
+// sets {delta^i * omega^j} are pairwise disjoint for distinct i.
+Fr FrDelta();
+
+// Square root in Fq (q == 3 mod 4, so sqrt(a) = a^{(q+1)/4}). Returns false if
+// `a` is a non-residue.
+bool FqSqrt(const Fq& a, Fq* out);
+
+}  // namespace zkml
+
+#endif  // SRC_FF_FIELDS_H_

@@ -1,0 +1,46 @@
+#include "src/ff/fp.h"
+
+namespace zkml {
+
+MontgomeryContext MontgomeryContext::Build(const U256& modulus) {
+  MontgomeryContext ctx;
+  ctx.modulus = modulus;
+  ctx.bits = modulus.HighestBit() + 1;
+
+  // inv = -p^{-1} mod 2^64 via Newton iteration: x_{k+1} = x_k (2 - p x_k).
+  const uint64_t p0 = modulus.limbs[0];
+  uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - p0 * x;
+  }
+  ctx.inv = ~x + 1;  // -x mod 2^64
+
+  // R = 2^256 mod p by repeated doubling of 1.
+  U256 r = U256::FromU64(1);
+  for (int i = 0; i < 256; ++i) {
+    U256 doubled;
+    uint64_t carry = AddU256(r, r, &doubled);
+    if (carry != 0 || CmpU256(doubled, modulus) >= 0) {
+      SubU256(doubled, modulus, &doubled);
+    }
+    r = doubled;
+  }
+  ctx.r = r;
+
+  // R^2 = 2^512 mod p: double R another 256 times.
+  U256 r2 = r;
+  for (int i = 0; i < 256; ++i) {
+    U256 doubled;
+    uint64_t carry = AddU256(r2, r2, &doubled);
+    if (carry != 0 || CmpU256(doubled, modulus) >= 0) {
+      SubU256(doubled, modulus, &doubled);
+    }
+    r2 = doubled;
+  }
+  ctx.r2 = r2;
+
+  SubU256(modulus, U256::FromU64(2), &ctx.p_minus_2);
+  return ctx;
+}
+
+}  // namespace zkml

@@ -1,0 +1,252 @@
+// Generic prime-field element in Montgomery form over a 254/255-bit modulus.
+//
+// The Params tag type supplies the modulus (and, for FFT-friendly fields, a
+// multiplicative generator and two-adicity). All Montgomery constants (R mod
+// p, R^2 mod p, -p^{-1} mod 2^64) are derived at first use so no hand-typed
+// magic constants can silently be wrong.
+#ifndef SRC_FF_FP_H_
+#define SRC_FF_FP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/base/rng.h"
+#include "src/ff/u256.h"
+
+namespace zkml {
+
+struct MontgomeryContext {
+  U256 modulus;
+  U256 r;         // 2^256 mod p (the Montgomery form of 1)
+  U256 r2;        // 2^512 mod p (used to convert into Montgomery form)
+  U256 p_minus_2; // exponent for Fermat inversion
+  uint64_t inv;   // -p^{-1} mod 2^64
+  int bits;       // bit length of p
+
+  static MontgomeryContext Build(const U256& modulus);
+};
+
+template <typename Params>
+class Fp {
+ public:
+  Fp() = default;
+
+  static const MontgomeryContext& Ctx() {
+    static const MontgomeryContext ctx = MontgomeryContext::Build(Params::Modulus());
+    return ctx;
+  }
+
+  static Fp Zero() { return Fp(); }
+  static Fp One() {
+    Fp r;
+    r.v_ = Ctx().r;
+    return r;
+  }
+
+  static Fp FromU64(uint64_t x) { return FromCanonical(U256::FromU64(x)); }
+
+  // Signed embedding: negative integers map to p - |x|.
+  static Fp FromInt64(int64_t x) {
+    if (x >= 0) {
+      return FromU64(static_cast<uint64_t>(x));
+    }
+    return FromU64(static_cast<uint64_t>(-x)).Neg();
+  }
+
+  // `raw` must already be reduced (< p).
+  static Fp FromCanonical(const U256& raw) {
+    ZKML_DCHECK(CmpU256(raw, Ctx().modulus) < 0);
+    Fp r;
+    r.v_ = MontMul(raw, Ctx().r2);
+    return r;
+  }
+
+  static Fp FromHex(const std::string& hex) { return FromCanonical(U256::FromHex(hex)); }
+
+  // Uniform random element by rejection sampling.
+  static Fp Random(Rng& rng) {
+    const MontgomeryContext& ctx = Ctx();
+    for (;;) {
+      U256 raw;
+      for (uint64_t& l : raw.limbs) {
+        l = rng.NextU64();
+      }
+      // Clear bits above the modulus bit-length to make acceptance likely.
+      const int top = ctx.bits;
+      for (int b = 255; b >= top; --b) {
+        raw.limbs[b / 64] &= ~(1ULL << (b % 64));
+      }
+      if (CmpU256(raw, ctx.modulus) < 0) {
+        return FromCanonical(raw);
+      }
+    }
+  }
+
+  U256 ToCanonical() const { return MontMul(v_, U256::FromU64(1)); }
+
+  // Decodes a field element that is known to encode a small signed integer
+  // (|x| < 2^63): canonical values above p/2 are interpreted as negative.
+  int64_t ToCenteredInt64() const {
+    const MontgomeryContext& ctx = Ctx();
+    U256 c = ToCanonical();
+    U256 half = ShrU256(ctx.modulus, 1);
+    if (CmpU256(c, half) > 0) {
+      U256 neg;
+      SubU256(ctx.modulus, c, &neg);
+      ZKML_CHECK_MSG(neg.limbs[1] == 0 && neg.limbs[2] == 0 && neg.limbs[3] == 0 &&
+                         neg.limbs[0] <= static_cast<uint64_t>(INT64_MAX),
+                     "field element does not fit a centered int64");
+      return -static_cast<int64_t>(neg.limbs[0]);
+    }
+    ZKML_CHECK_MSG(c.limbs[1] == 0 && c.limbs[2] == 0 && c.limbs[3] == 0 &&
+                       c.limbs[0] <= static_cast<uint64_t>(INT64_MAX),
+                   "field element does not fit a centered int64");
+    return static_cast<int64_t>(c.limbs[0]);
+  }
+
+  bool IsZero() const { return v_.IsZero(); }
+
+  bool operator==(const Fp& o) const { return v_ == o.v_; }
+  bool operator!=(const Fp& o) const { return !(v_ == o.v_); }
+
+  Fp operator+(const Fp& o) const {
+    const MontgomeryContext& ctx = Ctx();
+    Fp r;
+    uint64_t carry = AddU256(v_, o.v_, &r.v_);
+    if (carry != 0 || CmpU256(r.v_, ctx.modulus) >= 0) {
+      SubU256(r.v_, ctx.modulus, &r.v_);
+    }
+    return r;
+  }
+
+  Fp operator-(const Fp& o) const {
+    Fp r;
+    uint64_t borrow = SubU256(v_, o.v_, &r.v_);
+    if (borrow != 0) {
+      AddU256(r.v_, Ctx().modulus, &r.v_);
+    }
+    return r;
+  }
+
+  Fp operator*(const Fp& o) const {
+    Fp r;
+    r.v_ = MontMul(v_, o.v_);
+    return r;
+  }
+
+  Fp& operator+=(const Fp& o) { return *this = *this + o; }
+  Fp& operator-=(const Fp& o) { return *this = *this - o; }
+  Fp& operator*=(const Fp& o) { return *this = *this * o; }
+
+  Fp Neg() const {
+    if (IsZero()) {
+      return *this;
+    }
+    Fp r;
+    SubU256(Ctx().modulus, v_, &r.v_);
+    return r;
+  }
+  Fp operator-() const { return Neg(); }
+
+  Fp Double() const { return *this + *this; }
+  Fp Square() const { return *this * *this; }
+
+  Fp Pow(const U256& e) const {
+    Fp acc = One();
+    int hb = e.HighestBit();
+    for (int i = hb; i >= 0; --i) {
+      acc = acc.Square();
+      if (e.Bit(i)) {
+        acc = acc * *this;
+      }
+    }
+    return acc;
+  }
+  Fp Pow(uint64_t e) const { return Pow(U256::FromU64(e)); }
+
+  // Fermat inversion; returns zero for zero (callers that care must check).
+  Fp Inverse() const {
+    if (IsZero()) {
+      return Zero();
+    }
+    return Pow(Ctx().p_minus_2);
+  }
+
+  // Internal Montgomery representation (for serialization fast paths).
+  const U256& MontgomeryForm() const { return v_; }
+  static Fp FromMontgomeryForm(const U256& v) {
+    Fp r;
+    r.v_ = v;
+    return r;
+  }
+
+ private:
+  static U256 MontMul(const U256& a, const U256& b) {
+    const MontgomeryContext& ctx = Ctx();
+    const uint64_t* p = ctx.modulus.limbs;
+    uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // t += a[i] * b
+      unsigned __int128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        unsigned __int128 cur =
+            static_cast<unsigned __int128>(a.limbs[i]) * b.limbs[j] + t[j] + carry;
+        t[j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      unsigned __int128 sum = static_cast<unsigned __int128>(t[4]) + carry;
+      t[4] = static_cast<uint64_t>(sum);
+      t[5] = static_cast<uint64_t>(sum >> 64);
+
+      // Reduction: add m*p where m = t[0] * (-p^{-1}) so t[0] vanishes.
+      const uint64_t m = t[0] * ctx.inv;
+      unsigned __int128 cur = static_cast<unsigned __int128>(m) * p[0] + t[0];
+      carry = cur >> 64;
+      for (int j = 1; j < 4; ++j) {
+        cur = static_cast<unsigned __int128>(m) * p[j] + t[j] + carry;
+        t[j - 1] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+      sum = static_cast<unsigned __int128>(t[4]) + carry;
+      t[3] = static_cast<uint64_t>(sum);
+      t[4] = t[5] + static_cast<uint64_t>(sum >> 64);
+      t[5] = 0;
+    }
+    U256 r{{t[0], t[1], t[2], t[3]}};
+    if (t[4] != 0 || CmpU256(r, ctx.modulus) >= 0) {
+      SubU256(r, ctx.modulus, &r);
+    }
+    return r;
+  }
+
+  U256 v_;  // Montgomery form: v_ = x * 2^256 mod p
+};
+
+// Inverts every nonzero element of `xs` in place using Montgomery's batch
+// trick (one field inversion + 3n multiplications). Zero entries stay zero.
+template <typename F>
+void BatchInverse(std::vector<F>* xs) {
+  const size_t n = xs->size();
+  std::vector<F> prefix(n);
+  F acc = F::One();
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!(*xs)[i].IsZero()) {
+      acc *= (*xs)[i];
+    }
+  }
+  F inv = acc.Inverse();
+  for (size_t i = n; i-- > 0;) {
+    if ((*xs)[i].IsZero()) {
+      continue;
+    }
+    F orig = (*xs)[i];
+    (*xs)[i] = inv * prefix[i];
+    inv *= orig;
+  }
+}
+
+}  // namespace zkml
+
+#endif  // SRC_FF_FP_H_

@@ -1,0 +1,109 @@
+#include "src/ff/u256.h"
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+U256 U256::FromHex(const std::string& hex) {
+  std::string s = hex;
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s = s.substr(2);
+  }
+  U256 r;
+  int bit = 0;
+  for (auto it = s.rbegin(); it != s.rend(); ++it, bit += 4) {
+    char c = *it;
+    uint64_t v;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      ZKML_CHECK_MSG(false, "invalid hex digit");
+      v = 0;
+    }
+    ZKML_CHECK_MSG(bit < 256, "hex string too long for U256");
+    r.limbs[bit / 64] |= v << (bit % 64);
+  }
+  return r;
+}
+
+int U256::HighestBit() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs[i] != 0) {
+      return i * 64 + 63 - __builtin_clzll(limbs[i]);
+    }
+  }
+  return -1;
+}
+
+std::string U256::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int i = 3; i >= 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      uint64_t v = (limbs[i] >> (nib * 4)) & 0xf;
+      if (v != 0) {
+        started = true;
+      }
+      if (started) {
+        out.push_back(kDigits[v]);
+      }
+    }
+  }
+  if (!started) {
+    out.push_back('0');
+  }
+  return out;
+}
+
+int CmpU256(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs[i] < b.limbs[i]) {
+      return -1;
+    }
+    if (a.limbs[i] > b.limbs[i]) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+uint64_t AddU256(const U256& a, const U256& b, U256* r) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = carry + a.limbs[i] + b.limbs[i];
+    r->limbs[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+uint64_t SubU256(const U256& a, const U256& b, U256* r) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs[i]) - b.limbs[i] - borrow;
+    r->limbs[i] = static_cast<uint64_t>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+U256 ShrU256(const U256& a, int s) {
+  ZKML_DCHECK(s >= 0 && s < 256);
+  U256 r;
+  const int limb_shift = s / 64;
+  const int bit_shift = s % 64;
+  for (int i = 0; i < 4; ++i) {
+    const int src = i + limb_shift;
+    uint64_t lo = src < 4 ? a.limbs[src] : 0;
+    uint64_t hi = src + 1 < 4 ? a.limbs[src + 1] : 0;
+    r.limbs[i] = bit_shift == 0 ? lo : (lo >> bit_shift) | (hi << (64 - bit_shift));
+  }
+  return r;
+}
+
+}  // namespace zkml

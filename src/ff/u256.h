@@ -1,0 +1,56 @@
+// Raw 256-bit little-endian limb arithmetic. These are the building blocks for
+// the Montgomery field implementation in fp.h; they carry no modular
+// semantics themselves.
+#ifndef SRC_FF_U256_H_
+#define SRC_FF_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace zkml {
+
+struct U256 {
+  // limbs[0] is least significant.
+  uint64_t limbs[4] = {0, 0, 0, 0};
+
+  static U256 Zero() { return U256{}; }
+  static U256 FromU64(uint64_t v) {
+    U256 r;
+    r.limbs[0] = v;
+    return r;
+  }
+  // Parses a big-endian hex string (no 0x prefix required but accepted).
+  static U256 FromHex(const std::string& hex);
+
+  bool IsZero() const {
+    return limbs[0] == 0 && limbs[1] == 0 && limbs[2] == 0 && limbs[3] == 0;
+  }
+  bool IsOdd() const { return (limbs[0] & 1) != 0; }
+
+  bool operator==(const U256& o) const {
+    return limbs[0] == o.limbs[0] && limbs[1] == o.limbs[1] && limbs[2] == o.limbs[2] &&
+           limbs[3] == o.limbs[3];
+  }
+  bool operator!=(const U256& o) const { return !(*this == o); }
+
+  // Index of the highest set bit, or -1 when zero.
+  int HighestBit() const;
+  bool Bit(int i) const { return (limbs[i / 64] >> (i % 64)) & 1; }
+
+  std::string ToHex() const;
+};
+
+// Returns -1, 0, 1 for a < b, a == b, a > b.
+int CmpU256(const U256& a, const U256& b);
+
+// r = a + b; returns the carry-out bit.
+uint64_t AddU256(const U256& a, const U256& b, U256* r);
+// r = a - b; returns the borrow-out bit.
+uint64_t SubU256(const U256& a, const U256& b, U256* r);
+// In-place right shift by s bits (0 <= s < 256).
+U256 ShrU256(const U256& a, int s);
+
+}  // namespace zkml
+
+#endif  // SRC_FF_U256_H_

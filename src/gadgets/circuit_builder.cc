@@ -1,0 +1,857 @@
+#include "src/gadgets/circuit_builder.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/base/check.h"
+
+namespace zkml {
+namespace {
+
+// Floor division (C++ '/' truncates toward zero).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b) != 0 && ((a < 0) != (b < 0))) {
+    --q;
+  }
+  return q;
+}
+
+// round(a / b) = floor((2a + b) / (2b)) for b > 0 (paper §5, VarDiv).
+int64_t RoundDiv(int64_t a, int64_t b) { return FloorDiv(2 * a + b, 2 * b); }
+
+}  // namespace
+
+void CircuitBuilder::SetImplChoice(const ImplChoice& choice) {
+  const GadgetSet& gs = opts_.gadgets;
+  ZKML_CHECK_MSG(!choice.packed_arith || gs.packed_arith, "packed arith not configured");
+  ZKML_CHECK_MSG(!choice.relu_lookup || gs.relu_lookup, "relu lookup table not configured");
+  ZKML_CHECK_MSG(choice.relu_lookup || gs.relu_bits, "relu bit gadget not configured");
+  ZKML_CHECK_MSG(!choice.dot_bias_chaining || !gs.multi_row_dot,
+                 "bias chaining unavailable in multi-row mode");
+  choice_ = choice;
+}
+
+CircuitBuilder::CircuitBuilder(const BuilderOptions& opts)
+    : opts_(opts), choice_(ImplChoice::FromGadgetSet(opts.gadgets)) {
+  const int n = opts_.num_io_columns;
+  ZKML_CHECK_MSG(n >= 4, "need at least 4 io columns");
+  const int64_t sf = opts_.quant.SF();
+  const GadgetSet& gs = opts_.gadgets;
+
+  inst_ = cs_.AddInstanceColumn();
+  io_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    io_.push_back(cs_.AddAdviceColumn(/*equality_enabled=*/true));
+  }
+  const_col_ = cs_.AddFixedColumn();
+  cs_.EnableEquality(const_col_);
+
+  auto q = [](Column c, int32_t rot = 0) { return Expression::Query(c, rot); };
+  auto k = [](int64_t v) { return Expression::Constant(Fr::FromInt64(v)); };
+
+  // --- Lookup tables. ---
+  range_2sf_table_ = cs_.AddFixedColumn();
+  table_rows_ = std::max<size_t>(table_rows_, static_cast<size_t>(2 * sf));
+  const size_t tb_rows = static_cast<size_t>(1) << opts_.quant.table_bits;
+  const bool need_big_range = gs.need_max || gs.need_vardiv;
+  if (need_big_range) {
+    range_big_table_ = cs_.AddFixedColumn();
+    table_rows_ = std::max(table_rows_, tb_rows);
+  }
+  for (NonlinFn fn : gs.nonlin_fns) {
+    if (fn == NonlinFn::kRelu && !gs.relu_lookup) {
+      continue;  // only the bit-decomposition variant is configured
+    }
+    Column tin = cs_.AddFixedColumn();
+    Column tout = cs_.AddFixedColumn();
+    nonlin_tables_[fn] = {tin, tout};
+    table_rows_ = std::max(table_rows_, tb_rows + 1);  // +1: all-zero pad row
+  }
+
+  // --- Dot product / sum gadgets. ---
+  if (gs.multi_row_dot) {
+    // Two-row layout (Table 13 ablation): x row then y row.
+    dot_terms_ = n - 1;
+    dot_bias_terms_ = 0;  // chaining not offered in multi-row mode
+    sel_dot_ = cs_.AddFixedColumn();
+    Expression acc = k(0);
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + q(io_[i], 0) * q(io_[i], 1);
+    }
+    cs_.AddGate("dot2", q(sel_dot_) * (acc - q(io_[n - 1], 1)));
+  } else {
+    dot_terms_ = (n - 1) / 2;
+    dot_bias_terms_ = (n - 2) / 2;
+    sel_dot_ = cs_.AddFixedColumn();
+    {
+      Expression acc = k(0);
+      for (int i = 0; i < dot_terms_; ++i) {
+        acc = acc + q(io_[i]) * q(io_[dot_terms_ + i]);
+      }
+      cs_.AddGate("dot", q(sel_dot_) * (acc - q(io_[2 * dot_terms_])));
+    }
+    sel_dot_bias_ = cs_.AddFixedColumn();
+    {
+      Expression acc = q(io_[2 * dot_bias_terms_]);  // bias slot
+      for (int i = 0; i < dot_bias_terms_; ++i) {
+        acc = acc + q(io_[i]) * q(io_[dot_bias_terms_ + i]);
+      }
+      cs_.AddGate("dot_bias", q(sel_dot_bias_) * (acc - q(io_[2 * dot_bias_terms_ + 1])));
+    }
+  }
+  if (gs.multi_row_sum) {
+    sum_terms_ = 2 * n - 1;
+    sel_sum_ = cs_.AddFixedColumn();
+    Expression acc = k(0);
+    for (int i = 0; i < n; ++i) {
+      acc = acc + q(io_[i], 0);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + q(io_[i], 1);
+    }
+    cs_.AddGate("sum2", q(sel_sum_) * (acc - q(io_[n - 1], 1)));
+  } else {
+    sum_terms_ = n - 1;
+    sel_sum_ = cs_.AddFixedColumn();
+    Expression acc = k(0);
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + q(io_[i]);
+    }
+    cs_.AddGate("sum", q(sel_sum_) * (acc - q(io_[n - 1])));
+  }
+
+  // --- Packed slot gadgets. ---
+  auto add_slot_gadget = [&](SlotKind kind, const char* name, int width,
+                             const std::function<Expression(Column sel, int base)>& gate,
+                             const std::function<std::vector<std::pair<Expression, Column>>(
+                                 Column sel, int base)>& lookups) {
+    SlotSpec spec;
+    spec.selector = cs_.AddFixedColumn();
+    spec.width = width;
+    spec.slots_per_row = n / width;
+    ZKML_CHECK_MSG(spec.slots_per_row >= 1, "io columns too narrow for gadget");
+    for (int s = 0; s < spec.slots_per_row; ++s) {
+      const int base = s * width;
+      cs_.AddGate(std::string(name) + "[" + std::to_string(s) + "]", gate(spec.selector, base));
+      for (auto& [input, table] : lookups(spec.selector, base)) {
+        cs_.AddLookup(std::string(name) + "-lk[" + std::to_string(s) + "]", {input}, {table});
+      }
+    }
+    slots_[kind] = spec;
+  };
+  auto no_lookups = [](Column, int) { return std::vector<std::pair<Expression, Column>>{}; };
+
+  // Rescale is always present: every fixed-point product needs it.
+  // Layout (b, c, r): 2b + SF = 2*SF*c + r with r in [0, 2*SF).
+  add_slot_gadget(
+      SlotKind::kRescale, "rescale", 3,
+      [&](Column sel, int b) {
+        return q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) + k(sf) -
+                         q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 2]));
+      },
+      [&](Column sel, int b) {
+        return std::vector<std::pair<Expression, Column>>{
+            {q(sel) * q(io_[b + 2]), range_2sf_table_}};
+      });
+
+  if (gs.packed_arith) {
+    add_slot_gadget(
+        SlotKind::kAdd, "add", 3,
+        [&](Column sel, int b) { return q(sel) * (q(io_[b]) + q(io_[b + 1]) - q(io_[b + 2])); },
+        no_lookups);
+    add_slot_gadget(
+        SlotKind::kSub, "sub", 3,
+        [&](Column sel, int b) { return q(sel) * (q(io_[b]) - q(io_[b + 1]) - q(io_[b + 2])); },
+        no_lookups);
+    // Mul with fused rounding rescale: 2ab + SF = 2*SF*c + r.
+    add_slot_gadget(
+        SlotKind::kMul, "mul", 4,
+        [&](Column sel, int b) {
+          return q(sel) * ((q(io_[b]) * q(io_[b + 1])).Scale(Fr::FromU64(2)) + k(sf) -
+                           q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 3]));
+        },
+        [&](Column sel, int b) {
+          return std::vector<std::pair<Expression, Column>>{
+              {q(sel) * q(io_[b + 3]), range_2sf_table_}};
+        });
+    if (gs.dedicated_square) {
+      add_slot_gadget(
+          SlotKind::kSquare, "square", 3,
+          [&](Column sel, int b) {
+            return q(sel) * ((q(io_[b]) * q(io_[b])).Scale(Fr::FromU64(2)) + k(sf) -
+                             q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 2]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {q(sel) * q(io_[b + 2]), range_2sf_table_}};
+          });
+    }
+    add_slot_gadget(
+        SlotKind::kSquaredDiff, "sqdiff", 4,
+        [&](Column sel, int b) {
+          Expression d = q(io_[b]) - q(io_[b + 1]);
+          return q(sel) * ((d * d).Scale(Fr::FromU64(2)) + k(sf) -
+                           q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 3]));
+        },
+        [&](Column sel, int b) {
+          return std::vector<std::pair<Expression, Column>>{
+              {q(sel) * q(io_[b + 3]), range_2sf_table_}};
+        });
+  }
+
+  if (gs.need_max) {
+    if (gs.multi_row_max) {
+      // Two-row max: a, b on the first row, c on the second.
+      SlotSpec spec;
+      spec.selector = cs_.AddFixedColumn();
+      spec.width = n;  // consumes whole (double) row
+      spec.slots_per_row = 1;
+      Expression c = q(io_[0], 1);
+      cs_.AddGate("max2", q(spec.selector) * (c - q(io_[0])) * (c - q(io_[1])));
+      cs_.AddLookup("max2-lkA", {q(spec.selector) * (c - q(io_[0]))}, {range_big_table_});
+      cs_.AddLookup("max2-lkB", {q(spec.selector) * (c - q(io_[1]))}, {range_big_table_});
+      slots_[SlotKind::kMax] = spec;
+    } else {
+      add_slot_gadget(
+          SlotKind::kMax, "max", 3,
+          [&](Column sel, int b) {
+            return q(sel) * (q(io_[b + 2]) - q(io_[b])) * (q(io_[b + 2]) - q(io_[b + 1]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {q(sel) * (q(io_[b + 2]) - q(io_[b])), range_big_table_},
+                {q(sel) * (q(io_[b + 2]) - q(io_[b + 1])), range_big_table_}};
+          });
+    }
+  }
+
+  if (gs.need_vardiv) {
+    // Layout (a, b, c, r): 2b + a = 2ac + r, r in [0, 2a).
+    add_slot_gadget(
+        SlotKind::kVarDiv, "vardiv", 4,
+        [&](Column sel, int b) {
+          return q(sel) * (q(io_[b + 1]).Scale(Fr::FromU64(2)) + q(io_[b]) -
+                           (q(io_[b]) * q(io_[b + 2])).Scale(Fr::FromU64(2)) - q(io_[b + 3]));
+        },
+        [&](Column sel, int b) {
+          return std::vector<std::pair<Expression, Column>>{
+              {q(sel) * q(io_[b + 3]), range_big_table_},
+              {q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) - k(1) - q(io_[b + 3])),
+               range_big_table_}};
+        });
+    // Softmax variant: numerator scaled by SF inside the gate (paper §6).
+    add_slot_gadget(
+        SlotKind::kSoftmaxDiv, "softdiv", 4,
+        [&](Column sel, int b) {
+          return q(sel) * (q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) + q(io_[b]) -
+                           (q(io_[b]) * q(io_[b + 2])).Scale(Fr::FromU64(2)) - q(io_[b + 3]));
+        },
+        [&](Column sel, int b) {
+          return std::vector<std::pair<Expression, Column>>{
+              {q(sel) * q(io_[b + 3]), range_big_table_},
+              {q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) - k(1) - q(io_[b + 3])),
+               range_big_table_}};
+        });
+  }
+
+  // --- Pointwise non-linearities. ---
+  nonlin_slots_per_row_ = n / 2;
+  for (auto& [fn, tables] : nonlin_tables_) {
+    Column sel = cs_.AddFixedColumn();
+    sel_nonlin_[fn] = sel;
+    for (int s = 0; s < nonlin_slots_per_row_; ++s) {
+      cs_.AddLookup(NonlinFnName(fn) + "-lk[" + std::to_string(s) + "]",
+                    {q(sel) * q(io_[2 * s]), q(sel) * q(io_[2 * s + 1])},
+                    {tables.first, tables.second});
+    }
+  }
+
+  // --- ReLU via bit decomposition (prior-work style, paper §3). ---
+  if (gs.nonlin_fns.count(NonlinFn::kRelu) != 0 && (gs.relu_bits || !gs.relu_lookup)) {
+    const int nb = opts_.quant.table_bits;
+    SlotSpec spec;
+    spec.selector = cs_.AddFixedColumn();
+    spec.width = nb + 2;
+    spec.slots_per_row = n / spec.width;
+    ZKML_CHECK_MSG(spec.slots_per_row >= 1,
+                   "bit-decomposition ReLU needs table_bits + 2 io columns");
+    for (int s = 0; s < spec.slots_per_row; ++s) {
+      const int b = s * spec.width;
+      // x + 2^{nb-1} - sum_i bit_i 2^i == 0; bits boolean; y == sign_bit * x.
+      Expression recompose = k(int64_t{1} << (nb - 1)) + q(io_[b]);
+      for (int i = 0; i < nb; ++i) {
+        recompose = recompose + q(io_[b + 2 + i]).Scale(Fr::FromInt64(int64_t{1} << i)).Neg();
+      }
+      cs_.AddGate("relu_bits-dec[" + std::to_string(s) + "]", q(spec.selector) * recompose);
+      for (int i = 0; i < nb; ++i) {
+        Expression bit = q(io_[b + 2 + i]);
+        cs_.AddGate("relu_bits-bool[" + std::to_string(s) + "." + std::to_string(i) + "]",
+                    q(spec.selector) * bit * (bit - k(1)));
+      }
+      cs_.AddGate("relu_bits-sel[" + std::to_string(s) + "]",
+                  q(spec.selector) * (q(io_[b + 1]) - q(io_[b + 2 + nb - 1]) * q(io_[b])));
+    }
+    slots_[SlotKind::kReluBits] = spec;
+  }
+
+  // --- Assignment / table contents. ---
+  if (!opts_.estimate_only) {
+    const size_t rows = static_cast<size_t>(1) << opts_.k;
+    ZKML_CHECK_MSG(rows > table_rows_, "grid too small for lookup tables");
+    asn_ = std::make_unique<Assignment>(cs_, rows);
+    for (int64_t v = 0; v < 2 * sf; ++v) {
+      asn_->SetFixed(range_2sf_table_, static_cast<size_t>(v), Fr::FromInt64(v));
+    }
+    if (need_big_range) {
+      for (size_t v = 0; v < tb_rows; ++v) {
+        asn_->SetFixed(range_big_table_, v, Fr::FromU64(v));
+      }
+    }
+    for (auto& [fn, tables] : nonlin_tables_) {
+      for (size_t i = 0; i < tb_rows; ++i) {
+        const int64_t x = static_cast<int64_t>(i) + opts_.quant.TableMin();
+        asn_->SetFixed(tables.first, i, Fr::FromInt64(x));
+        asn_->SetFixed(tables.second, i, Fr::FromInt64(EvalNonlinQ(fn, x, opts_.quant)));
+      }
+      // Row tb_rows stays all-zero: the pad tuple for disabled lookup rows.
+    }
+  }
+}
+
+size_t CircuitBuilder::MinRowsRequired() const {
+  size_t rows = std::max({row_cursor_, table_rows_ + 1, const_cursor_, inst_cursor_});
+  return std::max<size_t>(rows, 2);
+}
+
+size_t CircuitBuilder::NewRow(Column selector) {
+  const size_t row = row_cursor_++;
+  if (asn_ != nullptr) {
+    ZKML_CHECK_MSG(row < asn_->num_rows(), "circuit rows exhausted");
+    asn_->SetFixed(selector, row, Fr::One());
+  }
+  return row;
+}
+
+void CircuitBuilder::Place(Column col, size_t row, const Operand& op) {
+  if (asn_ == nullptr) {
+    return;
+  }
+  asn_->SetAdvice(col, row, Fr::FromInt64(op.q));
+  if (op.has_cell) {
+    asn_->Copy(op.cell, Cell{col, static_cast<uint32_t>(row)});
+  }
+}
+
+Operand CircuitBuilder::Emit(Column col, size_t row, int64_t q) {
+  if (asn_ == nullptr) {
+    return Operand{q, false, Cell{}};
+  }
+  asn_->SetAdvice(col, row, Fr::FromInt64(q));
+  return Operand{q, true, Cell{col, static_cast<uint32_t>(row)}};
+}
+
+void CircuitBuilder::CheckTableRange(int64_t q) const {
+  if (asn_ != nullptr) {
+    ZKML_CHECK_MSG(q >= opts_.quant.TableMin() && q < opts_.quant.TableMax(),
+                   "value escapes lookup-table range; increase table_bits");
+  }
+}
+
+Operand CircuitBuilder::Constant(int64_t q) {
+  auto it = const_cache_.find(q);
+  if (it != const_cache_.end()) {
+    return it->second;
+  }
+  const size_t row = const_cursor_++;
+  Operand op{q, false, Cell{}};
+  if (asn_ != nullptr) {
+    ZKML_CHECK(row < asn_->num_rows());
+    asn_->SetFixed(const_col_, row, Fr::FromInt64(q));
+    op.has_cell = true;
+    op.cell = Cell{const_col_, static_cast<uint32_t>(row)};
+  }
+  const_cache_[q] = op;
+  return op;
+}
+
+Operand CircuitBuilder::AssignSlot(SlotKind kind, size_t row, int slot, const Operand& a,
+                                   const Operand& b, NonlinFn fn) {
+  const SlotSpec& spec = slots_.at(kind);
+  const int base = slot * spec.width;
+  const int64_t sf = opts_.quant.SF();
+  switch (kind) {
+    case SlotKind::kAdd: {
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      return Emit(io_[base + 2], row, a.q + b.q);
+    }
+    case SlotKind::kSub: {
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      return Emit(io_[base + 2], row, a.q - b.q);
+    }
+    case SlotKind::kMul: {
+      const int64_t c = RoundDiv(a.q * b.q, sf);
+      const int64_t r = 2 * a.q * b.q + sf - 2 * sf * c;
+      ZKML_DCHECK(r >= 0 && r < 2 * sf);
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      Operand out = Emit(io_[base + 2], row, c);
+      Emit(io_[base + 3], row, r);
+      return out;
+    }
+    case SlotKind::kSquare: {
+      const int64_t c = RoundDiv(a.q * a.q, sf);
+      const int64_t r = 2 * a.q * a.q + sf - 2 * sf * c;
+      Place(io_[base], row, a);
+      Operand out = Emit(io_[base + 1], row, c);
+      Emit(io_[base + 2], row, r);
+      return out;
+    }
+    case SlotKind::kSquaredDiff: {
+      const int64_t d = a.q - b.q;
+      const int64_t c = RoundDiv(d * d, sf);
+      const int64_t r = 2 * d * d + sf - 2 * sf * c;
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      Operand out = Emit(io_[base + 2], row, c);
+      Emit(io_[base + 3], row, r);
+      return out;
+    }
+    case SlotKind::kRescale: {
+      const int64_t c = RoundDiv(a.q, sf);
+      const int64_t r = 2 * a.q + sf - 2 * sf * c;
+      ZKML_DCHECK(r >= 0 && r < 2 * sf);
+      Place(io_[base], row, a);
+      Operand out = Emit(io_[base + 1], row, c);
+      Emit(io_[base + 2], row, r);
+      return out;
+    }
+    case SlotKind::kMax: {
+      const int64_t c = std::max(a.q, b.q);
+      CheckTableRange(c - a.q);
+      CheckTableRange(c - b.q);
+      if (opts_.gadgets.multi_row_max) {
+        Place(io_[0], row, a);
+        Place(io_[1], row, b);
+        return Emit(io_[0], row + 1, c);
+      }
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      return Emit(io_[base + 2], row, c);
+    }
+    case SlotKind::kVarDiv: {
+      const int64_t denom = a.q;
+      int64_t c = 0;
+      int64_t r = 0;
+      if (denom > 0) {
+        c = RoundDiv(b.q, denom);
+        r = 2 * b.q + denom - 2 * denom * c;
+        ZKML_DCHECK(r >= 0 && r < 2 * denom);
+        CheckTableRange(r);
+        CheckTableRange(2 * denom - 1 - r);
+      } else {
+        ZKML_CHECK_MSG(asn_ == nullptr, "VarDiv by non-positive divisor");
+        r = 2 * b.q + denom;
+      }
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      Operand out = Emit(io_[base + 2], row, c);
+      Emit(io_[base + 3], row, r);
+      return out;
+    }
+    case SlotKind::kSoftmaxDiv: {
+      const int64_t denom = a.q;
+      int64_t c = 0;
+      int64_t r = 0;
+      if (denom > 0) {
+        c = FloorDiv(2 * sf * b.q + denom, 2 * denom);
+        r = 2 * sf * b.q + denom - 2 * denom * c;
+        ZKML_DCHECK(r >= 0 && r < 2 * denom);
+        CheckTableRange(r);
+        CheckTableRange(2 * denom - 1 - r);
+      } else {
+        ZKML_CHECK_MSG(asn_ == nullptr, "SoftmaxDiv by non-positive divisor");
+        r = 2 * sf * b.q + denom;
+      }
+      Place(io_[base], row, a);
+      Place(io_[base + 1], row, b);
+      Operand out = Emit(io_[base + 2], row, c);
+      Emit(io_[base + 3], row, r);
+      return out;
+    }
+    case SlotKind::kReluBits: {
+      const int nb = opts_.quant.table_bits;
+      CheckTableRange(a.q);
+      const int64_t shifted = a.q + (int64_t{1} << (nb - 1));
+      const int64_t y = a.q > 0 ? a.q : 0;
+      Place(io_[base], row, a);
+      Operand out = Emit(io_[base + 1], row, y);
+      for (int i = 0; i < nb; ++i) {
+        Emit(io_[base + 2 + i], row, (shifted >> i) & 1);
+      }
+      return out;
+    }
+  }
+  return Operand{};
+}
+
+std::vector<Operand> CircuitBuilder::RunSlots(
+    SlotKind kind, const std::vector<std::pair<Operand, Operand>>& pairs) {
+  const SlotSpec& spec = slots_.at(kind);
+  std::vector<Operand> out;
+  out.reserve(pairs.size());
+  const Operand zero = Fresh(0);
+  const Operand one = Fresh(1);
+  const bool div_like = kind == SlotKind::kVarDiv || kind == SlotKind::kSoftmaxDiv;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const size_t row = NewRow(spec.selector);
+    if (opts_.gadgets.multi_row_max && kind == SlotKind::kMax) {
+      ++row_cursor_;  // the gadget spans two rows
+    }
+    for (int s = 0; s < spec.slots_per_row; ++s, ++i) {
+      if (i < pairs.size()) {
+        out.push_back(AssignSlot(kind, row, s, pairs[i].first, pairs[i].second));
+      } else {
+        // Neutral filler so the gate on this live row stays satisfied.
+        AssignSlot(kind, row, s, div_like ? one : zero, zero);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Operand> CircuitBuilder::Add(const std::vector<std::pair<Operand, Operand>>& pairs) {
+  if (!choice_.packed_arith) {
+    return AddViaDot(pairs, /*subtract=*/false);
+  }
+  return RunSlots(SlotKind::kAdd, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::Sub(const std::vector<std::pair<Operand, Operand>>& pairs) {
+  if (!choice_.packed_arith) {
+    return AddViaDot(pairs, /*subtract=*/true);
+  }
+  return RunSlots(SlotKind::kSub, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::Mul(const std::vector<std::pair<Operand, Operand>>& pairs) {
+  if (!choice_.packed_arith) {
+    return MulViaDot(pairs);
+  }
+  return RunSlots(SlotKind::kMul, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::Square(const std::vector<Operand>& xs) {
+  std::vector<std::pair<Operand, Operand>> pairs;
+  pairs.reserve(xs.size());
+  for (const Operand& x : xs) {
+    pairs.emplace_back(x, x);
+  }
+  if (!choice_.packed_arith) {
+    return MulViaDot(pairs);
+  }
+  if (!opts_.gadgets.dedicated_square) {
+    return RunSlots(SlotKind::kMul, pairs);
+  }
+  return RunSlots(SlotKind::kSquare, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::SquaredDiff(
+    const std::vector<std::pair<Operand, Operand>>& pairs) {
+  if (!choice_.packed_arith) {
+    // (a-b)^2 = via sub-through-dot then square-through-dot.
+    std::vector<Operand> diffs = AddViaDot(pairs, /*subtract=*/true);
+    std::vector<std::pair<Operand, Operand>> sq;
+    sq.reserve(diffs.size());
+    for (const Operand& d : diffs) {
+      sq.emplace_back(d, d);
+    }
+    return MulViaDot(sq);
+  }
+  return RunSlots(SlotKind::kSquaredDiff, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::Rescale(const std::vector<Operand>& accs) {
+  std::vector<std::pair<Operand, Operand>> pairs;
+  pairs.reserve(accs.size());
+  for (const Operand& a : accs) {
+    pairs.emplace_back(a, Fresh(0));
+  }
+  return RunSlots(SlotKind::kRescale, pairs);
+}
+
+Operand CircuitBuilder::Sum(const std::vector<Operand>& xs) {
+  ZKML_CHECK(!xs.empty());
+  std::vector<Operand> level = xs;
+  while (level.size() > 1) {
+    std::vector<Operand> next;
+    size_t i = 0;
+    while (i < level.size()) {
+      const size_t take = std::min<size_t>(sum_terms_, level.size() - i);
+      if (take == 1) {
+        next.push_back(level[i]);
+        ++i;
+        continue;
+      }
+      int64_t total = 0;
+      if (opts_.gadgets.multi_row_sum) {
+        const size_t row = NewRow(sel_sum_);
+        ++row_cursor_;
+        const int n = opts_.num_io_columns;
+        for (size_t j = 0; j < take; ++j) {
+          total += level[i + j].q;
+          const size_t r = j < static_cast<size_t>(n) ? row : row + 1;
+          const size_t col = j < static_cast<size_t>(n) ? j : j - n;
+          Place(io_[col], r, level[i + j]);
+        }
+        next.push_back(Emit(io_[n - 1], row + 1, total));
+      } else {
+        const size_t row = NewRow(sel_sum_);
+        for (size_t j = 0; j < take; ++j) {
+          total += level[i + j].q;
+          Place(io_[j], row, level[i + j]);
+        }
+        for (size_t j = take; j < static_cast<size_t>(sum_terms_); ++j) {
+          Place(io_[j], row, Fresh(0));
+        }
+        next.push_back(Emit(io_[sum_terms_], row, total));
+      }
+      i += take;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Operand CircuitBuilder::DotProduct(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
+                                   const Operand* bias) {
+  ZKML_CHECK(xs.size() == ys.size() && !xs.empty());
+  if (choice_.dot_bias_chaining && !opts_.gadgets.multi_row_dot) {
+    return DotChained(xs, ys, bias);
+  }
+  return DotWithSumTree(xs, ys, bias);
+}
+
+Operand CircuitBuilder::DotChained(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
+                                   const Operand* bias) {
+  const size_t terms = static_cast<size_t>(dot_bias_terms_);
+  ZKML_CHECK_MSG(bias == nullptr || !bias->has_cell, "bias must be fresh witness");
+  int64_t acc = bias != nullptr ? bias->q * opts_.quant.SF() : 0;
+  Operand b = Fresh(acc);  // bias enters as fresh private witness at SF^2 scale
+  size_t i = 0;
+  while (i < xs.size()) {
+    const size_t take = std::min(terms, xs.size() - i);
+    const size_t row = NewRow(sel_dot_bias_);
+    int64_t z = b.q;
+    for (size_t j = 0; j < take; ++j) {
+      z += xs[i + j].q * ys[i + j].q;
+      Place(io_[j], row, xs[i + j]);
+      Place(io_[terms + j], row, ys[i + j]);
+    }
+    for (size_t j = take; j < terms; ++j) {
+      Place(io_[j], row, Fresh(0));
+      Place(io_[terms + j], row, Fresh(0));
+    }
+    Place(io_[2 * terms], row, b);
+    b = Emit(io_[2 * terms + 1], row, z);
+    i += take;
+  }
+  return b;
+}
+
+Operand CircuitBuilder::DotWithSumTree(const std::vector<Operand>& xs,
+                                       const std::vector<Operand>& ys, const Operand* bias) {
+  const size_t terms = static_cast<size_t>(dot_terms_);
+  const int n = opts_.num_io_columns;
+  std::vector<Operand> partials;
+  size_t i = 0;
+  while (i < xs.size()) {
+    const size_t take = std::min(terms, xs.size() - i);
+    int64_t z = 0;
+    if (opts_.gadgets.multi_row_dot) {
+      const size_t row = NewRow(sel_dot_);
+      ++row_cursor_;
+      for (size_t j = 0; j < take; ++j) {
+        z += xs[i + j].q * ys[i + j].q;
+        Place(io_[j], row, xs[i + j]);
+        Place(io_[j], row + 1, ys[i + j]);
+      }
+      for (size_t j = take; j < terms; ++j) {
+        Place(io_[j], row, Fresh(0));
+        Place(io_[j], row + 1, Fresh(0));
+      }
+      partials.push_back(Emit(io_[n - 1], row + 1, z));
+    } else {
+      const size_t row = NewRow(sel_dot_);
+      for (size_t j = 0; j < take; ++j) {
+        z += xs[i + j].q * ys[i + j].q;
+        Place(io_[j], row, xs[i + j]);
+        Place(io_[terms + j], row, ys[i + j]);
+      }
+      for (size_t j = take; j < terms; ++j) {
+        Place(io_[j], row, Fresh(0));
+        Place(io_[terms + j], row, Fresh(0));
+      }
+      partials.push_back(Emit(io_[2 * terms], row, z));
+    }
+    i += take;
+  }
+  if (bias != nullptr) {
+    ZKML_CHECK_MSG(!bias->has_cell, "bias must be fresh witness");
+    partials.push_back(Fresh(bias->q * opts_.quant.SF()));
+  }
+  if (partials.size() == 1) {
+    return partials[0];
+  }
+  return Sum(partials);
+}
+
+std::vector<Operand> CircuitBuilder::Nonlinearity(NonlinFn fn, const std::vector<Operand>& xs) {
+  if (fn == NonlinFn::kRelu && !choice_.relu_lookup) {
+    return ReluViaBits(xs);
+  }
+  return NonlinearityViaTable(fn, xs);
+}
+
+std::vector<Operand> CircuitBuilder::NonlinearityViaTable(NonlinFn fn,
+                                                          const std::vector<Operand>& xs) {
+  auto sel_it = sel_nonlin_.find(fn);
+  ZKML_CHECK_MSG(sel_it != sel_nonlin_.end(), "non-linearity table not configured");
+  const Column sel = sel_it->second;
+  std::vector<Operand> out;
+  out.reserve(xs.size());
+  size_t i = 0;
+  while (i < xs.size()) {
+    const size_t row = NewRow(sel);
+    for (int s = 0; s < nonlin_slots_per_row_; ++s, ++i) {
+      const Operand x = i < xs.size() ? xs[i] : Fresh(0);
+      CheckTableRange(x.q);
+      const int64_t y = EvalNonlinQ(fn, x.q, opts_.quant);
+      Place(io_[2 * s], row, x);
+      Operand o = Emit(io_[2 * s + 1], row, y);
+      if (i < xs.size()) {
+        out.push_back(o);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Operand> CircuitBuilder::ReluViaBits(const std::vector<Operand>& xs) {
+  std::vector<std::pair<Operand, Operand>> pairs;
+  pairs.reserve(xs.size());
+  for (const Operand& x : xs) {
+    pairs.emplace_back(x, Fresh(0));
+  }
+  return RunSlots(SlotKind::kReluBits, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::MulViaDot(
+    const std::vector<std::pair<Operand, Operand>>& pairs) {
+  std::vector<Operand> raw;
+  raw.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    raw.push_back(DotWithSumTree({a}, {b}, nullptr));
+  }
+  return Rescale(raw);
+}
+
+std::vector<Operand> CircuitBuilder::AddViaDot(
+    const std::vector<std::pair<Operand, Operand>>& pairs, bool subtract) {
+  const Operand one = Constant(1);
+  const Operand sign = subtract ? Constant(-1) : one;
+  std::vector<Operand> out;
+  out.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    out.push_back(DotWithSumTree({a, b}, {one, sign}, nullptr));
+  }
+  return out;
+}
+
+std::vector<Operand> CircuitBuilder::Max(const std::vector<std::pair<Operand, Operand>>& pairs) {
+  return RunSlots(SlotKind::kMax, pairs);
+}
+
+Operand CircuitBuilder::MaxReduce(const std::vector<Operand>& xs) {
+  ZKML_CHECK(!xs.empty());
+  std::vector<Operand> level = xs;
+  while (level.size() > 1) {
+    std::vector<std::pair<Operand, Operand>> pairs;
+    std::optional<Operand> leftover;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      pairs.emplace_back(level[i], level[i + 1]);
+    }
+    if (level.size() % 2 == 1) {
+      leftover = level.back();
+    }
+    level = Max(pairs);
+    if (leftover.has_value()) {
+      level.push_back(*leftover);
+    }
+  }
+  return level[0];
+}
+
+Operand CircuitBuilder::VarDivRound(const Operand& numer, const Operand& denom) {
+  return RunSlots(SlotKind::kVarDiv, {{denom, numer}})[0];
+}
+
+std::vector<Operand> CircuitBuilder::VarDivRoundMany(
+    const std::vector<std::pair<Operand, Operand>>& pairs) {
+  std::vector<std::pair<Operand, Operand>> denom_first;
+  denom_first.reserve(pairs.size());
+  for (const auto& [numer, denom] : pairs) {
+    denom_first.emplace_back(denom, numer);
+  }
+  return RunSlots(SlotKind::kVarDiv, denom_first);
+}
+
+std::vector<Operand> CircuitBuilder::SoftmaxDiv(const std::vector<Operand>& es,
+                                                const Operand& s) {
+  std::vector<std::pair<Operand, Operand>> pairs;
+  pairs.reserve(es.size());
+  for (const Operand& e : es) {
+    pairs.emplace_back(s, e);
+  }
+  return RunSlots(SlotKind::kSoftmaxDiv, pairs);
+}
+
+std::vector<Operand> CircuitBuilder::Softmax(const std::vector<Operand>& xs) {
+  const Operand mx = MaxReduce(xs);
+  std::vector<std::pair<Operand, Operand>> shift_pairs;
+  shift_pairs.reserve(xs.size());
+  for (const Operand& x : xs) {
+    shift_pairs.emplace_back(x, mx);
+  }
+  const std::vector<Operand> shifted = Sub(shift_pairs);
+  const std::vector<Operand> es = Nonlinearity(NonlinFn::kExp, shifted);
+  const Operand s = Sum(es);
+  return SoftmaxDiv(es, s);
+}
+
+Operand CircuitBuilder::PublicInput(int64_t q) {
+  const size_t row = inst_cursor_++;
+  Operand op{q, false, Cell{}};
+  if (asn_ != nullptr) {
+    ZKML_CHECK(row < asn_->num_rows());
+    asn_->SetInstance(inst_, row, Fr::FromInt64(q));
+    op.has_cell = true;
+    op.cell = Cell{inst_, static_cast<uint32_t>(row)};
+  }
+  return op;
+}
+
+void CircuitBuilder::ExposePublic(const Operand& v) {
+  const size_t row = inst_cursor_++;
+  if (asn_ != nullptr) {
+    ZKML_CHECK(row < asn_->num_rows());
+    ZKML_CHECK_MSG(v.has_cell, "only produced cells can be exposed");
+    asn_->SetInstance(inst_, row, Fr::FromInt64(v.q));
+    asn_->Copy(Cell{inst_, static_cast<uint32_t>(row)}, v.cell);
+  }
+}
+
+}  // namespace zkml

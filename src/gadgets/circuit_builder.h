@@ -1,0 +1,193 @@
+// CircuitBuilder: composes low-level gadgets into a Plonkish grid.
+//
+// All gadget gates touch a single row (paper §4.2) unless the multi-row
+// ablation flag is set. The builder runs in two modes sharing one code path:
+//   estimate — counts rows exactly without assigning values (the paper's
+//              "row-exact circuit simulator", §7.3);
+//   assign   — additionally populates an Assignment for keygen/proving.
+// Because both modes execute identical packing logic, simulated row counts
+// equal real row counts by construction.
+#ifndef SRC_GADGETS_CIRCUIT_BUILDER_H_
+#define SRC_GADGETS_CIRCUIT_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/gadgets/gadget_set.h"
+#include "src/plonk/assignment.h"
+#include "src/plonk/constraint_system.h"
+#include "src/tensor/quantizer.h"
+
+namespace zkml {
+
+// A quantized value flowing between gadgets: the integer it represents plus,
+// when it was produced by a gadget, the grid cell holding it (consumers add a
+// copy constraint). Values without a cell are fresh private witness (weights).
+struct Operand {
+  int64_t q = 0;
+  bool has_cell = false;
+  Cell cell;
+};
+
+struct BuilderOptions {
+  int num_io_columns = 10;  // N: the advice columns gadgets lay values in
+  QuantParams quant;
+  GadgetSet gadgets;
+  bool estimate_only = true;
+  int k = 0;  // assign mode: grid has 2^k rows
+};
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(const BuilderOptions& opts);
+
+  CircuitBuilder(const CircuitBuilder&) = delete;
+  CircuitBuilder& operator=(const CircuitBuilder&) = delete;
+
+  static Operand Fresh(int64_t q) { return Operand{q, false, Cell{}}; }
+
+  // Selects among configured gadget variants for subsequent calls (the
+  // optimizer's per-layer implementation choice). The chosen variants must be
+  // configured in the GadgetSet.
+  void SetImplChoice(const ImplChoice& choice);
+  const ImplChoice& impl_choice() const { return choice_; }
+
+  // A cached circuit constant (fixed column + copy constraint).
+  Operand Constant(int64_t q);
+
+  // --- Arithmetic gadgets (Table 4). Batched calls pack row slots densely. --
+  std::vector<Operand> Add(const std::vector<std::pair<Operand, Operand>>& pairs);
+  std::vector<Operand> Sub(const std::vector<std::pair<Operand, Operand>>& pairs);
+  // Fixed-point product with fused rounding rescale: round(a*b / SF).
+  std::vector<Operand> Mul(const std::vector<std::pair<Operand, Operand>>& pairs);
+  std::vector<Operand> Square(const std::vector<Operand>& xs);
+  std::vector<Operand> SquaredDiff(const std::vector<std::pair<Operand, Operand>>& pairs);
+  // Plain sum (no rescale; inputs and output share a scale).
+  Operand Sum(const std::vector<Operand>& xs);
+  // Raw dot product at SF^2 scale (rescale separately); optional bias at SF
+  // scale folded in (scaled to SF^2 internally).
+  Operand DotProduct(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
+                     const Operand* bias);
+  // round(acc / SF): converts an SF^2-scale accumulator back to SF scale.
+  std::vector<Operand> Rescale(const std::vector<Operand>& accs);
+
+  // --- Pointwise non-linearities (lookup tables). ---
+  std::vector<Operand> Nonlinearity(NonlinFn fn, const std::vector<Operand>& xs);
+
+  // --- Specialized gadgets (paper §5). ---
+  std::vector<Operand> Max(const std::vector<std::pair<Operand, Operand>>& pairs);
+  Operand MaxReduce(const std::vector<Operand>& xs);
+  // Variable rounded division round(b / a); a must be positive and in table
+  // range.
+  Operand VarDivRound(const Operand& numer, const Operand& denom);
+  // Batched variant; pairs are (numerator, denominator).
+  std::vector<Operand> VarDivRoundMany(const std::vector<std::pair<Operand, Operand>>& pairs);
+  // Softmax division round(e * SF / s) — numerator pre-scaled by SF to avoid
+  // the catastrophic precision loss described in §6.
+  std::vector<Operand> SoftmaxDiv(const std::vector<Operand>& es, const Operand& s);
+  // The full numerically-stable softmax composition (max shift, scaled exp,
+  // sum, scaled division).
+  std::vector<Operand> Softmax(const std::vector<Operand>& xs);
+
+  // --- Public I/O. ---
+  // Places a public input value in the instance column and returns it as an
+  // operand whose cell gadget rows copy from.
+  Operand PublicInput(int64_t q);
+  void ExposePublic(const Operand& v);
+
+  // --- Introspection / finalization. ---
+  const ConstraintSystem& cs() const { return cs_; }
+  const Assignment& assignment() const { return *asn_; }
+  Column instance_column() const { return inst_; }
+  const QuantParams& quant() const { return opts_.quant; }
+  const BuilderOptions& options() const { return opts_; }
+
+  size_t RowsUsed() const { return row_cursor_; }
+  // Rows the grid must provide: gadget rows, lookup tables (+1 padding row so
+  // the all-zero tuple exists), constants, and instance values.
+  size_t MinRowsRequired() const;
+  size_t NumInstanceRows() const { return inst_cursor_; }
+
+ private:
+  enum class SlotKind {
+    kAdd,
+    kSub,
+    kMul,
+    kSquare,
+    kSquaredDiff,
+    kRescale,
+    kMax,
+    kVarDiv,
+    kSoftmaxDiv,
+    kReluBits,
+  };
+
+  struct SlotSpec {
+    Column selector;
+    int width = 0;       // cells per slot
+    int slots_per_row = 0;
+  };
+
+  size_t NewRow(Column selector);
+  // Writes an operand into (column, row); adds the copy constraint when the
+  // operand carries a producer cell.
+  void Place(Column col, size_t row, const Operand& op);
+  // Writes a computed output and returns it as an operand with a cell.
+  Operand Emit(Column col, size_t row, int64_t q);
+  void CheckTableRange(int64_t q) const;
+
+  // Assigns one slot of a packed gadget row (also used with neutral filler
+  // operands so every slot of a live row satisfies its gate).
+  Operand AssignSlot(SlotKind kind, size_t row, int slot, const Operand& a, const Operand& b,
+                     NonlinFn fn = NonlinFn::kRelu);
+
+  // Generic packed-elementwise driver.
+  std::vector<Operand> RunSlots(SlotKind kind,
+                                const std::vector<std::pair<Operand, Operand>>& pairs);
+
+  std::vector<Operand> NonlinearityViaTable(NonlinFn fn, const std::vector<Operand>& xs);
+  std::vector<Operand> ReluViaBits(const std::vector<Operand>& xs);
+  std::vector<Operand> MulViaDot(const std::vector<std::pair<Operand, Operand>>& pairs);
+  std::vector<Operand> AddViaDot(const std::vector<std::pair<Operand, Operand>>& pairs,
+                                 bool subtract);
+
+  Operand DotChained(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
+                     const Operand* bias);
+  Operand DotWithSumTree(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
+                         const Operand* bias);
+
+  BuilderOptions opts_;
+  ImplChoice choice_;
+  ConstraintSystem cs_;
+  std::unique_ptr<Assignment> asn_;  // null in estimate mode
+
+  Column inst_;
+  std::vector<Column> io_;
+  Column const_col_;
+
+  // Selectors.
+  Column sel_dot_, sel_dot_bias_, sel_sum_;
+  std::map<SlotKind, SlotSpec> slots_;
+  std::map<NonlinFn, Column> sel_nonlin_;
+  std::map<NonlinFn, std::pair<Column, Column>> nonlin_tables_;
+  Column range_2sf_table_;
+  Column range_big_table_;
+  int nonlin_slots_per_row_ = 0;
+
+  size_t row_cursor_ = 0;
+  size_t inst_cursor_ = 0;
+  size_t const_cursor_ = 0;
+  size_t table_rows_ = 0;
+  std::map<int64_t, Operand> const_cache_;
+
+  int dot_terms_ = 0;       // terms per dot-product row
+  int dot_bias_terms_ = 0;  // terms per dot-with-bias row
+  int sum_terms_ = 0;       // addends per sum row
+};
+
+}  // namespace zkml
+
+#endif  // SRC_GADGETS_CIRCUIT_BUILDER_H_

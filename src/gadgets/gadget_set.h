@@ -1,0 +1,75 @@
+// The menu of gadget implementations a circuit is configured with. This is
+// the optimizer's logical-layout search space (paper §7.2): each flag selects
+// between equivalent in-circuit implementations of the same operation, and
+// the same-choice-for-every-layer pruning heuristic means one GadgetSet per
+// candidate plan.
+#ifndef SRC_GADGETS_GADGET_SET_H_
+#define SRC_GADGETS_GADGET_SET_H_
+
+#include <set>
+
+#include "src/gadgets/nonlin.h"
+
+namespace zkml {
+
+// What the circuit *configures* (gates, selectors, tables). Configuring a
+// variant costs columns/lookups even when unused, so the optimizer configures
+// exactly the variants its plan uses.
+struct GadgetSet {
+  // Dedicated packed add/sub/mul/square/squared-diff gates. When false these
+  // operations are emulated with dot-product rows plus rescales — the
+  // "fixed set of gadgets" baseline of Table 11.
+  bool packed_arith = true;
+  // Accumulate long dot products through the bias slot of DotProdBias rows
+  // instead of emitting partial products and a Sum tree (paper §5.2).
+  bool dot_bias_chaining = true;
+  // Configure the (x, relu(x)) lookup table for ReLU.
+  bool relu_lookup = true;
+  // Configure the prior-work bit-decomposition ReLU gadget (paper §3's
+  // example, and the Table 9 baseline). May coexist with relu_lookup.
+  bool relu_bits = false;
+  // Dedicated square gate vs squaring through the mul gate.
+  bool dedicated_square = true;
+  // Lay specific gadgets out across two rows instead of one (Table 13
+  // ablation only): adder (sum), max, and dot-product chips respectively.
+  bool multi_row_sum = false;
+  bool multi_row_max = false;
+  bool multi_row_dot = false;
+
+  bool AnyMultiRow() const { return multi_row_sum || multi_row_max || multi_row_dot; }
+
+  // Which non-linearity tables the circuit needs (derived from the model).
+  std::set<NonlinFn> nonlin_fns;
+  // Max gadget (softmax shift, max-pooling).
+  bool need_max = false;
+  // Variable rounded division (softmax normalization, mean layers).
+  bool need_vardiv = false;
+
+  bool operator==(const GadgetSet& o) const {
+    return packed_arith == o.packed_arith && dot_bias_chaining == o.dot_bias_chaining &&
+           relu_lookup == o.relu_lookup && relu_bits == o.relu_bits &&
+           dedicated_square == o.dedicated_square && multi_row_sum == o.multi_row_sum &&
+           multi_row_max == o.multi_row_max && multi_row_dot == o.multi_row_dot &&
+           nonlin_fns == o.nonlin_fns && need_max == o.need_max && need_vardiv == o.need_vardiv;
+  }
+};
+
+// Which configured variant a particular layer lowering uses. Defaults come
+// from the GadgetSet; the non-pruned optimizer varies these per layer.
+struct ImplChoice {
+  bool packed_arith = true;
+  bool dot_bias_chaining = true;
+  bool relu_lookup = true;
+
+  static ImplChoice FromGadgetSet(const GadgetSet& gs) {
+    ImplChoice c;
+    c.packed_arith = gs.packed_arith;
+    c.dot_bias_chaining = gs.dot_bias_chaining && !gs.multi_row_dot;
+    c.relu_lookup = gs.relu_lookup;
+    return c;
+  }
+};
+
+}  // namespace zkml
+
+#endif  // SRC_GADGETS_GADGET_SET_H_

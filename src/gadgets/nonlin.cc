@@ -1,0 +1,77 @@
+#include "src/gadgets/nonlin.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zkml {
+
+std::string NonlinFnName(NonlinFn fn) {
+  switch (fn) {
+    case NonlinFn::kRelu:
+      return "relu";
+    case NonlinFn::kRelu6:
+      return "relu6";
+    case NonlinFn::kSigmoid:
+      return "sigmoid";
+    case NonlinFn::kTanh:
+      return "tanh";
+    case NonlinFn::kExp:
+      return "exp";
+    case NonlinFn::kGelu:
+      return "gelu";
+    case NonlinFn::kElu:
+      return "elu";
+    case NonlinFn::kSqrt:
+      return "sqrt";
+    case NonlinFn::kRsqrt:
+      return "rsqrt";
+    case NonlinFn::kSiLU:
+      return "silu";
+  }
+  return "?";
+}
+
+double EvalNonlinF(NonlinFn fn, double x) {
+  switch (fn) {
+    case NonlinFn::kRelu:
+      return x > 0 ? x : 0;
+    case NonlinFn::kRelu6:
+      return std::min(std::max(x, 0.0), 6.0);
+    case NonlinFn::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case NonlinFn::kTanh:
+      return std::tanh(x);
+    case NonlinFn::kExp:
+      return std::exp(std::min(x, 16.0));  // clamp against table overflow
+    case NonlinFn::kGelu:
+      return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0)));
+    case NonlinFn::kElu:
+      return x > 0 ? x : std::exp(x) - 1.0;
+    case NonlinFn::kSqrt:
+      return x > 0 ? std::sqrt(x) : 0;
+    case NonlinFn::kRsqrt:
+      return x > 1e-9 ? 1.0 / std::sqrt(x) : 0;
+    case NonlinFn::kSiLU:
+      return x / (1.0 + std::exp(-x));
+  }
+  return 0;
+}
+
+int64_t EvalNonlinQ(NonlinFn fn, int64_t xq, const QuantParams& qp) {
+  const double x = DequantizeValue(xq, qp);
+  const double y = EvalNonlinF(fn, x);
+  // ReLU must be exact in fixed point (identity on non-negatives).
+  if (fn == NonlinFn::kRelu) {
+    return xq > 0 ? xq : 0;
+  }
+  int64_t yq = QuantizeValue(y, qp);
+  // Clamp to the table-representable band so downstream range checks hold.
+  // The rsqrt/exp outputs can exceed it for extreme inputs; both the table
+  // and the witness generator share this clamp, so circuits stay satisfiable.
+  const int64_t bound = (qp.TableMax() << 8) - 1;
+  yq = std::min(yq, bound);
+  yq = std::max(yq, -bound);
+  return yq;
+}
+
+}  // namespace zkml

@@ -1,0 +1,39 @@
+// Pointwise non-linearities (paper §5: "difficult to approximate with
+// polynomial constraints, so performed with lookup tables"). The same
+// quantized evaluation is used to build the in-circuit table and by the
+// witness generator, so prover values match the table exactly.
+#ifndef SRC_GADGETS_NONLIN_H_
+#define SRC_GADGETS_NONLIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/tensor/quantizer.h"
+
+namespace zkml {
+
+enum class NonlinFn : uint8_t {
+  kRelu,
+  kRelu6,
+  kSigmoid,
+  kTanh,
+  kExp,  // scaled exponential used by softmax: exp(x/SF)*SF
+  kGelu,
+  kElu,
+  kSqrt,
+  kRsqrt,
+  kSiLU,
+};
+
+std::string NonlinFnName(NonlinFn fn);
+
+// Quantized evaluation: input and output at scale SF = 2^sf_bits. Outputs are
+// clamped so every table entry fits the circuit's value bound.
+int64_t EvalNonlinQ(NonlinFn fn, int64_t xq, const QuantParams& qp);
+
+// Float reference (for accuracy experiments).
+double EvalNonlinF(NonlinFn fn, double x);
+
+}  // namespace zkml
+
+#endif  // SRC_GADGETS_NONLIN_H_

@@ -1,0 +1,407 @@
+#include "src/layers/lowering.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/model/shape_inference.h"
+
+namespace zkml {
+namespace {
+
+// Quantized weight access helpers.
+struct QuantWeights {
+  std::vector<Tensor<int64_t>> tensors;
+};
+
+Tensor<Operand> LowerConv(CircuitBuilder& cb, const Tensor<Operand>& in,
+                          const Tensor<int64_t>& w, const Tensor<int64_t>& bias, int stride,
+                          int pad, const Shape& out_shape, bool depthwise) {
+  Tensor<Operand> out(out_shape);
+  std::vector<Operand> accs;
+  accs.reserve(static_cast<size_t>(out_shape.NumElements()));
+  const int64_t kh = w.shape().dim(0);
+  const int64_t kw = w.shape().dim(1);
+  const int64_t cin = depthwise ? 1 : w.shape().dim(2);
+  const int64_t h = in.shape().dim(0);
+  const int64_t ww = in.shape().dim(1);
+  for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+    for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+      for (int64_t oc = 0; oc < out_shape.dim(2); ++oc) {
+        std::vector<Operand> xs, ys;
+        xs.reserve(static_cast<size_t>(kh * kw * cin));
+        ys.reserve(xs.capacity());
+        for (int64_t i = 0; i < kh; ++i) {
+          for (int64_t j = 0; j < kw; ++j) {
+            const int64_t ih = oh * stride + i - pad;
+            const int64_t iw = ow * stride + j - pad;
+            if (ih < 0 || iw < 0 || ih >= h || iw >= ww) {
+              continue;  // zero padding contributes nothing
+            }
+            if (depthwise) {
+              xs.push_back(in.at({ih, iw, oc}));
+              ys.push_back(CircuitBuilder::Fresh(w.at({i, j, oc})));
+            } else {
+              for (int64_t c = 0; c < cin; ++c) {
+                xs.push_back(in.at({ih, iw, c}));
+                ys.push_back(CircuitBuilder::Fresh(w.at({i, j, c, oc})));
+              }
+            }
+          }
+        }
+        const Operand b = CircuitBuilder::Fresh(bias.at({oc}));
+        accs.push_back(cb.DotProduct(xs, ys, &b));
+      }
+    }
+  }
+  std::vector<Operand> scaled = cb.Rescale(accs);
+  for (int64_t i = 0; i < out.NumElements(); ++i) {
+    out.flat(i) = scaled[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+std::vector<Operand> TensorOps(const Tensor<Operand>& t) { return t.ToVector(); }
+
+Tensor<Operand> FromVector(const Shape& shape, const std::vector<Operand>& v) {
+  Tensor<Operand> out(shape);
+  for (int64_t i = 0; i < out.NumElements(); ++i) {
+    out.flat(i) = v[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace
+
+GadgetSet GadgetSetForModel(const Model& model) {
+  GadgetSet gs;
+  gs.nonlin_fns = model.UsedNonlinFns();
+  gs.need_max = model.NeedsMax();
+  gs.need_vardiv = model.NeedsVarDiv();
+  return gs;
+}
+
+Tensor<Operand> LowerModel(CircuitBuilder& cb, const Model& model,
+                           const Tensor<int64_t>& input_q,
+                           const std::vector<ImplChoice>* per_op_choices) {
+  ZKML_CHECK(input_q.shape() == model.input_shape);
+  ZKML_CHECK(per_op_choices == nullptr || per_op_choices->size() == model.ops.size());
+  const std::vector<Shape> shapes = InferShapes(model);
+  const QuantParams& qp = model.quant;
+
+  std::vector<Tensor<int64_t>> qweights;
+  qweights.reserve(model.weights.size());
+  for (const Tensor<float>& w : model.weights) {
+    qweights.push_back(QuantizeTensor(w, qp));
+  }
+
+  std::vector<Tensor<Operand>> tensors(static_cast<size_t>(model.num_tensors));
+  {
+    Tensor<Operand> in(model.input_shape);
+    for (int64_t i = 0; i < in.NumElements(); ++i) {
+      in.flat(i) = cb.PublicInput(input_q.flat(i));
+    }
+    tensors[static_cast<size_t>(model.input_tensor)] = std::move(in);
+  }
+
+  for (size_t op_idx = 0; op_idx < model.ops.size(); ++op_idx) {
+    const Op& op = model.ops[op_idx];
+    if (per_op_choices != nullptr) {
+      cb.SetImplChoice((*per_op_choices)[op_idx]);
+    }
+    const Tensor<Operand>& in0 = tensors[static_cast<size_t>(op.inputs[0])];
+    const Shape& out_shape = shapes[static_cast<size_t>(op.output)];
+    Tensor<Operand> out;
+
+    switch (op.type) {
+      case OpType::kConv2D:
+        out = LowerConv(cb, in0, qweights[static_cast<size_t>(op.weights[0])],
+                        qweights[static_cast<size_t>(op.weights[1])], op.attrs.stride,
+                        op.attrs.pad, out_shape, /*depthwise=*/false);
+        break;
+      case OpType::kDepthwiseConv2D:
+        out = LowerConv(cb, in0, qweights[static_cast<size_t>(op.weights[0])],
+                        qweights[static_cast<size_t>(op.weights[1])], op.attrs.stride,
+                        op.attrs.pad, out_shape, /*depthwise=*/true);
+        break;
+      case OpType::kFullyConnected: {
+        const Tensor<int64_t>& w = qweights[static_cast<size_t>(op.weights[0])];
+        const Tensor<int64_t>& bias = qweights[static_cast<size_t>(op.weights[1])];
+        const int64_t in_features = w.shape().dim(1);
+        const int64_t out_features = w.shape().dim(0);
+        const std::vector<Operand> flat = TensorOps(in0);
+        const int64_t batch = static_cast<int64_t>(flat.size()) / in_features;
+        std::vector<Operand> accs;
+        accs.reserve(static_cast<size_t>(batch * out_features));
+        for (int64_t bb = 0; bb < batch; ++bb) {
+          for (int64_t o = 0; o < out_features; ++o) {
+            std::vector<Operand> xs(flat.begin() + bb * in_features,
+                                    flat.begin() + (bb + 1) * in_features);
+            std::vector<Operand> ys;
+            ys.reserve(static_cast<size_t>(in_features));
+            for (int64_t i = 0; i < in_features; ++i) {
+              ys.push_back(CircuitBuilder::Fresh(w.at({o, i})));
+            }
+            const Operand b = CircuitBuilder::Fresh(bias.at({o}));
+            accs.push_back(cb.DotProduct(xs, ys, &b));
+          }
+        }
+        out = FromVector(out_shape, cb.Rescale(accs));
+        break;
+      }
+      case OpType::kBatchMatMul: {
+        const Tensor<Operand>& rhs = tensors[static_cast<size_t>(op.inputs[1])];
+        const Shape& a = in0.shape();
+        const int64_t m = a.dim(a.rank() - 2);
+        const int64_t kk = a.dim(a.rank() - 1);
+        const int64_t nn = out_shape.dim(out_shape.rank() - 1);
+        const int64_t batch = in0.NumElements() / (m * kk);
+        const std::vector<Operand> av = TensorOps(in0);
+        const std::vector<Operand> bv = TensorOps(rhs);
+        std::vector<Operand> accs;
+        accs.reserve(static_cast<size_t>(batch * m * nn));
+        for (int64_t bb = 0; bb < batch; ++bb) {
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < nn; ++j) {
+              std::vector<Operand> xs, ys;
+              xs.reserve(static_cast<size_t>(kk));
+              ys.reserve(static_cast<size_t>(kk));
+              for (int64_t t = 0; t < kk; ++t) {
+                xs.push_back(av[static_cast<size_t>((bb * m + i) * kk + t)]);
+                ys.push_back(op.attrs.transpose_b
+                                 ? bv[static_cast<size_t>((bb * nn + j) * kk + t)]
+                                 : bv[static_cast<size_t>((bb * kk + t) * nn + j)]);
+              }
+              accs.push_back(cb.DotProduct(xs, ys, nullptr));
+            }
+          }
+        }
+        out = FromVector(out_shape, cb.Rescale(accs));
+        break;
+      }
+      case OpType::kAdd:
+      case OpType::kSub:
+      case OpType::kMul:
+      case OpType::kSquaredDifference: {
+        const Tensor<Operand>& rhs = tensors[static_cast<size_t>(op.inputs[1])];
+        const std::vector<Operand> av = TensorOps(in0);
+        const std::vector<Operand> bv = TensorOps(rhs);
+        std::vector<std::pair<Operand, Operand>> pairs;
+        pairs.reserve(av.size());
+        for (size_t i = 0; i < av.size(); ++i) {
+          pairs.emplace_back(av[i], bv[i]);
+        }
+        std::vector<Operand> res;
+        switch (op.type) {
+          case OpType::kAdd:
+            res = cb.Add(pairs);
+            break;
+          case OpType::kSub:
+            res = cb.Sub(pairs);
+            break;
+          case OpType::kMul:
+            res = cb.Mul(pairs);
+            break;
+          default:
+            res = cb.SquaredDiff(pairs);
+        }
+        out = FromVector(out_shape, res);
+        break;
+      }
+      case OpType::kScale: {
+        const Operand factor = cb.Constant(QuantizeValue(op.attrs.scale, qp));
+        const std::vector<Operand> av = TensorOps(in0);
+        std::vector<std::pair<Operand, Operand>> pairs;
+        pairs.reserve(av.size());
+        for (const Operand& x : av) {
+          pairs.emplace_back(x, factor);
+        }
+        out = FromVector(out_shape, cb.Mul(pairs));
+        break;
+      }
+      case OpType::kActivation:
+        out = FromVector(out_shape, cb.Nonlinearity(op.attrs.fn, TensorOps(in0)));
+        break;
+      case OpType::kSoftmax: {
+        const int64_t d = out_shape.dim(out_shape.rank() - 1);
+        const std::vector<Operand> av = TensorOps(in0);
+        std::vector<Operand> res(av.size());
+        const int64_t rows = static_cast<int64_t>(av.size()) / d;
+        for (int64_t r = 0; r < rows; ++r) {
+          std::vector<Operand> row(av.begin() + r * d, av.begin() + (r + 1) * d);
+          std::vector<Operand> sm = cb.Softmax(row);
+          for (int64_t i = 0; i < d; ++i) {
+            res[static_cast<size_t>(r * d + i)] = sm[static_cast<size_t>(i)];
+          }
+        }
+        out = FromVector(out_shape, res);
+        break;
+      }
+      case OpType::kMaxPool2D: {
+        const int p = op.attrs.pool;
+        std::vector<std::vector<Operand>> windows;
+        windows.reserve(static_cast<size_t>(out_shape.NumElements()));
+        for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+          for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+            for (int64_t c = 0; c < out_shape.dim(2); ++c) {
+              std::vector<Operand> win;
+              for (int i = 0; i < p; ++i) {
+                for (int j = 0; j < p; ++j) {
+                  win.push_back(in0.at({oh * p + i, ow * p + j, c}));
+                }
+              }
+              windows.push_back(std::move(win));
+            }
+          }
+        }
+        // Reduce all windows level-by-level so Max slots pack across windows.
+        for (;;) {
+          std::vector<std::pair<Operand, Operand>> pairs;
+          for (const auto& win : windows) {
+            for (size_t i = 0; i + 1 < win.size(); i += 2) {
+              pairs.emplace_back(win[i], win[i + 1]);
+            }
+          }
+          if (pairs.empty()) {
+            break;
+          }
+          std::vector<Operand> maxed = cb.Max(pairs);
+          size_t cursor = 0;
+          for (auto& win : windows) {
+            std::vector<Operand> next;
+            for (size_t i = 0; i + 1 < win.size(); i += 2) {
+              next.push_back(maxed[cursor++]);
+            }
+            if (win.size() % 2 == 1) {
+              next.push_back(win.back());
+            }
+            win = std::move(next);
+          }
+        }
+        std::vector<Operand> res;
+        res.reserve(windows.size());
+        for (const auto& win : windows) {
+          res.push_back(win[0]);
+        }
+        out = FromVector(out_shape, res);
+        break;
+      }
+      case OpType::kAvgPool2D: {
+        const int p = op.attrs.pool;
+        const Operand count = cb.Constant(p * p);
+        std::vector<std::pair<Operand, Operand>> divs;
+        for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+          for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+            for (int64_t c = 0; c < out_shape.dim(2); ++c) {
+              std::vector<Operand> win;
+              for (int i = 0; i < p; ++i) {
+                for (int j = 0; j < p; ++j) {
+                  win.push_back(in0.at({oh * p + i, ow * p + j, c}));
+                }
+              }
+              divs.emplace_back(cb.Sum(win), count);
+            }
+          }
+        }
+        out = FromVector(out_shape, cb.VarDivRoundMany(divs));
+        break;
+      }
+      case OpType::kMean: {
+        const int64_t d = in0.shape().dim(in0.shape().rank() - 1);
+        const Operand count = cb.Constant(d);
+        const std::vector<Operand> av = TensorOps(in0);
+        std::vector<std::pair<Operand, Operand>> divs;
+        for (int64_t r = 0; r < out_shape.NumElements(); ++r) {
+          std::vector<Operand> row(av.begin() + r * d, av.begin() + (r + 1) * d);
+          divs.emplace_back(cb.Sum(row), count);
+        }
+        out = FromVector(out_shape, cb.VarDivRoundMany(divs));
+        break;
+      }
+      case OpType::kLayerNorm: {
+        const Tensor<int64_t>& gamma = qweights[static_cast<size_t>(op.weights[0])];
+        const Tensor<int64_t>& beta = qweights[static_cast<size_t>(op.weights[1])];
+        const int64_t d = out_shape.dim(out_shape.rank() - 1);
+        const Operand count = cb.Constant(d);
+        const std::vector<Operand> av = TensorOps(in0);
+        const int64_t rows = static_cast<int64_t>(av.size()) / d;
+        std::vector<Operand> res(av.size());
+        for (int64_t r = 0; r < rows; ++r) {
+          std::vector<Operand> row(av.begin() + r * d, av.begin() + (r + 1) * d);
+          const Operand mean = cb.VarDivRound(cb.Sum(row), count);
+          std::vector<std::pair<Operand, Operand>> centered_pairs, sq_pairs;
+          for (const Operand& x : row) {
+            centered_pairs.emplace_back(x, mean);
+            sq_pairs.emplace_back(x, mean);
+          }
+          const std::vector<Operand> centered = cb.Sub(centered_pairs);
+          const std::vector<Operand> sq = cb.SquaredDiff(sq_pairs);
+          const Operand var = cb.VarDivRound(cb.Sum(sq), count);
+          const Operand inv = cb.Nonlinearity(NonlinFn::kRsqrt, {var})[0];
+          std::vector<std::pair<Operand, Operand>> norm_pairs;
+          for (const Operand& x : centered) {
+            norm_pairs.emplace_back(x, inv);
+          }
+          std::vector<Operand> normalized = cb.Mul(norm_pairs);
+          std::vector<std::pair<Operand, Operand>> scale_pairs, shift_pairs;
+          for (int64_t i = 0; i < d; ++i) {
+            scale_pairs.emplace_back(normalized[static_cast<size_t>(i)],
+                                     CircuitBuilder::Fresh(gamma.at({i})));
+          }
+          std::vector<Operand> scaled = cb.Mul(scale_pairs);
+          for (int64_t i = 0; i < d; ++i) {
+            shift_pairs.emplace_back(scaled[static_cast<size_t>(i)],
+                                     CircuitBuilder::Fresh(beta.at({i})));
+          }
+          std::vector<Operand> shifted = cb.Add(shift_pairs);
+          for (int64_t i = 0; i < d; ++i) {
+            res[static_cast<size_t>(r * d + i)] = shifted[static_cast<size_t>(i)];
+          }
+        }
+        out = FromVector(out_shape, res);
+        break;
+      }
+      case OpType::kReshape:
+        out = in0.Reshape(out_shape);
+        break;
+      case OpType::kTranspose:
+        out = in0.Transpose(op.attrs.perm);
+        break;
+      case OpType::kPad: {
+        out = Tensor<Operand>(out_shape);
+        const Operand zero = cb.Constant(0);
+        for (int64_t i = 0; i < out.NumElements(); ++i) {
+          out.flat(i) = zero;
+        }
+        const int p = op.attrs.pad;
+        for (int64_t hh = 0; hh < in0.shape().dim(0); ++hh) {
+          for (int64_t wv = 0; wv < in0.shape().dim(1); ++wv) {
+            for (int64_t c = 0; c < in0.shape().dim(2); ++c) {
+              out.at({hh + p, wv + p, c}) = in0.at({hh, wv, c});
+            }
+          }
+        }
+        break;
+      }
+      case OpType::kConcat: {
+        std::vector<Tensor<Operand>> parts;
+        for (int in : op.inputs) {
+          parts.push_back(tensors[static_cast<size_t>(in)]);
+        }
+        out = Tensor<Operand>::Concat(parts, op.attrs.axis);
+        break;
+      }
+      case OpType::kSlice:
+        out = in0.Slice(op.attrs.starts, op.attrs.sizes);
+        break;
+    }
+    tensors[static_cast<size_t>(op.output)] = std::move(out);
+  }
+
+  Tensor<Operand> output = tensors[static_cast<size_t>(model.output_tensor)];
+  for (int64_t i = 0; i < output.NumElements(); ++i) {
+    cb.ExposePublic(output.flat(i));
+  }
+  return output;
+}
+
+}  // namespace zkml

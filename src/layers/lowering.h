@@ -1,0 +1,30 @@
+// Lowers model graph ops to gadget calls on a CircuitBuilder (paper §6). One
+// implementation serves three roles because the builder's estimate mode skips
+// only the grid writes:
+//   * row-exact physical layout simulation (optimizer),
+//   * quantized reference execution (accuracy evaluation),
+//   * witness generation (proving).
+#ifndef SRC_LAYERS_LOWERING_H_
+#define SRC_LAYERS_LOWERING_H_
+
+#include <vector>
+
+#include "src/gadgets/circuit_builder.h"
+#include "src/model/graph.h"
+
+namespace zkml {
+
+// Gadget requirements implied by the model's ops (tables, max, vardiv).
+GadgetSet GadgetSetForModel(const Model& model);
+
+// Lowers the whole model: feeds `input_q` through the instance column,
+// lowers every op, and exposes the output publicly. `per_op_choices`, when
+// given, selects the gadget implementation per op (size must equal
+// model.ops.size()); otherwise the builder's default choice applies to all.
+Tensor<Operand> LowerModel(CircuitBuilder& cb, const Model& model,
+                           const Tensor<int64_t>& input_q,
+                           const std::vector<ImplChoice>* per_op_choices = nullptr);
+
+}  // namespace zkml
+
+#endif  // SRC_LAYERS_LOWERING_H_

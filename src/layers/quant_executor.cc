@@ -1,0 +1,26 @@
+#include "src/layers/quant_executor.h"
+
+#include "src/layers/lowering.h"
+
+namespace zkml {
+
+Tensor<int64_t> RunQuantized(const Model& model, const Tensor<int64_t>& input_q) {
+  BuilderOptions opts;
+  opts.num_io_columns = 16;
+  opts.quant = model.quant;
+  opts.gadgets = GadgetSetForModel(model);
+  opts.estimate_only = true;
+  CircuitBuilder cb(opts);
+  Tensor<Operand> out = LowerModel(cb, model, input_q);
+  Tensor<int64_t> q(out.shape());
+  for (int64_t i = 0; i < out.NumElements(); ++i) {
+    q.flat(i) = out.flat(i).q;
+  }
+  return q;
+}
+
+Tensor<float> RunQuantizedF(const Model& model, const Tensor<float>& input) {
+  return DequantizeTensor(RunQuantized(model, QuantizeTensor(input, model.quant)), model.quant);
+}
+
+}  // namespace zkml

@@ -1,0 +1,19 @@
+// Quantized ("ZKML accuracy") execution: runs the circuit lowering in
+// estimate mode, which computes exactly the fixed-point values the circuit
+// constrains — without any field arithmetic. Used by the Table 8 accuracy
+// experiment and as the expected-output oracle in tests.
+#ifndef SRC_LAYERS_QUANT_EXECUTOR_H_
+#define SRC_LAYERS_QUANT_EXECUTOR_H_
+
+#include "src/model/graph.h"
+
+namespace zkml {
+
+Tensor<int64_t> RunQuantized(const Model& model, const Tensor<int64_t>& input_q);
+
+// Convenience: quantize a float input, run, dequantize.
+Tensor<float> RunQuantizedF(const Model& model, const Tensor<float>& input);
+
+}  // namespace zkml
+
+#endif  // SRC_LAYERS_QUANT_EXECUTOR_H_

@@ -1,0 +1,296 @@
+#include "src/model/float_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/model/shape_inference.h"
+
+namespace zkml {
+namespace {
+
+float PaddedAt(const Tensor<float>& t, int64_t h, int64_t w, int64_t c) {
+  if (h < 0 || w < 0 || h >= t.shape().dim(0) || w >= t.shape().dim(1)) {
+    return 0.0f;
+  }
+  return t.at({h, w, c});
+}
+
+Tensor<float> Conv2D(const Tensor<float>& in, const Tensor<float>& w, const Tensor<float>& bias,
+                     int stride, int pad, const Shape& out_shape) {
+  Tensor<float> out(out_shape);
+  const int64_t kh = w.shape().dim(0);
+  const int64_t kw = w.shape().dim(1);
+  const int64_t cin = w.shape().dim(2);
+  for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+    for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+      for (int64_t oc = 0; oc < out_shape.dim(2); ++oc) {
+        double acc = bias.at({oc});
+        for (int64_t i = 0; i < kh; ++i) {
+          for (int64_t j = 0; j < kw; ++j) {
+            for (int64_t c = 0; c < cin; ++c) {
+              acc += static_cast<double>(
+                         PaddedAt(in, oh * stride + i - pad, ow * stride + j - pad, c)) *
+                     w.at({i, j, c, oc});
+            }
+          }
+        }
+        out.at({oh, ow, oc}) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<float> DepthwiseConv2D(const Tensor<float>& in, const Tensor<float>& w,
+                              const Tensor<float>& bias, int stride, int pad,
+                              const Shape& out_shape) {
+  Tensor<float> out(out_shape);
+  const int64_t kh = w.shape().dim(0);
+  const int64_t kw = w.shape().dim(1);
+  for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+    for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+      for (int64_t c = 0; c < out_shape.dim(2); ++c) {
+        double acc = bias.at({c});
+        for (int64_t i = 0; i < kh; ++i) {
+          for (int64_t j = 0; j < kw; ++j) {
+            acc += static_cast<double>(
+                       PaddedAt(in, oh * stride + i - pad, ow * stride + j - pad, c)) *
+                   w.at({i, j, c});
+          }
+        }
+        out.at({oh, ow, c}) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor<float> RunFloat(const Model& model, const Tensor<float>& input) {
+  ZKML_CHECK(input.shape() == model.input_shape);
+  const std::vector<Shape> shapes = InferShapes(model);
+  std::vector<Tensor<float>> tensors(static_cast<size_t>(model.num_tensors));
+  tensors[static_cast<size_t>(model.input_tensor)] = input;
+
+  for (const Op& op : model.ops) {
+    const Tensor<float>& in0 = tensors[static_cast<size_t>(op.inputs[0])];
+    const Shape& out_shape = shapes[static_cast<size_t>(op.output)];
+    Tensor<float> out;
+    switch (op.type) {
+      case OpType::kConv2D:
+        out = Conv2D(in0, model.weights[static_cast<size_t>(op.weights[0])],
+                     model.weights[static_cast<size_t>(op.weights[1])], op.attrs.stride,
+                     op.attrs.pad, out_shape);
+        break;
+      case OpType::kDepthwiseConv2D:
+        out = DepthwiseConv2D(in0, model.weights[static_cast<size_t>(op.weights[0])],
+                              model.weights[static_cast<size_t>(op.weights[1])], op.attrs.stride,
+                              op.attrs.pad, out_shape);
+        break;
+      case OpType::kFullyConnected: {
+        const Tensor<float>& w = model.weights[static_cast<size_t>(op.weights[0])];
+        const Tensor<float>& bias = model.weights[static_cast<size_t>(op.weights[1])];
+        const int64_t in_features = w.shape().dim(1);
+        const int64_t out_features = w.shape().dim(0);
+        const int64_t batch = in0.NumElements() / in_features;
+        out = Tensor<float>(out_shape);
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t o = 0; o < out_features; ++o) {
+            double acc = bias.at({o});
+            for (int64_t i = 0; i < in_features; ++i) {
+              acc += static_cast<double>(in0.flat(b * in_features + i)) * w.at({o, i});
+            }
+            out.flat(b * out_features + o) = static_cast<float>(acc);
+          }
+        }
+        break;
+      }
+      case OpType::kBatchMatMul: {
+        const Tensor<float>& rhs = tensors[static_cast<size_t>(op.inputs[1])];
+        const Shape& a = in0.shape();
+        const int64_t m = a.dim(a.rank() - 2);
+        const int64_t kk = a.dim(a.rank() - 1);
+        const int64_t n = out_shape.dim(out_shape.rank() - 1);
+        const int64_t batch = in0.NumElements() / (m * kk);
+        out = Tensor<float>(out_shape);
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              double acc = 0;
+              for (int64_t t = 0; t < kk; ++t) {
+                const float av = in0.flat((b * m + i) * kk + t);
+                const float bv = op.attrs.transpose_b ? rhs.flat((b * n + j) * kk + t)
+                                                      : rhs.flat((b * kk + t) * n + j);
+                acc += static_cast<double>(av) * bv;
+              }
+              out.flat((b * m + i) * n + j) = static_cast<float>(acc);
+            }
+          }
+        }
+        break;
+      }
+      case OpType::kAdd:
+      case OpType::kSub:
+      case OpType::kMul:
+      case OpType::kSquaredDifference: {
+        const Tensor<float>& rhs = tensors[static_cast<size_t>(op.inputs[1])];
+        out = Tensor<float>(out_shape);
+        for (int64_t i = 0; i < out.NumElements(); ++i) {
+          const float a = in0.flat(i);
+          const float b = rhs.flat(i);
+          switch (op.type) {
+            case OpType::kAdd:
+              out.flat(i) = a + b;
+              break;
+            case OpType::kSub:
+              out.flat(i) = a - b;
+              break;
+            case OpType::kMul:
+              out.flat(i) = a * b;
+              break;
+            default:
+              out.flat(i) = (a - b) * (a - b);
+          }
+        }
+        break;
+      }
+      case OpType::kScale:
+        out = Tensor<float>(out_shape);
+        for (int64_t i = 0; i < out.NumElements(); ++i) {
+          out.flat(i) = in0.flat(i) * static_cast<float>(op.attrs.scale);
+        }
+        break;
+      case OpType::kActivation:
+        out = Tensor<float>(out_shape);
+        for (int64_t i = 0; i < out.NumElements(); ++i) {
+          out.flat(i) = static_cast<float>(EvalNonlinF(op.attrs.fn, in0.flat(i)));
+        }
+        break;
+      case OpType::kSoftmax: {
+        out = Tensor<float>(out_shape);
+        const int64_t d = out_shape.dim(out_shape.rank() - 1);
+        const int64_t rows = out.NumElements() / d;
+        for (int64_t r = 0; r < rows; ++r) {
+          float mx = in0.flat(r * d);
+          for (int64_t i = 1; i < d; ++i) {
+            mx = std::max(mx, in0.flat(r * d + i));
+          }
+          double denom = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            denom += std::exp(static_cast<double>(in0.flat(r * d + i) - mx));
+          }
+          for (int64_t i = 0; i < d; ++i) {
+            out.flat(r * d + i) =
+                static_cast<float>(std::exp(static_cast<double>(in0.flat(r * d + i) - mx)) / denom);
+          }
+        }
+        break;
+      }
+      case OpType::kMaxPool2D:
+      case OpType::kAvgPool2D: {
+        out = Tensor<float>(out_shape);
+        const int p = op.attrs.pool;
+        for (int64_t oh = 0; oh < out_shape.dim(0); ++oh) {
+          for (int64_t ow = 0; ow < out_shape.dim(1); ++ow) {
+            for (int64_t c = 0; c < out_shape.dim(2); ++c) {
+              if (op.type == OpType::kMaxPool2D) {
+                float mx = in0.at({oh * p, ow * p, c});
+                for (int i = 0; i < p; ++i) {
+                  for (int j = 0; j < p; ++j) {
+                    mx = std::max(mx, in0.at({oh * p + i, ow * p + j, c}));
+                  }
+                }
+                out.at({oh, ow, c}) = mx;
+              } else {
+                double sum = 0;
+                for (int i = 0; i < p; ++i) {
+                  for (int j = 0; j < p; ++j) {
+                    sum += in0.at({oh * p + i, ow * p + j, c});
+                  }
+                }
+                out.at({oh, ow, c}) = static_cast<float>(sum / (p * p));
+              }
+            }
+          }
+        }
+        break;
+      }
+      case OpType::kMean: {
+        out = Tensor<float>(out_shape);
+        const int64_t d = in0.shape().dim(in0.shape().rank() - 1);
+        for (int64_t r = 0; r < out.NumElements(); ++r) {
+          double sum = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            sum += in0.flat(r * d + i);
+          }
+          out.flat(r) = static_cast<float>(sum / d);
+        }
+        break;
+      }
+      case OpType::kLayerNorm: {
+        const Tensor<float>& gamma = model.weights[static_cast<size_t>(op.weights[0])];
+        const Tensor<float>& beta = model.weights[static_cast<size_t>(op.weights[1])];
+        out = Tensor<float>(out_shape);
+        const int64_t d = out_shape.dim(out_shape.rank() - 1);
+        const int64_t rows = out.NumElements() / d;
+        for (int64_t r = 0; r < rows; ++r) {
+          double mean = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            mean += in0.flat(r * d + i);
+          }
+          mean /= d;
+          double var = 0;
+          for (int64_t i = 0; i < d; ++i) {
+            const double diff = in0.flat(r * d + i) - mean;
+            var += diff * diff;
+          }
+          var /= d;
+          const double inv = 1.0 / std::sqrt(var + 1e-5);
+          for (int64_t i = 0; i < d; ++i) {
+            out.flat(r * d + i) = static_cast<float>(
+                (in0.flat(r * d + i) - mean) * inv * gamma.at({i}) + beta.at({i}));
+          }
+        }
+        break;
+      }
+      case OpType::kReshape:
+        out = in0.Reshape(out_shape);
+        break;
+      case OpType::kTranspose:
+        out = in0.Transpose(op.attrs.perm);
+        break;
+      case OpType::kPad: {
+        out = Tensor<float>(out_shape);
+        const int p = op.attrs.pad;
+        for (int64_t i = 0; i < out.NumElements(); ++i) {
+          out.flat(i) = 0.0f;
+        }
+        for (int64_t h = 0; h < in0.shape().dim(0); ++h) {
+          for (int64_t w = 0; w < in0.shape().dim(1); ++w) {
+            for (int64_t c = 0; c < in0.shape().dim(2); ++c) {
+              out.at({h + p, w + p, c}) = in0.at({h, w, c});
+            }
+          }
+        }
+        break;
+      }
+      case OpType::kConcat: {
+        std::vector<Tensor<float>> parts;
+        for (int in : op.inputs) {
+          parts.push_back(tensors[static_cast<size_t>(in)]);
+        }
+        out = Tensor<float>::Concat(parts, op.attrs.axis);
+        break;
+      }
+      case OpType::kSlice:
+        out = in0.Slice(op.attrs.starts, op.attrs.sizes);
+        break;
+    }
+    tensors[static_cast<size_t>(op.output)] = std::move(out);
+  }
+  return tensors[static_cast<size_t>(model.output_tensor)];
+}
+
+}  // namespace zkml

@@ -1,0 +1,14 @@
+// FP32 reference execution of the model graph (the "FP32 accuracy" column of
+// the paper's Table 8).
+#ifndef SRC_MODEL_FLOAT_EXECUTOR_H_
+#define SRC_MODEL_FLOAT_EXECUTOR_H_
+
+#include "src/model/graph.h"
+
+namespace zkml {
+
+Tensor<float> RunFloat(const Model& model, const Tensor<float>& input);
+
+}  // namespace zkml
+
+#endif  // SRC_MODEL_FLOAT_EXECUTOR_H_

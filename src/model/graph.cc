@@ -1,0 +1,130 @@
+#include "src/model/graph.h"
+
+#include "src/base/check.h"
+#include "src/model/shape_inference.h"
+
+namespace zkml {
+
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kConv2D:
+      return "Conv2D";
+    case OpType::kDepthwiseConv2D:
+      return "DepthwiseConv2D";
+    case OpType::kFullyConnected:
+      return "FullyConnected";
+    case OpType::kBatchMatMul:
+      return "BatchMatMul";
+    case OpType::kAdd:
+      return "Add";
+    case OpType::kSub:
+      return "Sub";
+    case OpType::kMul:
+      return "Mul";
+    case OpType::kSquaredDifference:
+      return "SquaredDifference";
+    case OpType::kScale:
+      return "Scale";
+    case OpType::kActivation:
+      return "Activation";
+    case OpType::kSoftmax:
+      return "Softmax";
+    case OpType::kMaxPool2D:
+      return "MaxPool2D";
+    case OpType::kAvgPool2D:
+      return "AvgPool2D";
+    case OpType::kMean:
+      return "Mean";
+    case OpType::kLayerNorm:
+      return "LayerNorm";
+    case OpType::kReshape:
+      return "Reshape";
+    case OpType::kTranspose:
+      return "Transpose";
+    case OpType::kPad:
+      return "Pad";
+    case OpType::kConcat:
+      return "Concat";
+    case OpType::kSlice:
+      return "Slice";
+  }
+  return "?";
+}
+
+std::set<NonlinFn> Model::UsedNonlinFns() const {
+  std::set<NonlinFn> fns;
+  for (const Op& op : ops) {
+    if (op.type == OpType::kActivation) {
+      fns.insert(op.attrs.fn);
+    }
+    if (op.type == OpType::kSoftmax) {
+      fns.insert(NonlinFn::kExp);
+    }
+    if (op.type == OpType::kLayerNorm) {
+      fns.insert(NonlinFn::kRsqrt);
+    }
+  }
+  return fns;
+}
+
+bool Model::NeedsMax() const {
+  for (const Op& op : ops) {
+    if (op.type == OpType::kSoftmax || op.type == OpType::kMaxPool2D) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Model::NeedsVarDiv() const {
+  for (const Op& op : ops) {
+    if (op.type == OpType::kSoftmax || op.type == OpType::kAvgPool2D ||
+        op.type == OpType::kMean || op.type == OpType::kLayerNorm) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t Model::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor<float>& w : weights) {
+    n += w.NumElements();
+  }
+  return n;
+}
+
+int64_t Model::ApproxFlops() const {
+  const std::vector<Shape> shapes = InferShapes(*this);
+  int64_t flops = 0;
+  for (const Op& op : ops) {
+    const Shape& out = shapes[static_cast<size_t>(op.output)];
+    switch (op.type) {
+      case OpType::kConv2D: {
+        const Shape& w = weights[static_cast<size_t>(op.weights[0])].shape();
+        flops += 2 * out.NumElements() * w.dim(0) * w.dim(1) * w.dim(2);
+        break;
+      }
+      case OpType::kDepthwiseConv2D: {
+        const Shape& w = weights[static_cast<size_t>(op.weights[0])].shape();
+        flops += 2 * out.NumElements() * w.dim(0) * w.dim(1);
+        break;
+      }
+      case OpType::kFullyConnected: {
+        const Shape& w = weights[static_cast<size_t>(op.weights[0])].shape();
+        flops += 2 * w.NumElements();
+        break;
+      }
+      case OpType::kBatchMatMul: {
+        const Shape& a = shapes[static_cast<size_t>(op.inputs[0])];
+        flops += 2 * out.NumElements() * a.dim(a.rank() - 1);
+        break;
+      }
+      default:
+        flops += out.NumElements();
+    }
+  }
+  return flops;
+}
+
+}  // namespace zkml

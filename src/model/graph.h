@@ -1,0 +1,94 @@
+// The model IR: a topologically ordered list of tensor ops with float
+// weights, the in-memory equivalent of the paper's tflite input format. Ops
+// map 1:1 onto the layer library (paper §6); the compiler lowers each op to
+// gadget calls.
+#ifndef SRC_MODEL_GRAPH_H_
+#define SRC_MODEL_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/gadgets/nonlin.h"
+#include "src/tensor/quantizer.h"
+#include "src/tensor/tensor.h"
+
+namespace zkml {
+
+enum class OpType : uint8_t {
+  // Linear layers.
+  kConv2D,
+  kDepthwiseConv2D,
+  kFullyConnected,
+  kBatchMatMul,
+  // Arithmetic layers.
+  kAdd,
+  kSub,
+  kMul,
+  kSquaredDifference,
+  kScale,  // multiply by a scalar constant
+  // Activation layers.
+  kActivation,  // attrs.fn
+  kSoftmax,     // along the last axis
+  // Specialized / reduction layers.
+  kMaxPool2D,
+  kAvgPool2D,
+  kMean,       // over the last axis
+  kLayerNorm,  // over the last axis; weights: gamma, beta
+  // Shape layers ("free": lowered to tensor views).
+  kReshape,
+  kTranspose,
+  kPad,     // spatial zero padding on dims 0,1 of an HWC tensor
+  kConcat,
+  kSlice,
+};
+
+const char* OpTypeName(OpType t);
+
+struct OpAttrs {
+  int stride = 1;
+  int pad = 0;   // symmetric spatial padding (conv/pool)
+  int pool = 2;  // pooling window (stride == window)
+  NonlinFn fn = NonlinFn::kRelu;
+  std::vector<int> perm;
+  std::vector<int64_t> new_shape;
+  std::vector<int64_t> starts;
+  std::vector<int64_t> sizes;
+  int axis = 0;
+  double scale = 1.0;
+  bool transpose_b = false;
+};
+
+struct Op {
+  OpType type;
+  std::string name;
+  std::vector<int> inputs;   // tensor ids
+  std::vector<int> weights;  // indices into Model::weights
+  int output = -1;           // tensor id
+  OpAttrs attrs;
+};
+
+struct Model {
+  std::string name;
+  Shape input_shape;
+  int input_tensor = 0;
+  int output_tensor = -1;
+  int num_tensors = 0;
+  std::vector<Op> ops;
+  std::vector<Tensor<float>> weights;
+  QuantParams quant;
+
+  // Which non-linearity tables / specialized gadgets lowering will need.
+  std::set<NonlinFn> UsedNonlinFns() const;
+  bool NeedsMax() const;
+  bool NeedsVarDiv() const;
+
+  int64_t NumParameters() const;
+  // Multiply-accumulate count of the linear layers (roughly the paper's
+  // "Flops" column in Table 5).
+  int64_t ApproxFlops() const;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_MODEL_GRAPH_H_

@@ -1,0 +1,234 @@
+#include "src/model/model_builder.h"
+
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/model/shape_inference.h"
+
+namespace zkml {
+
+ModelBuilder::ModelBuilder(const std::string& name, const Shape& input_shape,
+                           const QuantParams& quant, uint64_t seed)
+    : rng_(seed) {
+  model_.name = name;
+  model_.input_shape = input_shape;
+  model_.quant = quant;
+  model_.input_tensor = 0;
+  model_.num_tensors = 1;
+  shapes_.push_back(input_shape);
+}
+
+int ModelBuilder::Emit(Op op) {
+  op.output = model_.num_tensors++;
+  model_.ops.push_back(std::move(op));
+  // Incremental shape inference: recompute (cheap at these model sizes).
+  shapes_ = InferShapes(model_);
+  return model_.num_tensors - 1;
+}
+
+int ModelBuilder::AddWeight(const Shape& shape, double stddev) {
+  Tensor<float> w(shape);
+  for (int64_t i = 0; i < w.NumElements(); ++i) {
+    w.flat(i) = static_cast<float>(rng_.NextGaussian() * stddev);
+  }
+  model_.weights.push_back(std::move(w));
+  return static_cast<int>(model_.weights.size()) - 1;
+}
+
+int ModelBuilder::Conv2D(int in, int64_t cout, int kernel, int stride, int pad) {
+  const Shape& s = shape(in);
+  const double stddev = 0.6 / std::sqrt(static_cast<double>(kernel * kernel * s.dim(2)));
+  Op op;
+  op.type = OpType::kConv2D;
+  op.name = "conv2d";
+  op.inputs = {in};
+  op.weights = {AddWeight(Shape({kernel, kernel, s.dim(2), cout}), stddev),
+                AddWeight(Shape({cout}), 0.02)};
+  op.attrs.stride = stride;
+  op.attrs.pad = pad;
+  return Emit(op);
+}
+
+int ModelBuilder::DepthwiseConv2D(int in, int kernel, int stride, int pad) {
+  const Shape& s = shape(in);
+  const double stddev = 0.6 / std::sqrt(static_cast<double>(kernel * kernel));
+  Op op;
+  op.type = OpType::kDepthwiseConv2D;
+  op.name = "dwconv2d";
+  op.inputs = {in};
+  op.weights = {AddWeight(Shape({kernel, kernel, s.dim(2)}), stddev),
+                AddWeight(Shape({s.dim(2)}), 0.02)};
+  op.attrs.stride = stride;
+  op.attrs.pad = pad;
+  return Emit(op);
+}
+
+int ModelBuilder::FullyConnected(int in, int64_t out_features) {
+  const Shape& s = shape(in);
+  const int64_t in_features = s.dim(s.rank() - 1);
+  const int64_t flat = s.NumElements();
+  const int64_t eff_in = (s.rank() == 1 || flat == in_features) ? flat : in_features;
+  const double stddev = 0.6 / std::sqrt(static_cast<double>(eff_in));
+  Op op;
+  op.type = OpType::kFullyConnected;
+  op.name = "fc";
+  op.inputs = {in};
+  op.weights = {AddWeight(Shape({out_features, eff_in}), stddev),
+                AddWeight(Shape({out_features}), 0.02)};
+  return Emit(op);
+}
+
+int ModelBuilder::BatchMatMul(int a, int b, bool transpose_b) {
+  Op op;
+  op.type = OpType::kBatchMatMul;
+  op.name = "bmm";
+  op.inputs = {a, b};
+  op.attrs.transpose_b = transpose_b;
+  return Emit(op);
+}
+
+int ModelBuilder::Add(int a, int b) {
+  Op op;
+  op.type = OpType::kAdd;
+  op.name = "add";
+  op.inputs = {a, b};
+  return Emit(op);
+}
+
+int ModelBuilder::Sub(int a, int b) {
+  Op op;
+  op.type = OpType::kSub;
+  op.name = "sub";
+  op.inputs = {a, b};
+  return Emit(op);
+}
+
+int ModelBuilder::Mul(int a, int b) {
+  Op op;
+  op.type = OpType::kMul;
+  op.name = "mul";
+  op.inputs = {a, b};
+  return Emit(op);
+}
+
+int ModelBuilder::SquaredDifference(int a, int b) {
+  Op op;
+  op.type = OpType::kSquaredDifference;
+  op.name = "sqdiff";
+  op.inputs = {a, b};
+  return Emit(op);
+}
+
+int ModelBuilder::Scale(int in, double s) {
+  Op op;
+  op.type = OpType::kScale;
+  op.name = "scale";
+  op.inputs = {in};
+  op.attrs.scale = s;
+  return Emit(op);
+}
+
+int ModelBuilder::Activation(int in, NonlinFn fn) {
+  Op op;
+  op.type = OpType::kActivation;
+  op.name = NonlinFnName(fn);
+  op.inputs = {in};
+  op.attrs.fn = fn;
+  return Emit(op);
+}
+
+int ModelBuilder::Softmax(int in) {
+  Op op;
+  op.type = OpType::kSoftmax;
+  op.name = "softmax";
+  op.inputs = {in};
+  return Emit(op);
+}
+
+int ModelBuilder::MaxPool(int in, int pool) {
+  Op op;
+  op.type = OpType::kMaxPool2D;
+  op.name = "maxpool";
+  op.inputs = {in};
+  op.attrs.pool = pool;
+  return Emit(op);
+}
+
+int ModelBuilder::AvgPool(int in, int pool) {
+  Op op;
+  op.type = OpType::kAvgPool2D;
+  op.name = "avgpool";
+  op.inputs = {in};
+  op.attrs.pool = pool;
+  return Emit(op);
+}
+
+int ModelBuilder::Mean(int in) {
+  Op op;
+  op.type = OpType::kMean;
+  op.name = "mean";
+  op.inputs = {in};
+  return Emit(op);
+}
+
+int ModelBuilder::LayerNorm(int in) {
+  const Shape& s = shape(in);
+  const int64_t d = s.dim(s.rank() - 1);
+  Op op;
+  op.type = OpType::kLayerNorm;
+  op.name = "layernorm";
+  op.inputs = {in};
+  Tensor<float> gamma(Shape({d}));
+  for (int64_t i = 0; i < d; ++i) {
+    gamma.flat(i) = 1.0f;
+  }
+  model_.weights.push_back(std::move(gamma));
+  op.weights = {static_cast<int>(model_.weights.size()) - 1, AddWeight(Shape({d}), 0.02)};
+  return Emit(op);
+}
+
+int ModelBuilder::Reshape(int in, const Shape& new_shape) {
+  ZKML_CHECK(new_shape.NumElements() == shape(in).NumElements());
+  Op op;
+  op.type = OpType::kReshape;
+  op.name = "reshape";
+  op.inputs = {in};
+  op.attrs.new_shape = new_shape.dims();
+  return Emit(op);
+}
+
+int ModelBuilder::Transpose(int in, const std::vector<int>& perm) {
+  Op op;
+  op.type = OpType::kTranspose;
+  op.name = "transpose";
+  op.inputs = {in};
+  op.attrs.perm = perm;
+  return Emit(op);
+}
+
+int ModelBuilder::Concat(const std::vector<int>& ins, int axis) {
+  Op op;
+  op.type = OpType::kConcat;
+  op.name = "concat";
+  op.inputs = ins;
+  op.attrs.axis = axis;
+  return Emit(op);
+}
+
+int ModelBuilder::Slice(int in, const std::vector<int64_t>& starts,
+                        const std::vector<int64_t>& sizes) {
+  Op op;
+  op.type = OpType::kSlice;
+  op.name = "slice";
+  op.inputs = {in};
+  op.attrs.starts = starts;
+  op.attrs.sizes = sizes;
+  return Emit(op);
+}
+
+Model ModelBuilder::Finish(int output) {
+  model_.output_tensor = output;
+  return model_;
+}
+
+}  // namespace zkml

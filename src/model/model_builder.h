@@ -1,0 +1,55 @@
+// Fluent construction of model graphs with synthetic (deterministic) weight
+// initialization — the stand-in for loading trained tflite checkpoints.
+#ifndef SRC_MODEL_MODEL_BUILDER_H_
+#define SRC_MODEL_MODEL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/model/graph.h"
+
+namespace zkml {
+
+class ModelBuilder {
+ public:
+  ModelBuilder(const std::string& name, const Shape& input_shape, const QuantParams& quant,
+               uint64_t seed);
+
+  int input() const { return model_.input_tensor; }
+  const Shape& shape(int tensor) const { return shapes_[static_cast<size_t>(tensor)]; }
+
+  int Conv2D(int in, int64_t cout, int kernel, int stride, int pad);
+  int DepthwiseConv2D(int in, int kernel, int stride, int pad);
+  int FullyConnected(int in, int64_t out_features);
+  int BatchMatMul(int a, int b, bool transpose_b);
+  int Add(int a, int b);
+  int Sub(int a, int b);
+  int Mul(int a, int b);
+  int SquaredDifference(int a, int b);
+  int Scale(int in, double s);
+  int Activation(int in, NonlinFn fn);
+  int Softmax(int in);
+  int MaxPool(int in, int pool);
+  int AvgPool(int in, int pool);
+  int Mean(int in);
+  int LayerNorm(int in);
+  int Reshape(int in, const Shape& new_shape);
+  int Transpose(int in, const std::vector<int>& perm);
+  int Concat(const std::vector<int>& ins, int axis);
+  int Slice(int in, const std::vector<int64_t>& starts, const std::vector<int64_t>& sizes);
+
+  Model Finish(int output);
+
+ private:
+  int Emit(Op op);
+  int AddWeight(const Shape& shape, double stddev);
+
+  Model model_;
+  std::vector<Shape> shapes_;
+  Rng rng_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_MODEL_MODEL_BUILDER_H_

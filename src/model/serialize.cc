@@ -1,0 +1,170 @@
+#include "src/model/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/check.h"
+
+namespace zkml {
+namespace {
+
+// Grammar (line oriented):
+//   model <name> quant <sf_bits> <table_bits>
+//   input <rank> <dims...>
+//   tensors <num_tensors> output <output_tensor>
+//   weight <rank> <dims...> <values...>
+//   op <type> name <name> in <n> <ids...> w <n> <ids...> out <id> \
+//      attrs <stride> <pad> <pool> <fn> <axis> <scale> <tb> \
+//      perm <n> <...> shape <n> <...> starts <n> <...> sizes <n> <...>
+
+void WriteInts(std::ostringstream& out, const std::vector<int64_t>& v) {
+  out << v.size();
+  for (int64_t x : v) {
+    out << ' ' << x;
+  }
+}
+
+std::vector<int64_t> ReadInts(std::istringstream& in) {
+  size_t n = 0;
+  ZKML_CHECK(static_cast<bool>(in >> n));
+  std::vector<int64_t> v(n);
+  for (int64_t& x : v) {
+    ZKML_CHECK(static_cast<bool>(in >> x));
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string SerializeModel(const Model& model) {
+  std::ostringstream out;
+  out.precision(9);
+  out << "model " << model.name << " quant " << model.quant.sf_bits << ' '
+      << model.quant.table_bits << '\n';
+  out << "input ";
+  WriteInts(out, model.input_shape.dims());
+  out << '\n';
+  out << "tensors " << model.num_tensors << " output " << model.output_tensor << '\n';
+  for (const Tensor<float>& w : model.weights) {
+    out << "weight ";
+    WriteInts(out, w.shape().dims());
+    for (int64_t i = 0; i < w.NumElements(); ++i) {
+      out << ' ' << w.flat(i);
+    }
+    out << '\n';
+  }
+  for (const Op& op : model.ops) {
+    out << "op " << static_cast<int>(op.type) << " name " << op.name << " in ";
+    std::vector<int64_t> ins(op.inputs.begin(), op.inputs.end());
+    WriteInts(out, ins);
+    out << " w ";
+    std::vector<int64_t> ws(op.weights.begin(), op.weights.end());
+    WriteInts(out, ws);
+    out << " out " << op.output;
+    out << " attrs " << op.attrs.stride << ' ' << op.attrs.pad << ' ' << op.attrs.pool << ' '
+        << static_cast<int>(op.attrs.fn) << ' ' << op.attrs.axis << ' ' << op.attrs.scale << ' '
+        << (op.attrs.transpose_b ? 1 : 0);
+    out << " perm ";
+    std::vector<int64_t> perm(op.attrs.perm.begin(), op.attrs.perm.end());
+    WriteInts(out, perm);
+    out << " shape ";
+    WriteInts(out, op.attrs.new_shape);
+    out << " starts ";
+    WriteInts(out, op.attrs.starts);
+    out << " sizes ";
+    WriteInts(out, op.attrs.sizes);
+    out << '\n';
+  }
+  return out.str();
+}
+
+Model DeserializeModel(const std::string& text) {
+  Model model;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    if (tag == "model") {
+      std::string quant_tag;
+      ZKML_CHECK(static_cast<bool>(in >> model.name >> quant_tag >> model.quant.sf_bits >>
+                                   model.quant.table_bits));
+      ZKML_CHECK(quant_tag == "quant");
+    } else if (tag == "input") {
+      model.input_shape = Shape(ReadInts(in));
+    } else if (tag == "tensors") {
+      std::string out_tag;
+      ZKML_CHECK(static_cast<bool>(in >> model.num_tensors >> out_tag >> model.output_tensor));
+      ZKML_CHECK(out_tag == "output");
+    } else if (tag == "weight") {
+      Shape shape(ReadInts(in));
+      Tensor<float> w(shape);
+      for (int64_t i = 0; i < w.NumElements(); ++i) {
+        ZKML_CHECK(static_cast<bool>(in >> w.flat(i)));
+      }
+      model.weights.push_back(std::move(w));
+    } else if (tag == "op") {
+      Op op;
+      int type = 0;
+      std::string kw;
+      ZKML_CHECK(static_cast<bool>(in >> type >> kw >> op.name));
+      op.type = static_cast<OpType>(type);
+      ZKML_CHECK(kw == "name");
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "in");
+      for (int64_t id : ReadInts(in)) {
+        op.inputs.push_back(static_cast<int>(id));
+      }
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "w");
+      for (int64_t id : ReadInts(in)) {
+        op.weights.push_back(static_cast<int>(id));
+      }
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "out");
+      ZKML_CHECK(static_cast<bool>(in >> op.output));
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "attrs");
+      int fn = 0;
+      int transpose_b = 0;
+      ZKML_CHECK(static_cast<bool>(in >> op.attrs.stride >> op.attrs.pad >> op.attrs.pool >>
+                                   fn >> op.attrs.axis >> op.attrs.scale >> transpose_b));
+      op.attrs.fn = static_cast<NonlinFn>(fn);
+      op.attrs.transpose_b = transpose_b != 0;
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "perm");
+      for (int64_t p : ReadInts(in)) {
+        op.attrs.perm.push_back(static_cast<int>(p));
+      }
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "shape");
+      op.attrs.new_shape = ReadInts(in);
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "starts");
+      op.attrs.starts = ReadInts(in);
+      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "sizes");
+      op.attrs.sizes = ReadInts(in);
+      model.ops.push_back(std::move(op));
+    } else {
+      ZKML_CHECK_MSG(false, ("unknown line tag: " + tag).c_str());
+    }
+  }
+  return model;
+}
+
+bool SaveModelToFile(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << SerializeModel(model);
+  return static_cast<bool>(out);
+}
+
+Model LoadModelFromFile(const std::string& path) {
+  std::ifstream in(path);
+  ZKML_CHECK_MSG(static_cast<bool>(in), ("cannot open model file: " + path).c_str());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeModel(buffer.str());
+}
+
+}  // namespace zkml

@@ -1,0 +1,23 @@
+// Text serialization of model graphs + weights: the stand-in for the tflite
+// model format the paper's transpiler consumes (§8). The format is
+// line-oriented and human-diffable; see serialize.cc for the grammar.
+#ifndef SRC_MODEL_SERIALIZE_H_
+#define SRC_MODEL_SERIALIZE_H_
+
+#include <string>
+
+#include "src/model/graph.h"
+
+namespace zkml {
+
+std::string SerializeModel(const Model& model);
+
+// Parses a serialized model; aborts (ZKML_CHECK) on malformed input.
+Model DeserializeModel(const std::string& text);
+
+bool SaveModelToFile(const Model& model, const std::string& path);
+Model LoadModelFromFile(const std::string& path);
+
+}  // namespace zkml
+
+#endif  // SRC_MODEL_SERIALIZE_H_

@@ -1,0 +1,101 @@
+#include "src/model/shape_inference.h"
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+std::vector<Shape> InferShapes(const Model& model) {
+  std::vector<Shape> shapes(static_cast<size_t>(model.num_tensors));
+  shapes[static_cast<size_t>(model.input_tensor)] = model.input_shape;
+  for (const Op& op : model.ops) {
+    const Shape& in0 = shapes[static_cast<size_t>(op.inputs[0])];
+    Shape out;
+    switch (op.type) {
+      case OpType::kConv2D: {
+        const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+        const int64_t oh = (in0.dim(0) + 2 * op.attrs.pad - w.dim(0)) / op.attrs.stride + 1;
+        const int64_t ow = (in0.dim(1) + 2 * op.attrs.pad - w.dim(1)) / op.attrs.stride + 1;
+        out = Shape({oh, ow, w.dim(3)});
+        break;
+      }
+      case OpType::kDepthwiseConv2D: {
+        const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+        const int64_t oh = (in0.dim(0) + 2 * op.attrs.pad - w.dim(0)) / op.attrs.stride + 1;
+        const int64_t ow = (in0.dim(1) + 2 * op.attrs.pad - w.dim(1)) / op.attrs.stride + 1;
+        out = Shape({oh, ow, in0.dim(2)});
+        break;
+      }
+      case OpType::kFullyConnected: {
+        const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+        ZKML_CHECK_MSG(in0.NumElements() % w.dim(1) == 0, "FC input size mismatch");
+        if (in0.NumElements() == w.dim(1)) {
+          out = Shape({w.dim(0)});
+        } else {
+          // Batched: apply along the last axis.
+          std::vector<int64_t> dims = in0.dims();
+          dims.back() = w.dim(0);
+          out = Shape(dims);
+        }
+        break;
+      }
+      case OpType::kBatchMatMul: {
+        const Shape& b = shapes[static_cast<size_t>(op.inputs[1])];
+        std::vector<int64_t> dims = in0.dims();
+        dims.back() = op.attrs.transpose_b ? b.dim(b.rank() - 2) : b.dim(b.rank() - 1);
+        out = Shape(dims);
+        break;
+      }
+      case OpType::kAdd:
+      case OpType::kSub:
+      case OpType::kMul:
+      case OpType::kSquaredDifference:
+      case OpType::kScale:
+      case OpType::kActivation:
+      case OpType::kSoftmax:
+      case OpType::kLayerNorm:
+        out = in0;
+        break;
+      case OpType::kMaxPool2D:
+      case OpType::kAvgPool2D:
+        out = Shape({in0.dim(0) / op.attrs.pool, in0.dim(1) / op.attrs.pool, in0.dim(2)});
+        break;
+      case OpType::kMean: {
+        std::vector<int64_t> dims = in0.dims();
+        dims.pop_back();
+        out = Shape(dims);
+        break;
+      }
+      case OpType::kReshape:
+        out = Shape(op.attrs.new_shape);
+        break;
+      case OpType::kTranspose: {
+        std::vector<int64_t> dims(op.attrs.perm.size());
+        for (size_t i = 0; i < op.attrs.perm.size(); ++i) {
+          dims[i] = in0.dim(op.attrs.perm[i]);
+        }
+        out = Shape(dims);
+        break;
+      }
+      case OpType::kPad:
+        out = Shape({in0.dim(0) + 2 * op.attrs.pad, in0.dim(1) + 2 * op.attrs.pad, in0.dim(2)});
+        break;
+      case OpType::kConcat: {
+        std::vector<int64_t> dims = in0.dims();
+        int64_t total = 0;
+        for (int in : op.inputs) {
+          total += shapes[static_cast<size_t>(in)].dim(op.attrs.axis);
+        }
+        dims[static_cast<size_t>(op.attrs.axis)] = total;
+        out = Shape(dims);
+        break;
+      }
+      case OpType::kSlice:
+        out = Shape(op.attrs.sizes);
+        break;
+    }
+    shapes[static_cast<size_t>(op.output)] = out;
+  }
+  return shapes;
+}
+
+}  // namespace zkml

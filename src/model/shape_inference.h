@@ -1,0 +1,19 @@
+// Static shape inference over the model graph, shared by the executors, the
+// compiler, and the flop accounting.
+#ifndef SRC_MODEL_SHAPE_INFERENCE_H_
+#define SRC_MODEL_SHAPE_INFERENCE_H_
+
+#include <vector>
+
+#include "src/model/graph.h"
+
+namespace zkml {
+
+struct Model;
+
+// Returns the shape of every tensor id in the model.
+std::vector<Shape> InferShapes(const Model& model);
+
+}  // namespace zkml
+
+#endif  // SRC_MODEL_SHAPE_INFERENCE_H_

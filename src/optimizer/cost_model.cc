@@ -1,0 +1,166 @@
+#include "src/optimizer/cost_model.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/rng.h"
+#include "src/base/timer.h"
+#include "src/ec/g1.h"
+#include "src/poly/domain.h"
+
+namespace zkml {
+
+HardwareProfile HardwareProfile::Measure(int measured_max_k) {
+  HardwareProfile hw;
+  Rng rng(2024);
+
+  // Field multiplication throughput.
+  {
+    Fr a = Fr::Random(rng);
+    Fr b = Fr::Random(rng);
+    const int iters = 200000;
+    Timer t;
+    for (int i = 0; i < iters; ++i) {
+      a = a * b;
+    }
+    hw.field_mul_seconds_ = t.ElapsedSeconds() / iters;
+    if (a.IsZero()) {  // defeat dead-code elimination
+      hw.field_mul_seconds_ += 1e-12;
+    }
+  }
+
+  // FFT timings.
+  for (int k = 8; k <= measured_max_k; k += 2) {
+    EvaluationDomain dom(k);
+    std::vector<Fr> coeffs(dom.size());
+    for (Fr& c : coeffs) {
+      c = Fr::Random(rng);
+    }
+    Timer t;
+    auto evals = dom.FftFromCoeffs(coeffs);
+    hw.fft_seconds_[k] = t.ElapsedSeconds();
+  }
+
+  // MSM timings (the dominant primitive).
+  {
+    const int max_msm_k = std::min(measured_max_k, 12);
+    std::vector<G1Affine> bases = DeriveGenerators(7, static_cast<size_t>(1) << max_msm_k);
+    for (int k = 8; k <= max_msm_k; k += 2) {
+      const size_t n = static_cast<size_t>(1) << k;
+      std::vector<G1Affine> b(bases.begin(), bases.begin() + n);
+      std::vector<Fr> scalars(n);
+      for (Fr& s : scalars) {
+        s = Fr::Random(rng);
+      }
+      Timer t;
+      G1 r = Msm(b, scalars);
+      hw.msm_seconds_[k] = t.ElapsedSeconds();
+      if (r.IsIdentity()) {
+        hw.msm_seconds_[k] += 1e-12;
+      }
+    }
+  }
+
+  // Lookup construction (multiplicity hashing) timings.
+  for (int k = 8; k <= measured_max_k; k += 2) {
+    const size_t n = static_cast<size_t>(1) << k;
+    std::vector<Fr> table(n);
+    for (Fr& v : table) {
+      v = Fr::Random(rng);
+    }
+    Timer t;
+    std::unordered_map<std::string, size_t> first;
+    first.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      const U256 c = table[i].ToCanonical();
+      first.emplace(std::string(reinterpret_cast<const char*>(c.limbs), 32), i);
+    }
+    hw.lookup_seconds_[k] = t.ElapsedSeconds();
+  }
+  return hw;
+}
+
+const HardwareProfile& HardwareProfile::Cached() {
+  static const HardwareProfile hw = Measure();
+  return hw;
+}
+
+double HardwareProfile::Lookup(const std::map<int, double>& table, int k,
+                               double log_factor) const {
+  if (table.empty()) {
+    return 0;
+  }
+  auto it = table.find(k);
+  if (it != table.end()) {
+    return it->second;
+  }
+  // Scale from the closest measured size: time ~ n * (1 + log_factor*log n).
+  auto measure_cost = [&](int kk) {
+    const double n = std::pow(2.0, kk);
+    return n * (1.0 + log_factor * kk);
+  };
+  auto lo = table.begin();
+  auto hi = std::prev(table.end());
+  const auto& ref = k < lo->first ? *lo : (k > hi->first ? *hi : *table.lower_bound(k));
+  return ref.second * measure_cost(k) / measure_cost(ref.first);
+}
+
+double HardwareProfile::FftSeconds(int k) const { return Lookup(fft_seconds_, k, 1.0); }
+double HardwareProfile::MsmSeconds(int k) const { return Lookup(msm_seconds_, k, 0.0); }
+double HardwareProfile::LookupBuildSeconds(int k) const { return Lookup(lookup_seconds_, k, 0.0); }
+
+CostEstimate EstimateProvingCost(const PhysicalLayout& layout, const HardwareProfile& hw,
+                                 PcsKind backend) {
+  CostEstimate est;
+  const int k = layout.k;
+  const int d = layout.max_degree;
+  const int k_ext = k + layout.ext_k;  // k' = k + ceil(log2(d_max - 1))
+
+  // Eq. (2): n_FFT = N_i + N_a + 3*N_lk + ceil(N_pm / (d-2)).
+  const size_t perm_term = layout.num_perm == 0
+                               ? 0
+                               : (layout.num_perm + static_cast<size_t>(d) - 3) /
+                                     (static_cast<size_t>(d) - 2);
+  est.n_ffts = layout.num_instance + layout.num_advice + 3 * layout.num_lookups + perm_term;
+  const size_t n_fft_ext = est.n_ffts + 1;
+
+  // Eq. (1).
+  est.fft_seconds = static_cast<double>(est.n_ffts) * hw.FftSeconds(k) +
+                    static_cast<double>(n_fft_ext) * hw.FftSeconds(k_ext);
+
+  // MSM schedule: n_FFT + d - 1 for KZG, one more for IPA.
+  est.n_msms = est.n_ffts + static_cast<size_t>(d) - 1 + (backend == PcsKind::kIpa ? 1 : 0);
+  est.msm_seconds = static_cast<double>(est.n_msms) * hw.MsmSeconds(k);
+
+  // Residual: lookup construction plus gate evaluation on the extended domain.
+  const double ext_n = std::pow(2.0, k_ext);
+  est.residual_seconds = static_cast<double>(layout.num_lookups) * hw.LookupBuildSeconds(k) +
+                         static_cast<double>(layout.num_gates + 3 * layout.num_lookups +
+                                             2 * layout.num_perm) *
+                             ext_n * hw.field_mul_seconds() * 3.0;
+
+  est.total_seconds = est.fft_seconds + est.msm_seconds + est.residual_seconds;
+  return est;
+}
+
+size_t EstimateProofSize(const PhysicalLayout& layout, PcsKind backend) {
+  const size_t ext_factor = static_cast<size_t>(1) << layout.ext_k;
+  const size_t commitments =
+      layout.num_advice + 3 * layout.num_lookups + layout.num_perm_chunks + ext_factor;
+  // Evaluations: every committed poly opened at least once, plus rotated
+  // openings for lookups/permutation, plus fixed-column evaluations.
+  const size_t evals = layout.num_advice + layout.num_fixed + layout.num_perm +
+                       4 * layout.num_lookups + 2 * layout.num_perm_chunks + ext_factor;
+  size_t opening_bytes;
+  const size_t groups = 2;  // rotations {0, +1}
+  if (backend == PcsKind::kKzg) {
+    opening_bytes = groups * 33;
+  } else {
+    const size_t rounds = static_cast<size_t>(layout.k);
+    opening_bytes = groups * (4 + rounds * 2 * 33 + 32);
+  }
+  return commitments * 33 + evals * 32 + opening_bytes;
+}
+
+}  // namespace zkml

@@ -1,0 +1,153 @@
+#include "src/optimizer/optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/timer.h"
+
+namespace zkml {
+namespace {
+
+bool ModelUsesRelu(const GadgetSet& base) {
+  return base.nonlin_fns.count(NonlinFn::kRelu) != 0;
+}
+
+bool ModelUsesSquare(const Model& model) {
+  for (const Op& op : model.ops) {
+    if (op.type == OpType::kSquaredDifference || op.type == OpType::kLayerNorm) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Logical layouts (paper §7.2): candidate gadget-implementation assignments,
+// one GadgetSet per candidate under the same-impl-per-layer heuristic.
+std::vector<GadgetSet> GenerateLogicalLayouts(const Model& model) {
+  const GadgetSet base = GadgetSetForModel(model);
+  std::vector<GadgetSet> out;
+  for (bool chaining : {true, false}) {
+    for (int relu_variant = 0; relu_variant < (ModelUsesRelu(base) ? 2 : 1); ++relu_variant) {
+      for (int square_variant = 0; square_variant < (ModelUsesSquare(model) ? 2 : 1);
+           ++square_variant) {
+        GadgetSet gs = base;
+        gs.packed_arith = true;
+        gs.dot_bias_chaining = chaining;
+        gs.relu_lookup = relu_variant == 0;
+        gs.relu_bits = relu_variant == 1;
+        gs.dedicated_square = square_variant == 0;
+        out.push_back(gs);
+      }
+    }
+  }
+  return out;
+}
+
+double Score(const RankedLayout& r, OptimizerOptions::Objective objective) {
+  return objective == OptimizerOptions::Objective::kProvingTime
+             ? r.cost.total_seconds
+             : static_cast<double>(r.proof_size_bytes);
+}
+
+}  // namespace
+
+OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
+                               const OptimizerOptions& options) {
+  Timer timer;
+  OptimizerResult result;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&](const GadgetSet& gs, int n_cols,
+                      const std::vector<ImplChoice>* per_op) -> double {
+    PhysicalLayout layout = SimulateLayout(model, gs, n_cols, per_op);
+    ++result.plans_evaluated;
+    if (layout.k > options.max_k) {
+      return std::numeric_limits<double>::infinity();
+    }
+    RankedLayout ranked;
+    ranked.layout = std::move(layout);
+    ranked.cost = EstimateProvingCost(ranked.layout, hw, options.backend);
+    ranked.proof_size_bytes = EstimateProofSize(ranked.layout, options.backend);
+    const double score = Score(ranked, options.objective);
+    if (score < best_score) {
+      best_score = score;
+      result.best = ranked;
+    }
+    result.all.push_back(std::move(ranked));
+    return score;
+  };
+
+  for (const GadgetSet& gs : GenerateLogicalLayouts(model)) {
+    // The floor on k for this gadget set: even at maximum width, the grid
+    // cannot shrink below its lookup tables (and residual gadget rows).
+    int k_floor = 0;
+    if (options.prune) {
+      const int widest = std::max(options.max_columns,
+                                  gs.relu_bits ? model.quant.table_bits + 2 : 0);
+      k_floor = SimulateLayout(model, gs, widest, nullptr).k;
+      ++result.plans_evaluated;
+    }
+    int rising_streak = 0;
+    double prev_score = std::numeric_limits<double>::infinity();
+    for (int n = options.min_columns; n <= options.max_columns; ++n) {
+      if (gs.relu_bits && n < model.quant.table_bits + 2) {
+        continue;  // bit-decomposition ReLU does not fit this row width
+      }
+      const double score = evaluate(gs, n, nullptr);
+      // Column-sweep pruning: once k has hit its floor, widening the grid
+      // only adds columns/lookups, so a sustained cost rise is final.
+      if (options.prune) {
+        if (score >= prev_score) {
+          if (++rising_streak >= 4 && !result.all.empty() &&
+              result.all.back().layout.k <= k_floor) {
+            break;
+          }
+        } else {
+          rising_streak = 0;
+        }
+        prev_score = score;
+      }
+    }
+  }
+
+  if (!options.prune && !result.all.empty()) {
+    // Without the same-impl-per-layer heuristic: explore per-layer deviations
+    // around the uniform optimum, under a gadget configuration that has both
+    // variants available.
+    const PhysicalLayout base = result.best.layout;
+    GadgetSet union_gs = base.gadgets;
+    union_gs.dot_bias_chaining = true;
+    if (ModelUsesRelu(union_gs) && base.num_columns >= model.quant.table_bits + 2) {
+      union_gs.relu_lookup = true;
+      union_gs.relu_bits = true;
+    }
+    const ImplChoice uniform = ImplChoice::FromGadgetSet(base.gadgets);
+    std::vector<ImplChoice> per_op(model.ops.size(), uniform);
+    for (size_t i = 0; i < model.ops.size(); ++i) {
+      for (int flip = 0; flip < 3; ++flip) {
+        ImplChoice alt = uniform;
+        if (flip == 0) {
+          alt.dot_bias_chaining = !alt.dot_bias_chaining;
+        } else if (flip == 1) {
+          alt.packed_arith = !alt.packed_arith;
+          if (!union_gs.packed_arith && alt.packed_arith) {
+            continue;
+          }
+        } else {
+          if (!(union_gs.relu_lookup && union_gs.relu_bits)) {
+            continue;
+          }
+          alt.relu_lookup = !alt.relu_lookup;
+        }
+        per_op[i] = alt;
+        evaluate(union_gs, base.num_columns, &per_op);
+        per_op[i] = uniform;
+      }
+    }
+  }
+
+  result.optimizer_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zkml

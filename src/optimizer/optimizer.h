@@ -1,0 +1,47 @@
+// ZKML's circuit-layout optimizer (paper §7, Algorithm 1): enumerate logical
+// layouts (gadget implementation choices), instantiate physical layouts per
+// column count with the row-exact simulator, and pick the layout the cost
+// model ranks cheapest for the target backend and objective.
+#ifndef SRC_OPTIMIZER_OPTIMIZER_H_
+#define SRC_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/optimizer/cost_model.h"
+
+namespace zkml {
+
+struct OptimizerOptions {
+  PcsKind backend = PcsKind::kKzg;
+  int min_columns = 8;
+  int max_columns = 40;
+  // Largest grid the trusted setup supports (paper: 2^28; scaled down here).
+  int max_k = 20;
+  // Heuristic pruning (paper §7.2): same implementation for every layer, and
+  // early exit from the column sweep once cost is provably rising. When off,
+  // the optimizer additionally explores per-layer implementation deviations.
+  bool prune = true;
+  enum class Objective { kProvingTime, kProofSize };
+  Objective objective = Objective::kProvingTime;
+};
+
+struct RankedLayout {
+  PhysicalLayout layout;
+  CostEstimate cost;
+  size_t proof_size_bytes = 0;
+};
+
+struct OptimizerResult {
+  RankedLayout best;
+  size_t plans_evaluated = 0;
+  double optimizer_seconds = 0;
+  // Every evaluated plan (for the §9.5 rank-correlation experiment).
+  std::vector<RankedLayout> all;
+};
+
+OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
+                               const OptimizerOptions& options);
+
+}  // namespace zkml
+
+#endif  // SRC_OPTIMIZER_OPTIMIZER_H_

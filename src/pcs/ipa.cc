@@ -1,0 +1,249 @@
+#include "src/pcs/ipa.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace zkml {
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool ReadU32(const std::vector<uint8_t>& in, size_t* offset, uint32_t* v) {
+  if (*offset + 4 > in.size()) {
+    return false;
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(in[*offset + i]) << (8 * i);
+  }
+  *offset += 4;
+  return true;
+}
+
+void AppendPoint(std::vector<uint8_t>* out, const G1Affine& p) {
+  const auto bytes = p.Serialize();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+bool ReadPoint(const std::vector<uint8_t>& in, size_t* offset, G1Affine* p) {
+  if (*offset + 33 > in.size()) {
+    return false;
+  }
+  if (!G1Affine::Deserialize(in.data() + *offset, p)) {
+    return false;
+  }
+  *offset += 33;
+  return true;
+}
+
+void AppendFrBytes(std::vector<uint8_t>* out, const Fr& x) {
+  const U256 c = x.ToCanonical();
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out->push_back(static_cast<uint8_t>(c.limbs[i] >> (8 * b)));
+    }
+  }
+}
+
+bool ReadFrBytes(const std::vector<uint8_t>& in, size_t* offset, Fr* x) {
+  if (*offset + 32 > in.size()) {
+    return false;
+  }
+  U256 c;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int b = 0; b < 8; ++b) {
+      limb |= static_cast<uint64_t>(in[*offset + i * 8 + b]) << (8 * b);
+    }
+    c.limbs[i] = limb;
+  }
+  *offset += 32;
+  if (CmpU256(c, FrParams::Modulus()) >= 0) {
+    return false;
+  }
+  *x = Fr::FromCanonical(c);
+  return true;
+}
+
+}  // namespace
+
+IpaSetup IpaSetup::Create(size_t max_len, uint64_t seed) {
+  const size_t n = NextPow2(max_len);
+  IpaSetup setup;
+  std::vector<G1Affine> pts = DeriveGenerators(seed, n + 1);
+  setup.u = pts.back();
+  pts.pop_back();
+  setup.g = std::move(pts);
+  return setup;
+}
+
+PcsCommitment IpaPcs::Commit(const std::vector<Fr>& coeffs) const {
+  ZKML_CHECK_MSG(coeffs.size() <= setup_->g.size(), "polynomial exceeds IPA setup");
+  std::vector<G1Affine> bases(setup_->g.begin(), setup_->g.begin() + coeffs.size());
+  return PcsCommitment{Msm(bases, coeffs).ToAffine()};
+}
+
+void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
+                       Transcript* transcript, std::vector<uint8_t>* proof_out) const {
+  ZKML_CHECK(!polys.empty());
+  const Fr v = transcript->ChallengeFr("ipa-batch-v");
+  size_t max_size = 1;
+  for (const auto* p : polys) {
+    max_size = std::max(max_size, p->size());
+  }
+  const size_t n = NextPow2(max_size);
+  ZKML_CHECK(n <= setup_->g.size());
+
+  std::vector<Fr> a(n, Fr::Zero());
+  Fr vi = Fr::One();
+  for (const auto* p : polys) {
+    for (size_t i = 0; i < p->size(); ++i) {
+      a[i] += (*p)[i] * vi;
+    }
+    vi *= v;
+  }
+  // b = (1, z, z^2, ...): the evaluation claim is <a, b> = y.
+  std::vector<Fr> b(n);
+  b[0] = Fr::One();
+  for (size_t i = 1; i < n; ++i) {
+    b[i] = b[i - 1] * point;
+  }
+
+  AppendU32(proof_out, static_cast<uint32_t>(n));
+  std::vector<G1Affine> g(setup_->g.begin(), setup_->g.begin() + n);
+  const G1 u = G1::FromAffine(setup_->u);
+
+  size_t len = n;
+  while (len > 1) {
+    const size_t half = len / 2;
+    std::vector<G1Affine> g_lo(g.begin(), g.begin() + half);
+    std::vector<G1Affine> g_hi(g.begin() + half, g.begin() + len);
+    std::vector<Fr> a_lo(a.begin(), a.begin() + half);
+    std::vector<Fr> a_hi(a.begin() + half, a.begin() + len);
+
+    Fr cross_l = Fr::Zero();
+    Fr cross_r = Fr::Zero();
+    for (size_t i = 0; i < half; ++i) {
+      cross_l += a_lo[i] * b[half + i];
+      cross_r += a_hi[i] * b[i];
+    }
+    const G1Affine l = (Msm(g_hi, a_lo) + u.ScalarMul(cross_l)).ToAffine();
+    const G1Affine r = (Msm(g_lo, a_hi) + u.ScalarMul(cross_r)).ToAffine();
+    transcript->AppendPoint("ipa-l", l);
+    transcript->AppendPoint("ipa-r", r);
+    AppendPoint(proof_out, l);
+    AppendPoint(proof_out, r);
+
+    const Fr ch = transcript->ChallengeFr("ipa-u");
+    const Fr ch_inv = ch.Inverse();
+
+    // Fold: a' = a_lo*ch + a_hi*ch_inv; b' = b_lo*ch_inv + b_hi*ch;
+    //       g' = g_lo*ch_inv + g_hi*ch.
+    for (size_t i = 0; i < half; ++i) {
+      a[i] = a_lo[i] * ch + a_hi[i] * ch_inv;
+      b[i] = b[i] * ch_inv + b[half + i] * ch;
+      g[i] = (G1::FromAffine(g_lo[i]).ScalarMul(ch_inv) + G1::FromAffine(g_hi[i]).ScalarMul(ch))
+                 .ToAffine();
+    }
+    len = half;
+  }
+  transcript->AppendFr("ipa-a", a[0]);
+  AppendFrBytes(proof_out, a[0]);
+}
+
+bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                         const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                         const std::vector<uint8_t>& proof, size_t* offset) const {
+  if (commitments.size() != evals.size() || commitments.empty()) {
+    return false;
+  }
+  const Fr v = transcript->ChallengeFr("ipa-batch-v");
+  uint32_t n32 = 0;
+  if (!ReadU32(proof, offset, &n32)) {
+    return false;
+  }
+  const size_t n = n32;
+  if (n == 0 || (n & (n - 1)) != 0 || n > setup_->g.size()) {
+    return false;
+  }
+  int rounds = 0;
+  for (size_t t = n; t > 1; t >>= 1) {
+    ++rounds;
+  }
+
+  // Fold the batch claim: P = sum v^i C_i + y*·U with y* = sum v^i y_i.
+  G1 p_acc;
+  Fr y_star = Fr::Zero();
+  Fr vi = Fr::One();
+  for (size_t i = 0; i < commitments.size(); ++i) {
+    p_acc += G1::FromAffine(commitments[i].point).ScalarMul(vi);
+    y_star += evals[i] * vi;
+    vi *= v;
+  }
+  const G1 u = G1::FromAffine(setup_->u);
+  p_acc += u.ScalarMul(y_star);
+
+  std::vector<Fr> challenges(rounds);
+  for (int j = 0; j < rounds; ++j) {
+    G1Affine l, r;
+    if (!ReadPoint(proof, offset, &l) || !ReadPoint(proof, offset, &r)) {
+      return false;
+    }
+    transcript->AppendPoint("ipa-l", l);
+    transcript->AppendPoint("ipa-r", r);
+    const Fr ch = transcript->ChallengeFr("ipa-u");
+    challenges[j] = ch;
+    const Fr ch_inv = ch.Inverse();
+    p_acc += G1::FromAffine(l).ScalarMul(ch.Square());
+    p_acc += G1::FromAffine(r).ScalarMul(ch_inv.Square());
+  }
+  Fr a_final;
+  if (!ReadFrBytes(proof, offset, &a_final)) {
+    return false;
+  }
+  transcript->AppendFr("ipa-a", a_final);
+
+  // s_i = prod over rounds of ch^{+1} if the round's bit of i is set else
+  // ch^{-1}; G_final = <s, G>, b_final = <s^{-1}, b>.
+  std::vector<Fr> s(n, Fr::One());
+  for (int j = 0; j < rounds; ++j) {
+    const Fr ch = challenges[j];
+    const Fr ch_inv = ch.Inverse();
+    // Round j folds blocks of size n >> j; indices in the upper half of a
+    // block take the ch factor, the lower half ch^{-1}.
+    const size_t block = n >> j;
+    for (size_t i = 0; i < n; ++i) {
+      const bool hi = (i % block) >= block / 2;
+      s[i] *= hi ? ch : ch_inv;
+    }
+  }
+  std::vector<G1Affine> g(setup_->g.begin(), setup_->g.begin() + n);
+  const G1 g_final = Msm(g, s);
+
+  // b folds with the same orientation as G (see OpenBatch), so b_final uses
+  // the same s vector: b_final = sum_i s_i * z^i.
+  Fr b_final = Fr::Zero();
+  Fr zi = Fr::One();
+  for (size_t i = 0; i < n; ++i) {
+    b_final += s[i] * zi;
+    zi *= point;
+  }
+
+  const G1 lhs = g_final.ScalarMul(a_final) + u.ScalarMul(a_final * b_final);
+  return p_acc == lhs;
+}
+
+}  // namespace zkml

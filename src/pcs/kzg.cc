@@ -1,0 +1,94 @@
+#include "src/pcs/kzg.h"
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+#include "src/poly/polynomial.h"
+
+namespace zkml {
+
+KzgSetup KzgSetup::Create(size_t max_len, uint64_t seed) {
+  Rng rng(seed);
+  KzgSetup setup;
+  setup.tau = Fr::Random(rng);
+  setup.powers.resize(max_len);
+  // powers[i] = tau^i * G, scalar-multiplied in parallel. Setup cost is
+  // excluded from benchmarks (the real system downloads ceremony output).
+  std::vector<Fr> tau_pows(max_len);
+  Fr tau_i = Fr::One();
+  for (size_t i = 0; i < max_len; ++i) {
+    tau_pows[i] = tau_i;
+    tau_i *= setup.tau;
+  }
+  const G1 g = G1::Generator();
+  ParallelFor(0, max_len, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      setup.powers[i] = g.ScalarMul(tau_pows[i]).ToAffine();
+    }
+  });
+  return setup;
+}
+
+PcsCommitment KzgPcs::Commit(const std::vector<Fr>& coeffs) const {
+  ZKML_CHECK_MSG(coeffs.size() <= setup_->powers.size(), "polynomial exceeds KZG setup");
+  std::vector<G1Affine> bases(setup_->powers.begin(), setup_->powers.begin() + coeffs.size());
+  return PcsCommitment{Msm(bases, coeffs).ToAffine()};
+}
+
+void KzgPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
+                       Transcript* transcript, std::vector<uint8_t>* proof_out) const {
+  ZKML_CHECK(!polys.empty());
+  const Fr v = transcript->ChallengeFr("kzg-batch-v");
+  size_t max_size = 0;
+  for (const auto* p : polys) {
+    max_size = std::max(max_size, p->size());
+  }
+  std::vector<Fr> combined(max_size, Fr::Zero());
+  Fr vi = Fr::One();
+  for (const auto* p : polys) {
+    for (size_t i = 0; i < p->size(); ++i) {
+      combined[i] += (*p)[i] * vi;
+    }
+    vi *= v;
+  }
+  Fr y;
+  Poly quotient = Poly(std::move(combined)).DivideByLinear(point, &y);
+  const PcsCommitment w = Commit(quotient.coeffs());
+  transcript->AppendPoint("kzg-w", w.point);
+  const auto bytes = w.point.Serialize();
+  proof_out->insert(proof_out->end(), bytes.begin(), bytes.end());
+}
+
+bool KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                         const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                         const std::vector<uint8_t>& proof, size_t* offset) const {
+  if (commitments.size() != evals.size() || commitments.empty()) {
+    return false;
+  }
+  const Fr v = transcript->ChallengeFr("kzg-batch-v");
+  if (*offset + 33 > proof.size()) {
+    return false;
+  }
+  G1Affine w;
+  if (!G1Affine::Deserialize(proof.data() + *offset, &w)) {
+    return false;
+  }
+  *offset += 33;
+  transcript->AppendPoint("kzg-w", w);
+
+  // C* = sum v^i C_i, y* = sum v^i y_i.
+  G1 c_star;
+  Fr y_star = Fr::Zero();
+  Fr vi = Fr::One();
+  for (size_t i = 0; i < commitments.size(); ++i) {
+    c_star += G1::FromAffine(commitments[i].point).ScalarMul(vi);
+    y_star += evals[i] * vi;
+    vi *= v;
+  }
+  // Pairing check simulated in the exponent (see header comment):
+  //   C* - y*·G == (tau - z)·W.
+  const G1 lhs = c_star - G1::Generator().ScalarMul(y_star);
+  const G1 rhs = G1::FromAffine(w).ScalarMul(setup_->tau - point);
+  return lhs == rhs;
+}
+
+}  // namespace zkml

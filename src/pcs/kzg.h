@@ -1,0 +1,49 @@
+// KZG polynomial commitments over BN254 G1.
+//
+// SUBSTITUTION (see DESIGN.md §2): the original verifier checks the opening
+// equation e(C - y·G, H) = e(W, (tau - z)·H) with a pairing. Implementing the
+// BN254 pairing (Fp12 tower, Miller loop) from scratch offline is out of
+// scope, so our verifier — which in this repo also generated the local,
+// insecure trusted setup — checks the *same relation in the exponent* using
+// the trapdoor: C - y·G == (tau - z)·W. Prover work, proof bytes, and
+// verification asymptotics are identical to the pairing-based check.
+#ifndef SRC_PCS_KZG_H_
+#define SRC_PCS_KZG_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/pcs/pcs.h"
+
+namespace zkml {
+
+struct KzgSetup {
+  std::vector<G1Affine> powers;  // tau^i * G for i < max_len
+  Fr tau;                        // trapdoor, used only by the simulated pairing check
+
+  // Local (insecure, test/benchmark-only) setup. The real system uses the
+  // Perpetual Powers of Tau ceremony output.
+  static KzgSetup Create(size_t max_len, uint64_t seed);
+};
+
+class KzgPcs : public Pcs {
+ public:
+  explicit KzgPcs(std::shared_ptr<const KzgSetup> setup) : setup_(std::move(setup)) {}
+
+  PcsKind kind() const override { return PcsKind::kKzg; }
+  size_t max_len() const override { return setup_->powers.size(); }
+
+  PcsCommitment Commit(const std::vector<Fr>& coeffs) const override;
+  void OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
+                 Transcript* transcript, std::vector<uint8_t>* proof_out) const override;
+  bool VerifyBatch(const std::vector<PcsCommitment>& commitments, const std::vector<Fr>& evals,
+                   const Fr& point, Transcript* transcript, const std::vector<uint8_t>& proof,
+                   size_t* offset) const override;
+
+ private:
+  std::shared_ptr<const KzgSetup> setup_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PCS_KZG_H_

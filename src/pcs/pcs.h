@@ -1,0 +1,51 @@
+// Polynomial commitment scheme interface shared by the KZG and IPA backends.
+// The PLONK prover/verifier is written against this interface so a circuit
+// can be proven under either commitment scheme, as in the paper's Tables 6/7.
+#ifndef SRC_PCS_PCS_H_
+#define SRC_PCS_PCS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/ec/g1.h"
+#include "src/ff/fields.h"
+#include "src/transcript/transcript.h"
+
+namespace zkml {
+
+enum class PcsKind { kKzg, kIpa };
+
+struct PcsCommitment {
+  G1Affine point;
+
+  bool operator==(const PcsCommitment& o) const { return point == o.point; }
+};
+
+// A batch of polynomials opened at one point. `polys` are coefficient vectors.
+class Pcs {
+ public:
+  virtual ~Pcs() = default;
+
+  virtual PcsKind kind() const = 0;
+  // Maximum number of coefficients a committed polynomial may have.
+  virtual size_t max_len() const = 0;
+
+  virtual PcsCommitment Commit(const std::vector<Fr>& coeffs) const = 0;
+
+  // Proves the evaluations of `polys` at `point`. The caller must already
+  // have absorbed the claimed evaluations into `transcript`; the RLC batching
+  // challenge is drawn from it here. Proof bytes are appended to `proof_out`.
+  virtual void OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
+                         Transcript* transcript, std::vector<uint8_t>* proof_out) const = 0;
+
+  // Verifier side. Consumes bytes from proof[*offset...] and advances
+  // *offset. Returns false on any mismatch or malformed input.
+  virtual bool VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                           const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                           const std::vector<uint8_t>& proof, size_t* offset) const = 0;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PCS_PCS_H_

@@ -1,0 +1,49 @@
+#include "src/plonk/assignment.h"
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+Assignment::Assignment(const ConstraintSystem& cs, size_t num_rows)
+    : num_rows_(num_rows),
+      instance_(cs.num_instance_columns(), std::vector<Fr>(num_rows, Fr::Zero())),
+      advice_(cs.num_advice_columns(), std::vector<Fr>(num_rows, Fr::Zero())),
+      fixed_(cs.num_fixed_columns(), std::vector<Fr>(num_rows, Fr::Zero())) {}
+
+void Assignment::SetAdvice(Column column, size_t row, const Fr& value) {
+  ZKML_DCHECK(column.type == ColumnType::kAdvice);
+  ZKML_DCHECK(row < num_rows_);
+  advice_[column.index][row] = value;
+}
+
+void Assignment::SetFixed(Column column, size_t row, const Fr& value) {
+  ZKML_DCHECK(column.type == ColumnType::kFixed);
+  ZKML_DCHECK(row < num_rows_);
+  fixed_[column.index][row] = value;
+}
+
+void Assignment::SetInstance(Column column, size_t row, const Fr& value) {
+  ZKML_DCHECK(column.type == ColumnType::kInstance);
+  ZKML_DCHECK(row < num_rows_);
+  instance_[column.index][row] = value;
+}
+
+Fr Assignment::Get(Column column, size_t row) const {
+  ZKML_DCHECK(row < num_rows_);
+  switch (column.type) {
+    case ColumnType::kInstance:
+      return instance_[column.index][row];
+    case ColumnType::kAdvice:
+      return advice_[column.index][row];
+    case ColumnType::kFixed:
+      return fixed_[column.index][row];
+  }
+  return Fr::Zero();
+}
+
+void Assignment::Copy(Cell a, Cell b) {
+  ZKML_DCHECK(a.row < num_rows_ && b.row < num_rows_);
+  copies_.emplace_back(a, b);
+}
+
+}  // namespace zkml

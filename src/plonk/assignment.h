@@ -1,0 +1,48 @@
+// The assigned 2^k x columns grid: concrete cell values plus the copy
+// constraints. Fixed cells (selectors, lookup tables) are part of the
+// preprocessed circuit; advice cells are per-proof witness; instance cells
+// are the public inputs.
+#ifndef SRC_PLONK_ASSIGNMENT_H_
+#define SRC_PLONK_ASSIGNMENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/ff/fields.h"
+#include "src/plonk/column.h"
+#include "src/plonk/constraint_system.h"
+
+namespace zkml {
+
+class Assignment {
+ public:
+  Assignment(const ConstraintSystem& cs, size_t num_rows);
+
+  size_t num_rows() const { return num_rows_; }
+
+  void SetAdvice(Column column, size_t row, const Fr& value);
+  void SetFixed(Column column, size_t row, const Fr& value);
+  void SetInstance(Column column, size_t row, const Fr& value);
+
+  Fr Get(Column column, size_t row) const;
+
+  // Records that two cells must hold equal values (both columns must be
+  // equality-enabled in the constraint system).
+  void Copy(Cell a, Cell b);
+
+  const std::vector<std::vector<Fr>>& advice() const { return advice_; }
+  const std::vector<std::vector<Fr>>& fixed() const { return fixed_; }
+  const std::vector<std::vector<Fr>>& instance() const { return instance_; }
+  const std::vector<std::pair<Cell, Cell>>& copies() const { return copies_; }
+
+ private:
+  size_t num_rows_;
+  std::vector<std::vector<Fr>> instance_;
+  std::vector<std::vector<Fr>> advice_;
+  std::vector<std::vector<Fr>> fixed_;
+  std::vector<std::pair<Cell, Cell>> copies_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_ASSIGNMENT_H_

@@ -1,0 +1,111 @@
+#include "src/plonk/constraint_system.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+Column ConstraintSystem::AddInstanceColumn() {
+  Column c{ColumnType::kInstance, static_cast<uint32_t>(num_instance_++)};
+  equality_enabled_.insert(c);  // instance columns always join the permutation
+  return c;
+}
+
+Column ConstraintSystem::AddAdviceColumn(bool equality_enabled) {
+  Column c{ColumnType::kAdvice, static_cast<uint32_t>(num_advice_++)};
+  if (equality_enabled) {
+    equality_enabled_.insert(c);
+  }
+  return c;
+}
+
+Column ConstraintSystem::AddFixedColumn() {
+  return Column{ColumnType::kFixed, static_cast<uint32_t>(num_fixed_++)};
+}
+
+void ConstraintSystem::EnableEquality(Column column) {
+  // Fixed columns may join the permutation: that is how cells are constrained
+  // to circuit constants (halo2's constant columns work the same way).
+  equality_enabled_.insert(column);
+}
+
+void ConstraintSystem::AddGate(const std::string& name, Expression poly) {
+  gates_.push_back(Gate{name, std::move(poly)});
+}
+
+void ConstraintSystem::AddLookup(const std::string& name, std::vector<Expression> inputs,
+                                 std::vector<Column> table) {
+  ZKML_CHECK_MSG(inputs.size() == table.size(), "lookup arity mismatch");
+  ZKML_CHECK(!inputs.empty());
+  for (const Column& c : table) {
+    ZKML_CHECK_MSG(c.type == ColumnType::kFixed, "lookup tables must be fixed columns");
+  }
+  lookups_.push_back(LookupArgument{name, std::move(inputs), std::move(table)});
+}
+
+std::vector<Column> ConstraintSystem::PermutationColumns() const {
+  return std::vector<Column>(equality_enabled_.begin(), equality_enabled_.end());
+}
+
+bool ConstraintSystem::IsEqualityEnabled(Column column) const {
+  return equality_enabled_.count(column) > 0;
+}
+
+int ConstraintSystem::MaxDegree() const {
+  int d = 3;
+  for (const Gate& g : gates_) {
+    d = std::max(d, g.poly.Degree());
+  }
+  for (const LookupArgument& lk : lookups_) {
+    int f_deg = 0;
+    for (const Expression& e : lk.inputs) {
+      f_deg = std::max(f_deg, e.Degree());
+    }
+    // Constraint: (beta + f)(beta + t) h - ((beta + t) - m (beta + f)).
+    d = std::max(d, f_deg + 1 + 1);
+  }
+  return d;
+}
+
+int ConstraintSystem::PermutationChunkSize() const { return MaxDegree() - 2; }
+
+size_t ConstraintSystem::NumPermutationChunks() const {
+  const size_t n_pm = equality_enabled_.size();
+  if (n_pm == 0) {
+    return 0;
+  }
+  const size_t chunk = static_cast<size_t>(PermutationChunkSize());
+  return (n_pm + chunk - 1) / chunk;
+}
+
+int ConstraintSystem::QuotientExtensionK() const {
+  const int spread = MaxDegree() - 1;  // quotient degree is (d-1)*n - d
+  int k = 0;
+  while ((1 << k) < spread) {
+    ++k;
+  }
+  return k;
+}
+
+std::vector<ColumnQuery> ConstraintSystem::AllQueries() const {
+  std::set<ColumnQuery> queries;
+  for (const Gate& g : gates_) {
+    g.poly.CollectQueries(&queries);
+  }
+  for (const LookupArgument& lk : lookups_) {
+    for (const Expression& e : lk.inputs) {
+      e.CollectQueries(&queries);
+    }
+    for (const Column& c : lk.table) {
+      queries.insert(ColumnQuery{c, 0});
+    }
+  }
+  // The permutation argument evaluates every participating column at rot 0.
+  for (const Column& c : equality_enabled_) {
+    queries.insert(ColumnQuery{c, 0});
+  }
+  return std::vector<ColumnQuery>(queries.begin(), queries.end());
+}
+
+}  // namespace zkml

@@ -1,0 +1,79 @@
+// The static description of a circuit: columns, gates (polynomial
+// constraints), lookup arguments, and which columns participate in the copy-
+// constraint permutation. This is what the compiler emits and what keygen,
+// the prover, the verifier, and the cost model all consume.
+#ifndef SRC_PLONK_CONSTRAINT_SYSTEM_H_
+#define SRC_PLONK_CONSTRAINT_SYSTEM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/plonk/column.h"
+#include "src/plonk/expression.h"
+
+namespace zkml {
+
+struct Gate {
+  std::string name;
+  Expression poly;  // must vanish on every row
+};
+
+// LogUp-style lookup: on every row, the tuple of input expressions must match
+// some row of the tuple of fixed table columns. Inputs are usually
+// selector-gated so that disabled rows contribute the all-zero tuple, which
+// every table is required to contain.
+struct LookupArgument {
+  std::string name;
+  std::vector<Expression> inputs;
+  std::vector<Column> table;  // fixed columns of equal height
+};
+
+class ConstraintSystem {
+ public:
+  Column AddInstanceColumn();
+  Column AddAdviceColumn(bool equality_enabled);
+  Column AddFixedColumn();
+
+  void EnableEquality(Column column);
+  void AddGate(const std::string& name, Expression poly);
+  void AddLookup(const std::string& name, std::vector<Expression> inputs,
+                 std::vector<Column> table);
+
+  size_t num_instance_columns() const { return num_instance_; }
+  size_t num_advice_columns() const { return num_advice_; }
+  size_t num_fixed_columns() const { return num_fixed_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<LookupArgument>& lookups() const { return lookups_; }
+
+  // Columns participating in the permutation argument, in a canonical order.
+  std::vector<Column> PermutationColumns() const;
+  bool IsEqualityEnabled(Column column) const;
+
+  // Maximum constraint degree across gates, lookups, and the permutation
+  // argument (>= 3 so grand-product updates are expressible).
+  int MaxDegree() const;
+  // Permutation grand-product chunk size: MaxDegree() - 2.
+  int PermutationChunkSize() const;
+  // Number of grand-product polynomials: ceil(N_pm / chunk).
+  size_t NumPermutationChunks() const;
+  // log2 of the quotient-domain extension factor: ceil(log2(MaxDegree() - 1)).
+  int QuotientExtensionK() const;
+
+  // Every (column, rotation) pair referenced by gates and lookup inputs plus
+  // the table columns at rotation zero, in a canonical order. These are the
+  // evaluations the prover must reveal for the gate/lookup checks.
+  std::vector<ColumnQuery> AllQueries() const;
+
+ private:
+  size_t num_instance_ = 0;
+  size_t num_advice_ = 0;
+  size_t num_fixed_ = 0;
+  std::set<Column> equality_enabled_;
+  std::vector<Gate> gates_;
+  std::vector<LookupArgument> lookups_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_CONSTRAINT_SYSTEM_H_

@@ -1,0 +1,158 @@
+#include "src/plonk/expression.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+Expression Expression::Constant(const Fr& c) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConstant;
+  node->constant = c;
+  return Expression(std::move(node));
+}
+
+Expression Expression::Query(Column column, int32_t rotation) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kQuery;
+  node->query = ColumnQuery{column, rotation};
+  return Expression(std::move(node));
+}
+
+Expression Expression::operator+(const Expression& o) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSum;
+  node->lhs = node_;
+  node->rhs = o.node_;
+  return Expression(std::move(node));
+}
+
+Expression Expression::operator-(const Expression& o) const { return *this + o.Neg(); }
+
+Expression Expression::operator*(const Expression& o) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProduct;
+  node->lhs = node_;
+  node->rhs = o.node_;
+  return Expression(std::move(node));
+}
+
+Expression Expression::Scale(const Fr& s) const {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kScaled;
+  node->constant = s;
+  node->lhs = node_;
+  return Expression(std::move(node));
+}
+
+int Expression::DegreeOf(const Node& n) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      return 0;
+    case Kind::kQuery:
+      return 1;
+    case Kind::kSum:
+      return std::max(DegreeOf(*n.lhs), DegreeOf(*n.rhs));
+    case Kind::kProduct:
+      return DegreeOf(*n.lhs) + DegreeOf(*n.rhs);
+    case Kind::kScaled:
+      return DegreeOf(*n.lhs);
+  }
+  return 0;
+}
+
+int Expression::Degree() const { return DegreeOf(*node_); }
+
+void Expression::CollectQueriesOf(const Node& n, std::set<ColumnQuery>* out) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      return;
+    case Kind::kQuery:
+      out->insert(n.query);
+      return;
+    case Kind::kSum:
+    case Kind::kProduct:
+      CollectQueriesOf(*n.lhs, out);
+      CollectQueriesOf(*n.rhs, out);
+      return;
+    case Kind::kScaled:
+      CollectQueriesOf(*n.lhs, out);
+      return;
+  }
+}
+
+void Expression::CollectQueries(std::set<ColumnQuery>* out) const {
+  CollectQueriesOf(*node_, out);
+}
+
+Fr Expression::EvaluateOf(const Node& n, const std::function<Fr(const ColumnQuery&)>& resolve) {
+  switch (n.kind) {
+    case Kind::kConstant:
+      return n.constant;
+    case Kind::kQuery:
+      return resolve(n.query);
+    case Kind::kSum:
+      return EvaluateOf(*n.lhs, resolve) + EvaluateOf(*n.rhs, resolve);
+    case Kind::kProduct:
+      return EvaluateOf(*n.lhs, resolve) * EvaluateOf(*n.rhs, resolve);
+    case Kind::kScaled:
+      return EvaluateOf(*n.lhs, resolve) * n.constant;
+  }
+  return Fr::Zero();
+}
+
+Fr Expression::Evaluate(const std::function<Fr(const ColumnQuery&)>& resolve) const {
+  return EvaluateOf(*node_, resolve);
+}
+
+void Expression::EvaluateVectorOf(const Node& n, size_t size,
+                                  const std::function<Fr(const ColumnQuery&, size_t)>& resolve,
+                                  std::vector<Fr>* out) {
+  out->assign(size, Fr::Zero());
+  switch (n.kind) {
+    case Kind::kConstant:
+      for (Fr& v : *out) {
+        v = n.constant;
+      }
+      return;
+    case Kind::kQuery:
+      for (size_t i = 0; i < size; ++i) {
+        (*out)[i] = resolve(n.query, i);
+      }
+      return;
+    case Kind::kSum: {
+      std::vector<Fr> rhs;
+      EvaluateVectorOf(*n.lhs, size, resolve, out);
+      EvaluateVectorOf(*n.rhs, size, resolve, &rhs);
+      for (size_t i = 0; i < size; ++i) {
+        (*out)[i] += rhs[i];
+      }
+      return;
+    }
+    case Kind::kProduct: {
+      std::vector<Fr> rhs;
+      EvaluateVectorOf(*n.lhs, size, resolve, out);
+      EvaluateVectorOf(*n.rhs, size, resolve, &rhs);
+      for (size_t i = 0; i < size; ++i) {
+        (*out)[i] *= rhs[i];
+      }
+      return;
+    }
+    case Kind::kScaled:
+      EvaluateVectorOf(*n.lhs, size, resolve, out);
+      for (size_t i = 0; i < size; ++i) {
+        (*out)[i] *= n.constant;
+      }
+      return;
+  }
+}
+
+std::vector<Fr> Expression::EvaluateVector(
+    size_t size, const std::function<Fr(const ColumnQuery&, size_t)>& resolve) const {
+  std::vector<Fr> out;
+  EvaluateVectorOf(*node_, size, resolve, &out);
+  return out;
+}
+
+}  // namespace zkml

@@ -1,0 +1,71 @@
+// Polynomial-constraint AST. A gate is an Expression that must evaluate to
+// zero on every row; the prover evaluates it over the extended coset domain
+// and the verifier at the challenge point, so evaluation is parameterized by
+// a column-access callback.
+#ifndef SRC_PLONK_EXPRESSION_H_
+#define SRC_PLONK_EXPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ff/fields.h"
+#include "src/plonk/column.h"
+
+namespace zkml {
+
+class Expression {
+ public:
+  enum class Kind : uint8_t { kConstant, kQuery, kSum, kProduct, kScaled };
+
+  static Expression Constant(const Fr& c);
+  static Expression Query(Column column, int32_t rotation = 0);
+
+  Expression operator+(const Expression& o) const;
+  Expression operator-(const Expression& o) const;
+  Expression operator*(const Expression& o) const;
+  Expression Scale(const Fr& s) const;
+  Expression Neg() const { return Scale(Fr::One().Neg()); }
+
+  // Polynomial degree when columns are degree-1 polynomials.
+  int Degree() const;
+
+  // Collects every (column, rotation) pair referenced.
+  void CollectQueries(std::set<ColumnQuery>* out) const;
+
+  // Evaluates with a callback resolving column queries.
+  Fr Evaluate(const std::function<Fr(const ColumnQuery&)>& resolve) const;
+
+  // Vectorized evaluation over `size` consecutive positions; `resolve` returns
+  // the value of a query at position i (the caller handles rotation wrapping).
+  std::vector<Fr> EvaluateVector(
+      size_t size, const std::function<Fr(const ColumnQuery&, size_t)>& resolve) const;
+
+  Kind kind() const { return node_->kind; }
+
+ private:
+  struct Node {
+    Kind kind;
+    Fr constant;        // kConstant / kScaled factor
+    ColumnQuery query;  // kQuery
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+
+  explicit Expression(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  static int DegreeOf(const Node& n);
+  static void CollectQueriesOf(const Node& n, std::set<ColumnQuery>* out);
+  static Fr EvaluateOf(const Node& n, const std::function<Fr(const ColumnQuery&)>& resolve);
+  static void EvaluateVectorOf(const Node& n, size_t size,
+                               const std::function<Fr(const ColumnQuery&, size_t)>& resolve,
+                               std::vector<Fr>* out);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_EXPRESSION_H_

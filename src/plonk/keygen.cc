@@ -1,0 +1,125 @@
+#include "src/plonk/keygen.h"
+
+#include <map>
+#include <numeric>
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+
+namespace zkml {
+namespace {
+
+// Union-find over flat cell indices, with cycle "next" pointers: the standard
+// PLONK permutation construction. Copying two cells swaps their cycle
+// successors, merging the cycles iff they were distinct (guarded by the
+// union-find so a duplicate copy does not split a cycle).
+class PermutationBuilder {
+ public:
+  PermutationBuilder(size_t num_columns, size_t num_rows)
+      : num_rows_(num_rows), parent_(num_columns * num_rows), next_(num_columns * num_rows) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+    std::iota(next_.begin(), next_.end(), 0);
+  }
+
+  void Join(size_t col_a, size_t row_a, size_t col_b, size_t row_b) {
+    const size_t a = col_a * num_rows_ + row_a;
+    const size_t b = col_b * num_rows_ + row_b;
+    const size_t ra = Find(a);
+    const size_t rb = Find(b);
+    if (ra == rb) {
+      return;
+    }
+    parent_[ra] = rb;
+    std::swap(next_[a], next_[b]);
+  }
+
+  // Cycle successor of (col, row) as a (col, row) pair.
+  std::pair<size_t, size_t> Next(size_t col, size_t row) const {
+    const size_t v = next_[col * num_rows_ + row];
+    return {v / num_rows_, v % num_rows_};
+  }
+
+ private:
+  size_t Find(size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  size_t num_rows_;
+  std::vector<size_t> parent_;
+  std::vector<size_t> next_;
+};
+
+}  // namespace
+
+ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, const Pcs& pcs,
+                  int k) {
+  const size_t n = static_cast<size_t>(1) << k;
+  ZKML_CHECK_MSG(assignment.num_rows() == n, "assignment rows must equal 2^k");
+
+  ProvingKey pk;
+  pk.vk.cs = cs;
+  pk.vk.k = k;
+  pk.domain = std::make_shared<EvaluationDomain>(k);
+  pk.vk.perm_columns = cs.PermutationColumns();
+
+  // Fixed columns.
+  pk.fixed_values = assignment.fixed();
+  pk.fixed_coeffs.resize(pk.fixed_values.size());
+  pk.vk.fixed_commitments.resize(pk.fixed_values.size());
+  for (size_t i = 0; i < pk.fixed_values.size(); ++i) {
+    pk.fixed_coeffs[i] = pk.domain->IfftToCoeffs(pk.fixed_values[i]);
+    pk.vk.fixed_commitments[i] = pcs.Commit(pk.fixed_coeffs[i]);
+  }
+
+  // Permutation sigmas.
+  const std::vector<Column>& perm_cols = pk.vk.perm_columns;
+  std::map<Column, size_t> col_index;
+  for (size_t i = 0; i < perm_cols.size(); ++i) {
+    col_index[perm_cols[i]] = i;
+  }
+  PermutationBuilder perm(perm_cols.size(), n);
+  for (const auto& [a, b] : assignment.copies()) {
+    auto ita = col_index.find(a.column);
+    auto itb = col_index.find(b.column);
+    ZKML_CHECK_MSG(ita != col_index.end() && itb != col_index.end(),
+                   "copy constraint on column without equality enabled");
+    perm.Join(ita->second, a.row, itb->second, b.row);
+  }
+
+  const Fr delta = FrDelta();
+  std::vector<Fr> delta_pow(perm_cols.size());
+  if (!perm_cols.empty()) {
+    delta_pow[0] = Fr::One();
+    for (size_t i = 1; i < perm_cols.size(); ++i) {
+      delta_pow[i] = delta_pow[i - 1] * delta;
+    }
+  }
+
+  pk.sigma_values.assign(perm_cols.size(), std::vector<Fr>(n));
+  pk.sigma_coeffs.resize(perm_cols.size());
+  pk.vk.sigma_commitments.resize(perm_cols.size());
+  for (size_t i = 0; i < perm_cols.size(); ++i) {
+    for (size_t r = 0; r < n; ++r) {
+      const auto [ci, ri] = perm.Next(i, r);
+      pk.sigma_values[i][r] = delta_pow[ci] * pk.domain->element(ri);
+    }
+    pk.sigma_coeffs[i] = pk.domain->IfftToCoeffs(pk.sigma_values[i]);
+    pk.vk.sigma_commitments[i] = pcs.Commit(pk.sigma_coeffs[i]);
+  }
+
+  // l_0 and l_{n-1}: interpolations of the indicator vectors.
+  std::vector<Fr> e0(n, Fr::Zero());
+  e0[0] = Fr::One();
+  pk.l0_coeffs = pk.domain->IfftToCoeffs(e0);
+  std::vector<Fr> elast(n, Fr::Zero());
+  elast[n - 1] = Fr::One();
+  pk.llast_coeffs = pk.domain->IfftToCoeffs(elast);
+
+  return pk;
+}
+
+}  // namespace zkml

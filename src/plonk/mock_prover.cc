@@ -1,0 +1,95 @@
+#include "src/plonk/mock_prover.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "src/transcript/sha256.h"
+
+namespace zkml {
+namespace {
+
+std::string TupleKey(const std::vector<Fr>& values) {
+  std::string key;
+  key.reserve(values.size() * 32);
+  for (const Fr& v : values) {
+    const U256 c = v.ToCanonical();
+    key.append(reinterpret_cast<const char*>(c.limbs), sizeof(c.limbs));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<ConstraintFailure> MockProver::Verify(size_t max_failures) const {
+  std::vector<ConstraintFailure> failures;
+  const size_t n = assignment_->num_rows();
+
+  auto resolve_at = [&](const ColumnQuery& q, size_t row) -> Fr {
+    int64_t r = static_cast<int64_t>(row) + q.rotation;
+    r %= static_cast<int64_t>(n);
+    if (r < 0) {
+      r += static_cast<int64_t>(n);
+    }
+    return assignment_->Get(q.column, static_cast<size_t>(r));
+  };
+
+  // Gates.
+  for (const Gate& gate : cs_->gates()) {
+    for (size_t row = 0; row < n && failures.size() < max_failures; ++row) {
+      const Fr v = gate.poly.Evaluate(
+          [&](const ColumnQuery& q) { return resolve_at(q, row); });
+      if (!v.IsZero()) {
+        failures.push_back(
+            {"gate '" + gate.name + "' not satisfied at row " + std::to_string(row)});
+      }
+    }
+    if (failures.size() >= max_failures) {
+      return failures;
+    }
+  }
+
+  // Lookups.
+  for (const LookupArgument& lk : cs_->lookups()) {
+    std::unordered_set<std::string> table;
+    table.reserve(n);
+    std::vector<Fr> tuple(lk.table.size());
+    for (size_t row = 0; row < n; ++row) {
+      for (size_t j = 0; j < lk.table.size(); ++j) {
+        tuple[j] = assignment_->Get(lk.table[j], row);
+      }
+      table.insert(TupleKey(tuple));
+    }
+    std::vector<Fr> input(lk.inputs.size());
+    for (size_t row = 0; row < n && failures.size() < max_failures; ++row) {
+      for (size_t j = 0; j < lk.inputs.size(); ++j) {
+        input[j] = lk.inputs[j].Evaluate(
+            [&](const ColumnQuery& q) { return resolve_at(q, row); });
+      }
+      if (table.find(TupleKey(input)) == table.end()) {
+        failures.push_back(
+            {"lookup '" + lk.name + "' input not in table at row " + std::to_string(row)});
+      }
+    }
+    if (failures.size() >= max_failures) {
+      return failures;
+    }
+  }
+
+  // Copy constraints.
+  for (const auto& [a, b] : assignment_->copies()) {
+    if (failures.size() >= max_failures) {
+      return failures;
+    }
+    if (!cs_->IsEqualityEnabled(a.column) || !cs_->IsEqualityEnabled(b.column)) {
+      failures.push_back({"copy constraint touches a non-equality column"});
+      continue;
+    }
+    if (!(assignment_->Get(a.column, a.row) == assignment_->Get(b.column, b.row))) {
+      failures.push_back({"copy constraint violated between rows " + std::to_string(a.row) +
+                          " and " + std::to_string(b.row)});
+    }
+  }
+  return failures;
+}
+
+}  // namespace zkml

@@ -1,0 +1,38 @@
+// Row-exact constraint checker (the analogue of halo2's MockProver): verifies
+// every gate, lookup, and copy constraint directly on the assigned grid, with
+// human-readable failure reports. Tests and the physical-layout validator use
+// this instead of producing real proofs.
+#ifndef SRC_PLONK_MOCK_PROVER_H_
+#define SRC_PLONK_MOCK_PROVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/plonk/assignment.h"
+#include "src/plonk/constraint_system.h"
+
+namespace zkml {
+
+struct ConstraintFailure {
+  std::string description;
+};
+
+class MockProver {
+ public:
+  MockProver(const ConstraintSystem* cs, const Assignment* assignment)
+      : cs_(cs), assignment_(assignment) {}
+
+  // Returns all failures (empty means the assignment satisfies the circuit).
+  // Stops after `max_failures` to keep reports readable.
+  std::vector<ConstraintFailure> Verify(size_t max_failures = 16) const;
+
+  bool IsSatisfied() const { return Verify(1).empty(); }
+
+ private:
+  const ConstraintSystem* cs_;
+  const Assignment* assignment_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_MOCK_PROVER_H_

@@ -1,0 +1,60 @@
+// Byte-level (de)serialization helpers shared by the proof writer and reader.
+#ifndef SRC_PLONK_PROOF_IO_H_
+#define SRC_PLONK_PROOF_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ec/g1.h"
+#include "src/ff/fields.h"
+
+namespace zkml {
+
+inline void ProofAppendPoint(std::vector<uint8_t>* out, const G1Affine& p) {
+  const auto bytes = p.Serialize();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+inline bool ProofReadPoint(const std::vector<uint8_t>& in, size_t* offset, G1Affine* p) {
+  if (*offset + 33 > in.size()) {
+    return false;
+  }
+  if (!G1Affine::Deserialize(in.data() + *offset, p)) {
+    return false;
+  }
+  *offset += 33;
+  return true;
+}
+
+inline void ProofAppendFr(std::vector<uint8_t>* out, const Fr& x) {
+  const U256 c = x.ToCanonical();
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out->push_back(static_cast<uint8_t>(c.limbs[i] >> (8 * b)));
+    }
+  }
+}
+
+inline bool ProofReadFr(const std::vector<uint8_t>& in, size_t* offset, Fr* x) {
+  if (*offset + 32 > in.size()) {
+    return false;
+  }
+  U256 c;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t limb = 0;
+    for (int b = 0; b < 8; ++b) {
+      limb |= static_cast<uint64_t>(in[*offset + i * 8 + b]) << (8 * b);
+    }
+    c.limbs[i] = limb;
+  }
+  *offset += 32;
+  if (CmpU256(c, FrParams::Modulus()) >= 0) {
+    return false;
+  }
+  *x = Fr::FromCanonical(c);
+  return true;
+}
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_PROOF_IO_H_

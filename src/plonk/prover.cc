@@ -1,0 +1,468 @@
+#include "src/plonk/prover.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+#include "src/plonk/proof_io.h"
+#include "src/poly/polynomial.h"
+#include "src/transcript/transcript.h"
+
+namespace zkml {
+namespace {
+
+std::string FrKey(const Fr& v) {
+  const U256 c = v.ToCanonical();
+  return std::string(reinterpret_cast<const char*>(c.limbs), sizeof(c.limbs));
+}
+
+Fr EvalPoly(const std::vector<Fr>& coeffs, const Fr& x) {
+  Fr acc = Fr::Zero();
+  for (size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
+                                 const Assignment& assignment) {
+  const ConstraintSystem& cs = pk.vk.cs;
+  const EvaluationDomain& dom = *pk.domain;
+  const size_t n = dom.size();
+  ZKML_CHECK(assignment.num_rows() == n);
+  const int ext_k = cs.QuotientExtensionK();
+  const size_t ext_factor = static_cast<size_t>(1) << ext_k;
+  const size_t ext_n = n << ext_k;
+  const size_t num_chunks = cs.NumPermutationChunks();
+  const int chunk_size = cs.PermutationChunkSize();
+  const std::vector<Column>& perm_cols = pk.vk.perm_columns;
+
+  std::vector<uint8_t> proof;
+  Transcript transcript("zkml-plonk");
+  transcript.AppendFr("k", Fr::FromU64(static_cast<uint64_t>(pk.vk.k)));
+  for (const auto& col : assignment.instance()) {
+    for (const Fr& v : col) {
+      transcript.AppendFr("instance", v);
+    }
+  }
+
+  // Row access with wraparound rotation.
+  auto grid_at = [&](const ColumnQuery& q, size_t row) -> Fr {
+    int64_t r = static_cast<int64_t>(row) + q.rotation;
+    r %= static_cast<int64_t>(n);
+    if (r < 0) {
+      r += static_cast<int64_t>(n);
+    }
+    return assignment.Get(q.column, static_cast<size_t>(r));
+  };
+
+  // --- Round 1: commit advice. ---
+  const size_t num_advice = cs.num_advice_columns();
+  std::vector<std::vector<Fr>> advice_coeffs(num_advice);
+  std::vector<PcsCommitment> advice_comms(num_advice);
+  {
+    TaskGroup group;
+    for (size_t i = 0; i < num_advice; ++i) {
+      group.Submit([&, i] {
+        advice_coeffs[i] = dom.IfftToCoeffs(assignment.advice()[i]);
+        advice_comms[i] = pcs.Commit(advice_coeffs[i]);
+      });
+    }
+  }
+  for (size_t i = 0; i < num_advice; ++i) {
+    transcript.AppendPoint("advice", advice_comms[i].point);
+    ProofAppendPoint(&proof, advice_comms[i].point);
+  }
+
+  const Fr theta = transcript.ChallengeFr("theta");
+
+  // --- Round 2: lookup multiplicities. ---
+  const size_t num_lookups = cs.lookups().size();
+  std::vector<std::vector<Fr>> lk_f(num_lookups), lk_t(num_lookups), lk_m(num_lookups);
+  std::vector<std::vector<Fr>> m_coeffs(num_lookups);
+  std::vector<PcsCommitment> m_comms(num_lookups);
+  {
+    TaskGroup group;
+    for (size_t l = 0; l < num_lookups; ++l) {
+      group.Submit([&, l] {
+        const LookupArgument& lk = cs.lookups()[l];
+        std::vector<Fr>& f = lk_f[l];
+        std::vector<Fr>& t = lk_t[l];
+        f.assign(n, Fr::Zero());
+        t.assign(n, Fr::Zero());
+        Fr theta_j = Fr::One();
+        for (size_t j = 0; j < lk.inputs.size(); ++j) {
+          std::vector<Fr> in = lk.inputs[j].EvaluateVector(
+              n, [&](const ColumnQuery& q, size_t row) { return grid_at(q, row); });
+          const std::vector<Fr>& tab = assignment.fixed()[lk.table[j].index];
+          for (size_t r = 0; r < n; ++r) {
+            f[r] += in[r] * theta_j;
+            t[r] += tab[r] * theta_j;
+          }
+          theta_j *= theta;
+        }
+        // Multiplicities: first-occurrence row per table value.
+        std::unordered_map<std::string, size_t> first_row;
+        first_row.reserve(n * 2);
+        for (size_t r = 0; r < n; ++r) {
+          first_row.emplace(FrKey(t[r]), r);
+        }
+        lk_m[l].assign(n, Fr::Zero());
+        for (size_t r = 0; r < n; ++r) {
+          auto it = first_row.find(FrKey(f[r]));
+          ZKML_CHECK_MSG(it != first_row.end(),
+                         ("lookup '" + lk.name + "' input missing").c_str());
+          lk_m[l][it->second] += Fr::One();
+        }
+        m_coeffs[l] = dom.IfftToCoeffs(lk_m[l]);
+        m_comms[l] = pcs.Commit(m_coeffs[l]);
+      });
+    }
+  }
+  for (size_t l = 0; l < num_lookups; ++l) {
+    transcript.AppendPoint("lookup-m", m_comms[l].point);
+    ProofAppendPoint(&proof, m_comms[l].point);
+  }
+
+  const Fr beta = transcript.ChallengeFr("beta");
+  const Fr gamma = transcript.ChallengeFr("gamma");
+
+  // --- Round 3a: lookup helper h and running sum S. ---
+  std::vector<std::vector<Fr>> lk_h(num_lookups), lk_s(num_lookups);
+  std::vector<std::vector<Fr>> h_coeffs(num_lookups), s_coeffs(num_lookups);
+  std::vector<PcsCommitment> h_comms(num_lookups), s_comms(num_lookups);
+  {
+    TaskGroup group;
+    for (size_t l = 0; l < num_lookups; ++l) {
+      group.Submit([&, l] {
+        std::vector<Fr> finv(n), tinv(n);
+        for (size_t r = 0; r < n; ++r) {
+          finv[r] = beta + lk_f[l][r];
+          tinv[r] = beta + lk_t[l][r];
+        }
+        BatchInverse(&finv);
+        BatchInverse(&tinv);
+        lk_h[l].resize(n);
+        lk_s[l].assign(n, Fr::Zero());
+        for (size_t r = 0; r < n; ++r) {
+          lk_h[l][r] = finv[r] - lk_m[l][r] * tinv[r];
+          if (r + 1 < n) {
+            lk_s[l][r + 1] = lk_s[l][r] + lk_h[l][r];
+          }
+        }
+        ZKML_DCHECK((lk_s[l][n - 1] + lk_h[l][n - 1]).IsZero());
+        h_coeffs[l] = dom.IfftToCoeffs(lk_h[l]);
+        s_coeffs[l] = dom.IfftToCoeffs(lk_s[l]);
+        h_comms[l] = pcs.Commit(h_coeffs[l]);
+        s_comms[l] = pcs.Commit(s_coeffs[l]);
+      });
+    }
+  }
+
+  // --- Round 3b: permutation grand products (chunked, chained). ---
+  const Fr delta = FrDelta();
+  std::vector<Fr> delta_pow(perm_cols.size());
+  if (!perm_cols.empty()) {
+    delta_pow[0] = Fr::One();
+    for (size_t i = 1; i < perm_cols.size(); ++i) {
+      delta_pow[i] = delta_pow[i - 1] * delta;
+    }
+  }
+  std::vector<std::vector<Fr>> z_values(num_chunks);
+  std::vector<std::vector<Fr>> z_coeffs(num_chunks);
+  std::vector<PcsCommitment> z_comms(num_chunks);
+  {
+    Fr acc = Fr::One();
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t col_begin = c * static_cast<size_t>(chunk_size);
+      const size_t col_end = std::min(perm_cols.size(), col_begin + chunk_size);
+      std::vector<Fr> num(n, Fr::One());
+      std::vector<Fr> den(n, Fr::One());
+      for (size_t i = col_begin; i < col_end; ++i) {
+        for (size_t r = 0; r < n; ++r) {
+          const Fr f = assignment.Get(perm_cols[i], r);
+          num[r] *= f + beta * delta_pow[i] * dom.element(r) + gamma;
+          den[r] *= f + beta * pk.sigma_values[i][r] + gamma;
+        }
+      }
+      BatchInverse(&den);
+      z_values[c].resize(n);
+      for (size_t r = 0; r < n; ++r) {
+        z_values[c][r] = acc;
+        acc *= num[r] * den[r];
+      }
+    }
+    ZKML_CHECK_MSG(num_chunks == 0 || acc == Fr::One(),
+                   "copy constraints inconsistent with witness");
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    z_coeffs[c] = dom.IfftToCoeffs(z_values[c]);
+    z_comms[c] = pcs.Commit(z_coeffs[c]);
+  }
+
+  for (size_t l = 0; l < num_lookups; ++l) {
+    transcript.AppendPoint("lookup-h", h_comms[l].point);
+    ProofAppendPoint(&proof, h_comms[l].point);
+    transcript.AppendPoint("lookup-s", s_comms[l].point);
+    ProofAppendPoint(&proof, s_comms[l].point);
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    transcript.AppendPoint("perm-z", z_comms[c].point);
+    ProofAppendPoint(&proof, z_comms[c].point);
+  }
+
+  const Fr y = transcript.ChallengeFr("y");
+
+  // --- Round 4: quotient. ---
+  // Coset evaluations of everything the constraints reference.
+  auto coset_of = [&](const std::vector<Fr>& coeffs) {
+    return dom.CosetFftFromCoeffs(coeffs, ext_k);
+  };
+  std::vector<std::vector<Fr>> advice_coset(num_advice);
+  std::vector<std::vector<Fr>> fixed_coset(cs.num_fixed_columns());
+  std::vector<std::vector<Fr>> instance_coset(cs.num_instance_columns());
+  std::vector<std::vector<Fr>> sigma_coset(perm_cols.size());
+  std::vector<std::vector<Fr>> z_coset(num_chunks);
+  std::vector<std::vector<Fr>> h_coset(num_lookups), s_coset(num_lookups), m_coset(num_lookups);
+  std::vector<Fr> l0_coset, llast_coset;
+  {
+    TaskGroup group;
+    for (size_t i = 0; i < num_advice; ++i) {
+      group.Submit([&, i] { advice_coset[i] = coset_of(advice_coeffs[i]); });
+    }
+    for (size_t i = 0; i < cs.num_fixed_columns(); ++i) {
+      group.Submit([&, i] { fixed_coset[i] = coset_of(pk.fixed_coeffs[i]); });
+    }
+    for (size_t i = 0; i < cs.num_instance_columns(); ++i) {
+      group.Submit(
+          [&, i] { instance_coset[i] = coset_of(dom.IfftToCoeffs(assignment.instance()[i])); });
+    }
+    for (size_t i = 0; i < perm_cols.size(); ++i) {
+      group.Submit([&, i] { sigma_coset[i] = coset_of(pk.sigma_coeffs[i]); });
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      group.Submit([&, c] { z_coset[c] = coset_of(z_coeffs[c]); });
+    }
+    for (size_t l = 0; l < num_lookups; ++l) {
+      group.Submit([&, l] {
+        h_coset[l] = coset_of(h_coeffs[l]);
+        s_coset[l] = coset_of(s_coeffs[l]);
+        m_coset[l] = coset_of(m_coeffs[l]);
+      });
+    }
+    group.Submit([&] { l0_coset = coset_of(pk.l0_coeffs); });
+    group.Submit([&] { llast_coset = coset_of(pk.llast_coeffs); });
+  }
+  // coset_x[j] = g * w_ext^j: the identity polynomial X on the coset.
+  std::vector<Fr> coset_x(ext_n);
+  {
+    const Fr w_ext = FrRootOfUnity(pk.vk.k + ext_k);
+    Fr cur = Fr::FromU64(FrParams::kGenerator);
+    for (size_t j = 0; j < ext_n; ++j) {
+      coset_x[j] = cur;
+      cur *= w_ext;
+    }
+  }
+
+  auto coset_resolve = [&](const ColumnQuery& q, size_t j) -> Fr {
+    int64_t idx = static_cast<int64_t>(j) +
+                  static_cast<int64_t>(q.rotation) * static_cast<int64_t>(ext_factor);
+    idx %= static_cast<int64_t>(ext_n);
+    if (idx < 0) {
+      idx += static_cast<int64_t>(ext_n);
+    }
+    const size_t jj = static_cast<size_t>(idx);
+    switch (q.column.type) {
+      case ColumnType::kInstance:
+        return instance_coset[q.column.index][jj];
+      case ColumnType::kAdvice:
+        return advice_coset[q.column.index][jj];
+      case ColumnType::kFixed:
+        return fixed_coset[q.column.index][jj];
+    }
+    return Fr::Zero();
+  };
+  auto shifted = [&](const std::vector<Fr>& v, size_t j) -> const Fr& {
+    return v[(j + ext_factor) % ext_n];
+  };
+
+  std::vector<Fr> numerator(ext_n, Fr::Zero());
+  Fr y_pow = Fr::One();
+  auto add_constraint_vec = [&](const std::vector<Fr>& vals) {
+    for (size_t j = 0; j < ext_n; ++j) {
+      numerator[j] += vals[j] * y_pow;
+    }
+    y_pow *= y;
+  };
+
+  // Gates.
+  for (const Gate& gate : cs.gates()) {
+    add_constraint_vec(gate.poly.EvaluateVector(ext_n, coset_resolve));
+  }
+  // Lookups.
+  for (size_t l = 0; l < num_lookups; ++l) {
+    const LookupArgument& lk = cs.lookups()[l];
+    std::vector<Fr> f_coset(ext_n, Fr::Zero());
+    std::vector<Fr> t_coset(ext_n, Fr::Zero());
+    Fr theta_j = Fr::One();
+    for (size_t jn = 0; jn < lk.inputs.size(); ++jn) {
+      std::vector<Fr> in = lk.inputs[jn].EvaluateVector(ext_n, coset_resolve);
+      const std::vector<Fr>& tab = fixed_coset[lk.table[jn].index];
+      for (size_t j = 0; j < ext_n; ++j) {
+        f_coset[j] += in[j] * theta_j;
+        t_coset[j] += tab[j] * theta_j;
+      }
+      theta_j *= theta;
+    }
+    std::vector<Fr> c0(ext_n), c1(ext_n), c2(ext_n), c3(ext_n);
+    ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        const Fr bf = beta + f_coset[j];
+        const Fr bt = beta + t_coset[j];
+        c0[j] = bf * bt * h_coset[l][j] - (bt - m_coset[l][j] * bf);
+        c1[j] = l0_coset[j] * s_coset[l][j];
+        const Fr lactive = Fr::One() - llast_coset[j];
+        c2[j] = lactive * (shifted(s_coset[l], j) - s_coset[l][j] - h_coset[l][j]);
+        c3[j] = llast_coset[j] * (s_coset[l][j] + h_coset[l][j]);
+      }
+    });
+    add_constraint_vec(c0);
+    add_constraint_vec(c1);
+    add_constraint_vec(c2);
+    add_constraint_vec(c3);
+  }
+  // Permutation.
+  if (num_chunks > 0) {
+    std::vector<Fr> p0(ext_n);
+    for (size_t j = 0; j < ext_n; ++j) {
+      p0[j] = l0_coset[j] * (z_coset[0][j] - Fr::One());
+    }
+    add_constraint_vec(p0);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t col_begin = c * static_cast<size_t>(chunk_size);
+      const size_t col_end = std::min(perm_cols.size(), col_begin + chunk_size);
+      std::vector<Fr> num(ext_n, Fr::One());
+      std::vector<Fr> den(ext_n, Fr::One());
+      ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          for (size_t i = col_begin; i < col_end; ++i) {
+            const Fr f = coset_resolve(ColumnQuery{perm_cols[i], 0}, j);
+            num[j] *= f + beta * delta_pow[i] * coset_x[j] + gamma;
+            den[j] *= f + beta * sigma_coset[i][j] + gamma;
+          }
+        }
+      });
+      const size_t next = (c + 1) % num_chunks;
+      std::vector<Fr> upd(ext_n), trans(ext_n);
+      ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          const Fr lactive = Fr::One() - llast_coset[j];
+          upd[j] = lactive * (shifted(z_coset[c], j) * den[j] - z_coset[c][j] * num[j]);
+          trans[j] =
+              llast_coset[j] * (shifted(z_coset[next], j) * den[j] - z_coset[c][j] * num[j]);
+        }
+      });
+      add_constraint_vec(upd);
+      add_constraint_vec(trans);
+    }
+  }
+
+  // Divide by the vanishing polynomial and split into chunks.
+  {
+    const std::vector<Fr> zh_inv = dom.VanishingInverseOnCoset(ext_k);
+    for (size_t j = 0; j < ext_n; ++j) {
+      numerator[j] *= zh_inv[j];
+    }
+  }
+  std::vector<Fr> quotient_coeffs = dom.CosetIfftToCoeffs(numerator, ext_k);
+  std::vector<std::vector<Fr>> q_chunks(ext_factor);
+  std::vector<PcsCommitment> q_comms(ext_factor);
+  for (size_t i = 0; i < ext_factor; ++i) {
+    q_chunks[i] =
+        std::vector<Fr>(quotient_coeffs.begin() + i * n, quotient_coeffs.begin() + (i + 1) * n);
+    q_comms[i] = pcs.Commit(q_chunks[i]);
+    transcript.AppendPoint("quotient", q_comms[i].point);
+    ProofAppendPoint(&proof, q_comms[i].point);
+  }
+
+  const Fr x = transcript.ChallengeFr("x");
+
+  // --- Round 5: evaluations. ---
+  // Canonical evaluation plan: every entry is (coeffs, rotation).
+  struct OpenEntry {
+    const std::vector<Fr>* coeffs;
+    int32_t rotation;
+  };
+  std::vector<OpenEntry> entries;
+  const std::vector<ColumnQuery> queries = cs.AllQueries();
+  for (const ColumnQuery& q : queries) {
+    if (q.column.type == ColumnType::kInstance) {
+      continue;  // verifier evaluates instance columns itself
+    }
+    const std::vector<Fr>* coeffs = q.column.type == ColumnType::kAdvice
+                                        ? &advice_coeffs[q.column.index]
+                                        : &pk.fixed_coeffs[q.column.index];
+    entries.push_back(OpenEntry{coeffs, q.rotation});
+  }
+  for (size_t i = 0; i < perm_cols.size(); ++i) {
+    entries.push_back(OpenEntry{&pk.sigma_coeffs[i], 0});
+  }
+  for (size_t l = 0; l < num_lookups; ++l) {
+    entries.push_back(OpenEntry{&m_coeffs[l], 0});
+    entries.push_back(OpenEntry{&h_coeffs[l], 0});
+    entries.push_back(OpenEntry{&s_coeffs[l], 0});
+    entries.push_back(OpenEntry{&s_coeffs[l], 1});
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    entries.push_back(OpenEntry{&z_coeffs[c], 0});
+    entries.push_back(OpenEntry{&z_coeffs[c], 1});
+  }
+  for (size_t i = 0; i < ext_factor; ++i) {
+    entries.push_back(OpenEntry{&q_chunks[i], 0});
+  }
+
+  auto rot_point = [&](int32_t rot) {
+    int64_t r = rot % static_cast<int64_t>(n);
+    if (r < 0) {
+      r += static_cast<int64_t>(n);
+    }
+    return x * dom.element(static_cast<size_t>(r));
+  };
+
+  std::vector<Fr> evals(entries.size());
+  {
+    TaskGroup group;
+    for (size_t e = 0; e < entries.size(); ++e) {
+      group.Submit(
+          [&, e] { evals[e] = EvalPoly(*entries[e].coeffs, rot_point(entries[e].rotation)); });
+    }
+  }
+  for (size_t e = 0; e < entries.size(); ++e) {
+    transcript.AppendFr("eval", evals[e]);
+    ProofAppendFr(&proof, evals[e]);
+  }
+
+  // --- Round 6: openings grouped by rotation (ascending). ---
+  std::set<int32_t> rotations;
+  for (const OpenEntry& e : entries) {
+    rotations.insert(e.rotation);
+  }
+  for (int32_t rot : rotations) {
+    std::vector<const std::vector<Fr>*> polys;
+    for (const OpenEntry& e : entries) {
+      if (e.rotation == rot) {
+        polys.push_back(e.coeffs);
+      }
+    }
+    pcs.OpenBatch(polys, rot_point(rot), &transcript, &proof);
+  }
+
+  return proof;
+}
+
+}  // namespace zkml

@@ -1,0 +1,27 @@
+// The PLONK prover: turns an assigned circuit into a succinct proof under
+// either PCS backend. Protocol (Fiat-Shamir order):
+//   absorb instance -> commit advice -> theta -> commit lookup multiplicities
+//   -> beta, gamma -> commit lookup helpers/sums + permutation grand products
+//   -> y -> commit quotient chunks -> x -> reveal evaluations -> PCS openings
+//   grouped by rotation point.
+#ifndef SRC_PLONK_PROVER_H_
+#define SRC_PLONK_PROVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pcs/pcs.h"
+#include "src/plonk/assignment.h"
+#include "src/plonk/keygen.h"
+
+namespace zkml {
+
+// Creates a proof for the assignment (advice + instance) under `pk`. Aborts
+// (ZKML_CHECK) if the witness does not satisfy the circuit — run MockProver
+// first when debugging.
+std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
+                                 const Assignment& assignment);
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_PROVER_H_

@@ -1,0 +1,271 @@
+#include "src/plonk/verifier.h"
+
+#include <map>
+#include <set>
+
+#include "src/plonk/proof_io.h"
+#include "src/poly/domain.h"
+#include "src/transcript/transcript.h"
+
+namespace zkml {
+
+bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
+                 const std::vector<std::vector<Fr>>& instance_columns,
+                 const std::vector<uint8_t>& proof) {
+  const ConstraintSystem& cs = vk.cs;
+  if (instance_columns.size() != cs.num_instance_columns()) {
+    return false;
+  }
+  EvaluationDomain dom(vk.k);
+  const size_t n = dom.size();
+  const int ext_k = cs.QuotientExtensionK();
+  const size_t ext_factor = static_cast<size_t>(1) << ext_k;
+  const size_t num_lookups = cs.lookups().size();
+  const size_t num_chunks = cs.NumPermutationChunks();
+  const int chunk_size = cs.PermutationChunkSize();
+  const std::vector<Column>& perm_cols = vk.perm_columns;
+
+  size_t offset = 0;
+  Transcript transcript("zkml-plonk");
+  transcript.AppendFr("k", Fr::FromU64(static_cast<uint64_t>(vk.k)));
+  for (const auto& col : instance_columns) {
+    if (col.size() > n) {
+      return false;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      transcript.AppendFr("instance", r < col.size() ? col[r] : Fr::Zero());
+    }
+  }
+
+  // --- Commitments, mirroring the prover's rounds. ---
+  std::vector<PcsCommitment> advice_comms(cs.num_advice_columns());
+  for (auto& c : advice_comms) {
+    if (!ProofReadPoint(proof, &offset, &c.point)) {
+      return false;
+    }
+    transcript.AppendPoint("advice", c.point);
+  }
+  const Fr theta = transcript.ChallengeFr("theta");
+
+  std::vector<PcsCommitment> m_comms(num_lookups);
+  for (auto& c : m_comms) {
+    if (!ProofReadPoint(proof, &offset, &c.point)) {
+      return false;
+    }
+    transcript.AppendPoint("lookup-m", c.point);
+  }
+  const Fr beta = transcript.ChallengeFr("beta");
+  const Fr gamma = transcript.ChallengeFr("gamma");
+
+  std::vector<PcsCommitment> h_comms(num_lookups), s_comms(num_lookups);
+  for (size_t l = 0; l < num_lookups; ++l) {
+    if (!ProofReadPoint(proof, &offset, &h_comms[l].point) ||
+        !ProofReadPoint(proof, &offset, &s_comms[l].point)) {
+      return false;
+    }
+    transcript.AppendPoint("lookup-h", h_comms[l].point);
+    transcript.AppendPoint("lookup-s", s_comms[l].point);
+  }
+  std::vector<PcsCommitment> z_comms(num_chunks);
+  for (auto& c : z_comms) {
+    if (!ProofReadPoint(proof, &offset, &c.point)) {
+      return false;
+    }
+    transcript.AppendPoint("perm-z", c.point);
+  }
+  const Fr y = transcript.ChallengeFr("y");
+
+  std::vector<PcsCommitment> q_comms(ext_factor);
+  for (auto& c : q_comms) {
+    if (!ProofReadPoint(proof, &offset, &c.point)) {
+      return false;
+    }
+    transcript.AppendPoint("quotient", c.point);
+  }
+  const Fr x = transcript.ChallengeFr("x");
+
+  // --- Evaluations, in the prover's canonical order. ---
+  struct OpenEntry {
+    const PcsCommitment* commitment;  // null for instance (not committed)
+    int32_t rotation;
+    Fr eval;
+  };
+  std::vector<OpenEntry> entries;
+  const std::vector<ColumnQuery> queries = cs.AllQueries();
+  std::map<ColumnQuery, Fr> query_eval;  // for constraint reconstruction
+
+  auto rot_point = [&](int32_t rot) {
+    int64_t r = rot % static_cast<int64_t>(n);
+    if (r < 0) {
+      r += static_cast<int64_t>(n);
+    }
+    return x * dom.element(static_cast<size_t>(r));
+  };
+
+  for (const ColumnQuery& q : queries) {
+    if (q.column.type == ColumnType::kInstance) {
+      continue;
+    }
+    const PcsCommitment* c = q.column.type == ColumnType::kAdvice
+                                 ? &advice_comms[q.column.index]
+                                 : &vk.fixed_commitments[q.column.index];
+    entries.push_back(OpenEntry{c, q.rotation, Fr::Zero()});
+  }
+  std::vector<Fr> sigma_evals(perm_cols.size());
+  std::vector<Fr> m_evals(num_lookups), h_evals(num_lookups), s_evals(num_lookups),
+      s_next_evals(num_lookups);
+  std::vector<Fr> z_evals(num_chunks), z_next_evals(num_chunks);
+  std::vector<Fr> q_evals(ext_factor);
+
+  for (size_t i = 0; i < perm_cols.size(); ++i) {
+    entries.push_back(OpenEntry{&vk.sigma_commitments[i], 0, Fr::Zero()});
+  }
+  for (size_t l = 0; l < num_lookups; ++l) {
+    entries.push_back(OpenEntry{&m_comms[l], 0, Fr::Zero()});
+    entries.push_back(OpenEntry{&h_comms[l], 0, Fr::Zero()});
+    entries.push_back(OpenEntry{&s_comms[l], 0, Fr::Zero()});
+    entries.push_back(OpenEntry{&s_comms[l], 1, Fr::Zero()});
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    entries.push_back(OpenEntry{&z_comms[c], 0, Fr::Zero()});
+    entries.push_back(OpenEntry{&z_comms[c], 1, Fr::Zero()});
+  }
+  for (size_t i = 0; i < ext_factor; ++i) {
+    entries.push_back(OpenEntry{&q_comms[i], 0, Fr::Zero()});
+  }
+
+  for (OpenEntry& e : entries) {
+    if (!ProofReadFr(proof, &offset, &e.eval)) {
+      return false;
+    }
+    transcript.AppendFr("eval", e.eval);
+  }
+
+  // Distribute the evals back to named slots (same order as pushed).
+  {
+    size_t e = 0;
+    for (const ColumnQuery& q : queries) {
+      if (q.column.type == ColumnType::kInstance) {
+        // Compute the instance evaluation directly from public values.
+        query_eval[q] =
+            dom.EvaluateLagrangeCombination(instance_columns[q.column.index], rot_point(q.rotation));
+        continue;
+      }
+      query_eval[q] = entries[e++].eval;
+    }
+    for (size_t i = 0; i < perm_cols.size(); ++i) {
+      sigma_evals[i] = entries[e++].eval;
+    }
+    for (size_t l = 0; l < num_lookups; ++l) {
+      m_evals[l] = entries[e++].eval;
+      h_evals[l] = entries[e++].eval;
+      s_evals[l] = entries[e++].eval;
+      s_next_evals[l] = entries[e++].eval;
+    }
+    for (size_t c = 0; c < num_chunks; ++c) {
+      z_evals[c] = entries[e++].eval;
+      z_next_evals[c] = entries[e++].eval;
+    }
+    for (size_t i = 0; i < ext_factor; ++i) {
+      q_evals[i] = entries[e++].eval;
+    }
+  }
+
+  auto resolve = [&](const ColumnQuery& q) -> Fr {
+    auto it = query_eval.find(q);
+    if (it != query_eval.end()) {
+      return it->second;
+    }
+    return Fr::Zero();
+  };
+
+  // --- Reconstruct the constraint identity at x. ---
+  const Fr l0_x = dom.EvaluateLagrange(0, x);
+  const Fr llast_x = dom.EvaluateLagrange(n - 1, x);
+  const Fr lactive_x = Fr::One() - llast_x;
+
+  Fr numerator = Fr::Zero();
+  Fr y_pow = Fr::One();
+  auto add_constraint = [&](const Fr& v) {
+    numerator += v * y_pow;
+    y_pow *= y;
+  };
+
+  for (const Gate& gate : cs.gates()) {
+    add_constraint(gate.poly.Evaluate(resolve));
+  }
+  for (size_t l = 0; l < num_lookups; ++l) {
+    const LookupArgument& lk = cs.lookups()[l];
+    Fr f = Fr::Zero();
+    Fr t = Fr::Zero();
+    Fr theta_j = Fr::One();
+    for (size_t j = 0; j < lk.inputs.size(); ++j) {
+      f += lk.inputs[j].Evaluate(resolve) * theta_j;
+      t += resolve(ColumnQuery{lk.table[j], 0}) * theta_j;
+      theta_j *= theta;
+    }
+    const Fr bf = beta + f;
+    const Fr bt = beta + t;
+    add_constraint(bf * bt * h_evals[l] - (bt - m_evals[l] * bf));
+    add_constraint(l0_x * s_evals[l]);
+    add_constraint(lactive_x * (s_next_evals[l] - s_evals[l] - h_evals[l]));
+    add_constraint(llast_x * (s_evals[l] + h_evals[l]));
+  }
+  if (num_chunks > 0) {
+    const Fr delta = FrDelta();
+    std::vector<Fr> delta_pow(perm_cols.size());
+    delta_pow[0] = Fr::One();
+    for (size_t i = 1; i < perm_cols.size(); ++i) {
+      delta_pow[i] = delta_pow[i - 1] * delta;
+    }
+    add_constraint(l0_x * (z_evals[0] - Fr::One()));
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t col_begin = c * static_cast<size_t>(chunk_size);
+      const size_t col_end = std::min(perm_cols.size(), col_begin + chunk_size);
+      Fr num = Fr::One();
+      Fr den = Fr::One();
+      for (size_t i = col_begin; i < col_end; ++i) {
+        const Fr f = resolve(ColumnQuery{perm_cols[i], 0});
+        num *= f + beta * delta_pow[i] * x + gamma;
+        den *= f + beta * sigma_evals[i] + gamma;
+      }
+      const size_t next = (c + 1) % num_chunks;
+      add_constraint(lactive_x * (z_next_evals[c] * den - z_evals[c] * num));
+      add_constraint(llast_x * (z_next_evals[next] * den - z_evals[c] * num));
+    }
+  }
+
+  // Quotient identity: N(x) == q(x) * (x^n - 1) with q split into chunks.
+  Fr q_at_x = Fr::Zero();
+  const Fr x_n = x.Pow(U256::FromU64(n));
+  Fr shift = Fr::One();
+  for (size_t i = 0; i < ext_factor; ++i) {
+    q_at_x += q_evals[i] * shift;
+    shift *= x_n;
+  }
+  if (!(numerator == q_at_x * dom.EvaluateVanishing(x))) {
+    return false;
+  }
+
+  // --- PCS opening checks, grouped by rotation as the prover did. ---
+  std::set<int32_t> rotations;
+  for (const OpenEntry& e : entries) {
+    rotations.insert(e.rotation);
+  }
+  for (int32_t rot : rotations) {
+    std::vector<PcsCommitment> comms;
+    std::vector<Fr> evals;
+    for (const OpenEntry& e : entries) {
+      if (e.rotation == rot) {
+        comms.push_back(*e.commitment);
+        evals.push_back(e.eval);
+      }
+    }
+    if (!pcs.VerifyBatch(comms, evals, rot_point(rot), &transcript, proof, &offset)) {
+      return false;
+    }
+  }
+  return offset == proof.size();
+}
+
+}  // namespace zkml

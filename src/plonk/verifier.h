@@ -1,0 +1,24 @@
+// The PLONK verifier: mirrors the prover's transcript, reconstructs the
+// constraint identity at the challenge point from the revealed evaluations,
+// and checks the PCS opening proofs.
+#ifndef SRC_PLONK_VERIFIER_H_
+#define SRC_PLONK_VERIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pcs/pcs.h"
+#include "src/plonk/keygen.h"
+
+namespace zkml {
+
+// `instance_columns[i]` holds the public values of instance column i (may be
+// shorter than 2^k; missing rows are zero). Returns true iff the proof is
+// valid for those public inputs.
+bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
+                 const std::vector<std::vector<Fr>>& instance_columns,
+                 const std::vector<uint8_t>& proof);
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_VERIFIER_H_

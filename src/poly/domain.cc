@@ -1,0 +1,175 @@
+#include "src/poly/domain.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+
+namespace zkml {
+namespace {
+
+void BitReversePermute(std::vector<Fr>* values) {
+  const size_t n = values->size();
+  size_t j = 0;
+  for (size_t i = 1; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<Fr>* values, const Fr& omega) {
+  std::vector<Fr>& a = *values;
+  const size_t n = a.size();
+  ZKML_CHECK_MSG((n & (n - 1)) == 0, "FFT size must be a power of two");
+  if (n <= 1) {
+    return;
+  }
+  BitReversePermute(values);
+
+  // Precompute omega^i for i < n/2 once; stage twiddles stride through it.
+  std::vector<Fr> pow(n / 2);
+  pow[0] = Fr::One();
+  for (size_t i = 1; i < n / 2; ++i) {
+    pow[i] = pow[i - 1] * omega;
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t half = len / 2;
+    const size_t stride = n / len;
+    ParallelFor(0, n / len, [&](size_t blk_begin, size_t blk_end) {
+      for (size_t blk = blk_begin; blk < blk_end; ++blk) {
+        const size_t base = blk * len;
+        for (size_t j = 0; j < half; ++j) {
+          const Fr& w = pow[j * stride];
+          Fr u = a[base + j];
+          Fr v = a[base + j + half] * w;
+          a[base + j] = u + v;
+          a[base + j + half] = u - v;
+        }
+      }
+    });
+  }
+}
+
+EvaluationDomain::EvaluationDomain(int k) : k_(k), n_(static_cast<size_t>(1) << k) {
+  omega_ = FrRootOfUnity(k);
+  omega_inv_ = omega_.Inverse();
+  n_inv_ = Fr::FromU64(n_).Inverse();
+  elements_.resize(n_);
+  elements_[0] = Fr::One();
+  for (size_t i = 1; i < n_; ++i) {
+    elements_[i] = elements_[i - 1] * omega_;
+  }
+}
+
+std::vector<Fr> EvaluationDomain::FftFromCoeffs(const std::vector<Fr>& coeffs) const {
+  ZKML_CHECK_MSG(coeffs.size() <= n_, "polynomial larger than domain");
+  std::vector<Fr> vals = coeffs;
+  vals.resize(n_, Fr::Zero());
+  Fft(&vals, omega_);
+  return vals;
+}
+
+std::vector<Fr> EvaluationDomain::IfftToCoeffs(const std::vector<Fr>& evals) const {
+  ZKML_CHECK(evals.size() == n_);
+  std::vector<Fr> coeffs = evals;
+  Fft(&coeffs, omega_inv_);
+  for (Fr& c : coeffs) {
+    c *= n_inv_;
+  }
+  return coeffs;
+}
+
+std::vector<Fr> EvaluationDomain::CosetFftFromCoeffs(const std::vector<Fr>& coeffs,
+                                                     int ext_k) const {
+  const size_t ext_n = n_ << ext_k;
+  ZKML_CHECK_MSG(coeffs.size() <= ext_n, "polynomial larger than extended domain");
+  std::vector<Fr> vals = coeffs;
+  vals.resize(ext_n, Fr::Zero());
+  // Scale coefficient i by g^i, then a plain FFT over H_ext evaluates on gH_ext.
+  const Fr g = Fr::FromU64(FrParams::kGenerator);
+  Fr gi = Fr::One();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    vals[i] *= gi;
+    gi *= g;
+  }
+  Fft(&vals, FrRootOfUnity(k_ + ext_k));
+  return vals;
+}
+
+std::vector<Fr> EvaluationDomain::CosetIfftToCoeffs(const std::vector<Fr>& evals,
+                                                    int ext_k) const {
+  const size_t ext_n = n_ << ext_k;
+  ZKML_CHECK(evals.size() == ext_n);
+  std::vector<Fr> coeffs = evals;
+  Fft(&coeffs, FrRootOfUnity(k_ + ext_k).Inverse());
+  const Fr ext_n_inv = Fr::FromU64(ext_n).Inverse();
+  const Fr g_inv = Fr::FromU64(FrParams::kGenerator).Inverse();
+  Fr gi = Fr::One();
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] *= ext_n_inv * gi;
+    gi *= g_inv;
+  }
+  return coeffs;
+}
+
+std::vector<Fr> EvaluationDomain::VanishingInverseOnCoset(int ext_k) const {
+  const size_t ext_n = n_ << ext_k;
+  const size_t period = static_cast<size_t>(1) << ext_k;
+  // Z_H(g * w_ext^j) = g^n * (w_ext^n)^j - 1, and w_ext^n is a primitive
+  // 2^ext_k-th root of unity, so the values repeat with that period.
+  const Fr g_to_n = Fr::FromU64(FrParams::kGenerator).Pow(U256::FromU64(n_));
+  const Fr w_ext_n = FrRootOfUnity(k_ + ext_k).Pow(U256::FromU64(n_));
+  std::vector<Fr> cycle(period);
+  Fr cur = g_to_n;
+  for (size_t j = 0; j < period; ++j) {
+    cycle[j] = cur - Fr::One();
+    ZKML_CHECK_MSG(!cycle[j].IsZero(), "vanishing polynomial vanished on coset");
+    cur *= w_ext_n;
+  }
+  BatchInverse(&cycle);
+  std::vector<Fr> out(ext_n);
+  for (size_t j = 0; j < ext_n; ++j) {
+    out[j] = cycle[j % period];
+  }
+  return out;
+}
+
+Fr EvaluationDomain::EvaluateVanishing(const Fr& x) const {
+  return x.Pow(U256::FromU64(n_)) - Fr::One();
+}
+
+Fr EvaluationDomain::EvaluateLagrange(size_t i, const Fr& x) const {
+  const Fr num = elements_[i % n_] * EvaluateVanishing(x);
+  const Fr den = Fr::FromU64(n_) * (x - elements_[i % n_]);
+  return num * den.Inverse();
+}
+
+Fr EvaluationDomain::EvaluateLagrangeCombination(const std::vector<Fr>& values,
+                                                 const Fr& x) const {
+  ZKML_CHECK(values.size() <= n_);
+  // sum_i v_i * w^i/(x - w^i) * (x^n - 1)/n, with the divisions batched.
+  std::vector<Fr> denoms(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    denoms[i] = x - elements_[i];
+  }
+  BatchInverse(&denoms);
+  Fr acc = Fr::Zero();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].IsZero()) {
+      continue;
+    }
+    acc += values[i] * elements_[i] * denoms[i];
+  }
+  return acc * EvaluateVanishing(x) * n_inv_;
+}
+
+}  // namespace zkml

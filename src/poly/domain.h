@@ -1,0 +1,72 @@
+// Radix-2 evaluation domains over Fr and the FFT machinery the PLONK prover
+// uses: value<->coefficient transforms on the 2^k-th roots of unity, coset
+// evaluations on the extended domain used by the quotient argument, and
+// Lagrange-basis helpers the verifier evaluates at the challenge point.
+#ifndef SRC_POLY_DOMAIN_H_
+#define SRC_POLY_DOMAIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ff/fields.h"
+#include "src/poly/polynomial.h"
+
+namespace zkml {
+
+// In-place FFT on a power-of-two sized vector. `omega` must be a primitive
+// n-th root of unity. Input and output are in natural order.
+void Fft(std::vector<Fr>* values, const Fr& omega);
+
+class EvaluationDomain {
+ public:
+  // Domain of size 2^k.
+  explicit EvaluationDomain(int k);
+
+  int k() const { return k_; }
+  size_t size() const { return n_; }
+  const Fr& omega() const { return omega_; }
+  const Fr& omega_inv() const { return omega_inv_; }
+
+  // omega^i, for i in [0, n).
+  const std::vector<Fr>& elements() const { return elements_; }
+  Fr element(size_t i) const { return elements_[i % n_]; }
+
+  // Coefficients -> evaluations over the domain (pads with zeros; input size
+  // must be <= n).
+  std::vector<Fr> FftFromCoeffs(const std::vector<Fr>& coeffs) const;
+  // Evaluations -> coefficients.
+  std::vector<Fr> IfftToCoeffs(const std::vector<Fr>& evals) const;
+
+  // Evaluations of the polynomial (given by coefficients, size <= ext_n) over
+  // the coset g * H_ext where H_ext is the domain of size ext_n = n << ext_k
+  // and g is the Fr multiplicative generator. Used for quotient computation:
+  // the vanishing polynomial of H never vanishes on this coset.
+  std::vector<Fr> CosetFftFromCoeffs(const std::vector<Fr>& coeffs, int ext_k) const;
+  // Inverse: coset evaluations (size n << ext_k) -> coefficients.
+  std::vector<Fr> CosetIfftToCoeffs(const std::vector<Fr>& evals, int ext_k) const;
+
+  // Values of 1 / (g^n * (w_ext^n)^j - 1) for j in [0, n<<ext_k): the inverse
+  // of the vanishing polynomial of H on the extended coset. The sequence has
+  // period 2^ext_k.
+  std::vector<Fr> VanishingInverseOnCoset(int ext_k) const;
+
+  // x^n - 1.
+  Fr EvaluateVanishing(const Fr& x) const;
+  // l_i(x) = omega^i * (x^n - 1) / (n * (x - omega^i)). Callers must not pass
+  // x inside the domain.
+  Fr EvaluateLagrange(size_t i, const Fr& x) const;
+  // Evaluates sum_i values[i] * l_i(x) without interpolating (O(n)).
+  Fr EvaluateLagrangeCombination(const std::vector<Fr>& values, const Fr& x) const;
+
+ private:
+  int k_;
+  size_t n_;
+  Fr omega_;
+  Fr omega_inv_;
+  Fr n_inv_;
+  std::vector<Fr> elements_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_POLY_DOMAIN_H_

@@ -1,0 +1,53 @@
+// Fixed-point quantization (paper §4.1): all circuit values are integers at a
+// global power-of-two scale factor chosen per model; negative values are
+// embedded as p - |x| in the field.
+#ifndef SRC_TENSOR_QUANTIZER_H_
+#define SRC_TENSOR_QUANTIZER_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+namespace zkml {
+
+struct QuantParams {
+  // Scale factor SF = 2^sf_bits: real value x is represented as round(x*SF).
+  int sf_bits = 6;
+  // Non-linearity / range lookup tables span [-2^(table_bits-1), 2^(table_bits-1));
+  // this bounds both value range and the grid size (tables live in the rows).
+  int table_bits = 12;
+
+  int64_t SF() const { return int64_t{1} << sf_bits; }
+  int64_t TableMin() const { return -(int64_t{1} << (table_bits - 1)); }
+  int64_t TableMax() const { return int64_t{1} << (table_bits - 1); }  // exclusive
+  bool InTableRange(int64_t q) const { return q >= TableMin() && q < TableMax(); }
+};
+
+inline int64_t QuantizeValue(double x, const QuantParams& qp) {
+  return llround(x * static_cast<double>(qp.SF()));
+}
+
+inline double DequantizeValue(int64_t q, const QuantParams& qp) {
+  return static_cast<double>(q) / static_cast<double>(qp.SF());
+}
+
+inline Tensor<int64_t> QuantizeTensor(const Tensor<float>& t, const QuantParams& qp) {
+  Tensor<int64_t> out(t.shape());
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    out.flat(i) = QuantizeValue(t.flat(i), qp);
+  }
+  return out;
+}
+
+inline Tensor<float> DequantizeTensor(const Tensor<int64_t>& t, const QuantParams& qp) {
+  Tensor<float> out(t.shape());
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    out.flat(i) = static_cast<float>(DequantizeValue(t.flat(i), qp));
+  }
+  return out;
+}
+
+}  // namespace zkml
+
+#endif  // SRC_TENSOR_QUANTIZER_H_

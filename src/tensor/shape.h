@@ -1,0 +1,59 @@
+// Tensor shapes and index arithmetic.
+#ifndef SRC_TENSOR_SHAPE_H_
+#define SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace zkml {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) {
+      n *= d;
+    }
+    return n;
+  }
+
+  // Row-major strides.
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> s(dims_.size(), 1);
+    for (size_t i = dims_.size(); i-- > 1;) {
+      s[i - 1] = s[i] * dims_[i];
+    }
+    return s;
+  }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) {
+        s += ",";
+      }
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_TENSOR_SHAPE_H_

@@ -1,0 +1,165 @@
+// N-dimensional tensors with shared storage and stride-based views. Shape
+// operations (reshape, transpose, slice) return views over the same storage
+// — the paper's observation that shape ops are "free" inside circuits because
+// tensors hold references to previously assigned cells.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/tensor/shape.h"
+
+namespace zkml {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(const Shape& shape)
+      : storage_(std::make_shared<std::vector<T>>(shape.NumElements())),
+        shape_(shape),
+        strides_(shape.Strides()),
+        offset_(0) {}
+
+  Tensor(const Shape& shape, std::vector<T> values)
+      : storage_(std::make_shared<std::vector<T>>(std::move(values))),
+        shape_(shape),
+        strides_(shape.Strides()),
+        offset_(0) {
+    ZKML_CHECK(static_cast<int64_t>(storage_->size()) == shape.NumElements());
+  }
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+
+  T& at(const std::vector<int64_t>& idx) { return (*storage_)[FlatOffset(idx)]; }
+  const T& at(const std::vector<int64_t>& idx) const { return (*storage_)[FlatOffset(idx)]; }
+
+  // Linear access in logical (row-major) order; works on views.
+  T& flat(int64_t i) { return (*storage_)[LogicalToStorage(i)]; }
+  const T& flat(int64_t i) const { return (*storage_)[LogicalToStorage(i)]; }
+
+  // Copies the logical contents into a fresh contiguous tensor.
+  Tensor<T> Materialize() const {
+    Tensor<T> out(shape_);
+    const int64_t n = NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      out.flat(i) = flat(i);
+    }
+    return out;
+  }
+
+  bool IsContiguous() const { return offset_ == 0 && strides_ == shape_.Strides(); }
+
+  // View: same data, new shape. Requires contiguous layout.
+  Tensor<T> Reshape(const Shape& new_shape) const {
+    ZKML_CHECK(new_shape.NumElements() == NumElements());
+    if (!IsContiguous()) {
+      return Materialize().Reshape(new_shape);
+    }
+    Tensor<T> out = *this;
+    out.shape_ = new_shape;
+    out.strides_ = new_shape.Strides();
+    return out;
+  }
+
+  // View: permuted dimensions.
+  Tensor<T> Transpose(const std::vector<int>& perm) const {
+    ZKML_CHECK(static_cast<int>(perm.size()) == shape_.rank());
+    std::vector<int64_t> new_dims(perm.size());
+    std::vector<int64_t> new_strides(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      new_dims[i] = shape_.dim(perm[i]);
+      new_strides[i] = strides_[static_cast<size_t>(perm[i])];
+    }
+    Tensor<T> out = *this;
+    out.shape_ = Shape(new_dims);
+    out.strides_ = new_strides;
+    return out;
+  }
+
+  // View: sub-box starting at `starts` with extents `sizes`.
+  Tensor<T> Slice(const std::vector<int64_t>& starts, const std::vector<int64_t>& sizes) const {
+    ZKML_CHECK(static_cast<int>(starts.size()) == shape_.rank());
+    ZKML_CHECK(static_cast<int>(sizes.size()) == shape_.rank());
+    Tensor<T> out = *this;
+    for (int i = 0; i < shape_.rank(); ++i) {
+      ZKML_CHECK(starts[i] >= 0 && starts[i] + sizes[i] <= shape_.dim(i));
+      out.offset_ += starts[static_cast<size_t>(i)] * strides_[static_cast<size_t>(i)];
+    }
+    out.shape_ = Shape(sizes);
+    return out;
+  }
+
+  // Concatenation along `axis`: copies element references into fresh storage
+  // ("free" in-circuit because the elements are cell references).
+  static Tensor<T> Concat(const std::vector<Tensor<T>>& parts, int axis) {
+    ZKML_CHECK(!parts.empty());
+    std::vector<int64_t> dims = parts[0].shape().dims();
+    int64_t total = 0;
+    for (const Tensor<T>& p : parts) {
+      total += p.shape().dim(axis);
+    }
+    dims[static_cast<size_t>(axis)] = total;
+    Tensor<T> out((Shape(dims)));
+    std::vector<int64_t> idx(dims.size(), 0);
+    int64_t base = 0;
+    for (const Tensor<T>& p : parts) {
+      const int64_t n = p.NumElements();
+      for (int64_t i = 0; i < n; ++i) {
+        // Decode i into p's indices, shift along axis, write into out.
+        int64_t rem = i;
+        for (int d = p.shape().rank() - 1; d >= 0; --d) {
+          idx[static_cast<size_t>(d)] = rem % p.shape().dim(d);
+          rem /= p.shape().dim(d);
+        }
+        idx[static_cast<size_t>(axis)] += base;
+        out.at(idx) = p.flat(i);
+        idx[static_cast<size_t>(axis)] -= base;
+      }
+      base += p.shape().dim(axis);
+    }
+    return out;
+  }
+
+  // All logical elements as a flat vector (copy).
+  std::vector<T> ToVector() const {
+    std::vector<T> out(static_cast<size_t>(NumElements()));
+    for (int64_t i = 0; i < NumElements(); ++i) {
+      out[static_cast<size_t>(i)] = flat(i);
+    }
+    return out;
+  }
+
+ private:
+  int64_t FlatOffset(const std::vector<int64_t>& idx) const {
+    ZKML_DCHECK(static_cast<int>(idx.size()) == shape_.rank());
+    int64_t off = offset_;
+    for (size_t i = 0; i < idx.size(); ++i) {
+      ZKML_DCHECK(idx[i] >= 0 && idx[i] < shape_.dim(static_cast<int>(i)));
+      off += idx[i] * strides_[i];
+    }
+    return off;
+  }
+
+  int64_t LogicalToStorage(int64_t i) const {
+    int64_t off = offset_;
+    for (int d = shape_.rank() - 1; d >= 0; --d) {
+      off += (i % shape_.dim(d)) * strides_[static_cast<size_t>(d)];
+      i /= shape_.dim(d);
+    }
+    return off;
+  }
+
+  std::shared_ptr<std::vector<T>> storage_;
+  Shape shape_;
+  std::vector<int64_t> strides_;
+  int64_t offset_ = 0;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,31 @@
+// Self-contained SHA-256 (FIPS 180-4) used by the Fiat-Shamir transcript.
+#ifndef SRC_TRANSCRIPT_SHA256_H_
+#define SRC_TRANSCRIPT_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace zkml {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  std::array<uint8_t, 32> Finalize();
+
+  static std::array<uint8_t, 32> Hash(const uint8_t* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_TRANSCRIPT_SHA256_H_

@@ -1,0 +1,55 @@
+#include "src/transcript/transcript.h"
+
+#include "src/transcript/sha256.h"
+
+namespace zkml {
+
+Transcript::Transcript(const std::string& domain_separator) {
+  state_.fill(0);
+  Absorb(reinterpret_cast<const uint8_t*>(domain_separator.data()), domain_separator.size());
+}
+
+void Transcript::Absorb(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.Update(state_.data(), state_.size());
+  h.Update(data, len);
+  state_ = h.Finalize();
+}
+
+void Transcript::AppendBytes(const std::string& label, const uint8_t* data, size_t len) {
+  Absorb(reinterpret_cast<const uint8_t*>(label.data()), label.size());
+  Absorb(data, len);
+}
+
+void Transcript::AppendFr(const std::string& label, const Fr& x) {
+  const U256 c = x.ToCanonical();
+  uint8_t bytes[32];
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      bytes[i * 8 + b] = static_cast<uint8_t>(c.limbs[i] >> (8 * b));
+    }
+  }
+  AppendBytes(label, bytes, sizeof(bytes));
+}
+
+void Transcript::AppendPoint(const std::string& label, const G1Affine& p) {
+  const auto bytes = p.Serialize();
+  AppendBytes(label, bytes.data(), bytes.size());
+}
+
+Fr Transcript::ChallengeFr(const std::string& label) {
+  Absorb(reinterpret_cast<const uint8_t*>(label.data()), label.size());
+  // Fold the 256-bit digest into Fr by Horner evaluation base 2^8; the ~2-bit
+  // modulus slack gives negligible bias for Fiat-Shamir purposes.
+  Fr acc = Fr::Zero();
+  const Fr base = Fr::FromU64(256);
+  for (uint8_t byte : state_) {
+    acc = acc * base + Fr::FromU64(byte);
+  }
+  // Advance the state so repeated challenges differ.
+  const uint8_t tick = 0x5c;
+  Absorb(&tick, 1);
+  return acc;
+}
+
+}  // namespace zkml

@@ -1,0 +1,37 @@
+// Fiat-Shamir transcript: both prover and verifier absorb the same protocol
+// messages and derive identical challenges, making the interactive PLONK
+// protocol non-interactive.
+#ifndef SRC_TRANSCRIPT_TRANSCRIPT_H_
+#define SRC_TRANSCRIPT_TRANSCRIPT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ec/g1.h"
+#include "src/ff/fields.h"
+
+namespace zkml {
+
+class Transcript {
+ public:
+  explicit Transcript(const std::string& domain_separator);
+
+  void AppendBytes(const std::string& label, const uint8_t* data, size_t len);
+  void AppendFr(const std::string& label, const Fr& x);
+  void AppendPoint(const std::string& label, const G1Affine& p);
+
+  // Derives a field-element challenge and folds it back into the state so
+  // later challenges depend on earlier ones.
+  Fr ChallengeFr(const std::string& label);
+
+ private:
+  void Absorb(const uint8_t* data, size_t len);
+
+  std::array<uint8_t, 32> state_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_TRANSCRIPT_TRANSCRIPT_H_

@@ -1,0 +1,74 @@
+#include "src/zkml/zkml.h"
+
+#include "src/base/check.h"
+#include "src/base/timer.h"
+#include "src/plonk/prover.h"
+#include "src/plonk/verifier.h"
+
+namespace zkml {
+
+std::shared_ptr<Pcs> MakePcsBackend(PcsKind kind, size_t max_len, uint64_t seed) {
+  if (kind == PcsKind::kKzg) {
+    return std::make_shared<KzgPcs>(std::make_shared<KzgSetup>(KzgSetup::Create(max_len, seed)));
+  }
+  return std::make_shared<IpaPcs>(std::make_shared<IpaSetup>(IpaSetup::Create(max_len, seed)));
+}
+
+CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& layout,
+                                     const ZkmlOptions& options) {
+  CompiledModel compiled;
+  compiled.model = model;
+  compiled.layout = layout;
+  compiled.predicted_cost =
+      EstimateProvingCost(layout, HardwareProfile::Cached(), options.backend);
+
+  const size_t n = static_cast<size_t>(1) << layout.k;
+  compiled.pcs = MakePcsBackend(options.backend, n, options.setup_seed);
+
+  Timer keygen_timer;
+  // Keygen runs on the zero-input circuit: fixed columns and copy constraints
+  // are input-independent (the graph has no data-dependent control flow).
+  Tensor<int64_t> zero(model.input_shape);
+  BuiltCircuit built = BuildCircuit(model, layout, zero);
+  compiled.pk = Keygen(built.builder->cs(), built.builder->assignment(), *compiled.pcs, layout.k);
+  compiled.keygen_seconds = keygen_timer.ElapsedSeconds();
+  return compiled;
+}
+
+CompiledModel CompileModel(const Model& model, const ZkmlOptions& options) {
+  OptimizerOptions opt = options.optimizer;
+  opt.backend = options.backend;
+  OptimizerResult result = OptimizeLayout(model, HardwareProfile::Cached(), opt);
+  ZKML_CHECK_MSG(result.best.layout.k > 0, "optimizer found no feasible layout");
+  CompiledModel compiled = CompileModelWithLayout(model, result.best.layout, options);
+  compiled.optimizer_seconds = result.optimizer_seconds;
+  return compiled;
+}
+
+ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
+  ZkmlProof out;
+  Timer witness_timer;
+  BuiltCircuit built = BuildCircuit(compiled.model, compiled.layout, input_q);
+  out.witness_seconds = witness_timer.ElapsedSeconds();
+  out.output_q = built.output_q;
+
+  const Assignment& asn = built.builder->assignment();
+  const std::vector<Fr>& inst = asn.instance()[0];
+  out.instance.assign(inst.begin(), inst.begin() + built.num_instance_rows);
+
+  Timer prove_timer;
+  out.bytes = CreateProof(compiled.pk, *compiled.pcs, asn);
+  out.prove_seconds = prove_timer.ElapsedSeconds();
+  return out;
+}
+
+bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& instance,
+            const std::vector<uint8_t>& proof_bytes) {
+  return VerifyProof(vk, pcs, {instance}, proof_bytes);
+}
+
+bool Verify(const CompiledModel& compiled, const ZkmlProof& proof) {
+  return Verify(compiled.pk.vk, *compiled.pcs, proof.instance, proof.bytes);
+}
+
+}  // namespace zkml

@@ -1,0 +1,65 @@
+// Public API: compile an ML model to an optimized Plonkish circuit, produce
+// ZK-SNARK proofs of its execution, and verify them. Mirrors the paper's
+// two-stage user flow (§8): optimization (keys are model-specific) then
+// proving (per input).
+#ifndef SRC_ZKML_ZKML_H_
+#define SRC_ZKML_ZKML_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/model/graph.h"
+#include "src/optimizer/optimizer.h"
+#include "src/pcs/ipa.h"
+#include "src/pcs/kzg.h"
+#include "src/plonk/keygen.h"
+
+namespace zkml {
+
+struct ZkmlOptions {
+  PcsKind backend = PcsKind::kKzg;
+  OptimizerOptions optimizer;  // backend field is overwritten by `backend`
+  uint64_t setup_seed = 42;
+};
+
+// A model compiled to a concrete circuit layout with generated keys.
+struct CompiledModel {
+  Model model;
+  PhysicalLayout layout;
+  CostEstimate predicted_cost;
+  std::shared_ptr<Pcs> pcs;
+  ProvingKey pk;  // pk.vk is the verifying key
+  double optimizer_seconds = 0;
+  double keygen_seconds = 0;
+};
+
+// Runs the optimizer, builds the circuit, and generates keys.
+CompiledModel CompileModel(const Model& model, const ZkmlOptions& options = {});
+// Skips the optimizer and uses an explicit layout (ablation experiments).
+CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& layout,
+                                     const ZkmlOptions& options = {});
+
+struct ZkmlProof {
+  std::vector<uint8_t> bytes;
+  // Public statement: the instance column (input values then output values).
+  std::vector<Fr> instance;
+  Tensor<int64_t> output_q;
+  double witness_seconds = 0;
+  double prove_seconds = 0;
+};
+
+// Produces a proof that `compiled.model` maps input_q to the returned output.
+ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q);
+
+// Verifies a proof against its public statement.
+bool Verify(const CompiledModel& compiled, const ZkmlProof& proof);
+// Verifier-side entry point needing only the verifying key.
+bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& instance,
+            const std::vector<uint8_t>& proof_bytes);
+
+// Constructs the PCS backend used by CompileModel (exposed for benchmarks).
+std::shared_ptr<Pcs> MakePcsBackend(PcsKind kind, size_t max_len, uint64_t seed);
+
+}  // namespace zkml
+
+#endif  // SRC_ZKML_ZKML_H_

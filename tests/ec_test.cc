@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/ec/g1.h"
+
+namespace zkml {
+namespace {
+
+TEST(G1Test, GeneratorOnCurve) {
+  EXPECT_TRUE(G1Affine::Generator().IsOnCurve());
+  EXPECT_TRUE(G1Affine::Identity().IsOnCurve());
+}
+
+TEST(G1Test, GroupLaws) {
+  Rng rng(1);
+  G1 g = G1::Generator();
+  G1 a = g.ScalarMul(Fr::Random(rng));
+  G1 b = g.ScalarMul(Fr::Random(rng));
+  G1 c = g.ScalarMul(Fr::Random(rng));
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a + G1::Identity(), a);
+  EXPECT_EQ(a + a.Neg(), G1::Identity());
+  EXPECT_EQ(a.Double(), a + a);
+}
+
+TEST(G1Test, MixedAddMatchesFullAdd) {
+  Rng rng(2);
+  G1 a = G1::Generator().ScalarMul(Fr::Random(rng));
+  G1 b = G1::Generator().ScalarMul(Fr::Random(rng));
+  G1Affine b_aff = b.ToAffine();
+  EXPECT_EQ(a.AddMixed(b_aff), a + b);
+  EXPECT_EQ(G1::Identity().AddMixed(b_aff), b);
+  EXPECT_EQ(a.AddMixed(G1Affine::Identity()), a);
+  // Doubling path.
+  EXPECT_EQ(b.AddMixed(b_aff), b.Double());
+  // Cancellation path.
+  EXPECT_EQ(b.Neg().AddMixed(b_aff), G1::Identity());
+}
+
+TEST(G1Test, ScalarMulLinearity) {
+  Rng rng(3);
+  Fr s = Fr::Random(rng);
+  Fr t = Fr::Random(rng);
+  G1 g = G1::Generator();
+  EXPECT_EQ(g.ScalarMul(s) + g.ScalarMul(t), g.ScalarMul(s + t));
+  EXPECT_EQ(g.ScalarMul(s).ScalarMul(t), g.ScalarMul(s * t));
+  EXPECT_EQ(g.ScalarMul(Fr::Zero()), G1::Identity());
+  EXPECT_EQ(g.ScalarMul(Fr::One()), g);
+}
+
+TEST(G1Test, GroupOrderAnnihilates) {
+  // [p]G == identity where p is the Fr modulus: multiply by p-1 and add G.
+  U256 p_minus_1;
+  SubU256(FrParams::Modulus(), U256::FromU64(1), &p_minus_1);
+  G1 g = G1::Generator();
+  G1 acc = g.ScalarMul(Fr::FromCanonical(p_minus_1).Neg().Neg());  // p-1 as field elt
+  // Fr arithmetic reduces mod p, so instead mul by canonical p-1 directly:
+  // ScalarMul uses the canonical form, and FromCanonical(p-1) keeps it.
+  EXPECT_EQ(acc + g, G1::Identity());
+}
+
+TEST(G1Test, AffineRoundTrip) {
+  Rng rng(4);
+  for (int t = 0; t < 10; ++t) {
+    G1 a = G1::Generator().ScalarMul(Fr::Random(rng));
+    G1Affine aff = a.ToAffine();
+    EXPECT_TRUE(aff.IsOnCurve());
+    EXPECT_EQ(G1::FromAffine(aff), a);
+  }
+}
+
+TEST(G1Test, SerializeRoundTrip) {
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    G1Affine p = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    auto bytes = p.Serialize();
+    G1Affine back;
+    ASSERT_TRUE(G1Affine::Deserialize(bytes.data(), &back));
+    EXPECT_EQ(back, p);
+  }
+  auto id_bytes = G1Affine::Identity().Serialize();
+  G1Affine back;
+  ASSERT_TRUE(G1Affine::Deserialize(id_bytes.data(), &back));
+  EXPECT_TRUE(back.infinity);
+}
+
+TEST(G1Test, DeserializeRejectsGarbage) {
+  std::array<uint8_t, 33> bytes{};
+  bytes[0] = 7;  // invalid flag
+  G1Affine out;
+  EXPECT_FALSE(G1Affine::Deserialize(bytes.data(), &out));
+  bytes[0] = 2;
+  for (int i = 1; i < 33; ++i) {
+    bytes[i] = 0xff;  // x >= q
+  }
+  EXPECT_FALSE(G1Affine::Deserialize(bytes.data(), &out));
+}
+
+class MsmTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MsmTest, MatchesNaive) {
+  const size_t n = GetParam();
+  Rng rng(100 + n);
+  std::vector<G1Affine> bases(n);
+  std::vector<Fr> scalars(n);
+  G1 expected;
+  for (size_t i = 0; i < n; ++i) {
+    bases[i] = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    scalars[i] = Fr::Random(rng);
+    expected += G1::FromAffine(bases[i]).ScalarMul(scalars[i]);
+  }
+  EXPECT_EQ(Msm(bases, scalars), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MsmTest, ::testing::Values(0, 1, 2, 31, 32, 33, 100, 257));
+
+TEST(MsmTest, HandlesZeroAndOneScalars) {
+  Rng rng(9);
+  std::vector<G1Affine> bases(64);
+  std::vector<Fr> scalars(64, Fr::Zero());
+  for (auto& b : bases) {
+    b = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+  }
+  EXPECT_EQ(Msm(bases, scalars), G1::Identity());
+  scalars[5] = Fr::One();
+  EXPECT_EQ(Msm(bases, scalars), G1::FromAffine(bases[5]));
+}
+
+TEST(DeriveGeneratorsTest, DeterministicAndOnCurve) {
+  auto a = DeriveGenerators(42, 16);
+  auto b = DeriveGenerators(42, 16);
+  auto c = DeriveGenerators(43, 16);
+  ASSERT_EQ(a.size(), 16u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].IsOnCurve());
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_FALSE(a[i] == c[i]);
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_FALSE(a[i] == a[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zkml

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/ff/fields.h"
+#include "src/ff/u256.h"
+
+namespace zkml {
+namespace {
+
+TEST(U256Test, HexRoundTrip) {
+  const std::string hex = "0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001";
+  U256 v = U256::FromHex(hex);
+  EXPECT_EQ(v.ToHex(), hex);
+  EXPECT_EQ(U256::FromU64(0).ToHex(), "0x0");
+  EXPECT_EQ(U256::FromU64(255).ToHex(), "0xff");
+}
+
+TEST(U256Test, AddSubInverse) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    U256 a, b;
+    for (int i = 0; i < 4; ++i) {
+      a.limbs[i] = rng.NextU64();
+      b.limbs[i] = rng.NextU64();
+    }
+    U256 sum, back;
+    uint64_t carry = AddU256(a, b, &sum);
+    uint64_t borrow = SubU256(sum, b, &back);
+    EXPECT_EQ(carry, borrow);
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(U256Test, Compare) {
+  U256 a = U256::FromU64(5);
+  U256 b = U256::FromU64(7);
+  EXPECT_EQ(CmpU256(a, b), -1);
+  EXPECT_EQ(CmpU256(b, a), 1);
+  EXPECT_EQ(CmpU256(a, a), 0);
+  U256 big;
+  big.limbs[3] = 1;
+  EXPECT_EQ(CmpU256(big, b), 1);
+}
+
+TEST(U256Test, ShiftRight) {
+  U256 v = U256::FromHex("0x10000000000000000");  // 2^64
+  EXPECT_EQ(ShrU256(v, 64), U256::FromU64(1));
+  EXPECT_EQ(ShrU256(v, 1), U256::FromHex("0x8000000000000000"));
+  EXPECT_EQ(ShrU256(v, 65), U256::FromU64(0));
+}
+
+TEST(U256Test, HighestBit) {
+  EXPECT_EQ(U256::FromU64(0).HighestBit(), -1);
+  EXPECT_EQ(U256::FromU64(1).HighestBit(), 0);
+  EXPECT_EQ(U256::FromU64(2).HighestBit(), 1);
+  EXPECT_EQ(FrParams::Modulus().HighestBit(), 253);
+}
+
+TEST(FrTest, AdditiveIdentities) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    Fr a = Fr::Random(rng);
+    EXPECT_EQ(a + Fr::Zero(), a);
+    EXPECT_EQ(a - a, Fr::Zero());
+    EXPECT_EQ(a + a.Neg(), Fr::Zero());
+    EXPECT_EQ(a.Double(), a + a);
+  }
+}
+
+TEST(FrTest, MultiplicativeIdentities) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Fr a = Fr::Random(rng);
+    EXPECT_EQ(a * Fr::One(), a);
+    EXPECT_EQ(a * Fr::Zero(), Fr::Zero());
+    EXPECT_EQ(a.Square(), a * a);
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), Fr::One());
+    }
+  }
+}
+
+TEST(FrTest, KnownSmallProducts) {
+  EXPECT_EQ(Fr::FromU64(6), Fr::FromU64(2) * Fr::FromU64(3));
+  // Products below 2^128 must match plain integer multiplication.
+  unsigned __int128 prod = static_cast<unsigned __int128>(1000000007) * 998244353;
+  U256 expected;
+  expected.limbs[0] = static_cast<uint64_t>(prod);
+  expected.limbs[1] = static_cast<uint64_t>(prod >> 64);
+  EXPECT_EQ((Fr::FromU64(1000000007) * Fr::FromU64(998244353)).ToCanonical(), expected);
+}
+
+TEST(FrTest, Distributivity) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    Fr a = Fr::Random(rng);
+    Fr b = Fr::Random(rng);
+    Fr c = Fr::Random(rng);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+  }
+}
+
+TEST(FrTest, FermatLittleTheorem) {
+  Rng rng(5);
+  U256 p_minus_1;
+  SubU256(FrParams::Modulus(), U256::FromU64(1), &p_minus_1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Fr a = Fr::Random(rng);
+    if (a.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(a.Pow(p_minus_1), Fr::One());
+  }
+}
+
+TEST(FrTest, SignedEmbedding) {
+  EXPECT_EQ(Fr::FromInt64(-5) + Fr::FromInt64(5), Fr::Zero());
+  EXPECT_EQ(Fr::FromInt64(-3) * Fr::FromInt64(-7), Fr::FromU64(21));
+  EXPECT_EQ(Fr::FromInt64(-12345).ToCenteredInt64(), -12345);
+  EXPECT_EQ(Fr::FromInt64(987654321).ToCenteredInt64(), 987654321);
+  EXPECT_EQ(Fr::Zero().ToCenteredInt64(), 0);
+}
+
+TEST(FrTest, RootsOfUnity) {
+  for (int k = 0; k <= 10; ++k) {
+    Fr w = FrRootOfUnity(k);
+    // w^(2^k) == 1 but w^(2^(k-1)) != 1 (primitive).
+    Fr acc = w;
+    for (int i = 0; i < k; ++i) {
+      acc = acc.Square();
+    }
+    EXPECT_EQ(acc, Fr::One()) << "k=" << k;
+    if (k > 0) {
+      Fr half = w;
+      for (int i = 0; i + 1 < k; ++i) {
+        half = half.Square();
+      }
+      EXPECT_NE(half, Fr::One()) << "k=" << k;
+      EXPECT_EQ(half, Fr::One().Neg()) << "k=" << k;  // order-2 root is -1
+    }
+  }
+}
+
+TEST(FrTest, MaxTwoAdicityRootExists) {
+  Fr w = FrRootOfUnity(28);
+  Fr acc = w;
+  for (int i = 0; i < 28; ++i) {
+    acc = acc.Square();
+  }
+  EXPECT_EQ(acc, Fr::One());
+}
+
+TEST(FrTest, DeltaGeneratesDistinctCosets) {
+  // delta^i * omega^j must be pairwise distinct for small i, j.
+  Fr delta = FrDelta();
+  Fr w = FrRootOfUnity(4);
+  std::vector<Fr> seen;
+  Fr di = Fr::One();
+  for (int i = 0; i < 4; ++i) {
+    Fr v = di;
+    for (int j = 0; j < 16; ++j) {
+      for (const Fr& s : seen) {
+        EXPECT_NE(s, v);
+      }
+      seen.push_back(v);
+      v *= w;
+    }
+    di *= delta;
+  }
+}
+
+TEST(FrTest, BatchInverseMatchesScalar) {
+  Rng rng(6);
+  std::vector<Fr> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(Fr::Random(rng));
+  }
+  xs[7] = Fr::Zero();
+  xs[23] = Fr::Zero();
+  std::vector<Fr> expected = xs;
+  for (Fr& e : expected) {
+    e = e.Inverse();
+  }
+  BatchInverse(&xs);
+  EXPECT_EQ(xs.size(), expected.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(xs[i], expected[i]) << i;
+  }
+}
+
+TEST(FqTest, SqrtOfSquares) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Fq a = Fq::Random(rng);
+    Fq sq = a.Square();
+    Fq root;
+    ASSERT_TRUE(FqSqrt(sq, &root));
+    EXPECT_TRUE(root == a || root == a.Neg());
+  }
+}
+
+TEST(FqTest, NonResidueDetected) {
+  // -1 is a non-residue in Fq when q == 3 mod 4.
+  Fq root;
+  EXPECT_FALSE(FqSqrt(Fq::One().Neg(), &root));
+}
+
+TEST(FrTest, CanonicalRoundTrip) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    Fr a = Fr::Random(rng);
+    EXPECT_EQ(Fr::FromCanonical(a.ToCanonical()), a);
+  }
+}
+
+}  // namespace
+}  // namespace zkml

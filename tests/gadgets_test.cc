@@ -1,0 +1,292 @@
+// Gadget-level tests: every gadget must (a) compute the right quantized value,
+// (b) produce a constraint-satisfying assignment (MockProver), and (c) report
+// identical row counts in estimate and assign modes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/gadgets/circuit_builder.h"
+#include "src/plonk/mock_prover.h"
+
+namespace zkml {
+namespace {
+
+constexpr int kK = 11;  // 2048 rows: enough for a table_bits=10 table
+
+BuilderOptions BaseOptions(bool estimate) {
+  BuilderOptions opts;
+  opts.num_io_columns = 10;
+  opts.quant.sf_bits = 5;
+  opts.quant.table_bits = 10;
+  opts.gadgets.nonlin_fns = {NonlinFn::kRelu, NonlinFn::kSigmoid, NonlinFn::kExp};
+  opts.gadgets.need_max = true;
+  opts.gadgets.need_vardiv = true;
+  opts.estimate_only = estimate;
+  opts.k = kK;
+  return opts;
+}
+
+void ExpectSatisfied(const CircuitBuilder& cb) {
+  MockProver mp(&cb.cs(), &cb.assignment());
+  auto failures = mp.Verify();
+  EXPECT_TRUE(failures.empty()) << (failures.empty() ? "" : failures[0].description);
+}
+
+// Runs `body` in assign mode, checks constraints, and confirms the estimate
+// mode produces identical row counts.
+void RunBoth(const std::function<void(CircuitBuilder&)>& body,
+             BuilderOptions opts = BaseOptions(false)) {
+  opts.estimate_only = false;
+  CircuitBuilder assign_cb(opts);
+  body(assign_cb);
+  ExpectSatisfied(assign_cb);
+
+  opts.estimate_only = true;
+  CircuitBuilder est_cb(opts);
+  body(est_cb);
+  EXPECT_EQ(est_cb.RowsUsed(), assign_cb.RowsUsed());
+  EXPECT_EQ(est_cb.MinRowsRequired(), assign_cb.MinRowsRequired());
+}
+
+TEST(GadgetTest, AddSubValuesAndConstraints) {
+  RunBoth([](CircuitBuilder& cb) {
+    auto sums = cb.Add({{cb.Fresh(3), cb.Fresh(4)}, {cb.Fresh(-5), cb.Fresh(2)}});
+    EXPECT_EQ(sums[0].q, 7);
+    EXPECT_EQ(sums[1].q, -3);
+    auto diffs = cb.Sub({{sums[0], sums[1]}});
+    EXPECT_EQ(diffs[0].q, 10);
+    cb.ExposePublic(diffs[0]);
+  });
+}
+
+TEST(GadgetTest, MulFusedRescale) {
+  RunBoth([](CircuitBuilder& cb) {
+    const int64_t sf = cb.quant().SF();
+    // 1.5 * 2.5 = 3.75
+    auto prods = cb.Mul({{cb.Fresh(3 * sf / 2), cb.Fresh(5 * sf / 2)}});
+    EXPECT_EQ(prods[0].q, 15 * sf / 4);
+    // Negative operands round correctly.
+    auto neg = cb.Mul({{cb.Fresh(-3 * sf / 2), cb.Fresh(5 * sf / 2)}});
+    EXPECT_EQ(neg[0].q, llround(-3.75 * sf));
+    cb.ExposePublic(prods[0]);
+  });
+}
+
+TEST(GadgetTest, SquareAndSquaredDiff) {
+  RunBoth([](CircuitBuilder& cb) {
+    const int64_t sf = cb.quant().SF();
+    auto sq = cb.Square({cb.Fresh(3 * sf)});
+    EXPECT_EQ(sq[0].q, 9 * sf);
+    auto sd = cb.SquaredDiff({{cb.Fresh(5 * sf), cb.Fresh(2 * sf)}});
+    EXPECT_EQ(sd[0].q, 9 * sf);
+    cb.ExposePublic(sq[0]);
+  });
+}
+
+TEST(GadgetTest, SumTree) {
+  RunBoth([](CircuitBuilder& cb) {
+    std::vector<Operand> xs;
+    int64_t expect = 0;
+    for (int i = 1; i <= 30; ++i) {  // forces a multi-level tree at 9 terms/row
+      xs.push_back(cb.Fresh(i));
+      expect += i;
+    }
+    Operand s = cb.Sum(xs);
+    EXPECT_EQ(s.q, expect);
+    cb.ExposePublic(s);
+  });
+}
+
+TEST(GadgetTest, DotProductBothVariants) {
+  for (bool chaining : {true, false}) {
+    BuilderOptions opts = BaseOptions(false);
+    opts.gadgets.dot_bias_chaining = chaining;
+    RunBoth(
+        [&](CircuitBuilder& cb) {
+          std::vector<Operand> xs, ys;
+          int64_t expect = 0;
+          for (int i = 0; i < 23; ++i) {
+            xs.push_back(cb.Fresh(i - 6));
+            ys.push_back(cb.Fresh(2 * i + 1));
+            expect += static_cast<int64_t>(i - 6) * (2 * i + 1);
+          }
+          Operand bias = cb.Fresh(7);
+          Operand acc = cb.DotProduct(xs, ys, &bias);
+          EXPECT_EQ(acc.q, expect + 7 * cb.quant().SF());
+          Operand rescaled = cb.Rescale({acc})[0];
+          EXPECT_EQ(rescaled.q, llround(static_cast<double>(acc.q) / cb.quant().SF()));
+          cb.ExposePublic(rescaled);
+        },
+        opts);
+  }
+}
+
+TEST(GadgetTest, ReluLookupAndBits) {
+  for (bool lookup : {true, false}) {
+    BuilderOptions opts = BaseOptions(false);
+    opts.num_io_columns = opts.quant.table_bits + 2;  // bit variant needs width
+    opts.gadgets.relu_lookup = lookup;
+    RunBoth(
+        [&](CircuitBuilder& cb) {
+          auto ys = cb.Nonlinearity(NonlinFn::kRelu,
+                                    {cb.Fresh(17), cb.Fresh(-9), cb.Fresh(0), cb.Fresh(200)});
+          EXPECT_EQ(ys[0].q, 17);
+          EXPECT_EQ(ys[1].q, 0);
+          EXPECT_EQ(ys[2].q, 0);
+          EXPECT_EQ(ys[3].q, 200);
+          cb.ExposePublic(ys[0]);
+        },
+        opts);
+  }
+}
+
+TEST(GadgetTest, SigmoidLookupMatchesFloat) {
+  RunBoth([](CircuitBuilder& cb) {
+    const int64_t sf = cb.quant().SF();
+    auto ys = cb.Nonlinearity(NonlinFn::kSigmoid, {cb.Fresh(0), cb.Fresh(2 * sf)});
+    EXPECT_EQ(ys[0].q, sf / 2);  // sigmoid(0) = 0.5
+    const double expect = 1.0 / (1.0 + std::exp(-2.0));
+    EXPECT_NEAR(static_cast<double>(ys[1].q) / sf, expect, 1.5 / sf);
+    cb.ExposePublic(ys[0]);
+  });
+}
+
+TEST(GadgetTest, MaxAndMaxReduce) {
+  RunBoth([](CircuitBuilder& cb) {
+    auto ms = cb.Max({{cb.Fresh(5), cb.Fresh(-3)}, {cb.Fresh(-7), cb.Fresh(-2)}});
+    EXPECT_EQ(ms[0].q, 5);
+    EXPECT_EQ(ms[1].q, -2);
+    Operand mx = cb.MaxReduce({cb.Fresh(3), cb.Fresh(9), cb.Fresh(-1), cb.Fresh(4), cb.Fresh(8)});
+    EXPECT_EQ(mx.q, 9);
+    cb.ExposePublic(mx);
+  });
+}
+
+TEST(GadgetTest, VarDivRounds) {
+  RunBoth([](CircuitBuilder& cb) {
+    EXPECT_EQ(cb.VarDivRound(cb.Fresh(7), cb.Fresh(2)).q, 4);    // 3.5 -> 4
+    EXPECT_EQ(cb.VarDivRound(cb.Fresh(100), cb.Fresh(3)).q, 33);  // 33.3 -> 33
+    EXPECT_EQ(cb.VarDivRound(cb.Fresh(5), cb.Fresh(10)).q, 1);    // 0.5 -> 1 (round half up)
+    cb.ExposePublic(cb.VarDivRound(cb.Fresh(9), cb.Fresh(4)));
+  });
+}
+
+TEST(GadgetTest, SoftmaxMatchesFloat) {
+  RunBoth([](CircuitBuilder& cb) {
+    const int64_t sf = cb.quant().SF();
+    std::vector<double> xs = {1.0, 2.0, 0.5, -1.0};
+    std::vector<Operand> ops;
+    for (double x : xs) {
+      ops.push_back(cb.Fresh(llround(x * sf)));
+    }
+    auto ys = cb.Softmax(ops);
+    double denom = 0;
+    for (double x : xs) {
+      denom += std::exp(x - 2.0);
+    }
+    int64_t total = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double expect = std::exp(xs[i] - 2.0) / denom;
+      EXPECT_NEAR(static_cast<double>(ys[i].q) / sf, expect, 2.5 / sf) << i;
+      total += ys[i].q;
+    }
+    // Probabilities sum to ~1.
+    EXPECT_NEAR(static_cast<double>(total) / sf, 1.0, 4.0 / sf);
+    cb.ExposePublic(ys[0]);
+  });
+}
+
+TEST(GadgetTest, ConstantsAreCachedAndConstrained) {
+  BuilderOptions opts = BaseOptions(false);
+  CircuitBuilder cb(opts);
+  Operand c1 = cb.Constant(42);
+  Operand c2 = cb.Constant(42);
+  EXPECT_EQ(c1.cell, c2.cell);
+  auto sum = cb.Add({{c1, cb.Fresh(8)}});
+  EXPECT_EQ(sum[0].q, 50);
+  ExpectSatisfied(cb);
+}
+
+TEST(GadgetTest, PackedVsDotFallbackSameValues) {
+  // The "no extra gadgets" configuration (Table 11 baseline) must compute
+  // identical results, just with more rows.
+  std::vector<int64_t> packed_vals, fallback_vals;
+  size_t packed_rows = 0, fallback_rows = 0;
+  for (bool packed : {true, false}) {
+    BuilderOptions opts = BaseOptions(false);
+    opts.gadgets.packed_arith = packed;
+    CircuitBuilder cb(opts);
+    const int64_t sf = cb.quant().SF();
+    auto s = cb.Add({{cb.Fresh(3 * sf), cb.Fresh(sf)}});
+    auto d = cb.Sub({{s[0], cb.Fresh(sf)}});
+    auto m = cb.Mul({{d[0], cb.Fresh(2 * sf)}});
+    auto& vals = packed ? packed_vals : fallback_vals;
+    vals = {s[0].q, d[0].q, m[0].q};
+    (packed ? packed_rows : fallback_rows) = cb.RowsUsed();
+    ExpectSatisfied(cb);
+  }
+  EXPECT_EQ(packed_vals, fallback_vals);
+  EXPECT_GT(fallback_rows, packed_rows);
+}
+
+TEST(GadgetTest, MultiRowVariantsMatchSingleRow) {
+  // Table 13: multi-row adder/max/dot compute the same values.
+  for (bool multi : {false, true}) {
+    BuilderOptions opts = BaseOptions(false);
+    opts.gadgets.multi_row_sum = multi;
+    opts.gadgets.multi_row_max = multi;
+    opts.gadgets.multi_row_dot = multi;
+    CircuitBuilder cb(opts);
+    std::vector<Operand> xs, ys;
+    int64_t expect = 0;
+    for (int i = 0; i < 13; ++i) {
+      xs.push_back(cb.Fresh(i + 1));
+      ys.push_back(cb.Fresh(i - 3));
+      expect += static_cast<int64_t>(i + 1) * (i - 3);
+    }
+    Operand dot = cb.DotProduct(xs, ys, nullptr);
+    EXPECT_EQ(dot.q, expect) << "multi=" << multi;
+    Operand s = cb.Sum(xs);
+    EXPECT_EQ(s.q, 13 * 14 / 2);
+    Operand mx = cb.MaxReduce({cb.Fresh(4), cb.Fresh(11), cb.Fresh(-2)});
+    EXPECT_EQ(mx.q, 11);
+    cb.ExposePublic(dot);
+    ExpectSatisfied(cb);
+  }
+}
+
+TEST(GadgetTest, TamperedWitnessFailsMockProver) {
+  BuilderOptions opts = BaseOptions(false);
+  CircuitBuilder cb(opts);
+  auto prods = cb.Mul({{cb.Fresh(64), cb.Fresh(64)}});
+  cb.ExposePublic(prods[0]);
+  // Overwrite the product cell with a wrong value.
+  auto* asn = const_cast<Assignment*>(&cb.assignment());
+  asn->SetAdvice(prods[0].cell.column, prods[0].cell.row, Fr::FromInt64(prods[0].q + 1));
+  MockProver mp(&cb.cs(), &cb.assignment());
+  EXPECT_FALSE(mp.Verify().empty());
+}
+
+TEST(GadgetTest, RowCountsScaleWithColumns) {
+  // More io columns => fewer rows for the same workload (the optimizer's
+  // core tradeoff).
+  size_t rows_narrow = 0, rows_wide = 0;
+  for (int n : {8, 24}) {
+    BuilderOptions opts = BaseOptions(true);
+    opts.num_io_columns = n;
+    CircuitBuilder cb(opts);
+    std::vector<Operand> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+      xs.push_back(cb.Fresh(1));
+      ys.push_back(cb.Fresh(1));
+    }
+    cb.DotProduct(xs, ys, nullptr);
+    cb.Nonlinearity(NonlinFn::kRelu, xs);
+    (n == 8 ? rows_narrow : rows_wide) = cb.RowsUsed();
+  }
+  EXPECT_GT(rows_narrow, 2 * rows_wide);
+}
+
+}  // namespace
+}  // namespace zkml

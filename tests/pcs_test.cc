@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/pcs/ipa.h"
+#include "src/pcs/kzg.h"
+#include "src/poly/polynomial.h"
+
+namespace zkml {
+namespace {
+
+std::vector<Fr> RandomCoeffs(Rng& rng, size_t n) {
+  std::vector<Fr> c(n);
+  for (Fr& x : c) {
+    x = Fr::Random(rng);
+  }
+  return c;
+}
+
+class PcsTest : public ::testing::TestWithParam<PcsKind> {
+ protected:
+  static constexpr size_t kMaxLen = 64;
+
+  std::unique_ptr<Pcs> MakePcs() {
+    if (GetParam() == PcsKind::kKzg) {
+      return std::make_unique<KzgPcs>(std::make_shared<KzgSetup>(KzgSetup::Create(kMaxLen, 7)));
+    }
+    return std::make_unique<IpaPcs>(std::make_shared<IpaSetup>(IpaSetup::Create(kMaxLen, 7)));
+  }
+};
+
+TEST_P(PcsTest, CommitIsDeterministicAndBinding) {
+  auto pcs = MakePcs();
+  Rng rng(1);
+  auto a = RandomCoeffs(rng, 32);
+  auto b = RandomCoeffs(rng, 32);
+  EXPECT_EQ(pcs->Commit(a), pcs->Commit(a));
+  EXPECT_FALSE(pcs->Commit(a) == pcs->Commit(b));
+}
+
+TEST_P(PcsTest, SingleOpenVerifies) {
+  auto pcs = MakePcs();
+  Rng rng(2);
+  auto coeffs = RandomCoeffs(rng, 48);
+  const Fr z = Fr::Random(rng);
+  const Fr y = Poly(coeffs).Evaluate(z);
+  const PcsCommitment c = pcs->Commit(coeffs);
+
+  Transcript pt("pcs-test");
+  pt.AppendFr("y", y);
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch({&coeffs}, z, &pt, &proof);
+
+  Transcript vt("pcs-test");
+  vt.AppendFr("y", y);
+  size_t offset = 0;
+  EXPECT_TRUE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+  EXPECT_EQ(offset, proof.size());
+}
+
+TEST_P(PcsTest, BatchOpenVerifies) {
+  auto pcs = MakePcs();
+  Rng rng(3);
+  std::vector<std::vector<Fr>> polys;
+  polys.push_back(RandomCoeffs(rng, 64));
+  polys.push_back(RandomCoeffs(rng, 17));
+  polys.push_back(RandomCoeffs(rng, 1));
+  const Fr z = Fr::Random(rng);
+
+  std::vector<PcsCommitment> cs;
+  std::vector<Fr> ys;
+  std::vector<const std::vector<Fr>*> ptrs;
+  for (const auto& p : polys) {
+    cs.push_back(pcs->Commit(p));
+    ys.push_back(Poly(p).Evaluate(z));
+    ptrs.push_back(&p);
+  }
+
+  Transcript pt("pcs-test");
+  for (const Fr& y : ys) {
+    pt.AppendFr("y", y);
+  }
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch(ptrs, z, &pt, &proof);
+
+  Transcript vt("pcs-test");
+  for (const Fr& y : ys) {
+    vt.AppendFr("y", y);
+  }
+  size_t offset = 0;
+  EXPECT_TRUE(pcs->VerifyBatch(cs, ys, z, &vt, proof, &offset));
+}
+
+TEST_P(PcsTest, WrongEvaluationRejected) {
+  auto pcs = MakePcs();
+  Rng rng(4);
+  auto coeffs = RandomCoeffs(rng, 32);
+  const Fr z = Fr::Random(rng);
+  const Fr y = Poly(coeffs).Evaluate(z);
+  const Fr y_bad = y + Fr::One();
+  const PcsCommitment c = pcs->Commit(coeffs);
+
+  Transcript pt("pcs-test");
+  pt.AppendFr("y", y);
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch({&coeffs}, z, &pt, &proof);
+
+  Transcript vt("pcs-test");
+  vt.AppendFr("y", y);
+  size_t offset = 0;
+  EXPECT_FALSE(pcs->VerifyBatch({c}, {y_bad}, z, &vt, proof, &offset));
+}
+
+TEST_P(PcsTest, WrongCommitmentRejected) {
+  auto pcs = MakePcs();
+  Rng rng(5);
+  auto coeffs = RandomCoeffs(rng, 32);
+  auto other = RandomCoeffs(rng, 32);
+  const Fr z = Fr::Random(rng);
+  const Fr y = Poly(coeffs).Evaluate(z);
+
+  Transcript pt("pcs-test");
+  pt.AppendFr("y", y);
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch({&coeffs}, z, &pt, &proof);
+
+  Transcript vt("pcs-test");
+  vt.AppendFr("y", y);
+  size_t offset = 0;
+  EXPECT_FALSE(pcs->VerifyBatch({pcs->Commit(other)}, {y}, z, &vt, proof, &offset));
+}
+
+TEST_P(PcsTest, CorruptedProofRejected) {
+  auto pcs = MakePcs();
+  Rng rng(6);
+  auto coeffs = RandomCoeffs(rng, 32);
+  const Fr z = Fr::Random(rng);
+  const Fr y = Poly(coeffs).Evaluate(z);
+  const PcsCommitment c = pcs->Commit(coeffs);
+
+  Transcript pt("pcs-test");
+  pt.AppendFr("y", y);
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch({&coeffs}, z, &pt, &proof);
+
+  // Flip a byte somewhere in the middle.
+  proof[proof.size() / 2] ^= 0x40;
+  Transcript vt("pcs-test");
+  vt.AppendFr("y", y);
+  size_t offset = 0;
+  EXPECT_FALSE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+}
+
+TEST_P(PcsTest, TruncatedProofRejected) {
+  auto pcs = MakePcs();
+  Rng rng(7);
+  auto coeffs = RandomCoeffs(rng, 16);
+  const Fr z = Fr::Random(rng);
+  const Fr y = Poly(coeffs).Evaluate(z);
+  const PcsCommitment c = pcs->Commit(coeffs);
+
+  Transcript pt("pcs-test");
+  std::vector<uint8_t> proof;
+  pcs->OpenBatch({&coeffs}, z, &pt, &proof);
+  proof.resize(proof.size() / 2);
+
+  Transcript vt("pcs-test");
+  size_t offset = 0;
+  EXPECT_FALSE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PcsTest, ::testing::Values(PcsKind::kKzg, PcsKind::kIpa),
+                         [](const ::testing::TestParamInfo<PcsKind>& info) {
+                           return info.param == PcsKind::kKzg ? "Kzg" : "Ipa";
+                         });
+
+TEST(KzgTest, ProofIsOnePoint) {
+  auto setup = std::make_shared<KzgSetup>(KzgSetup::Create(64, 9));
+  KzgPcs pcs(setup);
+  Rng rng(8);
+  auto coeffs = RandomCoeffs(rng, 64);
+  Transcript pt("sz");
+  std::vector<uint8_t> proof;
+  pcs.OpenBatch({&coeffs}, Fr::Random(rng), &pt, &proof);
+  EXPECT_EQ(proof.size(), 33u);
+}
+
+TEST(IpaTest, ProofIsLogarithmic) {
+  auto setup = std::make_shared<IpaSetup>(IpaSetup::Create(64, 9));
+  IpaPcs pcs(setup);
+  Rng rng(9);
+  auto coeffs = RandomCoeffs(rng, 64);
+  Transcript pt("sz");
+  std::vector<uint8_t> proof;
+  pcs.OpenBatch({&coeffs}, Fr::Random(rng), &pt, &proof);
+  // 4 bytes size + 6 rounds * 2 points * 33 bytes + 32-byte scalar.
+  EXPECT_EQ(proof.size(), 4u + 6u * 2u * 33u + 32u);
+}
+
+}  // namespace
+}  // namespace zkml

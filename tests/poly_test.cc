@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/poly/domain.h"
+#include "src/poly/polynomial.h"
+
+namespace zkml {
+namespace {
+
+Poly RandomPoly(Rng& rng, size_t n) {
+  std::vector<Fr> c(n);
+  for (Fr& x : c) {
+    x = Fr::Random(rng);
+  }
+  return Poly(std::move(c));
+}
+
+TEST(PolyTest, EvaluateMatchesManual) {
+  // p(x) = 3 + 2x + x^2
+  Poly p({Fr::FromU64(3), Fr::FromU64(2), Fr::FromU64(1)});
+  EXPECT_EQ(p.Evaluate(Fr::FromU64(0)), Fr::FromU64(3));
+  EXPECT_EQ(p.Evaluate(Fr::FromU64(1)), Fr::FromU64(6));
+  EXPECT_EQ(p.Evaluate(Fr::FromU64(5)), Fr::FromU64(3 + 10 + 25));
+}
+
+TEST(PolyTest, AddSubMul) {
+  Rng rng(11);
+  Poly a = RandomPoly(rng, 9);
+  Poly b = RandomPoly(rng, 5);
+  Fr x = Fr::Random(rng);
+  EXPECT_EQ((a + b).Evaluate(x), a.Evaluate(x) + b.Evaluate(x));
+  EXPECT_EQ((a - b).Evaluate(x), a.Evaluate(x) - b.Evaluate(x));
+  EXPECT_EQ((a * b).Evaluate(x), a.Evaluate(x) * b.Evaluate(x));
+  EXPECT_EQ(a.ScalarMul(Fr::FromU64(7)).Evaluate(x), a.Evaluate(x) * Fr::FromU64(7));
+}
+
+TEST(PolyTest, Degree) {
+  EXPECT_EQ(Poly().Degree(), -1);
+  EXPECT_EQ(Poly({Fr::Zero()}).Degree(), -1);
+  EXPECT_EQ(Poly({Fr::FromU64(1)}).Degree(), 0);
+  EXPECT_EQ(Poly({Fr::Zero(), Fr::FromU64(1), Fr::Zero()}).Degree(), 1);
+}
+
+TEST(PolyTest, DivideByLinearReconstructs) {
+  Rng rng(12);
+  Poly p = RandomPoly(rng, 16);
+  Fr z = Fr::Random(rng);
+  Fr rem;
+  Poly q = p.DivideByLinear(z, &rem);
+  EXPECT_EQ(rem, p.Evaluate(z));
+  // p(x) == q(x)*(x - z) + rem at random points.
+  for (int t = 0; t < 5; ++t) {
+    Fr x = Fr::Random(rng);
+    EXPECT_EQ(p.Evaluate(x), q.Evaluate(x) * (x - z) + rem);
+  }
+}
+
+TEST(PolyTest, DivideByLinearExactRoot) {
+  Rng rng(13);
+  Poly q = RandomPoly(rng, 7);
+  Fr z = Fr::Random(rng);
+  Poly p = q * Poly({z.Neg(), Fr::One()});  // q(x) * (x - z)
+  Fr rem;
+  Poly q2 = p.DivideByLinear(z, &rem);
+  EXPECT_EQ(rem, Fr::Zero());
+  Fr x = Fr::Random(rng);
+  EXPECT_EQ(q2.Evaluate(x), q.Evaluate(x));
+}
+
+class DomainTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomainTest, FftRoundTrip) {
+  const int k = GetParam();
+  EvaluationDomain dom(k);
+  Rng rng(20 + k);
+  std::vector<Fr> coeffs(dom.size());
+  for (Fr& c : coeffs) {
+    c = Fr::Random(rng);
+  }
+  std::vector<Fr> evals = dom.FftFromCoeffs(coeffs);
+  std::vector<Fr> back = dom.IfftToCoeffs(evals);
+  EXPECT_EQ(back, coeffs);
+}
+
+TEST_P(DomainTest, FftMatchesDirectEvaluation) {
+  const int k = GetParam();
+  if (k > 8) {
+    GTEST_SKIP() << "direct evaluation too slow";
+  }
+  EvaluationDomain dom(k);
+  Rng rng(40 + k);
+  Poly p = RandomPoly(rng, dom.size());
+  std::vector<Fr> evals = dom.FftFromCoeffs(p.coeffs());
+  for (size_t i = 0; i < dom.size(); ++i) {
+    EXPECT_EQ(evals[i], p.Evaluate(dom.element(i))) << i;
+  }
+}
+
+TEST_P(DomainTest, CosetFftMatchesDirectEvaluation) {
+  const int k = GetParam();
+  if (k > 6) {
+    GTEST_SKIP() << "direct evaluation too slow";
+  }
+  EvaluationDomain dom(k);
+  Rng rng(60 + k);
+  Poly p = RandomPoly(rng, dom.size() * 2);  // degree beyond n: needs ext domain
+  const int ext_k = 2;
+  std::vector<Fr> evals = dom.CosetFftFromCoeffs(p.coeffs(), ext_k);
+  EvaluationDomain ext(k + ext_k);
+  const Fr g = Fr::FromU64(FrParams::kGenerator);
+  for (size_t i = 0; i < ext.size(); i += 7) {
+    EXPECT_EQ(evals[i], p.Evaluate(g * ext.element(i))) << i;
+  }
+  // Round trip.
+  std::vector<Fr> coeffs = dom.CosetIfftToCoeffs(evals, ext_k);
+  coeffs.resize(p.size());
+  EXPECT_EQ(coeffs, p.coeffs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DomainTest, ::testing::Values(1, 2, 4, 6, 8, 12));
+
+TEST(DomainTest, VanishingInverseOnCoset) {
+  EvaluationDomain dom(5);
+  const int ext_k = 2;
+  std::vector<Fr> inv = dom.VanishingInverseOnCoset(ext_k);
+  EvaluationDomain ext(5 + ext_k);
+  const Fr g = Fr::FromU64(FrParams::kGenerator);
+  for (size_t i = 0; i < ext.size(); ++i) {
+    Fr z = dom.EvaluateVanishing(g * ext.element(i));
+    EXPECT_EQ(inv[i] * z, Fr::One()) << i;
+  }
+}
+
+TEST(DomainTest, LagrangeBasis) {
+  EvaluationDomain dom(4);
+  Rng rng(99);
+  Fr x = Fr::Random(rng);
+  // l_i(omega^j) = delta_ij; check via combination with indicator vectors and
+  // agreement with interpolation.
+  std::vector<Fr> values(dom.size());
+  for (Fr& v : values) {
+    v = Fr::Random(rng);
+  }
+  std::vector<Fr> coeffs = dom.IfftToCoeffs(values);
+  Poly p(coeffs);
+  EXPECT_EQ(dom.EvaluateLagrangeCombination(values, x), p.Evaluate(x));
+  Fr sum = Fr::Zero();
+  for (size_t i = 0; i < dom.size(); ++i) {
+    sum += dom.EvaluateLagrange(i, x) * values[i];
+  }
+  EXPECT_EQ(sum, p.Evaluate(x));
+}
+
+TEST(DomainTest, LagrangeCombinationShorterVector) {
+  EvaluationDomain dom(4);
+  Rng rng(100);
+  std::vector<Fr> values = {Fr::FromU64(3), Fr::FromU64(1), Fr::FromU64(4)};
+  std::vector<Fr> padded = values;
+  padded.resize(dom.size(), Fr::Zero());
+  Fr x = Fr::Random(rng);
+  Poly p(dom.IfftToCoeffs(padded));
+  EXPECT_EQ(dom.EvaluateLagrangeCombination(values, x), p.Evaluate(x));
+}
+
+TEST(DomainTest, VanishingAtDomainPoints) {
+  EvaluationDomain dom(6);
+  for (size_t i = 0; i < dom.size(); i += 5) {
+    EXPECT_EQ(dom.EvaluateVanishing(dom.element(i)), Fr::Zero());
+  }
+  Rng rng(7);
+  EXPECT_NE(dom.EvaluateVanishing(Fr::Random(rng)), Fr::Zero());
+}
+
+}  // namespace
+}  // namespace zkml

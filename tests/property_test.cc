@@ -1,0 +1,201 @@
+// Property-style sweeps across the stack: algebraic identities of the field
+// and polynomial layers, gadget semantics over input grids, and structural
+// invariants of the compiler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/compiler/compiler.h"
+#include "src/gadgets/circuit_builder.h"
+#include "src/model/zoo.h"
+#include "src/plonk/mock_prover.h"
+#include "src/poly/domain.h"
+
+namespace zkml {
+namespace {
+
+// --- Field / polynomial properties. ---
+
+class FieldPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FieldPropertyTest, FrobeniusLikeIdentities) {
+  Rng rng(GetParam());
+  const Fr a = Fr::Random(rng);
+  const Fr b = Fr::Random(rng);
+  // (a+b)^2 = a^2 + 2ab + b^2
+  EXPECT_EQ((a + b).Square(), a.Square() + (a * b).Double() + b.Square());
+  // (a-b)(a+b) = a^2 - b^2
+  EXPECT_EQ((a - b) * (a + b), a.Square() - b.Square());
+  // a^6 = (a^2)^3
+  EXPECT_EQ(a.Pow(6), a.Square().Pow(3));
+}
+
+TEST_P(FieldPropertyTest, FftConvolutionTheorem) {
+  // Pointwise product of evaluations == polynomial multiplication.
+  const int k = 4 + GetParam() % 3;
+  EvaluationDomain dom(k + 1);  // room for the product's degree
+  Rng rng(100 + GetParam());
+  std::vector<Fr> a(dom.size() / 2), b(dom.size() / 2);
+  for (auto& x : a) {
+    x = Fr::Random(rng);
+  }
+  for (auto& x : b) {
+    x = Fr::Random(rng);
+  }
+  auto ea = dom.FftFromCoeffs(a);
+  auto eb = dom.FftFromCoeffs(b);
+  for (size_t i = 0; i < dom.size(); ++i) {
+    ea[i] *= eb[i];
+  }
+  const std::vector<Fr> prod_coeffs = dom.IfftToCoeffs(ea);
+  const Poly direct = Poly(a) * Poly(b);
+  for (size_t i = 0; i < prod_coeffs.size(); ++i) {
+    const Fr expect = i < static_cast<size_t>(direct.size()) ? direct.coeffs()[i] : Fr::Zero();
+    EXPECT_EQ(prod_coeffs[i], expect) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldPropertyTest, ::testing::Range(0, 8));
+
+// --- Gadget semantics over parameter grids. ---
+
+struct DivCase {
+  int64_t numer;
+  int64_t denom;
+};
+
+class VarDivPropertyTest : public ::testing::TestWithParam<DivCase> {};
+
+TEST_P(VarDivPropertyTest, MatchesRoundedDivision) {
+  BuilderOptions opts;
+  opts.num_io_columns = 8;
+  opts.quant.sf_bits = 5;
+  opts.quant.table_bits = 10;
+  opts.gadgets.need_vardiv = true;
+  opts.estimate_only = false;
+  opts.k = 11;
+  CircuitBuilder cb(opts);
+  const DivCase c = GetParam();
+  const Operand result = cb.VarDivRound(cb.Fresh(c.numer), cb.Fresh(c.denom));
+  const double expect = std::floor(static_cast<double>(c.numer) / c.denom + 0.5);
+  EXPECT_EQ(result.q, static_cast<int64_t>(expect)) << c.numer << "/" << c.denom;
+  MockProver mp(&cb.cs(), &cb.assignment());
+  EXPECT_TRUE(mp.Verify(1).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, VarDivPropertyTest,
+                         ::testing::Values(DivCase{0, 1}, DivCase{1, 1}, DivCase{-1, 1},
+                                           DivCase{7, 2}, DivCase{-7, 2}, DivCase{99, 100},
+                                           DivCase{-99, 100}, DivCase{500, 3}, DivCase{-500, 3},
+                                           DivCase{511, 511}, DivCase{-512, 128}));
+
+class SoftmaxPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxPropertyTest, StaysADistributionAndTracksFloat) {
+  const int size = GetParam();
+  BuilderOptions opts;
+  opts.num_io_columns = 12;
+  opts.quant.sf_bits = 6;
+  opts.quant.table_bits = 12;
+  opts.gadgets.nonlin_fns = {NonlinFn::kExp};
+  opts.gadgets.need_max = true;
+  opts.gadgets.need_vardiv = true;
+  opts.estimate_only = false;
+  opts.k = 13;
+  CircuitBuilder cb(opts);
+  Rng rng(200 + size);
+  std::vector<Operand> xs;
+  std::vector<double> fx;
+  for (int i = 0; i < size; ++i) {
+    const double v = rng.NextGaussian() * 1.5;
+    fx.push_back(v);
+    xs.push_back(cb.Fresh(QuantizeValue(v, opts.quant)));
+  }
+  const std::vector<Operand> ys = cb.Softmax(xs);
+
+  double mx = fx[0];
+  for (double v : fx) {
+    mx = std::max(mx, v);
+  }
+  double denom = 0;
+  for (double v : fx) {
+    denom += std::exp(v - mx);
+  }
+  int64_t total = 0;
+  for (int i = 0; i < size; ++i) {
+    EXPECT_GE(ys[static_cast<size_t>(i)].q, 0);
+    total += ys[static_cast<size_t>(i)].q;
+    const double expect = std::exp(fx[static_cast<size_t>(i)] - mx) / denom;
+    EXPECT_NEAR(DequantizeValue(ys[static_cast<size_t>(i)].q, opts.quant), expect,
+                3.0 / opts.quant.SF())
+        << i;
+  }
+  EXPECT_NEAR(DequantizeValue(total, opts.quant), 1.0, size * 1.0 / opts.quant.SF());
+  MockProver mp(&cb.cs(), &cb.assignment());
+  auto failures = mp.Verify(1);
+  EXPECT_TRUE(failures.empty()) << (failures.empty() ? "" : failures[0].description);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxPropertyTest, ::testing::Values(2, 3, 5, 8, 16));
+
+class NonlinPropertyTest : public ::testing::TestWithParam<NonlinFn> {};
+
+TEST_P(NonlinPropertyTest, TableMatchesFloatWithinOneStep) {
+  const NonlinFn fn = GetParam();
+  QuantParams qp;
+  qp.sf_bits = 6;
+  qp.table_bits = 12;
+  // Sweep the entire table domain.
+  for (int64_t xq = qp.TableMin(); xq < qp.TableMax(); xq += 37) {
+    const int64_t yq = EvalNonlinQ(fn, xq, qp);
+    const double expect = EvalNonlinF(fn, DequantizeValue(xq, qp));
+    const double clamp_bound = static_cast<double>(qp.TableMax() << 8) / qp.SF();
+    if (std::abs(expect) >= clamp_bound) {
+      continue;  // clamped entries deviate by design
+    }
+    EXPECT_NEAR(DequantizeValue(yq, qp), expect, 1.0 / qp.SF())
+        << NonlinFnName(fn) << "(" << xq << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fns, NonlinPropertyTest,
+                         ::testing::Values(NonlinFn::kRelu, NonlinFn::kRelu6, NonlinFn::kSigmoid,
+                                           NonlinFn::kTanh, NonlinFn::kGelu, NonlinFn::kElu,
+                                           NonlinFn::kSqrt, NonlinFn::kSiLU),
+                         [](const ::testing::TestParamInfo<NonlinFn>& info) {
+                           return NonlinFnName(info.param);
+                         });
+
+// --- Compiler invariants across the zoo. ---
+
+class LayoutInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LayoutInvariantTest, SimulationExactAcrossWidths) {
+  const Model model = MakeZooModel(GetParam());
+  const GadgetSet gs = GadgetSetForModel(model);
+  size_t prev_rows = SIZE_MAX;
+  for (int n : {8, 14, 22}) {
+    PhysicalLayout layout = SimulateLayout(model, gs, n);
+    // Row monotonicity in width.
+    EXPECT_LE(layout.rows_used, prev_rows) << n;
+    prev_rows = layout.rows_used;
+    // k covers everything.
+    EXPECT_GE(static_cast<size_t>(1) << layout.k, layout.min_rows);
+    EXPECT_LT(static_cast<size_t>(1) << (layout.k - 1), layout.min_rows);
+    // Stats are self-consistent.
+    EXPECT_EQ(layout.num_advice, static_cast<size_t>(n));
+    EXPECT_GE(layout.max_degree, 3);
+    const size_t chunk = static_cast<size_t>(layout.max_degree - 2);
+    EXPECT_EQ(layout.num_perm_chunks, (layout.num_perm + chunk - 1) / chunk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, LayoutInvariantTest,
+                         ::testing::Values("mnist", "dlrm", "twitter", "gpt2"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace zkml

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/model/float_executor.h"
+#include "src/model/serialize.h"
+#include "src/model/zoo.h"
+
+namespace zkml {
+namespace {
+
+void ExpectModelsEquivalent(const Model& a, const Model& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.input_shape, b.input_shape);
+  EXPECT_EQ(a.num_tensors, b.num_tensors);
+  EXPECT_EQ(a.output_tensor, b.output_tensor);
+  EXPECT_EQ(a.quant.sf_bits, b.quant.sf_bits);
+  EXPECT_EQ(a.quant.table_bits, b.quant.table_bits);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].type, b.ops[i].type) << i;
+    EXPECT_EQ(a.ops[i].inputs, b.ops[i].inputs) << i;
+    EXPECT_EQ(a.ops[i].weights, b.ops[i].weights) << i;
+    EXPECT_EQ(a.ops[i].output, b.ops[i].output) << i;
+  }
+  // Behavioral equivalence: identical outputs on a fixed input.
+  const Tensor<float> input = SyntheticInput(a, 77);
+  const Tensor<float> out_a = RunFloat(a, input);
+  const Tensor<float> out_b = RunFloat(b, input);
+  ASSERT_EQ(out_a.shape(), out_b.shape());
+  for (int64_t i = 0; i < out_a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(out_a.flat(i), out_b.flat(i)) << i;
+  }
+}
+
+class SerializeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeTest, RoundTripPreservesModel) {
+  const Model model = MakeZooModel(GetParam());
+  const std::string text = SerializeModel(model);
+  EXPECT_FALSE(text.empty());
+  const Model back = DeserializeModel(text);
+  ExpectModelsEquivalent(model, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SerializeTest,
+                         ::testing::Values("mnist", "dlrm", "twitter", "gpt2", "mobilenet"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(SerializeTest, FileRoundTrip) {
+  const Model model = MakeMnistCnn();
+  const std::string path = "/tmp/zkml_serialize_test.model";
+  ASSERT_TRUE(SaveModelToFile(model, path));
+  const Model back = LoadModelFromFile(path);
+  ExpectModelsEquivalent(model, back);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SerializationIsStable) {
+  const Model model = MakeDlrm();
+  const std::string once = SerializeModel(model);
+  const std::string twice = SerializeModel(DeserializeModel(once));
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace zkml

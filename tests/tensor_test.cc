@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/tensor/quantizer.h"
+#include "src/tensor/tensor.h"
+
+namespace zkml {
+namespace {
+
+Tensor<int64_t> Iota(const Shape& shape) {
+  Tensor<int64_t> t(shape);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t.flat(i) = i;
+  }
+  return t;
+}
+
+TEST(ShapeTest, Basics) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.Strides(), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(s.ToString(), "[2,3,4]");
+  EXPECT_EQ(Shape({}).NumElements(), 1);
+}
+
+TEST(TensorTest, IndexingAndFlat) {
+  Tensor<int64_t> t = Iota({2, 3});
+  EXPECT_EQ(t.at({0, 0}), 0);
+  EXPECT_EQ(t.at({1, 2}), 5);
+  EXPECT_EQ(t.flat(4), 4);
+  t.at({1, 0}) = 99;
+  EXPECT_EQ(t.flat(3), 99);
+}
+
+TEST(TensorTest, ReshapeIsView) {
+  Tensor<int64_t> t = Iota({2, 6});
+  Tensor<int64_t> r = t.Reshape({3, 4});
+  EXPECT_EQ(r.at({2, 3}), 11);
+  r.at({0, 0}) = -1;
+  EXPECT_EQ(t.at({0, 0}), -1);  // shared storage
+}
+
+TEST(TensorTest, TransposeIsView) {
+  Tensor<int64_t> t = Iota({2, 3});
+  Tensor<int64_t> tr = t.Transpose({1, 0});
+  EXPECT_EQ(tr.shape(), Shape({3, 2}));
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(tr.at({j, i}), t.at({i, j}));
+    }
+  }
+  tr.at({2, 1}) = 42;
+  EXPECT_EQ(t.at({1, 2}), 42);
+}
+
+TEST(TensorTest, SliceIsView) {
+  Tensor<int64_t> t = Iota({4, 5});
+  Tensor<int64_t> s = t.Slice({1, 2}, {2, 3});
+  EXPECT_EQ(s.shape(), Shape({2, 3}));
+  EXPECT_EQ(s.at({0, 0}), 7);
+  EXPECT_EQ(s.at({1, 2}), 14);
+  s.at({0, 1}) = -5;
+  EXPECT_EQ(t.at({1, 3}), -5);
+}
+
+TEST(TensorTest, MaterializeDecouples) {
+  Tensor<int64_t> t = Iota({3, 3});
+  Tensor<int64_t> view = t.Transpose({1, 0});
+  Tensor<int64_t> copy = view.Materialize();
+  copy.at({0, 1}) = 1000;
+  EXPECT_NE(t.at({1, 0}), 1000);
+  EXPECT_TRUE(copy.IsContiguous());
+  EXPECT_FALSE(view.IsContiguous());
+}
+
+TEST(TensorTest, ReshapeOfViewMaterializes) {
+  Tensor<int64_t> t = Iota({2, 3});
+  Tensor<int64_t> r = t.Transpose({1, 0}).Reshape({6});
+  // Logical order of the transpose: columns first.
+  EXPECT_EQ(r.ToVector(), (std::vector<int64_t>{0, 3, 1, 4, 2, 5}));
+}
+
+TEST(TensorTest, Concat) {
+  Tensor<int64_t> a = Iota({2, 2});
+  Tensor<int64_t> b = Iota({2, 3});
+  Tensor<int64_t> c = Tensor<int64_t>::Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), Shape({2, 5}));
+  EXPECT_EQ(c.at({0, 1}), 1);
+  EXPECT_EQ(c.at({0, 2}), 0);  // b's first element
+  EXPECT_EQ(c.at({1, 4}), 5);
+
+  Tensor<int64_t> d = Tensor<int64_t>::Concat({a, a}, 0);
+  EXPECT_EQ(d.shape(), Shape({4, 2}));
+  EXPECT_EQ(d.at({3, 1}), 3);
+}
+
+TEST(QuantizerTest, RoundTrip) {
+  QuantParams qp;
+  qp.sf_bits = 8;
+  EXPECT_EQ(QuantizeValue(1.0, qp), 256);
+  EXPECT_EQ(QuantizeValue(-0.5, qp), -128);
+  EXPECT_EQ(QuantizeValue(0.001, qp), 0);
+  EXPECT_DOUBLE_EQ(DequantizeValue(384, qp), 1.5);
+
+  Tensor<float> t({2, 2}, {0.5f, -1.25f, 3.0f, 0.0f});
+  Tensor<int64_t> q = QuantizeTensor(t, qp);
+  EXPECT_EQ(q.ToVector(), (std::vector<int64_t>{128, -320, 768, 0}));
+  Tensor<float> back = DequantizeTensor(q, qp);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(back.flat(i), t.flat(i), 1.0f / 256);
+  }
+}
+
+TEST(QuantizerTest, TableRange) {
+  QuantParams qp;
+  qp.table_bits = 8;
+  EXPECT_TRUE(qp.InTableRange(127));
+  EXPECT_TRUE(qp.InTableRange(-128));
+  EXPECT_FALSE(qp.InTableRange(128));
+  EXPECT_FALSE(qp.InTableRange(-129));
+}
+
+}  // namespace
+}  // namespace zkml

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/transcript/sha256.h"
+#include "src/transcript/transcript.h"
+
+namespace zkml {
+namespace {
+
+std::string HexDigest(const std::array<uint8_t, 32>& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  for (uint8_t b : d) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xf]);
+  }
+  return s;
+}
+
+TEST(Sha256Test, KnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(HexDigest(Sha256::Hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const char* abc = "abc";
+  EXPECT_EQ(HexDigest(Sha256::Hash(reinterpret_cast<const uint8_t*>(abc), 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(HexDigest(Sha256::Hash(reinterpret_cast<const uint8_t*>(msg), std::strlen(msg))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string data(1000, 'x');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31);
+  }
+  auto oneshot = Sha256::Hash(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  Sha256 inc;
+  size_t pos = 0;
+  size_t chunk = 1;
+  while (pos < data.size()) {
+    size_t take = std::min(chunk, data.size() - pos);
+    inc.Update(reinterpret_cast<const uint8_t*>(data.data()) + pos, take);
+    pos += take;
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(inc.Finalize(), oneshot);
+}
+
+TEST(TranscriptTest, DeterministicChallenges) {
+  Transcript a("test");
+  Transcript b("test");
+  a.AppendFr("x", Fr::FromU64(42));
+  b.AppendFr("x", Fr::FromU64(42));
+  EXPECT_EQ(a.ChallengeFr("c"), b.ChallengeFr("c"));
+  // Subsequent challenges differ from the first but still agree.
+  Fr a2 = a.ChallengeFr("c");
+  Fr b2 = b.ChallengeFr("c");
+  EXPECT_EQ(a2, b2);
+}
+
+TEST(TranscriptTest, SensitiveToInputs) {
+  Transcript a("test");
+  Transcript b("test");
+  a.AppendFr("x", Fr::FromU64(42));
+  b.AppendFr("x", Fr::FromU64(43));
+  EXPECT_NE(a.ChallengeFr("c"), b.ChallengeFr("c"));
+
+  Transcript c("test");
+  Transcript d("other");
+  EXPECT_NE(c.ChallengeFr("c"), d.ChallengeFr("c"));
+
+  Transcript e("test");
+  Transcript f("test");
+  e.AppendPoint("p", G1Affine::Generator());
+  f.AppendPoint("p", G1Affine::Identity());
+  EXPECT_NE(e.ChallengeFr("c"), f.ChallengeFr("c"));
+}
+
+TEST(TranscriptTest, ChallengesEvolve) {
+  Transcript t("test");
+  Fr c1 = t.ChallengeFr("c");
+  Fr c2 = t.ChallengeFr("c");
+  EXPECT_NE(c1, c2);
+}
+
+}  // namespace
+}  // namespace zkml
