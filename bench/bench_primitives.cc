@@ -1,12 +1,20 @@
 // Primitive microbenchmarks (google-benchmark): the FFT/MSM/lookup/field-op
 // timings that the optimizer's hardware profile is built from (§7.4).
+//
+// Besides the usual console table, the binary writes BENCH_primitives.json
+// (one record per benchmark: op, size, seconds, threads) so perf regressions
+// can be tracked by machines rather than eyeballs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/rng.h"
+#include "src/base/thread_pool.h"
 #include "src/ec/g1.h"
+#include "src/ff/fr_key.h"
 #include "src/poly/domain.h"
 
 namespace zkml {
@@ -20,6 +28,7 @@ void BM_FieldMul(benchmark::State& state) {
     a = a * b;
     benchmark::DoNotOptimize(a);
   }
+  state.counters["size"] = 1;
 }
 BENCHMARK(BM_FieldMul);
 
@@ -30,6 +39,7 @@ void BM_FieldInverse(benchmark::State& state) {
     a = a.Inverse() + Fr::One();
     benchmark::DoNotOptimize(a);
   }
+  state.counters["size"] = 1;
 }
 BENCHMARK(BM_FieldInverse);
 
@@ -46,8 +56,9 @@ void BM_Fft(benchmark::State& state) {
     benchmark::DoNotOptimize(evals);
   }
   state.SetComplexityN(dom.size());
+  state.counters["size"] = static_cast<double>(dom.size());
 }
-BENCHMARK(BM_Fft)->DenseRange(10, 16, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fft)->DenseRange(10, 18, 2)->Unit(benchmark::kMillisecond);
 
 void BM_Msm(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -62,8 +73,9 @@ void BM_Msm(benchmark::State& state) {
     G1 r = Msm(bases, scalars);
     benchmark::DoNotOptimize(r);
   }
+  state.counters["size"] = static_cast<double>(n);
 }
-BENCHMARK(BM_Msm)->DenseRange(8, 13, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Msm)->DenseRange(8, 16, 1)->Unit(benchmark::kMillisecond);
 
 void BM_LookupBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(1) << state.range(0);
@@ -73,14 +85,14 @@ void BM_LookupBuild(benchmark::State& state) {
     v = Fr::Random(rng);
   }
   for (auto _ : state) {
-    std::unordered_map<std::string, size_t> first;
+    std::unordered_map<FrKey, size_t, FrKeyHash> first;
     first.reserve(2 * n);
     for (size_t i = 0; i < n; ++i) {
-      const U256 c = table[i].ToCanonical();
-      first.emplace(std::string(reinterpret_cast<const char*>(c.limbs), 32), i);
+      first.emplace(FrKey(table[i]), i);
     }
     benchmark::DoNotOptimize(first);
   }
+  state.counters["size"] = static_cast<double>(n);
 }
 BENCHMARK(BM_LookupBuild)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
 
@@ -92,10 +104,74 @@ void BM_G1ScalarMul(benchmark::State& state) {
     G1 r = g.ScalarMul(s);
     benchmark::DoNotOptimize(r);
   }
+  state.counters["size"] = 1;
 }
 BENCHMARK(BM_G1ScalarMul)->Unit(benchmark::kMicrosecond);
+
+// Console output plus a flat record per run for the JSON dump.
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string op;
+    uint64_t size = 1;
+    double seconds = 0;  // wall time per iteration
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) {
+        continue;
+      }
+      Record rec;
+      // "BM_Fft/12" -> "BM_Fft"; the size counter already carries the 2^k.
+      rec.op = run.benchmark_name().substr(0, run.benchmark_name().find('/'));
+      auto it = run.counters.find("size");
+      if (it != run.counters.end()) {
+        rec.size = static_cast<uint64_t>(it->second.value);
+      }
+      rec.seconds = run.real_accumulated_time / static_cast<double>(run.iterations);
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const char* path, size_t threads) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "  {\"op\": \"%s\", \"size\": %llu, \"seconds\": %.9g, \"threads\": %zu}%s\n",
+                   r.op.c_str(), static_cast<unsigned long long>(r.size), r.seconds, threads,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 }  // namespace
 }  // namespace zkml
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  zkml::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = "BENCH_primitives.json";
+  if (reporter.WriteJson(path, zkml::ThreadPool::Global().num_threads())) {
+    std::fprintf(stderr, "wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -37,6 +37,8 @@ inline E2eMeasurement MeasureEndToEnd(const Model& model, const ZkmlOptions& opt
   ZkmlProof proof = Prove(compiled, input);
   m.prove_seconds = proof.prove_seconds;
   m.proof_bytes = proof.bytes.size();
+  std::printf("%s prover stages:\n%s", model.name.c_str(),
+              proof.prover_metrics.Summary().c_str());
   Timer verify_timer;
   const bool ok = Verify(compiled, proof);
   m.verify_seconds = verify_timer.ElapsedSeconds();

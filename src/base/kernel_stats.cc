@@ -1,0 +1,36 @@
+#include "src/base/kernel_stats.h"
+
+#include <atomic>
+
+namespace zkml {
+namespace kernelstats {
+namespace {
+
+std::atomic<uint64_t> g_fft_calls{0};
+std::atomic<uint64_t> g_fft_points{0};
+std::atomic<uint64_t> g_msm_calls{0};
+std::atomic<uint64_t> g_msm_points{0};
+
+}  // namespace
+
+void RecordFft(size_t n) {
+  g_fft_calls.fetch_add(1, std::memory_order_relaxed);
+  g_fft_points.fetch_add(n, std::memory_order_relaxed);
+}
+
+void RecordMsm(size_t n) {
+  g_msm_calls.fetch_add(1, std::memory_order_relaxed);
+  g_msm_points.fetch_add(n, std::memory_order_relaxed);
+}
+
+KernelCounters Capture() {
+  KernelCounters c;
+  c.fft_calls = g_fft_calls.load(std::memory_order_relaxed);
+  c.fft_points = g_fft_points.load(std::memory_order_relaxed);
+  c.msm_calls = g_msm_calls.load(std::memory_order_relaxed);
+  c.msm_points = g_msm_points.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace kernelstats
+}  // namespace zkml

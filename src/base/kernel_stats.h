@@ -1,0 +1,38 @@
+// Process-wide counters for the two prover hot kernels (FFT and MSM). The
+// kernels record every invocation; the prover snapshots the counters around
+// each protocol round to attribute work per stage (see ProverMetrics). The
+// counters are global, so concurrent provers in one process share them —
+// per-stage deltas are only meaningful for a single proof at a time.
+#ifndef SRC_BASE_KERNEL_STATS_H_
+#define SRC_BASE_KERNEL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zkml {
+
+struct KernelCounters {
+  uint64_t fft_calls = 0;
+  uint64_t fft_points = 0;  // sum of transform sizes
+  uint64_t msm_calls = 0;
+  uint64_t msm_points = 0;  // sum of MSM lengths
+
+  KernelCounters operator-(const KernelCounters& o) const {
+    return KernelCounters{fft_calls - o.fft_calls, fft_points - o.fft_points,
+                          msm_calls - o.msm_calls, msm_points - o.msm_points};
+  }
+};
+
+namespace kernelstats {
+
+// Called by the kernels themselves (relaxed atomics; safe from pool workers).
+void RecordFft(size_t n);
+void RecordMsm(size_t n);
+
+// Snapshot of the counters since process start.
+KernelCounters Capture();
+
+}  // namespace kernelstats
+}  // namespace zkml
+
+#endif  // SRC_BASE_KERNEL_STATS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/base/kernel_stats.h"
 #include "src/base/thread_pool.h"
 
 namespace zkml {
@@ -177,12 +178,29 @@ G1 G1::Neg() const {
 
 G1 G1::ScalarMul(const Fr& s) const {
   const U256 e = s.ToCanonical();
-  G1 acc;
   const int hb = e.HighestBit();
-  for (int i = hb; i >= 0; --i) {
-    acc = acc.Double();
-    if (e.Bit(i)) {
-      acc = acc + *this;
+  if (hb < 0 || IsIdentity()) {
+    return Identity();
+  }
+  // Fixed 4-bit windows: one table add per 4 doublings instead of one
+  // conditional add per bit. 64 divides evenly into 4-bit windows, so digits
+  // never straddle a limb boundary.
+  constexpr int kWindow = 4;
+  constexpr int kTableSize = (1 << kWindow) - 1;
+  G1 table[kTableSize];  // table[i] = (i+1) * P
+  table[0] = *this;
+  for (int i = 1; i < kTableSize; ++i) {
+    table[i] = table[i - 1] + *this;
+  }
+  G1 acc;
+  for (int w = hb / kWindow; w >= 0; --w) {
+    for (int d = 0; d < kWindow; ++d) {
+      acc = acc.Double();
+    }
+    const int bit0 = w * kWindow;
+    const uint64_t digit = (e.limbs[bit0 / 64] >> (bit0 % 64)) & (kTableSize);
+    if (digit != 0) {
+      acc += table[digit - 1];
     }
   }
   return acc;
@@ -210,9 +228,255 @@ bool G1::operator==(const G1& o) const {
   return y_ * z2z2 * o.z_ == o.y_ * z1z1 * z_;
 }
 
-G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars) {
-  ZKML_CHECK(bases.size() == scalars.size());
-  const size_t n = bases.size();
+namespace {
+
+// Both BN254 moduli are 254-bit; one extra bit absorbs the signed-digit
+// carry, so windows must cover 255 bits.
+constexpr int kScalarBits = 254;
+
+int NumWindows(int c) { return (kScalarBits + 1 + c - 1) / c; }
+
+// Picks the signed-window width minimizing the Pippenger cost model:
+// NumWindows(c) windows, each costing ~n batched-affine adds (≈6 field muls
+// amortized) plus 2^{c-1} bucket-aggregation Jacobian adds (≈26 muls).
+int ChooseWindowBits(size_t n) {
+  int best_c = 4;
+  double best_cost = 0;
+  for (int c = 4; c <= 15; ++c) {
+    const double cost =
+        static_cast<double>(NumWindows(c)) *
+        (static_cast<double>(n) * 6.0 + static_cast<double>(1ULL << (c - 1)) * 26.0);
+    if (c == 4 || cost < best_cost) {
+      best_c = c;
+      best_cost = cost;
+    }
+  }
+  return best_c;
+}
+
+// Signed-digit decomposition: digit w of e lies in [-2^{c-1}, 2^{c-1}] and
+// sum_w out[w * stride] * 2^{cw} == e. Halves the bucket count because -d*P
+// is just d*(-P) and negating an affine point is free.
+void SignedDigits(const U256& e, int c, int num_windows, int16_t* out, size_t stride) {
+  const uint64_t mask = (1ULL << c) - 1;
+  const uint64_t half = 1ULL << (c - 1);
+  uint64_t carry = 0;
+  for (int w = 0; w < num_windows; ++w) {
+    const int bit0 = w * c;
+    const int limb = bit0 / 64;
+    uint64_t raw = 0;
+    if (limb < 4) {
+      const int off = bit0 % 64;
+      raw = e.limbs[limb] >> off;
+      if (off + c > 64 && limb + 1 < 4) {
+        raw |= e.limbs[limb + 1] << (64 - off);
+      }
+      raw &= mask;
+    }
+    raw += carry;
+    if (raw > half) {
+      out[w * stride] = static_cast<int16_t>(static_cast<int64_t>(raw) - (1LL << c));
+      carry = 1;
+    } else {
+      out[w * stride] = static_cast<int16_t>(raw);
+      carry = 0;
+    }
+  }
+  // The top window cannot carry out: e < 2^254 and the windows cover >= 255
+  // bits, so the final raw value is at most 2^{c-1}.
+}
+
+// Resolves every bucket chain to a single point by pairwise-reduction rounds.
+// pts is grouped by bucket: chain b occupies [start[b], start[b] + cnt[b]).
+// Each round batches all of its additions behind one Montgomery batch
+// inversion, making an affine add ~6 field muls instead of the ~11 of a
+// Jacobian mixed add. Rounds are logarithmic in the longest chain even in the
+// adversarial all-points-one-bucket case.
+//
+// Each round makes two passes over the same pair walk: pass 1 only collects
+// the denominators (it never writes), and pass 2 replays the walk, consuming
+// the inverted denominators in order and writing results in place. In-place
+// is safe because pair t writes index off + t/2, strictly below the inputs
+// off + t' (t' >= t + 2) of every later pair, and chains never overlap.
+void ReduceBucketChains(std::vector<G1Affine>& pts, const std::vector<uint32_t>& start,
+                        std::vector<uint32_t>& cnt, std::vector<Fq>& denoms,
+                        std::vector<Fq>& inv_scratch) {
+  const size_t nb = cnt.size();
+  for (;;) {
+    bool active = false;
+    denoms.clear();
+    for (size_t b = 0; b < nb; ++b) {
+      const uint32_t chain = cnt[b];
+      if (chain < 2) {
+        continue;
+      }
+      active = true;
+      const uint32_t off = start[b];
+      for (uint32_t t = 0; t + 1 < chain; t += 2) {
+        const G1Affine& p = pts[off + t];
+        const G1Affine& q = pts[off + t + 1];
+        if (p.infinity || q.infinity) {
+          continue;
+        }
+        const Fq dx = q.x - p.x;
+        if (!dx.IsZero()) {
+          denoms.push_back(dx);
+        } else if (p.y == q.y && !p.y.IsZero()) {
+          denoms.push_back(p.y.Double());
+        }
+        // Otherwise q == -p (or an order-2 point): the sum is the identity
+        // and needs no inversion.
+      }
+    }
+    if (!active) {
+      return;
+    }
+    BatchInverseNonZero(denoms.data(), denoms.size(), inv_scratch);
+    size_t di = 0;
+    for (size_t b = 0; b < nb; ++b) {
+      const uint32_t chain = cnt[b];
+      if (chain < 2) {
+        continue;
+      }
+      const uint32_t off = start[b];
+      for (uint32_t t = 0; t + 1 < chain; t += 2) {
+        const G1Affine& p = pts[off + t];
+        const G1Affine& q = pts[off + t + 1];
+        const uint32_t out = off + t / 2;
+        if (p.infinity) {
+          pts[out] = q;
+          continue;
+        }
+        if (q.infinity) {
+          pts[out] = p;
+          continue;
+        }
+        Fq lambda;
+        if (p.x != q.x) {
+          lambda = (q.y - p.y) * denoms[di++];
+        } else if (p.y == q.y && !p.y.IsZero()) {
+          const Fq xx = p.x.Square();
+          lambda = (xx + xx + xx) * denoms[di++];
+        } else {
+          pts[out] = G1Affine::Identity();
+          continue;
+        }
+        const Fq x3 = lambda.Square() - p.x - q.x;
+        const Fq y3 = lambda * (p.x - x3) - p.y;
+        pts[out] = G1Affine{x3, y3, /*infinity=*/false};
+      }
+    }
+    for (size_t b = 0; b < nb; ++b) {
+      const uint32_t chain = cnt[b];
+      if (chain < 2) {
+        continue;
+      }
+      if (chain & 1) {
+        pts[start[b] + chain / 2] = pts[start[b] + chain - 1];
+      }
+      cnt[b] = (chain + 1) / 2;
+    }
+  }
+}
+
+// Accumulates points [lo, hi) of window w into 2^{c-1} signed buckets with
+// batched-affine addition, then returns the weighted bucket sum
+// sum_b (b+1) * B_b via the usual suffix running sums. wdigits is the
+// window's digit row, indexed by point.
+G1 AccumulateWindowChunk(const G1Affine* bases, const int16_t* wdigits, size_t lo, size_t hi,
+                         int c) {
+  const size_t nb = static_cast<size_t>(1) << (c - 1);
+  std::vector<uint32_t> cnt(nb, 0);
+  for (size_t i = lo; i < hi; ++i) {
+    const int d = wdigits[i];
+    if (d != 0 && !bases[i].infinity) {
+      ++cnt[static_cast<size_t>(d < 0 ? -d : d) - 1];
+    }
+  }
+  std::vector<uint32_t> start(nb, 0);
+  uint32_t total = 0;
+  for (size_t b = 0; b < nb; ++b) {
+    start[b] = total;
+    total += cnt[b];
+  }
+  std::vector<G1Affine> pts(total);
+  std::vector<uint32_t> fill(start);
+  for (size_t i = lo; i < hi; ++i) {
+    const int d = wdigits[i];
+    if (d == 0 || bases[i].infinity) {
+      continue;
+    }
+    const size_t b = static_cast<size_t>(d < 0 ? -d : d) - 1;
+    G1Affine pt = bases[i];
+    if (d < 0) {
+      pt.y = pt.y.Neg();
+    }
+    pts[fill[b]++] = pt;
+  }
+  std::vector<Fq> denoms;
+  std::vector<Fq> inv_scratch;
+  ReduceBucketChains(pts, start, cnt, denoms, inv_scratch);
+
+  G1 running;
+  G1 acc;
+  for (size_t b = nb; b-- > 0;) {
+    if (cnt[b] > 0) {
+      running = running.AddMixed(pts[start[b]]);
+    }
+    acc += running;
+  }
+  return acc;
+}
+
+}  // namespace
+
+namespace internal {
+
+G1 MsmImpl(const G1Affine* bases, const Fr* scalars, size_t n, int c, size_t num_chunks) {
+  const int num_windows = NumWindows(c);
+  // Digit matrix, window-major so each window task streams a contiguous row.
+  std::vector<int16_t> digits(static_cast<size_t>(num_windows) * n);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      SignedDigits(scalars[i].ToCanonical(), c, num_windows, &digits[i], n);
+    }
+  });
+
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, n));
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<G1> partial(static_cast<size_t>(num_windows) * num_chunks);
+  {
+    TaskGroup group;
+    for (int w = 0; w < num_windows; ++w) {
+      for (size_t k = 0; k < num_chunks; ++k) {
+        group.Submit([&, w, k] {
+          const size_t lo = k * chunk;
+          const size_t hi = std::min(n, lo + chunk);
+          if (lo < hi) {
+            partial[w * num_chunks + k] =
+                AccumulateWindowChunk(bases, &digits[static_cast<size_t>(w) * n], lo, hi, c);
+          }
+        });
+      }
+    }
+  }
+
+  G1 total;
+  for (int w = num_windows - 1; w >= 0; --w) {
+    for (int d = 0; d < c; ++d) {
+      total = total.Double();
+    }
+    for (size_t k = 0; k < num_chunks; ++k) {
+      total += partial[w * num_chunks + k];
+    }
+  }
+  return total;
+}
+
+}  // namespace internal
+
+G1 Msm(const G1Affine* bases, const Fr* scalars, size_t n) {
+  kernelstats::RecordMsm(n);
   if (n == 0) {
     return G1::Identity();
   }
@@ -223,61 +487,23 @@ G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars) {
     }
     return acc;
   }
-
-  // Pippenger. Per-window cost is ~(n additions + 2^{c+1} aggregation adds),
-  // over ceil(254/c) windows; c ~ log2(n) - 4 balances the two terms.
-  int log2n = 0;
-  for (size_t t = n; t > 1; t >>= 1) {
-    ++log2n;
+  const int c = ChooseWindowBits(n);
+  const int num_windows = NumWindows(c);
+  // Window tasks are the first parallelism axis; when the pool is wider than
+  // the window count, split the point range into per-thread chunks whose
+  // bucket sums merge at the end (window sums are linear in the points).
+  const size_t threads = ThreadPool::Global().num_threads();
+  size_t num_chunks = 1;
+  if (threads > static_cast<size_t>(num_windows)) {
+    num_chunks = std::min((threads + num_windows - 1) / static_cast<size_t>(num_windows),
+                          std::max<size_t>(1, n / 2048));
   }
-  const int c = std::min(16, std::max(4, log2n - 4));
-  const int kScalarBits = 254;
-  const int num_windows = (kScalarBits + c - 1) / c;
+  return internal::MsmImpl(bases, scalars, n, c, num_chunks);
+}
 
-  std::vector<U256> raw(n);
-  for (size_t i = 0; i < n; ++i) {
-    raw[i] = scalars[i].ToCanonical();
-  }
-
-  std::vector<G1> window_sums(num_windows);
-  TaskGroup group;
-  for (int w = 0; w < num_windows; ++w) {
-    group.Submit([&, w] {
-      const int bit0 = w * c;
-      std::vector<G1> buckets((static_cast<size_t>(1) << c) - 1);
-      for (size_t i = 0; i < n; ++i) {
-        // Extract c bits starting at bit0.
-        uint64_t digit = 0;
-        const int limb = bit0 / 64;
-        const int off = bit0 % 64;
-        digit = raw[i].limbs[limb] >> off;
-        if (off + c > 64 && limb + 1 < 4) {
-          digit |= raw[i].limbs[limb + 1] << (64 - off);
-        }
-        digit &= (static_cast<uint64_t>(1) << c) - 1;
-        if (digit != 0) {
-          buckets[digit - 1] = buckets[digit - 1].AddMixed(bases[i]);
-        }
-      }
-      G1 running;
-      G1 acc;
-      for (size_t b = buckets.size(); b-- > 0;) {
-        running += buckets[b];
-        acc += running;
-      }
-      window_sums[w] = acc;
-    });
-  }
-  group.Wait();
-
-  G1 total;
-  for (int w = num_windows - 1; w >= 0; --w) {
-    for (int d = 0; d < c; ++d) {
-      total = total.Double();
-    }
-    total += window_sums[w];
-  }
-  return total;
+G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars) {
+  ZKML_CHECK(bases.size() == scalars.size());
+  return Msm(bases.data(), scalars.data(), bases.size());
 }
 
 std::vector<G1Affine> DeriveGenerators(uint64_t seed, size_t count) {

@@ -63,8 +63,20 @@ class G1 {
 };
 
 // Multi-scalar multiplication sum_i scalars[i] * bases[i] using a parallel
-// Pippenger bucket method. bases and scalars must have equal length.
+// Pippenger bucket method with signed windows and batched-affine bucket
+// accumulation. bases and scalars must have equal length.
 G1 Msm(const std::vector<G1Affine>& bases, const std::vector<Fr>& scalars);
+
+// Pointer form; lets callers commit to slices without copying into vectors.
+G1 Msm(const G1Affine* bases, const Fr* scalars, size_t n);
+
+namespace internal {
+
+// Pippenger core with explicit window width c (4..15) and point-range chunk
+// count; exposed so tests can cross-check the chunked-merge path directly.
+G1 MsmImpl(const G1Affine* bases, const Fr* scalars, size_t n, int c, size_t num_chunks);
+
+}  // namespace internal
 
 // Deterministically derives `count` independent curve points ("nothing up my
 // sleeve" bases for Pedersen/IPA commitments) by rejection-sampling x

@@ -10,11 +10,18 @@
 
 namespace zkml {
 
+// The modulus limbs are constexpr so the Montgomery hot path can fold them
+// (and -p^{-1} mod 2^64) into instruction immediates instead of loading them
+// through the runtime context on every operation. Each kModulusHex is
+// cross-checked against the limbs in ff_test so a typo cannot survive.
 struct FrParams {
+  // 21888242871839275222246405745257275088548364400416034343698204186575808495617
+  static constexpr const char* kModulusHex =
+      "30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001";
+  static constexpr uint64_t kModulusLimbs[4] = {0x43e1f593f0000001ULL, 0x2833e84879b97091ULL,
+                                                0xb85045b68181585dULL, 0x30644e72e131a029ULL};
   static const U256& Modulus() {
-    // 21888242871839275222246405745257275088548364400416034343698204186575808495617
-    static const U256 m =
-        U256::FromHex("30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001");
+    static const U256 m{{kModulusLimbs[0], kModulusLimbs[1], kModulusLimbs[2], kModulusLimbs[3]}};
     return m;
   }
   static constexpr uint64_t kGenerator = 5;  // multiplicative generator of Fr*
@@ -22,10 +29,13 @@ struct FrParams {
 };
 
 struct FqParams {
+  // 21888242871839275222246405745257275088696311157297823662689037894645226208583
+  static constexpr const char* kModulusHex =
+      "30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47";
+  static constexpr uint64_t kModulusLimbs[4] = {0x3c208c16d87cfd47ULL, 0x97816a916871ca8dULL,
+                                                0xb85045b68181585dULL, 0x30644e72e131a029ULL};
   static const U256& Modulus() {
-    // 21888242871839275222246405745257275088696311157297823662689037894645226208583
-    static const U256 m =
-        U256::FromHex("30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47");
+    static const U256 m{{kModulusLimbs[0], kModulusLimbs[1], kModulusLimbs[2], kModulusLimbs[3]}};
     return m;
   }
 };

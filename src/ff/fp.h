@@ -12,6 +12,7 @@
 
 #include "src/base/check.h"
 #include "src/base/rng.h"
+#include "src/ff/mont_mul_x86.h"
 #include "src/ff/u256.h"
 
 namespace zkml {
@@ -36,6 +37,24 @@ class Fp {
     static const MontgomeryContext ctx = MontgomeryContext::Build(Params::Modulus());
     return ctx;
   }
+
+  // Compile-time modulus and -p^{-1} mod 2^64. The hot arithmetic below uses
+  // these instead of Ctx() so the limbs become instruction immediates; Ctx()
+  // still serves the cold paths (conversion constants, inversion exponent).
+  static constexpr U256 Mod() {
+    return U256{{Params::kModulusLimbs[0], Params::kModulusLimbs[1], Params::kModulusLimbs[2],
+                 Params::kModulusLimbs[3]}};
+  }
+  static constexpr uint64_t ModNegInv() {
+    uint64_t x = 1;  // Newton iteration: x_{k+1} = x_k (2 - p x_k) mod 2^64
+    for (int i = 0; i < 6; ++i) {
+      x *= 2 - Params::kModulusLimbs[0] * x;
+    }
+    return ~x + 1;
+  }
+  // Two spare bits in the top limb make the fused CIOS carries safe. Both
+  // BN254 fields qualify; the generic double-wide path remains as fallback.
+  static constexpr bool kNoCarry = Params::kModulusLimbs[3] < (1ULL << 62);
 
   static Fp Zero() { return Fp(); }
   static Fp One() {
@@ -111,20 +130,23 @@ class Fp {
   bool operator!=(const Fp& o) const { return !(v_ == o.v_); }
 
   Fp operator+(const Fp& o) const {
-    const MontgomeryContext& ctx = Ctx();
+    constexpr U256 kMod = Mod();
     Fp r;
-    uint64_t carry = AddU256(v_, o.v_, &r.v_);
-    if (carry != 0 || CmpU256(r.v_, ctx.modulus) >= 0) {
-      SubU256(r.v_, ctx.modulus, &r.v_);
+    const uint64_t carry = AddU256(v_, o.v_, &r.v_);
+    U256 s;
+    const uint64_t borrow = SubU256(r.v_, kMod, &s);
+    if (carry != 0 || borrow == 0) {
+      r.v_ = s;
     }
     return r;
   }
 
   Fp operator-(const Fp& o) const {
+    constexpr U256 kMod = Mod();
     Fp r;
     uint64_t borrow = SubU256(v_, o.v_, &r.v_);
     if (borrow != 0) {
-      AddU256(r.v_, Ctx().modulus, &r.v_);
+      AddU256(r.v_, kMod, &r.v_);
     }
     return r;
   }
@@ -140,11 +162,12 @@ class Fp {
   Fp& operator*=(const Fp& o) { return *this = *this * o; }
 
   Fp Neg() const {
+    constexpr U256 kMod = Mod();
     if (IsZero()) {
       return *this;
     }
     Fp r;
-    SubU256(Ctx().modulus, v_, &r.v_);
+    SubU256(kMod, v_, &r.v_);
     return r;
   }
   Fp operator-() const { return Neg(); }
@@ -173,6 +196,21 @@ class Fp {
     return Pow(Ctx().p_minus_2);
   }
 
+  // Multiplication through the portable CIOS paths, bypassing the asm
+  // dispatch in MontMul. Exists so ff_test can cross-check all three
+  // implementations on the same inputs; not for production use.
+  static Fp MulPortableNoCarry(const Fp& a, const Fp& b) {
+    static_assert(kNoCarry, "field does not satisfy the no-carry bound");
+    Fp r;
+    r.v_ = MontMulNoCarry(a.v_, b.v_);
+    return r;
+  }
+  static Fp MulPortableGeneric(const Fp& a, const Fp& b) {
+    Fp r;
+    r.v_ = MontMulGeneric(a.v_, b.v_, Ctx());
+    return r;
+  }
+
   // Internal Montgomery representation (for serialization fast paths).
   const U256& MontgomeryForm() const { return v_; }
   static Fp FromMontgomeryForm(const U256& v) {
@@ -183,7 +221,57 @@ class Fp {
 
  private:
   static U256 MontMul(const U256& a, const U256& b) {
-    const MontgomeryContext& ctx = Ctx();
+    if constexpr (kNoCarry) {
+#ifdef ZKML_HAVE_MONT_MUL_X86
+      static constexpr U256 kMod = Mod();
+      U256 r;
+      MontMul4x64(r.limbs, a.limbs, b.limbs, kMod.limbs, ModNegInv());
+      return r;
+#else
+      return MontMulNoCarry(a, b);
+#endif
+    } else {
+      return MontMulGeneric(a, b, Ctx());
+    }
+  }
+
+  // Fused multiply-and-reduce CIOS ("no-carry" variant): interleaves the
+  // a[i]*b accumulation and the m*p reduction per outer limb, keeping each
+  // running carry in a single 64-bit word. Valid only when the top limb of p
+  // leaves two spare bits (kNoCarry), which guarantees A + C below cannot
+  // wrap. Identical output to the generic path, ~25% fewer carry chains.
+  static U256 MontMulNoCarry(const U256& a, const U256& b) {
+    constexpr U256 kMod = Mod();
+    constexpr uint64_t kInv = ModNegInv();
+    const uint64_t* p = kMod.limbs;
+    uint64_t t[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs[i]) * b.limbs[0] + t[0];
+      uint64_t A = static_cast<uint64_t>(cur >> 64);
+      const uint64_t t0 = static_cast<uint64_t>(cur);
+      const uint64_t m = t0 * kInv;
+      cur = static_cast<unsigned __int128>(m) * p[0] + t0;
+      uint64_t C = static_cast<uint64_t>(cur >> 64);
+      for (int j = 1; j < 4; ++j) {
+        cur = static_cast<unsigned __int128>(a.limbs[i]) * b.limbs[j] + t[j] + A;
+        A = static_cast<uint64_t>(cur >> 64);
+        cur = static_cast<unsigned __int128>(m) * p[j] + static_cast<uint64_t>(cur) + C;
+        C = static_cast<uint64_t>(cur >> 64);
+        t[j - 1] = static_cast<uint64_t>(cur);
+      }
+      t[3] = A + C;
+    }
+    // Single borrow-chain subtract doubles as the >= p comparison; the
+    // limb-by-limb CmpU256 branches mispredict badly on random field data.
+    U256 r{{t[0], t[1], t[2], t[3]}};
+    U256 s;
+    if (SubU256(r, kMod, &s) == 0) {
+      r = s;
+    }
+    return r;
+  }
+
+  static U256 MontMulGeneric(const U256& a, const U256& b, const MontgomeryContext& ctx) {
     const uint64_t* p = ctx.modulus.limbs;
     uint64_t t[6] = {0, 0, 0, 0, 0, 0};
     for (int i = 0; i < 4; ++i) {
@@ -214,14 +302,57 @@ class Fp {
       t[5] = 0;
     }
     U256 r{{t[0], t[1], t[2], t[3]}};
-    if (t[4] != 0 || CmpU256(r, ctx.modulus) >= 0) {
-      SubU256(r, ctx.modulus, &r);
+    U256 s;
+    const uint64_t borrow = SubU256(r, ctx.modulus, &s);
+    if (t[4] != 0 || borrow == 0) {
+      r = s;
     }
     return r;
   }
 
   U256 v_;  // Montgomery form: v_ = x * 2^256 mod p
 };
+
+// Inverts n elements known to be nonzero, in place, using Montgomery's batch
+// trick with four interleaved prefix chains. A single running product is a
+// serial multiply chain bound by full MontMul latency; four independent
+// chains let the core overlap them. `prefix` is caller-provided scratch so
+// hot loops can reuse the allocation. Inverses are unique, so the output is
+// bit-identical to the single-chain variant below.
+template <typename F>
+void BatchInverseNonZero(F* xs, size_t n, std::vector<F>& prefix) {
+  constexpr size_t K = 4;
+  if (n == 0) {
+    return;
+  }
+  prefix.resize(n);
+  F acc[K] = {F::One(), F::One(), F::One(), F::One()};
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc[i % K];
+    acc[i % K] *= xs[i];
+  }
+  // Split the inverse of the combined product back into one inverse per
+  // chain: acc[k]^{-1} = total^{-1} * prod_{j != k} acc[j].
+  const F total_inv = (acc[0] * acc[1] * acc[2] * acc[3]).Inverse();
+  F pre[K], suf[K];
+  pre[0] = F::One();
+  for (size_t k = 1; k < K; ++k) {
+    pre[k] = pre[k - 1] * acc[k - 1];
+  }
+  suf[K - 1] = F::One();
+  for (size_t k = K - 1; k-- > 0;) {
+    suf[k] = suf[k + 1] * acc[k + 1];
+  }
+  F inv[K];
+  for (size_t k = 0; k < K; ++k) {
+    inv[k] = total_inv * pre[k] * suf[k];
+  }
+  for (size_t i = n; i-- > 0;) {
+    const F orig = xs[i];
+    xs[i] = inv[i % K] * prefix[i];
+    inv[i % K] *= orig;
+  }
+}
 
 // Inverts every nonzero element of `xs` in place using Montgomery's batch
 // trick (one field inversion + 3n multiplications). Zero entries stay zero.

@@ -1,0 +1,50 @@
+// Allocation-free hash-map key for field elements.
+//
+// The lookup-multiplicity pass builds an unordered_map keyed by field value
+// for every table row; keying it by std::string (one heap allocation per
+// insert/probe) made the hashing dominate the pass. FrKey stores the
+// canonical limbs inline and precomputes the hash at construction, so map
+// operations touch no allocator.
+#ifndef SRC_FF_FR_KEY_H_
+#define SRC_FF_FR_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ff/fields.h"
+
+namespace zkml {
+
+struct FrKey {
+  uint64_t limbs[4];
+  uint64_t hash;
+
+  explicit FrKey(const Fr& v) {
+    const U256 c = v.ToCanonical();
+    uint64_t h = 0x243f6a8885a308d3ULL;  // arbitrary non-zero seed
+    for (int i = 0; i < 4; ++i) {
+      limbs[i] = c.limbs[i];
+      // splitmix64-style mix per limb; canonical limbs are unique per field
+      // element, so equal keys always produce equal hashes.
+      uint64_t x = c.limbs[i] + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      h ^= x ^ (x >> 31);
+      h *= 0x100000001b3ULL;
+    }
+    hash = h;
+  }
+
+  bool operator==(const FrKey& o) const {
+    return limbs[0] == o.limbs[0] && limbs[1] == o.limbs[1] && limbs[2] == o.limbs[2] &&
+           limbs[3] == o.limbs[3];
+  }
+};
+
+struct FrKeyHash {
+  size_t operator()(const FrKey& k) const { return static_cast<size_t>(k.hash); }
+};
+
+}  // namespace zkml
+
+#endif  // SRC_FF_FR_KEY_H_

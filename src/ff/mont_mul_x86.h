@@ -1,0 +1,109 @@
+// Hand-scheduled x86-64 Montgomery multiplication for 4-limb moduli.
+//
+// The compiler's rendering of the CIOS loop in fp.h already uses MULX but
+// serializes everything through one ADC chain with heavy register traffic
+// (~330 instructions). This version keeps the five running limbs in fixed
+// registers across all four outer iterations and splits the low-word and
+// high-word accumulations onto the independent ADCX (CF) and ADOX (OF) carry
+// chains, which is the layout the hardware's two carry flags exist for.
+//
+// Only compiled when the target has ADX + BMI2; fp.h falls back to the
+// portable CIOS otherwise. The algorithm is plain CIOS, so the result is
+// bit-identical to the portable path (ff_test cross-checks them).
+#ifndef SRC_FF_MONT_MUL_X86_H_
+#define SRC_FF_MONT_MUL_X86_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__ADX__) && defined(__BMI2__)
+#define ZKML_HAVE_MONT_MUL_X86 1
+
+namespace zkml {
+
+// r = MontRed(a * b) for 4-limb little-endian operands; p is the modulus and
+// inv = -p^{-1} mod 2^64. Requires p's top limb < 2^62 (the CIOS "no-carry"
+// bound) so the folded carry limb cannot overflow. r may alias a or b.
+inline void MontMul4x64(uint64_t* r, const uint64_t* a, const uint64_t* b, const uint64_t* p,
+                        uint64_t inv) {
+  // Register roles rotate each outer iteration: the reduction step shifts the
+  // accumulator right one limb, so instead of moving data we rename
+  // (t0..t3, t4) = (r8..r11, r12) -> (r9..r12, r8) -> ... Each iteration is
+  // the same two blocks: accumulate a[i]*b into t (dual carry chains), then
+  // fold in m*p where m = t0 * inv (the ADCX into t0 yields the implicit
+  // one-limb shift).
+  asm(
+      // t = 0
+      "xorq %%r8, %%r8\n\t"
+      "xorq %%r9, %%r9\n\t"
+      "xorq %%r10, %%r10\n\t"
+      "xorq %%r11, %%r11\n\t"
+
+#define ZKML_MM_ITER(AI, T0, T1, T2, T3, T4)                                  \
+  /* t += a[i] * b; top word into T4 */                                       \
+  "movq " AI "(%[a]), %%rdx\n\t"                                              \
+  "xorq %%" T4 ", %%" T4 "\n\t" /* zero T4, clear CF+OF */                    \
+  "mulxq 0(%[b]), %%rax, %%rbx\n\t"                                           \
+  "adcxq %%rax, %%" T0 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T1 "\n\t"                                                 \
+  "mulxq 8(%[b]), %%rax, %%rbx\n\t"                                           \
+  "adcxq %%rax, %%" T1 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T2 "\n\t"                                                 \
+  "mulxq 16(%[b]), %%rax, %%rbx\n\t"                                          \
+  "adcxq %%rax, %%" T2 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T3 "\n\t"                                                 \
+  "mulxq 24(%[b]), %%rax, %%rbx\n\t"                                          \
+  "adcxq %%rax, %%" T3 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T4 "\n\t"                                                 \
+  "movl $0, %%eax\n\t"                                                        \
+  "adcxq %%rax, %%" T4 "\n\t"                                                 \
+  /* t = (t + m*p) >> 64, m = t0 * inv */                                     \
+  "movq %[inv], %%rdx\n\t"                                                    \
+  "imulq %%" T0 ", %%rdx\n\t"                                                 \
+  "xorq %%rax, %%rax\n\t" /* clear CF+OF */                                   \
+  "mulxq 0(%[p]), %%rax, %%rbx\n\t"                                           \
+  "adcxq %%rax, %%" T0 "\n\t" /* T0 becomes 0; carry out feeds the chain */   \
+  "adoxq %%rbx, %%" T1 "\n\t"                                                 \
+  "mulxq 8(%[p]), %%rax, %%rbx\n\t"                                           \
+  "adcxq %%rax, %%" T1 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T2 "\n\t"                                                 \
+  "mulxq 16(%[p]), %%rax, %%rbx\n\t"                                          \
+  "adcxq %%rax, %%" T2 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T3 "\n\t"                                                 \
+  "mulxq 24(%[p]), %%rax, %%rbx\n\t"                                          \
+  "adcxq %%rax, %%" T3 "\n\t"                                                 \
+  "adoxq %%rbx, %%" T4 "\n\t"                                                 \
+  "movl $0, %%eax\n\t"                                                        \
+  "adcxq %%rax, %%" T4 "\n\t"
+
+      ZKML_MM_ITER("0", "r8", "r9", "r10", "r11", "r12")
+      ZKML_MM_ITER("8", "r9", "r10", "r11", "r12", "r8")
+      ZKML_MM_ITER("16", "r10", "r11", "r12", "r8", "r9")
+      ZKML_MM_ITER("24", "r11", "r12", "r8", "r9", "r10")
+#undef ZKML_MM_ITER
+
+      // Result is (r12, r8, r9, r10); subtract p once if >= p.
+      "movq %%r12, %%rax\n\t"
+      "movq %%r8, %%rbx\n\t"
+      "movq %%r9, %%rcx\n\t"
+      "movq %%r10, %%rdx\n\t"
+      "subq 0(%[p]), %%rax\n\t"
+      "sbbq 8(%[p]), %%rbx\n\t"
+      "sbbq 16(%[p]), %%rcx\n\t"
+      "sbbq 24(%[p]), %%rdx\n\t"
+      "cmovcq %%r12, %%rax\n\t"
+      "cmovcq %%r8, %%rbx\n\t"
+      "cmovcq %%r9, %%rcx\n\t"
+      "cmovcq %%r10, %%rdx\n\t"
+      "movq %%rax, 0(%[r])\n\t"
+      "movq %%rbx, 8(%[r])\n\t"
+      "movq %%rcx, 16(%[r])\n\t"
+      "movq %%rdx, 24(%[r])\n\t"
+      :
+      : [r] "r"(r), [a] "r"(a), [b] "r"(b), [p] "r"(p), [inv] "r"(inv)
+      : "rax", "rbx", "rcx", "rdx", "r8", "r9", "r10", "r11", "r12", "cc", "memory");
+}
+
+}  // namespace zkml
+
+#endif  // __x86_64__ && __ADX__ && __BMI2__
+#endif  // SRC_FF_MONT_MUL_X86_H_

@@ -60,38 +60,6 @@ std::string U256::ToHex() const {
   return out;
 }
 
-int CmpU256(const U256& a, const U256& b) {
-  for (int i = 3; i >= 0; --i) {
-    if (a.limbs[i] < b.limbs[i]) {
-      return -1;
-    }
-    if (a.limbs[i] > b.limbs[i]) {
-      return 1;
-    }
-  }
-  return 0;
-}
-
-uint64_t AddU256(const U256& a, const U256& b, U256* r) {
-  unsigned __int128 carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned __int128 cur = carry + a.limbs[i] + b.limbs[i];
-    r->limbs[i] = static_cast<uint64_t>(cur);
-    carry = cur >> 64;
-  }
-  return static_cast<uint64_t>(carry);
-}
-
-uint64_t SubU256(const U256& a, const U256& b, U256* r) {
-  unsigned __int128 borrow = 0;
-  for (int i = 0; i < 4; ++i) {
-    unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs[i]) - b.limbs[i] - borrow;
-    r->limbs[i] = static_cast<uint64_t>(cur);
-    borrow = (cur >> 64) & 1;
-  }
-  return static_cast<uint64_t>(borrow);
-}
-
 U256 ShrU256(const U256& a, int s) {
   ZKML_DCHECK(s >= 0 && s < 256);
   U256 r;

@@ -41,13 +41,42 @@ struct U256 {
   std::string ToHex() const;
 };
 
-// Returns -1, 0, 1 for a < b, a == b, a > b.
-int CmpU256(const U256& a, const U256& b);
+// Returns -1, 0, 1 for a < b, a == b, a > b. Inline (as are the add/sub
+// primitives below): these sit under every Montgomery operation, and the
+// out-of-line call overhead is measurable across a whole proof.
+inline int CmpU256(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs[i] < b.limbs[i]) {
+      return -1;
+    }
+    if (a.limbs[i] > b.limbs[i]) {
+      return 1;
+    }
+  }
+  return 0;
+}
 
 // r = a + b; returns the carry-out bit.
-uint64_t AddU256(const U256& a, const U256& b, U256* r);
+inline uint64_t AddU256(const U256& a, const U256& b, U256* r) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = carry + a.limbs[i] + b.limbs[i];
+    r->limbs[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
 // r = a - b; returns the borrow-out bit.
-uint64_t SubU256(const U256& a, const U256& b, U256* r);
+inline uint64_t SubU256(const U256& a, const U256& b, U256* r) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs[i]) - b.limbs[i] - borrow;
+    r->limbs[i] = static_cast<uint64_t>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return static_cast<uint64_t>(borrow);
+}
 // In-place right shift by s bits (0 <= s < 256).
 U256 ShrU256(const U256& a, int s);
 

@@ -92,8 +92,7 @@ IpaSetup IpaSetup::Create(size_t max_len, uint64_t seed) {
 
 PcsCommitment IpaPcs::Commit(const std::vector<Fr>& coeffs) const {
   ZKML_CHECK_MSG(coeffs.size() <= setup_->g.size(), "polynomial exceeds IPA setup");
-  std::vector<G1Affine> bases(setup_->g.begin(), setup_->g.begin() + coeffs.size());
-  return PcsCommitment{Msm(bases, coeffs).ToAffine()};
+  return PcsCommitment{Msm(setup_->g.data(), coeffs.data(), coeffs.size()).ToAffine()};
 }
 
 void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
@@ -129,19 +128,16 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
   size_t len = n;
   while (len > 1) {
     const size_t half = len / 2;
-    std::vector<G1Affine> g_lo(g.begin(), g.begin() + half);
-    std::vector<G1Affine> g_hi(g.begin() + half, g.begin() + len);
-    std::vector<Fr> a_lo(a.begin(), a.begin() + half);
-    std::vector<Fr> a_hi(a.begin() + half, a.begin() + len);
-
+    // The lo/hi halves are just index ranges of a and g; the cross terms and
+    // the L/R MSMs read them before the fold overwrites anything.
     Fr cross_l = Fr::Zero();
     Fr cross_r = Fr::Zero();
     for (size_t i = 0; i < half; ++i) {
-      cross_l += a_lo[i] * b[half + i];
-      cross_r += a_hi[i] * b[i];
+      cross_l += a[i] * b[half + i];
+      cross_r += a[half + i] * b[i];
     }
-    const G1Affine l = (Msm(g_hi, a_lo) + u.ScalarMul(cross_l)).ToAffine();
-    const G1Affine r = (Msm(g_lo, a_hi) + u.ScalarMul(cross_r)).ToAffine();
+    const G1Affine l = (Msm(g.data() + half, a.data(), half) + u.ScalarMul(cross_l)).ToAffine();
+    const G1Affine r = (Msm(g.data(), a.data() + half, half) + u.ScalarMul(cross_r)).ToAffine();
     transcript->AppendPoint("ipa-l", l);
     transcript->AppendPoint("ipa-r", r);
     AppendPoint(proof_out, l);
@@ -150,12 +146,13 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
     const Fr ch = transcript->ChallengeFr("ipa-u");
     const Fr ch_inv = ch.Inverse();
 
-    // Fold: a' = a_lo*ch + a_hi*ch_inv; b' = b_lo*ch_inv + b_hi*ch;
-    //       g' = g_lo*ch_inv + g_hi*ch.
+    // Fold in place: a' = a_lo*ch + a_hi*ch_inv; b' = b_lo*ch_inv + b_hi*ch;
+    // g' = g_lo*ch_inv + g_hi*ch. Slot i is read before it is written and the
+    // hi half is only read, so no copies are needed.
     for (size_t i = 0; i < half; ++i) {
-      a[i] = a_lo[i] * ch + a_hi[i] * ch_inv;
+      a[i] = a[i] * ch + a[half + i] * ch_inv;
       b[i] = b[i] * ch_inv + b[half + i] * ch;
-      g[i] = (G1::FromAffine(g_lo[i]).ScalarMul(ch_inv) + G1::FromAffine(g_hi[i]).ScalarMul(ch))
+      g[i] = (G1::FromAffine(g[i]).ScalarMul(ch_inv) + G1::FromAffine(g[half + i]).ScalarMul(ch))
                  .ToAffine();
     }
     len = half;
@@ -230,8 +227,7 @@ bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
       s[i] *= hi ? ch : ch_inv;
     }
   }
-  std::vector<G1Affine> g(setup_->g.begin(), setup_->g.begin() + n);
-  const G1 g_final = Msm(g, s);
+  const G1 g_final = Msm(setup_->g.data(), s.data(), n);
 
   // b folds with the same orientation as G (see OpenBatch), so b_final uses
   // the same s vector: b_final = sum_i s_i * z^i.

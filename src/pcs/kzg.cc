@@ -30,8 +30,7 @@ KzgSetup KzgSetup::Create(size_t max_len, uint64_t seed) {
 
 PcsCommitment KzgPcs::Commit(const std::vector<Fr>& coeffs) const {
   ZKML_CHECK_MSG(coeffs.size() <= setup_->powers.size(), "polynomial exceeds KZG setup");
-  std::vector<G1Affine> bases(setup_->powers.begin(), setup_->powers.begin() + coeffs.size());
-  return PcsCommitment{Msm(bases, coeffs).ToAffine()};
+  return PcsCommitment{Msm(setup_->powers.data(), coeffs.data(), coeffs.size()).ToAffine()};
 }
 
 void KzgPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,

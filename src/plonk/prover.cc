@@ -1,23 +1,21 @@
 #include "src/plonk/prover.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <string>
 #include <unordered_map>
 
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
+#include "src/base/timer.h"
+#include "src/ff/fr_key.h"
 #include "src/plonk/proof_io.h"
 #include "src/poly/polynomial.h"
 #include "src/transcript/transcript.h"
 
 namespace zkml {
 namespace {
-
-std::string FrKey(const Fr& v) {
-  const U256 c = v.ToCanonical();
-  return std::string(reinterpret_cast<const char*>(c.limbs), sizeof(c.limbs));
-}
 
 Fr EvalPoly(const std::vector<Fr>& coeffs, const Fr& x) {
   Fr acc = Fr::Zero();
@@ -27,10 +25,70 @@ Fr EvalPoly(const std::vector<Fr>& coeffs, const Fr& x) {
   return acc;
 }
 
+std::string HumanCount(uint64_t v) {
+  char buf[32];
+  if (v >= 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) * 1e-6);
+  } else if (v >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+
+// Records one ProverStageMetrics entry per Next() call: wall time since the
+// previous boundary plus the kernel-counter delta over the same interval.
+class StageRecorder {
+ public:
+  explicit StageRecorder(ProverMetrics* metrics) : metrics_(metrics) {
+    if (metrics_ != nullptr) {
+      metrics_->stages.clear();
+      last_ = kernelstats::Capture();
+    }
+  }
+
+  void Next(const char* name) {
+    if (metrics_ == nullptr) {
+      return;
+    }
+    const KernelCounters now = kernelstats::Capture();
+    ProverStageMetrics stage;
+    stage.name = name;
+    stage.seconds = timer_.ElapsedSeconds();
+    stage.kernels = now - last_;
+    metrics_->total_seconds += stage.seconds;
+    metrics_->stages.push_back(std::move(stage));
+    last_ = now;
+    timer_.Reset();
+  }
+
+ private:
+  ProverMetrics* metrics_;
+  Timer timer_;
+  KernelCounters last_;
+};
+
 }  // namespace
 
+std::string ProverMetrics::Summary() const {
+  std::string out;
+  char line[160];
+  for (const ProverStageMetrics& s : stages) {
+    std::snprintf(line, sizeof(line), "  %-20s %8.3fs  fft %s (%s pts)  msm %s (%s pts)\n",
+                  s.name.c_str(), s.seconds, HumanCount(s.kernels.fft_calls).c_str(),
+                  HumanCount(s.kernels.fft_points).c_str(), HumanCount(s.kernels.msm_calls).c_str(),
+                  HumanCount(s.kernels.msm_points).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-20s %8.3fs\n", "total", total_seconds);
+  out += line;
+  return out;
+}
+
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
-                                 const Assignment& assignment) {
+                                 const Assignment& assignment, ProverMetrics* metrics) {
+  StageRecorder stages(metrics);
   const ConstraintSystem& cs = pk.vk.cs;
   const EvaluationDomain& dom = *pk.domain;
   const size_t n = dom.size();
@@ -78,6 +136,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("advice", advice_comms[i].point);
     ProofAppendPoint(&proof, advice_comms[i].point);
   }
+  stages.Next("advice-commit");
 
   const Fr theta = transcript.ChallengeFr("theta");
 
@@ -107,7 +166,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
           theta_j *= theta;
         }
         // Multiplicities: first-occurrence row per table value.
-        std::unordered_map<std::string, size_t> first_row;
+        std::unordered_map<FrKey, size_t, FrKeyHash> first_row;
         first_row.reserve(n * 2);
         for (size_t r = 0; r < n; ++r) {
           first_row.emplace(FrKey(t[r]), r);
@@ -128,6 +187,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("lookup-m", m_comms[l].point);
     ProofAppendPoint(&proof, m_comms[l].point);
   }
+  stages.Next("lookup-mult");
 
   const Fr beta = transcript.ChallengeFr("beta");
   const Fr gamma = transcript.ChallengeFr("gamma");
@@ -215,6 +275,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("perm-z", z_comms[c].point);
     ProofAppendPoint(&proof, z_comms[c].point);
   }
+  stages.Next("lookup-perm-commit");
 
   const Fr y = transcript.ChallengeFr("y");
 
@@ -389,6 +450,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("quotient", q_comms[i].point);
     ProofAppendPoint(&proof, q_comms[i].point);
   }
+  stages.Next("quotient");
 
   const Fr x = transcript.ChallengeFr("x");
 
@@ -446,6 +508,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendFr("eval", evals[e]);
     ProofAppendFr(&proof, evals[e]);
   }
+  stages.Next("evals");
 
   // --- Round 6: openings grouped by rotation (ascending). ---
   std::set<int32_t> rotations;
@@ -461,6 +524,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     }
     pcs.OpenBatch(polys, rot_point(rot), &transcript, &proof);
   }
+  stages.Next("openings");
 
   return proof;
 }

@@ -8,19 +8,42 @@
 #define SRC_PLONK_PROVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/base/kernel_stats.h"
 #include "src/pcs/pcs.h"
 #include "src/plonk/assignment.h"
 #include "src/plonk/keygen.h"
 
 namespace zkml {
 
+// Wall time and kernel work attributed to one protocol round of CreateProof.
+struct ProverStageMetrics {
+  std::string name;
+  double seconds = 0;
+  KernelCounters kernels;  // FFT/MSM calls and point counts during the stage
+};
+
+// Per-stage breakdown of a single proof. Stages appear in protocol order:
+// advice-commit, lookup-mult, lookup-perm-commit, quotient, evals, openings.
+struct ProverMetrics {
+  double total_seconds = 0;
+  std::vector<ProverStageMetrics> stages;
+
+  // One human-readable line per stage, e.g.
+  //   quotient            1.234s  fft 52 (13.1M pts)  msm 4 (65.5k pts)
+  std::string Summary() const;
+};
+
 // Creates a proof for the assignment (advice + instance) under `pk`. Aborts
 // (ZKML_CHECK) if the witness does not satisfy the circuit — run MockProver
-// first when debugging.
+// first when debugging. If `metrics` is non-null, fills it with a per-stage
+// wall-time and kernel-op breakdown (valid for one proof at a time; the
+// kernel counters are process-global).
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
-                                 const Assignment& assignment);
+                                 const Assignment& assignment,
+                                 ProverMetrics* metrics = nullptr);
 
 }  // namespace zkml
 

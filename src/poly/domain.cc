@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/base/kernel_stats.h"
 #include "src/base/thread_pool.h"
 
 namespace zkml {
@@ -23,50 +24,88 @@ void BitReversePermute(std::vector<Fr>* values) {
   }
 }
 
+// out[i] = scale * base^i for i in [0, n). Chunks are seeded with Pow, so the
+// table builds in parallel; the values are identical to a serial running
+// product because field arithmetic is exact.
+std::vector<Fr> BuildPowers(const Fr& base, size_t n, const Fr& scale) {
+  std::vector<Fr> out(n);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    Fr cur = base.Pow(U256::FromU64(lo)) * scale;
+    for (size_t i = lo; i < hi; ++i) {
+      out[i] = cur;
+      cur *= base;
+    }
+  });
+  return out;
+}
+
+// In-place radix-2 DIT FFT. tw[i] = w^i for i < n/2 where w is a primitive
+// n-th root of unity.
+//
+// Each stage has n/2 butterflies laid out as (n/len) blocks of len/2. The
+// work is parallelized over the flattened butterfly index, so a chunk covers
+// many whole blocks in the early stages and a j-range inside one wide block
+// in the late stages — the same loop exposes both parallelism axes, and
+// stages where n/len drops below the worker count still use every thread.
+void FftCore(std::vector<Fr>& a, const Fr* tw) {
+  const size_t n = a.size();
+  ZKML_CHECK_MSG((n & (n - 1)) == 0, "FFT size must be a power of two");
+  kernelstats::RecordFft(n);
+  if (n <= 1) {
+    return;
+  }
+  BitReversePermute(&a);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const size_t half = len / 2;
+    const size_t stride = n / len;
+    ParallelFor(0, n / 2, [&](size_t lo, size_t hi) {
+      size_t i = lo;
+      while (i < hi) {
+        const size_t blk = i / half;
+        const size_t j0 = i % half;
+        const size_t j1 = std::min(half, j0 + (hi - i));
+        const size_t base = blk * len;
+        for (size_t j = j0; j < j1; ++j) {
+          const Fr u = a[base + j];
+          Fr v = a[base + j + half];
+          if (j != 0) {
+            v *= tw[j * stride];  // tw[0] == 1: skip the multiply
+          }
+          a[base + j] = u + v;
+          a[base + j + half] = u - v;
+        }
+        i += j1 - j0;
+      }
+    });
+  }
+}
+
 }  // namespace
 
 void Fft(std::vector<Fr>* values, const Fr& omega) {
-  std::vector<Fr>& a = *values;
-  const size_t n = a.size();
+  const size_t n = values->size();
   ZKML_CHECK_MSG((n & (n - 1)) == 0, "FFT size must be a power of two");
   if (n <= 1) {
     return;
   }
-  BitReversePermute(values);
-
-  // Precompute omega^i for i < n/2 once; stage twiddles stride through it.
-  std::vector<Fr> pow(n / 2);
-  pow[0] = Fr::One();
-  for (size_t i = 1; i < n / 2; ++i) {
-    pow[i] = pow[i - 1] * omega;
-  }
-
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const size_t half = len / 2;
-    const size_t stride = n / len;
-    ParallelFor(0, n / len, [&](size_t blk_begin, size_t blk_end) {
-      for (size_t blk = blk_begin; blk < blk_end; ++blk) {
-        const size_t base = blk * len;
-        for (size_t j = 0; j < half; ++j) {
-          const Fr& w = pow[j * stride];
-          Fr u = a[base + j];
-          Fr v = a[base + j + half] * w;
-          a[base + j] = u + v;
-          a[base + j + half] = u - v;
-        }
-      }
-    });
-  }
+  const std::vector<Fr> tw = BuildPowers(omega, n / 2, Fr::One());
+  FftCore(*values, tw.data());
 }
 
 EvaluationDomain::EvaluationDomain(int k) : k_(k), n_(static_cast<size_t>(1) << k) {
   omega_ = FrRootOfUnity(k);
   omega_inv_ = omega_.Inverse();
   n_inv_ = Fr::FromU64(n_).Inverse();
-  elements_.resize(n_);
-  elements_[0] = Fr::One();
-  for (size_t i = 1; i < n_; ++i) {
-    elements_[i] = elements_[i - 1] * omega_;
+  elements_ = BuildPowers(omega_, n_, Fr::One());
+  twiddles_.assign(elements_.begin(), elements_.begin() + n_ / 2);
+  // omega^{-i} = omega^{n-i}, so the inverse table is the reversed tail of
+  // elements_ (with omega^0 = 1 up front).
+  inv_twiddles_.resize(n_ / 2);
+  if (!inv_twiddles_.empty()) {
+    inv_twiddles_[0] = Fr::One();
+    for (size_t i = 1; i < n_ / 2; ++i) {
+      inv_twiddles_[i] = elements_[n_ - i];
+    }
   }
 }
 
@@ -74,34 +113,62 @@ std::vector<Fr> EvaluationDomain::FftFromCoeffs(const std::vector<Fr>& coeffs) c
   ZKML_CHECK_MSG(coeffs.size() <= n_, "polynomial larger than domain");
   std::vector<Fr> vals = coeffs;
   vals.resize(n_, Fr::Zero());
-  Fft(&vals, omega_);
+  FftCore(vals, twiddles_.data());
   return vals;
 }
 
 std::vector<Fr> EvaluationDomain::IfftToCoeffs(const std::vector<Fr>& evals) const {
   ZKML_CHECK(evals.size() == n_);
   std::vector<Fr> coeffs = evals;
-  Fft(&coeffs, omega_inv_);
-  for (Fr& c : coeffs) {
-    c *= n_inv_;
-  }
+  FftCore(coeffs, inv_twiddles_.data());
+  ParallelFor(0, n_, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      coeffs[i] *= n_inv_;
+    }
+  });
   return coeffs;
+}
+
+const EvaluationDomain::CosetTables& EvaluationDomain::GetCosetTables(int ext_k) const {
+  {
+    std::lock_guard<std::mutex> lock(coset_mu_);
+    auto it = coset_tables_.find(ext_k);
+    if (it != coset_tables_.end()) {
+      return it->second;
+    }
+  }
+  // Build WITHOUT holding the mutex: BuildPowers runs ParallelFor, and a
+  // thread helping the pool there can steal a task that re-enters this
+  // function — with the lock held that self-deadlocks. Two threads may race
+  // to build the same tables; emplace keeps the first and discards the
+  // loser's copy (the values are identical either way, and std::map node
+  // references stay stable).
+  const size_t ext_n = n_ << ext_k;
+  const Fr w_ext = FrRootOfUnity(k_ + ext_k);
+  const Fr g = Fr::FromU64(FrParams::kGenerator);
+  CosetTables t;
+  t.twiddles = BuildPowers(w_ext, ext_n / 2, Fr::One());
+  t.inv_twiddles = BuildPowers(w_ext.Inverse(), ext_n / 2, Fr::One());
+  t.scale = BuildPowers(g, ext_n, Fr::One());
+  t.inv_scale = BuildPowers(g.Inverse(), ext_n, Fr::FromU64(ext_n).Inverse());
+  std::lock_guard<std::mutex> lock(coset_mu_);
+  return coset_tables_.emplace(ext_k, std::move(t)).first->second;
 }
 
 std::vector<Fr> EvaluationDomain::CosetFftFromCoeffs(const std::vector<Fr>& coeffs,
                                                      int ext_k) const {
   const size_t ext_n = n_ << ext_k;
   ZKML_CHECK_MSG(coeffs.size() <= ext_n, "polynomial larger than extended domain");
+  const CosetTables& t = GetCosetTables(ext_k);
   std::vector<Fr> vals = coeffs;
   vals.resize(ext_n, Fr::Zero());
   // Scale coefficient i by g^i, then a plain FFT over H_ext evaluates on gH_ext.
-  const Fr g = Fr::FromU64(FrParams::kGenerator);
-  Fr gi = Fr::One();
-  for (size_t i = 0; i < vals.size(); ++i) {
-    vals[i] *= gi;
-    gi *= g;
-  }
-  Fft(&vals, FrRootOfUnity(k_ + ext_k));
+  ParallelFor(0, vals.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      vals[i] *= t.scale[i];
+    }
+  });
+  FftCore(vals, t.twiddles.data());
   return vals;
 }
 
@@ -109,15 +176,14 @@ std::vector<Fr> EvaluationDomain::CosetIfftToCoeffs(const std::vector<Fr>& evals
                                                     int ext_k) const {
   const size_t ext_n = n_ << ext_k;
   ZKML_CHECK(evals.size() == ext_n);
+  const CosetTables& t = GetCosetTables(ext_k);
   std::vector<Fr> coeffs = evals;
-  Fft(&coeffs, FrRootOfUnity(k_ + ext_k).Inverse());
-  const Fr ext_n_inv = Fr::FromU64(ext_n).Inverse();
-  const Fr g_inv = Fr::FromU64(FrParams::kGenerator).Inverse();
-  Fr gi = Fr::One();
-  for (size_t i = 0; i < coeffs.size(); ++i) {
-    coeffs[i] *= ext_n_inv * gi;
-    gi *= g_inv;
-  }
+  FftCore(coeffs, t.inv_twiddles.data());
+  ParallelFor(0, coeffs.size(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      coeffs[i] *= t.inv_scale[i];
+    }
+  });
   return coeffs;
 }
 
@@ -137,9 +203,11 @@ std::vector<Fr> EvaluationDomain::VanishingInverseOnCoset(int ext_k) const {
   }
   BatchInverse(&cycle);
   std::vector<Fr> out(ext_n);
-  for (size_t j = 0; j < ext_n; ++j) {
-    out[j] = cycle[j % period];
-  }
+  ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      out[j] = cycle[j % period];
+    }
+  });
   return out;
 }
 

@@ -2,10 +2,17 @@
 // uses: value<->coefficient transforms on the 2^k-th roots of unity, coset
 // evaluations on the extended domain used by the quotient argument, and
 // Lagrange-basis helpers the verifier evaluates at the challenge point.
+//
+// Twiddle tables are computed once per domain (and once per extended coset
+// domain, lazily) and reused by every transform; the prover runs hundreds of
+// FFTs over the same handful of domains, and rebuilding the power table used
+// to dominate small-FFT cost.
 #ifndef SRC_POLY_DOMAIN_H_
 #define SRC_POLY_DOMAIN_H_
 
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/ff/fields.h"
@@ -14,7 +21,8 @@
 namespace zkml {
 
 // In-place FFT on a power-of-two sized vector. `omega` must be a primitive
-// n-th root of unity. Input and output are in natural order.
+// n-th root of unity. Input and output are in natural order. Builds its own
+// twiddle table; prefer the EvaluationDomain methods in repeated use.
 void Fft(std::vector<Fr>* values, const Fr& omega);
 
 class EvaluationDomain {
@@ -59,12 +67,28 @@ class EvaluationDomain {
   Fr EvaluateLagrangeCombination(const std::vector<Fr>& values, const Fr& x) const;
 
  private:
+  // Tables for the extended coset domain of size n << ext_k, built on first
+  // use and cached for the lifetime of the domain.
+  struct CosetTables {
+    std::vector<Fr> twiddles;      // w_ext^i, i < ext_n/2
+    std::vector<Fr> inv_twiddles;  // w_ext^{-i}, i < ext_n/2
+    std::vector<Fr> scale;         // g^i, i < ext_n
+    std::vector<Fr> inv_scale;     // ext_n^{-1} * g^{-i}, i < ext_n
+  };
+  const CosetTables& GetCosetTables(int ext_k) const;
+
   int k_;
   size_t n_;
   Fr omega_;
   Fr omega_inv_;
   Fr n_inv_;
   std::vector<Fr> elements_;
+  // twiddles_[i] = omega^i for i < n/2 (forward transforms);
+  // inv_twiddles_[i] = omega^{-i} (inverse transforms).
+  std::vector<Fr> twiddles_;
+  std::vector<Fr> inv_twiddles_;
+  mutable std::mutex coset_mu_;
+  mutable std::map<int, CosetTables> coset_tables_;
 };
 
 }  // namespace zkml

@@ -57,7 +57,7 @@ ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
   out.instance.assign(inst.begin(), inst.begin() + built.num_instance_rows);
 
   Timer prove_timer;
-  out.bytes = CreateProof(compiled.pk, *compiled.pcs, asn);
+  out.bytes = CreateProof(compiled.pk, *compiled.pcs, asn, &out.prover_metrics);
   out.prove_seconds = prove_timer.ElapsedSeconds();
   return out;
 }

@@ -13,6 +13,7 @@
 #include "src/pcs/ipa.h"
 #include "src/pcs/kzg.h"
 #include "src/plonk/keygen.h"
+#include "src/plonk/prover.h"
 
 namespace zkml {
 
@@ -46,6 +47,8 @@ struct ZkmlProof {
   Tensor<int64_t> output_q;
   double witness_seconds = 0;
   double prove_seconds = 0;
+  // Per-stage wall time and FFT/MSM op counts for the CreateProof call.
+  ProverMetrics prover_metrics;
 };
 
 // Produces a proof that `compiled.model` maps input_q to the returned output.

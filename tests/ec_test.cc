@@ -127,6 +127,75 @@ TEST(MsmTest, HandlesZeroAndOneScalars) {
   EXPECT_EQ(Msm(bases, scalars), G1::FromAffine(bases[5]));
 }
 
+// Edge scalars stress the signed-digit recoding: 0 and 1 produce mostly-empty
+// windows, r-1 = -1 exercises the carry chain through every window, and
+// duplicated bases force long per-bucket affine-addition chains (including
+// the p == q doubling case inside the batched-affine reducer).
+TEST(MsmTest, EdgeScalarsAndDuplicateBases) {
+  Rng rng(17);
+  const Fr r_minus_1 = Fr::Zero() - Fr::One();
+  const size_t n = 128;
+  std::vector<G1Affine> bases(n);
+  std::vector<Fr> scalars(n);
+  const G1Affine dup = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+  for (size_t i = 0; i < n; ++i) {
+    // Half the bases identical, the rest random.
+    bases[i] = (i % 2 == 0) ? dup : G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    switch (i % 4) {
+      case 0: scalars[i] = Fr::Zero(); break;
+      case 1: scalars[i] = Fr::One(); break;
+      case 2: scalars[i] = r_minus_1; break;
+      default: scalars[i] = Fr::Random(rng); break;
+    }
+  }
+  // Duplicate scalars too, so buckets collide on identical points.
+  scalars[7] = scalars[3];
+  G1 expected;
+  for (size_t i = 0; i < n; ++i) {
+    expected += G1::FromAffine(bases[i]).ScalarMul(scalars[i]);
+  }
+  EXPECT_EQ(Msm(bases, scalars), expected);
+}
+
+// Sizes straddling the naive/Pippenger cutoff (n = 32) must agree with the
+// naive sum on both sides of the branch.
+TEST(MsmTest, CutoffStraddlingSizes) {
+  for (size_t n : {size_t{30}, size_t{31}, size_t{32}, size_t{33}, size_t{34}, size_t{64}}) {
+    Rng rng(200 + n);
+    std::vector<G1Affine> bases(n);
+    std::vector<Fr> scalars(n);
+    G1 expected;
+    for (size_t i = 0; i < n; ++i) {
+      bases[i] = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+      scalars[i] = Fr::Random(rng);
+      expected += G1::FromAffine(bases[i]).ScalarMul(scalars[i]);
+    }
+    EXPECT_EQ(Msm(bases.data(), scalars.data(), n), expected) << "n=" << n;
+  }
+}
+
+// The point-range chunking axis must not change the result: run the internal
+// implementation with several chunk counts (and window widths) and compare
+// against the single-chunk answer.
+TEST(MsmTest, ChunkedImplMatchesUnchunked) {
+  const size_t n = 500;
+  Rng rng(33);
+  std::vector<G1Affine> bases(n);
+  std::vector<Fr> scalars(n);
+  for (size_t i = 0; i < n; ++i) {
+    bases[i] = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    scalars[i] = Fr::Random(rng);
+  }
+  for (int c : {4, 8, 12}) {
+    const G1 ref = internal::MsmImpl(bases.data(), scalars.data(), n, c, 1);
+    for (size_t chunks : {size_t{2}, size_t{3}, size_t{7}}) {
+      EXPECT_EQ(internal::MsmImpl(bases.data(), scalars.data(), n, c, chunks), ref)
+          << "c=" << c << " chunks=" << chunks;
+    }
+    EXPECT_EQ(ref, Msm(bases, scalars)) << "c=" << c;
+  }
+}
+
 TEST(DeriveGeneratorsTest, DeterministicAndOnCurve) {
   auto a = DeriveGenerators(42, 16);
   auto b = DeriveGenerators(42, 16);

@@ -216,5 +216,66 @@ TEST(FrTest, CanonicalRoundTrip) {
   }
 }
 
+// The constexpr limb arrays feed the hot arithmetic paths directly; if one
+// limb were mistyped every operation would silently compute mod the wrong
+// number, so pin them to the human-readable hex strings.
+TEST(ParamsTest, ModulusLimbsMatchHex) {
+  const U256 fr_hex = U256::FromHex(FrParams::kModulusHex);
+  const U256 fq_hex = U256::FromHex(FqParams::kModulusHex);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fr_hex.limbs[i], FrParams::kModulusLimbs[i]) << "Fr limb " << i;
+    EXPECT_EQ(fq_hex.limbs[i], FqParams::kModulusLimbs[i]) << "Fq limb " << i;
+  }
+  EXPECT_EQ(FrParams::Modulus(), fr_hex);
+  EXPECT_EQ(FqParams::Modulus(), fq_hex);
+}
+
+// All Montgomery-multiplication implementations (asm dispatch behind
+// operator*, portable no-carry CIOS, generic double-wide CIOS) must agree
+// bit-for-bit on the same inputs — including edge values near the modulus.
+TEST(ParamsTest, MontMulImplementationsAgree) {
+  Rng rng(99);
+  auto check_fr = [](const Fr& a, const Fr& b) {
+    const Fr prod = a * b;
+    EXPECT_EQ(prod, Fr::MulPortableNoCarry(a, b));
+    EXPECT_EQ(prod, Fr::MulPortableGeneric(a, b));
+  };
+  auto check_fq = [](const Fq& a, const Fq& b) {
+    const Fq prod = a * b;
+    EXPECT_EQ(prod, Fq::MulPortableNoCarry(a, b));
+    EXPECT_EQ(prod, Fq::MulPortableGeneric(a, b));
+  };
+  const Fr r_minus_1 = Fr::Zero() - Fr::One();
+  check_fr(Fr::Zero(), Fr::Zero());
+  check_fr(Fr::One(), r_minus_1);
+  check_fr(r_minus_1, r_minus_1);
+  for (int trial = 0; trial < 200; ++trial) {
+    check_fr(Fr::Random(rng), Fr::Random(rng));
+    check_fq(Fq::Random(rng), Fq::Random(rng));
+  }
+}
+
+TEST(FrTest, BatchInverseNonZeroMatchesScalar) {
+  Rng rng(11);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5}, size_t{37},
+                   size_t{256}}) {
+    std::vector<Fr> xs(n);
+    for (Fr& x : xs) {
+      do {
+        x = Fr::Random(rng);
+      } while (x.IsZero());
+    }
+    std::vector<Fr> expected = xs;
+    for (Fr& e : expected) {
+      e = e.Inverse();
+    }
+    std::vector<Fr> scratch;
+    BatchInverseNonZero(xs.data(), xs.size(), scratch);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(xs[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zkml

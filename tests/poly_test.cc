@@ -117,7 +117,49 @@ TEST_P(DomainTest, CosetFftMatchesDirectEvaluation) {
   EXPECT_EQ(coeffs, p.coeffs());
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, DomainTest, ::testing::Values(1, 2, 4, 6, 8, 12));
+// 10 and 13 cross the ParallelFor serial cutoff and odd/even stage counts;
+// 14 is a size the real prover uses.
+INSTANTIATE_TEST_SUITE_P(Sizes, DomainTest, ::testing::Values(1, 2, 4, 6, 8, 10, 12, 13, 14));
+
+// Coset transforms must round-trip at every extension factor the quotient
+// argument can pick (and the cached tables for different ext_k on one domain
+// must not interfere).
+TEST(DomainTest, CosetRoundTripAcrossExtensions) {
+  EvaluationDomain dom(6);
+  Rng rng(70);
+  for (int ext_k : {0, 1, 2, 3}) {
+    const size_t ext_n = dom.size() << ext_k;
+    std::vector<Fr> coeffs(ext_n);
+    for (Fr& c : coeffs) {
+      c = Fr::Random(rng);
+    }
+    std::vector<Fr> evals = dom.CosetFftFromCoeffs(coeffs, ext_k);
+    EXPECT_EQ(dom.CosetIfftToCoeffs(evals, ext_k), coeffs) << "ext_k=" << ext_k;
+  }
+  // Interleave with a second domain to ensure per-domain caches are isolated.
+  EvaluationDomain dom2(4);
+  std::vector<Fr> coeffs2(dom2.size() << 2);
+  for (Fr& c : coeffs2) {
+    c = Fr::Random(rng);
+  }
+  EXPECT_EQ(dom2.CosetIfftToCoeffs(dom2.CosetFftFromCoeffs(coeffs2, 2), 2), coeffs2);
+}
+
+// The standalone Fft (which builds its own twiddles) and the domain's cached
+// path must produce identical output.
+TEST(DomainTest, StandaloneFftMatchesDomain) {
+  for (int k : {3, 9, 11}) {
+    EvaluationDomain dom(k);
+    Rng rng(80 + k);
+    std::vector<Fr> coeffs(dom.size());
+    for (Fr& c : coeffs) {
+      c = Fr::Random(rng);
+    }
+    std::vector<Fr> a = coeffs;
+    Fft(&a, dom.omega());
+    EXPECT_EQ(a, dom.FftFromCoeffs(coeffs)) << "k=" << k;
+  }
+}
 
 TEST(DomainTest, VanishingInverseOnCoset) {
   EvaluationDomain dom(5);
