@@ -76,7 +76,7 @@ int main() {
   const std::vector<Fr>& inst = cb.assignment().instance()[0];
   std::vector<std::vector<Fr>> instance = {
       std::vector<Fr>(inst.begin(), inst.begin() + cb.NumInstanceRows())};
-  const bool ok = VerifyProof(pk.vk, *pcs, instance, proof);
+  const bool ok = VerifyProof(pk.vk, *pcs, instance, proof).ok();
 
   std::printf("one SGD step proven: prediction %.3f (target %.3f), proof %zu bytes, %s\n",
               DequantizeValue(pred.q, qp), y_target, proof.size(),

@@ -11,6 +11,13 @@
 // Proof files carry the proof bytes plus the public statement; `verify`
 // rebuilds the verifying key deterministically from the model file, so the
 // verifier never sees the prover's witness.
+//
+// Exit codes (documented in README.md; model and proof files are untrusted,
+// so every malformed input maps to an exit code, never an abort):
+//   0  success ("verify": proof VALID)
+//   1  usage error or filesystem failure (cannot read/write a file)
+//   2  proof rejected ("verify": proof well-formed-or-not but INVALID)
+//   3  malformed input (model file or proof file failed to parse/validate)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +33,26 @@
 
 namespace zkml {
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitInvalidProof = 2;
+constexpr int kExitMalformedInput = 3;
+
+// Loads a model file, printing the parse error and mapping it to the exit
+// code contract. Returns false (with *exit_code set) on failure.
+bool LoadModelOrReport(const std::string& path, Model* model, int* exit_code) {
+  StatusOr<Model> loaded = LoadModelFromFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    *exit_code = loaded.status().code() == StatusCode::kIoError ? kExitUsage
+                                                                : kExitMalformedInput;
+    return false;
+  }
+  *model = std::move(loaded).value();
+  return true;
+}
 
 ZkmlOptions CliOptions(PcsKind backend) {
   ZkmlOptions options;
@@ -54,58 +81,55 @@ bool WriteProofFile(const std::string& path, const ZkmlProof& proof) {
   return static_cast<bool>(out);
 }
 
-bool ReadProofFile(const std::string& path, std::vector<uint8_t>* proof,
-                   std::vector<Fr>* instance) {
+Status ReadProofFile(const std::string& path, std::vector<uint8_t>* proof,
+                     std::vector<Fr>* instance) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return false;
+    return IoError("cannot open proof file: " + path);
   }
   std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
   size_t off = 0;
-  auto read_u32 = [&](uint32_t* v) {
-    if (off + 4 > blob.size()) {
-      return false;
-    }
-    *v = 0;
-    for (int i = 0; i < 4; ++i) {
-      *v |= static_cast<uint32_t>(blob[off + i]) << (8 * i);
-    }
-    off += 4;
-    return true;
-  };
   uint32_t len = 0;
-  if (!read_u32(&len) || off + len > blob.size()) {
-    return false;
+  ZKML_RETURN_IF_ERROR(ProofReadU32(blob, &off, &len, "proof length"));
+  if (len > blob.size() - off) {
+    return MalformedProofError("declared proof length " + std::to_string(len) +
+                               " exceeds remaining file size " + std::to_string(blob.size() - off));
   }
   proof->assign(blob.begin() + static_cast<long>(off), blob.begin() + static_cast<long>(off + len));
   off += len;
   uint32_t n_inst = 0;
-  if (!read_u32(&n_inst)) {
-    return false;
+  ZKML_RETURN_IF_ERROR(ProofReadU32(blob, &off, &n_inst, "instance count"));
+  // Length sanity before allocating: each instance value takes 32 bytes.
+  if (static_cast<size_t>(n_inst) > (blob.size() - off) / kProofFrSize) {
+    return MalformedProofError("declared instance count " + std::to_string(n_inst) +
+                               " exceeds remaining file size");
   }
   instance->resize(n_inst);
   for (uint32_t i = 0; i < n_inst; ++i) {
-    if (!ProofReadFr(blob, &off, &(*instance)[i])) {
-      return false;
-    }
+    const std::string what = "instance value " + std::to_string(i);
+    ZKML_RETURN_IF_ERROR(ProofReadFr(blob, &off, &(*instance)[i], what.c_str()));
   }
-  return off == blob.size();
+  return ProofExpectEnd(blob, off);
 }
 
 int CmdExport(const std::string& name, const std::string& path) {
   const Model model = MakeZooModel(name);
   if (!SaveModelToFile(model, path)) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+    return kExitUsage;
   }
   std::printf("wrote %s (%lld parameters, %zu ops)\n", path.c_str(),
               static_cast<long long>(model.NumParameters()), model.ops.size());
-  return 0;
+  return kExitOk;
 }
 
 int CmdInspect(const std::string& path) {
-  const Model model = LoadModelFromFile(path);
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(path, &model, &exit_code)) {
+    return exit_code;
+  }
   const std::vector<Shape> shapes = InferShapes(model);
   std::printf("model %s: input %s, %lld parameters, ~%lld flops, quant sf=2^%d tables=2^%d\n",
               model.name.c_str(), model.input_shape.ToString().c_str(),
@@ -116,11 +140,15 @@ int CmdInspect(const std::string& path) {
     std::printf("  %-18s -> tensor %d %s\n", OpTypeName(op.type), op.output,
                 shapes[static_cast<size_t>(op.output)].ToString().c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 int CmdOptimize(const std::string& path, PcsKind backend) {
-  const Model model = LoadModelFromFile(path);
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(path, &model, &exit_code)) {
+    return exit_code;
+  }
   OptimizerOptions opts = CliOptions(backend).optimizer;
   opts.backend = backend;
   const OptimizerResult result = OptimizeLayout(model, HardwareProfile::Cached(), opts);
@@ -133,39 +161,51 @@ int CmdOptimize(const std::string& path, PcsKind backend) {
   std::printf("  predicted proving: %.2fs (%zu FFTs, %zu MSMs); predicted proof: %zu bytes\n",
               result.best.cost.total_seconds, result.best.cost.n_ffts, result.best.cost.n_msms,
               result.best.proof_size_bytes);
-  return 0;
+  return kExitOk;
 }
 
 int CmdProve(const std::string& model_path, const std::string& proof_path, uint64_t seed,
              PcsKind backend) {
-  const Model model = LoadModelFromFile(model_path);
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(model_path, &model, &exit_code)) {
+    return exit_code;
+  }
   const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
   const ZkmlProof proof = Prove(compiled, input);
   if (!WriteProofFile(proof_path, proof)) {
     std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
-    return 1;
+    return kExitUsage;
   }
   std::printf("proved %s on input seed %llu in %.2fs: %zu proof bytes -> %s\n",
               model.name.c_str(), static_cast<unsigned long long>(seed), proof.prove_seconds,
               proof.bytes.size(), proof_path.c_str());
-  return 0;
+  return kExitOk;
 }
 
 int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsKind backend) {
-  const Model model = LoadModelFromFile(model_path);
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(model_path, &model, &exit_code)) {
+    return exit_code;
+  }
   // The verifier recompiles deterministically (same optimizer + setup seed),
   // obtaining the same verifying key the prover used — no witness involved.
   const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   std::vector<uint8_t> proof;
   std::vector<Fr> instance;
-  if (!ReadProofFile(proof_path, &proof, &instance)) {
-    std::fprintf(stderr, "cannot read %s\n", proof_path.c_str());
-    return 1;
+  if (Status s = ReadProofFile(proof_path, &proof, &instance); !s.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", proof_path.c_str(), s.ToString().c_str());
+    return s.code() == StatusCode::kIoError ? kExitUsage : kExitMalformedInput;
   }
-  const bool ok = Verify(compiled.pk.vk, *compiled.pcs, instance, proof);
-  std::printf("%s\n", ok ? "VALID" : "INVALID");
-  return ok ? 0 : 2;
+  const VerifyResult result = VerifyDetailed(compiled.pk.vk, *compiled.pcs, instance, proof);
+  if (result.ok()) {
+    std::printf("VALID\n");
+    return kExitOk;
+  }
+  std::printf("INVALID (%s)\n", result.ToString().c_str());
+  return kExitInvalidProof;
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// Structured error propagation for the untrusted-input boundary (model files,
+// proof bytes, public instances). APIs that consume adversarial data return
+// Status / StatusOr<T> instead of aborting; ZKML_CHECK remains the tool for
+// *internal* invariants that indicate a bug in this codebase rather than bad
+// input (see DESIGN.md "Trust boundary & error handling").
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace zkml {
+
+enum class StatusCode : int {
+  kOk = 0,
+  // Caller passed an argument violating the API contract (wrong instance
+  // length, mismatched batch sizes, ...).
+  kInvalidArgument,
+  // A model file / serialized text failed to parse or validate.
+  kParseError,
+  // Proof bytes are structurally bad: truncated, trailing garbage, invalid
+  // point encoding, scalar >= modulus, bad length prefix.
+  kMalformedProof,
+  // The proof is well-formed but a cryptographic check failed (quotient
+  // identity, PCS opening equation).
+  kVerifyFailed,
+  // A constraint system is not satisfied by an assignment (MockProver).
+  kUnsatisfied,
+  // A size/index exceeds a supported bound (setup too small, rank too big).
+  kOutOfRange,
+  // Filesystem-level failure (cannot open / write a file).
+  kIoError,
+  // "Cannot happen" escaped into a recoverable path.
+  kInternal,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kMalformedProof:
+      return "MALFORMED_PROOF";
+    case StatusCode::kVerifyFailed:
+      return "VERIFY_FAILED";
+    case StatusCode::kUnsatisfied:
+      return "UNSATISFIED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status MalformedProofError(std::string msg) {
+  return Status(StatusCode::kMalformedProof, std::move(msg));
+}
+inline Status VerifyFailedError(std::string msg) {
+  return Status(StatusCode::kVerifyFailed, std::move(msg));
+}
+inline Status UnsatisfiedError(std::string msg) {
+  return Status(StatusCode::kUnsatisfied, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Holds either a T or a non-OK Status. Accessing the value of an errored
+// StatusOr is a programming bug and CHECK-fails.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    ZKML_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    ZKML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    ZKML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    ZKML_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace zkml
+
+// Propagates a non-OK Status to the caller.
+#define ZKML_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::zkml::Status zkml_status_ = (expr);   \
+    if (!zkml_status_.ok()) {               \
+      return zkml_status_;                  \
+    }                                       \
+  } while (0)
+
+#define ZKML_STATUS_CONCAT_INNER_(a, b) a##b
+#define ZKML_STATUS_CONCAT_(a, b) ZKML_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates a StatusOr<T> expression; on error propagates the Status, on
+// success moves the value into `lhs` (which may be a declaration).
+#define ZKML_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  auto ZKML_STATUS_CONCAT_(zkml_statusor_, __LINE__) = (expr);             \
+  if (!ZKML_STATUS_CONCAT_(zkml_statusor_, __LINE__).ok()) {               \
+    return ZKML_STATUS_CONCAT_(zkml_statusor_, __LINE__).status();         \
+  }                                                                        \
+  lhs = std::move(ZKML_STATUS_CONCAT_(zkml_statusor_, __LINE__)).value()
+
+#endif  // SRC_BASE_STATUS_H_

@@ -30,8 +30,8 @@ bool G1Affine::operator==(const G1Affine& o) const {
   return x == o.x && y == o.y;
 }
 
-std::array<uint8_t, 33> G1Affine::Serialize() const {
-  std::array<uint8_t, 33> out{};
+std::array<uint8_t, G1Affine::kCompressedSize> G1Affine::Serialize() const {
+  std::array<uint8_t, kCompressedSize> out{};
   if (infinity) {
     return out;
   }
@@ -48,6 +48,13 @@ std::array<uint8_t, 33> G1Affine::Serialize() const {
 
 bool G1Affine::Deserialize(const uint8_t* bytes, G1Affine* out) {
   if (bytes[0] == 0) {
+    // Canonical identity encoding: the 32 padding bytes must be zero, or the
+    // encoding would be malleable (flippable bits the verifier never reads).
+    for (size_t i = 1; i < kCompressedSize; ++i) {
+      if (bytes[i] != 0) {
+        return false;
+      }
+    }
     *out = Identity();
     return true;
   }

@@ -14,6 +14,11 @@
 namespace zkml {
 
 struct G1Affine {
+  // Compressed encoding size: flag byte (0 infinity, 2/3 = y parity) then the
+  // canonical x coordinate, little-endian. Every proof-byte size check and
+  // reader/writer must use this constant, not a literal.
+  static constexpr size_t kCompressedSize = 33;
+
   Fq x;
   Fq y;
   bool infinity = true;
@@ -26,9 +31,7 @@ struct G1Affine {
   bool IsOnCurve() const;
   bool operator==(const G1Affine& o) const;
 
-  // 33-byte compressed encoding: flag byte (0 infinity, 2/3 = y parity) then
-  // the canonical x coordinate, little-endian.
-  std::array<uint8_t, 33> Serialize() const;
+  std::array<uint8_t, kCompressedSize> Serialize() const;
   static bool Deserialize(const uint8_t* bytes, G1Affine* out);
 };
 

@@ -1,10 +1,9 @@
 #include "src/model/serialize.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
-
-#include "src/base/check.h"
 
 namespace zkml {
 namespace {
@@ -18,6 +17,15 @@ namespace {
 //      attrs <stride> <pad> <pool> <fn> <axis> <scale> <tb> \
 //      perm <n> <...> shape <n> <...> starts <n> <...> sizes <n> <...>
 
+// Hard caps on untrusted sizes: a crafted header must not be able to trigger
+// a multi-gigabyte allocation before any real data is read.
+constexpr size_t kMaxRank = 8;
+constexpr int64_t kMaxTensorElements = int64_t{1} << 26;  // 64M floats per weight
+constexpr size_t kMaxListLength = size_t{1} << 20;
+constexpr int kMaxTensors = 1 << 20;
+constexpr int kMaxOpType = static_cast<int>(OpType::kSlice);
+constexpr int kMaxNonlinFn = static_cast<int>(NonlinFn::kSiLU);
+
 void WriteInts(std::ostringstream& out, const std::vector<int64_t>& v) {
   out << v.size();
   for (int64_t x : v) {
@@ -25,14 +33,166 @@ void WriteInts(std::ostringstream& out, const std::vector<int64_t>& v) {
   }
 }
 
-std::vector<int64_t> ReadInts(std::istringstream& in) {
-  size_t n = 0;
-  ZKML_CHECK(static_cast<bool>(in >> n));
-  std::vector<int64_t> v(n);
-  for (int64_t& x : v) {
-    ZKML_CHECK(static_cast<bool>(in >> x));
+// Tokenizer over one line, carrying the line number so every error can name
+// its location and the token that broke the grammar.
+class LineParser {
+ public:
+  LineParser(const std::string& line, size_t line_number)
+      : in_(line), line_number_(line_number) {}
+
+  Status Error(const std::string& what) const {
+    return ParseError("line " + std::to_string(line_number_) + ": " + what);
   }
-  return v;
+
+  Status ReadToken(std::string* out, const char* what) {
+    if (!(in_ >> *out)) {
+      return Error(std::string("expected ") + what + ", got end of line");
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    std::string tok;
+    if (!(in_ >> tok)) {
+      return Error(std::string("expected keyword '") + kw + "', got end of line");
+    }
+    if (tok != kw) {
+      return Error(std::string("expected keyword '") + kw + "', got '" + tok + "'");
+    }
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadNumber(T* out, const char* what) {
+    if (!(in_ >> *out)) {
+      std::string tok;
+      in_.clear();
+      in_ >> tok;
+      if (tok.empty()) {
+        return Error(std::string("expected ") + what + ", got end of line");
+      }
+      return Error(std::string("expected ") + what + ", got token '" + tok + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status ReadFinite(float* out, const char* what) {
+    ZKML_RETURN_IF_ERROR(ReadNumber(out, what));
+    if (!std::isfinite(*out)) {
+      return Error(std::string(what) + " is not a finite number");
+    }
+    return Status::Ok();
+  }
+
+  // `<n> <x0> ... <x_{n-1}>` with a length cap.
+  Status ReadInts(std::vector<int64_t>* out, const char* what) {
+    size_t n = 0;
+    ZKML_RETURN_IF_ERROR(ReadNumber(&n, (std::string(what) + " count").c_str()));
+    if (n > kMaxListLength) {
+      return Error(std::string(what) + " count " + std::to_string(n) + " exceeds limit " +
+                   std::to_string(kMaxListLength));
+    }
+    out->resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      ZKML_RETURN_IF_ERROR(
+          ReadNumber(&(*out)[i], (std::string(what) + " element " + std::to_string(i)).c_str()));
+    }
+    return Status::Ok();
+  }
+
+  // Dims of a tensor: bounded rank, nonnegative dims, bounded element count.
+  Status ReadShape(Shape* out, const char* what) {
+    std::vector<int64_t> dims;
+    ZKML_RETURN_IF_ERROR(ReadInts(&dims, what));
+    if (dims.size() > kMaxRank) {
+      return Error(std::string(what) + " rank " + std::to_string(dims.size()) +
+                   " exceeds limit " + std::to_string(kMaxRank));
+    }
+    int64_t elements = 1;
+    for (int64_t d : dims) {
+      if (d < 0) {
+        return Error(std::string(what) + " has negative dimension " + std::to_string(d));
+      }
+      if (d > 0 && elements > kMaxTensorElements / d) {
+        return Error(std::string(what) + " element count overflows limit " +
+                     std::to_string(kMaxTensorElements));
+      }
+      elements *= d;
+    }
+    *out = Shape(std::move(dims));
+    return Status::Ok();
+  }
+
+  Status ExpectEndOfLine() {
+    std::string extra;
+    if (in_ >> extra) {
+      return Error("trailing token '" + extra + "'");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::istringstream in_;
+  size_t line_number_;
+};
+
+Status ParseOpLine(LineParser& p, Model* model) {
+  Op op;
+  int type = 0;
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&type, "op type"));
+  if (type < 0 || type > kMaxOpType) {
+    return p.Error("op type " + std::to_string(type) + " out of range [0, " +
+                   std::to_string(kMaxOpType) + "]");
+  }
+  op.type = static_cast<OpType>(type);
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("name"));
+  ZKML_RETURN_IF_ERROR(p.ReadToken(&op.name, "op name"));
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("in"));
+  std::vector<int64_t> ids;
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&ids, "op inputs"));
+  for (int64_t id : ids) {
+    op.inputs.push_back(static_cast<int>(id));
+  }
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("w"));
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&ids, "op weights"));
+  for (int64_t id : ids) {
+    op.weights.push_back(static_cast<int>(id));
+  }
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("out"));
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.output, "op output tensor id"));
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("attrs"));
+  int fn = 0;
+  int transpose_b = 0;
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.attrs.stride, "attr stride"));
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.attrs.pad, "attr pad"));
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.attrs.pool, "attr pool"));
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&fn, "attr fn"));
+  if (fn < 0 || fn > kMaxNonlinFn) {
+    return p.Error("nonlinearity id " + std::to_string(fn) + " out of range [0, " +
+                   std::to_string(kMaxNonlinFn) + "]");
+  }
+  op.attrs.fn = static_cast<NonlinFn>(fn);
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.attrs.axis, "attr axis"));
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&op.attrs.scale, "attr scale"));
+  if (!std::isfinite(op.attrs.scale)) {
+    return p.Error("attr scale is not a finite number");
+  }
+  ZKML_RETURN_IF_ERROR(p.ReadNumber(&transpose_b, "attr transpose_b"));
+  op.attrs.transpose_b = transpose_b != 0;
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("perm"));
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&ids, "perm"));
+  for (int64_t x : ids) {
+    op.attrs.perm.push_back(static_cast<int>(x));
+  }
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("shape"));
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&op.attrs.new_shape, "shape"));
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("starts"));
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&op.attrs.starts, "starts"));
+  ZKML_RETURN_IF_ERROR(p.ExpectKeyword("sizes"));
+  ZKML_RETURN_IF_ERROR(p.ReadInts(&op.attrs.sizes, "sizes"));
+  ZKML_RETURN_IF_ERROR(p.ExpectEndOfLine());
+  model->ops.push_back(std::move(op));
+  return Status::Ok();
 }
 
 }  // namespace
@@ -79,74 +239,112 @@ std::string SerializeModel(const Model& model) {
   return out.str();
 }
 
-Model DeserializeModel(const std::string& text) {
+Status ValidateModel(const Model& model) {
+  if (model.name.empty()) {
+    return ParseError("missing 'model' header line");
+  }
+  if (model.quant.sf_bits < 0 || model.quant.sf_bits > 30) {
+    return ParseError("quant sf_bits " + std::to_string(model.quant.sf_bits) +
+                      " out of range [0, 30]");
+  }
+  if (model.quant.table_bits < 1 || model.quant.table_bits > 26) {
+    return ParseError("quant table_bits " + std::to_string(model.quant.table_bits) +
+                      " out of range [1, 26]");
+  }
+  if (model.num_tensors <= 0 || model.num_tensors > kMaxTensors) {
+    return ParseError("tensor count " + std::to_string(model.num_tensors) +
+                      " out of range [1, " + std::to_string(kMaxTensors) + "]");
+  }
+  if (model.input_shape.rank() == 0) {
+    return ParseError("missing or empty 'input' shape line");
+  }
+  if (model.ops.empty()) {
+    return ParseError("model has no ops (zero-op graph)");
+  }
+  auto tensor_ok = [&](int id) { return id >= 0 && id < model.num_tensors; };
+  if (!tensor_ok(model.input_tensor)) {
+    return ParseError("input tensor id " + std::to_string(model.input_tensor) +
+                      " out of range [0, " + std::to_string(model.num_tensors) + ")");
+  }
+  if (!tensor_ok(model.output_tensor)) {
+    return ParseError("output tensor id " + std::to_string(model.output_tensor) +
+                      " out of range [0, " + std::to_string(model.num_tensors) + ")");
+  }
+  for (size_t i = 0; i < model.ops.size(); ++i) {
+    const Op& op = model.ops[i];
+    const std::string where = "op " + std::to_string(i) + " ('" + op.name + "')";
+    for (int id : op.inputs) {
+      if (!tensor_ok(id)) {
+        return ParseError(where + " reads out-of-range tensor id " + std::to_string(id));
+      }
+    }
+    if (!tensor_ok(op.output)) {
+      return ParseError(where + " writes out-of-range tensor id " + std::to_string(op.output));
+    }
+    for (int w : op.weights) {
+      if (w < 0 || static_cast<size_t>(w) >= model.weights.size()) {
+        return ParseError(where + " references out-of-range weight index " + std::to_string(w) +
+                          " (model has " + std::to_string(model.weights.size()) + " weights)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Model> DeserializeModel(const std::string& text) {
   Model model;
   std::istringstream lines(text);
   std::string line;
+  size_t line_number = 0;
+  bool saw_model = false;
+  bool saw_tensors = false;
   while (std::getline(lines, line)) {
+    ++line_number;
     if (line.empty()) {
       continue;
     }
-    std::istringstream in(line);
+    LineParser p(line, line_number);
     std::string tag;
-    in >> tag;
+    ZKML_RETURN_IF_ERROR(p.ReadToken(&tag, "line tag"));
     if (tag == "model") {
-      std::string quant_tag;
-      ZKML_CHECK(static_cast<bool>(in >> model.name >> quant_tag >> model.quant.sf_bits >>
-                                   model.quant.table_bits));
-      ZKML_CHECK(quant_tag == "quant");
+      ZKML_RETURN_IF_ERROR(p.ReadToken(&model.name, "model name"));
+      ZKML_RETURN_IF_ERROR(p.ExpectKeyword("quant"));
+      ZKML_RETURN_IF_ERROR(p.ReadNumber(&model.quant.sf_bits, "sf_bits"));
+      ZKML_RETURN_IF_ERROR(p.ReadNumber(&model.quant.table_bits, "table_bits"));
+      ZKML_RETURN_IF_ERROR(p.ExpectEndOfLine());
+      saw_model = true;
     } else if (tag == "input") {
-      model.input_shape = Shape(ReadInts(in));
+      ZKML_RETURN_IF_ERROR(p.ReadShape(&model.input_shape, "input shape"));
+      ZKML_RETURN_IF_ERROR(p.ExpectEndOfLine());
     } else if (tag == "tensors") {
-      std::string out_tag;
-      ZKML_CHECK(static_cast<bool>(in >> model.num_tensors >> out_tag >> model.output_tensor));
-      ZKML_CHECK(out_tag == "output");
+      ZKML_RETURN_IF_ERROR(p.ReadNumber(&model.num_tensors, "tensor count"));
+      ZKML_RETURN_IF_ERROR(p.ExpectKeyword("output"));
+      ZKML_RETURN_IF_ERROR(p.ReadNumber(&model.output_tensor, "output tensor id"));
+      ZKML_RETURN_IF_ERROR(p.ExpectEndOfLine());
+      saw_tensors = true;
     } else if (tag == "weight") {
-      Shape shape(ReadInts(in));
+      Shape shape;
+      ZKML_RETURN_IF_ERROR(p.ReadShape(&shape, "weight shape"));
       Tensor<float> w(shape);
       for (int64_t i = 0; i < w.NumElements(); ++i) {
-        ZKML_CHECK(static_cast<bool>(in >> w.flat(i)));
+        ZKML_RETURN_IF_ERROR(
+            p.ReadFinite(&w.flat(i), ("weight value " + std::to_string(i)).c_str()));
       }
+      ZKML_RETURN_IF_ERROR(p.ExpectEndOfLine());
       model.weights.push_back(std::move(w));
     } else if (tag == "op") {
-      Op op;
-      int type = 0;
-      std::string kw;
-      ZKML_CHECK(static_cast<bool>(in >> type >> kw >> op.name));
-      op.type = static_cast<OpType>(type);
-      ZKML_CHECK(kw == "name");
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "in");
-      for (int64_t id : ReadInts(in)) {
-        op.inputs.push_back(static_cast<int>(id));
-      }
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "w");
-      for (int64_t id : ReadInts(in)) {
-        op.weights.push_back(static_cast<int>(id));
-      }
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "out");
-      ZKML_CHECK(static_cast<bool>(in >> op.output));
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "attrs");
-      int fn = 0;
-      int transpose_b = 0;
-      ZKML_CHECK(static_cast<bool>(in >> op.attrs.stride >> op.attrs.pad >> op.attrs.pool >>
-                                   fn >> op.attrs.axis >> op.attrs.scale >> transpose_b));
-      op.attrs.fn = static_cast<NonlinFn>(fn);
-      op.attrs.transpose_b = transpose_b != 0;
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "perm");
-      for (int64_t p : ReadInts(in)) {
-        op.attrs.perm.push_back(static_cast<int>(p));
-      }
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "shape");
-      op.attrs.new_shape = ReadInts(in);
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "starts");
-      op.attrs.starts = ReadInts(in);
-      ZKML_CHECK(static_cast<bool>(in >> kw) && kw == "sizes");
-      op.attrs.sizes = ReadInts(in);
-      model.ops.push_back(std::move(op));
+      ZKML_RETURN_IF_ERROR(ParseOpLine(p, &model));
     } else {
-      ZKML_CHECK_MSG(false, ("unknown line tag: " + tag).c_str());
+      return p.Error("unknown line tag '" + tag + "'");
     }
   }
+  if (!saw_model) {
+    return ParseError("missing 'model' header line");
+  }
+  if (!saw_tensors) {
+    return ParseError("missing 'tensors' line");
+  }
+  ZKML_RETURN_IF_ERROR(ValidateModel(model));
   return model;
 }
 
@@ -159,9 +357,11 @@ bool SaveModelToFile(const Model& model, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-Model LoadModelFromFile(const std::string& path) {
+StatusOr<Model> LoadModelFromFile(const std::string& path) {
   std::ifstream in(path);
-  ZKML_CHECK_MSG(static_cast<bool>(in), ("cannot open model file: " + path).c_str());
+  if (!in) {
+    return IoError("cannot open model file: " + path);
+  }
   std::stringstream buffer;
   buffer << in.rdbuf();
   return DeserializeModel(buffer.str());

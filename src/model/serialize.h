@@ -1,22 +1,37 @@
 // Text serialization of model graphs + weights: the stand-in for the tflite
 // model format the paper's transpiler consumes (§8). The format is
 // line-oriented and human-diffable; see serialize.cc for the grammar.
+//
+// Model files are an UNTRUSTED input surface: deserialization never aborts.
+// Malformed streams come back as kParseError with line/token context, and
+// parsed models are structurally validated (id ranges, size caps, finite
+// weights) before being returned.
 #ifndef SRC_MODEL_SERIALIZE_H_
 #define SRC_MODEL_SERIALIZE_H_
 
 #include <string>
 
+#include "src/base/status.h"
 #include "src/model/graph.h"
 
 namespace zkml {
 
 std::string SerializeModel(const Model& model);
 
-// Parses a serialized model; aborts (ZKML_CHECK) on malformed input.
-Model DeserializeModel(const std::string& text);
+// Parses a serialized model. Returns kParseError (with "line N: ..." context)
+// on any malformed or out-of-bounds input.
+StatusOr<Model> DeserializeModel(const std::string& text);
+
+// Structural validation applied by DeserializeModel before returning: tensor
+// and weight ids in range, a non-empty op list, sane quantization parameters,
+// finite weights. Exposed so tests and in-memory model producers can reuse it.
+Status ValidateModel(const Model& model);
 
 bool SaveModelToFile(const Model& model, const std::string& path);
-Model LoadModelFromFile(const std::string& path);
+
+// Reads and parses a model file. kIoError if the file cannot be opened,
+// otherwise DeserializeModel's result.
+StatusOr<Model> LoadModelFromFile(const std::string& path);
 
 }  // namespace zkml
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/plonk/proof_io.h"
 
 namespace zkml {
 namespace {
@@ -13,69 +14,6 @@ size_t NextPow2(size_t n) {
     p <<= 1;
   }
   return p;
-}
-
-void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-bool ReadU32(const std::vector<uint8_t>& in, size_t* offset, uint32_t* v) {
-  if (*offset + 4 > in.size()) {
-    return false;
-  }
-  *v = 0;
-  for (int i = 0; i < 4; ++i) {
-    *v |= static_cast<uint32_t>(in[*offset + i]) << (8 * i);
-  }
-  *offset += 4;
-  return true;
-}
-
-void AppendPoint(std::vector<uint8_t>* out, const G1Affine& p) {
-  const auto bytes = p.Serialize();
-  out->insert(out->end(), bytes.begin(), bytes.end());
-}
-
-bool ReadPoint(const std::vector<uint8_t>& in, size_t* offset, G1Affine* p) {
-  if (*offset + 33 > in.size()) {
-    return false;
-  }
-  if (!G1Affine::Deserialize(in.data() + *offset, p)) {
-    return false;
-  }
-  *offset += 33;
-  return true;
-}
-
-void AppendFrBytes(std::vector<uint8_t>* out, const Fr& x) {
-  const U256 c = x.ToCanonical();
-  for (int i = 0; i < 4; ++i) {
-    for (int b = 0; b < 8; ++b) {
-      out->push_back(static_cast<uint8_t>(c.limbs[i] >> (8 * b)));
-    }
-  }
-}
-
-bool ReadFrBytes(const std::vector<uint8_t>& in, size_t* offset, Fr* x) {
-  if (*offset + 32 > in.size()) {
-    return false;
-  }
-  U256 c;
-  for (int i = 0; i < 4; ++i) {
-    uint64_t limb = 0;
-    for (int b = 0; b < 8; ++b) {
-      limb |= static_cast<uint64_t>(in[*offset + i * 8 + b]) << (8 * b);
-    }
-    c.limbs[i] = limb;
-  }
-  *offset += 32;
-  if (CmpU256(c, FrParams::Modulus()) >= 0) {
-    return false;
-  }
-  *x = Fr::FromCanonical(c);
-  return true;
 }
 
 }  // namespace
@@ -121,7 +59,7 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
     b[i] = b[i - 1] * point;
   }
 
-  AppendU32(proof_out, static_cast<uint32_t>(n));
+  ProofAppendU32(proof_out, static_cast<uint32_t>(n));
   std::vector<G1Affine> g(setup_->g.begin(), setup_->g.begin() + n);
   const G1 u = G1::FromAffine(setup_->u);
 
@@ -140,8 +78,8 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
     const G1Affine r = (Msm(g.data(), a.data() + half, half) + u.ScalarMul(cross_r)).ToAffine();
     transcript->AppendPoint("ipa-l", l);
     transcript->AppendPoint("ipa-r", r);
-    AppendPoint(proof_out, l);
-    AppendPoint(proof_out, r);
+    ProofAppendPoint(proof_out, l);
+    ProofAppendPoint(proof_out, r);
 
     const Fr ch = transcript->ChallengeFr("ipa-u");
     const Fr ch_inv = ch.Inverse();
@@ -158,23 +96,31 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
     len = half;
   }
   transcript->AppendFr("ipa-a", a[0]);
-  AppendFrBytes(proof_out, a[0]);
+  ProofAppendFr(proof_out, a[0]);
 }
 
-bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
-                         const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
-                         const std::vector<uint8_t>& proof, size_t* offset) const {
-  if (commitments.size() != evals.size() || commitments.empty()) {
-    return false;
+Status IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                           const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                           const std::vector<uint8_t>& proof, size_t* offset) const {
+  if (commitments.size() != evals.size()) {
+    return InvalidArgumentError("ipa: " + std::to_string(commitments.size()) +
+                                " commitments but " + std::to_string(evals.size()) +
+                                " claimed evaluations");
+  }
+  if (commitments.empty()) {
+    return InvalidArgumentError("ipa: empty opening batch");
   }
   const Fr v = transcript->ChallengeFr("ipa-batch-v");
   uint32_t n32 = 0;
-  if (!ReadU32(proof, offset, &n32)) {
-    return false;
-  }
+  ZKML_RETURN_IF_ERROR(ProofReadU32(proof, offset, &n32, "ipa vector length"));
   const size_t n = n32;
-  if (n == 0 || (n & (n - 1)) != 0 || n > setup_->g.size()) {
-    return false;
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return MalformedProofError("ipa: vector length " + std::to_string(n) +
+                               " is not a nonzero power of two");
+  }
+  if (n > setup_->g.size()) {
+    return MalformedProofError("ipa: vector length " + std::to_string(n) +
+                               " exceeds setup size " + std::to_string(setup_->g.size()));
   }
   int rounds = 0;
   for (size_t t = n; t > 1; t >>= 1) {
@@ -196,9 +142,9 @@ bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   std::vector<Fr> challenges(rounds);
   for (int j = 0; j < rounds; ++j) {
     G1Affine l, r;
-    if (!ReadPoint(proof, offset, &l) || !ReadPoint(proof, offset, &r)) {
-      return false;
-    }
+    const std::string round = "ipa round " + std::to_string(j);
+    ZKML_RETURN_IF_ERROR(ProofReadPoint(proof, offset, &l, (round + " L point").c_str()));
+    ZKML_RETURN_IF_ERROR(ProofReadPoint(proof, offset, &r, (round + " R point").c_str()));
     transcript->AppendPoint("ipa-l", l);
     transcript->AppendPoint("ipa-r", r);
     const Fr ch = transcript->ChallengeFr("ipa-u");
@@ -208,9 +154,7 @@ bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
     p_acc += G1::FromAffine(r).ScalarMul(ch_inv.Square());
   }
   Fr a_final;
-  if (!ReadFrBytes(proof, offset, &a_final)) {
-    return false;
-  }
+  ZKML_RETURN_IF_ERROR(ProofReadFr(proof, offset, &a_final, "ipa final scalar"));
   transcript->AppendFr("ipa-a", a_final);
 
   // s_i = prod over rounds of ch^{+1} if the round's bit of i is set else
@@ -239,7 +183,12 @@ bool IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   }
 
   const G1 lhs = g_final.ScalarMul(a_final) + u.ScalarMul(a_final * b_final);
-  return p_acc == lhs;
+  if (!(p_acc == lhs)) {
+    return VerifyFailedError("ipa: folded opening equation does not hold after " +
+                             std::to_string(rounds) + " rounds (batch of " +
+                             std::to_string(commitments.size()) + " commitments)");
+  }
+  return Status::Ok();
 }
 
 }  // namespace zkml

@@ -2,6 +2,7 @@
 
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
+#include "src/plonk/proof_io.h"
 #include "src/poly/polynomial.h"
 
 namespace zkml {
@@ -57,21 +58,23 @@ void KzgPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
   proof_out->insert(proof_out->end(), bytes.begin(), bytes.end());
 }
 
-bool KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
-                         const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
-                         const std::vector<uint8_t>& proof, size_t* offset) const {
-  if (commitments.size() != evals.size() || commitments.empty()) {
-    return false;
+Status KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                           const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                           const std::vector<uint8_t>& proof, size_t* offset) const {
+  if (commitments.size() != evals.size()) {
+    return InvalidArgumentError("kzg: " + std::to_string(commitments.size()) +
+                                " commitments but " + std::to_string(evals.size()) +
+                                " claimed evaluations");
+  }
+  if (commitments.empty()) {
+    return InvalidArgumentError("kzg: empty opening batch");
+  }
+  if (setup_->powers.empty()) {
+    return OutOfRangeError("kzg: empty setup");
   }
   const Fr v = transcript->ChallengeFr("kzg-batch-v");
-  if (*offset + 33 > proof.size()) {
-    return false;
-  }
   G1Affine w;
-  if (!G1Affine::Deserialize(proof.data() + *offset, &w)) {
-    return false;
-  }
-  *offset += 33;
+  ZKML_RETURN_IF_ERROR(ProofReadPoint(proof, offset, &w, "kzg witness point"));
   transcript->AppendPoint("kzg-w", w);
 
   // C* = sum v^i C_i, y* = sum v^i y_i.
@@ -87,7 +90,11 @@ bool KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   //   C* - y*·G == (tau - z)·W.
   const G1 lhs = c_star - G1::Generator().ScalarMul(y_star);
   const G1 rhs = G1::FromAffine(w).ScalarMul(setup_->tau - point);
-  return lhs == rhs;
+  if (!(lhs == rhs)) {
+    return VerifyFailedError("kzg: opening equation C* - y*G != (tau - z)W for batch of " +
+                             std::to_string(commitments.size()) + " commitments");
+  }
+  return Status::Ok();
 }
 
 }  // namespace zkml

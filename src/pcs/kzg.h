@@ -36,9 +36,9 @@ class KzgPcs : public Pcs {
   PcsCommitment Commit(const std::vector<Fr>& coeffs) const override;
   void OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
                  Transcript* transcript, std::vector<uint8_t>* proof_out) const override;
-  bool VerifyBatch(const std::vector<PcsCommitment>& commitments, const std::vector<Fr>& evals,
-                   const Fr& point, Transcript* transcript, const std::vector<uint8_t>& proof,
-                   size_t* offset) const override;
+  Status VerifyBatch(const std::vector<PcsCommitment>& commitments, const std::vector<Fr>& evals,
+                     const Fr& point, Transcript* transcript, const std::vector<uint8_t>& proof,
+                     size_t* offset) const override;
 
  private:
   std::shared_ptr<const KzgSetup> setup_;

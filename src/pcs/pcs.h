@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/ec/g1.h"
 #include "src/ff/fields.h"
 #include "src/transcript/transcript.h"
@@ -40,10 +41,13 @@ class Pcs {
                          Transcript* transcript, std::vector<uint8_t>* proof_out) const = 0;
 
   // Verifier side. Consumes bytes from proof[*offset...] and advances
-  // *offset. Returns false on any mismatch or malformed input.
-  virtual bool VerifyBatch(const std::vector<PcsCommitment>& commitments,
-                           const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
-                           const std::vector<uint8_t>& proof, size_t* offset) const = 0;
+  // *offset. Proof bytes are adversarial: implementations must never abort on
+  // them. Returns kMalformedProof for structurally bad bytes (truncation,
+  // invalid encodings, unsupported sizes), kVerifyFailed when the opening
+  // equation does not hold, kInvalidArgument on caller contract violations.
+  virtual Status VerifyBatch(const std::vector<PcsCommitment>& commitments,
+                             const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
+                             const std::vector<uint8_t>& proof, size_t* offset) const = 0;
 };
 
 }  // namespace zkml

@@ -20,6 +20,11 @@ struct VerifyingKey {
   std::vector<PcsCommitment> fixed_commitments;
   std::vector<PcsCommitment> sigma_commitments;
   std::vector<Column> perm_columns;
+  // Expected length of the public instance vector (used rows of the instance
+  // column). 0 means "not recorded" (hand-built circuits); the zkml compiler
+  // always fills it in, and zkml::Verify enforces it before the transcript so
+  // a wrong-sized instance cannot bind to the wrong statement.
+  size_t num_instance_rows = 0;
 };
 
 struct ProvingKey {

@@ -34,13 +34,18 @@ std::vector<ConstraintFailure> MockProver::Verify(size_t max_failures) const {
   };
 
   // Gates.
-  for (const Gate& gate : cs_->gates()) {
+  for (size_t g = 0; g < cs_->gates().size(); ++g) {
+    const Gate& gate = cs_->gates()[g];
     for (size_t row = 0; row < n && failures.size() < max_failures; ++row) {
       const Fr v = gate.poly.Evaluate(
           [&](const ColumnQuery& q) { return resolve_at(q, row); });
       if (!v.IsZero()) {
-        failures.push_back(
-            {"gate '" + gate.name + "' not satisfied at row " + std::to_string(row)});
+        ConstraintFailure f;
+        f.description = "gate '" + gate.name + "' not satisfied at row " + std::to_string(row);
+        f.kind = ConstraintKind::kGate;
+        f.constraint_index = static_cast<int>(g);
+        f.row = static_cast<int64_t>(row);
+        failures.push_back(std::move(f));
       }
     }
     if (failures.size() >= max_failures) {
@@ -49,7 +54,8 @@ std::vector<ConstraintFailure> MockProver::Verify(size_t max_failures) const {
   }
 
   // Lookups.
-  for (const LookupArgument& lk : cs_->lookups()) {
+  for (size_t l = 0; l < cs_->lookups().size(); ++l) {
+    const LookupArgument& lk = cs_->lookups()[l];
     std::unordered_set<std::string> table;
     table.reserve(n);
     std::vector<Fr> tuple(lk.table.size());
@@ -66,8 +72,18 @@ std::vector<ConstraintFailure> MockProver::Verify(size_t max_failures) const {
             [&](const ColumnQuery& q) { return resolve_at(q, row); });
       }
       if (table.find(TupleKey(input)) == table.end()) {
-        failures.push_back(
-            {"lookup '" + lk.name + "' input not in table at row " + std::to_string(row)});
+        ConstraintFailure f;
+        f.description =
+            "lookup '" + lk.name + "' (argument " + std::to_string(l) +
+            ") input not in table at row " + std::to_string(row);
+        f.kind = ConstraintKind::kLookup;
+        f.constraint_index = static_cast<int>(l);
+        f.row = static_cast<int64_t>(row);
+        if (!lk.table.empty()) {
+          f.table_column_index = 0;
+          f.table_column = lk.table[0];
+        }
+        failures.push_back(std::move(f));
       }
     }
     if (failures.size() >= max_failures) {
@@ -80,13 +96,19 @@ std::vector<ConstraintFailure> MockProver::Verify(size_t max_failures) const {
     if (failures.size() >= max_failures) {
       return failures;
     }
+    ConstraintFailure f;
+    f.kind = ConstraintKind::kCopy;
+    f.row_a = a.row;
+    f.row_b = b.row;
     if (!cs_->IsEqualityEnabled(a.column) || !cs_->IsEqualityEnabled(b.column)) {
-      failures.push_back({"copy constraint touches a non-equality column"});
+      f.description = "copy constraint touches a non-equality column";
+      failures.push_back(std::move(f));
       continue;
     }
     if (!(assignment_->Get(a.column, a.row) == assignment_->Get(b.column, b.row))) {
-      failures.push_back({"copy constraint violated between rows " + std::to_string(a.row) +
-                          " and " + std::to_string(b.row)});
+      f.description = "copy constraint violated between rows " + std::to_string(a.row) +
+                      " and " + std::to_string(b.row);
+      failures.push_back(std::move(f));
     }
   }
   return failures;

@@ -13,8 +13,26 @@
 
 namespace zkml {
 
+enum class ConstraintKind { kGate, kLookup, kCopy };
+
+// One violated constraint, with machine-readable blame so gadget authors can
+// localize the failure without parsing the description string.
 struct ConstraintFailure {
   std::string description;
+  ConstraintKind kind = ConstraintKind::kGate;
+  // kGate: index into cs.gates(); kLookup: index into cs.lookups() (the
+  // argument index); -1 otherwise.
+  int constraint_index = -1;
+  // First row at which this constraint fails (-1 for copy-constraint
+  // failures, which are row pairs — see `row_a`/`row_b`).
+  int64_t row = -1;
+  // kLookup only: index (within the argument's table vector) of the first
+  // table column, and the table column itself, so reports can name the table.
+  int table_column_index = -1;
+  Column table_column;
+  // kCopy only: the two rows of the violated copy.
+  int64_t row_a = -1;
+  int64_t row_b = -1;
 };
 
 class MockProver {

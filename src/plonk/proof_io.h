@@ -1,29 +1,43 @@
-// Byte-level (de)serialization helpers shared by the proof writer and reader.
+// Byte-level (de)serialization helpers shared by the proof writer and the
+// readers (PLONK verifier, PCS backends, proof-file I/O). Readers consume
+// *adversarial* bytes: they never abort, and every failure returns a
+// kMalformedProof Status naming what was being read and at which byte offset.
 #ifndef SRC_PLONK_PROOF_IO_H_
 #define SRC_PLONK_PROOF_IO_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/ec/g1.h"
 #include "src/ff/fields.h"
 
 namespace zkml {
+
+inline constexpr size_t kProofFrSize = 32;  // canonical little-endian Fr
 
 inline void ProofAppendPoint(std::vector<uint8_t>* out, const G1Affine& p) {
   const auto bytes = p.Serialize();
   out->insert(out->end(), bytes.begin(), bytes.end());
 }
 
-inline bool ProofReadPoint(const std::vector<uint8_t>& in, size_t* offset, G1Affine* p) {
-  if (*offset + 33 > in.size()) {
-    return false;
+// Reads a compressed G1 point. `what` names the field being read so error
+// messages can attribute the failure (e.g. "advice commitment 3").
+inline Status ProofReadPoint(const std::vector<uint8_t>& in, size_t* offset, G1Affine* p,
+                             const char* what = "point") {
+  if (*offset > in.size() || in.size() - *offset < G1Affine::kCompressedSize) {
+    return MalformedProofError(std::string("truncated reading ") + what + " at byte offset " +
+                               std::to_string(*offset) + " (need " +
+                               std::to_string(G1Affine::kCompressedSize) + " bytes, have " +
+                               std::to_string(in.size() - *offset) + ")");
   }
   if (!G1Affine::Deserialize(in.data() + *offset, p)) {
-    return false;
+    return MalformedProofError(std::string("invalid curve-point encoding for ") + what +
+                               " at byte offset " + std::to_string(*offset));
   }
-  *offset += 33;
-  return true;
+  *offset += G1Affine::kCompressedSize;
+  return Status::Ok();
 }
 
 inline void ProofAppendFr(std::vector<uint8_t>* out, const Fr& x) {
@@ -35,9 +49,15 @@ inline void ProofAppendFr(std::vector<uint8_t>* out, const Fr& x) {
   }
 }
 
-inline bool ProofReadFr(const std::vector<uint8_t>& in, size_t* offset, Fr* x) {
-  if (*offset + 32 > in.size()) {
-    return false;
+// Reads a canonical scalar; values >= the Fr modulus are rejected (accepting
+// them would make proof encodings malleable).
+inline Status ProofReadFr(const std::vector<uint8_t>& in, size_t* offset, Fr* x,
+                          const char* what = "scalar") {
+  if (*offset > in.size() || in.size() - *offset < kProofFrSize) {
+    return MalformedProofError(std::string("truncated reading ") + what + " at byte offset " +
+                               std::to_string(*offset) + " (need " +
+                               std::to_string(kProofFrSize) + " bytes, have " +
+                               std::to_string(in.size() - *offset) + ")");
   }
   U256 c;
   for (int i = 0; i < 4; ++i) {
@@ -47,12 +67,43 @@ inline bool ProofReadFr(const std::vector<uint8_t>& in, size_t* offset, Fr* x) {
     }
     c.limbs[i] = limb;
   }
-  *offset += 32;
   if (CmpU256(c, FrParams::Modulus()) >= 0) {
-    return false;
+    return MalformedProofError(std::string("non-canonical scalar (>= field modulus) for ") +
+                               what + " at byte offset " + std::to_string(*offset));
   }
+  *offset += kProofFrSize;
   *x = Fr::FromCanonical(c);
-  return true;
+  return Status::Ok();
+}
+
+inline void ProofAppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline Status ProofReadU32(const std::vector<uint8_t>& in, size_t* offset, uint32_t* v,
+                           const char* what = "length") {
+  if (*offset > in.size() || in.size() - *offset < 4) {
+    return MalformedProofError(std::string("truncated reading ") + what + " at byte offset " +
+                               std::to_string(*offset));
+  }
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(in[*offset + i]) << (8 * i);
+  }
+  *offset += 4;
+  return Status::Ok();
+}
+
+// Exact-length enforcement: a well-formed proof is consumed completely.
+// Trailing bytes mean the encoding is malleable and are rejected.
+inline Status ProofExpectEnd(const std::vector<uint8_t>& in, size_t offset) {
+  if (offset != in.size()) {
+    return MalformedProofError(std::to_string(in.size() - offset) +
+                               " trailing byte(s) after byte offset " + std::to_string(offset));
+  }
+  return Status::Ok();
 }
 
 }  // namespace zkml

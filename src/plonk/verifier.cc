@@ -9,12 +9,49 @@
 
 namespace zkml {
 
-bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
-                 const std::vector<std::vector<Fr>>& instance_columns,
-                 const std::vector<uint8_t>& proof) {
+const char* VerifyStageName(VerifyStage stage) {
+  switch (stage) {
+    case VerifyStage::kAccepted:
+      return "accepted";
+    case VerifyStage::kInstance:
+      return "instance";
+    case VerifyStage::kAdviceCommitments:
+      return "advice-commitments";
+    case VerifyStage::kLookupCommitments:
+      return "lookup-commitments";
+    case VerifyStage::kPermutationCommitments:
+      return "permutation-commitments";
+    case VerifyStage::kQuotientCommitments:
+      return "quotient-commitments";
+    case VerifyStage::kEvaluations:
+      return "evaluations";
+    case VerifyStage::kVanishingCheck:
+      return "vanishing-check";
+    case VerifyStage::kPcsOpening:
+      return "pcs-opening";
+    case VerifyStage::kTrailingBytes:
+      return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+std::string VerifyResult::ToString() const {
+  if (ok()) {
+    return "accepted";
+  }
+  return std::string("rejected at stage ") + VerifyStageName(stage) + ": " + status.ToString();
+}
+
+VerifyResult VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
+                         const std::vector<std::vector<Fr>>& instance_columns,
+                         const std::vector<uint8_t>& proof) {
   const ConstraintSystem& cs = vk.cs;
   if (instance_columns.size() != cs.num_instance_columns()) {
-    return false;
+    return VerifyResult::Rejected(
+        VerifyStage::kInstance,
+        InvalidArgumentError("expected " + std::to_string(cs.num_instance_columns()) +
+                             " instance columns, got " +
+                             std::to_string(instance_columns.size())));
   }
   EvaluationDomain dom(vk.k);
   const size_t n = dom.size();
@@ -28,9 +65,14 @@ bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
   size_t offset = 0;
   Transcript transcript("zkml-plonk");
   transcript.AppendFr("k", Fr::FromU64(static_cast<uint64_t>(vk.k)));
-  for (const auto& col : instance_columns) {
+  for (size_t i = 0; i < instance_columns.size(); ++i) {
+    const auto& col = instance_columns[i];
     if (col.size() > n) {
-      return false;
+      return VerifyResult::Rejected(
+          VerifyStage::kInstance,
+          InvalidArgumentError("instance column " + std::to_string(i) + " has " +
+                               std::to_string(col.size()) + " rows, circuit has only " +
+                               std::to_string(n)));
     }
     for (size_t r = 0; r < n; ++r) {
       transcript.AppendFr("instance", r < col.size() ? col[r] : Fr::Zero());
@@ -39,48 +81,57 @@ bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
 
   // --- Commitments, mirroring the prover's rounds. ---
   std::vector<PcsCommitment> advice_comms(cs.num_advice_columns());
-  for (auto& c : advice_comms) {
-    if (!ProofReadPoint(proof, &offset, &c.point)) {
-      return false;
+  for (size_t i = 0; i < advice_comms.size(); ++i) {
+    const std::string what = "advice commitment " + std::to_string(i);
+    if (Status s = ProofReadPoint(proof, &offset, &advice_comms[i].point, what.c_str());
+        !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kAdviceCommitments, std::move(s));
     }
-    transcript.AppendPoint("advice", c.point);
+    transcript.AppendPoint("advice", advice_comms[i].point);
   }
   const Fr theta = transcript.ChallengeFr("theta");
 
   std::vector<PcsCommitment> m_comms(num_lookups);
-  for (auto& c : m_comms) {
-    if (!ProofReadPoint(proof, &offset, &c.point)) {
-      return false;
+  for (size_t l = 0; l < num_lookups; ++l) {
+    const std::string what = "lookup " + std::to_string(l) + " m commitment";
+    if (Status s = ProofReadPoint(proof, &offset, &m_comms[l].point, what.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kLookupCommitments, std::move(s));
     }
-    transcript.AppendPoint("lookup-m", c.point);
+    transcript.AppendPoint("lookup-m", m_comms[l].point);
   }
   const Fr beta = transcript.ChallengeFr("beta");
   const Fr gamma = transcript.ChallengeFr("gamma");
 
   std::vector<PcsCommitment> h_comms(num_lookups), s_comms(num_lookups);
   for (size_t l = 0; l < num_lookups; ++l) {
-    if (!ProofReadPoint(proof, &offset, &h_comms[l].point) ||
-        !ProofReadPoint(proof, &offset, &s_comms[l].point)) {
-      return false;
+    const std::string what_h = "lookup " + std::to_string(l) + " h commitment";
+    const std::string what_s = "lookup " + std::to_string(l) + " s commitment";
+    if (Status s = ProofReadPoint(proof, &offset, &h_comms[l].point, what_h.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kLookupCommitments, std::move(s));
+    }
+    if (Status s = ProofReadPoint(proof, &offset, &s_comms[l].point, what_s.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kLookupCommitments, std::move(s));
     }
     transcript.AppendPoint("lookup-h", h_comms[l].point);
     transcript.AppendPoint("lookup-s", s_comms[l].point);
   }
   std::vector<PcsCommitment> z_comms(num_chunks);
-  for (auto& c : z_comms) {
-    if (!ProofReadPoint(proof, &offset, &c.point)) {
-      return false;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const std::string what = "permutation z commitment " + std::to_string(c);
+    if (Status s = ProofReadPoint(proof, &offset, &z_comms[c].point, what.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kPermutationCommitments, std::move(s));
     }
-    transcript.AppendPoint("perm-z", c.point);
+    transcript.AppendPoint("perm-z", z_comms[c].point);
   }
   const Fr y = transcript.ChallengeFr("y");
 
   std::vector<PcsCommitment> q_comms(ext_factor);
-  for (auto& c : q_comms) {
-    if (!ProofReadPoint(proof, &offset, &c.point)) {
-      return false;
+  for (size_t i = 0; i < ext_factor; ++i) {
+    const std::string what = "quotient chunk commitment " + std::to_string(i);
+    if (Status s = ProofReadPoint(proof, &offset, &q_comms[i].point, what.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kQuotientCommitments, std::move(s));
     }
-    transcript.AppendPoint("quotient", c.point);
+    transcript.AppendPoint("quotient", q_comms[i].point);
   }
   const Fr x = transcript.ChallengeFr("x");
 
@@ -134,11 +185,14 @@ bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
     entries.push_back(OpenEntry{&q_comms[i], 0, Fr::Zero()});
   }
 
-  for (OpenEntry& e : entries) {
-    if (!ProofReadFr(proof, &offset, &e.eval)) {
-      return false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const std::string what = "evaluation " + std::to_string(i) + " of " +
+                             std::to_string(entries.size()) + " (rotation " +
+                             std::to_string(entries[i].rotation) + ")";
+    if (Status s = ProofReadFr(proof, &offset, &entries[i].eval, what.c_str()); !s.ok()) {
+      return VerifyResult::Rejected(VerifyStage::kEvaluations, std::move(s));
     }
-    transcript.AppendFr("eval", e.eval);
+    transcript.AppendFr("eval", entries[i].eval);
   }
 
   // Distribute the evals back to named slots (same order as pushed).
@@ -244,7 +298,10 @@ bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
     shift *= x_n;
   }
   if (!(numerator == q_at_x * dom.EvaluateVanishing(x))) {
-    return false;
+    return VerifyResult::Rejected(
+        VerifyStage::kVanishingCheck,
+        VerifyFailedError("quotient identity N(x) != q(x)·(x^n - 1) at the challenge point "
+                          "(some gate, lookup, or permutation constraint is unsatisfied)"));
   }
 
   // --- PCS opening checks, grouped by rotation as the prover did. ---
@@ -261,11 +318,17 @@ bool VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
         evals.push_back(e.eval);
       }
     }
-    if (!pcs.VerifyBatch(comms, evals, rot_point(rot), &transcript, proof, &offset)) {
-      return false;
+    if (Status s = pcs.VerifyBatch(comms, evals, rot_point(rot), &transcript, proof, &offset);
+        !s.ok()) {
+      return VerifyResult::Rejected(
+          VerifyStage::kPcsOpening,
+          Status(s.code(), "opening at rotation " + std::to_string(rot) + ": " + s.message()));
     }
   }
-  return offset == proof.size();
+  if (Status s = ProofExpectEnd(proof, offset); !s.ok()) {
+    return VerifyResult::Rejected(VerifyStage::kTrailingBytes, std::move(s));
+  }
+  return VerifyResult::Accepted();
 }
 
 }  // namespace zkml

@@ -31,6 +31,9 @@ CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& l
   Tensor<int64_t> zero(model.input_shape);
   BuiltCircuit built = BuildCircuit(model, layout, zero);
   compiled.pk = Keygen(built.builder->cs(), built.builder->assignment(), *compiled.pcs, layout.k);
+  // The instance layout is input-independent, so the zero-input build fixes
+  // the statement length the verifier must insist on.
+  compiled.pk.vk.num_instance_rows = built.num_instance_rows;
   compiled.keygen_seconds = keygen_timer.ElapsedSeconds();
   return compiled;
 }
@@ -62,9 +65,22 @@ ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
   return out;
 }
 
+VerifyResult VerifyDetailed(const VerifyingKey& vk, const Pcs& pcs,
+                            const std::vector<Fr>& instance,
+                            const std::vector<uint8_t>& proof_bytes) {
+  if (vk.num_instance_rows != 0 && instance.size() != vk.num_instance_rows) {
+    return VerifyResult::Rejected(
+        VerifyStage::kInstance,
+        InvalidArgumentError("instance vector has " + std::to_string(instance.size()) +
+                             " values, verifying key expects " +
+                             std::to_string(vk.num_instance_rows)));
+  }
+  return VerifyProof(vk, pcs, {instance}, proof_bytes);
+}
+
 bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& instance,
             const std::vector<uint8_t>& proof_bytes) {
-  return VerifyProof(vk, pcs, {instance}, proof_bytes);
+  return VerifyDetailed(vk, pcs, instance, proof_bytes).ok();
 }
 
 bool Verify(const CompiledModel& compiled, const ZkmlProof& proof) {

@@ -8,12 +8,14 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/model/graph.h"
 #include "src/optimizer/optimizer.h"
 #include "src/pcs/ipa.h"
 #include "src/pcs/kzg.h"
 #include "src/plonk/keygen.h"
 #include "src/plonk/prover.h"
+#include "src/plonk/verifier.h"
 
 namespace zkml {
 
@@ -54,7 +56,16 @@ struct ZkmlProof {
 // Produces a proof that `compiled.model` maps input_q to the returned output.
 ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q);
 
-// Verifies a proof against its public statement.
+// Verifies a proof against its public statement, attributing any rejection to
+// the stage that failed (see VerifyResult). Validates the instance length
+// against the verifying key before entering the transcript: a wrong-sized
+// instance vector is rejected up front rather than silently binding to a
+// different statement.
+VerifyResult VerifyDetailed(const VerifyingKey& vk, const Pcs& pcs,
+                            const std::vector<Fr>& instance,
+                            const std::vector<uint8_t>& proof_bytes);
+
+// Thin boolean wrappers over VerifyDetailed.
 bool Verify(const CompiledModel& compiled, const ZkmlProof& proof);
 // Verifier-side entry point needing only the verifying key.
 bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& instance,

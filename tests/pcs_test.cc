@@ -55,7 +55,8 @@ TEST_P(PcsTest, SingleOpenVerifies) {
   Transcript vt("pcs-test");
   vt.AppendFr("y", y);
   size_t offset = 0;
-  EXPECT_TRUE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+  const Status s = pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset);
+  EXPECT_TRUE(s.ok()) << s.ToString();
   EXPECT_EQ(offset, proof.size());
 }
 
@@ -89,7 +90,8 @@ TEST_P(PcsTest, BatchOpenVerifies) {
     vt.AppendFr("y", y);
   }
   size_t offset = 0;
-  EXPECT_TRUE(pcs->VerifyBatch(cs, ys, z, &vt, proof, &offset));
+  const Status s = pcs->VerifyBatch(cs, ys, z, &vt, proof, &offset);
+  EXPECT_TRUE(s.ok()) << s.ToString();
 }
 
 TEST_P(PcsTest, WrongEvaluationRejected) {
@@ -109,7 +111,9 @@ TEST_P(PcsTest, WrongEvaluationRejected) {
   Transcript vt("pcs-test");
   vt.AppendFr("y", y);
   size_t offset = 0;
-  EXPECT_FALSE(pcs->VerifyBatch({c}, {y_bad}, z, &vt, proof, &offset));
+  const Status s = pcs->VerifyBatch({c}, {y_bad}, z, &vt, proof, &offset);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kVerifyFailed) << s.ToString();
 }
 
 TEST_P(PcsTest, WrongCommitmentRejected) {
@@ -128,7 +132,7 @@ TEST_P(PcsTest, WrongCommitmentRejected) {
   Transcript vt("pcs-test");
   vt.AppendFr("y", y);
   size_t offset = 0;
-  EXPECT_FALSE(pcs->VerifyBatch({pcs->Commit(other)}, {y}, z, &vt, proof, &offset));
+  EXPECT_FALSE(pcs->VerifyBatch({pcs->Commit(other)}, {y}, z, &vt, proof, &offset).ok());
 }
 
 TEST_P(PcsTest, CorruptedProofRejected) {
@@ -149,7 +153,7 @@ TEST_P(PcsTest, CorruptedProofRejected) {
   Transcript vt("pcs-test");
   vt.AppendFr("y", y);
   size_t offset = 0;
-  EXPECT_FALSE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+  EXPECT_FALSE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset).ok());
 }
 
 TEST_P(PcsTest, TruncatedProofRejected) {
@@ -167,7 +171,9 @@ TEST_P(PcsTest, TruncatedProofRejected) {
 
   Transcript vt("pcs-test");
   size_t offset = 0;
-  EXPECT_FALSE(pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset));
+  const Status s = pcs->VerifyBatch({c}, {y}, z, &vt, proof, &offset);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kMalformedProof) << s.ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, PcsTest, ::testing::Values(PcsKind::kKzg, PcsKind::kIpa),

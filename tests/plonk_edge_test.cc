@@ -27,7 +27,7 @@ bool ProveAndVerify(const ConstraintSystem& cs, const Assignment& asn,
   auto pcs = MakeKzg();
   ProvingKey pk = Keygen(cs, asn, *pcs, kK);
   const std::vector<uint8_t> proof = CreateProof(pk, *pcs, asn);
-  return VerifyProof(pk.vk, *pcs, instance, proof);
+  return VerifyProof(pk.vk, *pcs, instance, proof).ok();
 }
 
 TEST(PlonkEdgeTest, NoLookupsNoCopies) {

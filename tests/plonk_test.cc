@@ -104,7 +104,8 @@ TEST_P(PlonkE2eTest, MacProvesAndVerifies) {
   EXPECT_FALSE(proof.empty());
 
   std::vector<std::vector<Fr>> instance = {{asn.instance()[0][0]}};
-  EXPECT_TRUE(VerifyProof(pk.vk, *pcs, instance, proof));
+  const VerifyResult result = VerifyProof(pk.vk, *pcs, instance, proof);
+  EXPECT_TRUE(result.ok()) << result.ToString();
 }
 
 TEST_P(PlonkE2eTest, WrongInstanceRejected) {
@@ -115,7 +116,13 @@ TEST_P(PlonkE2eTest, WrongInstanceRejected) {
   std::vector<uint8_t> proof = CreateProof(pk, *pcs, asn);
 
   std::vector<std::vector<Fr>> wrong = {{asn.instance()[0][0] + Fr::One()}};
-  EXPECT_FALSE(VerifyProof(pk.vk, *pcs, wrong, proof));
+  const VerifyResult result = VerifyProof(pk.vk, *pcs, wrong, proof);
+  EXPECT_FALSE(result.ok());
+  // A false statement with honest proof bytes must be blamed on a
+  // cryptographic check, not on malformed bytes.
+  EXPECT_TRUE(result.stage == VerifyStage::kVanishingCheck ||
+              result.stage == VerifyStage::kPcsOpening)
+      << result.ToString();
 }
 
 TEST_P(PlonkE2eTest, CorruptedProofRejected) {
@@ -129,7 +136,7 @@ TEST_P(PlonkE2eTest, CorruptedProofRejected) {
   for (size_t pos : {proof.size() / 4, proof.size() / 2, proof.size() - 8}) {
     std::vector<uint8_t> bad = proof;
     bad[pos] ^= 0x21;
-    EXPECT_FALSE(VerifyProof(pk.vk, *pcs, instance, bad)) << "pos=" << pos;
+    EXPECT_FALSE(VerifyProof(pk.vk, *pcs, instance, bad).ok()) << "pos=" << pos;
   }
 }
 
@@ -187,6 +194,44 @@ TEST(MockProverTest, LookupDetectsViolation) {
   EXPECT_FALSE(mp.Verify().empty());
 }
 
+TEST(MockProverTest, LookupFailureBlamesArgumentAndRow) {
+  CubeLookupCircuit circuit;
+  // MakeAssignment's tamper corrupts the cube of the second enabled row.
+  Assignment asn = circuit.MakeAssignment({1, 2, 3}, /*tamper=*/true);
+  MockProver mp(&circuit.cs, &asn);
+  auto failures = mp.Verify();
+  ASSERT_FALSE(failures.empty());
+  const ConstraintFailure& f = failures[0];
+  EXPECT_EQ(f.kind, ConstraintKind::kLookup);
+  EXPECT_EQ(f.constraint_index, 0);  // the circuit's only lookup argument
+  EXPECT_EQ(f.row, 1);               // first failing row is the tampered one
+  EXPECT_EQ(f.table_column_index, 0);
+  EXPECT_EQ(f.table_column, circuit.tbl_in);  // table identified by its first column
+}
+
+TEST(MockProverTest, GateFailureBlamesGateAndRow) {
+  MacCircuit circuit;
+  Assignment asn = circuit.MakeAssignment({2, 3, 4, 5}, /*tamper=*/true);
+  MockProver mp(&circuit.cs, &asn);
+  auto failures = mp.Verify();
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures[0].kind, ConstraintKind::kGate);
+  EXPECT_EQ(failures[0].constraint_index, 0);  // the "mac" gate
+  EXPECT_EQ(failures[0].row, 3);               // tampered last chain row
+}
+
+TEST(MockProverTest, CopyFailureReportsRowPair) {
+  MacCircuit circuit;
+  Assignment asn = circuit.MakeAssignment({2, 3});
+  asn.SetInstance(circuit.inst, 0, Fr::FromU64(999));
+  MockProver mp(&circuit.cs, &asn);
+  auto failures = mp.Verify();
+  ASSERT_FALSE(failures.empty());
+  EXPECT_EQ(failures[0].kind, ConstraintKind::kCopy);
+  EXPECT_GE(failures[0].row_a, 0);
+  EXPECT_GE(failures[0].row_b, 0);
+}
+
 TEST_P(PlonkE2eTest, LookupProvesAndVerifies) {
   CubeLookupCircuit circuit;
   Assignment asn = circuit.MakeAssignment({1, 2, 3, 5, 15, 7, 7, 7});
@@ -194,7 +239,8 @@ TEST_P(PlonkE2eTest, LookupProvesAndVerifies) {
   ProvingKey pk = Keygen(circuit.cs, asn, *pcs, kTestK);
   std::vector<uint8_t> proof = CreateProof(pk, *pcs, asn);
   std::vector<std::vector<Fr>> instance = {{asn.instance()[0][0]}};
-  EXPECT_TRUE(VerifyProof(pk.vk, *pcs, instance, proof));
+  const VerifyResult result = VerifyProof(pk.vk, *pcs, instance, proof);
+  EXPECT_TRUE(result.ok()) << result.ToString();
 }
 
 TEST_P(PlonkE2eTest, ProofsAreDeterministic) {

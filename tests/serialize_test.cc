@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
 
+#include "src/base/rng.h"
 #include "src/model/float_executor.h"
 #include "src/model/serialize.h"
 #include "src/model/zoo.h"
@@ -40,8 +42,9 @@ TEST_P(SerializeTest, RoundTripPreservesModel) {
   const Model model = MakeZooModel(GetParam());
   const std::string text = SerializeModel(model);
   EXPECT_FALSE(text.empty());
-  const Model back = DeserializeModel(text);
-  ExpectModelsEquivalent(model, back);
+  const StatusOr<Model> back = DeserializeModel(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectModelsEquivalent(model, *back);
 }
 
 INSTANTIATE_TEST_SUITE_P(Zoo, SerializeTest,
@@ -54,16 +57,283 @@ TEST(SerializeTest, FileRoundTrip) {
   const Model model = MakeMnistCnn();
   const std::string path = "/tmp/zkml_serialize_test.model";
   ASSERT_TRUE(SaveModelToFile(model, path));
-  const Model back = LoadModelFromFile(path);
-  ExpectModelsEquivalent(model, back);
+  const StatusOr<Model> back = LoadModelFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectModelsEquivalent(model, *back);
   std::remove(path.c_str());
 }
 
 TEST(SerializeTest, SerializationIsStable) {
   const Model model = MakeDlrm();
   const std::string once = SerializeModel(model);
-  const std::string twice = SerializeModel(DeserializeModel(once));
-  EXPECT_EQ(once, twice);
+  const StatusOr<Model> back = DeserializeModel(once);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(once, SerializeModel(*back));
+}
+
+// --- Robustness against malformed model files. The deserializer must return
+// --- a kParseError (never abort) for every malformed input below.
+
+// A minimal well-formed model text that the tests below mutate.
+std::string TinyModelText() {
+  return
+      "model tiny quant 6 10\n"
+      "input 1 4\n"
+      "tensors 2 output 1\n"
+      "weight 1 4 0.5 -0.25 1 2\n"
+      "op 4 name add in 2 0 0 w 0 out 1 attrs 1 0 2 0 0 1 0 "
+      "perm 0 shape 0 starts 0 sizes 0\n";
+}
+
+TEST(SerializeRobustnessTest, TinyModelTextIsValid) {
+  const StatusOr<Model> m = DeserializeModel(TinyModelText());
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->name, "tiny");
+  EXPECT_EQ(m->ops.size(), 1u);
+}
+
+TEST(SerializeRobustnessTest, EmptyInputRejected) {
+  const StatusOr<Model> m = DeserializeModel("");
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRobustnessTest, TruncatedFileRejected) {
+  // Cut the serialized mnist model in half; the cut lands inside the weight
+  // data, so a weight line is left short of its declared element count.
+  const std::string text = SerializeModel(MakeMnistCnn());
+  const StatusOr<Model> m = DeserializeModel(text.substr(0, text.size() / 2));
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kParseError) << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, MissingTensorsLineRejected) {
+  const StatusOr<Model> m = DeserializeModel("model t quant 6 10\ninput 1 4\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("tensors"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, UnknownLineTagRejected) {
+  std::string text = TinyModelText();
+  text += "bogus 1 2 3\n";
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("bogus"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, WrongKeywordRejected) {
+  const StatusOr<Model> m = DeserializeModel("model t kvant 6 10\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeRobustnessTest, NanWeightRejected) {
+  std::string text = TinyModelText();
+  const size_t pos = text.find("0.5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "nan");
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kParseError) << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, InfiniteWeightRejected) {
+  std::string text = TinyModelText();
+  const size_t pos = text.find("0.5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "inf");
+  EXPECT_FALSE(DeserializeModel(text).ok());
+}
+
+TEST(SerializeRobustnessTest, OverflowingWeightRejected) {
+  // 1e999 overflows float; must surface as a parse error, not +inf weights.
+  std::string text = TinyModelText();
+  const size_t pos = text.find("0.5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "1e999");
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kParseError) << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, NonNumericWeightRejected) {
+  std::string text = TinyModelText();
+  const size_t pos = text.find("-0.25");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "potato");
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("potato"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, ZeroOpGraphRejected) {
+  const StatusOr<Model> m = DeserializeModel(
+      "model t quant 6 10\ninput 1 4\ntensors 2 output 1\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("no ops"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, OutOfRangeTensorIdRejected) {
+  std::string text = TinyModelText();
+  const size_t pos = text.find("in 2 0 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "in 2 0 9");  // tensor 9 does not exist
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("out-of-range tensor id 9"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, OutOfRangeOpTypeRejected) {
+  std::string text = TinyModelText();
+  const size_t pos = text.find("op 4");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 4, "op 250");
+  const StatusOr<Model> m = DeserializeModel(text);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("op type"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, HugeTensorHeaderRejectedBeforeAllocation) {
+  // A crafted header claiming a gigantic weight must be rejected by the rank
+  // and element-count caps before any allocation is attempted.
+  const char* attack =
+      "model t quant 6 10\n"
+      "input 1 4\n"
+      "tensors 2 output 1\n"
+      "weight 2 100000 100000 1\n";
+  const StatusOr<Model> m = DeserializeModel(attack);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("overflows limit"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, NegativeDimensionRejected) {
+  const StatusOr<Model> m = DeserializeModel(
+      "model t quant 6 10\ninput 2 4 -1\ntensors 2 output 1\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("negative dimension"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, TrailingTokensRejected) {
+  const StatusOr<Model> m =
+      DeserializeModel("model t quant 6 10 surprise\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("trailing token"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, LineNumberReportedInErrors) {
+  const StatusOr<Model> m = DeserializeModel(
+      "model t quant 6 10\ninput 1 4\ngarbage\n");
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("line 3"), std::string::npos)
+      << m.status().ToString();
+}
+
+TEST(SerializeRobustnessTest, MissingFileReturnsIoError) {
+  const StatusOr<Model> m = LoadModelFromFile("/nonexistent/zkml-no-such-file");
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kIoError);
+}
+
+// --- Property test: structure-preserving round trip on seeded random graphs.
+
+// Builds a random (not necessarily executable, but always *valid* per
+// ValidateModel) elementwise graph over one shared tensor shape. Weight
+// values are small dyadic rationals so text round-tripping is exact.
+Model RandomModel(uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  m.name = "rand" + std::to_string(seed);
+  m.quant.sf_bits = static_cast<int>(2 + rng.NextBelow(10));
+  m.quant.table_bits = static_cast<int>(4 + rng.NextBelow(12));
+  const int64_t dim = static_cast<int64_t>(1 + rng.NextBelow(16));
+  m.input_shape = Shape({dim});
+  m.input_tensor = 0;
+
+  const size_t n_weights = rng.NextBelow(4);
+  for (size_t i = 0; i < n_weights; ++i) {
+    Tensor<float> w(Shape({dim}));
+    for (int64_t j = 0; j < w.NumElements(); ++j) {
+      w.flat(j) = static_cast<float>(static_cast<int64_t>(rng.NextBelow(256)) - 128) / 16.0f;
+    }
+    m.weights.push_back(std::move(w));
+  }
+
+  const size_t n_ops = 1 + rng.NextBelow(12);
+  int next_tensor = 1;
+  for (size_t i = 0; i < n_ops; ++i) {
+    Op op;
+    const OpType kinds[] = {OpType::kAdd, OpType::kSub, OpType::kMul, OpType::kActivation,
+                            OpType::kScale};
+    op.type = kinds[rng.NextBelow(5)];
+    op.name = "n" + std::to_string(i);
+    const int src = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(next_tensor)));
+    op.inputs.push_back(src);
+    if (op.type == OpType::kAdd || op.type == OpType::kSub || op.type == OpType::kMul) {
+      op.inputs.push_back(static_cast<int>(rng.NextBelow(static_cast<uint64_t>(next_tensor))));
+    }
+    if (!m.weights.empty() && rng.NextBelow(2) == 0) {
+      op.weights.push_back(static_cast<int>(rng.NextBelow(m.weights.size())));
+    }
+    op.output = next_tensor++;
+    op.attrs.fn = static_cast<NonlinFn>(rng.NextBelow(3));
+    op.attrs.axis = static_cast<int>(rng.NextBelow(3));
+    op.attrs.scale = static_cast<double>(static_cast<int64_t>(rng.NextBelow(64)) - 32) / 8.0;
+    op.attrs.stride = static_cast<int>(1 + rng.NextBelow(3));
+    op.attrs.transpose_b = rng.NextBelow(2) == 0;
+    m.ops.push_back(std::move(op));
+  }
+  m.num_tensors = next_tensor;
+  m.output_tensor = next_tensor - 1;
+  return m;
+}
+
+TEST(SerializePropertyTest, RandomGraphRoundTripIsExact) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const Model model = RandomModel(seed);
+    ASSERT_TRUE(ValidateModel(model).ok()) << "seed " << seed;
+    const std::string text = SerializeModel(model);
+    const StatusOr<Model> back = DeserializeModel(text);
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": " << back.status().ToString();
+    // Structural equality, field by field (random graphs need not be
+    // executable, so no RunFloat here).
+    EXPECT_EQ(model.name, back->name) << seed;
+    EXPECT_EQ(model.input_shape, back->input_shape) << seed;
+    EXPECT_EQ(model.num_tensors, back->num_tensors) << seed;
+    EXPECT_EQ(model.output_tensor, back->output_tensor) << seed;
+    ASSERT_EQ(model.ops.size(), back->ops.size()) << seed;
+    for (size_t i = 0; i < model.ops.size(); ++i) {
+      EXPECT_EQ(model.ops[i].type, back->ops[i].type) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].name, back->ops[i].name) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].inputs, back->ops[i].inputs) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].weights, back->ops[i].weights) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].output, back->ops[i].output) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].attrs.fn, back->ops[i].attrs.fn) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].attrs.axis, back->ops[i].attrs.axis) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].attrs.scale, back->ops[i].attrs.scale) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].attrs.stride, back->ops[i].attrs.stride) << seed << ":" << i;
+      EXPECT_EQ(model.ops[i].attrs.transpose_b, back->ops[i].attrs.transpose_b)
+          << seed << ":" << i;
+    }
+    ASSERT_EQ(model.weights.size(), back->weights.size()) << seed;
+    for (size_t i = 0; i < model.weights.size(); ++i) {
+      ASSERT_EQ(model.weights[i].shape(), back->weights[i].shape()) << seed << ":" << i;
+      for (int64_t j = 0; j < model.weights[i].NumElements(); ++j) {
+        EXPECT_EQ(model.weights[i].flat(j), back->weights[i].flat(j))
+            << seed << ":" << i << ":" << j;
+      }
+    }
+    // Serialization of the round-tripped model is byte-identical.
+    EXPECT_EQ(text, SerializeModel(*back)) << seed;
+  }
 }
 
 }  // namespace
