@@ -5,7 +5,9 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,29 @@
 #include "src/zkml/zkml.h"
 
 namespace zkml {
+
+// When ZKML_TELEMETRY_DIR is set, every MeasureEndToEnd call drops a
+// machine-readable run report (schema zkml.run_report/v1) named
+// <dir>/run_<model>_<backend>.json next to the printed table.
+inline void MaybeWriteRunReport(const CompiledModel& compiled, const ZkmlProof& proof,
+                                double verify_seconds) {
+  const char* dir = std::getenv("ZKML_TELEMETRY_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const obs::RunReport report = BuildRunReport(compiled, proof, verify_seconds);
+  std::string name = report.model;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '-';
+    }
+  }
+  const std::string path = std::string(dir) + "/run_" + name + "_" + report.backend + ".json";
+  if (Status s = report.WriteFile(path); !s.ok()) {
+    std::fprintf(stderr, "!! cannot write run report %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  }
+}
 
 struct E2eMeasurement {
   std::string model;
@@ -45,6 +70,7 @@ inline E2eMeasurement MeasureEndToEnd(const Model& model, const ZkmlOptions& opt
   if (!ok) {
     std::fprintf(stderr, "!! verification failed for %s\n", model.name.c_str());
   }
+  MaybeWriteRunReport(compiled, proof, m.verify_seconds);
   return m;
 }
 

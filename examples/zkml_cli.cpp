@@ -5,8 +5,16 @@
 //   zkml_cli export <zoo-name> <model-file>          serialize a zoo model
 //   zkml_cli inspect <model-file>                    print graph statistics
 //   zkml_cli optimize <model-file> [kzg|ipa]         run the layout optimizer
+//   zkml_cli profile <model-file> [kzg|ipa]          per-layer circuit resources
 //   zkml_cli prove <model-file> <proof-file> [seed]  prove one inference
 //   zkml_cli verify <model-file> <proof-file>        standalone verification
+//   zkml_cli telemetry-validate <json-file>          validate a telemetry file
+//
+// Global telemetry flags (may appear anywhere on the command line):
+//   --trace=<file>    write a Chrome/Perfetto trace of the whole command
+//   --metrics=<file>  write the metrics registry (schema zkml.metrics/v1)
+//   --report=<file>   prove: run report (zkml.run_report/v1);
+//                     profile: the profile as JSON (zkml.circuit_profile/v1)
 //
 // Proof files carry the proof bytes plus the public statement; `verify`
 // rebuilds the verifying key deterministically from the model file, so the
@@ -22,12 +30,17 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/layers/quant_executor.h"
 #include "src/model/float_executor.h"
 #include "src/model/serialize.h"
 #include "src/model/shape_inference.h"
 #include "src/model/zoo.h"
+#include "src/obs/circuit_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
 #include "src/zkml/zkml.h"
 
@@ -165,7 +178,7 @@ int CmdOptimize(const std::string& path, PcsKind backend) {
 }
 
 int CmdProve(const std::string& model_path, const std::string& proof_path, uint64_t seed,
-             PcsKind backend) {
+             PcsKind backend, const std::string& report_path) {
   Model model;
   int exit_code = kExitOk;
   if (!LoadModelOrReport(model_path, &model, &exit_code)) {
@@ -178,10 +191,73 @@ int CmdProve(const std::string& model_path, const std::string& proof_path, uint6
     std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
     return kExitUsage;
   }
+  if (!report_path.empty()) {
+    const obs::RunReport report = BuildRunReport(compiled, proof);
+    if (Status s = report.WriteFile(report_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write run report %s: %s\n", report_path.c_str(),
+                   s.ToString().c_str());
+      return kExitUsage;
+    }
+    std::printf("run report -> %s\n", report_path.c_str());
+  }
   std::printf("proved %s on input seed %llu in %.2fs: %zu proof bytes -> %s\n",
               model.name.c_str(), static_cast<unsigned long long>(seed), proof.prove_seconds,
               proof.bytes.size(), proof_path.c_str());
   return kExitOk;
+}
+
+int CmdProfile(const std::string& path, PcsKind backend, const std::string& report_path) {
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(path, &model, &exit_code)) {
+    return exit_code;
+  }
+  OptimizerOptions opts = CliOptions(backend).optimizer;
+  opts.backend = backend;
+  const OptimizerResult result = OptimizeLayout(model, HardwareProfile::Cached(), opts);
+  const obs::CircuitProfile profile = obs::ProfileCircuit(model, result.best.layout);
+  std::printf("%s", profile.ToTable().c_str());
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << profile.ToJson().DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return kExitUsage;
+    }
+    std::printf("circuit profile -> %s\n", report_path.c_str());
+  }
+  return kExitOk;
+}
+
+// Validates a telemetry JSON file: must parse strictly and be either a Chrome
+// trace (object with a traceEvents array) or a zkml.* schema document.
+int CmdTelemetryValidate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return kExitUsage;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  StatusOr<obs::Json> parsed = obs::Json::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return kExitMalformedInput;
+  }
+  const obs::Json& j = parsed.value();
+  if (const obs::Json* events = j.Find("traceEvents"); events != nullptr && events->is_array()) {
+    std::printf("%s: valid chrome trace (%zu events)\n", path.c_str(), events->size());
+    return kExitOk;
+  }
+  if (const obs::Json* schema = j.Find("schema"); schema != nullptr && schema->is_string() &&
+                                                  schema->AsString().rfind("zkml.", 0) == 0) {
+    std::printf("%s: valid telemetry document (schema %s)\n", path.c_str(),
+                schema->AsString().c_str());
+    return kExitOk;
+  }
+  std::fprintf(stderr, "%s: JSON is neither a chrome trace nor a zkml.* schema document\n",
+               path.c_str());
+  return kExitMalformedInput;
 }
 
 int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsKind backend) {
@@ -211,43 +287,119 @@ int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsK
 }  // namespace
 }  // namespace zkml
 
-int main(int argc, char** argv) {
-  using namespace zkml;
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: zkml_cli export <zoo-name> <model-file>\n"
-                 "       zkml_cli inspect <model-file>\n"
-                 "       zkml_cli optimize <model-file> [kzg|ipa]\n"
-                 "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
-                 "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n");
-    return 1;
+namespace zkml {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: zkml_cli [--trace=<f>] [--metrics=<f>] [--report=<f>] <command>\n"
+               "       zkml_cli export <zoo-name> <model-file>\n"
+               "       zkml_cli inspect <model-file>\n"
+               "       zkml_cli optimize <model-file> [kzg|ipa]\n"
+               "       zkml_cli profile <model-file> [kzg|ipa]\n"
+               "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
+               "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n"
+               "       zkml_cli telemetry-validate <json-file>\n");
+  return kExitUsage;
+}
+
+int Dispatch(const std::vector<std::string>& args, const std::string& report_path) {
+  if (args.size() < 2) {
+    return Usage();
   }
-  const std::string cmd = argv[1];
-  auto backend_arg = [&](int index, PcsKind fallback) {
-    if (argc > index && std::strcmp(argv[index], "ipa") == 0) {
+  const std::string& cmd = args[0];
+  auto backend_arg = [&](size_t index, PcsKind fallback) {
+    if (args.size() > index && args[index] == "ipa") {
       return PcsKind::kIpa;
     }
-    if (argc > index && std::strcmp(argv[index], "kzg") == 0) {
+    if (args.size() > index && args[index] == "kzg") {
       return PcsKind::kKzg;
     }
     return fallback;
   };
-  if (cmd == "export" && argc >= 4) {
-    return CmdExport(argv[2], argv[3]);
+  if (cmd == "export" && args.size() >= 3) {
+    return CmdExport(args[1], args[2]);
   }
   if (cmd == "inspect") {
-    return CmdInspect(argv[2]);
+    return CmdInspect(args[1]);
   }
   if (cmd == "optimize") {
-    return CmdOptimize(argv[2], backend_arg(3, PcsKind::kKzg));
+    return CmdOptimize(args[1], backend_arg(2, PcsKind::kKzg));
   }
-  if (cmd == "prove" && argc >= 4) {
-    const uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
-    return CmdProve(argv[2], argv[3], seed, backend_arg(5, PcsKind::kKzg));
+  if (cmd == "profile") {
+    return CmdProfile(args[1], backend_arg(2, PcsKind::kKzg), report_path);
   }
-  if (cmd == "verify" && argc >= 4) {
-    return CmdVerify(argv[2], argv[3], backend_arg(4, PcsKind::kKzg));
+  if (cmd == "prove" && args.size() >= 3) {
+    const uint64_t seed = args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 7;
+    return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path);
+  }
+  if (cmd == "verify" && args.size() >= 3) {
+    return CmdVerify(args[1], args[2], backend_arg(3, PcsKind::kKzg));
+  }
+  if (cmd == "telemetry-validate") {
+    return CmdTelemetryValidate(args[1]);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-  return 1;
+  return kExitUsage;
+}
+
+}  // namespace
+}  // namespace zkml
+
+int main(int argc, char** argv) {
+  using namespace zkml;
+  // Telemetry flags may appear anywhere; everything else is positional.
+  std::string trace_path, metrics_path, report_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    return Usage();
+  }
+
+  obs::Tracer tracer;
+  int code;
+  {
+    // The scope must close before export so every span has ended.
+    obs::TracerScope scope(trace_path.empty() ? nullptr : &tracer);
+    code = Dispatch(args, report_path);
+  }
+  if (!trace_path.empty()) {
+    if (Status s = tracer.WriteChromeTrace(trace_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write trace %s: %s\n", trace_path.c_str(),
+                   s.ToString().c_str());
+      if (code == kExitOk) {
+        code = kExitUsage;
+      }
+    } else {
+      std::fprintf(stderr, "trace (%zu spans) -> %s\n", tracer.Records().size(),
+                   trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    obs::PublishThreadPoolStats(obs::MetricsRegistry::Global(), ThreadPool::Global());
+    if (Status s = obs::MetricsRegistry::Global().WriteFile(metrics_path); !s.ok()) {
+      std::fprintf(stderr, "cannot write metrics %s: %s\n", metrics_path.c_str(),
+                   s.ToString().c_str());
+      if (code == kExitOk) {
+        code = kExitUsage;
+      }
+    } else {
+      std::fprintf(stderr, "metrics -> %s\n", metrics_path.c_str());
+    }
+  }
+  return code;
 }

@@ -1,35 +1,54 @@
 #include "src/base/kernel_stats.h"
 
-#include <atomic>
+#include "src/base/task_context.h"
 
 namespace zkml {
 namespace kernelstats {
 namespace {
 
-std::atomic<uint64_t> g_fft_calls{0};
-std::atomic<uint64_t> g_fft_points{0};
-std::atomic<uint64_t> g_msm_calls{0};
-std::atomic<uint64_t> g_msm_points{0};
+KernelSink& GlobalSink() {
+  static KernelSink sink;
+  return sink;
+}
 
 }  // namespace
 
 void RecordFft(size_t n) {
-  g_fft_calls.fetch_add(1, std::memory_order_relaxed);
-  g_fft_points.fetch_add(n, std::memory_order_relaxed);
+  GlobalSink().AddFft(n);
+  if (KernelSink* sink = GetTaskContext().kernel_sink; sink != nullptr) {
+    sink->AddFft(n);
+  }
 }
 
 void RecordMsm(size_t n) {
-  g_msm_calls.fetch_add(1, std::memory_order_relaxed);
-  g_msm_points.fetch_add(n, std::memory_order_relaxed);
+  GlobalSink().AddMsm(n);
+  if (KernelSink* sink = GetTaskContext().kernel_sink; sink != nullptr) {
+    sink->AddMsm(n);
+  }
 }
 
-KernelCounters Capture() {
-  KernelCounters c;
-  c.fft_calls = g_fft_calls.load(std::memory_order_relaxed);
-  c.fft_points = g_fft_points.load(std::memory_order_relaxed);
-  c.msm_calls = g_msm_calls.load(std::memory_order_relaxed);
-  c.msm_points = g_msm_points.load(std::memory_order_relaxed);
-  return c;
+KernelCounters Capture() { return GlobalSink().Capture(); }
+
+KernelCounters CaptureScoped() {
+  if (KernelSink* sink = GetTaskContext().kernel_sink; sink != nullptr) {
+    return sink->Capture();
+  }
+  return GlobalSink().Capture();
+}
+
+KernelSink* CurrentSink() { return GetTaskContext().kernel_sink; }
+
+ScopedSink::ScopedSink(KernelSink* sink) {
+  TaskContext ctx = GetTaskContext();
+  prev_ = ctx.kernel_sink;
+  ctx.kernel_sink = sink;
+  SetTaskContext(ctx);
+}
+
+ScopedSink::~ScopedSink() {
+  TaskContext ctx = GetTaskContext();
+  ctx.kernel_sink = prev_;
+  SetTaskContext(ctx);
 }
 
 }  // namespace kernelstats

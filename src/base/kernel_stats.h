@@ -1,11 +1,14 @@
-// Process-wide counters for the two prover hot kernels (FFT and MSM). The
-// kernels record every invocation; the prover snapshots the counters around
-// each protocol round to attribute work per stage (see ProverMetrics). The
-// counters are global, so concurrent provers in one process share them —
-// per-stage deltas are only meaningful for a single proof at a time.
+// Counters for the two prover hot kernels (FFT and MSM). The kernels record
+// every invocation into (a) a process-wide aggregate and (b) the calling
+// thread's installed KernelSink, if any. Sinks are per-activity (one prover,
+// one keygen, one tracer) and are propagated across ThreadPool task
+// boundaries via TaskContext, so per-stage deltas stay correct even when
+// several provers run concurrently in one process — each activity installs
+// its own sink and reads only its own work.
 #ifndef SRC_BASE_KERNEL_STATS_H_
 #define SRC_BASE_KERNEL_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -21,16 +24,78 @@ struct KernelCounters {
     return KernelCounters{fft_calls - o.fft_calls, fft_points - o.fft_points,
                           msm_calls - o.msm_calls, msm_points - o.msm_points};
   }
+  KernelCounters operator+(const KernelCounters& o) const {
+    return KernelCounters{fft_calls + o.fft_calls, fft_points + o.fft_points,
+                          msm_calls + o.msm_calls, msm_points + o.msm_points};
+  }
+  bool operator==(const KernelCounters& o) const {
+    return fft_calls == o.fft_calls && fft_points == o.fft_points && msm_calls == o.msm_calls &&
+           msm_points == o.msm_points;
+  }
+};
+
+// Receives kernel increments for one logical activity. Recording uses relaxed
+// atomics and is safe from pool workers.
+class KernelSink {
+ public:
+  void AddFft(size_t n) {
+    fft_calls_.fetch_add(1, std::memory_order_relaxed);
+    fft_points_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddMsm(size_t n) {
+    msm_calls_.fetch_add(1, std::memory_order_relaxed);
+    msm_points_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  KernelCounters Capture() const {
+    KernelCounters c;
+    c.fft_calls = fft_calls_.load(std::memory_order_relaxed);
+    c.fft_points = fft_points_.load(std::memory_order_relaxed);
+    c.msm_calls = msm_calls_.load(std::memory_order_relaxed);
+    c.msm_points = msm_points_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  std::atomic<uint64_t> fft_calls_{0};
+  std::atomic<uint64_t> fft_points_{0};
+  std::atomic<uint64_t> msm_calls_{0};
+  std::atomic<uint64_t> msm_points_{0};
 };
 
 namespace kernelstats {
 
-// Called by the kernels themselves (relaxed atomics; safe from pool workers).
+// Called by the kernels themselves: credits the process aggregate plus the
+// calling thread's installed sink, if any.
 void RecordFft(size_t n);
 void RecordMsm(size_t n);
 
-// Snapshot of the counters since process start.
+// Snapshot of the process-wide aggregate since process start. This keeps the
+// historical "everything that ever ran" view; per-activity deltas should use
+// CaptureScoped() under an installed sink instead.
 KernelCounters Capture();
+
+// Snapshot of the calling thread's installed sink; falls back to the process
+// aggregate when no sink is installed (single-activity processes keep the old
+// behavior).
+KernelCounters CaptureScoped();
+
+// The calling thread's installed sink (null if none).
+KernelSink* CurrentSink();
+
+// Installs `sink` as the calling thread's sink for the scope's lifetime; the
+// ThreadPool propagates the installation to tasks submitted from this scope.
+class ScopedSink {
+ public:
+  explicit ScopedSink(KernelSink* sink);
+  ~ScopedSink();
+
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  KernelSink* prev_;
+};
 
 }  // namespace kernelstats
 }  // namespace zkml

@@ -1,0 +1,14 @@
+#include "src/base/task_context.h"
+
+namespace zkml {
+namespace {
+
+thread_local TaskContext t_context;
+
+}  // namespace
+
+TaskContext GetTaskContext() { return t_context; }
+
+void SetTaskContext(const TaskContext& ctx) { t_context = ctx; }
+
+}  // namespace zkml

@@ -1,0 +1,47 @@
+// Ambient per-thread context that must follow work across ThreadPool task
+// boundaries: the kernel-counter sink of the current logical activity (one
+// prover, one keygen, ...) and the active trace span. ThreadPool captures the
+// submitting thread's context at Submit time and reinstalls it inside the
+// worker, so FFT/MSM work done by pool workers is attributed to the activity
+// that spawned it rather than to whatever the worker ran last.
+//
+// `trace_context` / `trace_parent` are opaque pointers/ids owned by
+// src/obs/trace (base cannot depend on obs); the pool only ferries them.
+#ifndef SRC_BASE_TASK_CONTEXT_H_
+#define SRC_BASE_TASK_CONTEXT_H_
+
+#include <cstdint>
+
+namespace zkml {
+
+class KernelSink;
+
+struct TaskContext {
+  KernelSink* kernel_sink = nullptr;  // credited by kernelstats::Record*
+  void* trace_context = nullptr;      // obs Tracer* of the active trace
+  int64_t trace_parent = -1;          // innermost open span id in that trace
+};
+
+// Snapshot / replace the calling thread's context.
+TaskContext GetTaskContext();
+void SetTaskContext(const TaskContext& ctx);
+
+// RAII install-and-restore, used by the pool around each task and by the obs
+// layer when opening tracer scopes and spans.
+class ScopedTaskContext {
+ public:
+  explicit ScopedTaskContext(const TaskContext& ctx) : prev_(GetTaskContext()) {
+    SetTaskContext(ctx);
+  }
+  ~ScopedTaskContext() { SetTaskContext(prev_); }
+
+  ScopedTaskContext(const ScopedTaskContext&) = delete;
+  ScopedTaskContext& operator=(const ScopedTaskContext&) = delete;
+
+ private:
+  TaskContext prev_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_TASK_CONTEXT_H_

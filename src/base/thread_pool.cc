@@ -1,14 +1,16 @@
 #include "src/base/thread_pool.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "src/base/task_context.h"
 
 namespace zkml {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : counters_(new WorkerCounters[num_threads + 1]), start_time_(std::chrono::steady_clock::now()) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -24,11 +26,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Capture the submitting thread's context so kernel counters and trace
+  // spans attribute the task to the activity that spawned it, not to
+  // whatever the executing worker ran last.
+  std::function<void()> wrapped = [task = std::move(task), ctx = GetTaskContext()] {
+    ScopedTaskContext scoped(ctx);
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(wrapped));
   }
   task_available_.notify_one();
+}
+
+void ThreadPool::RunTask(std::function<void()>& task, size_t slot) {
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - start)
+          .count();
+  counters_[slot].tasks.fetch_add(1, std::memory_order_relaxed);
+  counters_[slot].busy_ns.fetch_add(static_cast<uint64_t>(ns), std::memory_order_relaxed);
 }
 
 bool ThreadPool::TryRunOne() {
@@ -41,11 +60,11 @@ bool ThreadPool::TryRunOne() {
     task = std::move(tasks_.front());
     tasks_.pop();
   }
-  task();
+  RunTask(task, workers_.size());  // helper slot
   return true;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     {
@@ -57,8 +76,29 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    RunTask(task, worker_index);
   }
+}
+
+ThreadPoolStats ThreadPool::Stats() const {
+  ThreadPoolStats stats;
+  stats.uptime_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start_time_)
+          .count());
+  const size_t slots = workers_.size() + 1;
+  stats.workers.resize(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    ThreadPoolStats::Worker& w = stats.workers[i];
+    w.tasks = counters_[i].tasks.load(std::memory_order_relaxed);
+    w.busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
+    if (i < workers_.size() && stats.uptime_ns > 0) {
+      w.busy_fraction = static_cast<double>(w.busy_ns) / static_cast<double>(stats.uptime_ns);
+    }
+    stats.tasks_executed += w.tasks;
+    stats.total_task_ns += w.busy_ns;
+  }
+  return stats;
 }
 
 ThreadPool& ThreadPool::Global() {

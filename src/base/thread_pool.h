@@ -2,19 +2,43 @@
 // witness generation) nest freely: a thread waiting on its TaskGroup executes
 // queued tasks instead of blocking, so a pool worker that spawns a nested
 // parallel section can never deadlock the pool.
+//
+// Every task carries the submitting thread's TaskContext (kernel-counter sink
+// and active trace span), so work done on pool workers is attributed to the
+// activity that spawned it.
 #ifndef SRC_BASE_THREAD_POOL_H_
 #define SRC_BASE_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace zkml {
+
+// Snapshot of pool utilization since construction. `workers` has one entry
+// per pool worker plus a final "helper" entry for tasks drained by non-pool
+// threads inside TaskGroup::Wait().
+struct ThreadPoolStats {
+  struct Worker {
+    uint64_t tasks = 0;
+    uint64_t busy_ns = 0;
+    // Busy fraction of the pool's uptime; helpers report 0 (no meaningful
+    // denominator — they are borrowed threads).
+    double busy_fraction = 0.0;
+  };
+  std::vector<Worker> workers;
+  uint64_t tasks_executed = 0;
+  uint64_t total_task_ns = 0;
+  uint64_t uptime_ns = 0;
+};
 
 class ThreadPool {
  public:
@@ -26,6 +50,8 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  ThreadPoolStats Stats() const;
+
   // Process-wide pool sized to the hardware concurrency.
   static ThreadPool& Global();
 
@@ -36,9 +62,21 @@ class ThreadPool {
   // Runs one queued task if available; returns false when the queue is empty.
   bool TryRunOne();
 
-  void WorkerLoop();
+  void RunTask(std::function<void()>& task, size_t slot);
+  void WorkerLoop(size_t worker_index);
+
+  // Cache-line separated so relaxed increments from different workers never
+  // contend.
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> tasks{0};
+    std::atomic<uint64_t> busy_ns{0};
+  };
 
   std::vector<std::thread> workers_;
+  // num_threads() + 1 slots; the last slot accumulates help-work done by
+  // threads that are not pool workers.
+  std::unique_ptr<WorkerCounters[]> counters_;
+  std::chrono::steady_clock::time_point start_time_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;

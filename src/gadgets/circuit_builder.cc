@@ -334,6 +334,7 @@ size_t CircuitBuilder::NewRow(Column selector) {
 }
 
 void CircuitBuilder::Place(Column col, size_t row, const Operand& op) {
+  ++cells_used_;
   if (asn_ == nullptr) {
     return;
   }
@@ -344,6 +345,7 @@ void CircuitBuilder::Place(Column col, size_t row, const Operand& op) {
 }
 
 Operand CircuitBuilder::Emit(Column col, size_t row, int64_t q) {
+  ++cells_used_;
   if (asn_ == nullptr) {
     return Operand{q, false, Cell{}};
   }
@@ -364,6 +366,7 @@ Operand CircuitBuilder::Constant(int64_t q) {
     return it->second;
   }
   const size_t row = const_cursor_++;
+  ++cells_used_;
   Operand op{q, false, Cell{}};
   if (asn_ != nullptr) {
     ZKML_CHECK(row < asn_->num_rows());
@@ -377,6 +380,11 @@ Operand CircuitBuilder::Constant(int64_t q) {
 
 Operand CircuitBuilder::AssignSlot(SlotKind kind, size_t row, int slot, const Operand& a,
                                    const Operand& b, NonlinFn fn) {
+  // Range-checked gadgets consume two lookup applications per slot (r and
+  // its upper-bound complement, or the two max slack checks).
+  if (kind == SlotKind::kMax || kind == SlotKind::kVarDiv || kind == SlotKind::kSoftmaxDiv) {
+    lookups_used_ += 2;
+  }
   const SlotSpec& spec = slots_.at(kind);
   const int base = slot * spec.width;
   const int64_t sf = opts_.quant.SF();
@@ -727,6 +735,7 @@ std::vector<Operand> CircuitBuilder::NonlinearityViaTable(NonlinFn fn,
   while (i < xs.size()) {
     const size_t row = NewRow(sel);
     for (int s = 0; s < nonlin_slots_per_row_; ++s, ++i) {
+      ++lookups_used_;
       const Operand x = i < xs.size() ? xs[i] : Fresh(0);
       CheckTableRange(x.q);
       const int64_t y = EvalNonlinQ(fn, x.q, opts_.quant);
@@ -834,6 +843,7 @@ std::vector<Operand> CircuitBuilder::Softmax(const std::vector<Operand>& xs) {
 
 Operand CircuitBuilder::PublicInput(int64_t q) {
   const size_t row = inst_cursor_++;
+  ++cells_used_;
   Operand op{q, false, Cell{}};
   if (asn_ != nullptr) {
     ZKML_CHECK(row < asn_->num_rows());
@@ -846,6 +856,7 @@ Operand CircuitBuilder::PublicInput(int64_t q) {
 
 void CircuitBuilder::ExposePublic(const Operand& v) {
   const size_t row = inst_cursor_++;
+  ++cells_used_;
   if (asn_ != nullptr) {
     ZKML_CHECK(row < asn_->num_rows());
     ZKML_CHECK_MSG(v.has_cell, "only produced cells can be exposed");

@@ -111,6 +111,17 @@ class CircuitBuilder {
   size_t MinRowsRequired() const;
   size_t NumInstanceRows() const { return inst_cursor_; }
 
+  // --- Resource accounting (identical in estimate and assign mode), used by
+  // the circuit profiler for per-layer tables. ---
+  // Grid cells written by gadgets: advice I/O cells plus constant and
+  // instance cells.
+  size_t CellsUsed() const { return cells_used_; }
+  // Lookup applications performed by gadget slots (range checks and
+  // non-linearity tables), including neutral filler slots on live rows.
+  size_t LookupsUsed() const { return lookups_used_; }
+  size_t TableRows() const { return table_rows_; }
+  size_t ConstantRows() const { return const_cursor_; }
+
  private:
   enum class SlotKind {
     kAdd,
@@ -181,6 +192,8 @@ class CircuitBuilder {
   size_t inst_cursor_ = 0;
   size_t const_cursor_ = 0;
   size_t table_rows_ = 0;
+  size_t cells_used_ = 0;
+  size_t lookups_used_ = 0;
   std::map<int64_t, Operand> const_cache_;
 
   int dot_terms_ = 0;       // terms per dot-product row

@@ -82,7 +82,8 @@ GadgetSet GadgetSetForModel(const Model& model) {
 
 Tensor<Operand> LowerModel(CircuitBuilder& cb, const Model& model,
                            const Tensor<int64_t>& input_q,
-                           const std::vector<ImplChoice>* per_op_choices) {
+                           const std::vector<ImplChoice>* per_op_choices,
+                           const OpLoweredHook& op_hook) {
   ZKML_CHECK(input_q.shape() == model.input_shape);
   ZKML_CHECK(per_op_choices == nullptr || per_op_choices->size() == model.ops.size());
   const std::vector<Shape> shapes = InferShapes(model);
@@ -395,6 +396,9 @@ Tensor<Operand> LowerModel(CircuitBuilder& cb, const Model& model,
         break;
     }
     tensors[static_cast<size_t>(op.output)] = std::move(out);
+    if (op_hook) {
+      op_hook(op_idx, op);
+    }
   }
 
   Tensor<Operand> output = tensors[static_cast<size_t>(model.output_tensor)];

@@ -7,6 +7,7 @@
 #ifndef SRC_LAYERS_LOWERING_H_
 #define SRC_LAYERS_LOWERING_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/gadgets/circuit_builder.h"
@@ -17,13 +18,18 @@ namespace zkml {
 // Gadget requirements implied by the model's ops (tables, max, vardiv).
 GadgetSet GadgetSetForModel(const Model& model);
 
+// Invoked after each op finishes lowering; observers snapshot the builder's
+// resource cursors to compute per-layer deltas (circuit profiler).
+using OpLoweredHook = std::function<void(size_t op_idx, const Op& op)>;
+
 // Lowers the whole model: feeds `input_q` through the instance column,
 // lowers every op, and exposes the output publicly. `per_op_choices`, when
 // given, selects the gadget implementation per op (size must equal
 // model.ops.size()); otherwise the builder's default choice applies to all.
 Tensor<Operand> LowerModel(CircuitBuilder& cb, const Model& model,
                            const Tensor<int64_t>& input_q,
-                           const std::vector<ImplChoice>* per_op_choices = nullptr);
+                           const std::vector<ImplChoice>* per_op_choices = nullptr,
+                           const OpLoweredHook& op_hook = nullptr);
 
 }  // namespace zkml
 

@@ -1,0 +1,140 @@
+#include "src/obs/circuit_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace zkml {
+namespace obs {
+
+CircuitProfile ProfileCircuit(const Model& model, const PhysicalLayout& layout) {
+  BuilderOptions opts;
+  opts.num_io_columns = layout.num_columns;
+  opts.quant = model.quant;
+  opts.gadgets = layout.gadgets;
+  opts.estimate_only = true;
+  CircuitBuilder cb(opts);
+
+  CircuitProfile profile;
+  profile.k = layout.k;
+  profile.num_columns = layout.num_columns;
+  profile.total_rows = static_cast<uint64_t>(1) << layout.k;
+
+  size_t prev_rows = 0;
+  size_t prev_cells = 0;
+  size_t prev_lookups = 0;
+  auto hook = [&](size_t op_idx, const Op& op) {
+    LayerProfile lp;
+    lp.op_index = static_cast<int64_t>(op_idx);
+    lp.name = OpTypeName(op.type);
+    lp.rows = cb.RowsUsed() - prev_rows;
+    lp.cells = cb.CellsUsed() - prev_cells;
+    lp.lookups = cb.LookupsUsed() - prev_lookups;
+    prev_rows = cb.RowsUsed();
+    prev_cells = cb.CellsUsed();
+    prev_lookups = cb.LookupsUsed();
+    profile.layers.push_back(std::move(lp));
+  };
+
+  Tensor<int64_t> zero_input(model.input_shape);
+  const std::vector<ImplChoice>* per_op = layout.per_op.empty() ? nullptr : &layout.per_op;
+  LowerModel(cb, model, zero_input, per_op, hook);
+
+  // The input instance cells land in the first layer's delta; everything
+  // after the last op (output exposure) gets its own entry.
+  if (cb.RowsUsed() != prev_rows || cb.CellsUsed() != prev_cells ||
+      cb.LookupsUsed() != prev_lookups) {
+    LayerProfile io;
+    io.name = "(public-io)";
+    io.rows = cb.RowsUsed() - prev_rows;
+    io.cells = cb.CellsUsed() - prev_cells;
+    io.lookups = cb.LookupsUsed() - prev_lookups;
+    profile.layers.push_back(std::move(io));
+  }
+
+  for (const LayerProfile& lp : profile.layers) {
+    profile.gadget_rows += lp.rows;
+    profile.total_cells += lp.cells;
+    profile.total_lookups += lp.lookups;
+  }
+  profile.table_rows = cb.TableRows();
+  profile.constant_rows = cb.ConstantRows();
+  profile.instance_rows = cb.NumInstanceRows();
+
+  ZKML_CHECK_MSG(profile.gadget_rows <= profile.total_rows,
+                 "profiled rows exceed the simulated layout's grid");
+  LayerProfile pad;
+  pad.name = "(padding)";
+  pad.rows = profile.total_rows - profile.gadget_rows;
+  profile.layers.push_back(std::move(pad));
+  return profile;
+}
+
+Json CircuitProfile::ToJson() const {
+  Json root = Json::Object();
+  root.Set("schema", "zkml.circuit_profile/v1");
+  root.Set("k", static_cast<uint64_t>(k));
+  root.Set("num_columns", static_cast<uint64_t>(num_columns));
+  root.Set("total_rows", total_rows);
+  root.Set("gadget_rows", gadget_rows);
+  root.Set("total_cells", total_cells);
+  root.Set("total_lookups", total_lookups);
+  root.Set("table_rows", table_rows);
+  root.Set("constant_rows", constant_rows);
+  root.Set("instance_rows", instance_rows);
+  Json arr = Json::Array();
+  for (const LayerProfile& lp : layers) {
+    Json j = Json::Object();
+    j.Set("op_index", lp.op_index);
+    j.Set("name", lp.name);
+    j.Set("rows", lp.rows);
+    j.Set("cells", lp.cells);
+    j.Set("lookups", lp.lookups);
+    arr.Append(std::move(j));
+  }
+  root.Set("layers", std::move(arr));
+  return root;
+}
+
+std::string CircuitProfile::ToTable() const {
+  size_t name_w = 5;  // "layer"
+  for (const LayerProfile& lp : layers) {
+    name_w = std::max(name_w, lp.name.size());
+  }
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%4s  %-*s  %10s  %12s  %10s\n", "#",
+                static_cast<int>(name_w), "layer", "rows", "cells", "lookups");
+  out += buf;
+  out += std::string(static_cast<size_t>(4 + 2 + name_w + 2 + 10 + 2 + 12 + 2 + 10), '-');
+  out.push_back('\n');
+  for (const LayerProfile& lp : layers) {
+    std::string idx = lp.op_index >= 0 ? std::to_string(lp.op_index) : "";
+    std::snprintf(buf, sizeof(buf), "%4s  %-*s  %10llu  %12llu  %10llu\n", idx.c_str(),
+                  static_cast<int>(name_w), lp.name.c_str(),
+                  static_cast<unsigned long long>(lp.rows),
+                  static_cast<unsigned long long>(lp.cells),
+                  static_cast<unsigned long long>(lp.lookups));
+    out += buf;
+  }
+  out += std::string(static_cast<size_t>(4 + 2 + name_w + 2 + 10 + 2 + 12 + 2 + 10), '-');
+  out.push_back('\n');
+  std::snprintf(buf, sizeof(buf), "%4s  %-*s  %10llu  %12llu  %10llu\n", "",
+                static_cast<int>(name_w), "total", static_cast<unsigned long long>(total_rows),
+                static_cast<unsigned long long>(total_cells),
+                static_cast<unsigned long long>(total_lookups));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "grid: k=%d (2^k = %llu rows) x %d io columns; parallel columns: "
+                "%llu table rows, %llu constant rows, %llu instance rows\n",
+                k, static_cast<unsigned long long>(total_rows), num_columns,
+                static_cast<unsigned long long>(table_rows),
+                static_cast<unsigned long long>(constant_rows),
+                static_cast<unsigned long long>(instance_rows));
+  out += buf;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace zkml

@@ -1,0 +1,59 @@
+// Circuit-resource profiler (the paper's Table-10-style accounting): re-runs
+// the row-exact lowering in estimate mode at a chosen layout and attributes
+// rows, cells, and lookup applications to each model op. The per-layer rows
+// plus the final padding entry sum exactly to the 2^k grid; lookup tables,
+// constants, and instance values occupy parallel fixed/instance columns and
+// are reported separately.
+//
+// Lives in its own library (zkml_obs_profile) because it depends on the
+// compiler, which transitively depends on plonk — which itself links the
+// core obs tracing library.
+#ifndef SRC_OBS_CIRCUIT_PROFILE_H_
+#define SRC_OBS_CIRCUIT_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/compiler/compiler.h"
+#include "src/model/graph.h"
+#include "src/obs/json.h"
+
+namespace zkml {
+namespace obs {
+
+struct LayerProfile {
+  int64_t op_index = -1;  // -1 for synthetic entries (public-io, padding)
+  std::string name;       // OpTypeName, "(public-io)", or "(padding)"
+  uint64_t rows = 0;      // gadget rows consumed by this layer
+  uint64_t cells = 0;     // grid cells written (advice + constant + instance)
+  uint64_t lookups = 0;   // lookup applications (range checks + nonlin tables)
+};
+
+struct CircuitProfile {
+  int k = 0;
+  int num_columns = 0;
+  uint64_t total_rows = 0;   // 2^k; equals the sum of layers[].rows
+  uint64_t gadget_rows = 0;  // rows consumed by real layers
+  uint64_t total_cells = 0;
+  uint64_t total_lookups = 0;
+
+  // Parallel-column occupancy (not part of the row sum).
+  uint64_t table_rows = 0;
+  uint64_t constant_rows = 0;
+  uint64_t instance_rows = 0;
+
+  std::vector<LayerProfile> layers;  // ops in order, then (public-io), (padding)
+
+  Json ToJson() const;        // schema "zkml.circuit_profile/v1"
+  std::string ToTable() const;  // aligned human-readable table
+};
+
+// Profiles `model` at `layout` (as produced by SimulateLayout /
+// CompileModel). Deterministic: runs on a zero input in estimate mode.
+CircuitProfile ProfileCircuit(const Model& model, const PhysicalLayout& layout);
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_CIRCUIT_PROFILE_H_

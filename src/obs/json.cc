@@ -1,0 +1,385 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zkml {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN; telemetry prefers null to invalid output
+    return;
+  }
+  // Integers within the exactly-representable range print without a decimal
+  // point so counters stay readable and round-trip as the same token.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<Json> Parse() {
+    ZKML_ASSIGN_OR_RETURN(Json v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return ParseError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Err("nesting too deep");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Err("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        ZKML_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json(nullptr));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<Json> ParseLiteral(std::string_view lit, Json value) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Err("invalid literal");
+    }
+    pos_ += lit.size();
+    return value;
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Err("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Err("invalid number '" + token + "'");
+    }
+    return Json(d);
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Err("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Err("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (telemetry strings are ASCII in
+            // practice; surrogate pairs are passed through as-is).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    Consume('[');
+    Json arr = Json::Array();
+    SkipWs();
+    if (Consume(']')) {
+      return arr;
+    }
+    for (;;) {
+      ZKML_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        return Err("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    Consume('{');
+    Json obj = Json::Object();
+    SkipWs();
+    if (Consume('}')) {
+      return obj;
+    }
+    for (;;) {
+      SkipWs();
+      ZKML_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) {
+        return Err("expected ':' after object key");
+      }
+      ZKML_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        return Err("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+const Json* Json::At(size_t index) const {
+  if (!is_array() || index >= items_.size()) {
+    return nullptr;
+  }
+  return &items_[index];
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad = pretty ? "\n" + std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                                 : "";
+  const std::string close_pad =
+      pretty ? "\n" + std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, num_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, str_);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : items_) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        out += pad;
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) {
+        out += close_pad;
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        out += pad;
+        AppendEscaped(out, k);
+        out += pretty ? ": " : ":";
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) {
+        out += close_pad;
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0, 0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(out, 2, 0);
+  out.push_back('\n');
+  return out;
+}
+
+StatusOr<Json> Json::Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace obs
+}  // namespace zkml

@@ -1,0 +1,105 @@
+// Minimal JSON value, serializer, and recursive-descent parser. Only the
+// subset the telemetry layer needs: objects, arrays, strings, doubles,
+// booleans, null. Object key order is preserved so emitted reports are stable
+// and diffable.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace zkml {
+namespace obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT(runtime/explicit)
+  Json(int v) : type_(Type::kNumber), num_(v) {}  // NOLINT(runtime/explicit)
+  Json(int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT(runtime/explicit)
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT(runtime/explicit)
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  uint64_t AsUint() const { return static_cast<uint64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+  size_t size() const { return is_object() ? members_.size() : items_.size(); }
+
+  void Append(Json v) {
+    type_ = Type::kArray;
+    items_.push_back(std::move(v));
+  }
+  void Set(std::string key, Json v) {
+    type_ = Type::kObject;
+    for (auto& [k, existing] : members_) {
+      if (k == key) {
+        existing = std::move(v);
+        return;
+      }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  // Null when absent or when this value is not an object/array.
+  const Json* Find(std::string_view key) const;
+  const Json* At(size_t index) const;
+
+  // Compact single-line serialization; `DumpPretty` indents with two spaces.
+  std::string Dump() const;
+  std::string DumpPretty() const;
+
+  // Strict parser: rejects trailing input, unterminated literals, and bad
+  // escapes with a ParseError describing the offset.
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_JSON_H_

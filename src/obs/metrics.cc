@@ -1,0 +1,149 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+namespace zkml {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bucket_bounds) : bounds_(std::move(bucket_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(double v) {
+  size_t bucket = bounds_.size();  // overflow
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // atomic<double> has no fetch_add pre-C++20; CAS loop keeps the sum exact
+  // under concurrent recording.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot.reset(new Counter());
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot.reset(new Gauge());
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot.reset(new Histogram(std::move(bucket_bounds)));
+  }
+  return *slot;
+}
+
+Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, c->Value());
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, g->Value());
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json hj = Json::Object();
+    Json bounds = Json::Array();
+    for (double b : h->bucket_bounds()) {
+      bounds.Append(b);
+    }
+    Json counts = Json::Array();
+    for (uint64_t c : h->BucketCounts()) {
+      counts.Append(c);
+    }
+    hj.Set("bucket_bounds", std::move(bounds));
+    hj.Set("bucket_counts", std::move(counts));
+    hj.Set("count", h->Count());
+    hj.Set("sum", h->Sum());
+    histograms.Set(name, std::move(hj));
+  }
+  Json root = Json::Object();
+  root.Set("schema", "zkml.metrics/v1");
+  root.Set("counters", std::move(counters));
+  root.Set("gauges", std::move(gauges));
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return IoError("cannot open metrics output file: " + path);
+  }
+  out << ToJson().DumpPretty();
+  if (!out) {
+    return IoError("failed writing metrics output file: " + path);
+  }
+  return Status::Ok();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void PublishThreadPoolStats(MetricsRegistry& registry, const ThreadPool& pool) {
+  const ThreadPoolStats stats = pool.Stats();
+  registry.gauge("threadpool.num_workers").Set(static_cast<double>(pool.num_threads()));
+  registry.gauge("threadpool.tasks_executed").Set(static_cast<double>(stats.tasks_executed));
+  registry.gauge("threadpool.total_task_seconds").Set(static_cast<double>(stats.total_task_ns) / 1e9);
+  registry.gauge("threadpool.uptime_seconds").Set(static_cast<double>(stats.uptime_ns) / 1e9);
+  Histogram& busy = registry.histogram(
+      "threadpool.worker_busy_fraction",
+      {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  double mean = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < stats.workers.size(); ++i) {
+    // Skip the trailing helper slot: borrowed threads have no busy fraction.
+    if (i + 1 == stats.workers.size()) {
+      registry.gauge("threadpool.helper_tasks").Set(static_cast<double>(stats.workers[i].tasks));
+      break;
+    }
+    busy.Record(stats.workers[i].busy_fraction);
+    mean += stats.workers[i].busy_fraction;
+    ++n;
+  }
+  registry.gauge("threadpool.mean_busy_fraction").Set(n > 0 ? mean / static_cast<double>(n) : 0.0);
+}
+
+}  // namespace obs
+}  // namespace zkml

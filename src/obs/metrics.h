@@ -1,0 +1,99 @@
+// Named-metric registry: counters, gauges, and fixed-bucket histograms.
+// Registration (name lookup) takes a mutex; recording is lock-free relaxed
+// atomics, safe from pool workers. Instrumented hot paths should cache the
+// reference:
+//
+//   static Counter& plans = MetricsRegistry::Global().counter("optimizer.plans_evaluated");
+//   plans.Increment();
+//
+// The registry serializes to JSON (schema "zkml.metrics/v1") for
+// `zkml_cli --metrics=<file>` and the bench harness.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/thread_pool.h"
+#include "src/obs/json.h"
+
+namespace zkml {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed upper-bound buckets plus an implicit overflow bucket; tracks count
+// and sum so mean and rough quantiles are recoverable.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Record(double v);
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  // counts.size() == bucket_bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create; returned references remain valid for the registry's
+  // lifetime. Requesting an existing histogram ignores `bucket_bounds`.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bucket_bounds);
+
+  Json ToJson() const;  // schema "zkml.metrics/v1"
+  Status WriteFile(const std::string& path) const;
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Publishes `pool` utilization (tasks executed, total task time, per-worker
+// busy fractions) into `registry` under the "threadpool." prefix.
+void PublishThreadPoolStats(MetricsRegistry& registry, const ThreadPool& pool);
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace zkml {
+namespace obs {
+
+uint64_t ReadRssHighWaterKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;  // NOLINT(runtime/int): sscanf format
+      if (std::sscanf(line + 6, "%llu", &v) == 1) {
+        kb = v;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+std::vector<SpanRecord> Tracer::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t Tracer::ThreadIndex(std::thread::id tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = thread_index_.emplace(tid, thread_index_.size());
+  (void)inserted;
+  return it->second;
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+namespace {
+
+Json KernelsToJson(const KernelCounters& k) {
+  Json j = Json::Object();
+  j.Set("fft_calls", k.fft_calls);
+  j.Set("fft_points", k.fft_points);
+  j.Set("msm_calls", k.msm_calls);
+  j.Set("msm_points", k.msm_points);
+  return j;
+}
+
+}  // namespace
+
+Json Tracer::ToChromeTraceJson() const {
+  Json events = Json::Array();
+  for (const SpanRecord& r : Records()) {
+    Json ev = Json::Object();
+    ev.Set("name", r.name);
+    ev.Set("cat", "zkml");
+    ev.Set("ph", "X");
+    ev.Set("ts", static_cast<double>(r.start_ns) / 1e3);  // microseconds
+    ev.Set("dur", static_cast<double>(r.dur_ns) / 1e3);
+    ev.Set("pid", 1);
+    ev.Set("tid", r.thread);
+    Json args = Json::Object();
+    args.Set("span_id", r.id);
+    args.Set("parent_id", r.parent);
+    args.Set("fft_calls", r.kernels.fft_calls);
+    args.Set("fft_points", r.kernels.fft_points);
+    args.Set("msm_calls", r.kernels.msm_calls);
+    args.Set("msm_points", r.kernels.msm_points);
+    args.Set("rss_hwm_kb", r.rss_hwm_kb);
+    ev.Set("args", std::move(args));
+    events.Append(std::move(ev));
+  }
+  Json root = Json::Object();
+  root.Set("displayTimeUnit", "ms");
+  root.Set("traceEvents", std::move(events));
+  return root;
+}
+
+Json Tracer::ToReportJson() const {
+  Json spans = Json::Array();
+  for (const SpanRecord& r : Records()) {
+    Json s = Json::Object();
+    s.Set("id", r.id);
+    s.Set("parent", r.parent);
+    s.Set("name", r.name);
+    s.Set("thread", r.thread);
+    s.Set("start_us", static_cast<double>(r.start_ns) / 1e3);
+    s.Set("dur_us", static_cast<double>(r.dur_ns) / 1e3);
+    s.Set("kernels", KernelsToJson(r.kernels));
+    s.Set("rss_hwm_kb", r.rss_hwm_kb);
+    spans.Append(std::move(s));
+  }
+  Json root = Json::Object();
+  root.Set("schema", "zkml.trace/v1");
+  root.Set("spans", std::move(spans));
+  return root;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return IoError("cannot open trace output file: " + path);
+  }
+  out << ToChromeTraceJson().DumpPretty();
+  if (!out) {
+    return IoError("failed writing trace output file: " + path);
+  }
+  return Status::Ok();
+}
+
+Span::Span(std::string name) {
+  TaskContext ctx = GetTaskContext();
+  tracer_ = static_cast<Tracer*>(ctx.trace_context);
+  if (tracer_ == nullptr) {
+    return;  // tracing disabled: stay inert
+  }
+  name_ = std::move(name);
+  id_ = tracer_->AllocateId();
+  parent_ = ctx.trace_parent;
+  thread_ = tracer_->ThreadIndex(std::this_thread::get_id());
+  saved_ = ctx;
+  ctx.trace_parent = id_;
+  SetTaskContext(ctx);
+  start_kernels_ = tracer_->sink().Capture();
+  start_ns_ = tracer_->NowNs();
+  active_ = true;
+}
+
+void Span::End() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  SpanRecord r;
+  r.id = id_;
+  r.parent = parent_;
+  r.name = std::move(name_);
+  r.thread = thread_;
+  r.start_ns = start_ns_;
+  r.dur_ns = tracer_->NowNs() - start_ns_;
+  r.kernels = tracer_->sink().Capture() - start_kernels_;
+  r.rss_hwm_kb = ReadRssHighWaterKb();
+  tracer_->Record(std::move(r));
+  SetTaskContext(saved_);
+}
+
+}  // namespace obs
+}  // namespace zkml

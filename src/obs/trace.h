@@ -1,0 +1,149 @@
+// Hierarchical span-based tracing. A Tracer collects SpanRecords; Spans are
+// RAII and nest through the thread-local TaskContext, which the ThreadPool
+// propagates, so spans opened on pool workers attribute to the submitting
+// activity. Each span captures the delta of the tracer's kernel-counter sink
+// (FFT/MSM calls + points) and the process allocation high-water mark at the
+// moment it ends.
+//
+// Spans are cheap no-ops when no tracer is installed: instrumented code can
+// open spans unconditionally.
+//
+// Export formats:
+//   * Chrome/Perfetto trace-event JSON ("X" complete events, ts/dur in
+//     microseconds) — load in chrome://tracing or https://ui.perfetto.dev.
+//   * Compact report JSON (schema "zkml.trace/v1") with explicit parent ids,
+//     consumed by the run-report machinery and tests.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/kernel_stats.h"
+#include "src/base/status.h"
+#include "src/base/task_context.h"
+#include "src/obs/json.h"
+
+namespace zkml {
+namespace obs {
+
+struct SpanRecord {
+  int64_t id = -1;
+  int64_t parent = -1;  // -1 for root spans
+  std::string name;
+  uint64_t thread = 0;  // small tracer-local index, 0 = first thread seen
+  uint64_t start_ns = 0;  // relative to the tracer's construction
+  uint64_t dur_ns = 0;
+  KernelCounters kernels;  // kernel work attributed while the span was open
+  uint64_t rss_hwm_kb = 0;  // process VmHWM at span end (0 if unavailable)
+};
+
+// Process allocation high-water mark (VmHWM) in kB; 0 when /proc is
+// unavailable.
+uint64_t ReadRssHighWaterKb();
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // The sink credited with kernel work while this tracer's scope is
+  // installed.
+  KernelSink& sink() { return sink_; }
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - epoch_)
+                                     .count());
+  }
+
+  // Snapshot of all completed spans, in completion order.
+  std::vector<SpanRecord> Records() const;
+
+  Json ToChromeTraceJson() const;
+  Json ToReportJson() const;  // schema "zkml.trace/v1"
+
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend class Span;
+
+  int64_t AllocateId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t ThreadIndex(std::thread::id tid);
+  void Record(SpanRecord record);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  KernelSink sink_;
+  std::atomic<int64_t> next_id_{0};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::unordered_map<std::thread::id, uint64_t> thread_index_;
+};
+
+// Installs `tracer` (may be null: no-op) as the calling thread's active trace
+// and kernel sink for the scope's lifetime. The ThreadPool extends the
+// installation to tasks submitted from inside the scope.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer* tracer) : prev_(GetTaskContext()) {
+    TaskContext ctx = prev_;
+    if (tracer != nullptr) {
+      ctx.kernel_sink = &tracer->sink();
+      ctx.trace_context = tracer;
+      ctx.trace_parent = -1;
+    }
+    SetTaskContext(ctx);
+  }
+  ~TracerScope() { SetTaskContext(prev_); }
+
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  TaskContext prev_;
+};
+
+// The tracer installed on the calling thread, if any.
+inline Tracer* CurrentTracer() { return static_cast<Tracer*>(GetTaskContext().trace_context); }
+
+// RAII span. Construction opens it under the innermost open span on this
+// thread (becoming the new innermost); End()/destruction closes it and
+// records the kernel-counter delta. Spans on one thread must close in LIFO
+// order — guaranteed by scoping, required when calling End() manually.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void End();
+
+  bool active() const { return active_; }
+  int64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int64_t id_ = -1;
+  int64_t parent_ = -1;
+  std::string name_;
+  uint64_t thread_ = 0;
+  uint64_t start_ns_ = 0;
+  KernelCounters start_kernels_;
+  TaskContext saved_;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_TRACE_H_

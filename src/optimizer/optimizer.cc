@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "src/base/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace zkml {
 namespace {
@@ -53,6 +55,12 @@ double Score(const RankedLayout& r, OptimizerOptions::Objective objective) {
 
 OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
                                const OptimizerOptions& options) {
+  obs::Span search_span("optimizer-search");
+  static obs::Counter& plans_counter =
+      obs::MetricsRegistry::Global().counter("optimizer.plans_evaluated");
+  static obs::Counter& searches_counter =
+      obs::MetricsRegistry::Global().counter("optimizer.searches");
+  searches_counter.Increment();
   Timer timer;
   OptimizerResult result;
   double best_score = std::numeric_limits<double>::infinity();
@@ -61,6 +69,7 @@ OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
                       const std::vector<ImplChoice>* per_op) -> double {
     PhysicalLayout layout = SimulateLayout(model, gs, n_cols, per_op);
     ++result.plans_evaluated;
+    plans_counter.Increment();
     if (layout.k > options.max_k) {
       return std::numeric_limits<double>::infinity();
     }
@@ -86,6 +95,7 @@ OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
                                   gs.relu_bits ? model.quant.table_bits + 2 : 0);
       k_floor = SimulateLayout(model, gs, widest, nullptr).k;
       ++result.plans_evaluated;
+      plans_counter.Increment();
     }
     int rising_streak = 0;
     double prev_score = std::numeric_limits<double>::infinity();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
 
 namespace zkml {
@@ -30,11 +32,16 @@ IpaSetup IpaSetup::Create(size_t max_len, uint64_t seed) {
 
 PcsCommitment IpaPcs::Commit(const std::vector<Fr>& coeffs) const {
   ZKML_CHECK_MSG(coeffs.size() <= setup_->g.size(), "polynomial exceeds IPA setup");
+  static obs::Counter& commits = obs::MetricsRegistry::Global().counter("pcs.ipa.commits");
+  commits.Increment();
   return PcsCommitment{Msm(setup_->g.data(), coeffs.data(), coeffs.size()).ToAffine()};
 }
 
 void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
                        Transcript* transcript, std::vector<uint8_t>* proof_out) const {
+  obs::Span span("ipa-open-batch");
+  static obs::Counter& opens = obs::MetricsRegistry::Global().counter("pcs.ipa.open_batches");
+  opens.Increment();
   ZKML_CHECK(!polys.empty());
   const Fr v = transcript->ChallengeFr("ipa-batch-v");
   size_t max_size = 1;
@@ -102,6 +109,9 @@ void IpaPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
 Status IpaPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
                            const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
                            const std::vector<uint8_t>& proof, size_t* offset) const {
+  obs::Span span("ipa-verify-batch");
+  static obs::Counter& verifies = obs::MetricsRegistry::Global().counter("pcs.ipa.verify_batches");
+  verifies.Increment();
   if (commitments.size() != evals.size()) {
     return InvalidArgumentError("ipa: " + std::to_string(commitments.size()) +
                                 " commitments but " + std::to_string(evals.size()) +

@@ -2,6 +2,8 @@
 
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
 #include "src/poly/polynomial.h"
 
@@ -31,11 +33,16 @@ KzgSetup KzgSetup::Create(size_t max_len, uint64_t seed) {
 
 PcsCommitment KzgPcs::Commit(const std::vector<Fr>& coeffs) const {
   ZKML_CHECK_MSG(coeffs.size() <= setup_->powers.size(), "polynomial exceeds KZG setup");
+  static obs::Counter& commits = obs::MetricsRegistry::Global().counter("pcs.kzg.commits");
+  commits.Increment();
   return PcsCommitment{Msm(setup_->powers.data(), coeffs.data(), coeffs.size()).ToAffine()};
 }
 
 void KzgPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
                        Transcript* transcript, std::vector<uint8_t>* proof_out) const {
+  obs::Span span("kzg-open-batch");
+  static obs::Counter& opens = obs::MetricsRegistry::Global().counter("pcs.kzg.open_batches");
+  opens.Increment();
   ZKML_CHECK(!polys.empty());
   const Fr v = transcript->ChallengeFr("kzg-batch-v");
   size_t max_size = 0;
@@ -61,6 +68,9 @@ void KzgPcs::OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const F
 Status KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
                            const std::vector<Fr>& evals, const Fr& point, Transcript* transcript,
                            const std::vector<uint8_t>& proof, size_t* offset) const {
+  obs::Span span("kzg-verify-batch");
+  static obs::Counter& verifies = obs::MetricsRegistry::Global().counter("pcs.kzg.verify_batches");
+  verifies.Increment();
   if (commitments.size() != evals.size()) {
     return InvalidArgumentError("kzg: " + std::to_string(commitments.size()) +
                                 " commitments but " + std::to_string(evals.size()) +

@@ -2,9 +2,12 @@
 
 #include <map>
 #include <numeric>
+#include <optional>
 
 #include "src/base/check.h"
+#include "src/base/kernel_stats.h"
 #include "src/base/thread_pool.h"
+#include "src/obs/trace.h"
 
 namespace zkml {
 namespace {
@@ -57,6 +60,18 @@ class PermutationBuilder {
 
 ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, const Pcs& pcs,
                   int k) {
+  // Keygen is its own kernel-attribution activity when none is installed
+  // (mirrors CreateProof), so concurrent keygens don't pollute each other's
+  // deltas.
+  KernelSink local_sink;
+  std::optional<kernelstats::ScopedSink> sink_scope;
+  if (kernelstats::CurrentSink() == nullptr) {
+    sink_scope.emplace(&local_sink);
+  }
+  obs::Span keygen_span("keygen");
+  std::optional<obs::Span> section;
+  section.emplace("keygen-fixed-commit");
+
   const size_t n = static_cast<size_t>(1) << k;
   ZKML_CHECK_MSG(assignment.num_rows() == n, "assignment rows must equal 2^k");
 
@@ -76,6 +91,7 @@ ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, cons
   }
 
   // Permutation sigmas.
+  section.emplace("keygen-sigmas");
   const std::vector<Column>& perm_cols = pk.vk.perm_columns;
   std::map<Column, size_t> col_index;
   for (size_t i = 0; i < perm_cols.size(); ++i) {
@@ -112,6 +128,7 @@ ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, cons
   }
 
   // l_0 and l_{n-1}: interpolations of the indicator vectors.
+  section.emplace("keygen-lagrange");
   std::vector<Fr> e0(n, Fr::Zero());
   e0[0] = Fr::One();
   pk.l0_coeffs = pk.domain->IfftToCoeffs(e0);

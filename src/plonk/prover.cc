@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "src/base/thread_pool.h"
 #include "src/base/timer.h"
 #include "src/ff/fr_key.h"
+#include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
 #include "src/poly/polynomial.h"
 #include "src/transcript/transcript.h"
@@ -37,36 +39,53 @@ std::string HumanCount(uint64_t v) {
   return buf;
 }
 
-// Records one ProverStageMetrics entry per Next() call: wall time since the
-// previous boundary plus the kernel-counter delta over the same interval.
+// One entry per prover round, recorded two ways at once: a ProverStageMetrics
+// entry (wall time + activity-scoped kernel delta) and an obs::Span, so the
+// round shows up as a nested stage in --trace output with the same counters.
+// Begin(name) closes the previous round and opens the next; the destructor
+// closes the last one.
 class StageRecorder {
  public:
   explicit StageRecorder(ProverMetrics* metrics) : metrics_(metrics) {
     if (metrics_ != nullptr) {
       metrics_->stages.clear();
-      last_ = kernelstats::Capture();
+      metrics_->total_seconds = 0.0;
     }
   }
 
-  void Next(const char* name) {
-    if (metrics_ == nullptr) {
+  ~StageRecorder() { Close(); }
+
+  void Begin(const char* name) {
+    Close();
+    name_ = name;
+    last_ = kernelstats::CaptureScoped();
+    timer_.Reset();
+    span_.emplace(name);
+  }
+
+  void Close() {
+    if (name_ == nullptr) {
       return;
     }
-    const KernelCounters now = kernelstats::Capture();
-    ProverStageMetrics stage;
-    stage.name = name;
-    stage.seconds = timer_.ElapsedSeconds();
-    stage.kernels = now - last_;
-    metrics_->total_seconds += stage.seconds;
-    metrics_->stages.push_back(std::move(stage));
-    last_ = now;
-    timer_.Reset();
+    span_.reset();  // ends the stage span before sampling the counters
+    const KernelCounters now = kernelstats::CaptureScoped();
+    if (metrics_ != nullptr) {
+      ProverStageMetrics stage;
+      stage.name = name_;
+      stage.seconds = timer_.ElapsedSeconds();
+      stage.kernels = now - last_;
+      metrics_->total_seconds += stage.seconds;
+      metrics_->stages.push_back(std::move(stage));
+    }
+    name_ = nullptr;
   }
 
  private:
   ProverMetrics* metrics_;
+  const char* name_ = nullptr;
   Timer timer_;
   KernelCounters last_;
+  std::optional<obs::Span> span_;
 };
 
 }  // namespace
@@ -88,7 +107,17 @@ std::string ProverMetrics::Summary() const {
 
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                                  const Assignment& assignment, ProverMetrics* metrics) {
+  // Per-activity kernel attribution: when no sink is installed (no tracer, no
+  // enclosing activity), install a local one so per-stage deltas stay correct
+  // even with concurrent provers in one process.
+  KernelSink local_sink;
+  std::optional<kernelstats::ScopedSink> sink_scope;
+  if (kernelstats::CurrentSink() == nullptr) {
+    sink_scope.emplace(&local_sink);
+  }
+  obs::Span prove_span("prove");
   StageRecorder stages(metrics);
+  stages.Begin("advice-commit");
   const ConstraintSystem& cs = pk.vk.cs;
   const EvaluationDomain& dom = *pk.domain;
   const size_t n = dom.size();
@@ -136,7 +165,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("advice", advice_comms[i].point);
     ProofAppendPoint(&proof, advice_comms[i].point);
   }
-  stages.Next("advice-commit");
+  stages.Begin("lookup-mult");
 
   const Fr theta = transcript.ChallengeFr("theta");
 
@@ -187,7 +216,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("lookup-m", m_comms[l].point);
     ProofAppendPoint(&proof, m_comms[l].point);
   }
-  stages.Next("lookup-mult");
+  stages.Begin("lookup-perm-commit");
 
   const Fr beta = transcript.ChallengeFr("beta");
   const Fr gamma = transcript.ChallengeFr("gamma");
@@ -275,7 +304,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("perm-z", z_comms[c].point);
     ProofAppendPoint(&proof, z_comms[c].point);
   }
-  stages.Next("lookup-perm-commit");
+  stages.Begin("quotient");
 
   const Fr y = transcript.ChallengeFr("y");
 
@@ -450,7 +479,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("quotient", q_comms[i].point);
     ProofAppendPoint(&proof, q_comms[i].point);
   }
-  stages.Next("quotient");
+  stages.Begin("evals");
 
   const Fr x = transcript.ChallengeFr("x");
 
@@ -508,7 +537,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendFr("eval", evals[e]);
     ProofAppendFr(&proof, evals[e]);
   }
-  stages.Next("evals");
+  stages.Begin("openings");
 
   // --- Round 6: openings grouped by rotation (ascending). ---
   std::set<int32_t> rotations;
@@ -524,7 +553,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     }
     pcs.OpenBatch(polys, rot_point(rot), &transcript, &proof);
   }
-  stages.Next("openings");
+  stages.Close();
 
   return proof;
 }

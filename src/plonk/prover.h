@@ -39,8 +39,11 @@ struct ProverMetrics {
 // Creates a proof for the assignment (advice + instance) under `pk`. Aborts
 // (ZKML_CHECK) if the witness does not satisfy the circuit — run MockProver
 // first when debugging. If `metrics` is non-null, fills it with a per-stage
-// wall-time and kernel-op breakdown (valid for one proof at a time; the
-// kernel counters are process-global).
+// wall-time and kernel-op breakdown. Kernel counters are scoped to this
+// call's activity (a local KernelSink is installed unless the caller already
+// installed one), so concurrent proofs report independent deltas. Each stage
+// also opens an obs::Span, nested under the caller's span when a tracer is
+// installed.
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                                  const Assignment& assignment,
                                  ProverMetrics* metrics = nullptr);

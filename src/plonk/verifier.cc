@@ -1,8 +1,10 @@
 #include "src/plonk/verifier.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
+#include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
 #include "src/poly/domain.h"
 #include "src/transcript/transcript.h"
@@ -45,6 +47,12 @@ std::string VerifyResult::ToString() const {
 VerifyResult VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
                          const std::vector<std::vector<Fr>>& instance_columns,
                          const std::vector<uint8_t>& proof) {
+  obs::Span verify_span("verify");
+  // Stage sub-spans; emplace() ends the previous one (LIFO within
+  // verify_span), early rejects unwind both via RAII.
+  std::optional<obs::Span> section;
+  section.emplace("verify-read-proof");
+
   const ConstraintSystem& cs = vk.cs;
   if (instance_columns.size() != cs.num_instance_columns()) {
     return VerifyResult::Rejected(
@@ -234,6 +242,7 @@ VerifyResult VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
   };
 
   // --- Reconstruct the constraint identity at x. ---
+  section.emplace("vanishing-check");
   const Fr l0_x = dom.EvaluateLagrange(0, x);
   const Fr llast_x = dom.EvaluateLagrange(n - 1, x);
   const Fr lactive_x = Fr::One() - llast_x;
@@ -305,6 +314,7 @@ VerifyResult VerifyProof(const VerifyingKey& vk, const Pcs& pcs,
   }
 
   // --- PCS opening checks, grouped by rotation as the prover did. ---
+  section.emplace("pcs-openings");
   std::set<int32_t> rotations;
   for (const OpenEntry& e : entries) {
     rotations.insert(e.rotation);

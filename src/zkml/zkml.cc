@@ -2,6 +2,8 @@
 
 #include "src/base/check.h"
 #include "src/base/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/plonk/prover.h"
 #include "src/plonk/verifier.h"
 
@@ -16,11 +18,17 @@ std::shared_ptr<Pcs> MakePcsBackend(PcsKind kind, size_t max_len, uint64_t seed)
 
 CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& layout,
                                      const ZkmlOptions& options) {
+  obs::Span compile_span("compile");
   CompiledModel compiled;
   compiled.model = model;
   compiled.layout = layout;
   compiled.predicted_cost =
       EstimateProvingCost(layout, HardwareProfile::Cached(), options.backend);
+  // Honesty check: the cost model's prediction sits next to the measured
+  // prove time (see Prove) in the metrics registry.
+  obs::MetricsRegistry::Global()
+      .gauge("optimizer.predicted_prove_seconds")
+      .Set(compiled.predicted_cost.total_seconds);
 
   const size_t n = static_cast<size_t>(1) << layout.k;
   compiled.pcs = MakePcsBackend(options.backend, n, options.setup_seed);
@@ -29,7 +37,10 @@ CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& l
   // Keygen runs on the zero-input circuit: fixed columns and copy constraints
   // are input-independent (the graph has no data-dependent control flow).
   Tensor<int64_t> zero(model.input_shape);
-  BuiltCircuit built = BuildCircuit(model, layout, zero);
+  BuiltCircuit built = [&] {
+    obs::Span build_span("compile-build-circuit");
+    return BuildCircuit(model, layout, zero);
+  }();
   compiled.pk = Keygen(built.builder->cs(), built.builder->assignment(), *compiled.pcs, layout.k);
   // The instance layout is input-independent, so the zero-input build fixes
   // the statement length the verifier must insist on.
@@ -51,7 +62,10 @@ CompiledModel CompileModel(const Model& model, const ZkmlOptions& options) {
 ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
   ZkmlProof out;
   Timer witness_timer;
-  BuiltCircuit built = BuildCircuit(compiled.model, compiled.layout, input_q);
+  BuiltCircuit built = [&] {
+    obs::Span witness_span("witness-gen");
+    return BuildCircuit(compiled.model, compiled.layout, input_q);
+  }();
   out.witness_seconds = witness_timer.ElapsedSeconds();
   out.output_q = built.output_q;
 
@@ -62,6 +76,7 @@ ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
   Timer prove_timer;
   out.bytes = CreateProof(compiled.pk, *compiled.pcs, asn, &out.prover_metrics);
   out.prove_seconds = prove_timer.ElapsedSeconds();
+  obs::MetricsRegistry::Global().gauge("prover.measured_prove_seconds").Set(out.prove_seconds);
   return out;
 }
 
@@ -85,6 +100,29 @@ bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& insta
 
 bool Verify(const CompiledModel& compiled, const ZkmlProof& proof) {
   return Verify(compiled.pk.vk, *compiled.pcs, proof.instance, proof.bytes);
+}
+
+obs::RunReport BuildRunReport(const CompiledModel& compiled, const ZkmlProof& proof,
+                              double verify_seconds, const std::string& model_name) {
+  obs::RunReport report;
+  report.model = model_name.empty() ? compiled.model.name : model_name;
+  report.backend = dynamic_cast<const KzgPcs*>(compiled.pcs.get()) != nullptr ? "kzg" : "ipa";
+  report.k = static_cast<uint32_t>(compiled.layout.k);
+  report.num_columns = static_cast<uint32_t>(compiled.layout.num_columns);
+  report.rows_used = compiled.layout.rows_used;
+  report.num_lookups = compiled.layout.num_lookups;
+  report.predicted_prove_seconds = compiled.predicted_cost.total_seconds;
+  report.compile_seconds = compiled.optimizer_seconds + compiled.keygen_seconds;
+  report.keygen_seconds = compiled.keygen_seconds;
+  report.prove_seconds = proof.prove_seconds;
+  report.verify_seconds = verify_seconds;
+  report.proof_bytes = proof.bytes.size();
+  for (const ProverStageMetrics& stage : proof.prover_metrics.stages) {
+    report.stages.push_back({stage.name, stage.seconds, stage.kernels});
+    report.kernels = report.kernels + stage.kernels;
+  }
+  report.rss_hwm_kb = obs::ReadRssHighWaterKb();
+  return report;
 }
 
 }  // namespace zkml

@@ -6,10 +6,12 @@
 #define SRC_ZKML_ZKML_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/model/graph.h"
+#include "src/obs/run_report.h"
 #include "src/optimizer/optimizer.h"
 #include "src/pcs/ipa.h"
 #include "src/pcs/kzg.h"
@@ -73,6 +75,13 @@ bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& insta
 
 // Constructs the PCS backend used by CompileModel (exposed for benchmarks).
 std::shared_ptr<Pcs> MakePcsBackend(PcsKind kind, size_t max_len, uint64_t seed);
+
+// Assembles the machine-readable run report (schema "zkml.run_report/v1")
+// from a compile→prove(→verify) run. `verify_seconds` is 0 when the proof was
+// not verified in-process.
+obs::RunReport BuildRunReport(const CompiledModel& compiled, const ZkmlProof& proof,
+                              double verify_seconds = 0.0,
+                              const std::string& model_name = "");
 
 }  // namespace zkml
 

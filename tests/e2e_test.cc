@@ -2,8 +2,11 @@
 // under both commitment backends.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "src/layers/quant_executor.h"
 #include "src/model/zoo.h"
+#include "src/obs/metrics.h"
 #include "src/zkml/zkml.h"
 
 namespace zkml {
@@ -32,6 +35,19 @@ TEST_P(E2eTest, MnistProveVerify) {
   // The proven output equals the quantized reference execution.
   const Tensor<int64_t> expected = RunQuantized(model, input);
   EXPECT_EQ(proof.output_q.ToVector(), expected.ToVector());
+
+  // Optimizer honesty check: the cost model's prediction is published next to
+  // the measured prove time so estimator drift is visible in telemetry.
+  const double predicted =
+      obs::MetricsRegistry::Global().gauge("optimizer.predicted_prove_seconds").Value();
+  const double measured =
+      obs::MetricsRegistry::Global().gauge("prover.measured_prove_seconds").Value();
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_GT(measured, 0.0);
+  EXPECT_DOUBLE_EQ(predicted, compiled.predicted_cost.total_seconds);
+  EXPECT_DOUBLE_EQ(measured, proof.prove_seconds);
+  std::printf("cost-model honesty: predicted %.3fs, measured %.3fs (ratio %.2fx)\n", predicted,
+              measured, predicted / measured);
 }
 
 TEST_P(E2eTest, TamperedStatementRejected) {
