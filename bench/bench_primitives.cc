@@ -15,6 +15,9 @@
 #include "src/base/thread_pool.h"
 #include "src/ec/g1.h"
 #include "src/ff/fr_key.h"
+#include "src/pcs/kzg.h"
+#include "src/plonk/constraint_system.h"
+#include "src/plonk/quotient.h"
 #include "src/poly/domain.h"
 
 namespace zkml {
@@ -108,6 +111,295 @@ void BM_G1ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_G1ScalarMul)->Unit(benchmark::kMicrosecond);
 
+// --- Quotient evaluation: compiled calculation plans vs. legacy AST walk ---
+//
+// A representative mixed circuit (degree-3 gate, rotated gates, one two-column
+// lookup, multi-chunk permutation) evaluated over the extended coset with
+// random tables. The compiled path is what the prover now runs; the legacy
+// path reproduces the per-constraint Expression::EvaluateVector walk the
+// prover used before.
+struct QuotientBench {
+  ConstraintSystem cs;
+  Column inst, a, b, c, d, v, w;
+  Column sel, srot, slk, tbl_in, tbl_out;
+  std::vector<Column> perm_cols;
+
+  size_t n = 0, ext_n = 0, ext_factor = 0;
+  int ext_k = 0;
+  size_t num_chunks = 0;
+  int chunk_size = 0;
+
+  std::vector<std::vector<Fr>> fixed, advice, instance, sigma, z, m, h, s;
+  std::vector<Fr> l0, llast, coset_x, zh_inv, delta_pow;
+  Fr theta, beta, gamma, y;
+
+  explicit QuotientBench(int k) {
+    inst = cs.AddInstanceColumn();
+    a = cs.AddAdviceColumn(true);
+    b = cs.AddAdviceColumn(false);
+    c = cs.AddAdviceColumn(true);
+    d = cs.AddAdviceColumn(false);
+    v = cs.AddAdviceColumn(true);
+    w = cs.AddAdviceColumn(true);
+    sel = cs.AddFixedColumn();
+    srot = cs.AddFixedColumn();
+    slk = cs.AddFixedColumn();
+    tbl_in = cs.AddFixedColumn();
+    tbl_out = cs.AddFixedColumn();
+    Expression q = Expression::Query(sel);
+    Expression ea = Expression::Query(a);
+    Expression eb = Expression::Query(b);
+    Expression ec = Expression::Query(c);
+    cs.AddGate("mac", q * (ea * eb + ea - ec));
+    Expression ed = Expression::Query(d);
+    cs.AddGate("square-chain", Expression::Query(srot) * (Expression::Query(d, 1) - ed * ed));
+    Expression ql = Expression::Query(slk);
+    cs.AddLookup("cube", {ql * Expression::Query(v), ql * Expression::Query(w)},
+                 {tbl_in, tbl_out});
+    perm_cols = cs.PermutationColumns();
+
+    n = static_cast<size_t>(1) << k;
+    ext_k = cs.QuotientExtensionK();
+    ext_factor = static_cast<size_t>(1) << ext_k;
+    ext_n = n << ext_k;
+    num_chunks = cs.NumPermutationChunks();
+    chunk_size = cs.PermutationChunkSize();
+
+    Rng rng(20260806);
+    auto rand_table = [&](size_t count) {
+      std::vector<std::vector<Fr>> t(count, std::vector<Fr>(ext_n));
+      for (auto& col : t) {
+        for (Fr& x : col) {
+          x = Fr::Random(rng);
+        }
+      }
+      return t;
+    };
+    fixed = rand_table(cs.num_fixed_columns());
+    advice = rand_table(cs.num_advice_columns());
+    instance = rand_table(cs.num_instance_columns());
+    sigma = rand_table(perm_cols.size());
+    z = rand_table(num_chunks);
+    m = rand_table(1);
+    h = rand_table(1);
+    s = rand_table(1);
+    l0 = std::vector<Fr>(ext_n);
+    llast = std::vector<Fr>(ext_n);
+    coset_x = std::vector<Fr>(ext_n);
+    zh_inv = std::vector<Fr>(ext_n);
+    for (size_t j = 0; j < ext_n; ++j) {
+      l0[j] = Fr::Random(rng);
+      llast[j] = Fr::Random(rng);
+      coset_x[j] = Fr::Random(rng);
+      zh_inv[j] = Fr::Random(rng);
+    }
+    theta = Fr::Random(rng);
+    beta = Fr::Random(rng);
+    gamma = Fr::Random(rng);
+    y = Fr::Random(rng);
+    delta_pow.resize(perm_cols.size());
+    if (!perm_cols.empty()) {
+      delta_pow[0] = Fr::One();
+      for (size_t i = 1; i < perm_cols.size(); ++i) {
+        delta_pow[i] = delta_pow[i - 1] * FrDelta();
+      }
+    }
+  }
+
+  QuotientEvaluator::Tables Tables() const {
+    QuotientEvaluator::Tables t;
+    for (const auto& col : fixed) t.fixed.push_back(&col);
+    for (const auto& col : advice) t.advice.push_back(&col);
+    for (const auto& col : instance) t.instance.push_back(&col);
+    for (const auto& col : sigma) t.sigma.push_back(&col);
+    for (const auto& col : z) t.z.push_back(&col);
+    t.m.push_back(&m[0]);
+    t.h.push_back(&h[0]);
+    t.s.push_back(&s[0]);
+    t.l0 = &l0;
+    t.llast = &llast;
+    t.coset_x = &coset_x;
+    t.zh_inv = &zh_inv;
+    t.ext_n = ext_n;
+    t.ext_factor = ext_factor;
+    return t;
+  }
+
+  // The pre-compilation quotient numerator: per-constraint EvaluateVector
+  // walks plus full-width temporary vectors, as the prover used to run.
+  std::vector<Fr> EvaluateLegacy() const {
+    auto coset_resolve = [&](const ColumnQuery& cq, size_t j) -> Fr {
+      int64_t idx = static_cast<int64_t>(j) +
+                    static_cast<int64_t>(cq.rotation) * static_cast<int64_t>(ext_factor);
+      idx %= static_cast<int64_t>(ext_n);
+      if (idx < 0) {
+        idx += static_cast<int64_t>(ext_n);
+      }
+      const size_t jj = static_cast<size_t>(idx);
+      switch (cq.column.type) {
+        case ColumnType::kInstance:
+          return instance[cq.column.index][jj];
+        case ColumnType::kAdvice:
+          return advice[cq.column.index][jj];
+        case ColumnType::kFixed:
+          return fixed[cq.column.index][jj];
+      }
+      return Fr::Zero();
+    };
+    auto shifted = [&](const std::vector<Fr>& vec, size_t j) -> const Fr& {
+      return vec[(j + ext_factor) % ext_n];
+    };
+    std::vector<Fr> numerator(ext_n, Fr::Zero());
+    Fr y_pow = Fr::One();
+    auto add_constraint_vec = [&](const std::vector<Fr>& vals) {
+      for (size_t j = 0; j < ext_n; ++j) {
+        numerator[j] += vals[j] * y_pow;
+      }
+      y_pow *= y;
+    };
+    for (const Gate& gate : cs.gates()) {
+      add_constraint_vec(gate.poly.EvaluateVector(ext_n, coset_resolve));
+    }
+    for (size_t l = 0; l < cs.lookups().size(); ++l) {
+      const LookupArgument& lk = cs.lookups()[l];
+      std::vector<Fr> f_coset(ext_n, Fr::Zero());
+      std::vector<Fr> t_coset(ext_n, Fr::Zero());
+      Fr theta_j = Fr::One();
+      for (size_t jn = 0; jn < lk.inputs.size(); ++jn) {
+        std::vector<Fr> in = lk.inputs[jn].EvaluateVector(ext_n, coset_resolve);
+        const std::vector<Fr>& tab = fixed[lk.table[jn].index];
+        for (size_t j = 0; j < ext_n; ++j) {
+          f_coset[j] += in[j] * theta_j;
+          t_coset[j] += tab[j] * theta_j;
+        }
+        theta_j *= theta;
+      }
+      std::vector<Fr> c0(ext_n), c1(ext_n), c2(ext_n), c3(ext_n);
+      ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          const Fr bf = beta + f_coset[j];
+          const Fr bt = beta + t_coset[j];
+          c0[j] = bf * bt * h[l][j] - (bt - m[l][j] * bf);
+          c1[j] = l0[j] * s[l][j];
+          const Fr lactive = Fr::One() - llast[j];
+          c2[j] = lactive * (shifted(s[l], j) - s[l][j] - h[l][j]);
+          c3[j] = llast[j] * (s[l][j] + h[l][j]);
+        }
+      });
+      add_constraint_vec(c0);
+      add_constraint_vec(c1);
+      add_constraint_vec(c2);
+      add_constraint_vec(c3);
+    }
+    if (num_chunks > 0) {
+      std::vector<Fr> p0(ext_n);
+      for (size_t j = 0; j < ext_n; ++j) {
+        p0[j] = l0[j] * (z[0][j] - Fr::One());
+      }
+      add_constraint_vec(p0);
+      for (size_t ck = 0; ck < num_chunks; ++ck) {
+        const size_t col_begin = ck * static_cast<size_t>(chunk_size);
+        const size_t col_end = std::min(perm_cols.size(), col_begin + chunk_size);
+        std::vector<Fr> num(ext_n, Fr::One());
+        std::vector<Fr> den(ext_n, Fr::One());
+        ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+          for (size_t j = lo; j < hi; ++j) {
+            for (size_t i = col_begin; i < col_end; ++i) {
+              const Fr f = coset_resolve(ColumnQuery{perm_cols[i], 0}, j);
+              num[j] *= f + beta * delta_pow[i] * coset_x[j] + gamma;
+              den[j] *= f + beta * sigma[i][j] + gamma;
+            }
+          }
+        });
+        const size_t next = (ck + 1) % num_chunks;
+        std::vector<Fr> upd(ext_n), trans(ext_n);
+        ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+          for (size_t j = lo; j < hi; ++j) {
+            const Fr lactive = Fr::One() - llast[j];
+            upd[j] = lactive * (shifted(z[ck], j) * den[j] - z[ck][j] * num[j]);
+            trans[j] = llast[j] * (shifted(z[next], j) * den[j] - z[ck][j] * num[j]);
+          }
+        });
+        add_constraint_vec(upd);
+        add_constraint_vec(trans);
+      }
+    }
+    for (size_t j = 0; j < ext_n; ++j) {
+      numerator[j] *= zh_inv[j];
+    }
+    return numerator;
+  }
+};
+
+void BM_QuotientCompiled(benchmark::State& state) {
+  QuotientBench bench(static_cast<int>(state.range(0)));
+  const QuotientEvaluator qe(bench.cs, bench.perm_cols);
+  const QuotientEvaluator::Tables tables = bench.Tables();
+  QuotientEvaluator::Challenges ch;
+  ch.theta = bench.theta;
+  ch.beta = bench.beta;
+  ch.gamma = bench.gamma;
+  ch.y = bench.y;
+  ch.delta_pow = &bench.delta_pow;
+  std::vector<Fr> out;
+  for (auto _ : state) {
+    qe.Evaluate(tables, ch, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["size"] = static_cast<double>(bench.n);
+}
+BENCHMARK(BM_QuotientCompiled)->DenseRange(12, 16, 2)->Unit(benchmark::kMillisecond);
+
+void BM_QuotientLegacy(benchmark::State& state) {
+  QuotientBench bench(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<Fr> out = bench.EvaluateLegacy();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["size"] = static_cast<double>(bench.n);
+}
+BENCHMARK(BM_QuotientLegacy)->DenseRange(12, 16, 2)->Unit(benchmark::kMillisecond);
+
+// --- Commitments from evaluation form vs. interpolate-then-commit ---------
+
+void BM_CommitLagrange(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(1) << k;
+  KzgPcs pcs(std::make_shared<KzgSetup>(KzgSetup::Create(n, 11)));
+  Rng rng(8);
+  std::vector<Fr> evals(n);
+  for (Fr& e : evals) {
+    e = Fr::Random(rng);
+  }
+  // Warm the Lagrange-basis cache: the G1 FFT is a one-time per-setup cost
+  // (paid at keygen in the prover), not a per-commit cost.
+  benchmark::DoNotOptimize(pcs.CommitLagrange(evals));
+  for (auto _ : state) {
+    PcsCommitment c = pcs.CommitLagrange(evals);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["size"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CommitLagrange)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
+
+void BM_CommitViaIfft(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(1) << k;
+  KzgPcs pcs(std::make_shared<KzgSetup>(KzgSetup::Create(n, 11)));
+  EvaluationDomain dom(k);
+  Rng rng(8);
+  std::vector<Fr> evals(n);
+  for (Fr& e : evals) {
+    e = Fr::Random(rng);
+  }
+  for (auto _ : state) {
+    PcsCommitment c = pcs.Commit(dom.IfftToCoeffs(evals));
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["size"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CommitViaIfft)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
+
 // Console output plus a flat record per run for the JSON dump.
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
  public:
@@ -122,9 +414,21 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       if (run.error_occurred || run.iterations == 0) {
         continue;
       }
+      // Under --benchmark_repetitions, keep one record per benchmark: the
+      // mean aggregate (stddev/median/cv rows are not timings of the op).
+      if (run.run_type == Run::RT_Aggregate && run.aggregate_name != "mean") {
+        continue;
+      }
       Record rec;
       // "BM_Fft/12" -> "BM_Fft"; the size counter already carries the 2^k.
+      // Aggregate names carry a "_mean" suffix when there is no "/" arg.
       rec.op = run.benchmark_name().substr(0, run.benchmark_name().find('/'));
+      constexpr const char kMeanSuffix[] = "_mean";
+      constexpr size_t kMeanSuffixLen = sizeof(kMeanSuffix) - 1;
+      if (run.run_type == Run::RT_Aggregate && rec.op.size() > kMeanSuffixLen &&
+          rec.op.compare(rec.op.size() - kMeanSuffixLen, kMeanSuffixLen, kMeanSuffix) == 0) {
+        rec.op.resize(rec.op.size() - kMeanSuffixLen);
+      }
       auto it = run.counters.find("size");
       if (it != run.counters.end()) {
         rec.size = static_cast<uint64_t>(it->second.value);

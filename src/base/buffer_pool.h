@@ -1,0 +1,161 @@
+// Reusable-allocation pool for the large scratch vectors the prover's
+// quotient round burns through (dozens of ext_n-sized Fr tables per proof).
+// Acquire() hands back a previously released allocation when one is big
+// enough, so repeated proofs in one process stop hitting the allocator for
+// multi-MB blocks; Release() returns a buffer to the free list, dropping it
+// instead when the pool is already holding max_retained_bytes. All operations
+// take a mutex — the pool is for coarse per-round buffers, not per-row
+// scratch.
+#ifndef SRC_BASE_BUFFER_POOL_H_
+#define SRC_BASE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace zkml {
+
+// Counters describing pool effectiveness; published to obs metrics by the
+// prover after the quotient round.
+struct VectorPoolStats {
+  uint64_t hits = 0;        // Acquire served from the free list
+  uint64_t misses = 0;      // Acquire fell through to the allocator
+  uint64_t dropped = 0;     // Release discarded (retention cap reached)
+  uint64_t retained_bytes = 0;
+  uint64_t peak_retained_bytes = 0;
+};
+
+template <typename T>
+class VectorPool {
+ public:
+  // Default retention cap: 256 MB of T payload. For BN254 Fr (32 bytes) that
+  // is 64 ext_n buffers at k=14 / ext_k=3 — comfortably one proof's working
+  // set without letting a fleet of domains pin memory forever.
+  static constexpr size_t kDefaultMaxRetainedBytes = 256u << 20;
+
+  explicit VectorPool(size_t max_retained_bytes = kDefaultMaxRetainedBytes)
+      : max_retained_bytes_(max_retained_bytes) {}
+
+  // Returns a vector with size() == n. Contents are unspecified (reused
+  // buffers are NOT cleared); callers must fully overwrite the buffer.
+  std::vector<T> Acquire(size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Best fit: the smallest retained buffer whose capacity covers n.
+      auto it = free_.lower_bound(n);
+      if (it != free_.end()) {
+        std::vector<T> v = std::move(it->second);
+        retained_bytes_ -= it->first * sizeof(T);
+        free_.erase(it);
+        ++hits_;
+        v.resize(n);
+        return v;
+      }
+      ++misses_;
+    }
+    return std::vector<T>(n);
+  }
+
+  void Release(std::vector<T>&& v) {
+    const size_t cap = v.capacity();
+    if (cap == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (retained_bytes_ + cap * sizeof(T) > max_retained_bytes_) {
+      ++dropped_;
+      return;  // v frees on scope exit
+    }
+    retained_bytes_ += cap * sizeof(T);
+    peak_retained_bytes_ = std::max(peak_retained_bytes_, retained_bytes_);
+    free_.emplace(cap, std::move(v));
+  }
+
+  VectorPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    VectorPoolStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.dropped = dropped_;
+    s.retained_bytes = retained_bytes_;
+    s.peak_retained_bytes = peak_retained_bytes_;
+    return s;
+  }
+
+  // Frees every retained buffer (tests; memory-pressure hooks).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.clear();
+    retained_bytes_ = 0;
+  }
+
+  static VectorPool& Global() {
+    static VectorPool* pool = new VectorPool();
+    return *pool;
+  }
+
+ private:
+  const size_t max_retained_bytes_;
+  mutable std::mutex mu_;
+  std::multimap<size_t, std::vector<T>> free_;  // keyed by capacity
+  size_t retained_bytes_ = 0;
+  size_t peak_retained_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Move-only RAII handle returning its buffer to the pool on destruction.
+template <typename T>
+class PooledVector {
+ public:
+  PooledVector() = default;
+  PooledVector(VectorPool<T>* pool, std::vector<T> v) : pool_(pool), v_(std::move(v)) {}
+  ~PooledVector() { ReleaseNow(); }
+
+  PooledVector(PooledVector&& o) noexcept : pool_(o.pool_), v_(std::move(o.v_)) {
+    o.pool_ = nullptr;
+  }
+  PooledVector& operator=(PooledVector&& o) noexcept {
+    if (this != &o) {
+      ReleaseNow();
+      pool_ = o.pool_;
+      v_ = std::move(o.v_);
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  PooledVector(const PooledVector&) = delete;
+  PooledVector& operator=(const PooledVector&) = delete;
+
+  std::vector<T>& operator*() { return v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+  std::vector<T>* get() { return &v_; }
+  const std::vector<T>* get() const { return &v_; }
+
+  void ReleaseNow() {
+    if (pool_ != nullptr) {
+      pool_->Release(std::move(v_));
+      pool_ = nullptr;
+    }
+    v_.clear();
+  }
+
+ private:
+  VectorPool<T>* pool_ = nullptr;
+  std::vector<T> v_;
+};
+
+template <typename T>
+PooledVector<T> AcquirePooled(VectorPool<T>& pool, size_t n) {
+  return PooledVector<T>(&pool, pool.Acquire(n));
+}
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_BUFFER_POOL_H_

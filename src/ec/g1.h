@@ -56,6 +56,9 @@ class G1 {
   G1 ScalarMul(const Fr& s) const;
 
   G1Affine ToAffine() const;
+  // Normalizes `n` Jacobian points to affine with one shared field inversion
+  // (Montgomery's batch trick) instead of one inversion per point.
+  static void BatchToAffine(const G1* in, size_t n, G1Affine* out);
   bool operator==(const G1& o) const;
 
  private:
@@ -80,6 +83,16 @@ namespace internal {
 G1 MsmImpl(const G1Affine* bases, const Fr* scalars, size_t n, int c, size_t num_chunks);
 
 }  // namespace internal
+
+// Transforms monomial-basis commitment bases G_i into Lagrange-basis bases
+// for the radix-2 domain of size n = bases.size() (a power of two):
+//   L_j = sum_i M_ij * G_i,  M_ij = (1/n) * omega^{-ij},
+// i.e. the size-n inverse FFT applied to the points (M is symmetric, so the
+// transpose the commitment identity needs is the inverse FFT itself). For any
+// linear commitment, commit(coeffs, G) == commit(evals, L) — which is what
+// lets the prover commit straight from evaluation form. One-time setup work:
+// butterflies are full scalar multiplications, parallelized across the pool.
+std::vector<G1Affine> LagrangeBasesFromMonomial(const std::vector<G1Affine>& bases);
 
 // Deterministically derives `count` independent curve points ("nothing up my
 // sleeve" bases for Pedersen/IPA commitments) by rejection-sampling x

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/pcs/lagrange_basis.h"
 #include "src/pcs/pcs.h"
 
 namespace zkml {
@@ -34,6 +35,7 @@ class KzgPcs : public Pcs {
   size_t max_len() const override { return setup_->powers.size(); }
 
   PcsCommitment Commit(const std::vector<Fr>& coeffs) const override;
+  PcsCommitment CommitLagrange(const std::vector<Fr>& evals) const override;
   void OpenBatch(const std::vector<const std::vector<Fr>*>& polys, const Fr& point,
                  Transcript* transcript, std::vector<uint8_t>* proof_out) const override;
   Status VerifyBatch(const std::vector<PcsCommitment>& commitments, const std::vector<Fr>& evals,
@@ -42,6 +44,7 @@ class KzgPcs : public Pcs {
 
  private:
   std::shared_ptr<const KzgSetup> setup_;
+  LagrangeBasisCache lagrange_;
 };
 
 }  // namespace zkml

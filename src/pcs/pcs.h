@@ -34,6 +34,14 @@ class Pcs {
 
   virtual PcsCommitment Commit(const std::vector<Fr>& coeffs) const = 0;
 
+  // Commits to the polynomial whose evaluations over the radix-2 domain of
+  // size evals.size() (a power of two, <= max_len()) are `evals`, without an
+  // iFFT: the MSM runs against a Lagrange-basis SRS derived once per size by
+  // a G1 inverse FFT of the monomial bases and cached. The returned point is
+  // bit-identical to Commit(IfftToCoeffs(evals)) — both are the same group
+  // element and affine serialization is canonical.
+  virtual PcsCommitment CommitLagrange(const std::vector<Fr>& evals) const = 0;
+
   // Proves the evaluations of `polys` at `point`. The caller must already
   // have absorbed the claimed evaluations into `transcript`; the RLC batching
   // challenge is drawn from it here. Proof bytes are appended to `proof_out`.

@@ -45,6 +45,13 @@ class Expression {
 
   Kind kind() const { return node_->kind; }
 
+  // Structural accessors for compilers/printers walking the AST. Each is
+  // only meaningful for the kinds noted; callers must check kind() first.
+  const Fr& constant() const { return node_->constant; }        // kConstant / kScaled
+  const ColumnQuery& query() const { return node_->query; }     // kQuery
+  Expression lhs() const { return Expression(node_->lhs); }     // kSum/kProduct/kScaled
+  Expression rhs() const { return Expression(node_->rhs); }     // kSum/kProduct
+
  private:
   struct Node {
     Kind kind;

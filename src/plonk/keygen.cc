@@ -81,13 +81,20 @@ ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, cons
   pk.domain = std::make_shared<EvaluationDomain>(k);
   pk.vk.perm_columns = cs.PermutationColumns();
 
-  // Fixed columns.
+  // Fixed columns. Committing straight from value form (CommitLagrange)
+  // produces bit-identical commitments and warms the PCS's Lagrange-basis
+  // cache for the prover's evaluation-form commit rounds.
   pk.fixed_values = assignment.fixed();
   pk.fixed_coeffs.resize(pk.fixed_values.size());
   pk.vk.fixed_commitments.resize(pk.fixed_values.size());
-  for (size_t i = 0; i < pk.fixed_values.size(); ++i) {
-    pk.fixed_coeffs[i] = pk.domain->IfftToCoeffs(pk.fixed_values[i]);
-    pk.vk.fixed_commitments[i] = pcs.Commit(pk.fixed_coeffs[i]);
+  {
+    TaskGroup group;
+    for (size_t i = 0; i < pk.fixed_values.size(); ++i) {
+      group.Submit([&, i] {
+        pk.fixed_coeffs[i] = pk.domain->IfftToCoeffs(pk.fixed_values[i]);
+        pk.vk.fixed_commitments[i] = pcs.CommitLagrange(pk.fixed_values[i]);
+      });
+    }
   }
 
   // Permutation sigmas.
@@ -118,13 +125,18 @@ ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, cons
   pk.sigma_values.assign(perm_cols.size(), std::vector<Fr>(n));
   pk.sigma_coeffs.resize(perm_cols.size());
   pk.vk.sigma_commitments.resize(perm_cols.size());
-  for (size_t i = 0; i < perm_cols.size(); ++i) {
-    for (size_t r = 0; r < n; ++r) {
-      const auto [ci, ri] = perm.Next(i, r);
-      pk.sigma_values[i][r] = delta_pow[ci] * pk.domain->element(ri);
+  {
+    TaskGroup group;
+    for (size_t i = 0; i < perm_cols.size(); ++i) {
+      group.Submit([&, i] {
+        for (size_t r = 0; r < n; ++r) {
+          const auto [ci, ri] = perm.Next(i, r);
+          pk.sigma_values[i][r] = delta_pow[ci] * pk.domain->element(ri);
+        }
+        pk.sigma_coeffs[i] = pk.domain->IfftToCoeffs(pk.sigma_values[i]);
+        pk.vk.sigma_commitments[i] = pcs.CommitLagrange(pk.sigma_values[i]);
+      });
     }
-    pk.sigma_coeffs[i] = pk.domain->IfftToCoeffs(pk.sigma_values[i]);
-    pk.vk.sigma_commitments[i] = pcs.Commit(pk.sigma_coeffs[i]);
   }
 
   // l_0 and l_{n-1}: interpolations of the indicator vectors.
@@ -135,6 +147,11 @@ ProvingKey Keygen(const ConstraintSystem& cs, const Assignment& assignment, cons
   std::vector<Fr> elast(n, Fr::Zero());
   elast[n - 1] = Fr::One();
   pk.llast_coeffs = pk.domain->IfftToCoeffs(elast);
+
+  // Compile the constraint expressions into the quotient engine's flat
+  // calculation plans (once per key, reused across proofs).
+  section.emplace("keygen-compile-quotient");
+  pk.quotient = std::make_shared<const QuotientEvaluator>(cs, pk.vk.perm_columns);
 
   return pk;
 }

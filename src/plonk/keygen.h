@@ -10,6 +10,7 @@
 #include "src/pcs/pcs.h"
 #include "src/plonk/assignment.h"
 #include "src/plonk/constraint_system.h"
+#include "src/plonk/quotient.h"
 #include "src/poly/domain.h"
 
 namespace zkml {
@@ -42,6 +43,10 @@ struct ProvingKey {
   // l_0, l_{n-1} coefficient vectors (the prover coset-FFTs them on demand).
   std::vector<Fr> l0_coeffs;
   std::vector<Fr> llast_coeffs;
+
+  // Constraint expressions compiled once into flat calculation plans; the
+  // prover's quotient stage executes these instead of re-walking the ASTs.
+  std::shared_ptr<const QuotientEvaluator> quotient;
 };
 
 // Builds keys from the constraint system and a fixed-column/copy-constraint

@@ -7,12 +7,15 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/base/buffer_pool.h"
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
 #include "src/base/timer.h"
 #include "src/ff/fr_key.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
+#include "src/plonk/quotient.h"
 #include "src/poly/polynomial.h"
 #include "src/transcript/transcript.h"
 
@@ -116,6 +119,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     sink_scope.emplace(&local_sink);
   }
   obs::Span prove_span("prove");
+  const uint64_t rss_start_kb = obs::ReadRssHighWaterKb();
   StageRecorder stages(metrics);
   stages.Begin("advice-commit");
   const ConstraintSystem& cs = pk.vk.cs;
@@ -148,17 +152,17 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     return assignment.Get(q.column, static_cast<size_t>(r));
   };
 
-  // --- Round 1: commit advice. ---
+  // --- Round 1: commit advice straight from evaluation form. ---
+  // CommitLagrange(values) == Commit(IfftToCoeffs(values)) bit-for-bit (see
+  // pcs.h), so interpolation is deferred to the quotient round — where the
+  // coefficients are needed anyway — and the commit rounds run zero scalar
+  // FFTs.
   const size_t num_advice = cs.num_advice_columns();
-  std::vector<std::vector<Fr>> advice_coeffs(num_advice);
   std::vector<PcsCommitment> advice_comms(num_advice);
   {
     TaskGroup group;
     for (size_t i = 0; i < num_advice; ++i) {
-      group.Submit([&, i] {
-        advice_coeffs[i] = dom.IfftToCoeffs(assignment.advice()[i]);
-        advice_comms[i] = pcs.Commit(advice_coeffs[i]);
-      });
+      group.Submit([&, i] { advice_comms[i] = pcs.CommitLagrange(assignment.advice()[i]); });
     }
   }
   for (size_t i = 0; i < num_advice; ++i) {
@@ -172,7 +176,6 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
   // --- Round 2: lookup multiplicities. ---
   const size_t num_lookups = cs.lookups().size();
   std::vector<std::vector<Fr>> lk_f(num_lookups), lk_t(num_lookups), lk_m(num_lookups);
-  std::vector<std::vector<Fr>> m_coeffs(num_lookups);
   std::vector<PcsCommitment> m_comms(num_lookups);
   {
     TaskGroup group;
@@ -207,8 +210,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                          ("lookup '" + lk.name + "' input missing").c_str());
           lk_m[l][it->second] += Fr::One();
         }
-        m_coeffs[l] = dom.IfftToCoeffs(lk_m[l]);
-        m_comms[l] = pcs.Commit(m_coeffs[l]);
+        m_comms[l] = pcs.CommitLagrange(lk_m[l]);
       });
     }
   }
@@ -223,7 +225,6 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
 
   // --- Round 3a: lookup helper h and running sum S. ---
   std::vector<std::vector<Fr>> lk_h(num_lookups), lk_s(num_lookups);
-  std::vector<std::vector<Fr>> h_coeffs(num_lookups), s_coeffs(num_lookups);
   std::vector<PcsCommitment> h_comms(num_lookups), s_comms(num_lookups);
   {
     TaskGroup group;
@@ -245,10 +246,8 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
           }
         }
         ZKML_DCHECK((lk_s[l][n - 1] + lk_h[l][n - 1]).IsZero());
-        h_coeffs[l] = dom.IfftToCoeffs(lk_h[l]);
-        s_coeffs[l] = dom.IfftToCoeffs(lk_s[l]);
-        h_comms[l] = pcs.Commit(h_coeffs[l]);
-        s_comms[l] = pcs.Commit(s_coeffs[l]);
+        h_comms[l] = pcs.CommitLagrange(lk_h[l]);
+        s_comms[l] = pcs.CommitLagrange(lk_s[l]);
       });
     }
   }
@@ -263,7 +262,6 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     }
   }
   std::vector<std::vector<Fr>> z_values(num_chunks);
-  std::vector<std::vector<Fr>> z_coeffs(num_chunks);
   std::vector<PcsCommitment> z_comms(num_chunks);
   {
     Fr acc = Fr::One();
@@ -290,8 +288,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                    "copy constraints inconsistent with witness");
   }
   for (size_t c = 0; c < num_chunks; ++c) {
-    z_coeffs[c] = dom.IfftToCoeffs(z_values[c]);
-    z_comms[c] = pcs.Commit(z_coeffs[c]);
+    z_comms[c] = pcs.CommitLagrange(z_values[c]);
   }
 
   for (size_t l = 0; l < num_lookups; ++l) {
@@ -309,167 +306,157 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
   const Fr y = transcript.ChallengeFr("y");
 
   // --- Round 4: quotient. ---
-  // Coset evaluations of everything the constraints reference.
-  auto coset_of = [&](const std::vector<Fr>& coeffs) {
-    return dom.CosetFftFromCoeffs(coeffs, ext_k);
-  };
-  std::vector<std::vector<Fr>> advice_coset(num_advice);
-  std::vector<std::vector<Fr>> fixed_coset(cs.num_fixed_columns());
-  std::vector<std::vector<Fr>> instance_coset(cs.num_instance_columns());
-  std::vector<std::vector<Fr>> sigma_coset(perm_cols.size());
-  std::vector<std::vector<Fr>> z_coset(num_chunks);
-  std::vector<std::vector<Fr>> h_coset(num_lookups), s_coset(num_lookups), m_coset(num_lookups);
-  std::vector<Fr> l0_coset, llast_coset;
+  // Interpolate every committed column exactly once. The coefficient vectors
+  // feed the coset extension below and the evaluation/opening rounds after
+  // it; in particular the instance columns are no longer re-interpolated at
+  // each use site.
+  const size_t num_instance = cs.num_instance_columns();
+  std::vector<std::vector<Fr>> advice_coeffs(num_advice);
+  std::vector<std::vector<Fr>> instance_coeffs(num_instance);
+  std::vector<std::vector<Fr>> m_coeffs(num_lookups), h_coeffs(num_lookups),
+      s_coeffs(num_lookups);
+  std::vector<std::vector<Fr>> z_coeffs(num_chunks);
   {
     TaskGroup group;
     for (size_t i = 0; i < num_advice; ++i) {
-      group.Submit([&, i] { advice_coset[i] = coset_of(advice_coeffs[i]); });
+      group.Submit([&, i] { advice_coeffs[i] = dom.IfftToCoeffs(assignment.advice()[i]); });
     }
-    for (size_t i = 0; i < cs.num_fixed_columns(); ++i) {
-      group.Submit([&, i] { fixed_coset[i] = coset_of(pk.fixed_coeffs[i]); });
-    }
-    for (size_t i = 0; i < cs.num_instance_columns(); ++i) {
-      group.Submit(
-          [&, i] { instance_coset[i] = coset_of(dom.IfftToCoeffs(assignment.instance()[i])); });
-    }
-    for (size_t i = 0; i < perm_cols.size(); ++i) {
-      group.Submit([&, i] { sigma_coset[i] = coset_of(pk.sigma_coeffs[i]); });
-    }
-    for (size_t c = 0; c < num_chunks; ++c) {
-      group.Submit([&, c] { z_coset[c] = coset_of(z_coeffs[c]); });
+    for (size_t i = 0; i < num_instance; ++i) {
+      group.Submit([&, i] { instance_coeffs[i] = dom.IfftToCoeffs(assignment.instance()[i]); });
     }
     for (size_t l = 0; l < num_lookups; ++l) {
       group.Submit([&, l] {
-        h_coset[l] = coset_of(h_coeffs[l]);
-        s_coset[l] = coset_of(s_coeffs[l]);
-        m_coset[l] = coset_of(m_coeffs[l]);
+        m_coeffs[l] = dom.IfftToCoeffs(lk_m[l]);
+        h_coeffs[l] = dom.IfftToCoeffs(lk_h[l]);
+        s_coeffs[l] = dom.IfftToCoeffs(lk_s[l]);
       });
     }
-    group.Submit([&] { l0_coset = coset_of(pk.l0_coeffs); });
-    group.Submit([&] { llast_coset = coset_of(pk.llast_coeffs); });
-  }
-  // coset_x[j] = g * w_ext^j: the identity polynomial X on the coset.
-  std::vector<Fr> coset_x(ext_n);
-  {
-    const Fr w_ext = FrRootOfUnity(pk.vk.k + ext_k);
-    Fr cur = Fr::FromU64(FrParams::kGenerator);
-    for (size_t j = 0; j < ext_n; ++j) {
-      coset_x[j] = cur;
-      cur *= w_ext;
-    }
-  }
-
-  auto coset_resolve = [&](const ColumnQuery& q, size_t j) -> Fr {
-    int64_t idx = static_cast<int64_t>(j) +
-                  static_cast<int64_t>(q.rotation) * static_cast<int64_t>(ext_factor);
-    idx %= static_cast<int64_t>(ext_n);
-    if (idx < 0) {
-      idx += static_cast<int64_t>(ext_n);
-    }
-    const size_t jj = static_cast<size_t>(idx);
-    switch (q.column.type) {
-      case ColumnType::kInstance:
-        return instance_coset[q.column.index][jj];
-      case ColumnType::kAdvice:
-        return advice_coset[q.column.index][jj];
-      case ColumnType::kFixed:
-        return fixed_coset[q.column.index][jj];
-    }
-    return Fr::Zero();
-  };
-  auto shifted = [&](const std::vector<Fr>& v, size_t j) -> const Fr& {
-    return v[(j + ext_factor) % ext_n];
-  };
-
-  std::vector<Fr> numerator(ext_n, Fr::Zero());
-  Fr y_pow = Fr::One();
-  auto add_constraint_vec = [&](const std::vector<Fr>& vals) {
-    for (size_t j = 0; j < ext_n; ++j) {
-      numerator[j] += vals[j] * y_pow;
-    }
-    y_pow *= y;
-  };
-
-  // Gates.
-  for (const Gate& gate : cs.gates()) {
-    add_constraint_vec(gate.poly.EvaluateVector(ext_n, coset_resolve));
-  }
-  // Lookups.
-  for (size_t l = 0; l < num_lookups; ++l) {
-    const LookupArgument& lk = cs.lookups()[l];
-    std::vector<Fr> f_coset(ext_n, Fr::Zero());
-    std::vector<Fr> t_coset(ext_n, Fr::Zero());
-    Fr theta_j = Fr::One();
-    for (size_t jn = 0; jn < lk.inputs.size(); ++jn) {
-      std::vector<Fr> in = lk.inputs[jn].EvaluateVector(ext_n, coset_resolve);
-      const std::vector<Fr>& tab = fixed_coset[lk.table[jn].index];
-      for (size_t j = 0; j < ext_n; ++j) {
-        f_coset[j] += in[j] * theta_j;
-        t_coset[j] += tab[j] * theta_j;
-      }
-      theta_j *= theta;
-    }
-    std::vector<Fr> c0(ext_n), c1(ext_n), c2(ext_n), c3(ext_n);
-    ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
-      for (size_t j = lo; j < hi; ++j) {
-        const Fr bf = beta + f_coset[j];
-        const Fr bt = beta + t_coset[j];
-        c0[j] = bf * bt * h_coset[l][j] - (bt - m_coset[l][j] * bf);
-        c1[j] = l0_coset[j] * s_coset[l][j];
-        const Fr lactive = Fr::One() - llast_coset[j];
-        c2[j] = lactive * (shifted(s_coset[l], j) - s_coset[l][j] - h_coset[l][j]);
-        c3[j] = llast_coset[j] * (s_coset[l][j] + h_coset[l][j]);
-      }
-    });
-    add_constraint_vec(c0);
-    add_constraint_vec(c1);
-    add_constraint_vec(c2);
-    add_constraint_vec(c3);
-  }
-  // Permutation.
-  if (num_chunks > 0) {
-    std::vector<Fr> p0(ext_n);
-    for (size_t j = 0; j < ext_n; ++j) {
-      p0[j] = l0_coset[j] * (z_coset[0][j] - Fr::One());
-    }
-    add_constraint_vec(p0);
     for (size_t c = 0; c < num_chunks; ++c) {
-      const size_t col_begin = c * static_cast<size_t>(chunk_size);
-      const size_t col_end = std::min(perm_cols.size(), col_begin + chunk_size);
-      std::vector<Fr> num(ext_n, Fr::One());
-      std::vector<Fr> den(ext_n, Fr::One());
-      ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
-        for (size_t j = lo; j < hi; ++j) {
-          for (size_t i = col_begin; i < col_end; ++i) {
-            const Fr f = coset_resolve(ColumnQuery{perm_cols[i], 0}, j);
-            num[j] *= f + beta * delta_pow[i] * coset_x[j] + gamma;
-            den[j] *= f + beta * sigma_coset[i][j] + gamma;
-          }
-        }
-      });
-      const size_t next = (c + 1) % num_chunks;
-      std::vector<Fr> upd(ext_n), trans(ext_n);
-      ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
-        for (size_t j = lo; j < hi; ++j) {
-          const Fr lactive = Fr::One() - llast_coset[j];
-          upd[j] = lactive * (shifted(z_coset[c], j) * den[j] - z_coset[c][j] * num[j]);
-          trans[j] =
-              llast_coset[j] * (shifted(z_coset[next], j) * den[j] - z_coset[c][j] * num[j]);
-        }
-      });
-      add_constraint_vec(upd);
-      add_constraint_vec(trans);
+      group.Submit([&, c] { z_coeffs[c] = dom.IfftToCoeffs(z_values[c]); });
     }
   }
 
-  // Divide by the vanishing polynomial and split into chunks.
+  std::vector<Fr> quotient_coeffs;
   {
-    const std::vector<Fr> zh_inv = dom.VanishingInverseOnCoset(ext_k);
-    for (size_t j = 0; j < ext_n; ++j) {
-      numerator[j] *= zh_inv[j];
+    // Coset tables live in pooled buffers: one proof burns through dozens of
+    // ext_n-sized scratch vectors, and the pool recycles the allocations
+    // across columns and across proofs in the same process.
+    VectorPool<Fr>& pool = VectorPool<Fr>::Global();
+    auto coset_into = [&](const std::vector<Fr>& coeffs, PooledVector<Fr>& out) {
+      out = AcquirePooled(pool, ext_n);
+      dom.CosetFftFromCoeffsInto(coeffs, ext_k, out.get());
+    };
+    std::vector<PooledVector<Fr>> advice_coset(num_advice);
+    std::vector<PooledVector<Fr>> fixed_coset(cs.num_fixed_columns());
+    std::vector<PooledVector<Fr>> instance_coset(num_instance);
+    std::vector<PooledVector<Fr>> sigma_coset(perm_cols.size());
+    std::vector<PooledVector<Fr>> z_coset(num_chunks);
+    std::vector<PooledVector<Fr>> h_coset(num_lookups), s_coset(num_lookups),
+        m_coset(num_lookups);
+    PooledVector<Fr> l0_coset, llast_coset;
+    {
+      TaskGroup group;
+      for (size_t i = 0; i < num_advice; ++i) {
+        group.Submit([&, i] { coset_into(advice_coeffs[i], advice_coset[i]); });
+      }
+      for (size_t i = 0; i < cs.num_fixed_columns(); ++i) {
+        group.Submit([&, i] { coset_into(pk.fixed_coeffs[i], fixed_coset[i]); });
+      }
+      for (size_t i = 0; i < num_instance; ++i) {
+        group.Submit([&, i] { coset_into(instance_coeffs[i], instance_coset[i]); });
+      }
+      for (size_t i = 0; i < perm_cols.size(); ++i) {
+        group.Submit([&, i] { coset_into(pk.sigma_coeffs[i], sigma_coset[i]); });
+      }
+      for (size_t c = 0; c < num_chunks; ++c) {
+        group.Submit([&, c] { coset_into(z_coeffs[c], z_coset[c]); });
+      }
+      for (size_t l = 0; l < num_lookups; ++l) {
+        group.Submit([&, l] {
+          coset_into(h_coeffs[l], h_coset[l]);
+          coset_into(s_coeffs[l], s_coset[l]);
+          coset_into(m_coeffs[l], m_coset[l]);
+        });
+      }
+      group.Submit([&] { coset_into(pk.l0_coeffs, l0_coset); });
+      group.Submit([&] { coset_into(pk.llast_coeffs, llast_coset); });
     }
+    // coset_x[j] = g * w_ext^j: the identity polynomial X on the coset.
+    std::vector<Fr> coset_x(ext_n);
+    {
+      const Fr w_ext = FrRootOfUnity(pk.vk.k + ext_k);
+      Fr cur = Fr::FromU64(FrParams::kGenerator);
+      for (size_t j = 0; j < ext_n; ++j) {
+        coset_x[j] = cur;
+        cur *= w_ext;
+      }
+    }
+    const std::vector<Fr> zh_inv = dom.VanishingInverseOnCoset(ext_k);
+
+    // The compiled engine computes the y-combined numerator and the division
+    // by Z_H in one fused row pass, replacing the per-constraint AST walks.
+    QuotientEvaluator::Tables qt;
+    qt.fixed.reserve(fixed_coset.size());
+    for (const auto& v : fixed_coset) {
+      qt.fixed.push_back(v.get());
+    }
+    qt.advice.reserve(advice_coset.size());
+    for (const auto& v : advice_coset) {
+      qt.advice.push_back(v.get());
+    }
+    qt.instance.reserve(instance_coset.size());
+    for (const auto& v : instance_coset) {
+      qt.instance.push_back(v.get());
+    }
+    qt.sigma.reserve(sigma_coset.size());
+    for (const auto& v : sigma_coset) {
+      qt.sigma.push_back(v.get());
+    }
+    qt.z.reserve(z_coset.size());
+    for (const auto& v : z_coset) {
+      qt.z.push_back(v.get());
+    }
+    for (size_t l = 0; l < num_lookups; ++l) {
+      qt.m.push_back(m_coset[l].get());
+      qt.h.push_back(h_coset[l].get());
+      qt.s.push_back(s_coset[l].get());
+    }
+    qt.l0 = l0_coset.get();
+    qt.llast = llast_coset.get();
+    qt.coset_x = &coset_x;
+    qt.zh_inv = &zh_inv;
+    qt.ext_n = ext_n;
+    qt.ext_factor = ext_factor;
+
+    QuotientEvaluator::Challenges qch;
+    qch.theta = theta;
+    qch.beta = beta;
+    qch.gamma = gamma;
+    qch.y = y;
+    qch.delta_pow = &delta_pow;
+
+    std::shared_ptr<const QuotientEvaluator> qe = pk.quotient;
+    if (qe == nullptr) {
+      // Hand-built proving keys (tests) may lack the precompiled engine.
+      qe = std::make_shared<const QuotientEvaluator>(cs, perm_cols);
+    }
+    PooledVector<Fr> numerator = AcquirePooled(pool, ext_n);
+    qe->Evaluate(qt, qch, numerator.get());
+    quotient_coeffs = dom.CosetIfftToCoeffs(*numerator, ext_k);
+    // Pooled coset buffers release back to the pool as this scope ends.
   }
-  std::vector<Fr> quotient_coeffs = dom.CosetIfftToCoeffs(numerator, ext_k);
+  {
+    const VectorPoolStats ps = VectorPool<Fr>::Global().stats();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.gauge("prover.pool.hits").Set(static_cast<double>(ps.hits));
+    reg.gauge("prover.pool.misses").Set(static_cast<double>(ps.misses));
+    reg.gauge("prover.pool.dropped").Set(static_cast<double>(ps.dropped));
+    reg.gauge("prover.pool.retained_bytes").Set(static_cast<double>(ps.retained_bytes));
+    reg.gauge("prover.pool.peak_retained_bytes")
+        .Set(static_cast<double>(ps.peak_retained_bytes));
+    reg.gauge("prover.rss_hwm_delta_kb")
+        .Set(static_cast<double>(obs::ReadRssHighWaterKb() - rss_start_kb));
+  }
   std::vector<std::vector<Fr>> q_chunks(ext_factor);
   std::vector<PcsCommitment> q_comms(ext_factor);
   for (size_t i = 0; i < ext_factor; ++i) {

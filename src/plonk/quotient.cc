@@ -1,0 +1,202 @@
+#include "src/plonk/quotient.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/thread_pool.h"
+
+namespace zkml {
+namespace {
+
+// Rotation-0 evaluation table of a permutation column.
+inline const Fr* ColumnData(const QuotientEvaluator::Tables& t, const Column& col) {
+  switch (col.type) {
+    case ColumnType::kInstance:
+      return t.instance[col.index]->data();
+    case ColumnType::kAdvice:
+      return t.advice[col.index]->data();
+    case ColumnType::kFixed:
+      break;
+  }
+  return t.fixed[col.index]->data();
+}
+
+// Rows evaluated per EvaluateBlock call. Large enough to amortize operand
+// resolution, small enough that calcs * kBlockRows * sizeof(Fr) scratch stays
+// cache-resident.
+constexpr size_t kBlockRows = 64;
+
+}  // namespace
+
+QuotientEvaluator::QuotientEvaluator(const ConstraintSystem& cs,
+                                     const std::vector<Column>& perm_columns)
+    : perm_cols_(perm_columns),
+      chunk_size_(static_cast<size_t>(cs.PermutationChunkSize())),
+      num_chunks_(cs.NumPermutationChunks()) {
+  for (const Gate& gate : cs.gates()) {
+    gate_roots_.push_back(graph_.AddExpression(gate.poly));
+  }
+  for (const LookupArgument& lk : cs.lookups()) {
+    LookupPlan plan;
+    for (const Expression& input : lk.inputs) {
+      plan.input_roots.push_back(graph_.AddExpression(input));
+    }
+    for (const Column& col : lk.table) {
+      ZKML_CHECK(col.type == ColumnType::kFixed);
+      plan.table_fixed.push_back(col.index);
+    }
+    lookups_.push_back(std::move(plan));
+  }
+  num_constraints_ = gate_roots_.size() + 4 * lookups_.size() +
+                     (num_chunks_ > 0 ? 1 + 2 * num_chunks_ : 0);
+}
+
+void QuotientEvaluator::Evaluate(const Tables& t, const Challenges& ch,
+                                 std::vector<Fr>* out) const {
+  const size_t ext_n = t.ext_n;
+  ZKML_CHECK(ext_n > 0 && (ext_n & (ext_n - 1)) == 0);
+  ZKML_CHECK(t.z.size() == num_chunks_);
+  ZKML_CHECK(t.sigma.size() == perm_cols_.size());
+  ZKML_CHECK(t.m.size() == lookups_.size() && t.h.size() == lookups_.size() &&
+             t.s.size() == lookups_.size());
+  ZKML_CHECK(t.l0 != nullptr && t.llast != nullptr && t.zh_inv != nullptr);
+  ZKML_CHECK(num_chunks_ == 0 || t.coset_x != nullptr);
+  ZKML_CHECK(num_chunks_ == 0 || (ch.delta_pow != nullptr &&
+                                  ch.delta_pow->size() == perm_cols_.size()));
+  out->resize(ext_n);
+
+  // y^c per constraint, built by repeated multiplication exactly as the
+  // legacy accumulation did.
+  std::vector<Fr> y_pows(num_constraints_);
+  if (!y_pows.empty()) {
+    y_pows[0] = Fr::One();
+    for (size_t c = 1; c < y_pows.size(); ++c) {
+      y_pows[c] = y_pows[c - 1] * ch.y;
+    }
+  }
+
+  const std::vector<size_t> rot_offsets = graph_.RotationOffsets(ext_n, t.ext_factor);
+  GraphEvaluator::Tables gt;
+  gt.fixed = t.fixed.data();
+  gt.advice = t.advice.data();
+  gt.instance = t.instance.data();
+  gt.size = ext_n;
+  // Row offset of rotation +1 (the "next row" the lookup running sum and the
+  // permutation grand products reference).
+  const size_t plus_one = t.ext_factor % ext_n;
+
+  // Hoist every per-row-invariant lookup out of the hot loop: raw data
+  // pointers for all tables (no std::vector double indirection per row) and
+  // beta * delta^i per permutation column (same association the per-row code
+  // used — beta * delta_pow[i] multiplied before coset_x — so values are
+  // bit-identical).
+  const Fr* l0p = t.l0->data();
+  const Fr* llastp = t.llast->data();
+  const Fr* zhp = t.zh_inv->data();
+  const Fr* cxp = num_chunks_ > 0 ? t.coset_x->data() : nullptr;
+  std::vector<const Fr*> mp(lookups_.size());
+  std::vector<const Fr*> hp(lookups_.size());
+  std::vector<const Fr*> sp(lookups_.size());
+  std::vector<std::vector<const Fr*>> tabp(lookups_.size());
+  for (size_t l = 0; l < lookups_.size(); ++l) {
+    mp[l] = t.m[l]->data();
+    hp[l] = t.h[l]->data();
+    sp[l] = t.s[l]->data();
+    tabp[l].resize(lookups_[l].table_fixed.size());
+    for (size_t jn = 0; jn < lookups_[l].table_fixed.size(); ++jn) {
+      tabp[l][jn] = t.fixed[lookups_[l].table_fixed[jn]]->data();
+    }
+  }
+  std::vector<const Fr*> zp(num_chunks_);
+  for (size_t ck = 0; ck < num_chunks_; ++ck) {
+    zp[ck] = t.z[ck]->data();
+  }
+  std::vector<const Fr*> sigp(perm_cols_.size());
+  std::vector<const Fr*> permp(perm_cols_.size());
+  std::vector<Fr> beta_delta(perm_cols_.size());
+  for (size_t i = 0; i < perm_cols_.size(); ++i) {
+    sigp[i] = t.sigma[i]->data();
+    permp[i] = ColumnData(t, perm_cols_[i]);
+    beta_delta[i] = ch.beta * (*ch.delta_pow)[i];
+  }
+  Fr* outp = out->data();
+
+  ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
+    std::vector<Fr> scratch(graph_.num_intermediates() * kBlockRows);
+    for (size_t j0 = lo; j0 < hi; j0 += kBlockRows) {
+      const size_t cnt = std::min(kBlockRows, hi - j0);
+      graph_.EvaluateBlock(gt, rot_offsets.data(), j0, cnt, kBlockRows, scratch.data());
+      for (size_t r = 0; r < cnt; ++r) {
+        const size_t j = j0 + r;
+        size_t jp = j + plus_one;
+        if (jp >= ext_n) {
+          jp -= ext_n;
+        }
+        Fr acc = Fr::Zero();
+        size_t c = 0;  // constraint cursor: indexes y_pows in legacy order
+
+        // Gates.
+        for (const ValueSource& root : gate_roots_) {
+          acc += graph_.BlockValue(root, gt, rot_offsets.data(), j0, r, kBlockRows,
+                                   scratch.data()) *
+                 y_pows[c++];
+        }
+
+        // Lookups: c0 (LogUp identity), c1 (S starts at 0), c2 (S update),
+        // c3 (S closes to 0).
+        for (size_t l = 0; l < lookups_.size(); ++l) {
+          const LookupPlan& lp = lookups_[l];
+          Fr f = Fr::Zero();
+          Fr tab = Fr::Zero();
+          Fr theta_j = Fr::One();
+          for (size_t jn = 0; jn < lp.input_roots.size(); ++jn) {
+            f += graph_.BlockValue(lp.input_roots[jn], gt, rot_offsets.data(), j0, r,
+                                   kBlockRows, scratch.data()) *
+                 theta_j;
+            tab += tabp[l][jn][j] * theta_j;
+            theta_j *= ch.theta;
+          }
+          const Fr bf = ch.beta + f;
+          const Fr bt = ch.beta + tab;
+          const Fr mv = mp[l][j];
+          const Fr hv = hp[l][j];
+          const Fr sv = sp[l][j];
+          const Fr sv_next = sp[l][jp];
+          const Fr l0 = l0p[j];
+          const Fr llast = llastp[j];
+          acc += (bf * bt * hv - (bt - mv * bf)) * y_pows[c++];
+          acc += (l0 * sv) * y_pows[c++];
+          acc += ((Fr::One() - llast) * (sv_next - sv - hv)) * y_pows[c++];
+          acc += (llast * (sv + hv)) * y_pows[c++];
+        }
+
+        // Permutation: boundary (z_0 starts at 1), then per chunk the active-
+        // row update and the last-row transition into the next chunk.
+        if (num_chunks_ > 0) {
+          const Fr l0 = l0p[j];
+          const Fr llast = llastp[j];
+          const Fr lactive = Fr::One() - llast;
+          acc += (l0 * (zp[0][j] - Fr::One())) * y_pows[c++];
+          for (size_t ck = 0; ck < num_chunks_; ++ck) {
+            const size_t col_begin = ck * chunk_size_;
+            const size_t col_end = std::min(perm_cols_.size(), col_begin + chunk_size_);
+            Fr num = Fr::One();
+            Fr den = Fr::One();
+            for (size_t i = col_begin; i < col_end; ++i) {
+              const Fr& fv = permp[i][j];
+              num *= fv + beta_delta[i] * cxp[j] + ch.gamma;
+              den *= fv + ch.beta * sigp[i][j] + ch.gamma;
+            }
+            const size_t next = (ck + 1) % num_chunks_;
+            acc += (lactive * (zp[ck][jp] * den - zp[ck][j] * num)) * y_pows[c++];
+            acc += (llast * (zp[next][jp] * den - zp[ck][j] * num)) * y_pows[c++];
+          }
+        }
+
+        outp[j] = acc * zhp[j];
+      }
+    }
+  });
+}
+
+}  // namespace zkml

@@ -1,0 +1,83 @@
+// Compiled quotient-numerator engine. Keygen compiles the circuit's gates and
+// lookup-input expressions once into GraphEvaluator calculation plans; at
+// proving time Evaluate() walks the extended coset row-by-row in parallel
+// chunks, fusing every constraint family (gates, LogUp lookups, chunked
+// permutation grand products) and the vanishing-polynomial division into a
+// single pass with no per-constraint ext_n-sized temporaries.
+//
+// Byte-identity contract: the y-challenge power assigned to each constraint
+// follows the legacy evaluation order exactly — gates in declaration order,
+// then per lookup the four LogUp constraints (c0..c3), then the permutation
+// boundary constraint and per-chunk update/transition pair. Field arithmetic
+// is exact, so fusing the loops cannot change any value and proofs stay
+// byte-identical to the AST-walking path this replaces.
+#ifndef SRC_PLONK_QUOTIENT_H_
+#define SRC_PLONK_QUOTIENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ff/fields.h"
+#include "src/plonk/constraint_system.h"
+#include "src/plonk/evaluator.h"
+
+namespace zkml {
+
+class QuotientEvaluator {
+ public:
+  // Compiles the constraint system. `perm_columns` must be the verifying
+  // key's canonical permutation column order (it fixes delta-power indices).
+  QuotientEvaluator(const ConstraintSystem& cs, const std::vector<Column>& perm_columns);
+
+  // Everything Evaluate reads, all in evaluation form over the extended coset
+  // of ext_n rows (ext_factor rows per unit rotation).
+  struct Tables {
+    std::vector<const std::vector<Fr>*> fixed;
+    std::vector<const std::vector<Fr>*> advice;
+    std::vector<const std::vector<Fr>*> instance;
+    std::vector<const std::vector<Fr>*> sigma;    // one per permutation column
+    std::vector<const std::vector<Fr>*> z;        // one per permutation chunk
+    std::vector<const std::vector<Fr>*> m, h, s;  // one per lookup argument
+    const std::vector<Fr>* l0 = nullptr;          // Lagrange l_0 on the coset
+    const std::vector<Fr>* llast = nullptr;       // Lagrange l_{n-1} on the coset
+    const std::vector<Fr>* coset_x = nullptr;     // identity polynomial g * w_ext^j
+    const std::vector<Fr>* zh_inv = nullptr;      // 1 / Z_H on the coset
+    size_t ext_n = 0;
+    size_t ext_factor = 1;
+  };
+
+  struct Challenges {
+    Fr theta;
+    Fr beta;
+    Fr gamma;
+    Fr y;
+    const std::vector<Fr>* delta_pow = nullptr;  // delta^i per permutation column
+  };
+
+  // Total number of y-combined constraints.
+  size_t num_constraints() const { return num_constraints_; }
+
+  // out[j] = zh_inv[j] * sum_c y^c * constraint_c(j) for every coset row j.
+  // `out` is resized to ext_n and fully overwritten (pooled buffers welcome).
+  void Evaluate(const Tables& t, const Challenges& ch, std::vector<Fr>* out) const;
+
+  const GraphEvaluator& graph() const { return graph_; }
+
+ private:
+  struct LookupPlan {
+    std::vector<ValueSource> input_roots;  // compiled lookup input expressions
+    std::vector<uint32_t> table_fixed;     // fixed-column index per table slot
+  };
+
+  GraphEvaluator graph_;
+  std::vector<ValueSource> gate_roots_;
+  std::vector<LookupPlan> lookups_;
+  std::vector<Column> perm_cols_;
+  size_t chunk_size_ = 0;
+  size_t num_chunks_ = 0;
+  size_t num_constraints_ = 0;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_QUOTIENT_H_

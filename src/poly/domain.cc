@@ -157,19 +157,28 @@ const EvaluationDomain::CosetTables& EvaluationDomain::GetCosetTables(int ext_k)
 
 std::vector<Fr> EvaluationDomain::CosetFftFromCoeffs(const std::vector<Fr>& coeffs,
                                                      int ext_k) const {
+  std::vector<Fr> vals;
+  CosetFftFromCoeffsInto(coeffs, ext_k, &vals);
+  return vals;
+}
+
+void EvaluationDomain::CosetFftFromCoeffsInto(const std::vector<Fr>& coeffs, int ext_k,
+                                              std::vector<Fr>* out) const {
   const size_t ext_n = n_ << ext_k;
   ZKML_CHECK_MSG(coeffs.size() <= ext_n, "polynomial larger than extended domain");
+  ZKML_CHECK(out != &coeffs);
   const CosetTables& t = GetCosetTables(ext_k);
-  std::vector<Fr> vals = coeffs;
-  vals.resize(ext_n, Fr::Zero());
-  // Scale coefficient i by g^i, then a plain FFT over H_ext evaluates on gH_ext.
-  ParallelFor(0, vals.size(), [&](size_t lo, size_t hi) {
+  std::vector<Fr>& vals = *out;
+  vals.resize(ext_n);
+  // Scale coefficient i by g^i (zero-padding the tail), then a plain FFT over
+  // H_ext evaluates on gH_ext.
+  const size_t m = coeffs.size();
+  ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      vals[i] *= t.scale[i];
+      vals[i] = i < m ? coeffs[i] * t.scale[i] : Fr::Zero();
     }
   });
   FftCore(vals, t.twiddles.data());
-  return vals;
 }
 
 std::vector<Fr> EvaluationDomain::CosetIfftToCoeffs(const std::vector<Fr>& evals,

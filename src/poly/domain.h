@@ -50,6 +50,11 @@ class EvaluationDomain {
   // and g is the Fr multiplicative generator. Used for quotient computation:
   // the vanishing polynomial of H never vanishes on this coset.
   std::vector<Fr> CosetFftFromCoeffs(const std::vector<Fr>& coeffs, int ext_k) const;
+  // As above, but writes into *out (resized to n << ext_k; previous contents
+  // discarded) so callers can reuse pooled buffers instead of allocating a
+  // fresh multi-MB vector per column.
+  void CosetFftFromCoeffsInto(const std::vector<Fr>& coeffs, int ext_k,
+                              std::vector<Fr>* out) const;
   // Inverse: coset evaluations (size n << ext_k) -> coefficients.
   std::vector<Fr> CosetIfftToCoeffs(const std::vector<Fr>& evals, int ext_k) const;
 

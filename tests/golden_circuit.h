@@ -1,0 +1,104 @@
+// A hand-built circuit that exercises every quotient-constraint family at
+// once — custom gates (including rotated queries), a two-column lookup, and
+// enough equality-enabled columns to force multiple permutation chunks — so a
+// single golden proof hash pins the whole prover pipeline. Shared by the
+// quotient tests; the recorded hashes were produced by the legacy
+// (iFFT-per-commit, AST-walk quotient) prover and must never change.
+#ifndef TESTS_GOLDEN_CIRCUIT_H_
+#define TESTS_GOLDEN_CIRCUIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/plonk/assignment.h"
+#include "src/plonk/constraint_system.h"
+
+namespace zkml {
+
+struct GoldenCircuit {
+  static constexpr int kK = 5;
+  static constexpr size_t kN = 1u << kK;
+  static constexpr int64_t kTableSize = 16;
+
+  ConstraintSystem cs;
+  Column inst, a, b, c, d, v, w;
+  Column sel, srot, slk, tbl_in, tbl_out;
+
+  GoldenCircuit() {
+    inst = cs.AddInstanceColumn();
+    a = cs.AddAdviceColumn(/*equality_enabled=*/true);
+    b = cs.AddAdviceColumn(false);
+    c = cs.AddAdviceColumn(true);
+    d = cs.AddAdviceColumn(false);
+    v = cs.AddAdviceColumn(true);
+    w = cs.AddAdviceColumn(true);
+    sel = cs.AddFixedColumn();
+    srot = cs.AddFixedColumn();
+    slk = cs.AddFixedColumn();
+    tbl_in = cs.AddFixedColumn();
+    tbl_out = cs.AddFixedColumn();
+
+    Expression q = Expression::Query(sel);
+    Expression ea = Expression::Query(a);
+    Expression eb = Expression::Query(b);
+    Expression ec = Expression::Query(c);
+    // c = a*b + a on selected rows.
+    cs.AddGate("mac", q * (ea * eb + ea - ec));
+    // d_{i+1} = d_i^2 on selected rows: a rotated query in a custom gate.
+    Expression ed = Expression::Query(d);
+    Expression ed_next = Expression::Query(d, 1);
+    cs.AddGate("square-chain", Expression::Query(srot) * (ed_next - ed * ed));
+    // And the same relation written against rotation -1, so the compiled
+    // evaluator sees negative rotations too.
+    Expression ed_prev = Expression::Query(d, -1);
+    cs.AddGate("square-chain-prev",
+               Expression::Query(srot, -1) * (ed - ed_prev * ed_prev));
+    // (v, w) must be a row of the (i, i^3) table on selected rows.
+    Expression ql = Expression::Query(slk);
+    cs.AddLookup("cube", {ql * Expression::Query(v), ql * Expression::Query(w)},
+                 {tbl_in, tbl_out});
+  }
+
+  Assignment MakeAssignment() const {
+    Assignment asn(cs, kN);
+    for (int64_t i = 0; i < kTableSize; ++i) {
+      asn.SetFixed(tbl_in, static_cast<size_t>(i), Fr::FromInt64(i));
+      asn.SetFixed(tbl_out, static_cast<size_t>(i), Fr::FromInt64(i * i * i));
+    }
+    // MAC chain with copies: acc_{i+1} = acc_i * b_i + acc_i.
+    const std::vector<int64_t> bs = {2, 3, 4, 5, 6};
+    int64_t acc = 1;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      asn.SetFixed(sel, i, Fr::One());
+      asn.SetAdvice(a, i, Fr::FromInt64(acc));
+      asn.SetAdvice(b, i, Fr::FromInt64(bs[i]));
+      acc = acc * bs[i] + acc;
+      asn.SetAdvice(c, i, Fr::FromInt64(acc));
+      if (i > 0) {
+        asn.Copy(Cell{c, static_cast<uint32_t>(i - 1)}, Cell{a, static_cast<uint32_t>(i)});
+      }
+    }
+    // Square chain d_{i+1} = d_i^2 on rows [1, 5).
+    int64_t dv = 3;
+    asn.SetAdvice(d, 1, Fr::FromInt64(dv));
+    for (size_t i = 1; i < 5; ++i) {
+      asn.SetFixed(srot, i, Fr::One());
+      dv = dv * dv;
+      asn.SetAdvice(d, i + 1, Fr::FromInt64(dv));
+    }
+    // Cube lookups.
+    const std::vector<int64_t> xs = {1, 2, 3, 5, 15, 7, 7};
+    for (size_t i = 0; i < xs.size(); ++i) {
+      asn.SetFixed(slk, i, Fr::One());
+      asn.SetAdvice(v, i, Fr::FromInt64(xs[i]));
+      asn.SetAdvice(w, i, Fr::FromInt64(xs[i] * xs[i] * xs[i]));
+    }
+    asn.SetInstance(inst, 0, asn.Get(c, bs.size() - 1));
+    asn.Copy(Cell{inst, 0}, Cell{c, static_cast<uint32_t>(bs.size() - 1)});
+    return asn;
+  }
+};
+
+}  // namespace zkml
+
+#endif  // TESTS_GOLDEN_CIRCUIT_H_
