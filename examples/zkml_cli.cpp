@@ -8,13 +8,17 @@
 //   zkml_cli profile <model-file> [kzg|ipa]          per-layer circuit resources
 //   zkml_cli prove <model-file> <proof-file> [seed]  prove one inference
 //   zkml_cli verify <model-file> <proof-file>        standalone verification
+//   zkml_cli audit <model-file> [seed]               soundness audit: witness-
+//                                                    mutation fuzzer, constraint
+//                                                    coverage, forgery harness
 //   zkml_cli telemetry-validate <json-file>          validate a telemetry file
 //
 // Global telemetry flags (may appear anywhere on the command line):
 //   --trace=<file>    write a Chrome/Perfetto trace of the whole command
 //   --metrics=<file>  write the metrics registry (schema zkml.metrics/v1)
 //   --report=<file>   prove: run report (zkml.run_report/v1);
-//                     profile: the profile as JSON (zkml.circuit_profile/v1)
+//                     profile: the profile as JSON (zkml.circuit_profile/v1);
+//                     audit: soundness report (zkml.soundness/v1)
 //
 // Proof files carry the proof bytes plus the public statement; `verify`
 // rebuilds the verifying key deterministically from the model file, so the
@@ -22,9 +26,11 @@
 //
 // Exit codes (documented in README.md; model and proof files are untrusted,
 // so every malformed input maps to an exit code, never an abort):
-//   0  success ("verify": proof VALID)
+//   0  success ("verify": proof VALID; "audit": circuit SOUND)
 //   1  usage error or filesystem failure (cannot read/write a file)
-//   2  proof rejected ("verify": proof well-formed-or-not but INVALID)
+//   2  proof rejected ("verify": proof well-formed-or-not but INVALID;
+//      "audit": a soundness violation — surviving mutant, dead gate/lookup,
+//      or an accepted forgery)
 //   3  malformed input (model file or proof file failed to parse/validate)
 #include <cstdio>
 #include <cstring>
@@ -229,6 +235,62 @@ int CmdProfile(const std::string& path, PcsKind backend, const std::string& repo
   return kExitOk;
 }
 
+int CmdAudit(const std::string& model_path, uint64_t seed, const std::string& report_path) {
+  Model model;
+  int exit_code = kExitOk;
+  if (!LoadModelOrReport(model_path, &model, &exit_code)) {
+    return exit_code;
+  }
+  SoundnessAuditOptions options;
+  options.seed = seed;
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
+  const SoundnessAudit audit = RunSoundnessAudit(model, input, options);
+
+  std::printf("witness satisfied: %s\n", audit.witness_satisfied ? "yes" : "NO");
+  std::printf("coverage: %zu gates (%llu dead), %zu lookups (%llu dead)\n",
+              audit.coverage.gates.size(),
+              static_cast<unsigned long long>(audit.coverage.dead_gates),
+              audit.coverage.lookups.size(),
+              static_cast<unsigned long long>(audit.coverage.dead_lookups));
+  std::printf("mutation: %llu cells fuzzed (seed %llu, %llu exempt as padding, %llu as free "
+              "witness), %llu/%llu mutants detected\n",
+              static_cast<unsigned long long>(audit.mutation.cells_fuzzed),
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(audit.mutation.cells_unassigned),
+              static_cast<unsigned long long>(audit.mutation.cells_free_witness),
+              static_cast<unsigned long long>(audit.mutation.mutants_detected),
+              static_cast<unsigned long long>(audit.mutation.mutants_tried));
+  for (const SurvivingMutant& s : audit.mutation.survivors) {
+    std::printf("  SURVIVOR: %s\n", s.description.c_str());
+  }
+  for (const GateCoverage& g : audit.coverage.gates) {
+    if (g.active_rows == 0) {
+      std::printf("  DEAD GATE: '%s' has no active row\n", g.name.c_str());
+    }
+  }
+  for (const LookupCoverage& l : audit.coverage.lookups) {
+    if (l.active_rows == 0) {
+      std::printf("  DEAD LOOKUP: '%s' has no active row\n", l.name.c_str());
+    }
+  }
+  if (audit.forgery_ran) {
+    std::printf("forgery: honest kzg=%s ipa=%s accepted; forged kzg=%s ipa=%s rejected\n",
+                audit.honest_kzg_accepted ? "yes" : "NO", audit.honest_ipa_accepted ? "yes" : "NO",
+                audit.forged_kzg_rejected ? "yes" : "NO", audit.forged_ipa_rejected ? "yes" : "NO");
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << audit.ToJson().DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return kExitUsage;
+    }
+    std::printf("soundness report -> %s\n", report_path.c_str());
+  }
+  std::printf(audit.Passed() ? "SOUND\n" : "UNSOUND\n");
+  return audit.Passed() ? kExitOk : kExitInvalidProof;
+}
+
 // Validates a telemetry JSON file: must parse strictly and be either a Chrome
 // trace (object with a traceEvents array) or a zkml.* schema document.
 int CmdTelemetryValidate(const std::string& path) {
@@ -299,6 +361,7 @@ int Usage() {
                "       zkml_cli profile <model-file> [kzg|ipa]\n"
                "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
                "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n"
+               "       zkml_cli audit <model-file> [seed]\n"
                "       zkml_cli telemetry-validate <json-file>\n");
   return kExitUsage;
 }
@@ -335,6 +398,10 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
   }
   if (cmd == "verify" && args.size() >= 3) {
     return CmdVerify(args[1], args[2], backend_arg(3, PcsKind::kKzg));
+  }
+  if (cmd == "audit") {
+    const uint64_t seed = args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 7;
+    return CmdAudit(args[1], seed, report_path);
   }
   if (cmd == "telemetry-validate") {
     return CmdTelemetryValidate(args[1]);

@@ -22,6 +22,16 @@ Rng::Rng(uint64_t seed) {
   }
 }
 
+Rng::Rng(uint64_t seed, uint64_t stream) {
+  // Fold the stream index through one SplitMix64 round before seeding so
+  // adjacent (seed, stream) pairs land in unrelated states.
+  uint64_t mix = stream;
+  uint64_t sm = seed ^ SplitMix64(mix);
+  for (uint64_t& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

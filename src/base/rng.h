@@ -1,6 +1,8 @@
 // Deterministic pseudo-random generation used for synthetic model weights,
-// test vectors, and (insecure, documented) local trusted setups. Determinism
-// keeps benchmark tables reproducible run to run.
+// test vectors, adversarial mutation harnesses (tests/proof_mutator.h, the
+// plonk soundness fuzzer), and (insecure, documented) local trusted setups.
+// Determinism keeps benchmark tables reproducible run to run and lets any
+// harness failure replay exactly from its logged seed.
 #ifndef SRC_BASE_RNG_H_
 #define SRC_BASE_RNG_H_
 
@@ -12,6 +14,10 @@ namespace zkml {
 class Rng {
  public:
   explicit Rng(uint64_t seed);
+  // Substream constructor: (seed, stream) pairs yield independent sequences.
+  // Parallel harnesses derive one stream per work item (e.g. per grid cell)
+  // so results do not depend on thread scheduling.
+  Rng(uint64_t seed, uint64_t stream);
 
   uint64_t NextU64();
   // Uniform in [0, bound). bound must be nonzero.

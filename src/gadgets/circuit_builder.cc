@@ -47,9 +47,6 @@ CircuitBuilder::CircuitBuilder(const BuilderOptions& opts)
   const_col_ = cs_.AddFixedColumn();
   cs_.EnableEquality(const_col_);
 
-  auto q = [](Column c, int32_t rot = 0) { return Expression::Query(c, rot); };
-  auto k = [](int64_t v) { return Expression::Constant(Fr::FromInt64(v)); };
-
   // --- Lookup tables. ---
   range_2sf_table_ = cs_.AddFixedColumn();
   table_rows_ = std::max<size_t>(table_rows_, static_cast<size_t>(2 * sf));
@@ -69,202 +66,65 @@ CircuitBuilder::CircuitBuilder(const BuilderOptions& opts)
     table_rows_ = std::max(table_rows_, tb_rows + 1);  // +1: all-zero pad row
   }
 
-  // --- Dot product / sum gadgets. ---
+  // --- Dot product / sum gadgets: selector columns and term geometry. The
+  // gates themselves are registered on first use (see EnsureDot/EnsureSum) so
+  // circuits that never run a gadget carry no never-active gate.
+  sel_dot_ = cs_.AddFixedColumn();
   if (gs.multi_row_dot) {
-    // Two-row layout (Table 13 ablation): x row then y row.
     dot_terms_ = n - 1;
     dot_bias_terms_ = 0;  // chaining not offered in multi-row mode
-    sel_dot_ = cs_.AddFixedColumn();
-    Expression acc = k(0);
-    for (int i = 0; i + 1 < n; ++i) {
-      acc = acc + q(io_[i], 0) * q(io_[i], 1);
-    }
-    cs_.AddGate("dot2", q(sel_dot_) * (acc - q(io_[n - 1], 1)));
   } else {
     dot_terms_ = (n - 1) / 2;
     dot_bias_terms_ = (n - 2) / 2;
-    sel_dot_ = cs_.AddFixedColumn();
-    {
-      Expression acc = k(0);
-      for (int i = 0; i < dot_terms_; ++i) {
-        acc = acc + q(io_[i]) * q(io_[dot_terms_ + i]);
-      }
-      cs_.AddGate("dot", q(sel_dot_) * (acc - q(io_[2 * dot_terms_])));
-    }
     sel_dot_bias_ = cs_.AddFixedColumn();
-    {
-      Expression acc = q(io_[2 * dot_bias_terms_]);  // bias slot
-      for (int i = 0; i < dot_bias_terms_; ++i) {
-        acc = acc + q(io_[i]) * q(io_[dot_bias_terms_ + i]);
-      }
-      cs_.AddGate("dot_bias", q(sel_dot_bias_) * (acc - q(io_[2 * dot_bias_terms_ + 1])));
-    }
   }
-  if (gs.multi_row_sum) {
-    sum_terms_ = 2 * n - 1;
-    sel_sum_ = cs_.AddFixedColumn();
-    Expression acc = k(0);
-    for (int i = 0; i < n; ++i) {
-      acc = acc + q(io_[i], 0);
-    }
-    for (int i = 0; i + 1 < n; ++i) {
-      acc = acc + q(io_[i], 1);
-    }
-    cs_.AddGate("sum2", q(sel_sum_) * (acc - q(io_[n - 1], 1)));
-  } else {
-    sum_terms_ = n - 1;
-    sel_sum_ = cs_.AddFixedColumn();
-    Expression acc = k(0);
-    for (int i = 0; i + 1 < n; ++i) {
-      acc = acc + q(io_[i]);
-    }
-    cs_.AddGate("sum", q(sel_sum_) * (acc - q(io_[n - 1])));
-  }
+  sel_sum_ = cs_.AddFixedColumn();
+  sum_terms_ = gs.multi_row_sum ? 2 * n - 1 : n - 1;
 
-  // --- Packed slot gadgets. ---
-  auto add_slot_gadget = [&](SlotKind kind, const char* name, int width,
-                             const std::function<Expression(Column sel, int base)>& gate,
-                             const std::function<std::vector<std::pair<Expression, Column>>(
-                                 Column sel, int base)>& lookups) {
+  // --- Packed slot gadgets: selector columns and slot geometry now (the
+  // Assignment constructed below snapshots column counts); gates and lookups
+  // lazily in EnsureSlot.
+  auto register_slot = [&](SlotKind kind, int width) {
     SlotSpec spec;
     spec.selector = cs_.AddFixedColumn();
     spec.width = width;
     spec.slots_per_row = n / width;
     ZKML_CHECK_MSG(spec.slots_per_row >= 1, "io columns too narrow for gadget");
-    for (int s = 0; s < spec.slots_per_row; ++s) {
-      const int base = s * width;
-      cs_.AddGate(std::string(name) + "[" + std::to_string(s) + "]", gate(spec.selector, base));
-      for (auto& [input, table] : lookups(spec.selector, base)) {
-        cs_.AddLookup(std::string(name) + "-lk[" + std::to_string(s) + "]", {input}, {table});
-      }
-    }
     slots_[kind] = spec;
   };
-  auto no_lookups = [](Column, int) { return std::vector<std::pair<Expression, Column>>{}; };
 
   // Rescale is always present: every fixed-point product needs it.
-  // Layout (b, c, r): 2b + SF = 2*SF*c + r with r in [0, 2*SF).
-  add_slot_gadget(
-      SlotKind::kRescale, "rescale", 3,
-      [&](Column sel, int b) {
-        return q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) + k(sf) -
-                         q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 2]));
-      },
-      [&](Column sel, int b) {
-        return std::vector<std::pair<Expression, Column>>{
-            {q(sel) * q(io_[b + 2]), range_2sf_table_}};
-      });
-
+  register_slot(SlotKind::kRescale, 3);
   if (gs.packed_arith) {
-    add_slot_gadget(
-        SlotKind::kAdd, "add", 3,
-        [&](Column sel, int b) { return q(sel) * (q(io_[b]) + q(io_[b + 1]) - q(io_[b + 2])); },
-        no_lookups);
-    add_slot_gadget(
-        SlotKind::kSub, "sub", 3,
-        [&](Column sel, int b) { return q(sel) * (q(io_[b]) - q(io_[b + 1]) - q(io_[b + 2])); },
-        no_lookups);
-    // Mul with fused rounding rescale: 2ab + SF = 2*SF*c + r.
-    add_slot_gadget(
-        SlotKind::kMul, "mul", 4,
-        [&](Column sel, int b) {
-          return q(sel) * ((q(io_[b]) * q(io_[b + 1])).Scale(Fr::FromU64(2)) + k(sf) -
-                           q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 3]));
-        },
-        [&](Column sel, int b) {
-          return std::vector<std::pair<Expression, Column>>{
-              {q(sel) * q(io_[b + 3]), range_2sf_table_}};
-        });
+    register_slot(SlotKind::kAdd, 3);
+    register_slot(SlotKind::kSub, 3);
+    register_slot(SlotKind::kMul, 4);
     if (gs.dedicated_square) {
-      add_slot_gadget(
-          SlotKind::kSquare, "square", 3,
-          [&](Column sel, int b) {
-            return q(sel) * ((q(io_[b]) * q(io_[b])).Scale(Fr::FromU64(2)) + k(sf) -
-                             q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 2]));
-          },
-          [&](Column sel, int b) {
-            return std::vector<std::pair<Expression, Column>>{
-                {q(sel) * q(io_[b + 2]), range_2sf_table_}};
-          });
+      register_slot(SlotKind::kSquare, 3);
     }
-    add_slot_gadget(
-        SlotKind::kSquaredDiff, "sqdiff", 4,
-        [&](Column sel, int b) {
-          Expression d = q(io_[b]) - q(io_[b + 1]);
-          return q(sel) * ((d * d).Scale(Fr::FromU64(2)) + k(sf) -
-                           q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - q(io_[b + 3]));
-        },
-        [&](Column sel, int b) {
-          return std::vector<std::pair<Expression, Column>>{
-              {q(sel) * q(io_[b + 3]), range_2sf_table_}};
-        });
+    register_slot(SlotKind::kSquaredDiff, 4);
   }
-
   if (gs.need_max) {
     if (gs.multi_row_max) {
-      // Two-row max: a, b on the first row, c on the second.
       SlotSpec spec;
       spec.selector = cs_.AddFixedColumn();
       spec.width = n;  // consumes whole (double) row
       spec.slots_per_row = 1;
-      Expression c = q(io_[0], 1);
-      cs_.AddGate("max2", q(spec.selector) * (c - q(io_[0])) * (c - q(io_[1])));
-      cs_.AddLookup("max2-lkA", {q(spec.selector) * (c - q(io_[0]))}, {range_big_table_});
-      cs_.AddLookup("max2-lkB", {q(spec.selector) * (c - q(io_[1]))}, {range_big_table_});
       slots_[SlotKind::kMax] = spec;
     } else {
-      add_slot_gadget(
-          SlotKind::kMax, "max", 3,
-          [&](Column sel, int b) {
-            return q(sel) * (q(io_[b + 2]) - q(io_[b])) * (q(io_[b + 2]) - q(io_[b + 1]));
-          },
-          [&](Column sel, int b) {
-            return std::vector<std::pair<Expression, Column>>{
-                {q(sel) * (q(io_[b + 2]) - q(io_[b])), range_big_table_},
-                {q(sel) * (q(io_[b + 2]) - q(io_[b + 1])), range_big_table_}};
-          });
+      register_slot(SlotKind::kMax, 3);
     }
   }
-
   if (gs.need_vardiv) {
-    // Layout (a, b, c, r): 2b + a = 2ac + r, r in [0, 2a).
-    add_slot_gadget(
-        SlotKind::kVarDiv, "vardiv", 4,
-        [&](Column sel, int b) {
-          return q(sel) * (q(io_[b + 1]).Scale(Fr::FromU64(2)) + q(io_[b]) -
-                           (q(io_[b]) * q(io_[b + 2])).Scale(Fr::FromU64(2)) - q(io_[b + 3]));
-        },
-        [&](Column sel, int b) {
-          return std::vector<std::pair<Expression, Column>>{
-              {q(sel) * q(io_[b + 3]), range_big_table_},
-              {q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) - k(1) - q(io_[b + 3])),
-               range_big_table_}};
-        });
-    // Softmax variant: numerator scaled by SF inside the gate (paper §6).
-    add_slot_gadget(
-        SlotKind::kSoftmaxDiv, "softdiv", 4,
-        [&](Column sel, int b) {
-          return q(sel) * (q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) + q(io_[b]) -
-                           (q(io_[b]) * q(io_[b + 2])).Scale(Fr::FromU64(2)) - q(io_[b + 3]));
-        },
-        [&](Column sel, int b) {
-          return std::vector<std::pair<Expression, Column>>{
-              {q(sel) * q(io_[b + 3]), range_big_table_},
-              {q(sel) * (q(io_[b]).Scale(Fr::FromU64(2)) - k(1) - q(io_[b + 3])),
-               range_big_table_}};
-        });
+    register_slot(SlotKind::kVarDiv, 4);
+    register_slot(SlotKind::kSoftmaxDiv, 4);
   }
 
-  // --- Pointwise non-linearities. ---
+  // --- Pointwise non-linearities: selector columns; lookup arguments are
+  // registered in EnsureNonlin.
   nonlin_slots_per_row_ = n / 2;
   for (auto& [fn, tables] : nonlin_tables_) {
-    Column sel = cs_.AddFixedColumn();
-    sel_nonlin_[fn] = sel;
-    for (int s = 0; s < nonlin_slots_per_row_; ++s) {
-      cs_.AddLookup(NonlinFnName(fn) + "-lk[" + std::to_string(s) + "]",
-                    {q(sel) * q(io_[2 * s]), q(sel) * q(io_[2 * s + 1])},
-                    {tables.first, tables.second});
-    }
+    sel_nonlin_[fn] = cs_.AddFixedColumn();
   }
 
   // --- ReLU via bit decomposition (prior-work style, paper §3). ---
@@ -276,22 +136,6 @@ CircuitBuilder::CircuitBuilder(const BuilderOptions& opts)
     spec.slots_per_row = n / spec.width;
     ZKML_CHECK_MSG(spec.slots_per_row >= 1,
                    "bit-decomposition ReLU needs table_bits + 2 io columns");
-    for (int s = 0; s < spec.slots_per_row; ++s) {
-      const int b = s * spec.width;
-      // x + 2^{nb-1} - sum_i bit_i 2^i == 0; bits boolean; y == sign_bit * x.
-      Expression recompose = k(int64_t{1} << (nb - 1)) + q(io_[b]);
-      for (int i = 0; i < nb; ++i) {
-        recompose = recompose + q(io_[b + 2 + i]).Scale(Fr::FromInt64(int64_t{1} << i)).Neg();
-      }
-      cs_.AddGate("relu_bits-dec[" + std::to_string(s) + "]", q(spec.selector) * recompose);
-      for (int i = 0; i < nb; ++i) {
-        Expression bit = q(io_[b + 2 + i]);
-        cs_.AddGate("relu_bits-bool[" + std::to_string(s) + "." + std::to_string(i) + "]",
-                    q(spec.selector) * bit * (bit - k(1)));
-      }
-      cs_.AddGate("relu_bits-sel[" + std::to_string(s) + "]",
-                  q(spec.selector) * (q(io_[b + 1]) - q(io_[b + 2 + nb - 1]) * q(io_[b])));
-    }
     slots_[SlotKind::kReluBits] = spec;
   }
 
@@ -319,6 +163,246 @@ CircuitBuilder::CircuitBuilder(const BuilderOptions& opts)
   }
 }
 
+namespace {
+Expression Q(Column c, int32_t rot = 0) { return Expression::Query(c, rot); }
+Expression K(int64_t v) { return Expression::Constant(Fr::FromInt64(v)); }
+}  // namespace
+
+void CircuitBuilder::EnsureDot() {
+  if (dot_configured_) {
+    return;
+  }
+  dot_configured_ = true;
+  const int n = opts_.num_io_columns;
+  if (opts_.gadgets.multi_row_dot) {
+    // Two-row layout (Table 13 ablation): x row then y row.
+    Expression acc = K(0);
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + Q(io_[i], 0) * Q(io_[i], 1);
+    }
+    cs_.AddGate("dot2", Q(sel_dot_) * (acc - Q(io_[n - 1], 1)));
+  } else {
+    Expression acc = K(0);
+    for (int i = 0; i < dot_terms_; ++i) {
+      acc = acc + Q(io_[i]) * Q(io_[dot_terms_ + i]);
+    }
+    cs_.AddGate("dot", Q(sel_dot_) * (acc - Q(io_[2 * dot_terms_])));
+  }
+}
+
+void CircuitBuilder::EnsureDotBias() {
+  if (dot_bias_configured_) {
+    return;
+  }
+  dot_bias_configured_ = true;
+  Expression acc = Q(io_[2 * dot_bias_terms_]);  // bias slot
+  for (int i = 0; i < dot_bias_terms_; ++i) {
+    acc = acc + Q(io_[i]) * Q(io_[dot_bias_terms_ + i]);
+  }
+  cs_.AddGate("dot_bias", Q(sel_dot_bias_) * (acc - Q(io_[2 * dot_bias_terms_ + 1])));
+}
+
+void CircuitBuilder::EnsureSum() {
+  if (sum_configured_) {
+    return;
+  }
+  sum_configured_ = true;
+  const int n = opts_.num_io_columns;
+  if (opts_.gadgets.multi_row_sum) {
+    Expression acc = K(0);
+    for (int i = 0; i < n; ++i) {
+      acc = acc + Q(io_[i], 0);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + Q(io_[i], 1);
+    }
+    cs_.AddGate("sum2", Q(sel_sum_) * (acc - Q(io_[n - 1], 1)));
+  } else {
+    Expression acc = K(0);
+    for (int i = 0; i + 1 < n; ++i) {
+      acc = acc + Q(io_[i]);
+    }
+    cs_.AddGate("sum", Q(sel_sum_) * (acc - Q(io_[n - 1])));
+  }
+}
+
+void CircuitBuilder::EnsureNonlin(NonlinFn fn) {
+  auto& configured = nonlin_configured_[fn];
+  if (configured) {
+    return;
+  }
+  configured = true;
+  const Column sel = sel_nonlin_.at(fn);
+  const auto& tables = nonlin_tables_.at(fn);
+  for (int s = 0; s < nonlin_slots_per_row_; ++s) {
+    cs_.AddLookup(NonlinFnName(fn) + "-lk[" + std::to_string(s) + "]",
+                  {Q(sel) * Q(io_[2 * s]), Q(sel) * Q(io_[2 * s + 1])},
+                  {tables.first, tables.second});
+  }
+}
+
+CircuitBuilder::SlotSpec& CircuitBuilder::EnsureSlot(SlotKind kind) {
+  auto it = slots_.find(kind);
+  ZKML_CHECK_MSG(it != slots_.end(), "gadget not configured in GadgetSet");
+  SlotSpec& spec = it->second;
+  if (spec.configured) {
+    return spec;
+  }
+  spec.configured = true;
+  const int64_t sf = opts_.quant.SF();
+
+  auto add_packed = [&](const char* name,
+                        const std::function<Expression(Column sel, int base)>& gate,
+                        const std::function<std::vector<std::pair<Expression, Column>>(
+                            Column sel, int base)>& lookups) {
+    for (int s = 0; s < spec.slots_per_row; ++s) {
+      const int base = s * spec.width;
+      cs_.AddGate(std::string(name) + "[" + std::to_string(s) + "]", gate(spec.selector, base));
+      for (auto& [input, table] : lookups(spec.selector, base)) {
+        cs_.AddLookup(std::string(name) + "-lk[" + std::to_string(s) + "]", {input}, {table});
+      }
+    }
+  };
+  auto no_lookups = [](Column, int) { return std::vector<std::pair<Expression, Column>>{}; };
+
+  switch (kind) {
+    case SlotKind::kRescale:
+      // Layout (b, c, r): 2b + SF = 2*SF*c + r with r in [0, 2*SF).
+      add_packed(
+          "rescale",
+          [&](Column sel, int b) {
+            return Q(sel) * (Q(io_[b]).Scale(Fr::FromU64(2)) + K(sf) -
+                             Q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - Q(io_[b + 2]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 2]), range_2sf_table_}};
+          });
+      break;
+    case SlotKind::kAdd:
+      add_packed(
+          "add",
+          [&](Column sel, int b) { return Q(sel) * (Q(io_[b]) + Q(io_[b + 1]) - Q(io_[b + 2])); },
+          no_lookups);
+      break;
+    case SlotKind::kSub:
+      add_packed(
+          "sub",
+          [&](Column sel, int b) { return Q(sel) * (Q(io_[b]) - Q(io_[b + 1]) - Q(io_[b + 2])); },
+          no_lookups);
+      break;
+    case SlotKind::kMul:
+      // Mul with fused rounding rescale: 2ab + SF = 2*SF*c + r.
+      add_packed(
+          "mul",
+          [&](Column sel, int b) {
+            return Q(sel) * ((Q(io_[b]) * Q(io_[b + 1])).Scale(Fr::FromU64(2)) + K(sf) -
+                             Q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - Q(io_[b + 3]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 3]), range_2sf_table_}};
+          });
+      break;
+    case SlotKind::kSquare:
+      add_packed(
+          "square",
+          [&](Column sel, int b) {
+            return Q(sel) * ((Q(io_[b]) * Q(io_[b])).Scale(Fr::FromU64(2)) + K(sf) -
+                             Q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) - Q(io_[b + 2]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 2]), range_2sf_table_}};
+          });
+      break;
+    case SlotKind::kSquaredDiff:
+      add_packed(
+          "sqdiff",
+          [&](Column sel, int b) {
+            Expression d = Q(io_[b]) - Q(io_[b + 1]);
+            return Q(sel) * ((d * d).Scale(Fr::FromU64(2)) + K(sf) -
+                             Q(io_[b + 2]).Scale(Fr::FromInt64(2 * sf)) - Q(io_[b + 3]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 3]), range_2sf_table_}};
+          });
+      break;
+    case SlotKind::kMax:
+      if (opts_.gadgets.multi_row_max) {
+        // Two-row max: a, b on the first row, c on the second.
+        Expression c = Q(io_[0], 1);
+        cs_.AddGate("max2", Q(spec.selector) * (c - Q(io_[0])) * (c - Q(io_[1])));
+        cs_.AddLookup("max2-lkA", {Q(spec.selector) * (c - Q(io_[0]))}, {range_big_table_});
+        cs_.AddLookup("max2-lkB", {Q(spec.selector) * (c - Q(io_[1]))}, {range_big_table_});
+      } else {
+        add_packed(
+            "max",
+            [&](Column sel, int b) {
+              return Q(sel) * (Q(io_[b + 2]) - Q(io_[b])) * (Q(io_[b + 2]) - Q(io_[b + 1]));
+            },
+            [&](Column sel, int b) {
+              return std::vector<std::pair<Expression, Column>>{
+                  {Q(sel) * (Q(io_[b + 2]) - Q(io_[b])), range_big_table_},
+                  {Q(sel) * (Q(io_[b + 2]) - Q(io_[b + 1])), range_big_table_}};
+            });
+      }
+      break;
+    case SlotKind::kVarDiv:
+      // Layout (a, b, c, r): 2b + a = 2ac + r, r in [0, 2a).
+      add_packed(
+          "vardiv",
+          [&](Column sel, int b) {
+            return Q(sel) * (Q(io_[b + 1]).Scale(Fr::FromU64(2)) + Q(io_[b]) -
+                             (Q(io_[b]) * Q(io_[b + 2])).Scale(Fr::FromU64(2)) - Q(io_[b + 3]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 3]), range_big_table_},
+                {Q(sel) * (Q(io_[b]).Scale(Fr::FromU64(2)) - K(1) - Q(io_[b + 3])),
+                 range_big_table_}};
+          });
+      break;
+    case SlotKind::kSoftmaxDiv:
+      // Softmax variant: numerator scaled by SF inside the gate (paper §6).
+      add_packed(
+          "softdiv",
+          [&](Column sel, int b) {
+            return Q(sel) * (Q(io_[b + 1]).Scale(Fr::FromInt64(2 * sf)) + Q(io_[b]) -
+                             (Q(io_[b]) * Q(io_[b + 2])).Scale(Fr::FromU64(2)) - Q(io_[b + 3]));
+          },
+          [&](Column sel, int b) {
+            return std::vector<std::pair<Expression, Column>>{
+                {Q(sel) * Q(io_[b + 3]), range_big_table_},
+                {Q(sel) * (Q(io_[b]).Scale(Fr::FromU64(2)) - K(1) - Q(io_[b + 3])),
+                 range_big_table_}};
+          });
+      break;
+    case SlotKind::kReluBits: {
+      const int nb = opts_.quant.table_bits;
+      for (int s = 0; s < spec.slots_per_row; ++s) {
+        const int b = s * spec.width;
+        // x + 2^{nb-1} - sum_i bit_i 2^i == 0; bits boolean; y == sign_bit * x.
+        Expression recompose = K(int64_t{1} << (nb - 1)) + Q(io_[b]);
+        for (int i = 0; i < nb; ++i) {
+          recompose = recompose + Q(io_[b + 2 + i]).Scale(Fr::FromInt64(int64_t{1} << i)).Neg();
+        }
+        cs_.AddGate("relu_bits-dec[" + std::to_string(s) + "]", Q(spec.selector) * recompose);
+        for (int i = 0; i < nb; ++i) {
+          Expression bit = Q(io_[b + 2 + i]);
+          cs_.AddGate("relu_bits-bool[" + std::to_string(s) + "." + std::to_string(i) + "]",
+                      Q(spec.selector) * bit * (bit - K(1)));
+        }
+        cs_.AddGate("relu_bits-sel[" + std::to_string(s) + "]",
+                    Q(spec.selector) * (Q(io_[b + 1]) - Q(io_[b + 2 + nb - 1]) * Q(io_[b])));
+      }
+      break;
+    }
+  }
+  return spec;
+}
+
 size_t CircuitBuilder::MinRowsRequired() const {
   size_t rows = std::max({row_cursor_, table_rows_ + 1, const_cursor_, inst_cursor_});
   return std::max<size_t>(rows, 2);
@@ -341,6 +425,11 @@ void CircuitBuilder::Place(Column col, size_t row, const Operand& op) {
   asn_->SetAdvice(col, row, Fr::FromInt64(op.q));
   if (op.has_cell) {
     asn_->Copy(op.cell, Cell{col, static_cast<uint32_t>(row)});
+  } else {
+    // No producer cell: free private witness (model weights/biases). The
+    // soundness fuzzer exempts these — the statement is existentially
+    // quantified over them by design.
+    asn_->TagAdvice(col, row, AdviceTag::kFreeWitness);
   }
 }
 
@@ -507,12 +596,20 @@ Operand CircuitBuilder::AssignSlot(SlotKind kind, size_t row, int slot, const Op
 
 std::vector<Operand> CircuitBuilder::RunSlots(
     SlotKind kind, const std::vector<std::pair<Operand, Operand>>& pairs) {
-  const SlotSpec& spec = slots_.at(kind);
+  if (pairs.empty()) {
+    return {};
+  }
+  const SlotSpec& spec = EnsureSlot(kind);
   std::vector<Operand> out;
   out.reserve(pairs.size());
-  const Operand zero = Fresh(0);
-  const Operand one = Fresh(1);
+  // Neutral fillers are pinned to the constant column: a Fresh filler would
+  // be free witness, and for product-form gates (mul, max) a free operand
+  // next to a zero co-operand is under-constrained — the gate stays satisfied
+  // for any value the prover substitutes. The copy constraint to the fixed
+  // constant cell closes that hole.
+  const Operand zero = Constant(0);
   const bool div_like = kind == SlotKind::kVarDiv || kind == SlotKind::kSoftmaxDiv;
+  const Operand first_filler = div_like ? Constant(1) : zero;
   size_t i = 0;
   while (i < pairs.size()) {
     const size_t row = NewRow(spec.selector);
@@ -524,7 +621,7 @@ std::vector<Operand> CircuitBuilder::RunSlots(
         out.push_back(AssignSlot(kind, row, s, pairs[i].first, pairs[i].second));
       } else {
         // Neutral filler so the gate on this live row stays satisfied.
-        AssignSlot(kind, row, s, div_like ? one : zero, zero);
+        AssignSlot(kind, row, s, first_filler, zero);
       }
     }
   }
@@ -594,6 +691,9 @@ std::vector<Operand> CircuitBuilder::Rescale(const std::vector<Operand>& accs) {
 Operand CircuitBuilder::Sum(const std::vector<Operand>& xs) {
   ZKML_CHECK(!xs.empty());
   std::vector<Operand> level = xs;
+  if (level.size() > 1) {
+    EnsureSum();
+  }
   while (level.size() > 1) {
     std::vector<Operand> next;
     size_t i = 0;
@@ -623,7 +723,7 @@ Operand CircuitBuilder::Sum(const std::vector<Operand>& xs) {
           Place(io_[j], row, level[i + j]);
         }
         for (size_t j = take; j < static_cast<size_t>(sum_terms_); ++j) {
-          Place(io_[j], row, Fresh(0));
+          Place(io_[j], row, Constant(0));
         }
         next.push_back(Emit(io_[sum_terms_], row, total));
       }
@@ -645,10 +745,14 @@ Operand CircuitBuilder::DotProduct(const std::vector<Operand>& xs, const std::ve
 
 Operand CircuitBuilder::DotChained(const std::vector<Operand>& xs, const std::vector<Operand>& ys,
                                    const Operand* bias) {
+  EnsureDotBias();
   const size_t terms = static_cast<size_t>(dot_bias_terms_);
   ZKML_CHECK_MSG(bias == nullptr || !bias->has_cell, "bias must be fresh witness");
   int64_t acc = bias != nullptr ? bias->q * opts_.quant.SF() : 0;
   Operand b = Fresh(acc);  // bias enters as fresh private witness at SF^2 scale
+  // Filler term pairs must be pinned: in an x*y product either factor is
+  // unconstrained by the gate whenever the other is zero.
+  const Operand zero = Constant(0);
   size_t i = 0;
   while (i < xs.size()) {
     const size_t take = std::min(terms, xs.size() - i);
@@ -660,8 +764,8 @@ Operand CircuitBuilder::DotChained(const std::vector<Operand>& xs, const std::ve
       Place(io_[terms + j], row, ys[i + j]);
     }
     for (size_t j = take; j < terms; ++j) {
-      Place(io_[j], row, Fresh(0));
-      Place(io_[terms + j], row, Fresh(0));
+      Place(io_[j], row, zero);
+      Place(io_[terms + j], row, zero);
     }
     Place(io_[2 * terms], row, b);
     b = Emit(io_[2 * terms + 1], row, z);
@@ -672,8 +776,11 @@ Operand CircuitBuilder::DotChained(const std::vector<Operand>& xs, const std::ve
 
 Operand CircuitBuilder::DotWithSumTree(const std::vector<Operand>& xs,
                                        const std::vector<Operand>& ys, const Operand* bias) {
+  EnsureDot();
   const size_t terms = static_cast<size_t>(dot_terms_);
   const int n = opts_.num_io_columns;
+  // Pinned filler: see DotChained.
+  const Operand zero = Constant(0);
   std::vector<Operand> partials;
   size_t i = 0;
   while (i < xs.size()) {
@@ -688,8 +795,8 @@ Operand CircuitBuilder::DotWithSumTree(const std::vector<Operand>& xs,
         Place(io_[j], row + 1, ys[i + j]);
       }
       for (size_t j = take; j < terms; ++j) {
-        Place(io_[j], row, Fresh(0));
-        Place(io_[j], row + 1, Fresh(0));
+        Place(io_[j], row, zero);
+        Place(io_[j], row + 1, zero);
       }
       partials.push_back(Emit(io_[n - 1], row + 1, z));
     } else {
@@ -700,8 +807,8 @@ Operand CircuitBuilder::DotWithSumTree(const std::vector<Operand>& xs,
         Place(io_[terms + j], row, ys[i + j]);
       }
       for (size_t j = take; j < terms; ++j) {
-        Place(io_[j], row, Fresh(0));
-        Place(io_[terms + j], row, Fresh(0));
+        Place(io_[j], row, zero);
+        Place(io_[terms + j], row, zero);
       }
       partials.push_back(Emit(io_[2 * terms], row, z));
     }
@@ -726,9 +833,20 @@ std::vector<Operand> CircuitBuilder::Nonlinearity(NonlinFn fn, const std::vector
 
 std::vector<Operand> CircuitBuilder::NonlinearityViaTable(NonlinFn fn,
                                                           const std::vector<Operand>& xs) {
+  if (xs.empty()) {
+    return {};
+  }
   auto sel_it = sel_nonlin_.find(fn);
   ZKML_CHECK_MSG(sel_it != sel_nonlin_.end(), "non-linearity table not configured");
+  EnsureNonlin(fn);
   const Column sel = sel_it->second;
+  // Filler slots are pinned on both halves: a free filler x may take any
+  // preimage of f(0) when the table is non-injective (relu maps every
+  // negative input to 0), and a free filler y may take the all-zero pad
+  // tuple's 0 instead of f(0). Copies to the constant column remove both
+  // degrees of freedom.
+  const Operand fill_x = Constant(0);
+  const Operand fill_y = Constant(EvalNonlinQ(fn, 0, opts_.quant));
   std::vector<Operand> out;
   out.reserve(xs.size());
   size_t i = 0;
@@ -736,13 +854,15 @@ std::vector<Operand> CircuitBuilder::NonlinearityViaTable(NonlinFn fn,
     const size_t row = NewRow(sel);
     for (int s = 0; s < nonlin_slots_per_row_; ++s, ++i) {
       ++lookups_used_;
-      const Operand x = i < xs.size() ? xs[i] : Fresh(0);
-      CheckTableRange(x.q);
-      const int64_t y = EvalNonlinQ(fn, x.q, opts_.quant);
-      Place(io_[2 * s], row, x);
-      Operand o = Emit(io_[2 * s + 1], row, y);
       if (i < xs.size()) {
-        out.push_back(o);
+        const Operand& x = xs[i];
+        CheckTableRange(x.q);
+        const int64_t y = EvalNonlinQ(fn, x.q, opts_.quant);
+        Place(io_[2 * s], row, x);
+        out.push_back(Emit(io_[2 * s + 1], row, y));
+      } else {
+        Place(io_[2 * s], row, fill_x);
+        Place(io_[2 * s + 1], row, fill_y);
       }
     }
   }

@@ -140,7 +140,21 @@ class CircuitBuilder {
     Column selector;
     int width = 0;       // cells per slot
     int slots_per_row = 0;
+    bool configured = false;  // gates/lookups registered (done on first use)
   };
+
+  // Lazy gate registration: the constructor allocates every column (the
+  // Assignment snapshots column counts) and the slot geometry, but gates and
+  // lookup arguments are only added to the constraint system when a gadget is
+  // first used. Lowering control flow is input-independent, so estimate,
+  // keygen, and prove builds of the same model register identical constraint
+  // systems — and compiled circuits carry no never-active gates for the
+  // soundness coverage analyzer to flag.
+  SlotSpec& EnsureSlot(SlotKind kind);
+  void EnsureDot();
+  void EnsureDotBias();
+  void EnsureSum();
+  void EnsureNonlin(NonlinFn fn);
 
   size_t NewRow(Column selector);
   // Writes an operand into (column, row); adds the copy constraint when the
@@ -181,8 +195,12 @@ class CircuitBuilder {
 
   // Selectors.
   Column sel_dot_, sel_dot_bias_, sel_sum_;
+  bool dot_configured_ = false;
+  bool dot_bias_configured_ = false;
+  bool sum_configured_ = false;
   std::map<SlotKind, SlotSpec> slots_;
   std::map<NonlinFn, Column> sel_nonlin_;
+  std::map<NonlinFn, bool> nonlin_configured_;
   std::map<NonlinFn, std::pair<Column, Column>> nonlin_tables_;
   Column range_2sf_table_;
   Column range_big_table_;

@@ -68,7 +68,12 @@ int64_t EvalNonlinQ(NonlinFn fn, int64_t xq, const QuantParams& qp) {
   // Clamp to the table-representable band so downstream range checks hold.
   // The rsqrt/exp outputs can exceed it for extreme inputs; both the table
   // and the witness generator share this clamp, so circuits stay satisfiable.
-  const int64_t bound = (qp.TableMax() << 8) - 1;
+  // The bound must come from NonlinOutputBound: an earlier version used
+  // (TableMax() << 8) - 1, 256x beyond the band CheckTableRange and the range
+  // tables accept, so extreme exp/rsqrt witnesses aborted witness generation
+  // (or produced unsatisfiable downstream lookups) instead of landing on a
+  // valid table row.
+  const int64_t bound = NonlinOutputBound(qp);
   yq = std::min(yq, bound);
   yq = std::max(yq, -bound);
   return yq;

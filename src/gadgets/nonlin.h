@@ -27,8 +27,18 @@ enum class NonlinFn : uint8_t {
 
 std::string NonlinFnName(NonlinFn fn);
 
+// Largest magnitude a quantized non-linearity output may take: one below the
+// (exclusive) lookup-table bound, so a clamped output is itself a valid table
+// value and survives every downstream range check (CheckTableRange, nonlin
+// table inputs, the big range table). The table builder and the witness
+// generator both clamp with this single constant — a wider clamp band here
+// would let exp/rsqrt witnesses at extreme inputs escape the band the rest of
+// the circuit enforces.
+inline int64_t NonlinOutputBound(const QuantParams& qp) { return qp.TableMax() - 1; }
+
 // Quantized evaluation: input and output at scale SF = 2^sf_bits. Outputs are
-// clamped so every table entry fits the circuit's value bound.
+// clamped to [-NonlinOutputBound, NonlinOutputBound] so every table entry
+// (and therefore every witness value) fits the circuit's value bound.
 int64_t EvalNonlinQ(NonlinFn fn, int64_t xq, const QuantParams& qp);
 
 // Float reference (for accuracy experiments).

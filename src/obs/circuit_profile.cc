@@ -61,6 +61,8 @@ CircuitProfile ProfileCircuit(const Model& model, const PhysicalLayout& layout) 
   profile.table_rows = cb.TableRows();
   profile.constant_rows = cb.ConstantRows();
   profile.instance_rows = cb.NumInstanceRows();
+  profile.num_gates = cb.cs().gates().size();
+  profile.num_lookup_args = cb.cs().lookups().size();
 
   ZKML_CHECK_MSG(profile.gadget_rows <= profile.total_rows,
                  "profiled rows exceed the simulated layout's grid");
@@ -83,6 +85,8 @@ Json CircuitProfile::ToJson() const {
   root.Set("table_rows", table_rows);
   root.Set("constant_rows", constant_rows);
   root.Set("instance_rows", instance_rows);
+  root.Set("num_gates", num_gates);
+  root.Set("num_lookup_args", num_lookup_args);
   Json arr = Json::Array();
   for (const LayerProfile& lp : layers) {
     Json j = Json::Object();
@@ -94,6 +98,9 @@ Json CircuitProfile::ToJson() const {
     arr.Append(std::move(j));
   }
   root.Set("layers", std::move(arr));
+  if (!soundness.is_null()) {
+    root.Set("soundness", soundness);
+  }
   return root;
 }
 
@@ -127,11 +134,14 @@ std::string CircuitProfile::ToTable() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "grid: k=%d (2^k = %llu rows) x %d io columns; parallel columns: "
-                "%llu table rows, %llu constant rows, %llu instance rows\n",
+                "%llu table rows, %llu constant rows, %llu instance rows; "
+                "constraints: %llu gates, %llu lookup arguments\n",
                 k, static_cast<unsigned long long>(total_rows), num_columns,
                 static_cast<unsigned long long>(table_rows),
                 static_cast<unsigned long long>(constant_rows),
-                static_cast<unsigned long long>(instance_rows));
+                static_cast<unsigned long long>(instance_rows),
+                static_cast<unsigned long long>(num_gates),
+                static_cast<unsigned long long>(num_lookup_args));
   out += buf;
   return out;
 }

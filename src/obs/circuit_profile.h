@@ -43,7 +43,18 @@ struct CircuitProfile {
   uint64_t constant_rows = 0;
   uint64_t instance_rows = 0;
 
+  // Constraints actually registered by the lowering (gates and lookup
+  // arguments are registered on first gadget use, so these count only what
+  // the model exercises).
+  uint64_t num_gates = 0;
+  uint64_t num_lookup_args = 0;
+
   std::vector<LayerProfile> layers;  // ops in order, then (public-io), (padding)
+
+  // Optional constraint-coverage section (schema fragment of
+  // zkml.soundness/v1) attached by the soundness audit; omitted from the
+  // serialized profile when null.
+  Json soundness;
 
   Json ToJson() const;        // schema "zkml.circuit_profile/v1"
   std::string ToTable() const;  // aligned human-readable table

@@ -8,12 +8,21 @@ Assignment::Assignment(const ConstraintSystem& cs, size_t num_rows)
     : num_rows_(num_rows),
       instance_(cs.num_instance_columns(), std::vector<Fr>(num_rows, Fr::Zero())),
       advice_(cs.num_advice_columns(), std::vector<Fr>(num_rows, Fr::Zero())),
-      fixed_(cs.num_fixed_columns(), std::vector<Fr>(num_rows, Fr::Zero())) {}
+      fixed_(cs.num_fixed_columns(), std::vector<Fr>(num_rows, Fr::Zero())),
+      advice_tags_(cs.num_advice_columns(),
+                   std::vector<uint8_t>(num_rows, static_cast<uint8_t>(AdviceTag::kUnassigned))) {}
 
 void Assignment::SetAdvice(Column column, size_t row, const Fr& value) {
   ZKML_DCHECK(column.type == ColumnType::kAdvice);
   ZKML_DCHECK(row < num_rows_);
   advice_[column.index][row] = value;
+  advice_tags_[column.index][row] = static_cast<uint8_t>(AdviceTag::kSemantic);
+}
+
+void Assignment::TagAdvice(Column column, size_t row, AdviceTag tag) {
+  ZKML_DCHECK(column.type == ColumnType::kAdvice);
+  ZKML_DCHECK(row < num_rows_);
+  advice_tags_[column.index][row] = static_cast<uint8_t>(tag);
 }
 
 void Assignment::SetFixed(Column column, size_t row, const Fr& value) {

@@ -14,6 +14,23 @@
 
 namespace zkml {
 
+// Provenance of an advice cell, consumed by the soundness fuzzer
+// (src/plonk/soundness.h) to decide which cells MUST be pinned down by
+// constraints and which are free by design.
+enum class AdviceTag : uint8_t {
+  // Never written: padding outside the used region. The permutation argument
+  // still commits to these cells, but no statement depends on them.
+  kUnassigned = 0,
+  // Written by the witness generator; an accepting proof must force exactly
+  // this value (up to the statement's degrees of freedom). Every semantic
+  // cell is expected to be caught by some gate/lookup/copy when mutated.
+  kSemantic = 1,
+  // Free private witness (model weights/biases): the statement is
+  // existentially quantified over these, so other values merely prove a
+  // different — equally valid — model execution.
+  kFreeWitness = 2,
+};
+
 class Assignment {
  public:
   Assignment(const ConstraintSystem& cs, size_t num_rows);
@@ -30,6 +47,13 @@ class Assignment {
   // equality-enabled in the constraint system).
   void Copy(Cell a, Cell b);
 
+  // Re-tags an advice cell (SetAdvice defaults to kSemantic). The circuit
+  // builder downgrades model-weight placements to kFreeWitness.
+  void TagAdvice(Column column, size_t row, AdviceTag tag);
+  AdviceTag advice_tag(size_t column_index, size_t row) const {
+    return static_cast<AdviceTag>(advice_tags_[column_index][row]);
+  }
+
   const std::vector<std::vector<Fr>>& advice() const { return advice_; }
   const std::vector<std::vector<Fr>>& fixed() const { return fixed_; }
   const std::vector<std::vector<Fr>>& instance() const { return instance_; }
@@ -40,6 +64,7 @@ class Assignment {
   std::vector<std::vector<Fr>> instance_;
   std::vector<std::vector<Fr>> advice_;
   std::vector<std::vector<Fr>> fixed_;
+  std::vector<std::vector<uint8_t>> advice_tags_;
   std::vector<std::pair<Cell, Cell>> copies_;
 };
 

@@ -37,13 +37,20 @@ struct ConstraintFailure {
 
 class MockProver {
  public:
+  // Pass to Verify for an uncapped report: the soundness fuzzer needs the
+  // complete blame list to dedupe under-constrained cells, whereas human
+  // reports keep the default cap for readability.
+  static constexpr size_t kAllFailures = static_cast<size_t>(-1);
+
   MockProver(const ConstraintSystem* cs, const Assignment* assignment)
       : cs_(cs), assignment_(assignment) {}
 
-  // Returns all failures (empty means the assignment satisfies the circuit).
-  // Stops after `max_failures` to keep reports readable.
+  // Returns failures (empty means the assignment satisfies the circuit).
+  // Stops after `max_failures` to keep reports readable; pass `kAllFailures`
+  // to exhaustively report every violated constraint.
   std::vector<ConstraintFailure> Verify(size_t max_failures = 16) const;
 
+  // Early-exit fast path: stops at the first violation.
   bool IsSatisfied() const { return Verify(1).empty(); }
 
  private:

@@ -1,0 +1,114 @@
+// Soundness-audit engines (the active counterpart to MockProver's passive
+// checking): a witness-mutation fuzzer that proves every semantic advice cell
+// is pinned down by some constraint, and a constraint-coverage analyzer that
+// flags gates whose selector never fires and table rows no lookup references.
+// Under-constrained circuits are the dominant real-world ZK bug class; these
+// engines attack that property directly instead of only proving honest
+// witnesses.
+#ifndef SRC_PLONK_SOUNDNESS_H_
+#define SRC_PLONK_SOUNDNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/plonk/assignment.h"
+#include "src/plonk/constraint_system.h"
+#include "src/plonk/mock_prover.h"
+
+namespace zkml {
+
+// --- Constraint-coverage analysis. ---
+
+struct GateCoverage {
+  std::string name;
+  // Rows on which the gate can bind the witness: any queried fixed column
+  // (at its rotation) is nonzero there. Gates with no fixed query are
+  // unconditionally active on every row.
+  uint64_t active_rows = 0;
+};
+
+struct LookupCoverage {
+  std::string name;
+  uint64_t active_rows = 0;      // rows where a queried fixed (selector) column is nonzero
+  uint64_t table_tuples = 0;     // distinct tuples the table offers
+  uint64_t referenced_tuples = 0;  // distinct tuples active rows actually hit
+};
+
+struct CoverageReport {
+  std::vector<GateCoverage> gates;
+  std::vector<LookupCoverage> lookups;
+  uint64_t dead_gates = 0;    // gates with zero active rows
+  uint64_t dead_lookups = 0;  // lookup arguments with zero active rows
+
+  obs::Json ToJson() const;
+};
+
+// Counts per-gate and per-lookup activations over the assigned grid. A dead
+// gate means the circuit commits to a constraint that can never reject
+// anything — either dead layout weight or, worse, a check the author believed
+// was active.
+CoverageReport AnalyzeCoverage(const ConstraintSystem& cs, const Assignment& assignment);
+
+// --- Witness-mutation fuzzing. ---
+
+// An advice cell whose mutation no gate, lookup, or copy constraint rejected:
+// an under-constrained cell. `value` is the surviving substitute value.
+struct SurvivingMutant {
+  uint32_t column_index = 0;
+  uint32_t row = 0;
+  std::string mutation;  // value-class label, e.g. "minus-delta", "random64"
+  Fr value;
+  // Human-readable blame line in the ConstraintFailure description style.
+  std::string description;
+};
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  // Mutations attempted per semantic cell. The value classes cycle through
+  // small positive/negative offsets (catch range-band escapes), zero/negation
+  // (catch sign and selector holes), and wide random field elements.
+  int mutations_per_cell = 4;
+  // Recording cap for the survivors list (counting continues past it).
+  size_t max_survivors = 256;
+};
+
+struct MutationReport {
+  uint64_t seed = 0;
+  int mutations_per_cell = 0;
+  uint64_t cells_total = 0;          // advice cells in the grid
+  uint64_t cells_fuzzed = 0;         // semantic cells actually mutated
+  uint64_t cells_unassigned = 0;     // exempt: never written (padding)
+  uint64_t cells_free_witness = 0;   // exempt: weights/biases (by design)
+  uint64_t mutants_tried = 0;
+  uint64_t mutants_detected = 0;
+  uint64_t surviving_mutants = 0;
+  std::vector<SurvivingMutant> survivors;  // capped at max_survivors
+
+  bool AllDetected() const { return surviving_mutants == 0; }
+  obs::Json ToJson() const;
+};
+
+// Mutates each semantic advice cell of a satisfied assignment
+// (mutations_per_cell substitute values, deterministic per (seed, cell),
+// parallel over cells via the global thread pool) and checks that some
+// constraint rejects every mutant. Detection is localized — only the gates,
+// lookups, and copies touching the mutated cell are re-evaluated — and every
+// suspected survivor is confirmed with a full MockProver pass, so a reported
+// survivor is a genuine under-constrained cell, not a localization artifact.
+// The assignment must satisfy the circuit (fuzzing a failing witness would
+// report nonsense); callers should MockProver-verify first.
+MutationReport FuzzWitness(const ConstraintSystem& cs, const Assignment& assignment,
+                           const FuzzOptions& options = {});
+
+// Assembles the combined machine-readable document (schema
+// "zkml.soundness/v1"). `forgery` is an optional section produced by the
+// end-to-end forgery harness (see zkml::RunSoundnessAudit); pass a null Json
+// to omit it.
+obs::Json SoundnessReportJson(const CoverageReport& coverage, const MutationReport& mutation,
+                              const obs::Json& forgery = obs::Json());
+
+}  // namespace zkml
+
+#endif  // SRC_PLONK_SOUNDNESS_H_

@@ -2,8 +2,10 @@
 
 #include "src/base/check.h"
 #include "src/base/timer.h"
+#include "src/compiler/compiler.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/plonk/mock_prover.h"
 #include "src/plonk/prover.h"
 #include "src/plonk/verifier.h"
 
@@ -100,6 +102,80 @@ bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& insta
 
 bool Verify(const CompiledModel& compiled, const ZkmlProof& proof) {
   return Verify(compiled.pk.vk, *compiled.pcs, proof.instance, proof.bytes);
+}
+
+bool SoundnessAudit::Passed() const {
+  bool ok = witness_satisfied && coverage.dead_gates == 0 && coverage.dead_lookups == 0 &&
+            mutation.AllDetected();
+  if (forgery_ran) {
+    ok = ok && honest_kzg_accepted && honest_ipa_accepted && forged_kzg_rejected &&
+         forged_ipa_rejected;
+  }
+  return ok;
+}
+
+obs::Json SoundnessAudit::ToJson() const {
+  obs::Json forgery;  // stays null (omitted) when the harness did not run
+  if (forgery_ran) {
+    forgery = obs::Json::Object();
+    forgery.Set("honest_kzg_accepted", honest_kzg_accepted);
+    forgery.Set("honest_ipa_accepted", honest_ipa_accepted);
+    forgery.Set("forged_kzg_rejected", forged_kzg_rejected);
+    forgery.Set("forged_ipa_rejected", forged_ipa_rejected);
+  }
+  obs::Json j = SoundnessReportJson(coverage, mutation, forgery);
+  j.Set("witness_satisfied", witness_satisfied);
+  j.Set("passed", Passed());
+  return j;
+}
+
+SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& input_q,
+                                 const SoundnessAuditOptions& options) {
+  obs::Span audit_span("soundness-audit");
+  SoundnessAudit audit;
+
+  ZkmlOptions kzg_options;
+  kzg_options.backend = PcsKind::kKzg;
+  CompiledModel kzg = CompileModel(model, kzg_options);
+
+  BuiltCircuit built = BuildCircuit(model, kzg.layout, input_q);
+  const ConstraintSystem& cs = built.builder->cs();
+  const Assignment& asn = built.builder->assignment();
+
+  audit.witness_satisfied = MockProver(&cs, &asn).IsSatisfied();
+  audit.coverage = AnalyzeCoverage(cs, asn);
+  if (audit.witness_satisfied) {
+    // Fuzzing an unsatisfied witness would blame cells at random; coverage is
+    // still meaningful (it only reads fixed columns and input activations).
+    FuzzOptions fuzz;
+    fuzz.seed = options.seed;
+    fuzz.mutations_per_cell = options.mutations_per_cell;
+    audit.mutation = FuzzWitness(cs, asn, fuzz);
+  }
+
+  if (options.run_forgery) {
+    audit.forgery_ran = true;
+    ZkmlOptions ipa_options;
+    ipa_options.backend = PcsKind::kIpa;
+    // Same layout under the other backend so the harness compares verifiers,
+    // not optimizer decisions.
+    CompiledModel ipa = CompileModelWithLayout(model, kzg.layout, ipa_options);
+
+    auto check_backend = [&](const CompiledModel& compiled, bool* honest_accepted,
+                             bool* forged_rejected) {
+      ZkmlProof proof = Prove(compiled, input_q);
+      *honest_accepted = Verify(compiled, proof);
+      // Tamper the claimed output (the statement's tail) and demand the
+      // untouched proof no longer verifies against it.
+      std::vector<Fr> forged = proof.instance;
+      ZKML_CHECK(!forged.empty());
+      forged.back() = forged.back() + Fr::One();
+      *forged_rejected = !Verify(compiled.pk.vk, *compiled.pcs, forged, proof.bytes);
+    };
+    check_backend(kzg, &audit.honest_kzg_accepted, &audit.forged_kzg_rejected);
+    check_backend(ipa, &audit.honest_ipa_accepted, &audit.forged_ipa_rejected);
+  }
+  return audit;
 }
 
 obs::RunReport BuildRunReport(const CompiledModel& compiled, const ZkmlProof& proof,

@@ -12,6 +12,7 @@
 #include "src/base/status.h"
 #include "src/model/graph.h"
 #include "src/obs/run_report.h"
+#include "src/plonk/soundness.h"
 #include "src/optimizer/optimizer.h"
 #include "src/pcs/ipa.h"
 #include "src/pcs/kzg.h"
@@ -75,6 +76,45 @@ bool Verify(const VerifyingKey& vk, const Pcs& pcs, const std::vector<Fr>& insta
 
 // Constructs the PCS backend used by CompileModel (exposed for benchmarks).
 std::shared_ptr<Pcs> MakePcsBackend(PcsKind kind, size_t max_len, uint64_t seed);
+
+// --- Soundness audit (the `zkml_cli audit` entry point). ---
+
+struct SoundnessAuditOptions {
+  uint64_t seed = 1;
+  int mutations_per_cell = 4;
+  // Also run the end-to-end forgery harness: prove honestly under both PCS
+  // backends, then tamper the claimed output in the public statement and
+  // require both verifiers to reject. Dominated by two keygens + four proof
+  // verifications, so it is skippable for quick circuit-only audits.
+  bool run_forgery = true;
+};
+
+struct SoundnessAudit {
+  // The honest witness satisfies the circuit (precondition for the fuzzer;
+  // reported so a completeness bug cannot masquerade as perfect soundness).
+  bool witness_satisfied = false;
+  CoverageReport coverage;
+  MutationReport mutation;
+
+  bool forgery_ran = false;
+  bool honest_kzg_accepted = false;
+  bool honest_ipa_accepted = false;
+  bool forged_kzg_rejected = false;
+  bool forged_ipa_rejected = false;
+
+  // Everything held: witness satisfied, no dead gates/lookups, no surviving
+  // mutants, and (when run) honest proofs accepted and forgeries rejected
+  // under both backends.
+  bool Passed() const;
+  // The full "zkml.soundness/v1" document.
+  obs::Json ToJson() const;
+};
+
+// Compiles the model, generates the witness for `input_q`, and runs all three
+// soundness engines against it (coverage, mutation fuzzing, and — unless
+// disabled — the output-forgery harness).
+SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& input_q,
+                                 const SoundnessAuditOptions& options = {});
 
 // Assembles the machine-readable run report (schema "zkml.run_report/v1")
 // from a compile→prove(→verify) run. `verify_seconds` is 0 when the proof was

@@ -18,7 +18,7 @@ namespace zkml {
 namespace {
 
 constexpr char kGoldenSha256[] =
-    "c01035c9d5ed4fc87456ff6657763bbb489e7e757670f5e4bb6c663714ddaa96";
+    "82268f6e6b00ab2caa8ddfe9256ca4efc3c0e186834c357d1c6d21b6c83069f1";
 
 std::string HexDigest(const std::vector<uint8_t>& bytes) {
   const auto digest = Sha256::Hash(bytes.data(), bytes.size());
@@ -42,7 +42,7 @@ TEST(DeterminismTest, GoldenProofBytes) {
   const ZkmlProof proof = Prove(compiled, input);
   ASSERT_TRUE(Verify(compiled, proof));
 
-  EXPECT_EQ(proof.bytes.size(), 7739u);
+  EXPECT_EQ(proof.bytes.size(), 5245u);
   EXPECT_EQ(HexDigest(proof.bytes), kGoldenSha256);
 
   // Proving twice from the same inputs must be bit-identical (no scheduling

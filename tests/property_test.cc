@@ -150,7 +150,7 @@ TEST_P(NonlinPropertyTest, TableMatchesFloatWithinOneStep) {
   for (int64_t xq = qp.TableMin(); xq < qp.TableMax(); xq += 37) {
     const int64_t yq = EvalNonlinQ(fn, xq, qp);
     const double expect = EvalNonlinF(fn, DequantizeValue(xq, qp));
-    const double clamp_bound = static_cast<double>(qp.TableMax() << 8) / qp.SF();
+    const double clamp_bound = static_cast<double>(NonlinOutputBound(qp)) / qp.SF();
     if (std::abs(expect) >= clamp_bound) {
       continue;  // clamped entries deviate by design
     }

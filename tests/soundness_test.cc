@@ -1,0 +1,485 @@
+// Tests for the soundness-audit subsystem: the constraint-coverage analyzer,
+// the witness-mutation fuzzer (including the historical under-constrained
+// filler cells it was built to catch — every gadget circuit must now fuzz
+// clean), per-gadget negative-witness checks, non-linearity boundary values,
+// and the end-to-end audit entry point with its forgery harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/rng.h"
+#include "src/gadgets/circuit_builder.h"
+#include "src/model/model_builder.h"
+#include "src/model/zoo.h"
+#include "src/plonk/mock_prover.h"
+#include "src/plonk/soundness.h"
+#include "src/zkml/zkml.h"
+#include "tests/golden_circuit.h"
+
+namespace zkml {
+namespace {
+
+// --- Shared RNG helper (also used by tests/proof_mutator.h and the fuzzer).
+
+TEST(RngSubstreamTest, StreamsAreIndependentAndReproducible) {
+  Rng a(42, 0);
+  Rng b(42, 1);
+  // Distinct streams from the same seed diverge immediately.
+  EXPECT_NE(a.NextU64(), b.NextU64());
+  // The same (seed, stream) pair replays exactly.
+  Rng c(42, 1);
+  Rng d(42, 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(c.NextU64(), d.NextU64());
+  }
+  // Stream 0 is not required to match the single-seed constructor, but must
+  // itself be deterministic.
+  Rng e(42, 0);
+  Rng f(42, 0);
+  EXPECT_EQ(e.NextU64(), f.NextU64());
+}
+
+// --- MockProver exhaustive reporting.
+
+TEST(MockProverTest, KAllFailuresReportsPastTheDefaultCap) {
+  GoldenCircuit gc;
+  Assignment asn = gc.MakeAssignment();
+  // Shift every semantic advice cell by one: far more than 16 constraints
+  // break at once.
+  for (size_t col = 0; col < gc.cs.num_advice_columns(); ++col) {
+    for (size_t row = 0; row < asn.num_rows(); ++row) {
+      if (asn.advice_tag(col, row) == AdviceTag::kSemantic) {
+        const Column column{ColumnType::kAdvice, static_cast<uint32_t>(col)};
+        asn.SetAdvice(column, row, asn.Get(column, row) + Fr::One());
+      }
+    }
+  }
+  MockProver mp(&gc.cs, &asn);
+  EXPECT_EQ(mp.Verify().size(), 16u);  // default cap
+  const auto all = mp.Verify(MockProver::kAllFailures);
+  EXPECT_GT(all.size(), 16u);
+  EXPECT_FALSE(mp.IsSatisfied());
+}
+
+// --- Coverage analyzer.
+
+TEST(CoverageTest, CountsGoldenCircuitActivations) {
+  GoldenCircuit gc;
+  const Assignment asn = gc.MakeAssignment();
+  const CoverageReport cov = AnalyzeCoverage(gc.cs, asn);
+  ASSERT_EQ(cov.gates.size(), 3u);
+  EXPECT_EQ(cov.gates[0].name, "mac");
+  EXPECT_EQ(cov.gates[0].active_rows, 5u);  // sel rows 0..4
+  EXPECT_EQ(cov.gates[1].name, "square-chain");
+  EXPECT_EQ(cov.gates[1].active_rows, 4u);  // srot rows 1..4
+  EXPECT_EQ(cov.gates[2].name, "square-chain-prev");
+  EXPECT_EQ(cov.gates[2].active_rows, 4u);  // srot at rotation -1: rows 2..5
+  ASSERT_EQ(cov.lookups.size(), 1u);
+  EXPECT_EQ(cov.lookups[0].active_rows, 7u);  // slk rows 0..6
+  // 16 table rows; padding repeats (0,0), so 16 distinct tuples.
+  EXPECT_EQ(cov.lookups[0].table_tuples, 16u);
+  // Inputs {1,2,3,5,15,7,7} hit 6 distinct tuples.
+  EXPECT_EQ(cov.lookups[0].referenced_tuples, 6u);
+  EXPECT_EQ(cov.dead_gates, 0u);
+  EXPECT_EQ(cov.dead_lookups, 0u);
+}
+
+TEST(CoverageTest, FlagsDeadGateAndDeadLookup) {
+  ConstraintSystem cs;
+  const Column a = cs.AddAdviceColumn(false);
+  const Column live_sel = cs.AddFixedColumn();
+  const Column dead_sel = cs.AddFixedColumn();
+  const Column tbl = cs.AddFixedColumn();
+  cs.AddGate("live", Expression::Query(live_sel) * Expression::Query(a));
+  cs.AddGate("dead", Expression::Query(dead_sel) * Expression::Query(a));
+  cs.AddLookup("dead-lookup", {Expression::Query(dead_sel) * Expression::Query(a)}, {tbl});
+
+  Assignment asn(cs, 8);
+  asn.SetFixed(live_sel, 0, Fr::One());  // dead_sel stays identically zero
+  const CoverageReport cov = AnalyzeCoverage(cs, asn);
+  EXPECT_EQ(cov.gates[0].active_rows, 1u);
+  EXPECT_EQ(cov.gates[1].active_rows, 0u);
+  EXPECT_EQ(cov.dead_gates, 1u);
+  EXPECT_EQ(cov.dead_lookups, 1u);
+  const obs::Json report = SoundnessReportJson(cov, MutationReport{});
+  EXPECT_FALSE(report.Find("sound")->AsBool());
+}
+
+// --- Mutation fuzzer on hand-built circuits.
+
+TEST(FuzzerTest, FlagsACompletelyUnconstrainedCell) {
+  ConstraintSystem cs;
+  const Column a = cs.AddAdviceColumn(false);
+  (void)a;
+  Assignment asn(cs, 4);
+  asn.SetAdvice(a, 0, Fr::FromInt64(5));  // nothing references this cell
+
+  const MutationReport rep = FuzzWitness(cs, asn);
+  EXPECT_EQ(rep.cells_fuzzed, 1u);
+  EXPECT_EQ(rep.cells_unassigned, 3u);
+  EXPECT_GT(rep.surviving_mutants, 0u);
+  EXPECT_FALSE(rep.AllDetected());
+  ASSERT_FALSE(rep.survivors.empty());
+  EXPECT_EQ(rep.survivors[0].column_index, 0u);
+  EXPECT_EQ(rep.survivors[0].row, 0u);
+}
+
+TEST(FuzzerTest, FreeWitnessCellsAreExempt) {
+  ConstraintSystem cs;
+  const Column a = cs.AddAdviceColumn(false);
+  Assignment asn(cs, 4);
+  asn.SetAdvice(a, 0, Fr::FromInt64(5));
+  asn.TagAdvice(a, 0, AdviceTag::kFreeWitness);
+
+  const MutationReport rep = FuzzWitness(cs, asn);
+  EXPECT_EQ(rep.cells_fuzzed, 0u);
+  EXPECT_EQ(rep.cells_free_witness, 1u);
+  EXPECT_TRUE(rep.AllDetected());
+}
+
+// The golden circuit's square chain only pins the *square* of its head cell:
+// d[1] = -3 satisfies d[2] = d[1]^2 just as well, and no other constraint
+// sees d[1]. The fuzzer must surface exactly this sign ambiguity.
+TEST(FuzzerTest, FindsGoldenCircuitSquareChainSignAmbiguity) {
+  GoldenCircuit gc;
+  const Assignment asn = gc.MakeAssignment();
+  ASSERT_TRUE(MockProver(&gc.cs, &asn).IsSatisfied());
+
+  const MutationReport rep = FuzzWitness(gc.cs, asn);
+  EXPECT_GT(rep.surviving_mutants, 0u);
+  ASSERT_FALSE(rep.survivors.empty());
+  const Fr nine = Fr::FromInt64(9);
+  for (const SurvivingMutant& s : rep.survivors) {
+    EXPECT_EQ(s.column_index, gc.d.index) << s.description;
+    EXPECT_EQ(s.row, 1u) << s.description;
+    // Every survivor is the other square root of d[2] = 9.
+    EXPECT_EQ(s.value * s.value, nine) << s.description;
+  }
+}
+
+// ... and pinning the chain head (here: copying it to a public instance cell)
+// eliminates the ambiguity: the fuzzer then detects every mutant.
+TEST(FuzzerTest, GoldenCircuitFuzzesCleanOncePinned) {
+  GoldenCircuit gc;
+  gc.cs.EnableEquality(gc.d);
+  Assignment asn = gc.MakeAssignment();
+  asn.SetInstance(gc.inst, 1, Fr::FromInt64(3));
+  asn.Copy(Cell{gc.inst, 1}, Cell{gc.d, 1});
+  ASSERT_TRUE(MockProver(&gc.cs, &asn).IsSatisfied());
+
+  const MutationReport rep = FuzzWitness(gc.cs, asn);
+  EXPECT_TRUE(rep.AllDetected())
+      << (rep.survivors.empty() ? "" : rep.survivors[0].description);
+  EXPECT_GT(rep.cells_fuzzed, 30u);
+  EXPECT_GT(rep.mutants_detected, 0u);
+  EXPECT_EQ(rep.mutants_tried, rep.mutants_detected);
+}
+
+// --- Gadget circuits: every variant must fuzz clean, and tampering any
+// gadget output must be rejected by the MockProver.
+
+BuilderOptions GadgetOptions(int k = 11) {
+  BuilderOptions opts;
+  opts.num_io_columns = 12;
+  opts.quant.sf_bits = 5;
+  opts.quant.table_bits = 10;
+  opts.estimate_only = false;
+  opts.k = k;
+  return opts;
+}
+
+// Full audit of a built gadget circuit: satisfied, no dead constraints, and
+// zero surviving mutants (the regression property for the filler-pinning
+// fixes — unpinned neutral fillers in mul/max/dot/nonlin rows used to
+// survive).
+void ExpectFuzzClean(const CircuitBuilder& cb) {
+  const auto failures = MockProver(&cb.cs(), &cb.assignment()).Verify(4);
+  ASSERT_TRUE(failures.empty()) << failures[0].description;
+  const CoverageReport cov = AnalyzeCoverage(cb.cs(), cb.assignment());
+  EXPECT_EQ(cov.dead_gates, 0u) << "a registered gate never activates";
+  EXPECT_EQ(cov.dead_lookups, 0u) << "a registered lookup never activates";
+  FuzzOptions fuzz;
+  fuzz.seed = 7;
+  const MutationReport rep = FuzzWitness(cb.cs(), cb.assignment(), fuzz);
+  EXPECT_GT(rep.cells_fuzzed, 0u);
+  EXPECT_TRUE(rep.AllDetected())
+      << rep.surviving_mutants << " survivors, first: "
+      << (rep.survivors.empty() ? "" : rep.survivors[0].description);
+}
+
+// Negative witness: overwriting a gadget's output cell must break a
+// constraint.
+void ExpectTamperRejected(const CircuitBuilder& cb, const Operand& out) {
+  ASSERT_TRUE(out.has_cell);
+  Assignment tampered = cb.assignment();
+  tampered.SetAdvice(out.cell.column, out.cell.row,
+                     cb.assignment().Get(out.cell.column, out.cell.row) + Fr::One());
+  EXPECT_FALSE(MockProver(&cb.cs(), &tampered).IsSatisfied());
+}
+
+TEST(GadgetSoundnessTest, PackedAddSub) {
+  BuilderOptions opts = GadgetOptions();
+  CircuitBuilder cb(opts);
+  const Operand s = cb.Add({{cb.Fresh(3), cb.Fresh(4)}})[0];
+  const Operand d = cb.Sub({{s, cb.Fresh(2)}})[0];
+  EXPECT_EQ(s.q, 7);
+  EXPECT_EQ(d.q, 5);
+  ExpectTamperRejected(cb, s);
+  ExpectTamperRejected(cb, d);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, PackedMulWithFillerSlots) {
+  BuilderOptions opts = GadgetOptions();
+  CircuitBuilder cb(opts);
+  // One pair on a multi-slot row: the remaining slots are neutral fillers.
+  // Mutating a filler's operands must be caught (they are pinned to circuit
+  // constants by copy); this was the canonical under-constrained cell the
+  // fuzzer first found (x * 0 = 0 holds for every x).
+  const Operand p = cb.Mul({{cb.Fresh(96), cb.Fresh(48)}})[0];
+  EXPECT_EQ(p.q, 96 * 48 / 32);
+  ExpectTamperRejected(cb, p);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, DedicatedSquareAndSquaredDiff) {
+  BuilderOptions opts = GadgetOptions();
+  CircuitBuilder cb(opts);
+  const Operand sq = cb.Square({cb.Fresh(40)})[0];
+  const Operand sd = cb.SquaredDiff({{cb.Fresh(9), cb.Fresh(3)}})[0];
+  EXPECT_EQ(sq.q, 40 * 40 / 32);
+  EXPECT_EQ(sd.q, 6 * 6 / 32);
+  ExpectTamperRejected(cb, sq);
+  ExpectTamperRejected(cb, sd);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, ArithViaDotBaseline) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.packed_arith = false;
+  CircuitBuilder cb(opts);
+  ImplChoice choice = ImplChoice::FromGadgetSet(opts.gadgets);
+  choice.packed_arith = false;
+  cb.SetImplChoice(choice);
+  const Operand s = cb.Add({{cb.Fresh(3), cb.Fresh(4)}})[0];
+  const Operand p = cb.Mul({{cb.Fresh(96), cb.Fresh(48)}})[0];
+  EXPECT_EQ(s.q, 7);
+  EXPECT_EQ(p.q, 96 * 48 / 32);
+  ExpectTamperRejected(cb, s);
+  ExpectTamperRejected(cb, p);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, DotProductWithBiasChaining) {
+  BuilderOptions opts = GadgetOptions();
+  CircuitBuilder cb(opts);
+  // 7 terms: does not divide the row width, so chained rows carry fillers.
+  std::vector<Operand> xs, ys;
+  for (int i = 1; i <= 7; ++i) {
+    xs.push_back(cb.Fresh(i));
+    ys.push_back(cb.Fresh(10 - i));
+  }
+  const Operand bias = cb.Fresh(5);
+  const Operand acc = cb.DotProduct(xs, ys, &bias);
+  const Operand out = cb.Rescale({acc})[0];
+  ExpectTamperRejected(cb, acc);
+  ExpectTamperRejected(cb, out);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, DotProductWithSumTree) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.dot_bias_chaining = false;
+  CircuitBuilder cb(opts);
+  ImplChoice choice = ImplChoice::FromGadgetSet(opts.gadgets);
+  cb.SetImplChoice(choice);
+  std::vector<Operand> xs, ys;
+  for (int i = 1; i <= 9; ++i) {
+    xs.push_back(cb.Fresh(i));
+    ys.push_back(cb.Fresh(i + 3));
+  }
+  const Operand acc = cb.DotProduct(xs, ys, nullptr);
+  ExpectTamperRejected(cb, acc);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, SumWithFillerSlots) {
+  BuilderOptions opts = GadgetOptions();
+  CircuitBuilder cb(opts);
+  const Operand total =
+      cb.Sum({cb.Fresh(1), cb.Fresh(2), cb.Fresh(3), cb.Fresh(4), cb.Fresh(5)});
+  EXPECT_EQ(total.q, 15);
+  ExpectTamperRejected(cb, total);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, ReluLookupWithFillerSlots) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.nonlin_fns = {NonlinFn::kRelu};
+  CircuitBuilder cb(opts);
+  // One real input on a multi-slot lookup row: fillers are pinned on both
+  // halves so neither the filler x (relu maps every negative to 0) nor the
+  // filler y (the all-zero pad tuple) leaves a free cell.
+  const Operand y = cb.Nonlinearity(NonlinFn::kRelu, {cb.Fresh(-17)})[0];
+  EXPECT_EQ(y.q, 0);
+  ExpectFuzzClean(cb);
+  const Operand pos = cb.Nonlinearity(NonlinFn::kRelu, {cb.Fresh(17)})[0];
+  EXPECT_EQ(pos.q, 17);
+  ExpectTamperRejected(cb, pos);
+}
+
+TEST(GadgetSoundnessTest, ReluViaBitDecomposition) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.nonlin_fns = {NonlinFn::kRelu};
+  opts.gadgets.relu_lookup = false;
+  opts.gadgets.relu_bits = true;
+  CircuitBuilder cb(opts);
+  ImplChoice choice = ImplChoice::FromGadgetSet(opts.gadgets);
+  cb.SetImplChoice(choice);
+  const Operand neg = cb.Nonlinearity(NonlinFn::kRelu, {cb.Fresh(-100)})[0];
+  const Operand pos = cb.Nonlinearity(NonlinFn::kRelu, {cb.Fresh(100)})[0];
+  EXPECT_EQ(neg.q, 0);
+  EXPECT_EQ(pos.q, 100);
+  ExpectTamperRejected(cb, pos);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, MaxWithFillerSlots) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.need_max = true;
+  CircuitBuilder cb(opts);
+  // One pair per row leaves filler slots; small negative mutations of an
+  // unpinned filler used to survive through the (c-a)(c-b)=0 gate's other
+  // factor plus the range lookup's slack.
+  const Operand m = cb.Max({{cb.Fresh(-5), cb.Fresh(3)}})[0];
+  EXPECT_EQ(m.q, 3);
+  const Operand r = cb.MaxReduce({cb.Fresh(7), cb.Fresh(-2), cb.Fresh(11)});
+  EXPECT_EQ(r.q, 11);
+  ExpectTamperRejected(cb, m);
+  ExpectTamperRejected(cb, r);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, VarDivRound) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.need_vardiv = true;
+  CircuitBuilder cb(opts);
+  const Operand a = cb.VarDivRound(cb.Fresh(7), cb.Fresh(2));
+  const Operand b = cb.VarDivRound(cb.Fresh(-500), cb.Fresh(3));
+  EXPECT_EQ(a.q, 4);  // round(7/2)
+  EXPECT_EQ(b.q, -167);
+  ExpectTamperRejected(cb, a);
+  ExpectTamperRejected(cb, b);
+  ExpectFuzzClean(cb);
+}
+
+TEST(GadgetSoundnessTest, SoftmaxComposition) {
+  BuilderOptions opts = GadgetOptions();
+  opts.gadgets.nonlin_fns = {NonlinFn::kExp};
+  opts.gadgets.need_max = true;
+  opts.gadgets.need_vardiv = true;
+  CircuitBuilder cb(opts);
+  const std::vector<Operand> ys =
+      cb.Softmax({cb.Fresh(32), cb.Fresh(-16), cb.Fresh(8)});
+  int64_t total = 0;
+  for (const Operand& y : ys) {
+    total += y.q;
+  }
+  // A distribution at scale SF = 32, within rounding.
+  EXPECT_NEAR(static_cast<double>(total), 32.0, 3.0);
+  ExpectTamperRejected(cb, ys[0]);
+  ExpectFuzzClean(cb);
+}
+
+// --- Non-linearity boundary values (regression for the EvalNonlinQ clamp
+// that was 256x beyond the band the range tables accept: extreme exp/rsqrt
+// witnesses aborted witness generation instead of landing on a table row).
+
+class NonlinBoundaryTest : public ::testing::TestWithParam<NonlinFn> {};
+
+TEST_P(NonlinBoundaryTest, ExtremeInputsStayInTableAndSatisfy) {
+  const NonlinFn fn = GetParam();
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  const std::vector<int64_t> boundary = {qp.TableMin(), qp.TableMin() + 1, -1, 0, 1,
+                                         qp.TableMax() - 1};
+  for (const int64_t xq : boundary) {
+    const int64_t yq = EvalNonlinQ(fn, xq, qp);
+    // The witness generator and the table builder share NonlinOutputBound, so
+    // every output is representable in the range-checked band.
+    EXPECT_LE(std::abs(yq), NonlinOutputBound(qp)) << NonlinFnName(fn) << "(" << xq << ")";
+    EXPECT_TRUE(qp.InTableRange(yq)) << NonlinFnName(fn) << "(" << xq << ")";
+  }
+
+  BuilderOptions opts = GadgetOptions();
+  opts.quant = qp;
+  opts.gadgets.nonlin_fns = {fn};
+  CircuitBuilder cb(opts);
+  std::vector<Operand> xs;
+  for (const int64_t xq : boundary) {
+    xs.push_back(cb.Fresh(xq));
+  }
+  const std::vector<Operand> ys = cb.Nonlinearity(fn, xs);
+  ASSERT_EQ(ys.size(), xs.size());
+  const auto failures = MockProver(&cb.cs(), &cb.assignment()).Verify(4);
+  EXPECT_TRUE(failures.empty()) << NonlinFnName(fn) << ": " << failures[0].description;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFns, NonlinBoundaryTest,
+                         ::testing::Values(NonlinFn::kRelu, NonlinFn::kRelu6, NonlinFn::kSigmoid,
+                                           NonlinFn::kTanh, NonlinFn::kExp, NonlinFn::kGelu,
+                                           NonlinFn::kElu, NonlinFn::kSqrt, NonlinFn::kRsqrt,
+                                           NonlinFn::kSiLU),
+                         [](const ::testing::TestParamInfo<NonlinFn>& info) {
+                           return NonlinFnName(info.param);
+                         });
+
+// --- End-to-end audit on a compiled model: fuzz the real witness, check
+// coverage of the compiled constraint system (lazy gate registration must
+// leave no dead gates), and run the forgery harness under both backends.
+
+TEST(SoundnessAuditTest, TinyModelPassesFullAudit) {
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  ModelBuilder mb("tiny-mlp", Shape({6}), qp, 3);
+  int t = mb.FullyConnected(mb.input(), 4);
+  t = mb.Activation(t, NonlinFn::kRelu);
+  t = mb.FullyConnected(t, 3);
+  const Model model = mb.Finish(t);
+
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 11), model.quant);
+  SoundnessAuditOptions options;
+  options.seed = 5;
+  const SoundnessAudit audit = RunSoundnessAudit(model, input, options);
+
+  EXPECT_TRUE(audit.witness_satisfied);
+  EXPECT_EQ(audit.coverage.dead_gates, 0u)
+      << "compiled circuit registered a gate the model never activates";
+  EXPECT_EQ(audit.coverage.dead_lookups, 0u);
+  EXPECT_GT(audit.mutation.cells_fuzzed, 0u);
+  EXPECT_GT(audit.mutation.cells_free_witness, 0u);  // the model's weights
+  EXPECT_TRUE(audit.mutation.AllDetected())
+      << audit.mutation.surviving_mutants << " survivors, first: "
+      << (audit.mutation.survivors.empty() ? "" : audit.mutation.survivors[0].description);
+
+  ASSERT_TRUE(audit.forgery_ran);
+  EXPECT_TRUE(audit.honest_kzg_accepted);
+  EXPECT_TRUE(audit.honest_ipa_accepted);
+  EXPECT_TRUE(audit.forged_kzg_rejected);
+  EXPECT_TRUE(audit.forged_ipa_rejected);
+  EXPECT_TRUE(audit.Passed());
+
+  // The serialized report round-trips and carries the schema tag.
+  const obs::Json report = audit.ToJson();
+  EXPECT_EQ(report.Find("schema")->AsString(), "zkml.soundness/v1");
+  EXPECT_TRUE(report.Find("passed")->AsBool());
+  ASSERT_NE(report.Find("forgery"), nullptr);
+  const StatusOr<obs::Json> reparsed = obs::Json::Parse(report.DumpPretty());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().Find("mutation")->Find("surviving_mutants")->AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace zkml
