@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/cpu_features.h"
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
 #include "src/ec/g1.h"
@@ -439,19 +440,34 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
   }
 
+  // The dump carries the host it was measured on: perf numbers from
+  // different CPUs are not comparable, and the CI regression gate uses the
+  // stamp to decide between an absolute delta check (same CPU model as the
+  // committed baseline) and a weaker ratio-only check.
   bool WriteJson(const char* path, size_t threads) const {
     std::FILE* f = std::fopen(path, "w");
     if (f == nullptr) {
       return false;
     }
-    std::fprintf(f, "[\n");
+    const CpuFeatures& cpu = CpuFeatures::Get();
+    std::string model = cpu.cpu_model;
+    for (char& c : model) {
+      if (c == '"' || c == '\\') {
+        c = ' ';  // CPUID brand strings never contain these; stay safe anyway
+      }
+    }
+    std::fprintf(f, "{\n  \"host\": {\"cpu_model\": \"%s\", \"num_cpus\": %zu, "
+                 "\"simd\": \"%s\", \"git_sha\": \"%s\", \"threads\": %zu},\n",
+                 model.c_str(), cpu.num_cpus, cpu.Summary().c_str(), ZKML_GIT_SHA, threads);
+    std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
-      std::fprintf(f, "  {\"op\": \"%s\", \"size\": %llu, \"seconds\": %.9g, \"threads\": %zu}%s\n",
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"size\": %llu, \"seconds\": %.9g, \"threads\": %zu}%s\n",
                    r.op.c_str(), static_cast<unsigned long long>(r.size), r.seconds, threads,
                    i + 1 < records_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return true;
   }

@@ -1,0 +1,124 @@
+#include "src/base/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <cpuid.h>
+#endif
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace zkml {
+namespace {
+
+std::string ReadBrandString() {
+#if defined(__x86_64__)
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) == 0 || eax < 0x80000004u) {
+    return "";
+  }
+  char brand[49] = {};
+  unsigned int* words = reinterpret_cast<unsigned int*>(brand);
+  for (unsigned int leaf = 0; leaf < 3; ++leaf) {
+    __get_cpuid(0x80000002u + leaf, &words[leaf * 4], &words[leaf * 4 + 1], &words[leaf * 4 + 2],
+                &words[leaf * 4 + 3]);
+  }
+  // Brand strings pad with spaces; trim both ends.
+  std::string s(brand);
+  const size_t b = s.find_first_not_of(' ');
+  const size_t e = s.find_last_not_of(' ');
+  return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+#else
+  return "";
+#endif
+}
+
+size_t CountAvailableCpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) {
+      return static_cast<size_t>(n);
+    }
+  }
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+bool EnvDisablesSimd() {
+  const char* v = std::getenv("ZKML_DISABLE_SIMD");
+  if (v == nullptr || v[0] == '\0') {
+    return false;
+  }
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 && std::strcmp(v, "OFF") != 0;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__)
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.bmi2 = __builtin_cpu_supports("bmi2");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+  f.avx512ifma = __builtin_cpu_supports("avx512ifma");
+  // __builtin_cpu_supports has no "adx" predicate; read CPUID leaf 7 directly
+  // (EBX bit 19).
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.adx = (ebx & (1u << 19)) != 0;
+  }
+#endif
+#if defined(ZKML_DISABLE_SIMD_BUILD)
+  f.simd_disabled = true;
+#else
+  f.simd_disabled = EnvDisablesSimd();
+#endif
+  f.cpu_model = ReadBrandString();
+  f.num_cpus = CountAvailableCpus();
+  return f;
+}
+
+}  // namespace
+
+std::string CpuFeatures::Summary() const {
+  std::string s;
+  auto append = [&s](const char* name) {
+    if (!s.empty()) {
+      s += '+';
+    }
+    s += name;
+  };
+  if (adx && bmi2) {
+    append("adx");
+  }
+  if (avx2) {
+    append("avx2");
+  }
+  if (avx512f && avx512dq && avx512vl) {
+    append("avx512");
+  }
+  if (avx512ifma) {
+    append("avx512ifma");
+  }
+  if (s.empty()) {
+    s = "portable";
+  }
+  if (simd_disabled) {
+    s += "(disabled)";
+  }
+  return s;
+}
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace zkml

@@ -1,0 +1,59 @@
+// Runtime CPU capability detection for the SIMD-dispatched kernels.
+//
+// Field arithmetic picks its implementation once at process start: the
+// AVX-512 IFMA batch-Montgomery path, the scalar ADX/BMI2 path, or the
+// portable CIOS fallback. Every path computes bit-identical values, so
+// dispatch is purely a throughput decision — but it must be a *runtime*
+// decision because CI runners, user machines, and the build host do not share
+// an ISA. Detection reads CPUID (via compiler builtins) and can be overridden
+// by the ZKML_DISABLE_SIMD environment variable or the ZKML_DISABLE_SIMD
+// CMake option, both of which force the portable fallback so its correctness
+// stays continuously tested.
+#ifndef SRC_BASE_CPU_FEATURES_H_
+#define SRC_BASE_CPU_FEATURES_H_
+
+#include <cstddef>
+#include <string>
+
+namespace zkml {
+
+struct CpuFeatures {
+  // Raw hardware capability bits (independent of any disable switch).
+  bool avx2 = false;
+  bool bmi2 = false;
+  bool adx = false;
+  bool avx512f = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  bool avx512ifma = false;
+
+  // True when SIMD kernels were disabled by ZKML_DISABLE_SIMD (env var set to
+  // anything but "0"/"" or the CMake option). The scalar asm path counts as
+  // SIMD here: disabling leaves only the portable CIOS code.
+  bool simd_disabled = false;
+
+  // CPUID brand string, e.g. "Intel(R) Xeon(R) Processor @ 2.10GHz"; empty if
+  // unavailable.
+  std::string cpu_model;
+
+  // CPUs this process may run on (sched_getaffinity when available, else
+  // hardware_concurrency). This is what the thread pool sizes itself to.
+  size_t num_cpus = 1;
+
+  // Dispatch decisions (capability AND not disabled).
+  bool UseAvx512Ifma() const {
+    return !simd_disabled && avx512f && avx512dq && avx512vl && avx512ifma;
+  }
+  bool UseScalarAsm() const { return !simd_disabled && adx && bmi2; }
+
+  // Compact feature list for benchmark/host stamping, e.g.
+  // "adx+avx2+avx512ifma" or "adx+avx2+avx512ifma(disabled)".
+  std::string Summary() const;
+
+  // Detected once on first use; the result never changes afterwards.
+  static const CpuFeatures& Get();
+};
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_CPU_FEATURES_H_

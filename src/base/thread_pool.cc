@@ -1,17 +1,64 @@
 #include "src/base/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "src/base/cpu_features.h"
 #include "src/base/task_context.h"
 
 namespace zkml {
+namespace {
 
-ThreadPool::ThreadPool(size_t num_threads)
+// The CPUs this process may run on, in mask order; empty when unavailable.
+std::vector<int> AllowedCpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) {
+        cpus.push_back(c);
+      }
+    }
+  }
+#endif
+  return cpus;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, bool pin_workers)
     : counters_(new WorkerCounters[num_threads + 1]), start_time_(std::chrono::steady_clock::now()) {
   workers_.reserve(num_threads);
+  pinned_cpus_.assign(num_threads, -1);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+#if defined(__linux__)
+  if (pin_workers) {
+    const std::vector<int> cpus = AllowedCpus();
+    // Pin only when every worker gets its own CPU; an oversubscribed pool is
+    // better served by letting the scheduler juggle.
+    if (!cpus.empty() && num_threads <= cpus.size()) {
+      for (size_t i = 0; i < num_threads; ++i) {
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpus[i], &one);
+        if (pthread_setaffinity_np(workers_[i].native_handle(), sizeof(one), &one) == 0) {
+          pinned_cpus_[i] = cpus[i];
+        }
+      }
+    }
+  }
+#else
+  (void)pin_workers;
+#endif
 }
 
 ThreadPool::~ThreadPool() {
@@ -92,8 +139,11 @@ ThreadPoolStats ThreadPool::Stats() const {
     ThreadPoolStats::Worker& w = stats.workers[i];
     w.tasks = counters_[i].tasks.load(std::memory_order_relaxed);
     w.busy_ns = counters_[i].busy_ns.load(std::memory_order_relaxed);
-    if (i < workers_.size() && stats.uptime_ns > 0) {
-      w.busy_fraction = static_cast<double>(w.busy_ns) / static_cast<double>(stats.uptime_ns);
+    if (i < workers_.size()) {
+      w.pinned_cpu = pinned_cpus_[i];
+      if (stats.uptime_ns > 0) {
+        w.busy_fraction = static_cast<double>(w.busy_ns) / static_cast<double>(stats.uptime_ns);
+      }
     }
     stats.tasks_executed += w.tasks;
     stats.total_task_ns += w.busy_ns;
@@ -102,7 +152,22 @@ ThreadPoolStats ThreadPool::Stats() const {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  static ThreadPool pool(
+      [] {
+        // The waiting thread helps drain the queue, so a pool of exactly
+        // num_cpus workers already produces one transient extra runnable
+        // thread; sizing to hardware_concurrency regardless of the affinity
+        // mask (the old behavior) oversubscribed small containers badly.
+        if (const char* env = std::getenv("ZKML_NUM_THREADS")) {
+          char* end = nullptr;
+          const long v = std::strtol(env, &end, 10);
+          if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+            return static_cast<size_t>(v);
+          }
+        }
+        return CpuFeatures::Get().num_cpus;
+      }(),
+      /*pin_workers=*/true);
   return pool;
 }
 
@@ -144,13 +209,21 @@ void TaskGroup::Wait() {
   std::lock_guard<std::mutex> lock(done_mu_);
 }
 
-void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn) {
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn,
+                 size_t bytes_per_elem) {
   if (end <= begin) {
     return;
   }
   const size_t n = end - begin;
   ThreadPool& pool = ThreadPool::Global();
-  const size_t num_chunks = std::min(n, pool.num_threads() * 2);
+  // Two chunks per thread for load balance, but no chunk larger than ~512KB
+  // of working set (half a typical per-core L2): big ranges split into more,
+  // cache-sized grains so a worker's chunk stays hot across the passes the
+  // callback makes over it.
+  constexpr size_t kGrainBytes = 512 * 1024;
+  const size_t max_grain = std::max<size_t>(1024, kGrainBytes / std::max<size_t>(1, bytes_per_elem));
+  const size_t num_chunks =
+      std::min(n, std::max(pool.num_threads() * 2, (n + max_grain - 1) / max_grain));
   if (n < 1024 || num_chunks <= 1) {
     chunk_fn(begin, end);
     return;

@@ -33,6 +33,9 @@ struct ThreadPoolStats {
     // Busy fraction of the pool's uptime; helpers report 0 (no meaningful
     // denominator — they are borrowed threads).
     double busy_fraction = 0.0;
+    // CPU this worker is pinned to, or -1 when unpinned (non-global pools,
+    // oversubscribed pools, platforms without affinity support).
+    int pinned_cpu = -1;
   };
   std::vector<Worker> workers;
   uint64_t tasks_executed = 0;
@@ -42,7 +45,12 @@ struct ThreadPoolStats {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  // pin_workers: pin worker i to the i-th CPU of this process's affinity mask
+  // (one worker per CPU keeps bucket/bench working sets in their local L2 and
+  // stops the scheduler migrating hot loops). Pinning is skipped when the
+  // pool is wider than the mask. Only the global pool pins by default;
+  // ad-hoc pools (tests) stay unpinned so they compose.
+  explicit ThreadPool(size_t num_threads, bool pin_workers = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -52,7 +60,10 @@ class ThreadPool {
 
   ThreadPoolStats Stats() const;
 
-  // Process-wide pool sized to the hardware concurrency.
+  // Process-wide pool, sized to the CPUs this process may actually run on
+  // (sched_getaffinity, not hardware_concurrency — containers and cpusets
+  // routinely expose fewer). Overridable with ZKML_NUM_THREADS. Workers are
+  // pinned one-per-CPU when the size matches the affinity mask.
   static ThreadPool& Global();
 
  private:
@@ -73,6 +84,7 @@ class ThreadPool {
   };
 
   std::vector<std::thread> workers_;
+  std::vector<int> pinned_cpus_;  // per worker; -1 = unpinned
   // num_threads() + 1 slots; the last slot accumulates help-work done by
   // threads that are not pool workers.
   std::unique_ptr<WorkerCounters[]> counters_;
@@ -106,7 +118,13 @@ class TaskGroup {
 
 // Runs chunk_fn over [begin, end) split into contiguous chunks across the
 // global pool. Serial for small ranges, so callers can use it unconditionally.
-void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn);
+// Chunks target two per thread for load balance but are capped so one chunk's
+// working set (bytes_per_elem per element) stays within a worker's share of
+// L2 — large ranges split into more, cache-sized grains. bytes_per_elem
+// defaults to a 32-byte field element; pass the real element footprint when
+// iterating over wider rows.
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn,
+                 size_t bytes_per_elem = 32);
 
 }  // namespace zkml
 

@@ -5,6 +5,8 @@
 #include "src/base/check.h"
 #include "src/base/kernel_stats.h"
 #include "src/base/thread_pool.h"
+#include "src/ec/glv.h"
+#include "src/ff/batch_mul.h"
 
 namespace zkml {
 namespace {
@@ -259,22 +261,27 @@ bool G1::operator==(const G1& o) const {
 
 namespace {
 
-// Both BN254 moduli are 254-bit; one extra bit absorbs the signed-digit
-// carry, so windows must cover 255 bits.
-constexpr int kScalarBits = 254;
+// Below this point count the Pippenger windows run on the calling thread:
+// pool dispatch overhead exceeds the per-window work, which is what made a
+// 256-point MSM slower than a 512-point one in BENCH_primitives.json.
+constexpr size_t kMsmSerialThreshold = 1024;
 
-int NumWindows(int c) { return (kScalarBits + 1 + c - 1) / c; }
+// GLV splits every 254-bit scalar into two halves below 2^kGlvBits; one
+// extra bit absorbs the signed-digit carry, so windows cover kGlvBits + 1
+// bits over twice the point count.
+int NumWindows(int c) { return (Glv::kGlvBits + 1 + c - 1) / c; }
 
 // Picks the signed-window width minimizing the Pippenger cost model:
-// NumWindows(c) windows, each costing ~n batched-affine adds (≈6 field muls
-// amortized) plus 2^{c-1} bucket-aggregation Jacobian adds (≈26 muls).
+// NumWindows(c) windows, each costing ~2n batched-affine adds (≈6 field muls
+// amortized, over the GLV-doubled point set) plus 2^{c-1} bucket-aggregation
+// Jacobian adds (≈26 muls).
 int ChooseWindowBits(size_t n) {
   int best_c = 4;
   double best_cost = 0;
   for (int c = 4; c <= 15; ++c) {
     const double cost =
         static_cast<double>(NumWindows(c)) *
-        (static_cast<double>(n) * 6.0 + static_cast<double>(1ULL << (c - 1)) * 26.0);
+        (static_cast<double>(2 * n) * 6.0 + static_cast<double>(1ULL << (c - 1)) * 26.0);
     if (c == 4 || cost < best_cost) {
       best_c = c;
       best_cost = cost;
@@ -311,30 +318,98 @@ void SignedDigits(const U256& e, int c, int num_windows, int16_t* out, size_t st
       carry = 0;
     }
   }
-  // The top window cannot carry out: e < 2^254 and the windows cover >= 255
-  // bits, so the final raw value is at most 2^{c-1}.
+  // The top window cannot carry out: e < 2^kGlvBits and the windows cover at
+  // least kGlvBits + 1 bits, so the final raw value is at most 2^{c-1}.
 }
+
+// Reusable structure-of-arrays scratch for ReduceBucketChains: one slot per
+// regular (non-degenerate) pair of the current round. Splitting the affine
+// add into per-coordinate arrays lets every multiplication stage run through
+// the SIMD batch kernel instead of one scalar Montgomery mul at a time.
+struct AffineAddScratch {
+  std::vector<Fq> den;   // dx (or 2y for doublings); inverted, then becomes
+                         // lambda*(p.x - x3) after the final mul
+  std::vector<Fq> num;   // dy (or 3x^2); becomes lambda after the first mul
+  std::vector<Fq> lam2;  // lambda^2, then x3
+  std::vector<uint32_t> src;  // slot of p (q is src + 1) per regular pair
+  std::vector<uint32_t> out;  // result slot per regular pair
+  // Pass-through of a half-dead pair's live point. Captured by value and
+  // applied after the scatter: its destination slot off + t/2 can alias an
+  // EARLIER regular pair's source slot (t/2 < t), which the batch stages
+  // still read after the walk — so the write must not happen in place.
+  struct DeferredCopy {
+    uint32_t dst;
+    Fq x;
+    Fq y;
+  };
+  std::vector<DeferredCopy> copies;
+  std::vector<Fq> inv_save;
+  std::vector<Fq> inv_scratch;
+
+  // Grows the pair arrays to at least `pairs` slots, monotonically: existing
+  // contents are garbage between rounds anyway, and never shrinking means a
+  // reused scratch pays vector growth (and its page faults) only once.
+  void Ensure(size_t pairs) {
+    if (den.size() < pairs) {
+      den.resize(pairs);
+      num.resize(pairs);
+      lam2.resize(pairs);
+      src.resize(pairs);
+      out.resize(pairs);
+    }
+  }
+};
+
+// Chain points in coordinate-split form. alive[i] == 0 marks an identity
+// slot (a pair that cancelled); live slots hold affine (x, y). SoA keeps
+// every stage of the reduction streaming over contiguous 32-byte lanes
+// instead of strided 72-byte point structs.
+struct SoAPoints {
+  std::vector<Fq> x;
+  std::vector<Fq> y;
+  std::vector<uint8_t> alive;
+
+  // x/y grow monotonically and are left uninitialized-by-contract (the
+  // bucket fill writes every slot below `n`); only alive is reset.
+  void Resize(size_t n) {
+    if (x.size() < n) {
+      x.resize(n);
+      y.resize(n);
+    }
+    alive.assign(n, 1);
+  }
+};
 
 // Resolves every bucket chain to a single point by pairwise-reduction rounds.
 // pts is grouped by bucket: chain b occupies [start[b], start[b] + cnt[b]).
 // Each round batches all of its additions behind one Montgomery batch
 // inversion, making an affine add ~6 field muls instead of the ~11 of a
-// Jacobian mixed add. Rounds are logarithmic in the longest chain even in the
+// Jacobian mixed add — and every multiplication stage (the inversion tree,
+// lambda, lambda^2, lambda*(px - x3)) runs as SIMD BatchMuls over all pairs
+// in the round. Rounds are logarithmic in the longest chain even in the
 // adversarial all-points-one-bucket case.
 //
-// Each round makes two passes over the same pair walk: pass 1 only collects
-// the denominators (it never writes), and pass 2 replays the walk, consuming
-// the inverted denominators in order and writing results in place. In-place
-// is safe because pair t writes index off + t/2, strictly below the inputs
-// off + t' (t' >= t + 2) of every later pair, and chains never overlap.
-void ReduceBucketChains(std::vector<G1Affine>& pts, const std::vector<uint32_t>& start,
-                        std::vector<uint32_t>& cnt, std::vector<Fq>& denoms,
-                        std::vector<Fq>& inv_scratch) {
-  const size_t nb = cnt.size();
+// Each round walks the chains once, classifying every pair: regular adds
+// (including doublings — same lambda = num/den shape) append their operands
+// to the scratch arrays plus their destination slot off + t/2. Degenerate
+// pairs (an identity operand, or q == -p) resolve immediately during the
+// walk — writing dst right away is safe because dst = off + t/2 sits
+// strictly below every not-yet-visited source slot off + t' (t' >= t) of
+// the chain. Regular results come back from the batched stages and a flat
+// scatter writes each to its recorded slot; the scatter can't clobber an
+// unread operand either (regular operands were copied into scratch during
+// the walk). Odd-tail moves happen after the scatter for the same reason.
+void ReduceBucketChains(SoAPoints& pts, const std::vector<uint32_t>& start,
+                        std::vector<uint32_t>& cnt, size_t b_lo, size_t b_hi,
+                        AffineAddScratch& s) {
+  Fq* xs = pts.x.data();
+  Fq* ys = pts.y.data();
+  uint8_t* alive = pts.alive.data();
   for (;;) {
     bool active = false;
-    denoms.clear();
-    for (size_t b = 0; b < nb; ++b) {
+    size_t m = 0;  // regular pairs collected this round
+    s.copies.clear();
+    for (size_t b = b_lo; b < b_hi; ++b) {
       const uint32_t chain = cnt[b];
       if (chain < 2) {
         continue;
@@ -342,117 +417,217 @@ void ReduceBucketChains(std::vector<G1Affine>& pts, const std::vector<uint32_t>&
       active = true;
       const uint32_t off = start[b];
       for (uint32_t t = 0; t + 1 < chain; t += 2) {
-        const G1Affine& p = pts[off + t];
-        const G1Affine& q = pts[off + t + 1];
-        if (p.infinity || q.infinity) {
+        const uint32_t i = off + t;
+        const uint32_t j = i + 1;
+        const uint32_t dst = off + t / 2;
+        if (!alive[i] || !alive[j]) {
+          const uint32_t src = alive[j] ? j : i;
+          if (alive[src]) {
+            s.copies.push_back({dst, xs[src], ys[src]});
+          } else {
+            alive[dst] = 0;
+          }
           continue;
         }
-        const Fq dx = q.x - p.x;
+        const Fq dx = xs[j] - xs[i];
         if (!dx.IsZero()) {
-          denoms.push_back(dx);
-        } else if (p.y == q.y && !p.y.IsZero()) {
-          denoms.push_back(p.y.Double());
+          s.den[m] = dx;
+          s.num[m] = ys[j] - ys[i];
+        } else if (ys[i] == ys[j] && !ys[i].IsZero()) {
+          s.den[m] = ys[i].Double();
+          const Fq xx = xs[i].Square();
+          s.num[m] = xx + xx + xx;
+        } else {
+          // q == -p (or an order-2 point): the sum is the identity.
+          alive[dst] = 0;
+          continue;
         }
-        // Otherwise q == -p (or an order-2 point): the sum is the identity
-        // and needs no inversion.
+        s.src[m] = i;
+        s.out[m] = dst;
+        ++m;
       }
     }
     if (!active) {
       return;
     }
-    BatchInverseNonZero(denoms.data(), denoms.size(), inv_scratch);
-    size_t di = 0;
-    for (size_t b = 0; b < nb; ++b) {
-      const uint32_t chain = cnt[b];
-      if (chain < 2) {
-        continue;
-      }
-      const uint32_t off = start[b];
-      for (uint32_t t = 0; t + 1 < chain; t += 2) {
-        const G1Affine& p = pts[off + t];
-        const G1Affine& q = pts[off + t + 1];
-        const uint32_t out = off + t / 2;
-        if (p.infinity) {
-          pts[out] = q;
-          continue;
-        }
-        if (q.infinity) {
-          pts[out] = p;
-          continue;
-        }
-        Fq lambda;
-        if (p.x != q.x) {
-          lambda = (q.y - p.y) * denoms[di++];
-        } else if (p.y == q.y && !p.y.IsZero()) {
-          const Fq xx = p.x.Square();
-          lambda = (xx + xx + xx) * denoms[di++];
-        } else {
-          pts[out] = G1Affine::Identity();
-          continue;
-        }
-        const Fq x3 = lambda.Square() - p.x - q.x;
-        const Fq y3 = lambda * (p.x - x3) - p.y;
-        pts[out] = G1Affine{x3, y3, /*infinity=*/false};
-      }
+    BatchInverseFlatNonZero(s.den.data(), m, s.inv_save, s.inv_scratch);
+    BatchMul(s.num.data(), s.num.data(), s.den.data(), m);  // lambda
+    BatchSquare(s.lam2.data(), s.num.data(), m);
+    // p and q's coordinates are still in place (no slot below a pair's
+    // sources has been written since classification), so read them from
+    // xs/ys instead of carrying 3 more arrays through the round.
+    for (size_t k = 0; k < m; ++k) {
+      const uint32_t i = s.src[k];
+      const Fq x3 = s.lam2[k] - xs[i] - xs[i + 1];
+      s.den[k] = xs[i] - x3;
+      s.lam2[k] = x3;
     }
-    for (size_t b = 0; b < nb; ++b) {
+    BatchMul(s.den.data(), s.den.data(), s.num.data(), m);  // lambda*(px - x3)
+    // Scatter runs in classification order, so a pair's result lands at
+    // off + t/2 <= its own source slots and strictly below every later
+    // pair's sources: ys[src] is always read before anything clobbers it.
+    for (size_t k = 0; k < m; ++k) {
+      const uint32_t dst = s.out[k];
+      const Fq y3 = s.den[k] - ys[s.src[k]];
+      xs[dst] = s.lam2[k];
+      ys[dst] = y3;
+      alive[dst] = 1;
+    }
+    for (const AffineAddScratch::DeferredCopy& cp : s.copies) {
+      xs[cp.dst] = cp.x;
+      ys[cp.dst] = cp.y;
+      alive[cp.dst] = 1;
+    }
+    for (size_t b = b_lo; b < b_hi; ++b) {
       const uint32_t chain = cnt[b];
       if (chain < 2) {
         continue;
       }
       if (chain & 1) {
-        pts[start[b] + chain / 2] = pts[start[b] + chain - 1];
+        const uint32_t dst = start[b] + chain / 2;
+        const uint32_t src = start[b] + chain - 1;
+        xs[dst] = xs[src];
+        ys[dst] = ys[src];
+        alive[dst] = alive[src];
       }
       cnt[b] = (chain + 1) / 2;
     }
   }
 }
 
+// GLV-extended base coordinates in SoA form: index i < n is bases[i], index
+// n + i is phi(bases[i]) = (beta * x_i, y_i). Splitting x and y into flat
+// 32-byte-element arrays means every random read in the bucket fill touches
+// exactly one cache line per coordinate — the 72-byte AoS points straddle
+// two or three.
+struct ExtBases {
+  const Fq* x;  // 2n entries
+  const Fq* y;  // 2n entries
+
+  const Fq& X(size_t i) const { return x[i]; }
+  const Fq& Y(size_t i) const { return y[i]; }
+};
+
 // Accumulates points [lo, hi) of window w into 2^{c-1} signed buckets with
 // batched-affine addition, then returns the weighted bucket sum
 // sum_b (b+1) * B_b via the usual suffix running sums. wdigits is the
 // window's digit row, indexed by point.
-G1 AccumulateWindowChunk(const G1Affine* bases, const int16_t* wdigits, size_t lo, size_t hi,
+G1 AccumulateWindowChunk(const ExtBases& ext, const int16_t* wdigits, size_t lo, size_t hi,
                          int c) {
+  // Reused across the many window tasks a worker runs per MSM (and across
+  // MSMs): the arrays total tens of MB at 2^16 points, and reallocating them
+  // per window costs a fresh round of page faults each time.
+  static thread_local SoAPoints pts;
+  static thread_local AffineAddScratch scratch;
+  static thread_local std::vector<uint32_t> cnt, start, fill;
+
   const size_t nb = static_cast<size_t>(1) << (c - 1);
-  std::vector<uint32_t> cnt(nb, 0);
+  cnt.assign(nb, 0);
   for (size_t i = lo; i < hi; ++i) {
     const int d = wdigits[i];
-    if (d != 0 && !bases[i].infinity) {
+    if (d != 0) {
       ++cnt[static_cast<size_t>(d < 0 ? -d : d) - 1];
     }
   }
-  std::vector<uint32_t> start(nb, 0);
+  start.resize(nb);
   uint32_t total = 0;
   for (size_t b = 0; b < nb; ++b) {
     start[b] = total;
     total += cnt[b];
   }
-  std::vector<G1Affine> pts(total);
-  std::vector<uint32_t> fill(start);
+  pts.Resize(total);
+  fill.assign(start.begin(), start.end());
+  scratch.Ensure(total / 2 + 1);
+
+  // Process buckets in power-of-two blocks of ~8k points, and run fill +
+  // reduction + aggregation per block before touching the next: the block's
+  // ~512KB of coordinates stay L2-resident across all of its log(chain)
+  // reduction rounds and its aggregation reads, instead of every stage
+  // streaming the full multi-MB arrays. A radix prepass scatters each
+  // point's 4-byte index into its block's slice of `idx` (that scatter stays
+  // inside one L2-sized array), so the per-block fill — the expensive 64-byte
+  // coordinate scatter — lands in a cache-resident region. Early rounds of a
+  // block still batch thousands of pairs, so the SIMD inversion tree and
+  // batch muls keep their depth. Blocks run in descending bucket order so
+  // the weighted-sum suffix accumulators thread straight through.
+  constexpr uint32_t kReduceBlockPoints = 8192;
+  G1 running;
+  G1 acc;
+  if (total <= kReduceBlockPoints) {
+    for (size_t i = lo; i < hi; ++i) {
+      const int d = wdigits[i];
+      if (d == 0) {
+        continue;
+      }
+      const size_t b = static_cast<size_t>(d < 0 ? -d : d) - 1;
+      const uint32_t slot = fill[b]++;
+      pts.x[slot] = ext.X(i);
+      pts.y[slot] = d < 0 ? ext.Y(i).Neg() : ext.Y(i);
+    }
+    ReduceBucketChains(pts, start, cnt, 0, nb, scratch);
+    for (size_t b = nb; b-- > 0;) {
+      if (cnt[b] > 0 && pts.alive[start[b]]) {
+        running = running.AddMixed(G1Affine{pts.x[start[b]], pts.y[start[b]], /*infinity=*/false});
+      }
+      acc += running;
+    }
+    return acc;
+  }
+
+  // Buckets per block: the largest power of two keeping a block near the
+  // point target (bucket occupancy is near-uniform for random scalars).
+  uint32_t bpb = 1;
+  while (bpb < nb &&
+         static_cast<uint64_t>(bpb) * 2 * total / nb <= kReduceBlockPoints) {
+    bpb <<= 1;
+  }
+  uint32_t shift = 0;
+  while ((static_cast<uint32_t>(1) << shift) != bpb) {
+    ++shift;
+  }
+  const size_t nblk = nb / bpb;
+
+  static thread_local std::vector<uint32_t> idx, blk_fill;
+  idx.resize(total);
+  blk_fill.resize(nblk);
+  for (size_t blk = 0; blk < nblk; ++blk) {
+    blk_fill[blk] = start[blk * bpb];
+  }
   for (size_t i = lo; i < hi; ++i) {
     const int d = wdigits[i];
-    if (d == 0 || bases[i].infinity) {
+    if (d == 0) {
       continue;
     }
     const size_t b = static_cast<size_t>(d < 0 ? -d : d) - 1;
-    G1Affine pt = bases[i];
-    if (d < 0) {
-      pt.y = pt.y.Neg();
-    }
-    pts[fill[b]++] = pt;
+    idx[blk_fill[b >> shift]++] = static_cast<uint32_t>(i);
   }
-  std::vector<Fq> denoms;
-  std::vector<Fq> inv_scratch;
-  ReduceBucketChains(pts, start, cnt, denoms, inv_scratch);
 
-  G1 running;
-  G1 acc;
-  for (size_t b = nb; b-- > 0;) {
-    if (cnt[b] > 0) {
-      running = running.AddMixed(pts[start[b]]);
+  for (size_t blk = nblk; blk-- > 0;) {
+    const uint32_t b_lo = static_cast<uint32_t>(blk * bpb);
+    const uint32_t b_hi = static_cast<uint32_t>(b_lo + bpb);
+    const uint32_t k_lo = start[b_lo];
+    const uint32_t k_hi = blk_fill[blk];
+    constexpr uint32_t kFillPrefetch = 12;
+    for (uint32_t k = k_lo; k < k_hi; ++k) {
+      if (k + kFillPrefetch < k_hi) {
+        const uint32_t pi = idx[k + kFillPrefetch];
+        __builtin_prefetch(&ext.x[pi]);
+        __builtin_prefetch(&ext.y[pi]);
+      }
+      const uint32_t i = idx[k];
+      const int d = wdigits[i];
+      const size_t b = static_cast<size_t>(d < 0 ? -d : d) - 1;
+      const uint32_t slot = fill[b]++;
+      pts.x[slot] = ext.X(i);
+      pts.y[slot] = d < 0 ? ext.Y(i).Neg() : ext.Y(i);
     }
-    acc += running;
+    ReduceBucketChains(pts, start, cnt, b_lo, b_hi, scratch);
+    for (size_t b = b_hi; b-- > b_lo;) {
+      if (cnt[b] > 0 && pts.alive[start[b]]) {
+        running = running.AddMixed(G1Affine{pts.x[start[b]], pts.y[start[b]], /*infinity=*/false});
+      }
+      acc += running;
+    }
   }
   return acc;
 }
@@ -462,30 +637,80 @@ G1 AccumulateWindowChunk(const G1Affine* bases, const int16_t* wdigits, size_t l
 namespace internal {
 
 G1 MsmImpl(const G1Affine* bases, const Fr* scalars, size_t n, int c, size_t num_chunks) {
+  const Glv& glv = Glv::Get();
   const int num_windows = NumWindows(c);
+  const size_t m = 2 * n;  // GLV-extended point count: [P_i | phi(P_i)]
+
+  // phi(P) = (beta*x, y): transpose the bases to SoA and materialize the
+  // endomorphism x coordinates with one batched field multiplication (the
+  // second y half is a plain copy).
+  std::vector<Fq> ext_x(m);
+  std::vector<Fq> ext_y(m);
+  for (size_t i = 0; i < n; ++i) {
+    ext_x[i] = bases[i].x;
+    ext_y[i] = bases[i].y;
+  }
+  BatchMulScalar(ext_x.data() + n, ext_x.data(), glv.beta(), n);
+  std::copy(ext_y.begin(), ext_y.begin() + n, ext_y.begin() + n);
+  const ExtBases ext{ext_x.data(), ext_y.data()};
+
   // Digit matrix, window-major so each window task streams a contiguous row.
-  std::vector<int16_t> digits(static_cast<size_t>(num_windows) * n);
+  // Column i holds k1 digits of scalar i, column n+i its k2 digits; negative
+  // halves fold into digit negation (a signed digit just negates the point).
+  // Infinity points get all-zero columns so the bucket passes never need to
+  // touch the point array to skip them.
+  std::vector<int16_t> digits(static_cast<size_t>(num_windows) * m);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      SignedDigits(scalars[i].ToCanonical(), c, num_windows, &digits[i], n);
+      if (bases[i].infinity) {
+        for (int w = 0; w < num_windows; ++w) {
+          digits[w * m + i] = 0;
+          digits[w * m + n + i] = 0;
+        }
+        continue;
+      }
+      const GlvDecomposed d = glv.Decompose(scalars[i]);
+      SignedDigits(d.k1, c, num_windows, &digits[i], m);
+      SignedDigits(d.k2, c, num_windows, &digits[n + i], m);
+      if (d.k1_neg) {
+        for (int w = 0; w < num_windows; ++w) {
+          digits[w * m + i] = static_cast<int16_t>(-digits[w * m + i]);
+        }
+      }
+      if (d.k2_neg) {
+        for (int w = 0; w < num_windows; ++w) {
+          digits[w * m + n + i] = static_cast<int16_t>(-digits[w * m + n + i]);
+        }
+      }
     }
   });
 
-  num_chunks = std::max<size_t>(1, std::min(num_chunks, n));
-  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  num_chunks = std::max<size_t>(1, std::min(num_chunks, m));
+  const size_t chunk = (m + num_chunks - 1) / num_chunks;
   std::vector<G1> partial(static_cast<size_t>(num_windows) * num_chunks);
-  {
+  auto run_cell = [&](int w, size_t k) {
+    const size_t lo = k * chunk;
+    const size_t hi = std::min(m, lo + chunk);
+    if (lo < hi) {
+      partial[w * num_chunks + k] =
+          AccumulateWindowChunk(ext, &digits[static_cast<size_t>(w) * m], lo, hi, c);
+    }
+  };
+  if (num_chunks == 1 &&
+      (n < kMsmSerialThreshold || ThreadPool::Global().num_threads() <= 1)) {
+    // Small problem: the pool's submit/steal overhead exceeds the work (this
+    // is what made 256-point MSMs slower than 512-point ones). A one-worker
+    // pool stays serial at every size — the pool would only add a second
+    // executor (the helping caller) timesharing the same core, evicting the
+    // L2-resident bucket blocks on every switch.
+    for (int w = 0; w < num_windows; ++w) {
+      run_cell(w, 0);
+    }
+  } else {
     TaskGroup group;
     for (int w = 0; w < num_windows; ++w) {
       for (size_t k = 0; k < num_chunks; ++k) {
-        group.Submit([&, w, k] {
-          const size_t lo = k * chunk;
-          const size_t hi = std::min(n, lo + chunk);
-          if (lo < hi) {
-            partial[w * num_chunks + k] =
-                AccumulateWindowChunk(bases, &digits[static_cast<size_t>(w) * n], lo, hi, c);
-          }
-        });
+        group.Submit([&run_cell, w, k] { run_cell(w, k); });
       }
     }
   }

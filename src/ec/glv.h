@@ -1,0 +1,68 @@
+// GLV endomorphism scalar decomposition for BN254 G1.
+//
+// BN254 has j-invariant 0 (y^2 = x^3 + 3), so Fq contains a primitive cube
+// root of unity beta and the map phi(x, y) = (beta*x, y) is a curve
+// endomorphism. On the prime-order G1 it acts as multiplication by lambda,
+// a primitive cube root of unity mod r. That turns every scalar
+// multiplication k*P into k1*P + k2*phi(P) with |k1|, |k2| ~ sqrt(r): half
+// the scalar bits, so Pippenger covers ~131 bits of windows instead of 255.
+//
+// Nothing here is hard-coded: beta and lambda are derived at startup by
+// exponentiation (5 generates Fr*, so lambda = 5^((r-1)/3); beta is matched
+// against lambda by checking phi(G) == lambda*G), and the short lattice basis
+// comes from the extended Euclidean algorithm on (r, lambda), stopping at the
+// first remainder below sqrt(r). Derivation is self-checked with ZKML_CHECK,
+// so a wrong constant cannot silently produce wrong proofs.
+#ifndef SRC_EC_GLV_H_
+#define SRC_EC_GLV_H_
+
+#include "src/ff/fields.h"
+#include "src/ff/u256.h"
+
+namespace zkml {
+
+// A signed decomposition k = (-1)^{k1_neg} k1 + lambda * (-1)^{k2_neg} k2
+// (mod r), with both magnitudes below 2^kGlvBits.
+struct GlvDecomposed {
+  U256 k1;
+  U256 k2;
+  bool k1_neg = false;
+  bool k2_neg = false;
+};
+
+class Glv {
+ public:
+  // Upper bound (in bits) on the decomposed half-scalar magnitudes. The exact
+  // lattice bound is (1 + |a1| + |a2|) plus two units of Babai rounding slop,
+  // all below 2^130.5 for BN254; MSM windows must cover kGlvBits + 1 bits so
+  // the signed-digit carry cannot escape.
+  static constexpr int kGlvBits = 131;
+
+  // Derived once on first use (and self-checked); never changes afterwards.
+  static const Glv& Get();
+
+  const Fq& beta() const { return beta_; }
+  const Fr& lambda() const { return lambda_; }
+
+  // Splits k into half-length components. Cost is a handful of 256/512-bit
+  // integer multiplies per scalar (no field inversions, no divisions).
+  GlvDecomposed Decompose(const Fr& k) const;
+
+ private:
+  Glv();
+
+  Fq beta_;
+  Fr lambda_;
+  // Short lattice vectors v1 = (a1, b1), v2 = (a2, b2) with a + b*lambda == 0
+  // (mod r); magnitudes with explicit signs.
+  U256 a1_, b1_, a2_, b2_;
+  bool a1_neg_ = false, b1_neg_ = false, a2_neg_ = false, b2_neg_ = false;
+  // Babai rounding constants g_i = floor(2^320 * |b_j| / r) and the signs of
+  // the exact rational coefficients they approximate.
+  U256 g1_, g2_;
+  bool c1_neg_ = false, c2_neg_ = false;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_EC_GLV_H_

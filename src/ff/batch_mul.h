@@ -1,0 +1,133 @@
+// Element-wise batched Montgomery multiplication over arrays of field
+// elements, runtime-dispatched between the AVX-512 IFMA 8-lane kernel and the
+// scalar path. Every path computes the canonical Montgomery product (reduced
+// to [0, p)), so results are bit-identical regardless of dispatch — callers
+// may treat BatchMul as a drop-in for an operator* loop.
+//
+// These are throughput primitives for the prover's hot loops: the quotient
+// engine's coset pass, the evaluator's block mode, and the MSM's batched
+// affine additions all spend most of their time in exactly this shape of
+// loop (thousands of independent products over contiguous arrays).
+#ifndef SRC_FF_BATCH_MUL_H_
+#define SRC_FF_BATCH_MUL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/ff/fp.h"
+
+namespace zkml {
+namespace internal {
+
+// Per-modulus constants for the radix-52 IFMA kernel: the modulus in five
+// 52-bit limbs and -p^{-1} mod 2^52 (the low 52 bits of the 64-bit inverse).
+struct Ifma52Ctx {
+  uint64_t p52[5];
+  uint64_t p64[4];
+  uint64_t inv52;
+};
+
+Ifma52Ctx BuildIfma52Ctx(const uint64_t* p64, uint64_t inv64);
+
+// True when the executing CPU supports the IFMA kernel (ignores the
+// ZKML_DISABLE_SIMD switches; used by tests to force the vector path).
+bool IfmaSupportedByHardware();
+
+// r[i] = MontRed(a[i] * b[i]) for 8*groups elements laid out as contiguous
+// 4x64-bit little-endian limbs (32-byte stride). r may alias a or b.
+// Requires IfmaSupportedByHardware().
+void MontMulIfmaBatch(uint64_t* r, const uint64_t* a, const uint64_t* b, const Ifma52Ctx& ctx,
+                      size_t groups);
+
+// As above with a single broadcast right operand (4x64 limbs).
+void MontMulIfmaBatchBroadcast(uint64_t* r, const uint64_t* a, const uint64_t* b,
+                               const Ifma52Ctx& ctx, size_t groups);
+
+// Resolved once at startup: hardware support AND not ZKML_DISABLE_SIMD.
+bool UseIfmaKernels();
+
+template <typename F>
+const Ifma52Ctx& IfmaCtxFor() {
+  static const Ifma52Ctx ctx = BuildIfma52Ctx(F::Ctx().modulus.limbs, F::ModNegInv());
+  return ctx;
+}
+
+}  // namespace internal
+
+// dst[i] = a[i] * b[i]. dst may alias a or b.
+template <typename F>
+void BatchMul(F* dst, const F* a, const F* b, size_t n) {
+  static_assert(sizeof(F) == 4 * sizeof(uint64_t), "Fp must be four bare limbs");
+  size_t i = 0;
+  if (n >= 8 && internal::UseIfmaKernels()) {
+    const size_t groups = n / 8;
+    internal::MontMulIfmaBatch(reinterpret_cast<uint64_t*>(dst),
+                               reinterpret_cast<const uint64_t*>(a),
+                               reinterpret_cast<const uint64_t*>(b),
+                               internal::IfmaCtxFor<F>(), groups);
+    i = groups * 8;
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+// dst[i] = a[i] * s. dst may alias a.
+template <typename F>
+void BatchMulScalar(F* dst, const F* a, const F& s, size_t n) {
+  static_assert(sizeof(F) == 4 * sizeof(uint64_t), "Fp must be four bare limbs");
+  size_t i = 0;
+  if (n >= 8 && internal::UseIfmaKernels()) {
+    const size_t groups = n / 8;
+    internal::MontMulIfmaBatchBroadcast(reinterpret_cast<uint64_t*>(dst),
+                                        reinterpret_cast<const uint64_t*>(a),
+                                        reinterpret_cast<const uint64_t*>(&s),
+                                        internal::IfmaCtxFor<F>(), groups);
+    i = groups * 8;
+  }
+  for (; i < n; ++i) {
+    dst[i] = a[i] * s;
+  }
+}
+
+// dst[i] = a[i] * a[i].
+template <typename F>
+void BatchSquare(F* dst, const F* a, size_t n) {
+  BatchMul(dst, a, a, n);
+}
+
+// Inverts x[0..n) in place; every element must be nonzero. Same contract as
+// BatchInverseNonZero, but the ~3n multiplications run as SIMD BatchMuls
+// instead of serial prefix-product chains: the array is folded in split
+// halves (x[i] *= x[i+h], all contiguous — no gathers), recursing on the
+// product half, then unfolded with two BatchMuls per level. One field
+// inversion total, at the recursion base. `save` is caller-reusable scratch
+// holding the pre-fold operands (grows to ~2n elements).
+template <typename F>
+void BatchInverseFlatNonZero(F* x, size_t n, std::vector<F>& save, std::vector<F>& scratch) {
+  if (n < 128 || !internal::UseIfmaKernels()) {
+    BatchInverseNonZero(x, n, scratch);
+    return;
+  }
+  const size_t h = n / 2;
+  const bool odd = (n & 1) != 0;
+  const size_t base = save.size();
+  save.insert(save.end(), x, x + 2 * h);
+  BatchMul(x, x, x + h, h);  // fold: x[i] = a_i * a_{i+h}
+  if (odd) {
+    x[h] = x[2 * h];  // carry the unpaired element into the recursion
+  }
+  BatchInverseFlatNonZero(x, h + (odd ? 1 : 0), save, scratch);
+  if (odd) {
+    x[2 * h] = x[h];  // its inverse goes straight back
+  }
+  // Unfold: with P[i] = 1/(a_i * a_{i+h}) in x[0..h), recover both inverses.
+  // Second half first (it reads all of P), then first half in place.
+  BatchMul(x + h, x, save.data() + base, h);          // 1/a_{i+h} = P[i] * a_i
+  BatchMul(x, x, save.data() + base + h, h);          // 1/a_i     = P[i] * a_{i+h}
+  save.resize(base);
+}
+
+}  // namespace zkml
+
+#endif  // SRC_FF_BATCH_MUL_H_

@@ -1,0 +1,259 @@
+// Eight-lane Montgomery multiplication with AVX-512 IFMA (vpmadd52luq /
+// vpmadd52huq), one independent product per 64-bit lane.
+//
+// Layout: operands arrive in the field elements' natural memory form —
+// contiguous 4x64-bit little-endian limbs — and are transposed in registers
+// to limb-major vectors, converted to radix-52 (five limbs), multiplied with
+// a 5-step CIOS whose per-step products come from the 52-bit multiplier, and
+// converted back. The 52-bit CIOS runs R = 2^260 instead of the scalar
+// path's 2^256; pre-scaling the right operand by 2^4 during the radix
+// conversion (b' = 16b, still < 2^260) makes the reduction compute
+// a*b*2^4*2^-260 = a*b*2^-256 — exactly the scalar result. The final value
+// is < 2p (a*b' < p*2^258 keeps the Montgomery bound), so one lane-masked
+// conditional subtract canonicalizes, and the output is bit-identical to the
+// scalar ADX and portable CIOS paths (cross-checked in ff_test).
+//
+// Carry discipline: accumulator lanes are 64-bit while limbs are 52-bit, so
+// each lane absorbs ~2^12 worth of deferred carries; a limb passes through at
+// most five accumulation steps (< 2^57 total) before it is shifted out, so
+// nothing can wrap. Only t0's carry is propagated per step (it must be, to
+// form the next m); the rest settle in one normalization pass at the end.
+#include "src/ff/batch_mul.h"
+
+#include "src/base/cpu_features.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define ZKML_IFMA_TARGET __attribute__((target("avx512f,avx512dq,avx512vl,avx512ifma")))
+#endif
+
+namespace zkml {
+namespace internal {
+
+Ifma52Ctx BuildIfma52Ctx(const uint64_t* p64, uint64_t inv64) {
+  Ifma52Ctx ctx;
+  constexpr uint64_t kMask52 = (1ULL << 52) - 1;
+  ctx.p52[0] = p64[0] & kMask52;
+  ctx.p52[1] = ((p64[0] >> 52) | (p64[1] << 12)) & kMask52;
+  ctx.p52[2] = ((p64[1] >> 40) | (p64[2] << 24)) & kMask52;
+  ctx.p52[3] = ((p64[2] >> 28) | (p64[3] << 36)) & kMask52;
+  ctx.p52[4] = p64[3] >> 16;
+  for (int i = 0; i < 4; ++i) {
+    ctx.p64[i] = p64[i];
+  }
+  // -p^{-1} mod 2^52 is the low 52 bits of -p^{-1} mod 2^64.
+  ctx.inv52 = inv64 & kMask52;
+  return ctx;
+}
+
+bool IfmaSupportedByHardware() {
+#if defined(__x86_64__)
+  const CpuFeatures& f = CpuFeatures::Get();
+  return f.avx512f && f.avx512dq && f.avx512vl && f.avx512ifma;
+#else
+  return false;
+#endif
+}
+
+bool UseIfmaKernels() {
+  static const bool use =
+      IfmaSupportedByHardware() && !CpuFeatures::Get().simd_disabled;
+  return use;
+}
+
+#if defined(__x86_64__)
+
+namespace {
+
+// Transposes 8 consecutive field elements (4 limbs each, element-major) into
+// four limb-major vectors L[l] = (e0.l, e1.l, ..., e7.l).
+ZKML_IFMA_TARGET inline void LoadLimbMajor(const uint64_t* src, __m512i L[4]) {
+  const __m512i z0 = _mm512_loadu_si512(src);
+  const __m512i z1 = _mm512_loadu_si512(src + 8);
+  const __m512i z2 = _mm512_loadu_si512(src + 16);
+  const __m512i z3 = _mm512_loadu_si512(src + 24);
+  const __m512i idx_lo = _mm512_setr_epi64(0, 4, 8, 12, 1, 5, 9, 13);
+  const __m512i idx_hi = _mm512_setr_epi64(2, 6, 10, 14, 3, 7, 11, 15);
+  // pXYl = limbs 0,1 of four elements; pXYh = limbs 2,3.
+  const __m512i p01l = _mm512_permutex2var_epi64(z0, idx_lo, z1);
+  const __m512i p01h = _mm512_permutex2var_epi64(z0, idx_hi, z1);
+  const __m512i p23l = _mm512_permutex2var_epi64(z2, idx_lo, z3);
+  const __m512i p23h = _mm512_permutex2var_epi64(z2, idx_hi, z3);
+  const __m512i low = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+  const __m512i high = _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15);
+  L[0] = _mm512_permutex2var_epi64(p01l, low, p23l);
+  L[1] = _mm512_permutex2var_epi64(p01l, high, p23l);
+  L[2] = _mm512_permutex2var_epi64(p01h, low, p23h);
+  L[3] = _mm512_permutex2var_epi64(p01h, high, p23h);
+}
+
+// Inverse of LoadLimbMajor: stores four limb-major vectors as 8 consecutive
+// element-major field elements.
+ZKML_IFMA_TARGET inline void StoreElementMajor(uint64_t* dst, const __m512i L[4]) {
+  const __m512i pair_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+  const __m512i pair_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+  // qN = (limb0, limb1) or (limb2, limb3) interleaved for four elements.
+  const __m512i q0 = _mm512_permutex2var_epi64(L[0], pair_lo, L[1]);
+  const __m512i q1 = _mm512_permutex2var_epi64(L[2], pair_lo, L[3]);
+  const __m512i q2 = _mm512_permutex2var_epi64(L[0], pair_hi, L[1]);
+  const __m512i q3 = _mm512_permutex2var_epi64(L[2], pair_hi, L[3]);
+  const __m512i quad_lo = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+  const __m512i quad_hi = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+  _mm512_storeu_si512(dst, _mm512_permutex2var_epi64(q0, quad_lo, q1));
+  _mm512_storeu_si512(dst + 8, _mm512_permutex2var_epi64(q0, quad_hi, q1));
+  _mm512_storeu_si512(dst + 16, _mm512_permutex2var_epi64(q2, quad_lo, q3));
+  _mm512_storeu_si512(dst + 24, _mm512_permutex2var_epi64(q2, quad_hi, q3));
+}
+
+// 4x64 limb-major -> 5x52 limb-major.
+ZKML_IFMA_TARGET inline void ToRadix52(const __m512i L[4], __m512i out[5]) {
+  const __m512i m52 = _mm512_set1_epi64((1ULL << 52) - 1);
+  out[0] = _mm512_and_si512(L[0], m52);
+  out[1] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[0], 52), _mm512_slli_epi64(L[1], 12)), m52);
+  out[2] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[1], 40), _mm512_slli_epi64(L[2], 24)), m52);
+  out[3] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[2], 28), _mm512_slli_epi64(L[3], 36)), m52);
+  out[4] = _mm512_srli_epi64(L[3], 16);
+}
+
+// 4x64 limb-major -> 5x52 limb-major of the value shifted left by 4 bits
+// (the 2^4 pre-scale that aligns R = 2^260 with the scalar R = 2^256).
+ZKML_IFMA_TARGET inline void ToRadix52Shl4(const __m512i L[4], __m512i out[5]) {
+  const __m512i m52 = _mm512_set1_epi64((1ULL << 52) - 1);
+  out[0] = _mm512_and_si512(_mm512_slli_epi64(L[0], 4), m52);
+  out[1] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[0], 48), _mm512_slli_epi64(L[1], 16)), m52);
+  out[2] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[1], 36), _mm512_slli_epi64(L[2], 28)), m52);
+  out[3] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(L[2], 24), _mm512_slli_epi64(L[3], 40)), m52);
+  out[4] = _mm512_srli_epi64(L[3], 12);
+}
+
+// The CIOS core: a (radix-52) times b4 (radix-52, pre-scaled by 2^4), eight
+// lanes at once, writing the canonical 4x64 result vectors into L.
+ZKML_IFMA_TARGET inline void Cios52(const __m512i a52[5], const __m512i b4[5],
+                                    const Ifma52Ctx& ctx, __m512i L[4]) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i m52 = _mm512_set1_epi64((1ULL << 52) - 1);
+  const __m512i inv = _mm512_set1_epi64(ctx.inv52);
+  __m512i p[5];
+  for (int j = 0; j < 5; ++j) {
+    p[j] = _mm512_set1_epi64(ctx.p52[j]);
+  }
+  __m512i t[6] = {zero, zero, zero, zero, zero, zero};
+  for (int i = 0; i < 5; ++i) {
+    const __m512i ai = a52[i];
+    t[0] = _mm512_madd52lo_epu64(t[0], ai, b4[0]);
+    t[1] = _mm512_madd52lo_epu64(t[1], ai, b4[1]);
+    t[2] = _mm512_madd52lo_epu64(t[2], ai, b4[2]);
+    t[3] = _mm512_madd52lo_epu64(t[3], ai, b4[3]);
+    t[4] = _mm512_madd52lo_epu64(t[4], ai, b4[4]);
+    t[1] = _mm512_madd52hi_epu64(t[1], ai, b4[0]);
+    t[2] = _mm512_madd52hi_epu64(t[2], ai, b4[1]);
+    t[3] = _mm512_madd52hi_epu64(t[3], ai, b4[2]);
+    t[4] = _mm512_madd52hi_epu64(t[4], ai, b4[3]);
+    t[5] = _mm512_madd52hi_epu64(t[5], ai, b4[4]);
+    // m = low52(t0) * inv mod 2^52; adding m*p zeroes t0's low 52 bits.
+    const __m512i m = _mm512_and_si512(_mm512_madd52lo_epu64(zero, t[0], inv), m52);
+    t[0] = _mm512_madd52lo_epu64(t[0], m, p[0]);
+    const __m512i carry = _mm512_srli_epi64(t[0], 52);
+    t[1] = _mm512_add_epi64(t[1], carry);
+    t[1] = _mm512_madd52hi_epu64(t[1], m, p[0]);
+    t[1] = _mm512_madd52lo_epu64(t[1], m, p[1]);
+    t[2] = _mm512_madd52hi_epu64(t[2], m, p[1]);
+    t[2] = _mm512_madd52lo_epu64(t[2], m, p[2]);
+    t[3] = _mm512_madd52hi_epu64(t[3], m, p[2]);
+    t[3] = _mm512_madd52lo_epu64(t[3], m, p[3]);
+    t[4] = _mm512_madd52hi_epu64(t[4], m, p[3]);
+    t[4] = _mm512_madd52lo_epu64(t[4], m, p[4]);
+    t[5] = _mm512_madd52hi_epu64(t[5], m, p[4]);
+    // Shift the accumulator one limb right (t0 is now a multiple of 2^52 and
+    // its carry has been folded into t1).
+    t[0] = t[1];
+    t[1] = t[2];
+    t[2] = t[3];
+    t[3] = t[4];
+    t[4] = t[5];
+    t[5] = zero;
+  }
+  // Settle deferred carries into clean 52-bit limbs.
+  for (int j = 0; j < 4; ++j) {
+    const __m512i carry = _mm512_srli_epi64(t[j], 52);
+    t[j] = _mm512_and_si512(t[j], m52);
+    t[j + 1] = _mm512_add_epi64(t[j + 1], carry);
+  }
+  // Back to 4x64 limbs. The value is < 2p < 2^255, so t[4] < 2^47.
+  __m512i r[4];
+  r[0] = _mm512_or_si512(t[0], _mm512_slli_epi64(t[1], 52));
+  r[1] = _mm512_or_si512(_mm512_srli_epi64(t[1], 12), _mm512_slli_epi64(t[2], 40));
+  r[2] = _mm512_or_si512(_mm512_srli_epi64(t[2], 24), _mm512_slli_epi64(t[3], 28));
+  r[3] = _mm512_or_si512(_mm512_srli_epi64(t[3], 36), _mm512_slli_epi64(t[4], 16));
+  // Lane-masked conditional subtract of p (borrow chain over four limbs).
+  __m512i p64[4];
+  for (int j = 0; j < 4; ++j) {
+    p64[j] = _mm512_set1_epi64(ctx.p64[j]);
+  }
+  __m512i d[4];
+  d[0] = _mm512_sub_epi64(r[0], p64[0]);
+  __mmask8 borrow = _mm512_cmplt_epu64_mask(r[0], p64[0]);
+  for (int j = 1; j < 4; ++j) {
+    const __m512i s = _mm512_sub_epi64(r[j], p64[j]);
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(r[j], p64[j]);
+    const __mmask8 eq_borrow =
+        _kand_mask8(borrow, _mm512_cmpeq_epu64_mask(s, zero));
+    d[j] = _mm512_mask_sub_epi64(s, borrow, s, _mm512_set1_epi64(1));
+    borrow = _kor_mask8(lt, eq_borrow);
+  }
+  // Lanes that borrowed were already < p: keep r there, take d elsewhere.
+  for (int j = 0; j < 4; ++j) {
+    L[j] = _mm512_mask_blend_epi64(borrow, d[j], r[j]);
+  }
+}
+
+}  // namespace
+
+ZKML_IFMA_TARGET void MontMulIfmaBatch(uint64_t* r, const uint64_t* a, const uint64_t* b,
+                                       const Ifma52Ctx& ctx, size_t groups) {
+  for (size_t g = 0; g < groups; ++g) {
+    __m512i La[4], Lb[4], a52[5], b4[5], Lr[4];
+    LoadLimbMajor(a + g * 32, La);
+    LoadLimbMajor(b + g * 32, Lb);
+    ToRadix52(La, a52);
+    ToRadix52Shl4(Lb, b4);
+    Cios52(a52, b4, ctx, Lr);
+    StoreElementMajor(r + g * 32, Lr);
+  }
+}
+
+ZKML_IFMA_TARGET void MontMulIfmaBatchBroadcast(uint64_t* r, const uint64_t* a,
+                                                const uint64_t* b, const Ifma52Ctx& ctx,
+                                                size_t groups) {
+  // Broadcast the single right operand once: each limb vector holds the same
+  // value in all lanes, so the CIOS core is unchanged.
+  __m512i Lb[4], b4[5];
+  for (int j = 0; j < 4; ++j) {
+    Lb[j] = _mm512_set1_epi64(b[j]);
+  }
+  ToRadix52Shl4(Lb, b4);
+  for (size_t g = 0; g < groups; ++g) {
+    __m512i La[4], a52[5], Lr[4];
+    LoadLimbMajor(a + g * 32, La);
+    ToRadix52(La, a52);
+    Cios52(a52, b4, ctx, Lr);
+    StoreElementMajor(r + g * 32, Lr);
+  }
+}
+
+#else  // !__x86_64__
+
+void MontMulIfmaBatch(uint64_t*, const uint64_t*, const uint64_t*, const Ifma52Ctx&, size_t) {}
+void MontMulIfmaBatchBroadcast(uint64_t*, const uint64_t*, const uint64_t*, const Ifma52Ctx&,
+                               size_t) {}
+
+#endif  // __x86_64__
+
+}  // namespace internal
+}  // namespace zkml

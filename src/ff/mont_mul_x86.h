@@ -15,7 +15,8 @@
 
 #include <cstdint>
 
-#if defined(__x86_64__) && defined(__ADX__) && defined(__BMI2__)
+#if defined(__x86_64__) && defined(__ADX__) && defined(__BMI2__) && \
+    !defined(ZKML_DISABLE_SIMD_BUILD)
 #define ZKML_HAVE_MONT_MUL_X86 1
 
 namespace zkml {

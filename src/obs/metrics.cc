@@ -141,6 +141,12 @@ void PublishThreadPoolStats(MetricsRegistry& registry, const ThreadPool& pool) {
     busy.Record(stats.workers[i].busy_fraction);
     mean += stats.workers[i].busy_fraction;
     ++n;
+    // Per-worker gauges: the histogram shows the distribution, but chasing a
+    // straggler (one unpinned or contended core) needs the worker identified.
+    const std::string prefix = "threadpool.worker." + std::to_string(i);
+    registry.gauge(prefix + ".busy_fraction").Set(stats.workers[i].busy_fraction);
+    registry.gauge(prefix + ".tasks").Set(static_cast<double>(stats.workers[i].tasks));
+    registry.gauge(prefix + ".pinned_cpu").Set(static_cast<double>(stats.workers[i].pinned_cpu));
   }
   registry.gauge("threadpool.mean_busy_fraction").Set(n > 0 ? mean / static_cast<double>(n) : 0.0);
 }

@@ -1,8 +1,10 @@
 #include "src/plonk/evaluator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/ff/batch_mul.h"
 
 namespace zkml {
 namespace {
@@ -256,6 +258,30 @@ Operand ResolveOperand(const ValueSource& s, const GraphEvaluator::Tables& t,
   return o;
 }
 
+// First row index in [0, cnt) at which a column operand wraps past the table
+// end, or cnt when the whole block is contiguous (non-column operands always
+// are). Blocks stay inside the domain, so there is at most one wrap.
+inline size_t WrapBoundary(const Operand& o, size_t cnt) {
+  if (o.mode != Operand::Mode::kColumn) {
+    return cnt;
+  }
+  const size_t rem = o.size - o.start;
+  return rem < cnt ? rem : cnt;
+}
+
+// Pointer to the operand's value at row r0, valid for a contiguous run up to
+// the operand's next wrap boundary.
+inline const Fr* SegPtr(const Operand& o, size_t r0) {
+  if (o.mode == Operand::Mode::kRow) {
+    return o.base + r0;
+  }
+  size_t idx = o.start + r0;
+  if (idx >= o.size) {
+    idx -= o.size;
+  }
+  return o.base + idx;
+}
+
 }  // namespace
 
 void GraphEvaluator::EvaluateBlock(const Tables& t, const size_t* rot_offsets, size_t j0,
@@ -268,18 +294,109 @@ void GraphEvaluator::EvaluateBlock(const Tables& t, const size_t* rot_offsets, s
     const Operand a = ResolveOperand(k.a, t, constants_, rot_offsets, j0, stride, scratch);
     const Operand b = ResolveOperand(k.b, t, constants_, rot_offsets, j0, stride, scratch);
     Fr* out = scratch + c * stride;
+    // Both multiplication and addition run over contiguous pointer segments
+    // (at most one wrap per column operand splits the block in two), so the
+    // multiply segments feed the dispatched BatchMul kernels directly.
+    const bool a_bc = a.mode == Operand::Mode::kBroadcast;
+    const bool b_bc = b.mode == Operand::Mode::kBroadcast;
     switch (k.op) {
       case Calculation::Op::kAdd:
-        for (size_t r = 0; r < cnt; ++r) {
-          out[r] = a.At(r) + b.At(r);
+        if (a_bc && b_bc) {
+          std::fill(out, out + cnt, *a.base + *b.base);
+        } else if (a_bc || b_bc) {
+          const Operand& vec = a_bc ? b : a;
+          const Fr s = a_bc ? *a.base : *b.base;
+          const size_t w = WrapBoundary(vec, cnt);
+          const Fr* p = SegPtr(vec, 0);
+          for (size_t r = 0; r < w; ++r) {
+            out[r] = p[r] + s;
+          }
+          p = SegPtr(vec, w);
+          for (size_t r = w; r < cnt; ++r) {
+            out[r] = p[r - w] + s;
+          }
+        } else {
+          size_t r = 0;
+          const size_t wa = WrapBoundary(a, cnt);
+          const size_t wb = WrapBoundary(b, cnt);
+          while (r < cnt) {
+            size_t end = cnt;
+            if (r < wa && wa < end) {
+              end = wa;
+            }
+            if (r < wb && wb < end) {
+              end = wb;
+            }
+            const Fr* pa = SegPtr(a, r);
+            const Fr* pb = SegPtr(b, r);
+            for (size_t i = 0; i < end - r; ++i) {
+              out[r + i] = pa[i] + pb[i];
+            }
+            r = end;
+          }
         }
         break;
       case Calculation::Op::kMul:
       case Calculation::Op::kScale:
-        for (size_t r = 0; r < cnt; ++r) {
-          out[r] = a.At(r) * b.At(r);
+        if (a_bc && b_bc) {
+          std::fill(out, out + cnt, *a.base * *b.base);
+        } else if (a_bc || b_bc) {
+          const Operand& vec = a_bc ? b : a;
+          const Fr& s = a_bc ? *a.base : *b.base;
+          const size_t w = WrapBoundary(vec, cnt);
+          BatchMulScalar(out, SegPtr(vec, 0), s, w);
+          if (w < cnt) {
+            BatchMulScalar(out + w, SegPtr(vec, w), s, cnt - w);
+          }
+        } else {
+          size_t r = 0;
+          const size_t wa = WrapBoundary(a, cnt);
+          const size_t wb = WrapBoundary(b, cnt);
+          while (r < cnt) {
+            size_t end = cnt;
+            if (r < wa && wa < end) {
+              end = wa;
+            }
+            if (r < wb && wb < end) {
+              end = wb;
+            }
+            BatchMul(out + r, SegPtr(a, r), SegPtr(b, r), end - r);
+            r = end;
+          }
         }
         break;
+    }
+  }
+}
+
+const Fr* GraphEvaluator::BlockSeries(const ValueSource& s, const Tables& t,
+                                      const size_t* rot_offsets, size_t j0, size_t cnt,
+                                      size_t stride, const Fr* scratch, Fr* tmp) const {
+  switch (s.kind) {
+    case ValueSource::Kind::kConstant:
+      std::fill(tmp, tmp + cnt, constants_[s.index]);
+      return tmp;
+    case ValueSource::Kind::kIntermediate:
+      return scratch + static_cast<size_t>(s.index) * stride;
+    case ValueSource::Kind::kFixed:
+    case ValueSource::Kind::kAdvice:
+    case ValueSource::Kind::kInstance:
+    default: {
+      const std::vector<Fr>* column = s.kind == ValueSource::Kind::kFixed ? t.fixed[s.index]
+                                      : s.kind == ValueSource::Kind::kAdvice
+                                          ? t.advice[s.index]
+                                          : t.instance[s.index];
+      size_t idx = j0 + rot_offsets[s.rotation];
+      if (idx >= t.size) {
+        idx -= t.size;
+      }
+      const size_t rem = t.size - idx;
+      if (cnt <= rem) {
+        return column->data() + idx;
+      }
+      std::copy(column->data() + idx, column->data() + t.size, tmp);
+      std::copy(column->data(), column->data() + (cnt - rem), tmp + rem);
+      return tmp;
     }
   }
 }

@@ -113,6 +113,14 @@ class GraphEvaluator {
   const Fr& BlockValue(const ValueSource& s, const Tables& t, const size_t* rot_offsets,
                        size_t j0, size_t r, size_t stride, const Fr* scratch) const;
 
+  // Contiguous view of source `s` over rows [j0, j0 + cnt) after EvaluateBlock
+  // filled `scratch`. Returns a pointer into the scratch/column storage when
+  // the rows are naturally contiguous; otherwise (a constant, or a column
+  // window wrapping the domain end) materializes them into `tmp` (at least
+  // cnt entries) and returns tmp.
+  const Fr* BlockSeries(const ValueSource& s, const Tables& t, const size_t* rot_offsets,
+                        size_t j0, size_t cnt, size_t stride, const Fr* scratch, Fr* tmp) const;
+
   size_t num_intermediates() const { return calculations_.size(); }
   const std::vector<Calculation>& calculations() const { return calculations_; }
   const std::vector<Fr>& constants() const { return constants_; }

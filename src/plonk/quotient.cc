@@ -4,6 +4,7 @@
 
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
+#include "src/ff/batch_mul.h"
 
 namespace zkml {
 namespace {
@@ -22,9 +23,28 @@ inline const Fr* ColumnData(const QuotientEvaluator::Tables& t, const Column& co
 }
 
 // Rows evaluated per EvaluateBlock call. Large enough to amortize operand
-// resolution, small enough that calcs * kBlockRows * sizeof(Fr) scratch stays
+// resolution and keep the batched Montgomery kernels in their 8-lane groups,
+// small enough that calcs * kBlockRows * sizeof(Fr) scratch stays
 // cache-resident.
-constexpr size_t kBlockRows = 64;
+constexpr size_t kBlockRows = 128;
+
+// Contiguous view of src rows [(j0 + shift) mod n, ... + cnt). The window
+// wraps the domain end at most once (cnt <= n); the non-wrapping case — every
+// block but the last — is zero-copy.
+inline const Fr* ShiftedSpan(const Fr* src, size_t j0, size_t shift, size_t cnt, size_t n,
+                             Fr* tmp) {
+  size_t s = j0 + shift;
+  if (s >= n) {
+    s -= n;
+  }
+  const size_t rem = n - s;
+  if (cnt <= rem) {
+    return src + s;
+  }
+  std::copy(src + s, src + n, tmp);
+  std::copy(src, src + (cnt - rem), tmp + rem);
+  return tmp;
+}
 
 }  // namespace
 
@@ -121,80 +141,169 @@ void QuotientEvaluator::Evaluate(const Tables& t, const Challenges& ch,
   }
   Fr* outp = out->data();
 
+  // Block-vector pass: every constraint family is computed over kBlockRows
+  // rows at a time with the dispatched batch Montgomery kernels. Additions
+  // and subtractions stay scalar (they are cheap relative to multiplies), and
+  // every multiplication keeps the legacy operand association, so each row's
+  // accumulation is value-identical to the per-row path this replaces.
   ParallelFor(0, ext_n, [&](size_t lo, size_t hi) {
     std::vector<Fr> scratch(graph_.num_intermediates() * kBlockRows);
+    std::vector<Fr> blockbuf(10 * kBlockRows);
+    Fr* acc = blockbuf.data();
+    Fr* srs = acc + kBlockRows;     // BlockSeries materialization scratch
+    Fr* t1 = srs + kBlockRows;
+    Fr* t2 = t1 + kBlockRows;
+    Fr* fblk = t2 + kBlockRows;     // lookup input accumulator, then beta + f
+    Fr* tabblk = fblk + kBlockRows; // lookup table accumulator, then beta + t
+    Fr* lact = tabblk + kBlockRows; // 1 - l_last per row
+    Fr* numb = lact + kBlockRows;
+    Fr* denb = numb + kBlockRows;
+    Fr* sh = denb + kBlockRows;     // ShiftedSpan wrap scratch
     for (size_t j0 = lo; j0 < hi; j0 += kBlockRows) {
       const size_t cnt = std::min(kBlockRows, hi - j0);
       graph_.EvaluateBlock(gt, rot_offsets.data(), j0, cnt, kBlockRows, scratch.data());
-      for (size_t r = 0; r < cnt; ++r) {
-        const size_t j = j0 + r;
-        size_t jp = j + plus_one;
-        if (jp >= ext_n) {
-          jp -= ext_n;
-        }
-        Fr acc = Fr::Zero();
-        size_t c = 0;  // constraint cursor: indexes y_pows in legacy order
+      std::fill(acc, acc + cnt, Fr::Zero());
+      size_t c = 0;  // constraint cursor: indexes y_pows in legacy order
 
-        // Gates.
-        for (const ValueSource& root : gate_roots_) {
-          acc += graph_.BlockValue(root, gt, rot_offsets.data(), j0, r, kBlockRows,
-                                   scratch.data()) *
-                 y_pows[c++];
+      // Gates.
+      for (const ValueSource& root : gate_roots_) {
+        const Fr* v =
+            graph_.BlockSeries(root, gt, rot_offsets.data(), j0, cnt, kBlockRows,
+                               scratch.data(), srs);
+        BatchMulScalar(t1, v, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t1[r];
         }
-
-        // Lookups: c0 (LogUp identity), c1 (S starts at 0), c2 (S update),
-        // c3 (S closes to 0).
-        for (size_t l = 0; l < lookups_.size(); ++l) {
-          const LookupPlan& lp = lookups_[l];
-          Fr f = Fr::Zero();
-          Fr tab = Fr::Zero();
-          Fr theta_j = Fr::One();
-          for (size_t jn = 0; jn < lp.input_roots.size(); ++jn) {
-            f += graph_.BlockValue(lp.input_roots[jn], gt, rot_offsets.data(), j0, r,
-                                   kBlockRows, scratch.data()) *
-                 theta_j;
-            tab += tabp[l][jn][j] * theta_j;
-            theta_j *= ch.theta;
-          }
-          const Fr bf = ch.beta + f;
-          const Fr bt = ch.beta + tab;
-          const Fr mv = mp[l][j];
-          const Fr hv = hp[l][j];
-          const Fr sv = sp[l][j];
-          const Fr sv_next = sp[l][jp];
-          const Fr l0 = l0p[j];
-          const Fr llast = llastp[j];
-          acc += (bf * bt * hv - (bt - mv * bf)) * y_pows[c++];
-          acc += (l0 * sv) * y_pows[c++];
-          acc += ((Fr::One() - llast) * (sv_next - sv - hv)) * y_pows[c++];
-          acc += (llast * (sv + hv)) * y_pows[c++];
-        }
-
-        // Permutation: boundary (z_0 starts at 1), then per chunk the active-
-        // row update and the last-row transition into the next chunk.
-        if (num_chunks_ > 0) {
-          const Fr l0 = l0p[j];
-          const Fr llast = llastp[j];
-          const Fr lactive = Fr::One() - llast;
-          acc += (l0 * (zp[0][j] - Fr::One())) * y_pows[c++];
-          for (size_t ck = 0; ck < num_chunks_; ++ck) {
-            const size_t col_begin = ck * chunk_size_;
-            const size_t col_end = std::min(perm_cols_.size(), col_begin + chunk_size_);
-            Fr num = Fr::One();
-            Fr den = Fr::One();
-            for (size_t i = col_begin; i < col_end; ++i) {
-              const Fr& fv = permp[i][j];
-              num *= fv + beta_delta[i] * cxp[j] + ch.gamma;
-              den *= fv + ch.beta * sigp[i][j] + ch.gamma;
-            }
-            const size_t next = (ck + 1) % num_chunks_;
-            acc += (lactive * (zp[ck][jp] * den - zp[ck][j] * num)) * y_pows[c++];
-            acc += (llast * (zp[next][jp] * den - zp[ck][j] * num)) * y_pows[c++];
-          }
-        }
-
-        outp[j] = acc * zhp[j];
       }
+
+      const bool needs_lactive = !lookups_.empty() || num_chunks_ > 0;
+      if (needs_lactive) {
+        for (size_t r = 0; r < cnt; ++r) {
+          lact[r] = Fr::One() - llastp[j0 + r];
+        }
+      }
+
+      // Lookups: c0 (LogUp identity), c1 (S starts at 0), c2 (S update),
+      // c3 (S closes to 0).
+      for (size_t l = 0; l < lookups_.size(); ++l) {
+        const LookupPlan& lp = lookups_[l];
+        std::fill(fblk, fblk + cnt, Fr::Zero());
+        std::fill(tabblk, tabblk + cnt, Fr::Zero());
+        Fr theta_j = Fr::One();
+        for (size_t jn = 0; jn < lp.input_roots.size(); ++jn) {
+          const Fr* in =
+              graph_.BlockSeries(lp.input_roots[jn], gt, rot_offsets.data(), j0, cnt,
+                                 kBlockRows, scratch.data(), srs);
+          BatchMulScalar(t1, in, theta_j, cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            fblk[r] += t1[r];
+          }
+          BatchMulScalar(t1, tabp[l][jn] + j0, theta_j, cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            tabblk[r] += t1[r];
+          }
+          theta_j *= ch.theta;
+        }
+        for (size_t r = 0; r < cnt; ++r) {
+          fblk[r] = ch.beta + fblk[r];    // bf
+          tabblk[r] = ch.beta + tabblk[r];  // bt
+        }
+        const Fr* mvp = mp[l] + j0;
+        const Fr* hvp = hp[l] + j0;
+        const Fr* svp = sp[l] + j0;
+        const Fr* sv_next = ShiftedSpan(sp[l], j0, plus_one, cnt, ext_n, sh);
+        // c0 = bf * bt * hv - (bt - mv * bf)
+        BatchMul(t1, fblk, tabblk, cnt);
+        BatchMul(t1, t1, hvp, cnt);
+        BatchMul(t2, mvp, fblk, cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          t1[r] = t1[r] - (tabblk[r] - t2[r]);
+        }
+        BatchMulScalar(t1, t1, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t1[r];
+        }
+        // c1 = l0 * sv
+        BatchMul(t1, l0p + j0, svp, cnt);
+        BatchMulScalar(t1, t1, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t1[r];
+        }
+        // c2 = (1 - llast) * (sv_next - sv - hv)
+        for (size_t r = 0; r < cnt; ++r) {
+          t2[r] = sv_next[r] - svp[r] - hvp[r];
+        }
+        BatchMul(t2, lact, t2, cnt);
+        BatchMulScalar(t2, t2, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t2[r];
+        }
+        // c3 = llast * (sv + hv)
+        for (size_t r = 0; r < cnt; ++r) {
+          t2[r] = svp[r] + hvp[r];
+        }
+        BatchMul(t2, llastp + j0, t2, cnt);
+        BatchMulScalar(t2, t2, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t2[r];
+        }
+      }
+
+      // Permutation: boundary (z_0 starts at 1), then per chunk the active-
+      // row update and the last-row transition into the next chunk.
+      if (num_chunks_ > 0) {
+        for (size_t r = 0; r < cnt; ++r) {
+          t1[r] = zp[0][j0 + r] - Fr::One();
+        }
+        BatchMul(t1, l0p + j0, t1, cnt);
+        BatchMulScalar(t1, t1, y_pows[c++], cnt);
+        for (size_t r = 0; r < cnt; ++r) {
+          acc[r] += t1[r];
+        }
+        for (size_t ck = 0; ck < num_chunks_; ++ck) {
+          const size_t col_begin = ck * chunk_size_;
+          const size_t col_end = std::min(perm_cols_.size(), col_begin + chunk_size_);
+          std::fill(numb, numb + cnt, Fr::One());
+          std::fill(denb, denb + cnt, Fr::One());
+          for (size_t i = col_begin; i < col_end; ++i) {
+            const Fr* fv = permp[i] + j0;
+            BatchMulScalar(t1, cxp + j0, beta_delta[i], cnt);
+            for (size_t r = 0; r < cnt; ++r) {
+              t1[r] = fv[r] + t1[r] + ch.gamma;
+            }
+            BatchMul(numb, numb, t1, cnt);
+            BatchMulScalar(t2, sigp[i] + j0, ch.beta, cnt);
+            for (size_t r = 0; r < cnt; ++r) {
+              t2[r] = fv[r] + t2[r] + ch.gamma;
+            }
+            BatchMul(denb, denb, t2, cnt);
+          }
+          const size_t next = (ck + 1) % num_chunks_;
+          const Fr* z_cur_next = ShiftedSpan(zp[ck], j0, plus_one, cnt, ext_n, sh);
+          BatchMul(t1, z_cur_next, denb, cnt);
+          BatchMul(t2, zp[ck] + j0, numb, cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            t1[r] = t1[r] - t2[r];
+          }
+          BatchMul(t1, lact, t1, cnt);
+          BatchMulScalar(t1, t1, y_pows[c++], cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            acc[r] += t1[r];
+          }
+          const Fr* z_nxt_next = ShiftedSpan(zp[next], j0, plus_one, cnt, ext_n, sh);
+          BatchMul(t1, z_nxt_next, denb, cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            t1[r] = t1[r] - t2[r];
+          }
+          BatchMul(t1, llastp + j0, t1, cnt);
+          BatchMulScalar(t1, t1, y_pows[c++], cnt);
+          for (size_t r = 0; r < cnt; ++r) {
+            acc[r] += t1[r];
+          }
+        }
+      }
+
+      BatchMul(outp + j0, acc, zhp + j0, cnt);
     }
   });
 }

@@ -5,12 +5,12 @@
 #include "src/base/check.h"
 #include "src/base/kernel_stats.h"
 #include "src/base/thread_pool.h"
+#include "src/ff/batch_mul.h"
 
 namespace zkml {
 namespace {
 
-void BitReversePermute(std::vector<Fr>* values) {
-  const size_t n = values->size();
+void BitReversePermute(Fr* values, size_t n) {
   size_t j = 0;
   for (size_t i = 1; i < n; ++i) {
     size_t bit = n >> 1;
@@ -19,7 +19,7 @@ void BitReversePermute(std::vector<Fr>* values) {
     }
     j ^= bit;
     if (i < j) {
-      std::swap((*values)[i], (*values)[j]);
+      std::swap(values[i], values[j]);
     }
   }
 }
@@ -47,6 +47,158 @@ std::vector<Fr> BuildPowers(const Fr& base, size_t n, const Fr& scale) {
 // many whole blocks in the early stages and a j-range inside one wide block
 // in the late stages — the same loop exposes both parallelism axes, and
 // stages where n/len drops below the worker count still use every thread.
+// ---- Cache-blocked six-step (Bailey) FFT for large transforms ------------
+//
+// A radix-2 transform of n Fr elements makes log2(n) full passes over
+// 32 * n bytes; once the array outgrows L2 every pass streams from the outer
+// cache levels. The six-step factorization n = R * C instead runs two
+// batches of small contiguous FFTs (length R, then length C — each row is
+// L1/L2-resident) separated by blocked transposes, trading the log2(n)
+// streaming passes for ~3 transpose passes plus one twiddle pass. Field
+// arithmetic is exact, so the reassociated evaluation produces bit-identical
+// values to the radix-2 path.
+
+// Transforms at or above this size take the six-step path.
+constexpr size_t kSixStepMinN = static_cast<size_t>(1) << 17;
+
+// Square tile edge for the blocked transpose: two 16x16 Fr tiles are 16 KiB,
+// comfortably L1-resident.
+constexpr size_t kTransposeTile = 16;
+
+// dst (cols x rows) = transpose of src (rows x cols), tile by tile so both
+// the row-major reads and the column-major writes stay within a tile set.
+void TransposeBlocked(const Fr* src, size_t rows, size_t cols, Fr* dst) {
+  const size_t row_tiles = (rows + kTransposeTile - 1) / kTransposeTile;
+  const size_t col_tiles = (cols + kTransposeTile - 1) / kTransposeTile;
+  ParallelFor(
+      0, row_tiles * col_tiles,
+      [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          const size_t r0 = (t / col_tiles) * kTransposeTile;
+          const size_t c0 = (t % col_tiles) * kTransposeTile;
+          const size_t r1 = std::min(rows, r0 + kTransposeTile);
+          const size_t c1 = std::min(cols, c0 + kTransposeTile);
+          for (size_t r = r0; r < r1; ++r) {
+            for (size_t c = c0; c < c1; ++c) {
+              dst[c * rows + r] = src[r * cols + c];
+            }
+          }
+        }
+      },
+      2 * kTransposeTile * kTransposeTile * sizeof(Fr));
+}
+
+// Dense per-stage butterfly twiddles for a length-L row transform whose
+// elements step by tw_stride through the full table (tw[i * tw_stride] =
+// w_L^i). Stages are concatenated smallest-first: len = 2 contributes one
+// entry, len = 4 two, ..., L - 1 entries total. Building them densely once
+// per pass lets every row's butterfly multiplies run as contiguous BatchMuls.
+std::vector<Fr> BuildStageTwiddles(size_t L, const Fr* tw, size_t tw_stride) {
+  std::vector<Fr> out;
+  out.reserve(L);
+  for (size_t len = 2; len <= L; len <<= 1) {
+    const size_t half = len / 2;
+    const size_t stage_stride = (L / len) * tw_stride;
+    for (size_t j = 0; j < half; ++j) {
+      out.push_back(tw[j * stage_stride]);
+    }
+  }
+  return out;
+}
+
+// Serial in-place radix-2 DIT FFT over one contiguous cache-resident row,
+// with the twiddle products of each stage batched through the dispatched
+// Montgomery kernels. `stw` comes from BuildStageTwiddles(L, ...); `vbuf`
+// holds at least L / 2 elements.
+void FftRowSerial(Fr* a, size_t L, const Fr* stw, Fr* vbuf) {
+  BitReversePermute(a, L);
+  size_t off = 0;
+  for (size_t len = 2; len <= L; len <<= 1) {
+    const size_t half = len / 2;
+    const Fr* twd = stw + off;
+    off += half;
+    for (size_t base = 0; base < L; base += len) {
+      BatchMul(vbuf, a + base + half, twd, half);
+      for (size_t j = 0; j < half; ++j) {
+        const Fr u = a[base + j];
+        const Fr v = vbuf[j];
+        a[base + j] = u + v;
+        a[base + half + j] = u - v;
+      }
+    }
+  }
+}
+
+// Reused inter-pass buffer: one n-sized scratch per thread that calls large
+// FFTs, grown monotonically so repeated proving passes pay the page faults
+// once. The final swap donates the caller's old storage back to the pool.
+std::vector<Fr>& SixStepScratch() {
+  static thread_local std::vector<Fr> scratch;
+  return scratch;
+}
+
+// Six-step FFT: view a as an R x C row-major matrix (j = r * C + c), then
+//   1. transpose to C x R
+//   2. length-R FFT of each row
+//   3. scale entry (c, k1) by w^(c * k1)   [fused into step 2's row loop]
+//   4. transpose to R x C
+//   5. length-C FFT of each row
+//   6. transpose to C x R, which is exactly the natural-order spectrum.
+// tw[i] = w^i for i < n / 2 (the same table the radix-2 path reads).
+void SixStepFft(std::vector<Fr>& a, const Fr* tw) {
+  const size_t n = a.size();
+  int logn = 0;
+  while ((static_cast<size_t>(1) << logn) < n) {
+    ++logn;
+  }
+  const size_t R = static_cast<size_t>(1) << ((logn + 1) / 2);
+  const size_t C = n / R;
+  std::vector<Fr>& b = SixStepScratch();
+  b.resize(n);
+
+  TransposeBlocked(a.data(), R, C, b.data());
+
+  // Rows of b are length R; row c additionally picks up the cross twiddles
+  // w^(c * k1), generated as a running product with ratio w^c = tw[c].
+  const std::vector<Fr> stw_r = BuildStageTwiddles(R, tw, n / R);
+  ParallelFor(
+      0, C,
+      [&](size_t lo, size_t hi) {
+        std::vector<Fr> vbuf(R / 2);
+        std::vector<Fr> fac(R);
+        for (size_t c = lo; c < hi; ++c) {
+          Fr* row = b.data() + c * R;
+          FftRowSerial(row, R, stw_r.data(), vbuf.data());
+          if (c == 0) {
+            continue;  // w^0 = 1 for the whole row
+          }
+          const Fr ratio = tw[c];
+          fac[0] = Fr::One();
+          for (size_t k1 = 1; k1 < R; ++k1) {
+            fac[k1] = fac[k1 - 1] * ratio;
+          }
+          BatchMul(row, row, fac.data(), R);
+        }
+      },
+      R * sizeof(Fr));
+
+  TransposeBlocked(b.data(), C, R, a.data());
+
+  const std::vector<Fr> stw_c = BuildStageTwiddles(C, tw, n / C);
+  ParallelFor(
+      0, R,
+      [&](size_t lo, size_t hi) {
+        std::vector<Fr> vbuf(C / 2);
+        for (size_t k1 = lo; k1 < hi; ++k1) {
+          FftRowSerial(a.data() + k1 * C, C, stw_c.data(), vbuf.data());
+        }
+      },
+      C * sizeof(Fr));
+
+  TransposeBlocked(a.data(), R, C, b.data());
+  a.swap(b);
+}
+
 void FftCore(std::vector<Fr>& a, const Fr* tw) {
   const size_t n = a.size();
   ZKML_CHECK_MSG((n & (n - 1)) == 0, "FFT size must be a power of two");
@@ -54,7 +206,11 @@ void FftCore(std::vector<Fr>& a, const Fr* tw) {
   if (n <= 1) {
     return;
   }
-  BitReversePermute(&a);
+  if (n >= kSixStepMinN) {
+    SixStepFft(a, tw);
+    return;
+  }
+  BitReversePermute(a.data(), n);
   for (size_t len = 2; len <= n; len <<= 1) {
     const size_t half = len / 2;
     const size_t stride = n / len;

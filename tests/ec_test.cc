@@ -2,6 +2,7 @@
 
 #include "src/base/rng.h"
 #include "src/ec/g1.h"
+#include "src/ec/glv.h"
 
 namespace zkml {
 namespace {
@@ -207,6 +208,125 @@ TEST(DeriveGeneratorsTest, DeterministicAndOnCurve) {
     EXPECT_FALSE(a[i] == c[i]);
     for (size_t j = 0; j < i; ++j) {
       EXPECT_FALSE(a[i] == a[j]);
+    }
+  }
+}
+
+Fr GlvSignedToFr(const U256& mag, bool neg) {
+  const Fr f = Fr::FromCanonical(mag);
+  return neg ? f.Neg() : f;
+}
+
+// Every decomposition must satisfy k == k1 + lambda*k2 (mod r) exactly, with
+// both halves short enough for the MSM's halved window coverage.
+TEST(GlvTest, DecompositionRecomposesAndIsShort) {
+  const Glv& glv = Glv::Get();
+  Rng rng(71);
+  auto check = [&](const Fr& k) {
+    const GlvDecomposed d = glv.Decompose(k);
+    EXPECT_EQ(GlvSignedToFr(d.k1, d.k1_neg) + glv.lambda() * GlvSignedToFr(d.k2, d.k2_neg), k)
+        << "k=" << k.ToCanonical().ToHex();
+    EXPECT_LT(d.k1.HighestBit(), Glv::kGlvBits) << "k=" << k.ToCanonical().ToHex();
+    EXPECT_LT(d.k2.HighestBit(), Glv::kGlvBits) << "k=" << k.ToCanonical().ToHex();
+    // Sign-magnitude invariant: zero is never flagged negative.
+    if (d.k1.IsZero()) {
+      EXPECT_FALSE(d.k1_neg);
+    }
+    if (d.k2.IsZero()) {
+      EXPECT_FALSE(d.k2_neg);
+    }
+  };
+  // Edge cases: 0, 1, r-1, lambda itself (decomposes to (0, 1)-shaped
+  // vectors), and values straddling the sign folds.
+  check(Fr::Zero());
+  check(Fr::One());
+  check(Fr::Zero() - Fr::One());
+  check(glv.lambda());
+  check(glv.lambda().Neg());
+  check(glv.lambda() + Fr::One());
+  for (int trial = 0; trial < 500; ++trial) {
+    check(Fr::Random(rng));
+  }
+}
+
+// The endomorphism phi(x, y) = (beta*x, y) must act as scalar multiplication
+// by lambda on arbitrary group elements, not just the generator it was
+// calibrated against.
+TEST(GlvTest, EndomorphismActsAsLambda) {
+  const Glv& glv = Glv::Get();
+  Rng rng(72);
+  for (int trial = 0; trial < 8; ++trial) {
+    const G1Affine p = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    const G1Affine phi{glv.beta() * p.x, p.y, p.infinity};
+    EXPECT_TRUE(phi.IsOnCurve());
+    EXPECT_EQ(G1::FromAffine(phi), G1::FromAffine(p).ScalarMul(glv.lambda()));
+  }
+}
+
+// MSM straddling the serial-fallback threshold and exercising scalars whose
+// GLV halves carry both signs must match the naive sum.
+TEST(GlvTest, MsmMatchesNaiveAcrossScalarShapes) {
+  const Glv& glv = Glv::Get();
+  Rng rng(73);
+  const size_t n = 64;
+  std::vector<G1Affine> bases(n);
+  std::vector<Fr> scalars(n);
+  G1 expected;
+  for (size_t i = 0; i < n; ++i) {
+    bases[i] = G1::Generator().ScalarMul(Fr::Random(rng)).ToAffine();
+    switch (i % 5) {
+      case 0:
+        scalars[i] = Fr::Random(rng);
+        break;
+      case 1:
+        scalars[i] = Fr::Zero() - Fr::Random(rng);
+        break;
+      case 2:
+        scalars[i] = glv.lambda() * Fr::FromU64(i + 1);
+        break;
+      case 3:
+        scalars[i] = Fr::FromU64(i);
+        break;
+      default:
+        scalars[i] = glv.lambda().Neg() + Fr::FromU64(i);
+        break;
+    }
+    expected += G1::FromAffine(bases[i]).ScalarMul(scalars[i]);
+  }
+  EXPECT_EQ(Msm(bases, scalars), expected);
+}
+
+// Adversarial bucket shapes for the batched-affine reduction: a single
+// repeated base with clustered signed scalars packs long chains full of
+// doublings and exact cancellations (P paired with -P kills a slot), so
+// later rounds see dead slots mid-chain — the cases where a pass-through
+// copy's destination aliases an earlier pair's still-needed source.
+TEST(GlvTest, MsmHandlesRepeatedBasesAndCancellations) {
+  Rng rng(91);
+  const G1Affine g = G1::Generator().ToAffine();
+  for (size_t n : {64, 256, 2048}) {
+    std::vector<G1Affine> bases(n, g);
+    std::vector<Fr> scalars(n);
+    Fr sum = Fr::Zero();
+    for (size_t i = 0; i < n; ++i) {
+      // Cluster on few small magnitudes; half the slots negate an earlier
+      // scalar outright to force +d/-d collisions in the same bucket.
+      if (i % 2 == 1) {
+        scalars[i] = Fr::Zero() - scalars[i - 1];
+      } else {
+        scalars[i] = Fr::FromU64(1 + (i % 7));
+      }
+      sum += scalars[i];
+    }
+    // Unbalance a few so the sum is not trivially zero.
+    scalars[0] = Fr::Random(rng);
+    sum += scalars[0] - Fr::FromU64(1);
+    const G1 expected = G1::Generator().ScalarMul(sum);
+    for (int c : {4, 8, 13}) {
+      for (size_t chunks : {size_t{1}, size_t{3}}) {
+        EXPECT_EQ(internal::MsmImpl(bases.data(), scalars.data(), n, c, chunks), expected)
+            << "n=" << n << " c=" << c << " chunks=" << chunks;
+      }
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/ff/batch_mul.h"
 #include "src/ff/fields.h"
 #include "src/ff/u256.h"
 
@@ -274,6 +275,107 @@ TEST(FrTest, BatchInverseNonZeroMatchesScalar) {
     for (size_t i = 0; i < n; ++i) {
       EXPECT_EQ(xs[i], expected[i]) << "n=" << n << " i=" << i;
     }
+  }
+}
+
+// BatchMul must be bit-identical to an operator* loop whichever kernel it
+// dispatches to. Sizes straddle the 8-lane SIMD group boundary so both the
+// vector body and the scalar tail are exercised in the same call.
+template <typename F>
+void CheckBatchMulMatchesScalar(uint64_t seed) {
+  Rng rng(seed);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{16},
+                   size_t{23}, size_t{64}, size_t{200}}) {
+    std::vector<F> a(n), b(n), expected(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = F::Random(rng);
+      b[i] = F::Random(rng);
+      expected[i] = a[i] * b[i];
+    }
+    std::vector<F> dst(n);
+    BatchMul(dst.data(), a.data(), b.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(dst[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+    // In-place (dst aliases a) — the documented hot-loop usage.
+    std::vector<F> in_place = a;
+    BatchMul(in_place.data(), in_place.data(), b.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(in_place[i], expected[i]) << "aliased n=" << n << " i=" << i;
+    }
+    if (n > 0) {
+      const F s = b[0];
+      std::vector<F> scaled = a;
+      BatchMulScalar(scaled.data(), scaled.data(), s, n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(scaled[i], a[i] * s) << "scalar n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchMulTest, MatchesScalarFr) { CheckBatchMulMatchesScalar<Fr>(2024); }
+TEST(BatchMulTest, MatchesScalarFq) { CheckBatchMulMatchesScalar<Fq>(2025); }
+
+// The tree-folded SIMD batch inversion must agree with scalar Inverse() for
+// sizes covering the recursion base, odd splits, and deep recursion.
+TEST(BatchMulTest, FlatBatchInverseMatchesScalar) {
+  Rng rng(31);
+  for (size_t n : {size_t{1}, size_t{127}, size_t{128}, size_t{129}, size_t{255}, size_t{256},
+                   size_t{1000}, size_t{4096}}) {
+    std::vector<Fq> xs(n);
+    for (Fq& v : xs) {
+      do {
+        v = Fq::Random(rng);
+      } while (v.IsZero());
+    }
+    std::vector<Fq> expected = xs;
+    for (Fq& e : expected) {
+      e = e.Inverse();
+    }
+    std::vector<Fq> save, scratch;
+    BatchInverseFlatNonZero(xs.data(), n, save, scratch);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(xs[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+    EXPECT_TRUE(save.empty());
+  }
+}
+
+// Forces the IFMA kernel directly (bypassing the UseIfmaKernels runtime
+// switch) so the vector path is validated even when ZKML_DISABLE_SIMD would
+// route around it. Skipped on hardware without AVX-512 IFMA, where the
+// dispatch tests above still cover the scalar path.
+TEST(BatchMulTest, IfmaKernelMatchesScalarWhenSupported) {
+  if (!internal::IfmaSupportedByHardware()) {
+    GTEST_SKIP() << "no AVX-512 IFMA on this host";
+  }
+  Rng rng(77);
+  constexpr size_t kN = 64;
+  std::vector<Fr> a(kN), b(kN), dst(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = Fr::Random(rng);
+    b[i] = Fr::Random(rng);
+  }
+  // Edge values near the modulus boundary in a few lanes.
+  a[0] = Fr::Zero();
+  b[1] = Fr::Zero();
+  a[2] = Fr::Zero() - Fr::One();
+  b[2] = Fr::Zero() - Fr::One();
+  a[3] = Fr::One();
+  internal::MontMulIfmaBatch(reinterpret_cast<uint64_t*>(dst.data()),
+                             reinterpret_cast<const uint64_t*>(a.data()),
+                             reinterpret_cast<const uint64_t*>(b.data()),
+                             internal::IfmaCtxFor<Fr>(), kN / 8);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(dst[i], a[i] * b[i]) << "i=" << i;
+  }
+  internal::MontMulIfmaBatchBroadcast(reinterpret_cast<uint64_t*>(dst.data()),
+                                      reinterpret_cast<const uint64_t*>(a.data()),
+                                      reinterpret_cast<const uint64_t*>(b.data()),
+                                      internal::IfmaCtxFor<Fr>(), kN / 8);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(dst[i], a[i] * b[0]) << "broadcast i=" << i;
   }
 }
 

@@ -121,6 +121,31 @@ TEST_P(DomainTest, CosetFftMatchesDirectEvaluation) {
 // 14 is a size the real prover uses.
 INSTANTIATE_TEST_SUITE_P(Sizes, DomainTest, ::testing::Values(1, 2, 4, 6, 8, 10, 12, 13, 14));
 
+// 2^17 is the first size that takes the cache-blocked six-step path; pin its
+// output to the DFT definition (Horner spot-checks) and to the radix-2 path
+// via the inverse round trip. 2^18 covers the odd/even log-size split
+// (R != C).
+TEST(DomainTest, SixStepFftMatchesDefinition) {
+  for (int k : {17, 18}) {
+    EvaluationDomain dom(k);
+    Rng rng(90 + k);
+    std::vector<Fr> coeffs(dom.size());
+    for (Fr& c : coeffs) {
+      c = Fr::Random(rng);
+    }
+    std::vector<Fr> evals = dom.FftFromCoeffs(coeffs);
+    // Spot-check out[j] = p(w^j) at a handful of rows spread across the
+    // matrix decomposition (first/last rows and columns, plus interior).
+    Poly p(coeffs);
+    for (size_t j : {size_t{0}, size_t{1}, size_t{511}, size_t{512}, size_t{513},
+                     dom.size() / 2, dom.size() - 1}) {
+      EXPECT_EQ(evals[j], p.Evaluate(dom.element(j))) << "k=" << k << " j=" << j;
+    }
+    std::vector<Fr> back = dom.IfftToCoeffs(evals);
+    EXPECT_EQ(back, coeffs) << "k=" << k;
+  }
+}
+
 // Coset transforms must round-trip at every extension factor the quotient
 // argument can pick (and the cached tables for different ext_k on one domain
 // must not interfere).
