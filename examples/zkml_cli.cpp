@@ -32,6 +32,10 @@
 //      "audit": a soundness violation — surviving mutant, dead gate/lookup,
 //      or an accepted forgery)
 //   3  malformed input (model file or proof file failed to parse/validate)
+//   4  interrupted (SIGINT/SIGTERM during prove or audit: the command stops
+//      at the next cancellation checkpoint, writes whatever partial report
+//      was requested, and exits without producing the proof)
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -57,6 +61,24 @@ constexpr int kExitOk = 0;
 constexpr int kExitUsage = 1;
 constexpr int kExitInvalidProof = 2;
 constexpr int kExitMalformedInput = 3;
+constexpr int kExitInterrupted = 4;
+
+// Flipped by the SIGINT/SIGTERM handler; prove and audit poll it at their
+// cancellation checkpoints (CancelToken::Cancel is async-signal-safe).
+CancelToken g_interrupt;
+
+void OnInterrupt(int) { g_interrupt.Cancel(); }
+
+// Installed only for the long-running commands (prove, audit): a handler that
+// merely sets a flag would turn Ctrl-C into a no-op for commands that never
+// poll the token.
+void InstallInterruptHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnInterrupt;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 // Loads a model file, printing the parse error and mapping it to the exit
 // code contract. Returns false (with *exit_code set) on failure.
@@ -192,7 +214,20 @@ int CmdProve(const std::string& model_path, const std::string& proof_path, uint6
   }
   const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
-  const ZkmlProof proof = Prove(compiled, input);
+  StatusOr<ZkmlProof> proof_or = ProveCancellable(compiled, input, &g_interrupt);
+  if (!proof_or.ok()) {
+    // Interrupted mid-proof: no proof file, but the partial run report (the
+    // compile/layout half of the run) still lands if one was requested.
+    std::fprintf(stderr, "interrupted: %s\n", proof_or.status().ToString().c_str());
+    if (!report_path.empty()) {
+      const obs::RunReport report = BuildRunReport(compiled, ZkmlProof{}, 0.0, model.name);
+      if (Status s = report.WriteFile(report_path); s.ok()) {
+        std::printf("partial run report -> %s\n", report_path.c_str());
+      }
+    }
+    return kExitInterrupted;
+  }
+  const ZkmlProof proof = std::move(proof_or).value();
   if (!WriteProofFile(proof_path, proof)) {
     std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
     return kExitUsage;
@@ -243,6 +278,7 @@ int CmdAudit(const std::string& model_path, uint64_t seed, const std::string& re
   }
   SoundnessAuditOptions options;
   options.seed = seed;
+  options.cancel = &g_interrupt;
   const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
   const SoundnessAudit audit = RunSoundnessAudit(model, input, options);
 
@@ -286,6 +322,11 @@ int CmdAudit(const std::string& model_path, uint64_t seed, const std::string& re
       return kExitUsage;
     }
     std::printf("soundness report -> %s\n", report_path.c_str());
+  }
+  if (audit.interrupted) {
+    // The report above is the partial audit (engines that ran to completion).
+    std::printf("INTERRUPTED (partial audit — not a clean bill)\n");
+    return kExitInterrupted;
   }
   std::printf(audit.Passed() ? "SOUND\n" : "UNSOUND\n");
   return audit.Passed() ? kExitOk : kExitInvalidProof;
@@ -393,6 +434,7 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
     return CmdProfile(args[1], backend_arg(2, PcsKind::kKzg), report_path);
   }
   if (cmd == "prove" && args.size() >= 3) {
+    InstallInterruptHandler();
     const uint64_t seed = args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 7;
     return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path);
   }
@@ -400,6 +442,7 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
     return CmdVerify(args[1], args[2], backend_arg(3, PcsKind::kKzg));
   }
   if (cmd == "audit") {
+    InstallInterruptHandler();
     const uint64_t seed = args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 7;
     return CmdAudit(args[1], seed, report_path);
   }

@@ -1,0 +1,104 @@
+// Seeded, structure-agnostic byte-corruption engine shared by the
+// adversarial harnesses: the proof mutator (tests/proof_mutator.h) layers
+// proof-specific semantic corruptions on top, and the wire-frame fuzzer
+// (serve fault injection) applies it to protocol frames. Every operation is
+// deterministic in the Rng passed in, so any harness failure replays exactly
+// from its logged seed.
+#ifndef SRC_BASE_BYTE_MUTATOR_H_
+#define SRC_BASE_BYTE_MUTATOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace zkml {
+
+// Corruptions over an opaque byte string. Operations that need more bytes
+// than the input has fall back to FlipBit so the result always differs from
+// the input.
+class ByteMutator {
+ public:
+  explicit ByteMutator(Rng* rng) : rng_(*rng) {}
+
+  // Flips one random bit (appends a byte to an empty input).
+  void FlipBit(std::vector<uint8_t>* bytes) {
+    if (bytes->empty()) {
+      bytes->push_back(0x5a);
+      return;
+    }
+    const size_t pos = rng_.NextBelow(bytes->size());
+    (*bytes)[pos] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
+  }
+
+  // Drops a random-length suffix (possibly all of it).
+  void Truncate(std::vector<uint8_t>* bytes) {
+    if (bytes->empty()) {
+      FlipBit(bytes);
+      return;
+    }
+    bytes->resize(rng_.NextBelow(bytes->size()));
+  }
+
+  // Appends 1..max_extra random bytes.
+  void Extend(std::vector<uint8_t>* bytes, size_t max_extra = 64) {
+    const size_t extra = 1 + rng_.NextBelow(max_extra);
+    for (size_t i = 0; i < extra; ++i) {
+      bytes->push_back(static_cast<uint8_t>(rng_.NextU64()));
+    }
+  }
+
+  // Overwrites a random `window` -byte span with `fill`.
+  void FillWindow(std::vector<uint8_t>* bytes, size_t window, uint8_t fill) {
+    if (bytes->size() < window || window == 0) {
+      FlipBit(bytes);
+      return;
+    }
+    const size_t pos = rng_.NextBelow(bytes->size() - window + 1);
+    std::fill(bytes->begin() + static_cast<long>(pos),
+              bytes->begin() + static_cast<long>(pos + window), fill);
+  }
+
+  // Swaps two distinct `window`-aligned spans among the first `cap` windows.
+  void SwapWindows(std::vector<uint8_t>* bytes, size_t window, size_t cap = 8) {
+    const size_t n_windows = window == 0 ? 0 : bytes->size() / window;
+    if (n_windows < 2) {
+      FlipBit(bytes);
+      return;
+    }
+    const size_t limit = std::min(n_windows, cap);
+    const size_t i = rng_.NextBelow(limit);
+    size_t j = rng_.NextBelow(limit - 1);
+    if (j >= i) {
+      ++j;
+    }
+    std::swap_ranges(bytes->begin() + static_cast<long>(i * window),
+                     bytes->begin() + static_cast<long>((i + 1) * window),
+                     bytes->begin() + static_cast<long>(j * window));
+  }
+
+  // Replaces the tail after a random cut point with the donor's tail.
+  void Splice(std::vector<uint8_t>* bytes, const std::vector<uint8_t>& donor) {
+    if (donor.empty() || bytes->empty()) {
+      FlipBit(bytes);
+      return;
+    }
+    const size_t cut = rng_.NextBelow(std::min(bytes->size(), donor.size()));
+    bytes->resize(cut);
+    bytes->insert(bytes->end(), donor.begin() + static_cast<long>(cut), donor.end());
+  }
+
+  // Replaces the contents with 1..max_len random bytes.
+  void Garbage(std::vector<uint8_t>* bytes, size_t max_len = 256) {
+    bytes->clear();
+    Extend(bytes, max_len);
+  }
+
+ private:
+  Rng& rng_;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_BYTE_MUTATOR_H_

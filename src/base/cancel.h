@@ -1,0 +1,83 @@
+// Cooperative cancellation for long-running work (proving takes tens of
+// seconds on the large zoo models). A CancelToken carries two independent
+// signals — an explicit cancel flag and an optional deadline — and workers
+// poll Check() at natural checkpoints (prover round boundaries, audit
+// phases). Both signals are plain atomics: Cancel() is async-signal-safe, so
+// a SIGINT/SIGTERM handler may call it directly, and a server watchdog may
+// cancel a wedged job's token from another thread without locks.
+#ifndef SRC_BASE_CANCEL_H_
+#define SRC_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "src/base/status.h"
+
+namespace zkml {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Async-signal-safe: a single relaxed store.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Absolute deadline; Clock::time_point::max() (the default) means none.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(deadline.time_since_epoch()).count(),
+        std::memory_order_relaxed);
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) { SetDeadline(Clock::now() + budget); }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool deadline_expired() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadline && Clock::now().time_since_epoch().count() >= d;
+  }
+  // Time left until the deadline; Clock::duration::max() when none is set.
+  Clock::duration remaining() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) {
+      return Clock::duration::max();
+    }
+    return std::chrono::nanoseconds(d) - Clock::now().time_since_epoch();
+  }
+
+  // kOk while the work may continue; kCancelled / kDeadlineExceeded naming
+  // `where` (the checkpoint) otherwise. Explicit cancellation wins when both
+  // signals fire.
+  Status Check(const char* where) const {
+    if (cancelled()) {
+      return CancelledError(std::string("cancelled at ") + where);
+    }
+    if (deadline_expired()) {
+      return DeadlineExceededError(std::string("deadline exceeded at ") + where);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::time_point::max().time_since_epoch())
+          .count();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+// Null-tolerant helper: checkpoints are sprinkled through code that usually
+// runs without any token.
+inline Status CheckCancel(const CancelToken* token, const char* where) {
+  return token == nullptr ? Status::Ok() : token->Check(where);
+}
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_CANCEL_H_

@@ -1,0 +1,220 @@
+#include "src/base/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace zkml {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+// Milliseconds left before `deadline`, clamped to [0, INT_MAX] for poll().
+int MsLeft(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return static_cast<int>(std::clamp<int64_t>(left.count(), 0, 1 << 30));
+}
+
+// Waits until fd is ready for `events` or the deadline passes.
+Status PollFor(int fd, short events, Clock::time_point deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int ms = MsLeft(deadline);
+    const int r = poll(&pfd, 1, ms);
+    if (r > 0) {
+      return Status::Ok();  // readable/writable or an error the next syscall reports
+    }
+    if (r == 0) {
+      return DeadlineExceededError(std::string(what) + " timed out");
+    }
+    if (errno != EINTR) {
+      return Errno("poll");
+    }
+  }
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  Socket sock(fd);
+  ZKML_RETURN_IF_ERROR(SetNonBlocking(fd));
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not a numeric IPv4 address: " + host);
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      return Errno("connect");
+    }
+    ZKML_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect");
+    }
+  }
+  return sock;
+}
+
+Status Socket::ReadFull(void* buf, size_t len, int timeout_ms) const {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd_, p + done, len - done, 0);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return IoError("peer closed the stream after " + std::to_string(done) + " of " +
+                     std::to_string(len) + " bytes");
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Errno("recv");
+    }
+    ZKML_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "read"));
+  }
+  return Status::Ok();
+}
+
+Status Socket::WriteFull(const void* buf, size_t len, int timeout_ms) const {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd_, p + done, len - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Errno("send");
+    }
+    ZKML_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline, "write"));
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> Socket::WriteSome(const void* buf, size_t len) const {
+  for (;;) {
+    const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<size_t>(0);
+    }
+    return Errno("send");
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<ListenSocket> ListenSocket::Listen(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  ListenSocket sock;
+  sock.fd_ = fd;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ZKML_RETURN_IF_ERROR(SetNonBlocking(fd));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  sock.port_ = ntohs(addr.sin_port);
+  return sock;
+}
+
+StatusOr<Socket> ListenSocket::Accept(int timeout_ms) const {
+  if (fd_ < 0) {
+    return IoError("accept on closed listen socket");
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      ZKML_RETURN_IF_ERROR(SetNonBlocking(fd));
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Errno("accept");
+    }
+    ZKML_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "accept"));
+  }
+}
+
+}  // namespace zkml

@@ -1,0 +1,109 @@
+// Minimal TCP primitives for the proving daemon and its clients: RAII socket
+// wrappers with per-call timeouts. All I/O is non-blocking under the hood
+// (poll + EAGAIN loops) so a slow or stalled peer can never wedge a server
+// thread: every ReadFull/WriteFull carries an explicit millisecond budget and
+// comes back kDeadlineExceeded when the peer stops making progress. Peers are
+// untrusted — every failure is a Status, never an abort, and SIGPIPE is
+// suppressed per-send (MSG_NOSIGNAL).
+#ifndef SRC_BASE_NET_H_
+#define SRC_BASE_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/base/status.h"
+
+namespace zkml {
+
+// A connected TCP stream (client side via ConnectTcp, server side from
+// ListenSocket::Accept). Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1") within
+  // timeout_ms. The returned socket is non-blocking with TCP_NODELAY set.
+  static StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port, int timeout_ms);
+
+  // Reads exactly `len` bytes. kDeadlineExceeded if the whole read does not
+  // finish within timeout_ms; kIoError on error or if the peer closes the
+  // stream first (message includes how many bytes had arrived).
+  Status ReadFull(void* buf, size_t len, int timeout_ms) const;
+
+  // Writes exactly `len` bytes within timeout_ms (same failure contract).
+  Status WriteFull(const void* buf, size_t len, int timeout_ms) const;
+
+  // Best-effort single write of at most `len` bytes; returns bytes written
+  // (possibly 0 when the send buffer is full). Used by the fault injector to
+  // emit deliberately partial frames; real clients use WriteFull.
+  StatusOr<size_t> WriteSome(const void* buf, size_t len) const;
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket bound to 127.0.0.1. Move-only; closes on
+// destruction.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(ListenSocket&& o) noexcept : fd_(o.fd_), port_(o.port_) {
+    o.fd_ = -1;
+    o.port_ = 0;
+  }
+  ListenSocket& operator=(ListenSocket&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      port_ = o.port_;
+      o.fd_ = -1;
+      o.port_ = 0;
+    }
+    return *this;
+  }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds and listens on 127.0.0.1:port; port 0 picks an ephemeral port
+  // (read it back from port()).
+  static StatusOr<ListenSocket> Listen(uint16_t port, int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+  void Close();
+
+  // Waits up to timeout_ms for a connection; kDeadlineExceeded when none
+  // arrives (the server's accept loop uses this to poll its shutdown flag),
+  // kIoError once the socket is closed.
+  StatusOr<Socket> Accept(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_NET_H_

@@ -31,10 +31,16 @@ enum class StatusCode : int {
   kUnsatisfied,
   // A size/index exceeds a supported bound (setup too small, rank too big).
   kOutOfRange,
-  // Filesystem-level failure (cannot open / write a file).
+  // Filesystem- or socket-level failure (cannot open / read / write).
   kIoError,
   // "Cannot happen" escaped into a recoverable path.
   kInternal,
+  // The operation was cancelled cooperatively (CancelToken, SIGINT drain).
+  kCancelled,
+  // A per-job or per-I/O deadline elapsed before the operation finished.
+  kDeadlineExceeded,
+  // The service cannot take the work right now (queue full, draining).
+  kUnavailable,
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -57,6 +63,12 @@ inline const char* StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -112,6 +124,15 @@ inline Status IoError(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 // Holds either a T or a non-OK Status. Accessing the value of an errored

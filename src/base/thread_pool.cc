@@ -61,12 +61,22 @@ ThreadPool::ThreadPool(size_t num_threads, bool pin_workers)
 #endif
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;  // idempotent; workers were already joined
+    }
     shutdown_ = true;
   }
   task_available_.notify_all();
+  // Workers drain the queue before exiting (WorkerLoop only returns on
+  // shutdown_ && tasks_.empty()), so every task enqueued before this point
+  // has run by the time join returns.
+  // The joined std::thread objects stay in workers_ so num_threads(), the
+  // stats slots, and the helper counter index keep their meaning.
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -82,9 +92,15 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(wrapped));
+    if (!shutdown_) {
+      tasks_.push(std::move(wrapped));
+      task_available_.notify_one();
+      return;
+    }
   }
-  task_available_.notify_one();
+  // Pool already shut down (or shutting down): run inline on the submitting
+  // thread. Deterministic — the task is never lost and waiters never hang.
+  RunTask(wrapped, workers_.size());
 }
 
 void ThreadPool::RunTask(std::function<void()>& task, size_t slot) {

@@ -53,6 +53,14 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads, bool pin_workers = false);
   ~ThreadPool();
 
+  // Deterministic shutdown: stops accepting queued work, drains every task
+  // already in the queue, and joins the workers. Idempotent, and called by
+  // the destructor. Tasks enqueued after (or racing with) shutdown run
+  // inline on the submitting thread, so no task is ever silently dropped and
+  // a TaskGroup::Wait can never hang on a closed pool — the previous
+  // destructor made this a timing-dependent race.
+  void Shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -46,10 +46,13 @@ std::string HumanCount(uint64_t v) {
 // entry (wall time + activity-scoped kernel delta) and an obs::Span, so the
 // round shows up as a nested stage in --trace output with the same counters.
 // Begin(name) closes the previous round and opens the next; the destructor
-// closes the last one.
+// closes the last one. Begin doubles as the prover's cooperative-cancellation
+// checkpoint: with a CancelToken installed it refuses to open the next round
+// once the token fires, so a cancelled proof stops within one round.
 class StageRecorder {
  public:
-  explicit StageRecorder(ProverMetrics* metrics) : metrics_(metrics) {
+  StageRecorder(ProverMetrics* metrics, const CancelToken* cancel)
+      : metrics_(metrics), cancel_(cancel) {
     if (metrics_ != nullptr) {
       metrics_->stages.clear();
       metrics_->total_seconds = 0.0;
@@ -58,12 +61,14 @@ class StageRecorder {
 
   ~StageRecorder() { Close(); }
 
-  void Begin(const char* name) {
+  Status Begin(const char* name) {
     Close();
+    ZKML_RETURN_IF_ERROR(CheckCancel(cancel_, name));
     name_ = name;
     last_ = kernelstats::CaptureScoped();
     timer_.Reset();
     span_.emplace(name);
+    return Status::Ok();
   }
 
   void Close() {
@@ -85,6 +90,7 @@ class StageRecorder {
 
  private:
   ProverMetrics* metrics_;
+  const CancelToken* cancel_;
   const char* name_ = nullptr;
   Timer timer_;
   KernelCounters last_;
@@ -110,6 +116,17 @@ std::string ProverMetrics::Summary() const {
 
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                                  const Assignment& assignment, ProverMetrics* metrics) {
+  StatusOr<std::vector<uint8_t>> proof =
+      CreateProofCancellable(pk, pcs, assignment, /*cancel=*/nullptr, metrics);
+  // Without a token the cancellable core cannot fail.
+  ZKML_CHECK_MSG(proof.ok(), proof.status().ToString().c_str());
+  return std::move(proof).value();
+}
+
+StatusOr<std::vector<uint8_t>> CreateProofCancellable(const ProvingKey& pk, const Pcs& pcs,
+                                                      const Assignment& assignment,
+                                                      const CancelToken* cancel,
+                                                      ProverMetrics* metrics) {
   // Per-activity kernel attribution: when no sink is installed (no tracer, no
   // enclosing activity), install a local one so per-stage deltas stay correct
   // even with concurrent provers in one process.
@@ -120,8 +137,8 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
   }
   obs::Span prove_span("prove");
   const uint64_t rss_start_kb = obs::ReadRssHighWaterKb();
-  StageRecorder stages(metrics);
-  stages.Begin("advice-commit");
+  StageRecorder stages(metrics, cancel);
+  ZKML_RETURN_IF_ERROR(stages.Begin("advice-commit"));
   const ConstraintSystem& cs = pk.vk.cs;
   const EvaluationDomain& dom = *pk.domain;
   const size_t n = dom.size();
@@ -169,7 +186,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("advice", advice_comms[i].point);
     ProofAppendPoint(&proof, advice_comms[i].point);
   }
-  stages.Begin("lookup-mult");
+  ZKML_RETURN_IF_ERROR(stages.Begin("lookup-mult"));
 
   const Fr theta = transcript.ChallengeFr("theta");
 
@@ -218,7 +235,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("lookup-m", m_comms[l].point);
     ProofAppendPoint(&proof, m_comms[l].point);
   }
-  stages.Begin("lookup-perm-commit");
+  ZKML_RETURN_IF_ERROR(stages.Begin("lookup-perm-commit"));
 
   const Fr beta = transcript.ChallengeFr("beta");
   const Fr gamma = transcript.ChallengeFr("gamma");
@@ -301,7 +318,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("perm-z", z_comms[c].point);
     ProofAppendPoint(&proof, z_comms[c].point);
   }
-  stages.Begin("quotient");
+  ZKML_RETURN_IF_ERROR(stages.Begin("quotient"));
 
   const Fr y = transcript.ChallengeFr("y");
 
@@ -466,7 +483,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendPoint("quotient", q_comms[i].point);
     ProofAppendPoint(&proof, q_comms[i].point);
   }
-  stages.Begin("evals");
+  ZKML_RETURN_IF_ERROR(stages.Begin("evals"));
 
   const Fr x = transcript.ChallengeFr("x");
 
@@ -524,7 +541,7 @@ std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
     transcript.AppendFr("eval", evals[e]);
     ProofAppendFr(&proof, evals[e]);
   }
-  stages.Begin("openings");
+  ZKML_RETURN_IF_ERROR(stages.Begin("openings"));
 
   // --- Round 6: openings grouped by rotation (ascending). ---
   std::set<int32_t> rotations;

@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "src/base/cancel.h"
 #include "src/base/kernel_stats.h"
+#include "src/base/status.h"
 #include "src/pcs/pcs.h"
 #include "src/plonk/assignment.h"
 #include "src/plonk/keygen.h"
@@ -47,6 +49,17 @@ struct ProverMetrics {
 std::vector<uint8_t> CreateProof(const ProvingKey& pk, const Pcs& pcs,
                                  const Assignment& assignment,
                                  ProverMetrics* metrics = nullptr);
+
+// Cancellable variant for long-lived callers (the serving daemon, the CLI's
+// SIGINT handling). `cancel` (may be null) is polled at every protocol-round
+// boundary — the StageRecorder checkpoints — so a cancelled or
+// deadline-expired proof returns kCancelled / kDeadlineExceeded within one
+// round rather than running to completion. Metrics for the rounds that did
+// run are still recorded, attributing the abort to the round it interrupted.
+StatusOr<std::vector<uint8_t>> CreateProofCancellable(const ProvingKey& pk, const Pcs& pcs,
+                                                      const Assignment& assignment,
+                                                      const CancelToken* cancel,
+                                                      ProverMetrics* metrics = nullptr);
 
 }  // namespace zkml
 

@@ -1,0 +1,118 @@
+#include "src/serve/cache.h"
+
+#include "src/transcript/sha256.h"
+
+namespace zkml {
+namespace serve {
+
+std::string ModelHashHex(const std::string& model_text) {
+  const auto digest =
+      Sha256::Hash(reinterpret_cast<const uint8_t*>(model_text.data()), model_text.size());
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (uint8_t b : digest) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 0xf]);
+  }
+  return out;
+}
+
+StatusOr<std::shared_ptr<const CompiledModel>> CompiledModelCache::GetOrCompile(
+    const std::string& key, const CompileFn& compile) {
+  std::shared_future<void> wait_on;
+  std::promise<void> my_promise;
+  bool i_compile = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      Entry& e = it->second;
+      if (e.in_lru) {
+        // Completed entry: hit.
+        ++stats_.hits;
+        TouchLocked(e, key);
+        return e.model;
+      }
+      // In flight: wait for the compiler outside the lock.
+      ++stats_.hits;
+      wait_on = e.ready;
+    } else {
+      ++stats_.misses;
+      Entry e;
+      e.ready = my_promise.get_future().share();
+      entries_.emplace(key, std::move(e));
+      i_compile = true;
+    }
+  }
+
+  if (!i_compile) {
+    wait_on.wait();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.model == nullptr) {
+      // The compile failed (entry cleared or holds the failure status);
+      // surface the original error rather than retrying under the waiter.
+      return it == entries_.end()
+                 ? UnavailableError("compile for model " + key + " failed in another request")
+                 : it->second.status;
+    }
+    TouchLocked(it->second, key);
+    return it->second.model;
+  }
+
+  // We own the compile. Run it without holding the lock (it takes seconds).
+  StatusOr<std::shared_ptr<const CompiledModel>> result = compile();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    Entry& e = it->second;
+    if (result.ok()) {
+      e.model = *result;
+      lru_.push_front(key);
+      e.lru_it = lru_.begin();
+      e.in_lru = true;
+      EvictLocked();
+    } else {
+      e.status = result.status();
+    }
+  }
+  my_promise.set_value();
+  if (!result.ok()) {
+    // Clear the failed entry after waiters have been released so the next
+    // request retries from scratch. Waiters arriving in between read the
+    // stored status; both paths see the same error.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && !it->second.in_lru) {
+      entries_.erase(it);
+    }
+    return result.status();
+  }
+  return *result;
+}
+
+void CompiledModelCache::TouchLocked(Entry& e, const std::string& key) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+}
+
+void CompiledModelCache::EvictLocked() {
+  while (lru_.size() > capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+CacheStats CompiledModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace zkml

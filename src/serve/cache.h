@@ -1,0 +1,75 @@
+// LRU cache of compiled models (circuit layout + proving key) keyed by the
+// SHA-256 of the model text plus the PCS backend. Compilation (optimizer +
+// keygen) dwarfs a single proof for small models, so a serving daemon that
+// re-proves the same model amortizes it to zero. Concurrent misses on the
+// same key are deduplicated: the first requester compiles while later ones
+// block on the same shared_future instead of burning a second keygen.
+#ifndef SRC_SERVE_CACHE_H_
+#define SRC_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/zkml/zkml.h"
+
+namespace zkml {
+namespace serve {
+
+// SHA-256 hex digest of the model text; the cache key also folds in the
+// backend so KZG and IPA compilations of one model coexist.
+std::string ModelHashHex(const std::string& model_text);
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
+class CompiledModelCache {
+ public:
+  // Holds at most `capacity` compiled models (LRU eviction).
+  explicit CompiledModelCache(size_t capacity) : capacity_(capacity) {}
+
+  using CompileFn = std::function<StatusOr<std::shared_ptr<const CompiledModel>>()>;
+
+  // Returns the cached model for `key`, or runs `compile` (outside the cache
+  // lock) to fill it. A failed compile is not cached — the Status is handed
+  // to every waiter of that in-flight attempt and the key is cleared so a
+  // later request can retry.
+  StatusOr<std::shared_ptr<const CompiledModel>> GetOrCompile(const std::string& key,
+                                                             const CompileFn& compile);
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    // Set once the compile finishes; waiters share the future.
+    std::shared_future<void> ready;
+    std::shared_ptr<const CompiledModel> model;  // null until ready (or on failure)
+    Status status;                               // failure reason when model is null
+    std::list<std::string>::iterator lru_it;     // into lru_, valid once ready
+    bool in_lru = false;
+  };
+
+  void TouchLocked(Entry& e, const std::string& key);
+  void EvictLocked();
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace serve
+}  // namespace zkml
+
+#endif  // SRC_SERVE_CACHE_H_

@@ -1,0 +1,61 @@
+// Client side of the zkml_serve wire protocol: a connected socket plus
+// frame-level send/receive with the same validation discipline as the server
+// (the daemon's responses are checked for magic/version/CRC too — a client
+// must not trust bytes just because it dialed the port). Used by
+// zkml_loadgen, the fault-injection harness, and the serve tests.
+#ifndef SRC_SERVE_CLIENT_H_
+#define SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/net.h"
+#include "src/base/status.h"
+#include "src/serve/wire.h"
+
+namespace zkml {
+namespace serve {
+
+class ZkmlClient {
+ public:
+  ZkmlClient() = default;
+  explicit ZkmlClient(Socket sock) : sock_(std::move(sock)) {}
+
+  static StatusOr<ZkmlClient> Connect(const std::string& host, uint16_t port, int timeout_ms);
+
+  bool connected() const { return sock_.valid(); }
+  // Raw stream access for the fault injector (partial frames, garbage bytes).
+  Socket& socket() { return sock_; }
+
+  // Outcome of one prove round-trip that stayed protocol-valid: either the
+  // proof or the server's explicit, stage-attributed rejection.
+  struct ProveOutcome {
+    bool ok = false;
+    ProveResponse response;  // valid when ok
+    WireError error;         // valid when !ok
+  };
+
+  // Sends a prove request and blocks for the reply. A non-OK Status means the
+  // transport or framing broke (disconnect, timeout, corrupt response frame);
+  // server-side rejections come back as ProveOutcome::error.
+  StatusOr<ProveOutcome> Prove(const ProveRequest& request, uint64_t request_id,
+                               int timeout_ms);
+
+  // Liveness probe; OK when the matching pong arrived.
+  Status Ping(uint64_t request_id, int timeout_ms);
+
+  // Frame-level primitives (exposed for tests that speak the protocol by hand).
+  Status SendFrame(FrameType type, uint64_t request_id, const std::vector<uint8_t>& payload,
+                   int timeout_ms);
+  StatusOr<std::pair<FrameHeader, std::vector<uint8_t>>> ReadFrame(int timeout_ms);
+
+ private:
+  Socket sock_;
+};
+
+}  // namespace serve
+}  // namespace zkml
+
+#endif  // SRC_SERVE_CLIENT_H_

@@ -1,0 +1,572 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "src/model/serialize.h"
+#include "src/model/zoo.h"
+#include "src/obs/metrics.h"
+#include "src/tensor/quantizer.h"
+
+namespace zkml {
+namespace serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t MicrosBetween(SteadyClock::time_point a, SteadyClock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+// One admitted prove job. The handler thread blocks on `done`; the worker
+// fills exactly one of response/error before fulfilling the promise, so the
+// future's happens-before edge publishes the result fields without a lock.
+struct ZkmlServer::Job {
+  uint64_t id = 0;
+  uint64_t request_id = 0;
+  ProveRequest request;
+  uint32_t deadline_ms = 0;
+
+  // shared_ptr so the watchdog can hold the token while the worker runs.
+  std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
+  SteadyClock::time_point enqueued;
+  SteadyClock::time_point deadline_tp;
+  std::atomic<bool> reaped{false};
+
+  std::promise<void> done_promise;
+  std::shared_future<void> done;
+
+  bool ok = false;
+  ProveResponse response;
+  WireError error;
+};
+
+struct ZkmlServer::Connection {
+  Socket sock;
+  std::atomic<bool> finished{false};
+};
+
+// Server-local counters (stats() must not bleed across server instances in
+// tests) mirrored into the process-global serve.* metrics on every bump.
+struct ZkmlServer::Counters {
+  struct Stat {
+    std::atomic<uint64_t> value{0};
+    obs::Counter* global = nullptr;
+    void Inc(uint64_t d = 1) {
+      value.fetch_add(d, std::memory_order_relaxed);
+      global->Increment(d);
+    }
+    uint64_t Get() const { return value.load(std::memory_order_relaxed); }
+  };
+
+  Stat connections_accepted, connections_rejected, protocol_errors, slow_clients_closed;
+  Stat jobs_accepted, jobs_completed, jobs_shed_overload, jobs_deadline_exceeded;
+  Stat jobs_cancelled, jobs_rejected_malformed, jobs_failed_internal, watchdog_reaped;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* running_jobs = nullptr;
+  obs::Histogram* job_seconds = nullptr;
+
+  Counters() {
+    auto& reg = obs::MetricsRegistry::Global();
+    connections_accepted.global = &reg.counter("serve.connections_accepted");
+    connections_rejected.global = &reg.counter("serve.connections_rejected");
+    protocol_errors.global = &reg.counter("serve.protocol_errors");
+    slow_clients_closed.global = &reg.counter("serve.slow_clients_closed");
+    jobs_accepted.global = &reg.counter("serve.jobs_accepted");
+    jobs_completed.global = &reg.counter("serve.jobs_completed");
+    jobs_shed_overload.global = &reg.counter("serve.jobs_shed_overload");
+    jobs_deadline_exceeded.global = &reg.counter("serve.jobs_deadline_exceeded");
+    jobs_cancelled.global = &reg.counter("serve.jobs_cancelled");
+    jobs_rejected_malformed.global = &reg.counter("serve.jobs_rejected_malformed");
+    jobs_failed_internal.global = &reg.counter("serve.jobs_failed_internal");
+    watchdog_reaped.global = &reg.counter("serve.watchdog_reaped");
+    queue_depth = &reg.gauge("serve.queue_depth");
+    running_jobs = &reg.gauge("serve.running_jobs");
+    job_seconds = &reg.histogram("serve.job_seconds",
+                                 {0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60});
+  }
+};
+
+ZkmlServer::ZkmlServer(const ServeOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      counters_(std::make_unique<Counters>()) {}
+
+ZkmlServer::~ZkmlServer() { Stop(); }
+
+Status ZkmlServer::Start() {
+  ZKML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
+  started_.store(true, std::memory_order_relaxed);
+  acceptor_ = std::thread(&ZkmlServer::AcceptLoop, this);
+  const int n = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&ZkmlServer::WorkerLoop, this);
+  }
+  watchdog_ = std::thread(&ZkmlServer::WatchdogLoop, this);
+  return Status::Ok();
+}
+
+void ZkmlServer::RequestDrain() { draining_.store(true, std::memory_order_relaxed); }
+
+void ZkmlServer::Stop() {
+  if (!started_.exchange(false)) {
+    return;
+  }
+  RequestDrain();
+
+  // Let queued + running jobs finish within the drain budget, then cancel
+  // whatever remains (cancelled jobs still flow through a worker so their
+  // handlers get an explicit CANCELLED response).
+  const auto drain_deadline =
+      SteadyClock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  bool cancelled_stragglers = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.empty() && running_.empty()) {
+        break;
+      }
+      if (!cancelled_stragglers && SteadyClock::now() >= drain_deadline) {
+        for (auto& job : queue_) job->cancel->Cancel();
+        for (auto& job : running_) job->cancel->Cancel();
+        cancelled_stragglers = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Workers exit once the stop flag is up and the queue is dry.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+
+  // Handler threads notice stopping_ at their next poll tick; every pending
+  // future is already fulfilled, so the longest wait is one io_timeout write.
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    conn_threads_.clear();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  listener_.Close();
+  PublishMetrics();
+}
+
+ServerStats ZkmlServer::stats() const {
+  ServerStats s;
+  const Counters& c = *counters_;
+  s.connections_accepted = c.connections_accepted.Get();
+  s.connections_rejected = c.connections_rejected.Get();
+  s.protocol_errors = c.protocol_errors.Get();
+  s.slow_clients_closed = c.slow_clients_closed.Get();
+  s.jobs_accepted = c.jobs_accepted.Get();
+  s.jobs_completed = c.jobs_completed.Get();
+  s.jobs_shed_overload = c.jobs_shed_overload.Get();
+  s.jobs_deadline_exceeded = c.jobs_deadline_exceeded.Get();
+  s.jobs_cancelled = c.jobs_cancelled.Get();
+  s.jobs_rejected_malformed = c.jobs_rejected_malformed.Get();
+  s.jobs_failed_internal = c.jobs_failed_internal.Get();
+  s.watchdog_reaped = c.watchdog_reaped.Get();
+  const CacheStats cs = cache_.stats();
+  s.cache_hits = cs.hits;
+  s.cache_misses = cs.misses;
+  {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(queue_mu_));
+    s.queue_depth = queue_.size();
+    s.running_jobs = running_.size();
+  }
+  s.open_connections = open_connections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ZkmlServer::PublishMetrics() {
+  size_t depth, running;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    depth = queue_.size();
+    running = running_.size();
+  }
+  counters_->queue_depth->Set(static_cast<double>(depth));
+  counters_->running_jobs->Set(static_cast<double>(running));
+}
+
+void ZkmlServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    StatusOr<Socket> sock = listener_.Accept(options_.poll_interval_ms);
+    if (!sock.ok()) {
+      if (sock.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // poll tick: re-check the stop flag
+      }
+      break;  // listener closed
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      continue;  // drop: socket closes, peer sees EOF instead of a hang
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      counters_->connections_rejected.Inc();
+      continue;
+    }
+    counters_->connections_accepted.Inc();
+    auto conn = std::make_shared<Connection>();
+    conn->sock = std::move(*sock);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Reap handler threads that already finished so a long-lived daemon does
+    // not accumulate one zombie std::thread per past connection.
+    // (Pairs finished-flag checks with the thread at the same index.)
+    for (size_t i = 0; i < conn_threads_.size();) {
+      if (conn_refs_[i]->finished.load(std::memory_order_acquire)) {
+        conn_threads_[i].join();
+        conn_threads_[i] = std::move(conn_threads_.back());
+        conn_threads_.pop_back();
+        conn_refs_[i] = std::move(conn_refs_.back());
+        conn_refs_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    conn_refs_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] {
+      HandleConnection(conn);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      conn->finished.store(true, std::memory_order_release);
+    });
+  }
+}
+
+bool ZkmlServer::SendFrame(Connection& conn, FrameType type, uint64_t request_id,
+                           const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  EncodeFrame(&out, type, request_id, payload);
+  Status s = conn.sock.WriteFull(out.data(), out.size(), options_.io_timeout_ms);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      counters_->slow_clients_closed.Inc();
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ZkmlServer::SendError(Connection& conn, uint64_t request_id, const WireError& err) {
+  return SendFrame(conn, FrameType::kError, request_id, EncodeWireError(err));
+}
+
+void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
+  uint8_t header[kFrameHeaderSize];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Idle wait for the first byte of a frame polls the stop flag; once bytes
+    // start flowing the rest of the frame must land within io_timeout_ms, so
+    // a slowloris peer is cut off rather than pinning this thread.
+    Status s = conn->sock.ReadFull(header, 1, options_.poll_interval_ms);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle connection
+      }
+      return;  // peer closed or socket error
+    }
+    s = conn->sock.ReadFull(header + 1, kFrameHeaderSize - 1, options_.io_timeout_ms);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        counters_->slow_clients_closed.Inc();
+      }
+      return;
+    }
+
+    WireErrorCode wire_code = WireErrorCode::kInternal;
+    StatusOr<FrameHeader> hdr =
+        DecodeFrameHeader(header, options_.max_frame_bytes, &wire_code);
+    if (!hdr.ok()) {
+      // The byte stream cannot be resynchronized after a corrupt header:
+      // answer (request id 0 — the id field is untrusted garbage) and close.
+      counters_->protocol_errors.Inc();
+      SendError(*conn, 0, {wire_code, WireStage::kFrameHeader, hdr.status().message()});
+      return;
+    }
+
+    std::vector<uint8_t> payload(hdr->payload_len);
+    if (hdr->payload_len > 0) {
+      s = conn->sock.ReadFull(payload.data(), payload.size(), options_.io_timeout_ms);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kDeadlineExceeded) {
+          counters_->slow_clients_closed.Inc();
+        }
+        return;
+      }
+    }
+    Status crc = CheckPayloadCrc(*hdr, payload);
+    if (!crc.ok()) {
+      counters_->protocol_errors.Inc();
+      SendError(*conn, hdr->request_id,
+                {WireErrorCode::kBadCrc, WireStage::kFramePayload, crc.message()});
+      return;  // payload bytes are untrustworthy — close
+    }
+
+    switch (hdr->type) {
+      case FrameType::kPing:
+        if (!SendFrame(*conn, FrameType::kPong, hdr->request_id, {})) return;
+        continue;
+      case FrameType::kProveRequest:
+        break;
+      default:
+        // Server-to-client frame types arriving at the server are misuse.
+        counters_->protocol_errors.Inc();
+        SendError(*conn, hdr->request_id,
+                  {WireErrorCode::kBadFrameType, WireStage::kFrameHeader,
+                   "frame type is not a client request"});
+        return;
+    }
+
+    StatusOr<ProveRequest> req = DecodeProveRequest(payload);
+    if (!req.ok()) {
+      // Structurally invalid payload behind a valid CRC: the framing is still
+      // sound, so reject the request but keep the connection.
+      counters_->jobs_rejected_malformed.Inc();
+      if (!SendError(*conn, hdr->request_id,
+                     {WireErrorCode::kMalformedRequest, WireStage::kFramePayload,
+                      req.status().message()})) {
+        return;
+      }
+      continue;
+    }
+
+    WireError admit_err;
+    std::shared_ptr<Job> job = AdmitJob(std::move(*req), hdr->request_id, &admit_err);
+    if (job == nullptr) {
+      if (!SendError(*conn, hdr->request_id, admit_err)) return;
+      continue;
+    }
+
+    // Bounded wait: the job's deadline plus the watchdog grace guarantee the
+    // worker fulfills the promise.
+    job->done.wait();
+    bool sent;
+    if (job->ok) {
+      sent = SendFrame(*conn, FrameType::kProveResponse, hdr->request_id,
+                       EncodeProveResponse(job->response));
+    } else {
+      sent = SendError(*conn, hdr->request_id, job->error);
+    }
+    if (!sent) return;
+  }
+}
+
+std::shared_ptr<ZkmlServer::Job> ZkmlServer::AdmitJob(ProveRequest request,
+                                                      uint64_t request_id, WireError* err) {
+  auto job = std::make_shared<Job>();
+  job->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job->request_id = request_id;
+  job->deadline_ms = request.deadline_ms == 0
+                         ? options_.default_deadline_ms
+                         : std::min(request.deadline_ms, options_.max_deadline_ms);
+  job->request = std::move(request);
+  job->done = job->done_promise.get_future().share();
+  job->enqueued = SteadyClock::now();
+  // The deadline clock starts at admission: queue wait, compile, witness, and
+  // proving all spend from the same budget.
+  job->deadline_tp = job->enqueued + std::chrono::milliseconds(job->deadline_ms);
+  job->cancel->SetDeadline(job->deadline_tp);
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      *err = {WireErrorCode::kShuttingDown, WireStage::kAdmission,
+              "daemon is draining; no new work accepted"};
+      return nullptr;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      counters_->jobs_shed_overload.Inc();
+      *err = {WireErrorCode::kOverloaded, WireStage::kAdmission,
+              "job queue full (" + std::to_string(queue_.size()) + " queued); retry later"};
+      return nullptr;
+    }
+    queue_.push_back(job);
+    counters_->jobs_accepted.Inc();
+  }
+  queue_cv_.notify_one();
+  return job;
+}
+
+void ZkmlServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to drain
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_.push_back(job);
+    }
+
+    ExecuteJob(job);
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      running_.erase(std::remove(running_.begin(), running_.end(), job), running_.end());
+    }
+    job->done_promise.set_value();
+  }
+}
+
+void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
+  const auto started = SteadyClock::now();
+  const uint64_t queue_micros = MicrosBetween(job->enqueued, started);
+
+  auto fail = [&](WireErrorCode code, WireStage stage, std::string message) {
+    job->ok = false;
+    job->error = {code, stage, std::move(message)};
+  };
+  // Maps a cancellation Status onto the wire: watchdog/drain Cancel() →
+  // CANCELLED, expired budget → DEADLINE_EXCEEDED. The Status message names
+  // the checkpoint that noticed (e.g. "deadline exceeded at quotient").
+  auto fail_cancel = [&](const Status& s, WireStage stage) {
+    if (s.code() == StatusCode::kCancelled) {
+      counters_->jobs_cancelled.Inc();
+      fail(WireErrorCode::kCancelled, stage,
+           job->reaped.load(std::memory_order_relaxed) ? "reaped by watchdog: " + s.message()
+                                                       : s.message());
+    } else {
+      counters_->jobs_deadline_exceeded.Inc();
+      fail(WireErrorCode::kDeadlineExceeded, stage, s.message());
+    }
+  };
+
+  // A job whose budget evaporated in the queue is shed before any work.
+  Status live = job->cancel->Check("queue-wait");
+  if (!live.ok()) {
+    fail_cancel(live, WireStage::kAdmission);
+    return;
+  }
+
+  StatusOr<Model> model = DeserializeModel(job->request.model_text);
+  if (!model.ok()) {
+    counters_->jobs_rejected_malformed.Inc();
+    fail(WireErrorCode::kMalformedModel, WireStage::kModelParse, model.status().message());
+    return;
+  }
+
+  const std::string key =
+      ModelHashHex(job->request.model_text) + (job->request.backend == 1 ? ":ipa" : ":kzg");
+  bool cache_hit = true;
+  StatusOr<std::shared_ptr<const CompiledModel>> compiled =
+      cache_.GetOrCompile(key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+        cache_hit = false;
+        ZkmlOptions zo;
+        zo.backend = job->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
+        zo.optimizer.backend = zo.backend;
+        zo.optimizer.min_columns = options_.optimizer_min_columns;
+        zo.optimizer.max_columns = options_.optimizer_max_columns;
+        zo.optimizer.max_k = options_.optimizer_max_k;
+        return std::make_shared<const CompiledModel>(CompileModel(*model, zo));
+      });
+  if (!compiled.ok()) {
+    counters_->jobs_failed_internal.Inc();
+    fail(WireErrorCode::kInternal, WireStage::kCompile, compiled.status().message());
+    return;
+  }
+  live = job->cancel->Check("compile");
+  if (!live.ok()) {
+    fail_cancel(live, WireStage::kCompile);
+    return;
+  }
+
+  const Model& m = (*compiled)->model;
+  Tensor<int64_t> input_q;
+  if (!job->request.input.empty()) {
+    if (static_cast<int64_t>(job->request.input.size()) != m.input_shape.NumElements()) {
+      counters_->jobs_rejected_malformed.Inc();
+      fail(WireErrorCode::kInputMismatch, WireStage::kWitness,
+           "input has " + std::to_string(job->request.input.size()) + " elements, model wants " +
+               std::to_string(m.input_shape.NumElements()));
+      return;
+    }
+    input_q = Tensor<int64_t>(m.input_shape, std::move(job->request.input));
+  } else {
+    input_q = QuantizeTensor(SyntheticInput(m, job->request.seed), m.quant);
+  }
+
+  StatusOr<ZkmlProof> proof = ProveCancellable(**compiled, input_q, job->cancel.get());
+  if (!proof.ok()) {
+    if (proof.status().code() == StatusCode::kCancelled ||
+        proof.status().code() == StatusCode::kDeadlineExceeded) {
+      fail_cancel(proof.status(), WireStage::kProve);
+    } else {
+      counters_->jobs_failed_internal.Inc();
+      fail(WireErrorCode::kInternal, WireStage::kProve, proof.status().message());
+    }
+    return;
+  }
+
+  if (!options_.report_dir.empty()) {
+    WriteJobReport(*job, **compiled, *proof);
+  }
+
+  const auto finished = SteadyClock::now();
+  job->response.proof = std::move(proof->bytes);
+  job->response.instance = std::move(proof->instance);
+  job->response.output = proof->output_q.ToVector();
+  job->response.queue_micros = queue_micros;
+  job->response.prove_micros = MicrosBetween(started, finished);
+  job->response.cache_hit = cache_hit ? 1 : 0;
+  job->ok = true;
+  counters_->jobs_completed.Inc();
+  counters_->job_seconds->Record(
+      std::chrono::duration<double>(finished - job->enqueued).count());
+}
+
+void ZkmlServer::WriteJobReport(const Job& job, const CompiledModel& compiled,
+                                const ZkmlProof& proof) {
+  obs::RunReport report = BuildRunReport(compiled, proof, 0.0, compiled.model.name);
+  const std::string path = options_.report_dir + "/job_" + std::to_string(job.id) + ".json";
+  // Report I/O must never fail a job that proved successfully.
+  const Status ignored = report.WriteFile(path);
+  (void)ignored;
+}
+
+void ZkmlServer::WatchdogLoop() {
+  const auto period = std::chrono::milliseconds(std::max(1, options_.watchdog_period_ms));
+  const auto grace = std::chrono::milliseconds(options_.wedge_grace_ms);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(period);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      const auto now = SteadyClock::now();
+      for (auto& job : running_) {
+        // Past-deadline jobs stop on their own at the next prover checkpoint;
+        // the watchdog only steps in when one overstays the grace window
+        // (wedged between checkpoints, or the deadline machinery failed).
+        if (!job->reaped.load(std::memory_order_relaxed) && now >= job->deadline_tp + grace) {
+          job->reaped.store(true, std::memory_order_relaxed);
+          job->cancel->Cancel();
+          counters_->watchdog_reaped.Inc();
+        }
+      }
+    }
+    PublishMetrics();
+  }
+}
+
+}  // namespace serve
+}  // namespace zkml

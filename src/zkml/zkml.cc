@@ -61,8 +61,11 @@ CompiledModel CompileModel(const Model& model, const ZkmlOptions& options) {
   return compiled;
 }
 
-ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
+StatusOr<ZkmlProof> ProveCancellable(const CompiledModel& compiled,
+                                     const Tensor<int64_t>& input_q,
+                                     const CancelToken* cancel) {
   ZkmlProof out;
+  ZKML_RETURN_IF_ERROR(CheckCancel(cancel, "witness-gen"));
   Timer witness_timer;
   BuiltCircuit built = [&] {
     obs::Span witness_span("witness-gen");
@@ -76,10 +79,17 @@ ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
   out.instance.assign(inst.begin(), inst.begin() + built.num_instance_rows);
 
   Timer prove_timer;
-  out.bytes = CreateProof(compiled.pk, *compiled.pcs, asn, &out.prover_metrics);
+  ZKML_ASSIGN_OR_RETURN(out.bytes, CreateProofCancellable(compiled.pk, *compiled.pcs, asn,
+                                                          cancel, &out.prover_metrics));
   out.prove_seconds = prove_timer.ElapsedSeconds();
   obs::MetricsRegistry::Global().gauge("prover.measured_prove_seconds").Set(out.prove_seconds);
   return out;
+}
+
+ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q) {
+  StatusOr<ZkmlProof> proof = ProveCancellable(compiled, input_q, /*cancel=*/nullptr);
+  ZKML_CHECK_MSG(proof.ok(), proof.status().ToString().c_str());
+  return std::move(proof).value();
 }
 
 VerifyResult VerifyDetailed(const VerifyingKey& vk, const Pcs& pcs,
@@ -105,8 +115,8 @@ bool Verify(const CompiledModel& compiled, const ZkmlProof& proof) {
 }
 
 bool SoundnessAudit::Passed() const {
-  bool ok = witness_satisfied && coverage.dead_gates == 0 && coverage.dead_lookups == 0 &&
-            mutation.AllDetected();
+  bool ok = !interrupted && witness_satisfied && coverage.dead_gates == 0 &&
+            coverage.dead_lookups == 0 && mutation.AllDetected();
   if (forgery_ran) {
     ok = ok && honest_kzg_accepted && honest_ipa_accepted && forged_kzg_rejected &&
          forged_ipa_rejected;
@@ -125,6 +135,7 @@ obs::Json SoundnessAudit::ToJson() const {
   }
   obs::Json j = SoundnessReportJson(coverage, mutation, forgery);
   j.Set("witness_satisfied", witness_satisfied);
+  j.Set("interrupted", interrupted);
   j.Set("passed", Passed());
   return j;
 }
@@ -133,7 +144,19 @@ SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& inpu
                                  const SoundnessAuditOptions& options) {
   obs::Span audit_span("soundness-audit");
   SoundnessAudit audit;
+  // Interruption points sit between the audit engines: whatever completed
+  // before the token fired is reported, and `interrupted` marks the report
+  // as partial.
+  auto interrupted = [&] {
+    if (!CheckCancel(options.cancel, "soundness-audit").ok()) {
+      audit.interrupted = true;
+    }
+    return audit.interrupted;
+  };
 
+  if (interrupted()) {
+    return audit;
+  }
   ZkmlOptions kzg_options;
   kzg_options.backend = PcsKind::kKzg;
   CompiledModel kzg = CompileModel(model, kzg_options);
@@ -144,7 +167,7 @@ SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& inpu
 
   audit.witness_satisfied = MockProver(&cs, &asn).IsSatisfied();
   audit.coverage = AnalyzeCoverage(cs, asn);
-  if (audit.witness_satisfied) {
+  if (audit.witness_satisfied && !interrupted()) {
     // Fuzzing an unsatisfied witness would blame cells at random; coverage is
     // still meaningful (it only reads fixed columns and input activations).
     FuzzOptions fuzz;
@@ -153,7 +176,7 @@ SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& inpu
     audit.mutation = FuzzWitness(cs, asn, fuzz);
   }
 
-  if (options.run_forgery) {
+  if (options.run_forgery && !interrupted()) {
     audit.forgery_ran = true;
     ZkmlOptions ipa_options;
     ipa_options.backend = PcsKind::kIpa;
@@ -163,14 +186,21 @@ SoundnessAudit RunSoundnessAudit(const Model& model, const Tensor<int64_t>& inpu
 
     auto check_backend = [&](const CompiledModel& compiled, bool* honest_accepted,
                              bool* forged_rejected) {
-      ZkmlProof proof = Prove(compiled, input_q);
-      *honest_accepted = Verify(compiled, proof);
+      if (interrupted()) {
+        return;
+      }
+      StatusOr<ZkmlProof> proof = ProveCancellable(compiled, input_q, options.cancel);
+      if (!proof.ok()) {
+        audit.interrupted = true;
+        return;
+      }
+      *honest_accepted = Verify(compiled, *proof);
       // Tamper the claimed output (the statement's tail) and demand the
       // untouched proof no longer verifies against it.
-      std::vector<Fr> forged = proof.instance;
+      std::vector<Fr> forged = proof->instance;
       ZKML_CHECK(!forged.empty());
       forged.back() = forged.back() + Fr::One();
-      *forged_rejected = !Verify(compiled.pk.vk, *compiled.pcs, forged, proof.bytes);
+      *forged_rejected = !Verify(compiled.pk.vk, *compiled.pcs, forged, proof->bytes);
     };
     check_backend(kzg, &audit.honest_kzg_accepted, &audit.forged_kzg_rejected);
     check_backend(ipa, &audit.honest_ipa_accepted, &audit.forged_ipa_rejected);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/cancel.h"
 #include "src/base/status.h"
 #include "src/model/graph.h"
 #include "src/obs/run_report.h"
@@ -59,6 +60,15 @@ struct ZkmlProof {
 // Produces a proof that `compiled.model` maps input_q to the returned output.
 ZkmlProof Prove(const CompiledModel& compiled, const Tensor<int64_t>& input_q);
 
+// Cancellable variant for long-lived callers (the proving daemon's deadline
+// enforcement, the CLI's SIGINT handling). `cancel` may be null; when it
+// fires the call returns kCancelled / kDeadlineExceeded at the next
+// checkpoint (before witness generation and between prover rounds) instead
+// of running the proof to completion.
+StatusOr<ZkmlProof> ProveCancellable(const CompiledModel& compiled,
+                                     const Tensor<int64_t>& input_q,
+                                     const CancelToken* cancel);
+
 // Verifies a proof against its public statement, attributing any rejection to
 // the stage that failed (see VerifyResult). Validates the instance length
 // against the verifying key before entering the transcript: a wrong-sized
@@ -87,9 +97,17 @@ struct SoundnessAuditOptions {
   // require both verifiers to reject. Dominated by two keygens + four proof
   // verifications, so it is skippable for quick circuit-only audits.
   bool run_forgery = true;
+  // Optional cooperative interruption (CLI SIGINT): the audit checks the
+  // token between engines (compile, coverage, fuzz, each forgery backend)
+  // and returns early with `interrupted` set instead of finishing.
+  const CancelToken* cancel = nullptr;
 };
 
 struct SoundnessAudit {
+  // True when the audit was cut short by its CancelToken; only the engines
+  // that completed before the interrupt are populated, and Passed() returns
+  // false (a partial audit is not a clean bill).
+  bool interrupted = false;
   // The honest witness satisfies the circuit (precondition for the fuzzer;
   // reported so a completeness bug cannot masquerade as perfect soundness).
   bool witness_satisfied = false;

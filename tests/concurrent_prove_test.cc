@@ -1,0 +1,116 @@
+// Concurrent proving correctness: two proofs running simultaneously on the
+// shared global thread pool must not bleed into each other. Per-activity
+// KernelSinks (each CreateProof installs its own) make the per-stage FFT/MSM
+// counters a sensitive tracer: any task attributed to the wrong activity
+// shows up as a counter delta against the solo run of the same proof.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/layers/quant_executor.h"
+#include "src/model/zoo.h"
+#include "src/zkml/zkml.h"
+
+namespace zkml {
+namespace {
+
+ZkmlOptions FastOptions(PcsKind backend) {
+  ZkmlOptions options;
+  options.backend = backend;
+  options.optimizer.min_columns = 10;
+  options.optimizer.max_columns = 26;
+  options.optimizer.max_k = 14;
+  return options;
+}
+
+TEST(ConcurrentProveTest, TwoBackendsProvedSimultaneously) {
+  const Model model = MakeMnistCnn();
+  const CompiledModel kzg = CompileModel(model, FastOptions(PcsKind::kKzg));
+  const CompiledModel ipa = CompileModel(model, FastOptions(PcsKind::kIpa));
+  const Tensor<int64_t> input_a = QuantizeTensor(SyntheticInput(model, 31), model.quant);
+  const Tensor<int64_t> input_b = QuantizeTensor(SyntheticInput(model, 32), model.quant);
+
+  // Solo baselines: proving is deterministic, so the per-stage kernel
+  // counters of a (model, backend, input) triple are exact references.
+  const ZkmlProof solo_kzg = Prove(kzg, input_a);
+  const ZkmlProof solo_ipa = Prove(ipa, input_b);
+  ASSERT_FALSE(solo_kzg.prover_metrics.stages.empty());
+  ASSERT_FALSE(solo_ipa.prover_metrics.stages.empty());
+
+  // The same two proofs, now racing each other on the shared pool.
+  ZkmlProof conc_kzg, conc_ipa;
+  std::thread t_kzg([&] { conc_kzg = Prove(kzg, input_a); });
+  std::thread t_ipa([&] { conc_ipa = Prove(ipa, input_b); });
+  t_kzg.join();
+  t_ipa.join();
+
+  // Both proofs verify and are byte-identical to their solo runs: contention
+  // changed scheduling, not output.
+  EXPECT_TRUE(Verify(kzg, conc_kzg));
+  EXPECT_TRUE(Verify(ipa, conc_ipa));
+  EXPECT_EQ(conc_kzg.bytes, solo_kzg.bytes);
+  EXPECT_EQ(conc_ipa.bytes, solo_ipa.bytes);
+
+  // Stage-by-stage kernel attribution: each concurrent proof reports exactly
+  // the kernel work of its own activity. The two backends have different
+  // kernel profiles, so cross-attribution cannot cancel out.
+  ASSERT_EQ(conc_kzg.prover_metrics.stages.size(), solo_kzg.prover_metrics.stages.size());
+  for (size_t i = 0; i < solo_kzg.prover_metrics.stages.size(); ++i) {
+    const auto& solo = solo_kzg.prover_metrics.stages[i];
+    const auto& conc = conc_kzg.prover_metrics.stages[i];
+    EXPECT_EQ(conc.name, solo.name);
+    EXPECT_TRUE(conc.kernels == solo.kernels)
+        << "kzg stage '" << solo.name << "' kernel counters drifted under contention: solo fft="
+        << solo.kernels.fft_calls << " msm=" << solo.kernels.msm_calls
+        << ", concurrent fft=" << conc.kernels.fft_calls << " msm=" << conc.kernels.msm_calls;
+  }
+  ASSERT_EQ(conc_ipa.prover_metrics.stages.size(), solo_ipa.prover_metrics.stages.size());
+  for (size_t i = 0; i < solo_ipa.prover_metrics.stages.size(); ++i) {
+    const auto& solo = solo_ipa.prover_metrics.stages[i];
+    const auto& conc = conc_ipa.prover_metrics.stages[i];
+    EXPECT_EQ(conc.name, solo.name);
+    EXPECT_TRUE(conc.kernels == solo.kernels)
+        << "ipa stage '" << solo.name << "' kernel counters drifted under contention";
+  }
+}
+
+TEST(ConcurrentProveTest, RunReportStageDeltasIndependentUnderContention) {
+  const Model model = MakeMnistCnn();
+  const CompiledModel compiled = CompileModel(model, FastOptions(PcsKind::kKzg));
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 33), model.quant);
+
+  const ZkmlProof solo = Prove(compiled, input);
+
+  // Four identical proofs at once: every one must report the solo run's
+  // per-stage kernel counters, and the run report built from each must agree
+  // with its own metrics (not an aggregate across activities).
+  constexpr int kProvers = 4;
+  ZkmlProof proofs[kProvers];
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProvers; ++p) {
+    threads.emplace_back([&, p] { proofs[p] = Prove(compiled, input); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int p = 0; p < kProvers; ++p) {
+    EXPECT_EQ(proofs[p].bytes, solo.bytes) << "prover " << p;
+    ASSERT_EQ(proofs[p].prover_metrics.stages.size(), solo.prover_metrics.stages.size());
+    KernelCounters total;
+    for (size_t i = 0; i < solo.prover_metrics.stages.size(); ++i) {
+      EXPECT_TRUE(proofs[p].prover_metrics.stages[i].kernels ==
+                  solo.prover_metrics.stages[i].kernels)
+          << "prover " << p << " stage " << solo.prover_metrics.stages[i].name;
+      total = total + proofs[p].prover_metrics.stages[i].kernels;
+    }
+    // The run report's aggregate kernels equal the sum of its own stages.
+    const obs::RunReport report = BuildRunReport(compiled, proofs[p]);
+    EXPECT_TRUE(report.kernels == total) << "prover " << p;
+    ASSERT_EQ(report.stages.size(), proofs[p].prover_metrics.stages.size());
+    for (size_t i = 0; i < report.stages.size(); ++i) {
+      EXPECT_TRUE(report.stages[i].kernels == proofs[p].prover_metrics.stages[i].kernels);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zkml

@@ -1,8 +1,10 @@
 // Seeded proof-corruption utility for adversarial testing: given honest proof
 // bytes, produce structurally targeted corruptions (bit flips, truncation,
 // trailing garbage, non-canonical scalars, invalid point encodings, swapped
-// commitments, cross-circuit splices). Every mutation is deterministic in the
-// seed so failures reproduce exactly.
+// commitments, cross-circuit splices). The structure-agnostic operations come
+// from the shared ByteMutator engine (src/base/byte_mutator.h, also the basis
+// of the wire-frame fuzzer); this header adds the proof-format-aware kinds.
+// Every mutation is deterministic in the seed so failures reproduce exactly.
 #ifndef TESTS_PROOF_MUTATOR_H_
 #define TESTS_PROOF_MUTATOR_H_
 
@@ -10,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/byte_mutator.h"
 #include "src/base/rng.h"
 #include "src/ec/g1.h"
 #include "src/plonk/proof_io.h"
@@ -55,7 +58,7 @@ inline const char* MutationKindName(MutationKind kind) {
 
 class ProofMutator {
  public:
-  explicit ProofMutator(uint64_t seed) : rng_(seed) {}
+  explicit ProofMutator(uint64_t seed) : rng_(seed), engine_(&rng_) {}
 
   // Returns a corrupted copy of `proof`. `donor` (another circuit's honest
   // proof) is only used by kSplice; kinds that cannot apply to a too-short
@@ -65,37 +68,26 @@ class ProofMutator {
     std::vector<uint8_t> out = proof;
     switch (kind) {
       case MutationKind::kByteFlip:
-        ByteFlip(&out);
+        engine_.FlipBit(&out);
         break;
       case MutationKind::kTruncate:
-        out.resize(rng_.NextBelow(out.size()));
+        engine_.Truncate(&out);
         break;
-      case MutationKind::kExtend: {
-        const size_t extra = 1 + rng_.NextBelow(64);
-        for (size_t i = 0; i < extra; ++i) {
-          out.push_back(static_cast<uint8_t>(rng_.NextU64()));
-        }
+      case MutationKind::kExtend:
+        engine_.Extend(&out);
         break;
-      }
-      case MutationKind::kScalarOverflow: {
+      case MutationKind::kScalarOverflow:
         // 32 bytes of 0xff is ~2^256 - 1, far above the Fr (and Fq) modulus:
         // whatever field element the window lands on becomes non-canonical.
-        if (out.size() < kProofFrSize) {
-          ByteFlip(&out);
-          break;
-        }
-        const size_t pos = rng_.NextBelow(out.size() - kProofFrSize + 1);
-        std::fill(out.begin() + static_cast<long>(pos),
-                  out.begin() + static_cast<long>(pos + kProofFrSize), 0xff);
+        engine_.FillWindow(&out, kProofFrSize, 0xff);
         break;
-      }
       case MutationKind::kPointTagCorrupt: {
         // Proofs open with a run of 33-byte compressed commitments; stomp one
         // tag byte with a value that is neither infinity (0) nor a valid
         // parity tag (2/3).
         const size_t n_points = out.size() / G1Affine::kCompressedSize;
         if (n_points == 0) {
-          ByteFlip(&out);
+          engine_.FlipBit(&out);
           break;
         }
         const size_t which = rng_.NextBelow(std::min<size_t>(n_points, 8));
@@ -103,49 +95,19 @@ class ProofMutator {
         out[which * G1Affine::kCompressedSize] = tag;
         break;
       }
-      case MutationKind::kCommitmentSwap: {
-        const size_t n_points = out.size() / G1Affine::kCompressedSize;
-        if (n_points < 2) {
-          ByteFlip(&out);
-          break;
-        }
-        const size_t cap = std::min<size_t>(n_points, 8);
-        const size_t i = rng_.NextBelow(cap);
-        size_t j = rng_.NextBelow(cap - 1);
-        if (j >= i) {
-          ++j;
-        }
-        std::swap_ranges(
-            out.begin() + static_cast<long>(i * G1Affine::kCompressedSize),
-            out.begin() + static_cast<long>((i + 1) * G1Affine::kCompressedSize),
-            out.begin() + static_cast<long>(j * G1Affine::kCompressedSize));
+      case MutationKind::kCommitmentSwap:
+        engine_.SwapWindows(&out, G1Affine::kCompressedSize);
         break;
-      }
-      case MutationKind::kSplice: {
-        if (donor.empty()) {
-          ByteFlip(&out);
-          break;
-        }
-        const size_t cut = rng_.NextBelow(std::min(out.size(), donor.size()));
-        out.assign(proof.begin(), proof.begin() + static_cast<long>(cut));
-        out.insert(out.end(), donor.begin() + static_cast<long>(cut), donor.end());
+      case MutationKind::kSplice:
+        engine_.Splice(&out, donor);
         break;
-      }
     }
     return out;
   }
 
  private:
-  void ByteFlip(std::vector<uint8_t>* out) {
-    if (out->empty()) {
-      out->push_back(0x5a);
-      return;
-    }
-    const size_t pos = rng_.NextBelow(out->size());
-    (*out)[pos] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
-  }
-
   Rng rng_;
+  ByteMutator engine_;
 };
 
 }  // namespace zkml

@@ -1,0 +1,323 @@
+// ZkmlServer behaviour tests: request/response round-trips, explicit
+// stage-attributed rejections, deadline enforcement with cooperative
+// cancellation, queue backpressure (OVERLOADED, not timeouts), watchdog
+// reaping, and graceful drain. Servers listen on 127.0.0.1 ephemeral ports.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/layers/quant_executor.h"
+#include "src/model/serialize.h"
+#include "src/model/zoo.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
+#include "src/zkml/zkml.h"
+
+namespace zkml {
+namespace serve {
+namespace {
+
+constexpr int kIoMs = 5000;       // client-side timeout for proof waits
+constexpr int kProveWaitMs = 120000;
+
+ServeOptions FastServe() {
+  ServeOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 8;
+  options.poll_interval_ms = 20;
+  options.io_timeout_ms = 2000;
+  options.watchdog_period_ms = 10;
+  options.drain_timeout_ms = 60000;
+  // Match the e2e tests' fast optimizer envelope so compiles stay ~seconds.
+  options.optimizer_min_columns = 10;
+  options.optimizer_max_columns = 26;
+  options.optimizer_max_k = 14;
+  return options;
+}
+
+const std::string& MnistText() {
+  static const std::string* text = new std::string(SerializeModel(MakeMnistCnn()));
+  return *text;
+}
+
+ZkmlClient MustConnect(const ZkmlServer& server) {
+  StatusOr<ZkmlClient> client = ZkmlClient::Connect("127.0.0.1", server.port(), kIoMs);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+TEST(ServeTest, PingProveRoundTripAndCacheReuse) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+  ASSERT_TRUE(client.Ping(99, kIoMs).ok());
+
+  const Model model = MakeMnistCnn();
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 41), model.quant);
+  ProveRequest req;
+  req.model_text = MnistText();
+  req.seed = 41;
+  req.input = input.ToVector();
+
+  StatusOr<ZkmlClient::ProveOutcome> first = client.Prove(req, 1, kProveWaitMs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok) << first->error.ToString();
+  EXPECT_EQ(first->response.cache_hit, 0);
+  EXPECT_FALSE(first->response.proof.empty());
+  // The daemon's claimed output matches the local quantized reference run.
+  EXPECT_EQ(first->response.output, RunQuantized(model, input).ToVector());
+
+  // Same model again on the same connection: compiled-circuit cache hit.
+  StatusOr<ZkmlClient::ProveOutcome> second = client.Prove(req, 2, kProveWaitMs);
+  ASSERT_TRUE(second.ok() && second->ok);
+  EXPECT_EQ(second->response.cache_hit, 1);
+
+  // The proof verifies against an independently compiled verifying key: the
+  // server really proved this statement, it did not just echo bytes.
+  ZkmlOptions zo;
+  zo.backend = PcsKind::kKzg;
+  zo.optimizer.min_columns = 10;
+  zo.optimizer.max_columns = 26;
+  zo.optimizer.max_k = 14;
+  const CompiledModel compiled = CompileModel(model, zo);
+  EXPECT_TRUE(
+      Verify(compiled.pk.vk, *compiled.pcs, first->response.instance, first->response.proof));
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  server.Stop();
+}
+
+TEST(ServeTest, SemanticRejectionsAreStageAttributedAndKeepTheConnection) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+
+  // Unparseable model text → MALFORMED_MODEL attributed to model-parse.
+  ProveRequest bad_model;
+  bad_model.model_text = "definitely not a model";
+  StatusOr<ZkmlClient::ProveOutcome> r1 = client.Prove(bad_model, 1, kIoMs);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_FALSE(r1->ok);
+  EXPECT_EQ(r1->error.code, WireErrorCode::kMalformedModel);
+  EXPECT_EQ(r1->error.stage, WireStage::kModelParse);
+
+  // Wrong input volume → INPUT_MISMATCH attributed to witness.
+  ProveRequest bad_input;
+  bad_input.model_text = MnistText();
+  bad_input.input = {1, 2, 3};
+  StatusOr<ZkmlClient::ProveOutcome> r2 = client.Prove(bad_input, 2, kProveWaitMs);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_FALSE(r2->ok);
+  EXPECT_EQ(r2->error.code, WireErrorCode::kInputMismatch);
+  EXPECT_EQ(r2->error.stage, WireStage::kWitness);
+
+  // Semantic rejections do not cost the connection: it still serves pings.
+  EXPECT_TRUE(client.Ping(3, kIoMs).ok());
+  EXPECT_EQ(server.stats().jobs_rejected_malformed, 2u);
+  server.Stop();
+}
+
+TEST(ServeTest, CorruptFramesAnsweredThenConnectionClosed) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // CRC corruption: explicit BAD_CRC error, then the server hangs up (a
+    // byte stream with a corrupt frame cannot be resynchronized).
+    ZkmlClient client = MustConnect(server);
+    std::vector<uint8_t> frame;
+    EncodeFrame(&frame, FrameType::kPing, 7, {});
+    frame[20] ^= 0xff;
+    ASSERT_TRUE(client.socket().WriteFull(frame.data(), frame.size(), kIoMs).ok());
+    StatusOr<std::pair<FrameHeader, std::vector<uint8_t>>> reply = client.ReadFrame(kIoMs);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->first.type, FrameType::kError);
+    StatusOr<WireError> err = DecodeWireError(reply->second);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, WireErrorCode::kBadCrc);
+    EXPECT_EQ(err->stage, WireStage::kFramePayload);
+    // Connection is now closed server-side.
+    EXPECT_FALSE(client.ReadFrame(1000).ok());
+  }
+  {
+    // Oversize length prefix: rejected before any allocation.
+    ZkmlClient client = MustConnect(server);
+    std::vector<uint8_t> frame;
+    EncodeFrame(&frame, FrameType::kProveRequest, 8, {1, 2, 3});
+    const uint32_t huge = 0x7fffffffu;
+    for (int i = 0; i < 4; ++i) frame[16 + i] = static_cast<uint8_t>(huge >> (8 * i));
+    ASSERT_TRUE(client.socket().WriteFull(frame.data(), frame.size(), kIoMs).ok());
+    StatusOr<std::pair<FrameHeader, std::vector<uint8_t>>> reply = client.ReadFrame(kIoMs);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    StatusOr<WireError> err = DecodeWireError(reply->second);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, WireErrorCode::kFrameTooLarge);
+    EXPECT_EQ(err->stage, WireStage::kFrameHeader);
+  }
+  EXPECT_GE(server.stats().protocol_errors, 2u);
+  server.Stop();
+}
+
+TEST(ServeTest, DeadlineExceededWhileConcurrentJobCompletes) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Warm the compile cache so the tight deadline lands inside proving, where
+  // the prover's round-boundary checkpoints must catch it.
+  {
+    ZkmlClient warm = MustConnect(server);
+    ProveRequest req;
+    req.model_text = MnistText();
+    req.seed = 50;
+    StatusOr<ZkmlClient::ProveOutcome> r = warm.Prove(req, 1, kProveWaitMs);
+    ASSERT_TRUE(r.ok() && r->ok) << (r.ok() ? r->error.ToString() : r.status().ToString());
+  }
+
+  StatusOr<ZkmlClient::ProveOutcome> slow_result = InternalError("unset");
+  StatusOr<ZkmlClient::ProveOutcome> fast_result = InternalError("unset");
+  std::thread healthy([&] {
+    ZkmlClient c = MustConnect(server);
+    ProveRequest req;
+    req.model_text = MnistText();
+    req.seed = 51;
+    slow_result = c.Prove(req, 2, kProveWaitMs);
+  });
+  std::thread doomed([&] {
+    ZkmlClient c = MustConnect(server);
+    ProveRequest req;
+    req.model_text = MnistText();
+    req.seed = 52;
+    req.deadline_ms = 30;  // far below one proof's duration
+    fast_result = c.Prove(req, 3, kProveWaitMs);
+  });
+  healthy.join();
+  doomed.join();
+
+  ASSERT_TRUE(fast_result.ok()) << fast_result.status().ToString();
+  ASSERT_FALSE(fast_result->ok);
+  EXPECT_EQ(fast_result->error.code, WireErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(fast_result->error.stage, WireStage::kProve);
+  // The Status message names the checkpoint that noticed the expiry.
+  EXPECT_NE(fast_result->error.message.find("deadline exceeded at"), std::string::npos)
+      << fast_result->error.message;
+
+  // The concurrent healthy job was unaffected by its neighbour's deadline.
+  ASSERT_TRUE(slow_result.ok()) << slow_result.status().ToString();
+  EXPECT_TRUE(slow_result->ok) << slow_result->error.ToString();
+  EXPECT_GE(server.stats().jobs_deadline_exceeded, 1u);
+  server.Stop();
+}
+
+TEST(ServeTest, OverloadShedsExplicitlyWhileInFlightJobsComplete) {
+  ServeOptions options = FastServe();
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  ZkmlServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Warm the cache so every subsequent prove is pure prover work.
+  {
+    ZkmlClient warm = MustConnect(server);
+    ProveRequest req;
+    req.model_text = MnistText();
+    req.seed = 60;
+    ASSERT_TRUE(warm.Prove(req, 1, kProveWaitMs).ok());
+  }
+
+  // One job occupies the single worker, one fills the queue; further
+  // arrivals must shed immediately with OVERLOADED while the first two run
+  // to completion.
+  std::vector<StatusOr<ZkmlClient::ProveOutcome>> results(5, InternalError("unset"));
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 5; ++i) {
+    clients.emplace_back([&, i] {
+      ZkmlClient c = MustConnect(server);
+      ProveRequest req;
+      req.model_text = MnistText();
+      req.seed = 61 + static_cast<uint64_t>(i);
+      // Stagger so the first request reaches the worker before the flood.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20 * i));
+      results[static_cast<size_t>(i)] = c.Prove(req, static_cast<uint64_t>(i) + 10, kProveWaitMs);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  uint64_t ok = 0, overloaded = 0;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r->ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r->error.code, WireErrorCode::kOverloaded) << r->error.ToString();
+      EXPECT_EQ(r->error.stage, WireStage::kAdmission);
+      ++overloaded;
+    }
+  }
+  // At least one must shed (5 near-simultaneous arrivals into worker=1 +
+  // queue=1) and the admitted ones must all complete.
+  EXPECT_GE(overloaded, 1u);
+  EXPECT_GE(ok, 2u);
+  EXPECT_EQ(ok + overloaded, 5u);
+  EXPECT_EQ(server.stats().jobs_shed_overload, overloaded);
+  server.Stop();
+}
+
+TEST(ServeTest, WatchdogReapsJobWedgedInUncancellableWork) {
+  ServeOptions options = FastServe();
+  options.wedge_grace_ms = 100;
+  ZkmlServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+
+  // A cold model makes compilation the wedge: it takes seconds and has no
+  // cancellation checkpoints, so the 50ms deadline plus 100ms grace elapse
+  // while the job cannot yield. The watchdog must cancel the token; the job
+  // reports CANCELLED ("reaped") at its next checkpoint instead of running
+  // the proof after its client has long given up.
+  ProveRequest req;
+  req.model_text = MnistText();
+  req.seed = 70;
+  req.deadline_ms = 50;
+  StatusOr<ZkmlClient::ProveOutcome> r = client.Prove(req, 1, kProveWaitMs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->ok);
+  EXPECT_EQ(r->error.code, WireErrorCode::kCancelled) << r->error.ToString();
+  EXPECT_NE(r->error.message.find("reaped by watchdog"), std::string::npos) << r->error.message;
+  EXPECT_EQ(server.stats().watchdog_reaped, 1u);
+  server.Stop();
+}
+
+TEST(ServeTest, DrainRejectsNewWorkThenStopsClean) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+  ASSERT_TRUE(client.Ping(1, kIoMs).ok());
+
+  server.RequestDrain();
+  EXPECT_TRUE(server.draining());
+
+  // New requests on the live connection get the explicit drain response.
+  ProveRequest req;
+  req.model_text = MnistText();
+  StatusOr<ZkmlClient::ProveOutcome> r = client.Prove(req, 2, kIoMs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->ok);
+  EXPECT_EQ(r->error.code, WireErrorCode::kShuttingDown);
+  EXPECT_EQ(r->error.stage, WireStage::kAdmission);
+
+  // Liveness probes still answer during the drain window.
+  EXPECT_TRUE(client.Ping(3, kIoMs).ok());
+
+  server.Stop();  // joins every thread; reaching the next line is the test
+  EXPECT_EQ(server.stats().jobs_completed, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace zkml
