@@ -12,6 +12,7 @@
 //                                                    mutation fuzzer, constraint
 //                                                    coverage, forgery harness
 //   zkml_cli telemetry-validate <json-file>          validate a telemetry file
+//   zkml_cli telemetry-validate --prometheus <file>  validate a /metrics scrape
 //
 // Global telemetry flags (may appear anywhere on the command line):
 //   --trace=<file>    write a Chrome/Perfetto trace of the whole command
@@ -49,6 +50,7 @@
 #include "src/model/shape_inference.h"
 #include "src/model/zoo.h"
 #include "src/obs/circuit_profile.h"
+#include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
@@ -363,6 +365,37 @@ int CmdTelemetryValidate(const std::string& path) {
   return kExitMalformedInput;
 }
 
+// Validates a Prometheus text-exposition page (a /metrics scrape saved to a
+// file) with the same strict parser zkml_loadgen uses, and prints a summary.
+int CmdTelemetryValidatePrometheus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return kExitUsage;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  StatusOr<obs::PromText> page = obs::ParsePrometheusText(text);
+  if (!page.ok()) {
+    std::fprintf(stderr, "%s: invalid Prometheus exposition: %s\n", path.c_str(),
+                 page.status().ToString().c_str());
+    return kExitMalformedInput;
+  }
+  // Histogram invariant: every _count sample must equal its le="+Inf" bucket.
+  for (const auto& [name, type] : page->types) {
+    if (type != "histogram") continue;
+    const obs::PromSample* inf = page->Find(name + "_bucket", "le", "+Inf");
+    const obs::PromSample* count = page->Find(name + "_count");
+    if (inf == nullptr || count == nullptr || inf->value != count->value) {
+      std::fprintf(stderr, "%s: histogram %s: le=\"+Inf\" bucket disagrees with _count\n",
+                   path.c_str(), name.c_str());
+      return kExitMalformedInput;
+    }
+  }
+  std::printf("%s: valid Prometheus exposition (%zu samples, %zu TYPE declarations)\n",
+              path.c_str(), page->samples.size(), page->types.size());
+  return kExitOk;
+}
+
 int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsKind backend) {
   Model model;
   int exit_code = kExitOk;
@@ -403,11 +436,12 @@ int Usage() {
                "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
                "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n"
                "       zkml_cli audit <model-file> [seed]\n"
-               "       zkml_cli telemetry-validate <json-file>\n");
+               "       zkml_cli telemetry-validate [--prometheus] <file>\n");
   return kExitUsage;
 }
 
-int Dispatch(const std::vector<std::string>& args, const std::string& report_path) {
+int Dispatch(const std::vector<std::string>& args, const std::string& report_path,
+             bool prometheus) {
   if (args.size() < 2) {
     return Usage();
   }
@@ -447,7 +481,7 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
     return CmdAudit(args[1], seed, report_path);
   }
   if (cmd == "telemetry-validate") {
-    return CmdTelemetryValidate(args[1]);
+    return prometheus ? CmdTelemetryValidatePrometheus(args[1]) : CmdTelemetryValidate(args[1]);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return kExitUsage;
@@ -460,6 +494,7 @@ int main(int argc, char** argv) {
   using namespace zkml;
   // Telemetry flags may appear anywhere; everything else is positional.
   std::string trace_path, metrics_path, report_path;
+  bool prometheus = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -469,6 +504,8 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg == "--prometheus") {
+      prometheus = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return Usage();
@@ -485,7 +522,7 @@ int main(int argc, char** argv) {
   {
     // The scope must close before export so every span has ended.
     obs::TracerScope scope(trace_path.empty() ? nullptr : &tracer);
-    code = Dispatch(args, report_path);
+    code = Dispatch(args, report_path, prometheus);
   }
   if (!trace_path.empty()) {
     if (Status s = tracer.WriteChromeTrace(trace_path); !s.ok()) {

@@ -10,6 +10,14 @@
 //   zkml_loadgen --port=N [--host=H] [--zoo=mnist-cnn | --model=<file>]
 //                [--requests=N] [--workers=N] [--rate=R] [--deadline-ms=N]
 //                [--backend=kzg|ipa] [--timeout-ms=N] [--seed=N]
+//                [--out=<file>] [--admin-port=N] [--require-server-match]
+//
+// --out writes the full run as a JSON artifact (schema "zkml.loadgen/v1").
+// --admin-port scrapes the daemon's /metrics page before and after the run
+// and prints the server-side view (jobs_completed delta, p50/p99 from the
+// serve_job_seconds bucket delta) next to the client-side numbers;
+// --require-server-match exits 2 if the server's completed-job count
+// disagrees with the client's.
 //
 // Fault mode (--fault=N): N seeded hostile interactions — truncated frames,
 // oversize length prefixes, garbage behind a valid header, corrupt CRCs,
@@ -26,15 +34,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/base/byte_mutator.h"
+#include "src/base/http.h"
 #include "src/base/rng.h"
 #include "src/model/serialize.h"
 #include "src/model/zoo.h"
+#include "src/obs/exposition.h"
+#include "src/obs/json.h"
 #include "src/serve/client.h"
 
 namespace zkml {
@@ -56,6 +68,10 @@ struct LoadgenOptions {
   int timeout_ms = 120000;
   uint64_t seed = 1;
   int fault = 0;  // >0: run the fault injector with this many interactions
+
+  std::string out_file;            // JSON artifact (zkml.loadgen/v1)
+  int admin_port = 0;              // >0: scrape /metrics before + after
+  bool require_server_match = false;
 };
 
 struct Outcomes {
@@ -76,9 +92,82 @@ double Percentile(std::vector<double>& v, double p) {
   return v[i];
 }
 
+// --- Server-side view via the admin plane ---
+
+// One /metrics scrape, parsed and validated.
+StatusOr<obs::PromText> ScrapeMetrics(const std::string& host, int port) {
+  ZKML_ASSIGN_OR_RETURN(HttpResponse resp,
+                        HttpGet(host, static_cast<uint16_t>(port), "/metrics", 5000));
+  if (resp.status_code != 200) {
+    return IoError("/metrics answered HTTP " + std::to_string(resp.status_code));
+  }
+  return obs::ParsePrometheusText(resp.body);
+}
+
+double SampleValue(const obs::PromText& page, std::string_view name) {
+  const obs::PromSample* s = page.Find(name);
+  return s == nullptr ? 0.0 : s->value;
+}
+
+// Rebuilds cumulative histogram state for `name` from its _bucket samples
+// (page order preserves ascending le; the +Inf bucket lands in the overflow
+// slot).
+obs::HistogramSnapshot HistogramFromSamples(const obs::PromText& page, const std::string& name) {
+  obs::HistogramSnapshot h;
+  const std::string bucket_name = name + "_bucket";
+  for (const obs::PromSample& s : page.samples) {
+    if (s.name != bucket_name) continue;
+    const std::string* le = s.LabelValue("le");
+    if (le == nullptr) continue;
+    if (*le == "+Inf") {
+      h.cumulative.push_back(static_cast<uint64_t>(s.value));
+    } else {
+      h.bounds.push_back(std::strtod(le->c_str(), nullptr));
+      h.cumulative.push_back(static_cast<uint64_t>(s.value));
+    }
+  }
+  if (!h.cumulative.empty()) h.count = h.cumulative.back();
+  h.sum = SampleValue(page, name + "_sum");
+  return h;
+}
+
+// after - before, bucket-wise. Empty when the scrapes do not line up.
+obs::HistogramSnapshot HistogramDelta(const obs::HistogramSnapshot& before,
+                                      const obs::HistogramSnapshot& after) {
+  obs::HistogramSnapshot d;
+  if (before.bounds != after.bounds || before.cumulative.size() != after.cumulative.size()) {
+    return after;  // fresh daemon or layout change: the after-state is the run
+  }
+  d.bounds = after.bounds;
+  d.cumulative.resize(after.cumulative.size());
+  for (size_t i = 0; i < after.cumulative.size(); ++i) {
+    d.cumulative[i] =
+        after.cumulative[i] >= before.cumulative[i] ? after.cumulative[i] - before.cumulative[i] : 0;
+  }
+  d.count = d.cumulative.empty() ? 0 : d.cumulative.back();
+  d.sum = after.sum - before.sum;
+  return d;
+}
+
 int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
   Outcomes out;
   std::atomic<int> next_request{0};
+
+  // Pre-run scrape: against a long-lived daemon only the delta across this
+  // run is ours, so both the counter and the latency buckets are differenced.
+  bool scraped = false;
+  obs::PromText before;
+  if (opt.admin_port > 0) {
+    StatusOr<obs::PromText> page = ScrapeMetrics(opt.host, opt.admin_port);
+    if (page.ok()) {
+      before = std::move(*page);
+      scraped = true;
+    } else {
+      std::fprintf(stderr, "pre-run /metrics scrape failed: %s\n",
+                   page.status().ToString().c_str());
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
 
   auto worker = [&](int wid) {
@@ -146,11 +235,94 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
               static_cast<unsigned long long>(out.other_error),
               static_cast<unsigned long long>(out.transport),
               static_cast<unsigned long long>(out.cache_hits));
+  const double p50 = Percentile(out.latencies_s, 0.5);
+  const double p90 = Percentile(out.latencies_s, 0.9);
+  const double p99 = Percentile(out.latencies_s, 0.99);
+  const double pmax = Percentile(out.latencies_s, 1.0);
   if (!out.latencies_s.empty()) {
-    std::printf("  proofs/sec=%.3f p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
-                static_cast<double>(out.ok) / wall, Percentile(out.latencies_s, 0.5),
-                Percentile(out.latencies_s, 0.9), Percentile(out.latencies_s, 0.99),
-                Percentile(out.latencies_s, 1.0));
+    std::printf("  client: proofs/sec=%.3f p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+                static_cast<double>(out.ok) / wall, p50, p90, p99, pmax);
+  }
+
+  // Post-run scrape: the server's own account of the same run.
+  bool server_view = false;
+  bool server_match = true;
+  uint64_t server_completed = 0;
+  obs::HistogramSnapshot server_hist;
+  if (scraped) {
+    StatusOr<obs::PromText> page = ScrapeMetrics(opt.host, opt.admin_port);
+    if (page.ok()) {
+      server_view = true;
+      const double completed_before = SampleValue(before, "serve_jobs_completed");
+      const double completed_after = SampleValue(*page, "serve_jobs_completed");
+      server_completed = static_cast<uint64_t>(completed_after - completed_before);
+      server_hist = HistogramDelta(HistogramFromSamples(before, "serve_job_seconds"),
+                                   HistogramFromSamples(*page, "serve_job_seconds"));
+      std::printf("  server: jobs_completed=%llu p50=%.3fs p99=%.3fs "
+                  "(from serve_job_seconds bucket delta)\n",
+                  static_cast<unsigned long long>(server_completed),
+                  obs::HistogramQuantile(server_hist, 0.5),
+                  obs::HistogramQuantile(server_hist, 0.99));
+      if (server_completed != out.ok) {
+        server_match = false;
+        std::fprintf(stderr,
+                     "loadgen: server counted %llu completed jobs, client saw %llu OK responses\n",
+                     static_cast<unsigned long long>(server_completed),
+                     static_cast<unsigned long long>(out.ok));
+      }
+    } else {
+      std::fprintf(stderr, "post-run /metrics scrape failed: %s\n",
+                   page.status().ToString().c_str());
+    }
+  }
+
+  if (!opt.out_file.empty()) {
+    obs::Json doc = obs::Json::Object();
+    doc.Set("schema", "zkml.loadgen/v1");
+    doc.Set("requests", static_cast<uint64_t>(opt.requests));
+    doc.Set("workers", static_cast<uint64_t>(opt.workers));
+    doc.Set("rate_per_sec", opt.rate);
+    doc.Set("backend", opt.backend == 1 ? "ipa" : "kzg");
+    doc.Set("deadline_ms", static_cast<uint64_t>(opt.deadline_ms));
+    doc.Set("wall_s", wall);
+    obs::Json outcomes = obs::Json::Object();
+    outcomes.Set("ok", out.ok);
+    outcomes.Set("overloaded", out.overloaded);
+    outcomes.Set("deadline", out.deadline);
+    outcomes.Set("other_error", out.other_error);
+    outcomes.Set("transport", out.transport);
+    outcomes.Set("cache_hits", out.cache_hits);
+    doc.Set("outcomes", std::move(outcomes));
+    obs::Json client = obs::Json::Object();
+    client.Set("proofs_per_sec", wall > 0 ? static_cast<double>(out.ok) / wall : 0.0);
+    client.Set("p50_s", p50);
+    client.Set("p90_s", p90);
+    client.Set("p99_s", p99);
+    client.Set("max_s", pmax);
+    obs::Json lat = obs::Json::Array();
+    for (double s : out.latencies_s) lat.Append(s);
+    client.Set("latencies_s", std::move(lat));
+    doc.Set("client", std::move(client));
+    if (server_view) {
+      obs::Json server = obs::Json::Object();
+      server.Set("jobs_completed", server_completed);
+      server.Set("p50_s", obs::HistogramQuantile(server_hist, 0.5));
+      server.Set("p99_s", obs::HistogramQuantile(server_hist, 0.99));
+      server.Set("matches_client", server_match);
+      doc.Set("server", std::move(server));
+    }
+    std::ofstream f(opt.out_file);
+    f << doc.DumpPretty() << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.out_file.c_str());
+      return 1;
+    }
+  }
+
+  if (opt.require_server_match && (!server_view || !server_match)) {
+    std::fprintf(stderr, "loadgen: --require-server-match failed (%s)\n",
+                 server_view ? "count mismatch" : "scrape unavailable");
+    return 2;
   }
   return out.ok > 0 || opt.requests == 0 ? 0 : 2;
 }
@@ -277,7 +449,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: zkml_loadgen --port=N [--host=H] [--zoo=mnist | --model=<file>]\n"
                "                    [--requests=N] [--workers=N] [--rate=R] [--deadline-ms=N]\n"
-               "                    [--backend=kzg|ipa] [--timeout-ms=N] [--seed=N] [--fault=N]\n");
+               "                    [--backend=kzg|ipa] [--timeout-ms=N] [--seed=N] [--fault=N]\n"
+               "                    [--out=<file>] [--admin-port=N] [--require-server-match]\n");
   return 1;
 }
 
@@ -301,6 +474,9 @@ int Main(int argc, char** argv) {
     else if (const char* v = val("timeout-ms")) opt.timeout_ms = std::atoi(v);
     else if (const char* v = val("seed")) opt.seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = val("fault")) opt.fault = std::atoi(v);
+    else if (const char* v = val("out")) opt.out_file = v;
+    else if (const char* v = val("admin-port")) opt.admin_port = std::atoi(v);
+    else if (arg == "--require-server-match") opt.require_server_match = true;
     else { std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str()); return Usage(); }
   }
   if (opt.port == 0) return Usage();

@@ -7,12 +7,18 @@
 //              [--deadline-ms=N] [--max-deadline-ms=N] [--io-timeout-ms=N]
 //              [--drain-timeout-ms=N] [--max-frame-bytes=N]
 //              [--report-dir=<dir>] [--metrics=<file>] [--port-file=<file>]
+//              [--admin-port=N] [--admin-port-file=<file>]
+//              [--event-log=<file>] [--trace-sample-n=N] [--trace-ring=N]
 //
 // Prints "zkml_serve listening on 127.0.0.1:<port>" once ready (and writes
-// the bare port number to --port-file for scripts). SIGTERM or SIGINT starts
-// a graceful drain: admission stops (new requests answer SHUTTING_DOWN),
-// in-flight jobs finish or are cancelled after --drain-timeout-ms, metrics
-// flush, and the process exits 0. A second signal exits immediately.
+// the bare port number to --port-file for scripts). --admin-port starts the
+// HTTP ops plane (/metrics /healthz /statusz /tracez) on its own port
+// (0 = ephemeral, written to --admin-port-file); --event-log appends JSONL
+// operational events; --trace-sample-n=N traces every Nth job into /tracez.
+// SIGTERM or SIGINT starts a graceful drain: admission stops (new requests
+// answer SHUTTING_DOWN), in-flight jobs finish or are cancelled after
+// --drain-timeout-ms, metrics flush, and the process exits 0. A second
+// signal exits immediately.
 //
 // Exit codes: 0 clean drain, 1 usage/startup failure.
 #include <csignal>
@@ -50,7 +56,9 @@ int Usage() {
                "usage: zkml_serve [--port=N] [--workers=N] [--queue=N] [--cache=N]\n"
                "                  [--deadline-ms=N] [--max-deadline-ms=N] [--io-timeout-ms=N]\n"
                "                  [--drain-timeout-ms=N] [--max-frame-bytes=N]\n"
-               "                  [--report-dir=<dir>] [--metrics=<file>] [--port-file=<file>]\n");
+               "                  [--report-dir=<dir>] [--metrics=<file>] [--port-file=<file>]\n"
+               "                  [--admin-port=N] [--admin-port-file=<file>]\n"
+               "                  [--event-log=<file>] [--trace-sample-n=N] [--trace-ring=N]\n");
   return 1;
 }
 
@@ -59,12 +67,22 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace zkml;
   serve::ServeOptions options;
-  std::string metrics_path, port_file;
+  std::string metrics_path, port_file, admin_port_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     uint64_t v = 0;
     if (ParseUintFlag(arg, "port", &v)) {
       options.port = static_cast<uint16_t>(v);
+    } else if (ParseUintFlag(arg, "admin-port", &v)) {
+      options.admin_port = static_cast<int>(v);
+    } else if (ParseUintFlag(arg, "trace-sample-n", &v)) {
+      options.trace_sample_every = static_cast<uint32_t>(v);
+    } else if (ParseUintFlag(arg, "trace-ring", &v)) {
+      options.trace_ring_capacity = v;
+    } else if (arg.rfind("--event-log=", 0) == 0) {
+      options.event_log_path = arg.substr(12);
+    } else if (arg.rfind("--admin-port-file=", 0) == 0) {
+      admin_port_file = arg.substr(18);
     } else if (ParseUintFlag(arg, "workers", &v)) {
       options.num_workers = static_cast<int>(v);
     } else if (ParseUintFlag(arg, "queue", &v)) {
@@ -114,10 +132,19 @@ int main(int argc, char** argv) {
   std::printf("zkml_serve listening on 127.0.0.1:%u (workers=%d queue=%zu cache=%zu)\n",
               server.port(), options.num_workers, options.queue_capacity,
               options.cache_capacity);
+  if (server.admin_port() != 0) {
+    std::printf("zkml_serve admin plane on http://127.0.0.1:%u "
+                "(/metrics /healthz /statusz /tracez)\n",
+                server.admin_port());
+  }
   std::fflush(stdout);
   if (!port_file.empty()) {
     std::ofstream out(port_file);
     out << server.port() << "\n";
+  }
+  if (!admin_port_file.empty()) {
+    std::ofstream out(admin_port_file);
+    out << server.admin_port() << "\n";
   }
 
   while (g_signal_count == 0) {

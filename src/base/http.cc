@@ -1,0 +1,142 @@
+#include "src/base/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+
+namespace zkml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int MsLeft(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  return static_cast<int>(std::clamp<int64_t>(left.count(), 1, 1 << 30));
+}
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+// Offset one past the blank line ending the head, or npos.
+size_t FindHeadEnd(const std::string& buf) {
+  const size_t crlf = buf.find("\r\n\r\n");
+  const size_t lf = buf.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) {
+    return std::string::npos;
+  }
+  if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf)) {
+    return crlf + 4;
+  }
+  return lf + 2;
+}
+
+}  // namespace
+
+StatusOr<HttpRequest> ReadHttpRequest(const Socket& sock, int timeout_ms,
+                                      size_t max_head_bytes) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string buf;
+  while (FindHeadEnd(buf) == std::string::npos) {
+    if (buf.size() >= max_head_bytes) {
+      return IoError("http request head exceeds " + std::to_string(max_head_bytes) + " bytes");
+    }
+    char chunk[1024];
+    const size_t want = std::min(sizeof(chunk), max_head_bytes - buf.size());
+    ZKML_ASSIGN_OR_RETURN(const size_t n, sock.ReadSome(chunk, want, MsLeft(deadline)));
+    if (n == 0) {
+      return IoError("peer closed the stream mid-request (" + std::to_string(buf.size()) +
+                     " bytes of head)");
+    }
+    buf.append(chunk, n);
+  }
+
+  // Request line: METHOD SP target SP HTTP/major.minor
+  const size_t eol = buf.find_first_of("\r\n");
+  const std::string line = buf.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return ParseError("malformed http request line: '" + line + "'");
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (req.method.empty() ||
+      !std::all_of(req.method.begin(), req.method.end(),
+                   [](char c) { return std::isupper(static_cast<unsigned char>(c)); })) {
+    return ParseError("malformed http method: '" + req.method + "'");
+  }
+  if (req.target.empty() || req.target[0] != '/') {
+    return ParseError("http target must be origin-form: '" + req.target + "'");
+  }
+  if (version.rfind("HTTP/", 0) != 0) {
+    return ParseError("malformed http version: '" + version + "'");
+  }
+  return req;
+}
+
+Status WriteHttpResponse(const Socket& sock, int status_code, const std::string& content_type,
+                         const std::string& body, int timeout_ms) {
+  std::string head = "HTTP/1.0 " + std::to_string(status_code) + " " + StatusText(status_code) +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  ZKML_RETURN_IF_ERROR(sock.WriteFull(head.data(), head.size(), timeout_ms));
+  return sock.WriteFull(body.data(), body.size(), MsLeft(deadline));
+}
+
+StatusOr<HttpResponse> HttpGet(const std::string& host, uint16_t port, const std::string& target,
+                               int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  ZKML_ASSIGN_OR_RETURN(Socket sock, Socket::ConnectTcp(host, port, timeout_ms));
+  const std::string request = "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  ZKML_RETURN_IF_ERROR(sock.WriteFull(request.data(), request.size(), MsLeft(deadline)));
+
+  // HTTP/1.0 + Connection: close — the body ends at EOF.
+  std::string raw;
+  for (;;) {
+    char chunk[4096];
+    ZKML_ASSIGN_OR_RETURN(const size_t n, sock.ReadSome(chunk, sizeof(chunk), MsLeft(deadline)));
+    if (n == 0) {
+      break;
+    }
+    raw.append(chunk, n);
+    if (raw.size() > (64u << 20)) {
+      return IoError("http response exceeds 64 MiB");
+    }
+  }
+
+  const size_t eol = raw.find_first_of("\r\n");
+  if (raw.rfind("HTTP/", 0) != 0 || eol == std::string::npos) {
+    return ParseError("malformed http status line");
+  }
+  const std::string status_line = raw.substr(0, eol);
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    return ParseError("malformed http status line: '" + status_line + "'");
+  }
+  HttpResponse resp;
+  resp.status_code = std::atoi(status_line.c_str() + sp + 1);
+  if (resp.status_code < 100 || resp.status_code > 599) {
+    return ParseError("implausible http status code in '" + status_line + "'");
+  }
+  const size_t head_end = FindHeadEnd(raw);
+  resp.body = head_end == std::string::npos ? std::string() : raw.substr(head_end);
+  return resp;
+}
+
+}  // namespace zkml

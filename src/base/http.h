@@ -1,0 +1,54 @@
+// Minimal HTTP/1.0 on top of the Socket layer — exactly enough for the
+// zkml_serve admin plane (GET /metrics, /healthz, /statusz, /tracez) and
+// for clients scraping it (zkml_loadgen, tests, CI's curl). Deliberately
+// not a web server:
+//
+//   * requests: method + target parsed from the request line; headers are
+//     read (bounded) and discarded; bodies are not supported;
+//   * responses: always Connection: close with an explicit Content-Length —
+//     one request per connection, no keep-alive state to get wrong;
+//   * every byte is adversarial (this listens on a real port): the request
+//     head is capped, the request line validated, and every failure is a
+//     Status, never an abort.
+#ifndef SRC_BASE_HTTP_H_
+#define SRC_BASE_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/net.h"
+#include "src/base/status.h"
+
+namespace zkml {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string target;  // "/metrics" (query string kept verbatim if present)
+};
+
+// Reads and parses one request head (request line + headers, up to the
+// terminating blank line). kDeadlineExceeded when the head does not finish
+// within timeout_ms; kMalformedInput-style ParseError on bad syntax;
+// kIoError when the head exceeds max_head_bytes or the peer disconnects.
+StatusOr<HttpRequest> ReadHttpRequest(const Socket& sock, int timeout_ms,
+                                      size_t max_head_bytes = 8192);
+
+// Writes a complete HTTP/1.0 response (status line, Content-Type,
+// Content-Length, Connection: close, then body) within timeout_ms.
+Status WriteHttpResponse(const Socket& sock, int status_code, const std::string& content_type,
+                         const std::string& body, int timeout_ms);
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+// One-shot GET: connect, request, read to EOF, parse the status line, strip
+// headers. Returns the response whatever the status code — callers decide
+// whether 503 is an error (for /healthz during drain it is the answer).
+StatusOr<HttpResponse> HttpGet(const std::string& host, uint16_t port, const std::string& target,
+                               int timeout_ms);
+
+}  // namespace zkml
+
+#endif  // SRC_BASE_HTTP_H_

@@ -120,6 +120,23 @@ Status Socket::ReadFull(void* buf, size_t len, int timeout_ms) const {
   return Status::Ok();
 }
 
+StatusOr<size_t> Socket::ReadSome(void* buf, size_t len, int timeout_ms) const {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) {
+      return static_cast<size_t>(n);  // 0 = clean EOF
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Errno("recv");
+    }
+    ZKML_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "read"));
+  }
+}
+
 Status Socket::WriteFull(const void* buf, size_t len, int timeout_ms) const {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const uint8_t* p = static_cast<const uint8_t*>(buf);

@@ -50,6 +50,12 @@ class Socket {
   // stream first (message includes how many bytes had arrived).
   Status ReadFull(void* buf, size_t len, int timeout_ms) const;
 
+  // Reads whatever is available, up to `len` bytes: blocks until at least
+  // one byte arrives or timeout_ms passes (kDeadlineExceeded). Returns 0
+  // only on clean EOF. Used by delimiter-framed readers (HTTP) where the
+  // message length is unknown up front.
+  StatusOr<size_t> ReadSome(void* buf, size_t len, int timeout_ms) const;
+
   // Writes exactly `len` bytes within timeout_ms (same failure contract).
   Status WriteFull(const void* buf, size_t len, int timeout_ms) const;
 

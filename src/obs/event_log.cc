@@ -1,0 +1,66 @@
+#include "src/obs/event_log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+namespace zkml {
+namespace obs {
+
+StatusOr<std::unique_ptr<EventLog>> EventLog::Open(std::string path, size_t max_bytes) {
+  std::unique_ptr<EventLog> log(new EventLog(std::move(path), max_bytes));
+  log->out_.open(log->path_, std::ios::out | std::ios::trunc);
+  if (!log->out_) {
+    return IoError("cannot open event log: " + log->path_);
+  }
+  return log;
+}
+
+void EventLog::Log(const std::string& event, Json fields) {
+  const uint64_t ts_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  Json line = Json::Object();
+  line.Set("ts_ms", ts_ms);
+  line.Set("event", event);
+  if (fields.is_object()) {
+    for (const auto& [key, value] : fields.members()) {
+      line.Set(key, value);
+    }
+  }
+  const std::string text = line.Dump() + "\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_ > 0 && bytes_ + text.size() > max_bytes_) {
+    RotateLocked();
+  }
+  out_ << text;
+  out_.flush();  // events are for post-mortems: losing buffered tail defeats the point
+  if (!out_) {
+    ++stats_.write_failures;
+    out_.clear();  // keep trying; a transient ENOSPC must not wedge the stream
+  } else {
+    bytes_ += text.size();
+    ++stats_.events;
+  }
+}
+
+void EventLog::RotateLocked() {
+  out_.close();
+  // Best-effort: a failed rename just means the fresh file overwrites in
+  // place; the log keeps flowing either way.
+  (void)std::rename(path_.c_str(), (path_ + ".1").c_str());
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  bytes_ = 0;
+  ++stats_.rotations;
+}
+
+EventLog::Stats EventLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace obs
+}  // namespace zkml

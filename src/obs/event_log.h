@@ -1,0 +1,63 @@
+// Structured operational event log: one JSON object per line (JSONL), each
+// stamped with a wall-clock timestamp and an event name, e.g.
+//
+//   {"ts_ms":1754550000123,"event":"job_admitted","job_id":7,"queue_depth":2}
+//
+// The log is an ops artifact, not a request path: Log() never throws and
+// never fails the caller — write errors are swallowed and counted. Rotation
+// is size-capped: when the current file would exceed max_bytes it is renamed
+// to "<path>.1" (replacing the previous rotation) and a fresh file starts,
+// so a long-lived daemon holds at most ~2x max_bytes of events on disk.
+#ifndef SRC_OBS_EVENT_LOG_H_
+#define SRC_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/obs/json.h"
+
+namespace zkml {
+namespace obs {
+
+class EventLog {
+ public:
+  // Creates/truncates `path`. kIoError when the file cannot be opened.
+  static StatusOr<std::unique_ptr<EventLog>> Open(std::string path,
+                                                  size_t max_bytes = 8u << 20);
+
+  // Appends one event line. `fields` must be a JSON object (or null); its
+  // members follow the ts_ms/event stamps in order. Thread-safe.
+  void Log(const std::string& event, Json fields = Json::Object());
+
+  struct Stats {
+    uint64_t events = 0;
+    uint64_t rotations = 0;
+    uint64_t write_failures = 0;
+  };
+  Stats stats() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  EventLog(std::string path, size_t max_bytes)
+      : path_(std::move(path)), max_bytes_(max_bytes) {}
+
+  void RotateLocked();
+
+  const std::string path_;
+  const size_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_EVENT_LOG_H_

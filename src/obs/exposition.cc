@@ -1,0 +1,338 @@
+#include "src/obs/exposition.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace zkml {
+namespace obs {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStartChar(c) || (c >= '0' && c <= '9'); }
+
+bool IsLabelStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsLabelChar(char c) { return IsLabelStartChar(c) || (c >= '0' && c <= '9'); }
+
+// Shortest stable rendering: integral values print without a fraction (the
+// common case — bucket counts, counter values), everything else as %.12g.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+// Label-value escaping per the exposition format: backslash, quote, newline.
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty() || !IsNameStartChar(name[0])) {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), IsNameChar);
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  if (name.empty()) {
+    return "_";
+  }
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!IsNameStartChar(name[0])) {
+    // A digit is a legal interior character — keep it behind a '_' prefix
+    // instead of erasing it ("2pc.latency" -> "_2pc_latency").
+    if (IsNameChar(name[0])) {
+      out += '_';
+      out += name[0];
+    } else {
+      out += '_';
+    }
+  } else {
+    out += name[0];
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    out += IsNameChar(name[i]) ? name[i] : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Names are emitted first-wins: two registry names that sanitize to the
+  // same exposition name would otherwise produce duplicate series, which
+  // Prometheus rejects wholesale.
+  std::set<std::string> emitted;
+  auto claim = [&emitted](const std::string& raw) -> std::string {
+    std::string name = SanitizeMetricName(raw);
+    return emitted.insert(name).second ? name : std::string();
+  };
+
+  for (const auto& [raw, value] : snapshot.counters) {
+    const std::string name = claim(raw);
+    if (name.empty()) continue;
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + FormatValue(static_cast<double>(value)) + "\n";
+  }
+  for (const auto& [raw, value] : snapshot.gauges) {
+    const std::string name = claim(raw);
+    if (name.empty()) continue;
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatValue(value) + "\n";
+  }
+  for (const auto& [raw, h] : snapshot.histograms) {
+    const std::string name = claim(raw);
+    if (name.empty()) continue;
+    out += "# TYPE " + name + " histogram\n";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      out += name + "_bucket{le=\"" + EscapeLabelValue(FormatValue(h.bounds[i])) + "\"} " +
+             FormatValue(static_cast<double>(h.cumulative[i])) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + FormatValue(static_cast<double>(h.count)) + "\n";
+    out += name + "_sum " + FormatValue(h.sum) + "\n";
+    out += name + "_count " + FormatValue(static_cast<double>(h.count)) + "\n";
+  }
+  return out;
+}
+
+double HistogramQuantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0 || h.cumulative.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(h.count);
+  size_t i = 0;
+  while (i < h.cumulative.size() && static_cast<double>(h.cumulative[i]) < rank) {
+    ++i;
+  }
+  if (i >= h.bounds.size()) {
+    // The quantile lands in the +Inf bucket: the histogram cannot resolve
+    // past its last finite bound, so report that bound (PromQL does the
+    // same).
+    return h.bounds.empty() ? 0.0 : h.bounds.back();
+  }
+  const double cum_prev = i == 0 ? 0.0 : static_cast<double>(h.cumulative[i - 1]);
+  const double in_bucket = static_cast<double>(h.cumulative[i]) - cum_prev;
+  const double upper = h.bounds[i];
+  const double lower = i == 0 ? std::min(0.0, upper) : h.bounds[i - 1];
+  if (in_bucket <= 0.0) {
+    return upper;
+  }
+  return lower + (upper - lower) * ((rank - cum_prev) / in_bucket);
+}
+
+const std::string* PromSample::LabelValue(std::string_view key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const PromSample* PromText::Find(std::string_view name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const PromSample* PromText::Find(std::string_view name, std::string_view label,
+                                 std::string_view value) const {
+  for (const auto& s : samples) {
+    if (s.name != name) continue;
+    const std::string* v = s.LabelValue(label);
+    if (v != nullptr && *v == value) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& what) {
+  return ParseError("prometheus text line " + std::to_string(line_no) + ": " + what);
+}
+
+// Parses one sample line ("name{label=\"v\",...} value [timestamp]").
+Status ParseSampleLine(std::string_view line, size_t line_no, PromSample* out) {
+  size_t i = 0;
+  if (i >= line.size() || !IsNameStartChar(line[i])) {
+    return LineError(line_no, "metric name must start with [a-zA-Z_:]");
+  }
+  while (i < line.size() && IsNameChar(line[i])) ++i;
+  out->name = std::string(line.substr(0, i));
+
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      size_t start = i;
+      if (!IsLabelStartChar(line[i])) {
+        return LineError(line_no, "label name must start with [a-zA-Z_]");
+      }
+      while (i < line.size() && IsLabelChar(line[i])) ++i;
+      const std::string label(line.substr(start, i - start));
+      if (i >= line.size() || line[i] != '=') {
+        return LineError(line_no, "expected '=' after label name '" + label + "'");
+      }
+      ++i;
+      if (i >= line.size() || line[i] != '"') {
+        return LineError(line_no, "label value must be double-quoted");
+      }
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i++];
+        if (c == '"') {
+          closed = true;
+          break;
+        }
+        if (c == '\\') {
+          if (i >= line.size()) {
+            return LineError(line_no, "dangling backslash in label value");
+          }
+          const char esc = line[i++];
+          if (esc == 'n') {
+            value += '\n';
+          } else if (esc == '\\' || esc == '"') {
+            value += esc;
+          } else {
+            return LineError(line_no, std::string("bad escape '\\") + esc + "' in label value");
+          }
+        } else {
+          value += c;
+        }
+      }
+      if (!closed) {
+        return LineError(line_no, "unterminated label value");
+      }
+      out->labels.emplace_back(label, std::move(value));
+      if (i < line.size() && line[i] == ',') {
+        ++i;  // trailing comma before '}' is legal in the format
+      }
+    }
+    if (i >= line.size() || line[i] != '}') {
+      return LineError(line_no, "unterminated label set");
+    }
+    ++i;
+  }
+
+  if (i >= line.size() || (line[i] != ' ' && line[i] != '\t')) {
+    return LineError(line_no, "expected whitespace before the sample value");
+  }
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  size_t vstart = i;
+  while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+  const std::string token(line.substr(vstart, i - vstart));
+  if (token.empty()) {
+    return LineError(line_no, "missing sample value");
+  }
+  if (token == "+Inf" || token == "Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+  } else if (token == "-Inf") {
+    out->value = -std::numeric_limits<double>::infinity();
+  } else if (token == "NaN") {
+    out->value = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    char* end = nullptr;
+    out->value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return LineError(line_no, "unparseable sample value '" + token + "'");
+    }
+  }
+
+  // Optional integer timestamp (milliseconds), then nothing else.
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i < line.size()) {
+    size_t tstart = i;
+    if (line[i] == '-') ++i;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) ++i;
+    if (i == tstart || i != line.size()) {
+      return LineError(line_no, "trailing garbage after sample value");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<PromText> ParsePrometheusText(std::string_view text) {
+  PromText out;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      nl = text.size();
+    }
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (line[0] == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          return LineError(line_no, "TYPE line needs '# TYPE <name> <type>'");
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string type(rest.substr(sp + 1));
+        if (!IsValidMetricName(name)) {
+          return LineError(line_no, "TYPE line names invalid metric '" + name + "'");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" && type != "summary" &&
+            type != "untyped") {
+          return LineError(line_no, "unknown metric type '" + type + "'");
+        }
+        out.types.emplace_back(name, type);
+      }
+      continue;  // HELP and free-form comments are legal
+    }
+    PromSample sample;
+    ZKML_RETURN_IF_ERROR(ParseSampleLine(line, line_no, &sample));
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace zkml

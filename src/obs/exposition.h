@@ -1,0 +1,78 @@
+// Prometheus text exposition (format 0.0.4) for MetricsSnapshot, plus the
+// supporting math and a strict parser:
+//
+//   * SanitizeMetricName maps the registry's dotted names ("serve.queue_depth")
+//     onto the Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*) — '.' and every
+//     other invalid character become '_', and a leading digit gains a '_'
+//     prefix, so no registered name can produce an unscrapeable page;
+//   * RenderPrometheus emits counters, gauges, then histograms, each
+//     name-sorted, histograms as the _bucket/_sum/_count triplet with an
+//     explicit le="+Inf" bucket equal to _count;
+//   * HistogramQuantile estimates p50/p90/p99 from cumulative bucket counts
+//     with linear interpolation inside the winning bucket (the same estimate
+//     PromQL's histogram_quantile computes server-side);
+//   * ParsePrometheusText validates a scraped page line-by-line (used by
+//     `zkml_cli telemetry-validate --prometheus` and zkml_loadgen's
+//     before/after scrape) and hands back the samples.
+#ifndef SRC_OBS_EXPOSITION_H_
+#define SRC_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obs/metrics.h"
+
+namespace zkml {
+namespace obs {
+
+// True when `name` already satisfies the Prometheus metric-name grammar.
+bool IsValidMetricName(std::string_view name);
+
+// Rewrites `name` into a valid Prometheus metric name ('.' -> '_', any other
+// invalid character -> '_', leading digit gets a '_' prefix). Empty input
+// becomes "_".
+std::string SanitizeMetricName(std::string_view name);
+
+// The full scrape page for one snapshot. Deterministic: given equal
+// snapshots the output is byte-identical (golden-file tested).
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+// Quantile estimate (q in [0,1]) from cumulative bucket counts. Linear
+// interpolation within the winning bucket, lower edge 0 for the first
+// bucket; a quantile landing in the +Inf bucket reports the last finite
+// bound (the histogram cannot resolve beyond it). Returns 0 for an empty
+// histogram.
+double HistogramQuantile(const HistogramSnapshot& h, double q);
+
+// One parsed sample line: name, label pairs in page order, value.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+
+  const std::string* LabelValue(std::string_view key) const;
+};
+
+struct PromText {
+  std::vector<PromSample> samples;
+  std::vector<std::pair<std::string, std::string>> types;  // name -> TYPE
+
+  // First sample with this name (and, for the two-argument form, carrying
+  // label == value); nullptr when absent.
+  const PromSample* Find(std::string_view name) const;
+  const PromSample* Find(std::string_view name, std::string_view label,
+                         std::string_view value) const;
+};
+
+// Strict line-by-line validation of a text-exposition page. Rejects bad
+// metric names, malformed label syntax, unparseable values, and malformed
+// TYPE lines with a ParseError naming the line number.
+StatusOr<PromText> ParsePrometheusText(std::string_view text);
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_EXPOSITION_H_

@@ -9,6 +9,7 @@ namespace obs {
 
 Histogram::Histogram(std::vector<double> bucket_bounds) : bounds_(std::move(bucket_bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   counts_.reset(new std::atomic<uint64_t>[bounds_.size() + 1]);
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
@@ -67,6 +68,38 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<doubl
     slot.reset(new Histogram(std::move(bucket_bounds)));
   }
   return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bucket_bounds();
+    const std::vector<uint64_t> counts = h->BucketCounts();
+    hs.cumulative.resize(counts.size());
+    uint64_t running = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      running += counts[i];
+      hs.cumulative[i] = running;
+    }
+    // Derive the total from the buckets (one coherent read of counts_), not
+    // from the separately-updated count_ atomic: a snapshot taken between a
+    // Record()'s two increments must still satisfy count == bucket sum.
+    hs.count = running;
+    hs.sum = h->Sum();
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
 }
 
 Json MetricsRegistry::ToJson() const {

@@ -44,8 +44,10 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Fixed upper-bound buckets plus an implicit overflow bucket; tracks count
-// and sum so mean and rough quantiles are recoverable.
+// Fixed upper-bound buckets plus an explicit +Inf overflow bucket: a value
+// above the last finite bound lands in the overflow bucket, so the bucket
+// counts always sum to the total count (the Prometheus histogram contract).
+// Tracks count and sum so mean and quantile estimates are recoverable.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bucket_bounds);
@@ -53,7 +55,7 @@ class Histogram {
   void Record(double v);
 
   const std::vector<double>& bucket_bounds() const { return bounds_; }
-  // counts.size() == bucket_bounds().size() + 1 (last = overflow).
+  // counts.size() == bucket_bounds().size() + 1 (last = the +Inf bucket).
   std::vector<uint64_t> BucketCounts() const;
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const;
@@ -63,6 +65,27 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+// One histogram read coherently for exposition. `cumulative[i]` counts the
+// samples <= bounds[i]; the final entry is the +Inf bucket. `count` is
+// derived from the bucket counts themselves (not the histogram's separate
+// total), so `_count` always equals the bucket sum even when the snapshot
+// races with Record().
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // finite upper bounds, ascending
+  std::vector<uint64_t> cumulative;  // size == bounds.size() + 1; last = +Inf
+  uint64_t count = 0;                // == cumulative.back()
+  double sum = 0.0;
+};
+
+// A point-in-time copy of every registered metric, name-sorted. This is the
+// unit the /metrics exposition renders: the registry lock is held only while
+// copying, never while formatting or writing to a socket.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 };
 
 class MetricsRegistry {
@@ -76,6 +99,8 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bucket_bounds);
+
+  MetricsSnapshot Snapshot() const;
 
   Json ToJson() const;  // schema "zkml.metrics/v1"
   Status WriteFile(const std::string& path) const;

@@ -154,5 +154,29 @@ void Span::End() {
   SetTaskContext(saved_);
 }
 
+void TraceRing::Add(Json trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= capacity_) {
+    ring_.erase(ring_.begin());
+  }
+  ring_.push_back(std::move(trace));
+  ++added_;
+}
+
+std::vector<Json> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+uint64_t TraceRing::added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
 }  // namespace obs
 }  // namespace zkml

@@ -114,6 +114,31 @@ class TracerScope {
 // The tracer installed on the calling thread, if any.
 inline Tracer* CurrentTracer() { return static_cast<Tracer*>(GetTaskContext().trace_context); }
 
+// Bounded ring of sampled trace documents (each a "zkml.trace/v1" report,
+// typically with caller-added identifiers such as job_id). The newest
+// `capacity` traces are kept; older ones fall off, so a long-lived daemon
+// holds constant memory no matter how many jobs it samples. Backs /tracez.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Add(Json trace);
+  std::vector<Json> Snapshot() const;  // oldest first
+
+  size_t capacity() const { return capacity_; }
+  uint64_t added() const;  // total Add() calls, including evicted entries
+  size_t size() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Json> ring_;  // insertion order, oldest first
+  uint64_t added_ = 0;
+};
+
 // RAII span. Construction opens it under the innermost open span on this
 // thread (becoming the new innermost); End()/destruction closes it and
 // records the kernel-counter delta. Spans on one thread must close in LIFO

@@ -1,0 +1,70 @@
+#include "src/obs/windows.h"
+
+#include <algorithm>
+
+namespace zkml {
+namespace obs {
+
+namespace {
+// Keep a little more than the longest window so the 60s rate always has an
+// anchor sample at or before now-60s.
+constexpr std::chrono::seconds kRetention{75};
+}  // namespace
+
+void RateWindows::Sample(const std::string& name, uint64_t value, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_[name];
+  if (!s.samples.empty()) {
+    if (value < s.samples.back().second) {
+      s.samples.clear();  // counter reset: stale anchors would go negative
+    } else if (now <= s.samples.back().first) {
+      s.samples.back().second = value;  // same instant: keep the newest value
+      return;
+    }
+  }
+  s.samples.emplace_back(now, value);
+  const Clock::time_point horizon = now - kRetention;
+  while (s.samples.size() > 1 && s.samples[1].first <= horizon) {
+    s.samples.pop_front();
+  }
+}
+
+double RateWindows::RateOver(const Series& s, double window_s, Clock::time_point now) {
+  if (s.samples.size() < 2) {
+    return 0.0;
+  }
+  const Clock::time_point cutoff =
+      now - std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(window_s));
+  // Newest sample at or before the window start; the oldest sample anchors
+  // when history is shorter than the window.
+  const auto& anchor = [&]() -> const std::pair<Clock::time_point, uint64_t>& {
+    for (size_t i = s.samples.size(); i-- > 1;) {
+      if (s.samples[i - 1].first <= cutoff) {
+        return s.samples[i - 1];
+      }
+    }
+    return s.samples.front();
+  }();
+  const auto& newest = s.samples.back();
+  const double elapsed = std::chrono::duration<double>(newest.first - anchor.first).count();
+  if (elapsed <= 1e-6) {
+    return 0.0;
+  }
+  return static_cast<double>(newest.second - anchor.second) / elapsed;
+}
+
+RateWindows::Rates RateWindows::RatesFor(const std::string& name, Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rates r;
+  const auto it = series_.find(name);
+  if (it == series_.end()) {
+    return r;
+  }
+  r.per_sec_1s = RateOver(it->second, 1.0, now);
+  r.per_sec_10s = RateOver(it->second, 10.0, now);
+  r.per_sec_60s = RateOver(it->second, 60.0, now);
+  return r;
+}
+
+}  // namespace obs
+}  // namespace zkml

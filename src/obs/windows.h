@@ -1,0 +1,59 @@
+// Rolling windowed rates for monotonic counters. A periodic sampler (the
+// serve watchdog ticks every ~50ms) feeds cumulative counter values in via
+// Sample(); RatesFor() then answers "events per second over the trailing
+// 1s / 10s / 60s" — the live view /statusz needs and Prometheus only gets
+// after a scrape interval.
+//
+// Implementation: per counter, a time-ordered deque of (steady time, value)
+// samples pruned past the longest window. The rate over window W divides
+// the value delta since the newest sample at least W old by the actual
+// elapsed time (so irregular sampling never inflates a rate). With history
+// shorter than W the oldest sample anchors the rate — a counter observed
+// for 3 seconds reports its 3-second rate in the 60s slot rather than
+// pretending 57 seconds of zeros.
+#ifndef SRC_OBS_WINDOWS_H_
+#define SRC_OBS_WINDOWS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace zkml {
+namespace obs {
+
+class RateWindows {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Rates {
+    double per_sec_1s = 0.0;
+    double per_sec_10s = 0.0;
+    double per_sec_60s = 0.0;
+  };
+
+  // Records the current cumulative value of counter `name`. Values are
+  // expected to be monotonic; a decrease (counter reset) restarts the
+  // series so no window ever reports a negative rate.
+  void Sample(const std::string& name, uint64_t value, Clock::time_point now = Clock::now());
+
+  Rates RatesFor(const std::string& name, Clock::time_point now = Clock::now()) const;
+
+ private:
+  struct Series {
+    std::deque<std::pair<Clock::time_point, uint64_t>> samples;
+  };
+
+  static double RateOver(const Series& s, double window_s, Clock::time_point now);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace obs
+}  // namespace zkml
+
+#endif  // SRC_OBS_WINDOWS_H_

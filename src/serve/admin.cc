@@ -1,0 +1,74 @@
+#include "src/serve/admin.h"
+
+#include "src/base/http.h"
+
+namespace zkml {
+namespace serve {
+
+void AdminServer::AddRoute(std::string path, std::string content_type, Handler handler) {
+  routes_.push_back({std::move(path), std::move(content_type), std::move(handler)});
+}
+
+Status AdminServer::Start() {
+  ZKML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread(&AdminServer::Loop, this);
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  listener_.Close();
+}
+
+void AdminServer::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    StatusOr<Socket> sock = listener_.Accept(options_.poll_interval_ms);
+    if (!sock.ok()) {
+      if (sock.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // poll tick: re-check the stop flag
+      }
+      return;  // listener closed
+    }
+    HandleOne(std::move(*sock));
+  }
+}
+
+void AdminServer::HandleOne(Socket sock) {
+  StatusOr<HttpRequest> req = ReadHttpRequest(sock, options_.io_timeout_ms);
+  if (!req.ok()) {
+    if (req.status().code() == StatusCode::kParseError) {
+      (void)WriteHttpResponse(sock, 400, "text/plain", req.status().message() + "\n",
+                              options_.io_timeout_ms);
+    }
+    return;  // slow or disconnected peer: nothing useful to say
+  }
+  if (req->method != "GET" && req->method != "HEAD") {
+    (void)WriteHttpResponse(sock, 405, "text/plain", "only GET is supported\n",
+                            options_.io_timeout_ms);
+    return;
+  }
+  const std::string path = req->target.substr(0, req->target.find('?'));
+  for (const Route& route : routes_) {
+    if (route.path != path) {
+      continue;
+    }
+    auto [code, body] = route.handler();
+    if (req->method == "HEAD") {
+      body.clear();
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    (void)WriteHttpResponse(sock, code, route.content_type, body, options_.io_timeout_ms);
+    return;
+  }
+  (void)WriteHttpResponse(sock, 404, "text/plain", "no such endpoint: " + path + "\n",
+                          options_.io_timeout_ms);
+}
+
+}  // namespace serve
+}  // namespace zkml

@@ -1,0 +1,81 @@
+// The zkml_serve ops plane: a tiny HTTP/1.0 listener on its own port and its
+// own thread, fully decoupled from the prover path — an operator hammering
+// /metrics can never slow a proof, and a wedged prover can never make the
+// daemon unobservable. Routes are registered as closures before Start():
+//
+//   /metrics  Prometheus text exposition of the process metrics registry
+//   /healthz  liveness + drain state (200 "ok" serving, 503 "draining")
+//   /statusz  JSON live state: uptime, queue, per-worker job/stage/elapsed
+//   /tracez   ring of sampled per-job traces (zkml.trace/v1 documents)
+//
+// One request per connection (HTTP/1.0, Connection: close), handled serially
+// on the admin thread: scrape bodies are built in-memory first, so the only
+// socket work under way at any moment is bounded by io_timeout_ms, and a
+// slow scraper delays at most the next scrape, never the prover.
+#ifndef SRC_SERVE_ADMIN_H_
+#define SRC_SERVE_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/base/net.h"
+#include "src/base/status.h"
+
+namespace zkml {
+namespace serve {
+
+struct AdminOptions {
+  uint16_t port = 0;          // 0 = ephemeral (read back from port())
+  int io_timeout_ms = 2000;   // budget for reading a request / writing a response
+  int poll_interval_ms = 100; // accept-loop poll granularity (stop-flag checks)
+};
+
+class AdminServer {
+ public:
+  // Returns {http status, body}. Handlers run on the admin thread and must
+  // not block on the prover path (take snapshots, not long locks).
+  using Handler = std::function<std::pair<int, std::string>()>;
+
+  explicit AdminServer(AdminOptions options) : options_(options) {}
+  ~AdminServer() { Stop(); }
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Register before Start(); exact-match on the request path (the query
+  // string, if any, is ignored).
+  void AddRoute(std::string path, std::string content_type, Handler handler);
+
+  Status Start();
+  void Stop();  // idempotent; joins the admin thread
+
+  uint16_t port() const { return listener_.port(); }
+  uint64_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler handler;
+  };
+
+  void Loop();
+  void HandleOne(Socket sock);
+
+  const AdminOptions options_;
+  std::vector<Route> routes_;
+  ListenSocket listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace serve
+}  // namespace zkml
+
+#endif  // SRC_SERVE_ADMIN_H_

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <utility>
 
 #include "src/model/serialize.h"
 #include "src/model/zoo.h"
+#include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/tensor/quantizer.h"
 
@@ -22,6 +24,15 @@ uint64_t MicrosBetween(SteadyClock::time_point a, SteadyClock::time_point b) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
 }
+
+double SecondsBetween(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return b <= a ? 0.0 : std::chrono::duration<double>(b - a).count();
+}
+
+// One bucket layout for every per-stage latency histogram: sub-millisecond
+// admission waits through minute-long proofs.
+const std::vector<double> kStageSecondsBuckets = {
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60};
 
 }  // namespace
 
@@ -39,6 +50,11 @@ struct ZkmlServer::Job {
   SteadyClock::time_point enqueued;
   SteadyClock::time_point deadline_tp;
   std::atomic<bool> reaped{false};
+
+  // Live progress for /statusz: the pipeline stage the worker is in and which
+  // worker holds the job. Written by the worker, read by the admin thread.
+  std::atomic<uint8_t> stage{static_cast<uint8_t>(WireStage::kAdmission)};
+  std::atomic<int> worker{-1};
 
   std::promise<void> done_promise;
   std::shared_future<void> done;
@@ -73,6 +89,18 @@ struct ZkmlServer::Counters {
   obs::Gauge* running_jobs = nullptr;
   obs::Histogram* job_seconds = nullptr;
 
+  // Per-stage serve latency (admission = queue wait, respond = write-back).
+  obs::Histogram* stage_admission = nullptr;
+  obs::Histogram* stage_compile = nullptr;
+  obs::Histogram* stage_witness = nullptr;
+  obs::Histogram* stage_prove = nullptr;
+  obs::Histogram* stage_respond = nullptr;
+
+  // Rejections keyed by the WireStage named in the error frame (every
+  // SendError lands in exactly one slot).
+  static constexpr size_t kNumStages = 8;
+  Stat rejections[kNumStages];
+
   Counters() {
     auto& reg = obs::MetricsRegistry::Global();
     connections_accepted.global = &reg.counter("serve.connections_accepted");
@@ -91,30 +119,63 @@ struct ZkmlServer::Counters {
     running_jobs = &reg.gauge("serve.running_jobs");
     job_seconds = &reg.histogram("serve.job_seconds",
                                  {0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30, 60});
+    stage_admission = &reg.histogram("serve.stage_seconds.admission", kStageSecondsBuckets);
+    stage_compile = &reg.histogram("serve.stage_seconds.compile", kStageSecondsBuckets);
+    stage_witness = &reg.histogram("serve.stage_seconds.witness", kStageSecondsBuckets);
+    stage_prove = &reg.histogram("serve.stage_seconds.prove", kStageSecondsBuckets);
+    stage_respond = &reg.histogram("serve.stage_seconds.respond", kStageSecondsBuckets);
+    for (size_t i = 0; i < kNumStages; ++i) {
+      rejections[i].global = &reg.counter(
+          std::string("serve.rejections.") + WireStageName(static_cast<WireStage>(i)));
+    }
+  }
+
+  Stat& RejectionsFor(WireStage stage) {
+    const size_t i = static_cast<size_t>(stage);
+    return rejections[i < kNumStages ? i : kNumStages - 1];
   }
 };
 
 ZkmlServer::ZkmlServer(const ServeOptions& options)
     : options_(options),
       cache_(options.cache_capacity),
+      trace_ring_(options.trace_ring_capacity),
       counters_(std::make_unique<Counters>()) {}
 
 ZkmlServer::~ZkmlServer() { Stop(); }
 
 Status ZkmlServer::Start() {
   ZKML_ASSIGN_OR_RETURN(listener_, ListenSocket::Listen(options_.port));
+  started_at_ = SteadyClock::now();
+  if (!options_.event_log_path.empty()) {
+    ZKML_ASSIGN_OR_RETURN(
+        event_log_, obs::EventLog::Open(options_.event_log_path, options_.event_log_max_bytes));
+  }
+  if (options_.admin_port >= 0) {
+    ZKML_RETURN_IF_ERROR(StartAdmin());
+  }
   started_.store(true, std::memory_order_relaxed);
   acceptor_ = std::thread(&ZkmlServer::AcceptLoop, this);
   const int n = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back(&ZkmlServer::WorkerLoop, this);
+    workers_.emplace_back(&ZkmlServer::WorkerLoop, this, i);
   }
   watchdog_ = std::thread(&ZkmlServer::WatchdogLoop, this);
+  obs::Json fields = obs::Json::Object();
+  fields.Set("port", static_cast<uint64_t>(port()));
+  fields.Set("admin_port", static_cast<uint64_t>(admin_port()));
+  fields.Set("workers", static_cast<uint64_t>(n));
+  fields.Set("queue_capacity", static_cast<uint64_t>(options_.queue_capacity));
+  LogEvent("server_started", std::move(fields));
   return Status::Ok();
 }
 
-void ZkmlServer::RequestDrain() { draining_.store(true, std::memory_order_relaxed); }
+void ZkmlServer::RequestDrain() {
+  if (!draining_.exchange(true, std::memory_order_relaxed)) {
+    LogEvent("drain_started", obs::Json::Object());
+  }
+}
 
 void ZkmlServer::Stop() {
   if (!started_.exchange(false)) {
@@ -167,6 +228,16 @@ void ZkmlServer::Stop() {
   if (watchdog_.joinable()) watchdog_.join();
   listener_.Close();
   PublishMetrics();
+
+  obs::Json fields = obs::Json::Object();
+  fields.Set("jobs_completed", counters_->jobs_completed.Get());
+  fields.Set("uptime_s", SecondsBetween(started_at_, SteadyClock::now()));
+  LogEvent("server_stopped", std::move(fields));
+  // The admin plane outlives the prover path so operators can watch the drain;
+  // it goes down last.
+  if (admin_ != nullptr) {
+    admin_->Stop();
+  }
 }
 
 ServerStats ZkmlServer::stats() const {
@@ -205,6 +276,215 @@ void ZkmlServer::PublishMetrics() {
   }
   counters_->queue_depth->Set(static_cast<double>(depth));
   counters_->running_jobs->Set(static_cast<double>(running));
+}
+
+Status ZkmlServer::StartAdmin() {
+  AdminOptions opts;
+  opts.port = static_cast<uint16_t>(options_.admin_port);
+  admin_ = std::make_unique<AdminServer>(opts);
+  admin_->AddRoute("/metrics", "text/plain; version=0.0.4",
+                   [this] { return std::make_pair(200, MetricsText()); });
+  admin_->AddRoute("/healthz", "text/plain", [this] {
+    return draining() ? std::make_pair(503, std::string("draining\n"))
+                      : std::make_pair(200, std::string("ok\n"));
+  });
+  admin_->AddRoute("/statusz", "application/json",
+                   [this] { return std::make_pair(200, StatusJson().DumpPretty() + "\n"); });
+  admin_->AddRoute("/tracez", "application/json", [this] {
+    obs::Json doc = obs::Json::Object();
+    doc.Set("schema", "zkml.tracez/v1");
+    doc.Set("capacity", static_cast<uint64_t>(trace_ring_.capacity()));
+    doc.Set("sampled_total", trace_ring_.added());
+    obs::Json traces = obs::Json::Array();
+    for (obs::Json& t : trace_ring_.Snapshot()) {
+      traces.Append(std::move(t));
+    }
+    doc.Set("traces", std::move(traces));
+    return std::make_pair(200, doc.DumpPretty() + "\n");
+  });
+  return admin_->Start();
+}
+
+std::string ZkmlServer::MetricsText() const {
+  // A scrape observes the same freshness the watchdog maintains: gauges and
+  // rate windows are re-sampled at the moment of exposition.
+  const_cast<ZkmlServer*>(this)->PublishMetrics();
+  SampleRates();
+  return obs::RenderPrometheus(obs::MetricsRegistry::Global().Snapshot());
+}
+
+void ZkmlServer::SampleRates() const {
+  const auto now = obs::RateWindows::Clock::now();
+  const Counters& c = *counters_;
+  rates_.Sample("jobs_accepted", c.jobs_accepted.Get(), now);
+  rates_.Sample("jobs_completed", c.jobs_completed.Get(), now);
+  rates_.Sample("jobs_shed_overload", c.jobs_shed_overload.Get(), now);
+  rates_.Sample("jobs_deadline_exceeded", c.jobs_deadline_exceeded.Get(), now);
+  rates_.Sample("protocol_errors", c.protocol_errors.Get(), now);
+  rates_.Sample("connections_accepted", c.connections_accepted.Get(), now);
+}
+
+void ZkmlServer::LogEvent(const std::string& event, obs::Json fields) const {
+  if (event_log_ != nullptr) {
+    event_log_->Log(event, std::move(fields));
+  }
+}
+
+namespace {
+
+obs::Json RatesJson(const obs::RateWindows::Rates& r) {
+  obs::Json j = obs::Json::Object();
+  j.Set("1s", r.per_sec_1s);
+  j.Set("10s", r.per_sec_10s);
+  j.Set("60s", r.per_sec_60s);
+  return j;
+}
+
+// p50/p90/p99 summary for one histogram out of a registry snapshot; null
+// when the histogram has not been registered yet.
+obs::Json QuantilesJson(const obs::MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [hname, h] : snap.histograms) {
+    if (hname != name) continue;
+    obs::Json j = obs::Json::Object();
+    j.Set("count", h.count);
+    j.Set("sum_s", h.sum);
+    j.Set("p50_s", obs::HistogramQuantile(h, 0.5));
+    j.Set("p90_s", obs::HistogramQuantile(h, 0.9));
+    j.Set("p99_s", obs::HistogramQuantile(h, 0.99));
+    return j;
+  }
+  return obs::Json();
+}
+
+}  // namespace
+
+obs::Json ZkmlServer::StatusJson() const {
+  const auto now = SteadyClock::now();
+  SampleRates();
+
+  obs::Json doc = obs::Json::Object();
+  doc.Set("schema", "zkml.statusz/v1");
+  doc.Set("uptime_s", SecondsBetween(started_at_, now));
+  doc.Set("draining", draining());
+  doc.Set("port", static_cast<uint64_t>(port()));
+  doc.Set("admin_port", static_cast<uint64_t>(admin_port()));
+
+  // Worker table: every worker is either idle or holds exactly one running
+  // job; queued jobs have no worker yet and show up only in queue_depth.
+  const int n = std::max(1, options_.num_workers);
+  std::vector<obs::Json> worker_rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    obs::Json row = obs::Json::Object();
+    row.Set("worker", static_cast<uint64_t>(i));
+    row.Set("state", "idle");
+    worker_rows[static_cast<size_t>(i)] = std::move(row);
+  }
+  size_t queue_depth = 0, running_jobs = 0;
+  {
+    auto& mu = const_cast<std::mutex&>(queue_mu_);
+    std::lock_guard<std::mutex> lock(mu);
+    queue_depth = queue_.size();
+    running_jobs = running_.size();
+    for (const auto& job : running_) {
+      const int w = job->worker.load(std::memory_order_relaxed);
+      if (w < 0 || w >= n) continue;
+      obs::Json row = obs::Json::Object();
+      row.Set("worker", static_cast<uint64_t>(w));
+      row.Set("state", "running");
+      row.Set("job_id", job->id);
+      row.Set("request_id", job->request_id);
+      row.Set("stage", WireStageName(static_cast<WireStage>(
+                           job->stage.load(std::memory_order_relaxed))));
+      row.Set("elapsed_s", SecondsBetween(job->enqueued, now));
+      row.Set("deadline_in_s", SecondsBetween(now, job->deadline_tp));
+      row.Set("reaped", job->reaped.load(std::memory_order_relaxed));
+      worker_rows[static_cast<size_t>(w)] = std::move(row);
+    }
+  }
+  obs::Json workers = obs::Json::Array();
+  for (auto& row : worker_rows) {
+    workers.Append(std::move(row));
+  }
+  doc.Set("workers", std::move(workers));
+
+  obs::Json queue = obs::Json::Object();
+  queue.Set("depth", static_cast<uint64_t>(queue_depth));
+  queue.Set("capacity", static_cast<uint64_t>(options_.queue_capacity));
+  queue.Set("running", static_cast<uint64_t>(running_jobs));
+  queue.Set("open_connections",
+            static_cast<uint64_t>(open_connections_.load(std::memory_order_relaxed)));
+  doc.Set("queue", std::move(queue));
+
+  const CacheStats cs = cache_.stats();
+  obs::Json cache = obs::Json::Object();
+  cache.Set("entries", static_cast<uint64_t>(cs.entries));
+  cache.Set("capacity", static_cast<uint64_t>(options_.cache_capacity));
+  cache.Set("hits", cs.hits);
+  cache.Set("misses", cs.misses);
+  cache.Set("evictions", cs.evictions);
+  doc.Set("cache", std::move(cache));
+
+  const Counters& c = *counters_;
+  obs::Json counters = obs::Json::Object();
+  counters.Set("connections_accepted", c.connections_accepted.Get());
+  counters.Set("connections_rejected", c.connections_rejected.Get());
+  counters.Set("protocol_errors", c.protocol_errors.Get());
+  counters.Set("slow_clients_closed", c.slow_clients_closed.Get());
+  counters.Set("jobs_accepted", c.jobs_accepted.Get());
+  counters.Set("jobs_completed", c.jobs_completed.Get());
+  counters.Set("jobs_shed_overload", c.jobs_shed_overload.Get());
+  counters.Set("jobs_deadline_exceeded", c.jobs_deadline_exceeded.Get());
+  counters.Set("jobs_cancelled", c.jobs_cancelled.Get());
+  counters.Set("jobs_rejected_malformed", c.jobs_rejected_malformed.Get());
+  counters.Set("jobs_failed_internal", c.jobs_failed_internal.Get());
+  counters.Set("watchdog_reaped", c.watchdog_reaped.Get());
+  doc.Set("counters", std::move(counters));
+
+  obs::Json rejections = obs::Json::Object();
+  for (size_t i = 0; i < Counters::kNumStages; ++i) {
+    rejections.Set(WireStageName(static_cast<WireStage>(i)), c.rejections[i].Get());
+  }
+  doc.Set("rejections_by_stage", std::move(rejections));
+
+  obs::Json rates = obs::Json::Object();
+  for (const char* name : {"jobs_accepted", "jobs_completed", "jobs_shed_overload",
+                           "jobs_deadline_exceeded", "protocol_errors",
+                           "connections_accepted"}) {
+    rates.Set(name, RatesJson(rates_.RatesFor(name, obs::RateWindows::Clock::now())));
+  }
+  doc.Set("rates_per_sec", std::move(rates));
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  obs::Json latency = obs::Json::Object();
+  latency.Set("job", QuantilesJson(snap, "serve.job_seconds"));
+  for (const char* stage : {"admission", "compile", "witness", "prove", "respond"}) {
+    latency.Set(stage, QuantilesJson(snap, std::string("serve.stage_seconds.") + stage));
+  }
+  doc.Set("latency_seconds", std::move(latency));
+
+  obs::Json tracez = obs::Json::Object();
+  tracez.Set("capacity", static_cast<uint64_t>(trace_ring_.capacity()));
+  tracez.Set("held", static_cast<uint64_t>(trace_ring_.size()));
+  tracez.Set("sampled_total", trace_ring_.added());
+  tracez.Set("sample_every", static_cast<uint64_t>(options_.trace_sample_every));
+  doc.Set("traces", std::move(tracez));
+
+  obs::Json events = obs::Json::Object();
+  if (event_log_ != nullptr) {
+    const obs::EventLog::Stats es = event_log_->stats();
+    events.Set("path", event_log_->path());
+    events.Set("events", es.events);
+    events.Set("rotations", es.rotations);
+    events.Set("write_failures", es.write_failures);
+  } else {
+    events.Set("path", obs::Json());
+  }
+  doc.Set("event_log", std::move(events));
+
+  if (admin_ != nullptr) {
+    doc.Set("admin_requests_served", admin_->requests_served());
+  }
+  return doc;
 }
 
 void ZkmlServer::AcceptLoop() {
@@ -266,6 +546,7 @@ bool ZkmlServer::SendFrame(Connection& conn, FrameType type, uint64_t request_id
 }
 
 bool ZkmlServer::SendError(Connection& conn, uint64_t request_id, const WireError& err) {
+  counters_->RejectionsFor(err.stage).Inc();
   return SendFrame(conn, FrameType::kError, request_id, EncodeWireError(err));
 }
 
@@ -357,6 +638,7 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
     // Bounded wait: the job's deadline plus the watchdog grace guarantee the
     // worker fulfills the promise.
     job->done.wait();
+    const auto respond_start = SteadyClock::now();
     bool sent;
     if (job->ok) {
       sent = SendFrame(*conn, FrameType::kProveResponse, hdr->request_id,
@@ -364,6 +646,7 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
     } else {
       sent = SendError(*conn, hdr->request_id, job->error);
     }
+    counters_->stage_respond->Record(SecondsBetween(respond_start, SteadyClock::now()));
     if (!sent) return;
   }
 }
@@ -384,6 +667,7 @@ std::shared_ptr<ZkmlServer::Job> ZkmlServer::AdmitJob(ProveRequest request,
   job->deadline_tp = job->enqueued + std::chrono::milliseconds(job->deadline_ms);
   job->cancel->SetDeadline(job->deadline_tp);
 
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (draining_.load(std::memory_order_relaxed)) {
@@ -395,16 +679,30 @@ std::shared_ptr<ZkmlServer::Job> ZkmlServer::AdmitJob(ProveRequest request,
       counters_->jobs_shed_overload.Inc();
       *err = {WireErrorCode::kOverloaded, WireStage::kAdmission,
               "job queue full (" + std::to_string(queue_.size()) + " queued); retry later"};
-      return nullptr;
+      depth = queue_.size();
+      job = nullptr;
+    } else {
+      queue_.push_back(job);
+      counters_->jobs_accepted.Inc();
+      depth = queue_.size();
     }
-    queue_.push_back(job);
-    counters_->jobs_accepted.Inc();
   }
+  // Event I/O stays outside queue_mu_ so a slow disk never blocks workers.
+  obs::Json fields = obs::Json::Object();
+  if (job != nullptr) fields.Set("job_id", job->id);
+  fields.Set("request_id", request_id);
+  fields.Set("queue_depth", static_cast<uint64_t>(depth));
+  if (job == nullptr) {
+    LogEvent("job_shed", std::move(fields));
+    return nullptr;
+  }
+  fields.Set("deadline_ms", static_cast<uint64_t>(job->deadline_ms));
+  LogEvent("job_admitted", std::move(fields));
   queue_cv_.notify_one();
   return job;
 }
 
-void ZkmlServer::WorkerLoop() {
+void ZkmlServer::WorkerLoop(int worker_index) {
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -417,6 +715,7 @@ void ZkmlServer::WorkerLoop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      job->worker.store(worker_index, std::memory_order_relaxed);
       running_.push_back(job);
     }
 
@@ -431,8 +730,51 @@ void ZkmlServer::WorkerLoop() {
 }
 
 void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
+  // Trace sampling: every Nth admitted job runs under its own Tracer; the
+  // scope must close before export so all spans are complete.
+  const bool sampled = options_.trace_sample_every > 0 &&
+                       (job->id - 1) % options_.trace_sample_every == 0;
+  std::optional<obs::Tracer> tracer;
+  if (sampled) tracer.emplace();
+  {
+    std::optional<obs::TracerScope> scope;
+    if (tracer) scope.emplace(&*tracer);
+    ExecuteJobInner(job);
+  }
+  if (tracer) {
+    obs::Json doc = tracer->ToReportJson();
+    doc.Set("job_id", job->id);
+    doc.Set("request_id", job->request_id);
+    doc.Set("outcome", job->ok ? "ok" : WireErrorCodeName(job->error.code));
+    if (!job->ok) doc.Set("error_stage", WireStageName(job->error.stage));
+    trace_ring_.Add(std::move(doc));
+  }
+
+  if (event_log_ != nullptr) {
+    obs::Json fields = obs::Json::Object();
+    fields.Set("job_id", job->id);
+    fields.Set("request_id", job->request_id);
+    fields.Set("elapsed_s", SecondsBetween(job->enqueued, SteadyClock::now()));
+    const char* event = "job_completed";
+    if (!job->ok) {
+      fields.Set("error", WireErrorCodeName(job->error.code));
+      fields.Set("stage", WireStageName(job->error.stage));
+      switch (job->error.code) {
+        case WireErrorCode::kDeadlineExceeded: event = "job_deadline_exceeded"; break;
+        case WireErrorCode::kCancelled:
+          event = job->reaped.load(std::memory_order_relaxed) ? "job_reaped" : "job_cancelled";
+          break;
+        default: event = "job_failed"; break;
+      }
+    }
+    LogEvent(event, std::move(fields));
+  }
+}
+
+void ZkmlServer::ExecuteJobInner(const std::shared_ptr<Job>& job) {
   const auto started = SteadyClock::now();
   const uint64_t queue_micros = MicrosBetween(job->enqueued, started);
+  counters_->stage_admission->Record(static_cast<double>(queue_micros) / 1e6);
 
   auto fail = [&](WireErrorCode code, WireStage stage, std::string message) {
     job->ok = false;
@@ -460,6 +802,7 @@ void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
     return;
   }
 
+  job->stage.store(static_cast<uint8_t>(WireStage::kModelParse), std::memory_order_relaxed);
   StatusOr<Model> model = DeserializeModel(job->request.model_text);
   if (!model.ok()) {
     counters_->jobs_rejected_malformed.Inc();
@@ -467,20 +810,25 @@ void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
     return;
   }
 
+  job->stage.store(static_cast<uint8_t>(WireStage::kCompile), std::memory_order_relaxed);
+  const auto compile_start = SteadyClock::now();
   const std::string key =
       ModelHashHex(job->request.model_text) + (job->request.backend == 1 ? ":ipa" : ":kzg");
   bool cache_hit = true;
-  StatusOr<std::shared_ptr<const CompiledModel>> compiled =
-      cache_.GetOrCompile(key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
-        cache_hit = false;
-        ZkmlOptions zo;
-        zo.backend = job->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
-        zo.optimizer.backend = zo.backend;
-        zo.optimizer.min_columns = options_.optimizer_min_columns;
-        zo.optimizer.max_columns = options_.optimizer_max_columns;
-        zo.optimizer.max_k = options_.optimizer_max_k;
-        return std::make_shared<const CompiledModel>(CompileModel(*model, zo));
-      });
+  StatusOr<std::shared_ptr<const CompiledModel>> compiled = [&] {
+    obs::Span span("serve.compile");
+    return cache_.GetOrCompile(key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+      cache_hit = false;
+      ZkmlOptions zo;
+      zo.backend = job->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
+      zo.optimizer.backend = zo.backend;
+      zo.optimizer.min_columns = options_.optimizer_min_columns;
+      zo.optimizer.max_columns = options_.optimizer_max_columns;
+      zo.optimizer.max_k = options_.optimizer_max_k;
+      return std::make_shared<const CompiledModel>(CompileModel(*model, zo));
+    });
+  }();
+  counters_->stage_compile->Record(SecondsBetween(compile_start, SteadyClock::now()));
   if (!compiled.ok()) {
     counters_->jobs_failed_internal.Inc();
     fail(WireErrorCode::kInternal, WireStage::kCompile, compiled.status().message());
@@ -492,22 +840,34 @@ void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
     return;
   }
 
+  job->stage.store(static_cast<uint8_t>(WireStage::kWitness), std::memory_order_relaxed);
+  const auto witness_start = SteadyClock::now();
   const Model& m = (*compiled)->model;
   Tensor<int64_t> input_q;
-  if (!job->request.input.empty()) {
-    if (static_cast<int64_t>(job->request.input.size()) != m.input_shape.NumElements()) {
-      counters_->jobs_rejected_malformed.Inc();
-      fail(WireErrorCode::kInputMismatch, WireStage::kWitness,
-           "input has " + std::to_string(job->request.input.size()) + " elements, model wants " +
-               std::to_string(m.input_shape.NumElements()));
-      return;
+  {
+    obs::Span span("serve.witness");
+    if (!job->request.input.empty()) {
+      if (static_cast<int64_t>(job->request.input.size()) != m.input_shape.NumElements()) {
+        counters_->jobs_rejected_malformed.Inc();
+        fail(WireErrorCode::kInputMismatch, WireStage::kWitness,
+             "input has " + std::to_string(job->request.input.size()) +
+                 " elements, model wants " + std::to_string(m.input_shape.NumElements()));
+        return;
+      }
+      input_q = Tensor<int64_t>(m.input_shape, std::move(job->request.input));
+    } else {
+      input_q = QuantizeTensor(SyntheticInput(m, job->request.seed), m.quant);
     }
-    input_q = Tensor<int64_t>(m.input_shape, std::move(job->request.input));
-  } else {
-    input_q = QuantizeTensor(SyntheticInput(m, job->request.seed), m.quant);
   }
+  counters_->stage_witness->Record(SecondsBetween(witness_start, SteadyClock::now()));
 
-  StatusOr<ZkmlProof> proof = ProveCancellable(**compiled, input_q, job->cancel.get());
+  job->stage.store(static_cast<uint8_t>(WireStage::kProve), std::memory_order_relaxed);
+  const auto prove_start = SteadyClock::now();
+  StatusOr<ZkmlProof> proof = [&] {
+    obs::Span span("serve.prove");
+    return ProveCancellable(**compiled, input_q, job->cancel.get());
+  }();
+  counters_->stage_prove->Record(SecondsBetween(prove_start, SteadyClock::now()));
   if (!proof.ok()) {
     if (proof.status().code() == StatusCode::kCancelled ||
         proof.status().code() == StatusCode::kDeadlineExceeded) {
@@ -523,6 +883,7 @@ void ZkmlServer::ExecuteJob(const std::shared_ptr<Job>& job) {
     WriteJobReport(*job, **compiled, *proof);
   }
 
+  job->stage.store(static_cast<uint8_t>(WireStage::kRespond), std::memory_order_relaxed);
   const auto finished = SteadyClock::now();
   job->response.proof = std::move(proof->bytes);
   job->response.instance = std::move(proof->instance);
@@ -565,6 +926,7 @@ void ZkmlServer::WatchdogLoop() {
       }
     }
     PublishMetrics();
+    SampleRates();
   }
 }
 

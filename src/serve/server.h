@@ -24,6 +24,7 @@
 #define SRC_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +37,11 @@
 #include "src/base/cancel.h"
 #include "src/base/net.h"
 #include "src/base/status.h"
+#include "src/obs/event_log.h"
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/obs/windows.h"
+#include "src/serve/admin.h"
 #include "src/serve/cache.h"
 #include "src/serve/wire.h"
 #include "src/zkml/zkml.h"
@@ -65,6 +71,13 @@ struct ServeOptions {
   int optimizer_max_k = 15;
 
   std::string report_dir;  // per-job zkml.run_report/v1 files (empty = off)
+
+  // --- Ops plane (src/serve/admin.h). All off by default. ---
+  int admin_port = -1;             // -1 = no admin listener, 0 = ephemeral port
+  std::string event_log_path;      // JSONL operational events (empty = off)
+  size_t event_log_max_bytes = 8u << 20;  // rotation threshold
+  uint32_t trace_sample_every = 0; // sample every Nth job into /tracez (0 = off)
+  size_t trace_ring_capacity = 16; // sampled traces kept for /tracez
 };
 
 // Aggregate daemon counters (also published as serve.* metrics).
@@ -111,8 +124,20 @@ class ZkmlServer {
   void Stop();
 
   uint16_t port() const { return listener_.port(); }
+  // 0 when the admin listener is disabled.
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
   ServerStats stats() const;
+
+  // Live state document (schema "zkml.statusz/v1"): uptime, queue depth,
+  // per-worker job id/stage/elapsed, cache and rejection counters, windowed
+  // rates, latency quantiles. Served at /statusz; also directly callable.
+  obs::Json StatusJson() const;
+
+  // The Prometheus text-exposition page served at /metrics.
+  std::string MetricsText() const;
+
+  const obs::TraceRing& trace_ring() const { return trace_ring_; }
 
  private:
   struct Job;
@@ -120,11 +145,13 @@ class ZkmlServer {
 
   void AcceptLoop();
   void HandleConnection(std::shared_ptr<Connection> conn);
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void WatchdogLoop();
 
   // Runs one job to completion (the worker body). Fills job->response/error.
+  // ExecuteJob wraps ExecuteJobInner with trace sampling and event emission.
   void ExecuteJob(const std::shared_ptr<Job>& job);
+  void ExecuteJobInner(const std::shared_ptr<Job>& job);
 
   // Queue admission; null with *err filled (OVERLOADED / SHUTTING_DOWN) when
   // the job was not accepted.
@@ -138,9 +165,20 @@ class ZkmlServer {
   void PublishMetrics();
   void WriteJobReport(const Job& job, const CompiledModel& compiled, const ZkmlProof& proof);
 
+  // Ops plane: admin route registration, rate sampling, event emission.
+  Status StartAdmin();
+  void SampleRates() const;
+  void LogEvent(const std::string& event, obs::Json fields) const;
+
   const ServeOptions options_;
   ListenSocket listener_;
   CompiledModelCache cache_;
+
+  std::unique_ptr<AdminServer> admin_;
+  std::unique_ptr<obs::EventLog> event_log_;
+  obs::TraceRing trace_ring_;
+  mutable obs::RateWindows rates_;  // sampled by the watchdog and on scrape
+  std::chrono::steady_clock::time_point started_at_{};
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};

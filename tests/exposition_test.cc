@@ -1,0 +1,351 @@
+// Ops-plane observability primitives: Prometheus text exposition (golden
+// page, name sanitization, the buckets-sum-to-count contract under
+// concurrent recording), bucket-quantile estimation, rolling windowed rates,
+// the JSONL event log with size-capped rotation, and the /tracez ring.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/event_log.h"
+#include "src/obs/exposition.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/windows.h"
+
+namespace zkml {
+namespace obs {
+namespace {
+
+#ifndef ZKML_TESTDATA_DIR
+#define ZKML_TESTDATA_DIR "tests/testdata"
+#endif
+
+// ---------------------------------------------------------------------------
+// Metric-name sanitization
+
+TEST(ExpositionTest, MetricNameValidation) {
+  EXPECT_TRUE(IsValidMetricName("serve_jobs_completed"));
+  EXPECT_TRUE(IsValidMetricName("a:b_c9"));
+  EXPECT_TRUE(IsValidMetricName("_leading_underscore"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("serve.jobs"));
+  EXPECT_FALSE(IsValidMetricName("9lives"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("dash-ed"));
+}
+
+TEST(ExpositionTest, SanitizeMetricName) {
+  EXPECT_EQ(SanitizeMetricName("serve.jobs_completed"), "serve_jobs_completed");
+  EXPECT_EQ(SanitizeMetricName("serve.stage_seconds.prove"), "serve_stage_seconds_prove");
+  EXPECT_EQ(SanitizeMetricName("already_fine"), "already_fine");
+  EXPECT_EQ(SanitizeMetricName("2pc.latency"), "_2pc_latency");
+  EXPECT_EQ(SanitizeMetricName("weird name!"), "weird_name_");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_TRUE(IsValidMetricName(SanitizeMetricName("!@#$%")));
+  EXPECT_TRUE(IsValidMetricName(SanitizeMetricName("\xc3\xa9t\xc3\xa9")));
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+MetricsSnapshot GoldenSnapshot() {
+  MetricsSnapshot snap;
+  snap.counters = {{"serve.jobs_completed", 42}, {"weird name!", 7}};
+  snap.gauges = {{"serve.queue_depth", 3.0}, {"temp.celsius", 21.5}};
+  HistogramSnapshot h;
+  h.bounds = {0.1, 0.5, 2.5};
+  h.cumulative = {1, 3, 5, 6};
+  h.count = 6;
+  h.sum = 7.25;
+  snap.histograms = {{"serve.job_seconds", h}};
+  return snap;
+}
+
+TEST(ExpositionTest, RendersGoldenPage) {
+  const std::string page = RenderPrometheus(GoldenSnapshot());
+
+  std::ifstream in(std::string(ZKML_TESTDATA_DIR) + "/golden_metrics.txt");
+  ASSERT_TRUE(in) << "missing golden_metrics.txt";
+  const std::string golden((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(page, golden);
+
+  // The page must round-trip through the strict parser.
+  StatusOr<PromText> parsed = ParsePrometheusText(page);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->samples.size(), 10u);  // 2 counters + 2 gauges + 6 histogram lines
+  EXPECT_EQ(parsed->types.size(), 5u);
+  const PromSample* completed = parsed->Find("serve_jobs_completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value, 42.0);
+  const PromSample* inf = parsed->Find("serve_job_seconds_bucket", "le", "+Inf");
+  ASSERT_NE(inf, nullptr);
+  EXPECT_EQ(inf->value, 6.0);
+}
+
+TEST(ExpositionTest, SanitizedNameCollisionsEmitOnce) {
+  MetricsSnapshot snap;
+  snap.counters = {{"a.b", 1}, {"a_b", 2}};  // both sanitize to a_b
+  const std::string page = RenderPrometheus(snap);
+  StatusOr<PromText> parsed = ParsePrometheusText(page);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->samples.size(), 1u);  // first wins, no duplicate series
+  EXPECT_EQ(parsed->samples[0].value, 1.0);
+}
+
+TEST(ExpositionTest, RegistrySnapshotBucketsSumToCount) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.latency", {0.1, 1.0, 10.0});
+  for (double v : {0.05, 0.5, 0.7, 5.0, 99.0}) {  // 99 lands in +Inf overflow
+    h.Record(v);
+  }
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0].second;
+  ASSERT_EQ(hs.cumulative.size(), 4u);
+  EXPECT_EQ(hs.cumulative.back(), 5u);
+  EXPECT_EQ(hs.count, 5u);  // the +Inf bucket equals the count
+  EXPECT_EQ(hs.cumulative[0], 1u);
+  EXPECT_EQ(hs.cumulative[1], 3u);
+  EXPECT_EQ(hs.cumulative[2], 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+
+TEST(ExpositionTest, HistogramQuantileInterpolates) {
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.cumulative = {10, 20, 20, 20};  // 10 in (0,1], 10 in (1,2]
+  h.count = 20;
+
+  // p50 -> rank 10 -> exactly fills the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 1.0);
+  // p75 -> rank 15 -> halfway through (1,2].
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.0), 0.0);
+}
+
+TEST(ExpositionTest, HistogramQuantileEdgeCases) {
+  EXPECT_EQ(HistogramQuantile(HistogramSnapshot{}, 0.5), 0.0);
+
+  // Everything in the overflow bucket: the histogram cannot resolve past its
+  // last finite bound.
+  HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.cumulative = {0, 0, 8};
+  h.count = 8;
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed rates
+
+TEST(WindowsTest, RatesOverThreeWindows) {
+  using Clock = RateWindows::Clock;
+  RateWindows rw;
+  const Clock::time_point t0 = Clock::now();
+  // 2 events/sec for 60 seconds, sampled once a second.
+  for (int i = 0; i <= 60; ++i) {
+    rw.Sample("jobs", static_cast<uint64_t>(2 * i), t0 + std::chrono::seconds(i));
+  }
+  const auto now = t0 + std::chrono::seconds(60);
+  const RateWindows::Rates r = rw.RatesFor("jobs", now);
+  EXPECT_NEAR(r.per_sec_1s, 2.0, 1e-9);
+  EXPECT_NEAR(r.per_sec_10s, 2.0, 1e-9);
+  EXPECT_NEAR(r.per_sec_60s, 2.0, 1e-9);
+  EXPECT_EQ(rw.RatesFor("absent", now).per_sec_10s, 0.0);
+}
+
+TEST(WindowsTest, ShortHistoryAnchorsAtOldestSample) {
+  using Clock = RateWindows::Clock;
+  RateWindows rw;
+  const Clock::time_point t0 = Clock::now();
+  rw.Sample("jobs", 0, t0);
+  rw.Sample("jobs", 30, t0 + std::chrono::seconds(3));
+  // Only 3s of history: the 60s window reports the true 3s rate instead of
+  // diluting with 57 imaginary seconds of zeros.
+  const RateWindows::Rates r = rw.RatesFor("jobs", t0 + std::chrono::seconds(3));
+  EXPECT_NEAR(r.per_sec_60s, 10.0, 1e-9);
+  EXPECT_NEAR(r.per_sec_10s, 10.0, 1e-9);
+}
+
+TEST(WindowsTest, CounterResetRestartsSeries) {
+  using Clock = RateWindows::Clock;
+  RateWindows rw;
+  const Clock::time_point t0 = Clock::now();
+  rw.Sample("jobs", 100, t0);
+  rw.Sample("jobs", 5, t0 + std::chrono::seconds(1));  // restart (new process)
+  rw.Sample("jobs", 10, t0 + std::chrono::seconds(2));
+  const RateWindows::Rates r = rw.RatesFor("jobs", t0 + std::chrono::seconds(2));
+  EXPECT_GE(r.per_sec_10s, 0.0);  // never negative after a reset
+  EXPECT_NEAR(r.per_sec_10s, 5.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Event log
+
+std::vector<Json> ReadJsonl(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<Json> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<Json> j = Json::Parse(line);
+    EXPECT_TRUE(j.ok()) << "bad JSONL line: " << line;
+    if (j.ok()) out.push_back(std::move(*j));
+  }
+  return out;
+}
+
+TEST(EventLogTest, WritesStampedJsonLines) {
+  const std::string path = ::testing::TempDir() + "/events_basic.jsonl";
+  StatusOr<std::unique_ptr<EventLog>> log = EventLog::Open(path);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  Json fields = Json::Object();
+  fields.Set("job_id", 7);
+  (*log)->Log("job_admitted", std::move(fields));
+  (*log)->Log("drain_started");
+
+  const std::vector<Json> lines = ReadJsonl(path);
+  ASSERT_EQ(lines.size(), 2u);
+  const Json* ts = lines[0].Find("ts_ms");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_GT(ts->AsInt(), 0);
+  EXPECT_EQ(lines[0].Find("event")->AsString(), "job_admitted");
+  EXPECT_EQ(lines[0].Find("job_id")->AsInt(), 7);
+  EXPECT_EQ(lines[1].Find("event")->AsString(), "drain_started");
+  EXPECT_EQ((*log)->stats().events, 2u);
+  EXPECT_EQ((*log)->stats().write_failures, 0u);
+}
+
+TEST(EventLogTest, RotatesAtSizeCap) {
+  const std::string path = ::testing::TempDir() + "/events_rotate.jsonl";
+  std::remove((path + ".1").c_str());
+  StatusOr<std::unique_ptr<EventLog>> log = EventLog::Open(path, /*max_bytes=*/512);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  for (int i = 0; i < 64; ++i) {
+    Json fields = Json::Object();
+    fields.Set("i", i);
+    fields.Set("padding", std::string(48, 'x'));
+    (*log)->Log("tick", std::move(fields));
+  }
+  EXPECT_GE((*log)->stats().rotations, 1u);
+  std::ifstream rotated(path + ".1");
+  EXPECT_TRUE(rotated.good()) << "rotation must leave <path>.1 behind";
+  // Both the live file and the rotated file still hold valid JSONL.
+  EXPECT_FALSE(ReadJsonl(path).empty());
+  EXPECT_FALSE(ReadJsonl(path + ".1").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+
+TEST(TraceRingTest, KeepsNewestTracesUpToCapacity) {
+  TraceRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    Json t = Json::Object();
+    t.Set("job_id", i);
+    ring.Add(std::move(t));
+  }
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.added(), 5u);
+  const std::vector<Json> traces = ring.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces.front().Find("job_id")->AsInt(), 2);  // oldest kept
+  EXPECT_EQ(traces.back().Find("job_id")->AsInt(), 4);   // newest
+}
+
+TEST(TraceRingTest, ZeroCapacityClampsToOne) {
+  TraceRing ring(0);
+  ring.Add(Json::Object());
+  ring.Add(Json::Object());
+  EXPECT_EQ(ring.capacity(), 1u);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Parser rejections
+
+TEST(ExpositionTest, ParserRejectsMalformedPages) {
+  EXPECT_FALSE(ParsePrometheusText("9bad_name 1\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("name{0bad=\"v\"} 1\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("name{l=\"unterminated} 1\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("name{l=\"v\"} \n").ok());
+  EXPECT_FALSE(ParsePrometheusText("name notanumber\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("name 1 2 3\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# TYPE bad.name counter\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("# TYPE name wibble\n").ok());
+
+  // Legal oddities must pass: comments, escapes, timestamps, +/-Inf, NaN.
+  StatusOr<PromText> ok = ParsePrometheusText(
+      "# HELP x something\n"
+      "# freeform comment\n"
+      "x{l=\"a\\\\b\\\"c\\nd\"} 1.5 1754550000123\n"
+      "y +Inf\n"
+      "z NaN\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok->samples.size(), 3u);
+  EXPECT_EQ(*ok->samples[0].LabelValue("l"), "a\\b\"c\nd");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent scrape-while-recording
+
+TEST(ExpositionTest, ScrapeWhileRecordingStaysConsistent) {
+  MetricsRegistry reg;
+  Counter& jobs = reg.counter("load.jobs");
+  Histogram& lat = reg.histogram("load.latency", {0.001, 0.01, 0.1, 1.0});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        jobs.Increment();
+        lat.Record(static_cast<double>((i + static_cast<uint64_t>(w)) % 200) / 100.0);
+        ++i;
+      }
+    });
+  }
+
+  // Wait for the writers to actually run before scraping, so the scrapes
+  // race live Record() calls (and the final count check is deterministic —
+  // on a loaded machine the threads may not be scheduled for a while).
+  while (jobs.Value() == 0) {
+    std::this_thread::yield();
+  }
+
+  // Every concurrent scrape must render a page that parses and satisfies the
+  // histogram contract: le="+Inf" == _count == sum of observed buckets.
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    const std::string page = RenderPrometheus(reg.Snapshot());
+    StatusOr<PromText> parsed = ParsePrometheusText(page);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const PromSample* inf = parsed->Find("load_latency_bucket", "le", "+Inf");
+    const PromSample* count = parsed->Find("load_latency_count");
+    ASSERT_NE(inf, nullptr);
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(inf->value, count->value);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+
+  const MetricsSnapshot final_snap = reg.Snapshot();
+  ASSERT_EQ(final_snap.counters.size(), 1u);
+  EXPECT_GT(final_snap.counters[0].second, 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace zkml
