@@ -6,8 +6,10 @@
 // can be tracked by machines rather than eyeballs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -16,10 +18,13 @@
 #include "src/base/thread_pool.h"
 #include "src/ec/g1.h"
 #include "src/ff/fr_key.h"
+#include "src/model/zoo.h"
 #include "src/pcs/kzg.h"
 #include "src/plonk/constraint_system.h"
 #include "src/plonk/quotient.h"
 #include "src/poly/domain.h"
+#include "src/tensor/quantizer.h"
+#include "src/zkml/sharded.h"
 
 namespace zkml {
 namespace {
@@ -401,6 +406,122 @@ void BM_CommitViaIfft(benchmark::State& state) {
 }
 BENCHMARK(BM_CommitViaIfft)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
 
+// --- threads>1 series ------------------------------------------------------
+//
+// The MSM/FFT kernels size their parallelism off the affinity-sized global
+// pool, so on a CPU-restricted runner the series above measure the kernels
+// single-threaded. These series decompose the same work across an ad-hoc pool
+// of hardware_concurrency workers (at least 2) and stamp their records with
+// that thread count, so the JSON dump carries a measured threads>1 point for
+// the optimizer's hardware profile on multi-core hosts.
+
+size_t MtThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::max<size_t>(2, hc == 0 ? 1 : hc);
+}
+
+void BM_MsmMt(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const size_t n = static_cast<size_t>(1) << k;
+  const size_t threads = MtThreads();
+  ThreadPool pool(threads);
+  std::vector<G1Affine> bases = DeriveGenerators(4, n);
+  Rng rng(5);
+  std::vector<Fr> scalars(n);
+  for (Fr& s : scalars) {
+    s = Fr::Random(rng);
+  }
+  const size_t chunk = (n + threads - 1) / threads;
+  for (auto _ : state) {
+    // Partial MSMs over contiguous slices, summed at the end: the natural
+    // decomposition for a sharded prover whose shards commit independently.
+    std::vector<G1> partial(threads, G1::Identity());
+    {
+      TaskGroup group(pool);
+      for (size_t t = 0; t < threads; ++t) {
+        const size_t lo = std::min(n, t * chunk);
+        const size_t hi = std::min(n, lo + chunk);
+        if (lo >= hi) continue;
+        group.Submit([&bases, &scalars, &partial, t, lo, hi] {
+          partial[t] = Msm(bases.data() + lo, scalars.data() + lo, hi - lo);
+        });
+      }
+    }
+    G1 acc = G1::Identity();
+    for (const G1& p : partial) {
+      acc += p;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["size"] = static_cast<double>(n);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_MsmMt)->DenseRange(12, 16, 2)->Unit(benchmark::kMillisecond);
+
+void BM_FftMt(benchmark::State& state) {
+  // `threads` independent size-2^k FFTs in flight at once — the sharded
+  // prover's workload, where every shard transforms its own columns
+  // concurrently. Perfect scaling keeps the batch time equal to one BM_Fft
+  // at the same size; the recorded seconds cover the whole batch.
+  const int k = static_cast<int>(state.range(0));
+  const size_t threads = MtThreads();
+  ThreadPool pool(threads);
+  EvaluationDomain dom(k);
+  Rng rng(3);
+  std::vector<std::vector<Fr>> coeffs(threads, std::vector<Fr>(dom.size()));
+  for (auto& per_thread : coeffs) {
+    for (Fr& c : per_thread) {
+      c = Fr::Random(rng);
+    }
+  }
+  for (auto _ : state) {
+    TaskGroup group(pool);
+    for (size_t t = 0; t < threads; ++t) {
+      group.Submit([&dom, &coeffs, t] {
+        auto evals = dom.FftFromCoeffs(coeffs[t]);
+        benchmark::DoNotOptimize(evals);
+      });
+    }
+    group.Wait();
+  }
+  state.counters["size"] = static_cast<double>(dom.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_FftMt)->DenseRange(10, 14, 2)->Unit(benchmark::kMillisecond);
+
+// --- End-to-end sharded proving (graph partition + parallel shard proofs) --
+//
+// One full prove of a zoo model at 1/2/4/8 requested shards (clamped to what
+// the graph admits; the size counter records the actual count). At 1 shard
+// this is the single-circuit baseline the CI perf-smoke speedup gate divides
+// by. Proving uses the global pool, so shard concurrency is bounded by the
+// schedulable CPUs — on a 1-CPU runner the sharded series measures overhead,
+// not speedup (see DESIGN.md §13).
+void BM_ProveModel(benchmark::State& state, const char* zoo_name) {
+  const size_t requested = static_cast<size_t>(state.range(0));
+  const Model model = MakeZooModel(zoo_name);
+  StatusOr<CompiledShardedModel> compiled = CompileSharded(model, requested);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 7), model.quant);
+  for (auto _ : state) {
+    StatusOr<ShardedProof> proof = CreateShardedProof(*compiled, input);
+    if (!proof.ok()) {
+      state.SkipWithError(proof.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(proof->ProofBytes());
+  }
+  state.counters["size"] = static_cast<double>(compiled->num_shards());
+  state.counters["threads"] = static_cast<double>(ThreadPool::Global().num_threads());
+}
+BENCHMARK_CAPTURE(BM_ProveModel, mnist, "mnist")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ProveModel, vgg16, "vgg16")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 // Console output plus a flat record per run for the JSON dump.
 class JsonCollectingReporter : public benchmark::ConsoleReporter {
  public:
@@ -408,6 +529,7 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     std::string op;
     uint64_t size = 1;
     double seconds = 0;  // wall time per iteration
+    size_t threads = 0;  // 0 = the binary-wide default (global pool size)
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -421,18 +543,42 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
         continue;
       }
       Record rec;
-      // "BM_Fft/12" -> "BM_Fft"; the size counter already carries the 2^k.
-      // Aggregate names carry a "_mean" suffix when there is no "/" arg.
-      rec.op = run.benchmark_name().substr(0, run.benchmark_name().find('/'));
-      constexpr const char kMeanSuffix[] = "_mean";
-      constexpr size_t kMeanSuffixLen = sizeof(kMeanSuffix) - 1;
-      if (run.run_type == Run::RT_Aggregate && rec.op.size() > kMeanSuffixLen &&
-          rec.op.compare(rec.op.size() - kMeanSuffixLen, kMeanSuffixLen, kMeanSuffix) == 0) {
-        rec.op.resize(rec.op.size() - kMeanSuffixLen);
+      // "BM_Fft/12" -> "BM_Fft"; "BM_ProveModel/vgg16/4" -> "BM_ProveModel/vgg16".
+      // Numeric path segments are range args (already carried by the size
+      // counter); non-numeric ones are capture labels and stay in the op.
+      // Aggregate runs suffix "_<aggregate>" onto the last segment.
+      std::string name = run.benchmark_name();
+      if (run.run_type == Run::RT_Aggregate) {
+        const std::string suffix = "_" + run.aggregate_name;
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+          name.resize(name.size() - suffix.size());
+        }
+      }
+      for (size_t start = 0; start <= name.size();) {
+        const size_t slash = name.find('/', start);
+        const size_t seg_end = slash == std::string::npos ? name.size() : slash;
+        const std::string seg = name.substr(start, seg_end - start);
+        if (!seg.empty() && seg.find_first_not_of("0123456789") == std::string::npos) {
+          break;  // range arg: drop it and everything after
+        }
+        if (!rec.op.empty()) {
+          rec.op += '/';
+        }
+        rec.op += seg;
+        if (slash == std::string::npos) {
+          break;
+        }
+        start = slash + 1;
       }
       auto it = run.counters.find("size");
       if (it != run.counters.end()) {
         rec.size = static_cast<uint64_t>(it->second.value);
+      }
+      // MT series override the binary-wide thread stamp with their own pool
+      // size; everything else inherits the default at WriteJson time.
+      if (auto t = run.counters.find("threads"); t != run.counters.end()) {
+        rec.threads = static_cast<size_t>(t->second.value);
       }
       rec.seconds = run.real_accumulated_time / static_cast<double>(run.iterations);
       records_.push_back(std::move(rec));
@@ -456,15 +602,23 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
         c = ' ';  // CPUID brand strings never contain these; stay safe anyway
       }
     }
-    std::fprintf(f, "{\n  \"host\": {\"cpu_model\": \"%s\", \"num_cpus\": %zu, "
+    // num_cpus is the machine (hardware_concurrency); affinity_cpus is what
+    // the process may schedule on (and what the global pool sizes from).
+    // Earlier dumps wrote the affinity count as num_cpus, which on a
+    // CPU-restricted runner stamped "num_cpus": 1 for a many-core machine.
+    const unsigned hc = std::thread::hardware_concurrency();
+    std::fprintf(f, "{\n  \"host\": {\"cpu_model\": \"%s\", \"num_cpus\": %u, "
+                 "\"affinity_cpus\": %zu, "
                  "\"simd\": \"%s\", \"git_sha\": \"%s\", \"threads\": %zu},\n",
-                 model.c_str(), cpu.num_cpus, cpu.Summary().c_str(), ZKML_GIT_SHA, threads);
+                 model.c_str(), hc == 0 ? 1u : hc, cpu.num_cpus, cpu.Summary().c_str(),
+                 ZKML_GIT_SHA, threads);
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f,
                    "    {\"op\": \"%s\", \"size\": %llu, \"seconds\": %.9g, \"threads\": %zu}%s\n",
-                   r.op.c_str(), static_cast<unsigned long long>(r.size), r.seconds, threads,
+                   r.op.c_str(), static_cast<unsigned long long>(r.size), r.seconds,
+                   r.threads != 0 ? r.threads : threads,
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -17,9 +17,14 @@
 // Global telemetry flags (may appear anywhere on the command line):
 //   --trace=<file>    write a Chrome/Perfetto trace of the whole command
 //   --metrics=<file>  write the metrics registry (schema zkml.metrics/v1)
-//   --report=<file>   prove: run report (zkml.run_report/v1);
+//   --report=<file>   prove: run report (zkml.run_report/v1); sharded prove:
+//                     sharded report (zkml.sharded_proof/v1);
 //                     profile: the profile as JSON (zkml.circuit_profile/v1);
 //                     audit: soundness report (zkml.soundness/v1)
+//   --shards=N        prove: N>1 cuts the model into cost-balanced shards
+//                     proved concurrently; the proof file then holds a
+//                     zkml.sharded_proof/v1 artifact, which `verify` detects
+//                     and checks with one aggregated opening check
 //
 // Proof files carry the proof bytes plus the public statement; `verify`
 // rebuilds the verifying key deterministically from the model file, so the
@@ -36,8 +41,10 @@
 //   4  interrupted (SIGINT/SIGTERM during prove or audit: the command stops
 //      at the next cancellation checkpoint, writes whatever partial report
 //      was requested, and exits without producing the proof)
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -54,6 +61,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
+#include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 
 namespace zkml {
@@ -107,21 +115,28 @@ ZkmlOptions CliOptions(PcsKind backend) {
 }
 
 // Proof file: u32 proof length, proof bytes, u32 instance length, instances.
-bool WriteProofFile(const std::string& path, const ZkmlProof& proof) {
+// The proof-bytes slot holds either a single-circuit proof or a
+// zkml.sharded_proof/v1 artifact ("ZKSH" magic); `verify` sniffs which.
+bool WriteProofFileBytes(const std::string& path, const std::vector<uint8_t>& bytes,
+                         const std::vector<Fr>& instance) {
   std::vector<uint8_t> blob;
   for (int i = 0; i < 4; ++i) {
-    blob.push_back(static_cast<uint8_t>(proof.bytes.size() >> (8 * i)));
+    blob.push_back(static_cast<uint8_t>(bytes.size() >> (8 * i)));
   }
-  blob.insert(blob.end(), proof.bytes.begin(), proof.bytes.end());
+  blob.insert(blob.end(), bytes.begin(), bytes.end());
   for (int i = 0; i < 4; ++i) {
-    blob.push_back(static_cast<uint8_t>(proof.instance.size() >> (8 * i)));
+    blob.push_back(static_cast<uint8_t>(instance.size() >> (8 * i)));
   }
-  for (const Fr& v : proof.instance) {
+  for (const Fr& v : instance) {
     ProofAppendFr(&blob, v);
   }
   std::ofstream out(path, std::ios::binary);
   out.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
   return static_cast<bool>(out);
+}
+
+bool WriteProofFile(const std::string& path, const ZkmlProof& proof) {
+  return WriteProofFileBytes(path, proof.bytes, proof.instance);
 }
 
 Status ReadProofFile(const std::string& path, std::vector<uint8_t>* proof,
@@ -207,12 +222,60 @@ int CmdOptimize(const std::string& path, PcsKind backend) {
   return kExitOk;
 }
 
+// Sharded prove (--shards=N, N>1): the model is cut into cost-balanced
+// sub-circuits proved concurrently; the proof file's proof-bytes slot holds
+// the zkml.sharded_proof/v1 artifact and the instance slot the composite
+// statement, so `verify` works on the same file format.
+int CmdProveSharded(const Model& model, const std::string& proof_path, uint64_t seed,
+                    PcsKind backend, const std::string& report_path, int shards) {
+  StatusOr<CompiledShardedModel> compiled =
+      CompileSharded(model, static_cast<size_t>(shards), CliOptions(backend));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "sharded compile failed: %s\n", compiled.status().ToString().c_str());
+    return kExitMalformedInput;
+  }
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
+  StatusOr<ShardedProof> proof = CreateShardedProof(*compiled, input, &g_interrupt);
+  if (!proof.ok()) {
+    std::fprintf(stderr, "sharded prove failed: %s\n", proof.status().ToString().c_str());
+    return proof.status().code() == StatusCode::kCancelled ||
+                   proof.status().code() == StatusCode::kDeadlineExceeded
+               ? kExitInterrupted
+               : kExitUsage;
+  }
+  if (!WriteProofFileBytes(proof_path, EncodeShardedProof(*proof), proof->instance)) {
+    std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
+    return kExitUsage;
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << ShardedReportJson(*compiled, *proof).DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write run report %s\n", report_path.c_str());
+      return kExitUsage;
+    }
+    std::printf("sharded run report -> %s\n", report_path.c_str());
+  }
+  std::printf("proved %s across %zu shards on input seed %llu in %.2fs "
+              "(witness %.2fs, slowest shard %.2fs): %zu artifact bytes -> %s\n",
+              model.name.c_str(), compiled->num_shards(),
+              static_cast<unsigned long long>(seed), proof->prove_seconds,
+              proof->witness_seconds,
+              *std::max_element(proof->shard_prove_seconds.begin(),
+                                proof->shard_prove_seconds.end()),
+              proof->ProofBytes(), proof_path.c_str());
+  return kExitOk;
+}
+
 int CmdProve(const std::string& model_path, const std::string& proof_path, uint64_t seed,
-             PcsKind backend, const std::string& report_path) {
+             PcsKind backend, const std::string& report_path, int shards) {
   Model model;
   int exit_code = kExitOk;
   if (!LoadModelOrReport(model_path, &model, &exit_code)) {
     return exit_code;
+  }
+  if (shards > 1) {
+    return CmdProveSharded(model, proof_path, seed, backend, report_path, shards);
   }
   const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, seed), model.quant);
@@ -356,6 +419,26 @@ int CmdTelemetryValidate(const std::string& path) {
   }
   if (const obs::Json* schema = j.Find("schema"); schema != nullptr && schema->is_string() &&
                                                   schema->AsString().rfind("zkml.", 0) == 0) {
+    // Schema-specific structural checks on top of the generic zkml.* accept.
+    if (schema->AsString() == kShardedProofSchema) {
+      const obs::Json* num = j.Find("num_shards");
+      const obs::Json* shards = j.Find("shards");
+      const obs::Json* bounds = j.Find("boundary_elements");
+      if (num == nullptr || shards == nullptr || !shards->is_array() || bounds == nullptr ||
+          !bounds->is_array()) {
+        std::fprintf(stderr, "%s: %s document missing num_shards/shards/boundary_elements\n",
+                     path.c_str(), kShardedProofSchema);
+        return kExitMalformedInput;
+      }
+      const size_t k = static_cast<size_t>(num->AsInt());
+      if (shards->size() != k || bounds->size() != k + 1) {
+        std::fprintf(stderr,
+                     "%s: inconsistent shard counts (num_shards %zu, %zu shard entries, "
+                     "%zu boundaries; want k and k+1)\n",
+                     path.c_str(), k, shards->size(), bounds->size());
+        return kExitMalformedInput;
+      }
+    }
     std::printf("%s: valid telemetry document (schema %s)\n", path.c_str(),
                 schema->AsString().c_str());
     return kExitOk;
@@ -402,15 +485,40 @@ int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsK
   if (!LoadModelOrReport(model_path, &model, &exit_code)) {
     return exit_code;
   }
-  // The verifier recompiles deterministically (same optimizer + setup seed),
-  // obtaining the same verifying key the prover used — no witness involved.
-  const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   std::vector<uint8_t> proof;
   std::vector<Fr> instance;
   if (Status s = ReadProofFile(proof_path, &proof, &instance); !s.ok()) {
     std::fprintf(stderr, "error reading %s: %s\n", proof_path.c_str(), s.ToString().c_str());
     return s.code() == StatusCode::kIoError ? kExitUsage : kExitMalformedInput;
   }
+  // Sharded artifacts ("ZKSH" magic) re-derive the partition from the shard
+  // count the artifact claims; a lying count fails the stitch check below.
+  if (LooksLikeShardedProof(proof)) {
+    StatusOr<DecodedShardedProof> decoded = DecodeShardedProof(proof);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "error decoding sharded artifact: %s\n",
+                   decoded.status().ToString().c_str());
+      return kExitMalformedInput;
+    }
+    StatusOr<CompiledShardedModel> compiled =
+        CompileSharded(model, decoded->shard_proofs.size(), CliOptions(backend));
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "sharded compile failed: %s\n", compiled.status().ToString().c_str());
+      return kExitMalformedInput;
+    }
+    const VerifyResult result = VerifySharded(*compiled, instance, proof);
+    if (result.ok()) {
+      std::printf("VALID (%zu shards, %s)\n", compiled->num_shards(),
+                  backend == PcsKind::kKzg ? "aggregated opening check"
+                                           : "per-shard opening checks");
+      return kExitOk;
+    }
+    std::printf("INVALID (%s)\n", result.ToString().c_str());
+    return kExitInvalidProof;
+  }
+  // The verifier recompiles deterministically (same optimizer + setup seed),
+  // obtaining the same verifying key the prover used — no witness involved.
+  const CompiledModel compiled = CompileModel(model, CliOptions(backend));
   const VerifyResult result = VerifyDetailed(compiled.pk.vk, *compiled.pcs, instance, proof);
   if (result.ok()) {
     std::printf("VALID\n");
@@ -433,7 +541,7 @@ int Usage() {
                "       zkml_cli inspect <model-file>\n"
                "       zkml_cli optimize <model-file> [kzg|ipa]\n"
                "       zkml_cli profile <model-file> [kzg|ipa]\n"
-               "       zkml_cli prove <model-file> <proof-file> [seed] [kzg|ipa]\n"
+               "       zkml_cli prove [--shards=N] <model-file> <proof-file> [seed] [kzg|ipa]\n"
                "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n"
                "       zkml_cli audit <model-file> [seed]\n"
                "       zkml_cli telemetry-validate [--prometheus] <file>\n");
@@ -441,7 +549,7 @@ int Usage() {
 }
 
 int Dispatch(const std::vector<std::string>& args, const std::string& report_path,
-             bool prometheus) {
+             bool prometheus, int shards) {
   if (args.size() < 2) {
     return Usage();
   }
@@ -470,7 +578,7 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
   if (cmd == "prove" && args.size() >= 3) {
     InstallInterruptHandler();
     const uint64_t seed = args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 7;
-    return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path);
+    return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path, shards);
   }
   if (cmd == "verify" && args.size() >= 3) {
     return CmdVerify(args[1], args[2], backend_arg(3, PcsKind::kKzg));
@@ -495,6 +603,7 @@ int main(int argc, char** argv) {
   // Telemetry flags may appear anywhere; everything else is positional.
   std::string trace_path, metrics_path, report_path;
   bool prometheus = false;
+  int shards = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -504,6 +613,8 @@ int main(int argc, char** argv) {
       metrics_path = arg.substr(10);
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(9);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(arg.substr(9).c_str());
     } else if (arg == "--prometheus") {
       prometheus = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -522,7 +633,7 @@ int main(int argc, char** argv) {
   {
     // The scope must close before export so every span has ended.
     obs::TracerScope scope(trace_path.empty() ? nullptr : &tracer);
-    code = Dispatch(args, report_path, prometheus);
+    code = Dispatch(args, report_path, prometheus, shards);
   }
   if (!trace_path.empty()) {
     if (Status s = tracer.WriteChromeTrace(trace_path); !s.ok()) {

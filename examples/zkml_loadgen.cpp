@@ -9,8 +9,12 @@
 //
 //   zkml_loadgen --port=N [--host=H] [--zoo=mnist-cnn | --model=<file>]
 //                [--requests=N] [--workers=N] [--rate=R] [--deadline-ms=N]
-//                [--backend=kzg|ipa] [--timeout-ms=N] [--seed=N]
+//                [--backend=kzg|ipa] [--shards=N] [--timeout-ms=N] [--seed=N]
 //                [--out=<file>] [--admin-port=N] [--require-server-match]
+//
+// --shards=N (>1) asks the daemon for sharded proving: the response then
+// carries a zkml.sharded_proof/v1 artifact and reports the shard count the
+// server actually used after clamping to what the model's graph admits.
 //
 // --out writes the full run as a JSON artifact (schema "zkml.loadgen/v1").
 // --admin-port scrapes the daemon's /metrics page before and after the run
@@ -67,7 +71,8 @@ struct LoadgenOptions {
   uint8_t backend = 0;
   int timeout_ms = 120000;
   uint64_t seed = 1;
-  int fault = 0;  // >0: run the fault injector with this many interactions
+  int fault = 0;   // >0: run the fault injector with this many interactions
+  int shards = 0;  // >1: request sharded proving (server clamps to the graph)
 
   std::string out_file;            // JSON artifact (zkml.loadgen/v1)
   int admin_port = 0;              // >0: scrape /metrics before + after
@@ -192,6 +197,7 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
       req.backend = opt.backend;
       req.deadline_ms = opt.deadline_ms;
       req.seed = opt.seed + static_cast<uint64_t>(i);
+      req.shards = opt.shards > 0 ? static_cast<uint32_t>(opt.shards) : 0;
       const auto start = std::chrono::steady_clock::now();
       StatusOr<ZkmlClient::ProveOutcome> result =
           client->Prove(req, static_cast<uint64_t>(i) + 1, opt.timeout_ms);
@@ -283,6 +289,7 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
     doc.Set("workers", static_cast<uint64_t>(opt.workers));
     doc.Set("rate_per_sec", opt.rate);
     doc.Set("backend", opt.backend == 1 ? "ipa" : "kzg");
+    doc.Set("shards", static_cast<uint64_t>(opt.shards > 0 ? opt.shards : 0));
     doc.Set("deadline_ms", static_cast<uint64_t>(opt.deadline_ms));
     doc.Set("wall_s", wall);
     obs::Json outcomes = obs::Json::Object();
@@ -449,7 +456,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: zkml_loadgen --port=N [--host=H] [--zoo=mnist | --model=<file>]\n"
                "                    [--requests=N] [--workers=N] [--rate=R] [--deadline-ms=N]\n"
-               "                    [--backend=kzg|ipa] [--timeout-ms=N] [--seed=N] [--fault=N]\n"
+               "                    [--backend=kzg|ipa] [--shards=N] [--timeout-ms=N] [--seed=N] [--fault=N]\n"
                "                    [--out=<file>] [--admin-port=N] [--require-server-match]\n");
   return 1;
 }
@@ -474,6 +481,7 @@ int Main(int argc, char** argv) {
     else if (const char* v = val("timeout-ms")) opt.timeout_ms = std::atoi(v);
     else if (const char* v = val("seed")) opt.seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = val("fault")) opt.fault = std::atoi(v);
+    else if (const char* v = val("shards")) opt.shards = std::atoi(v);
     else if (const char* v = val("out")) opt.out_file = v;
     else if (const char* v = val("admin-port")) opt.admin_port = std::atoi(v);
     else if (arg == "--require-server-match") opt.require_server_match = true;

@@ -1,6 +1,7 @@
 #include "src/base/thread_pool.h"
 
 #include <algorithm>
+#include <deque>
 #include <cstdlib>
 
 #if defined(__linux__)
@@ -187,42 +188,78 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-void TaskGroup::Submit(std::function<void()> task) {
-  pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.Enqueue([this, task = std::move(task)] {
-    task();
-    // The decrement happens under the mutex so a waiter that sees zero while
-    // holding (or subsequently acquiring) the mutex knows this worker will
-    // never touch the group again — otherwise Wait() could return and the
-    // group be destroyed between our fetch_sub and notify_all.
-    std::lock_guard<std::mutex> lock(done_mu_);
-    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      done_cv_.notify_all();
+struct TaskGroup::State {
+  std::mutex mu;
+  std::deque<std::function<void()>> unstarted;
+  std::atomic<size_t> pending{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  // Claims one unstarted task and hands it to `run`; false when every task
+  // has already been claimed (by a pool ticket or another helper). The
+  // indirection lets Wait() route helper-run tasks through the pool's
+  // helper-slot accounting while tickets execute them directly (the worker
+  // loop already counts the ticket).
+  bool RunOne(const std::function<void(std::function<void()>&)>& run) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (unstarted.empty()) {
+        return false;
+      }
+      task = std::move(unstarted.front());
+      unstarted.pop_front();
     }
+    run(task);
+    // The decrement happens under the mutex so a waiter that sees zero while
+    // holding (or subsequently acquiring) the mutex knows this runner will
+    // never touch the group again — otherwise Wait() could return and the
+    // group be destroyed between our fetch_sub and notify_all. Tickets are
+    // safe regardless: they share ownership of this state.
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv.notify_all();
+    }
+    return true;
+  }
+};
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->unstarted.push_back(std::move(task));
+  }
+  state_->pending.fetch_add(1, std::memory_order_acq_rel);
+  pool_.Enqueue([state = state_] {
+    state->RunOne([](std::function<void()>& t) { t(); });
   });
 }
 
 void TaskGroup::Wait() {
+  State& s = *state_;
   for (;;) {
-    if (pending_.load(std::memory_order_acquire) == 0) {
+    if (s.pending.load(std::memory_order_acquire) == 0) {
       break;
     }
-    // Help drain the shared queue: this is what makes nesting deadlock-free.
-    if (pool_.TryRunOne()) {
+    // Help run this group's own unstarted tasks. The waiting thread alone can
+    // drain the whole group, so Wait() makes progress even on a pool with no
+    // free workers; claimed tasks finish on whichever thread took them.
+    if (s.RunOne([this](std::function<void()>& t) { pool_.RunTask(t, pool_.num_threads()); })) {
       continue;
     }
-    // Queue empty but our tasks still run elsewhere: block briefly. The
-    // timeout re-checks the queue in case another nested section enqueued
-    // more work that this thread could help with.
-    std::unique_lock<std::mutex> lock(done_mu_);
-    if (pending_.load(std::memory_order_acquire) == 0) {
-      return;  // the last worker has already released the mutex
-    }
-    done_cv_.wait_for(lock, std::chrono::milliseconds(1),
-                      [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    // Everything is claimed but still running elsewhere: block until the last
+    // runner's decrement. No new helpable work can appear (Submit and Wait
+    // are not called concurrently), so an untimed wait is safe.
+    std::unique_lock<std::mutex> lock(s.done_mu);
+    s.done_cv.wait(lock, [&s] { return s.pending.load(std::memory_order_acquire) == 0; });
+    return;
   }
-  // Synchronize with the final worker's critical section before returning.
-  std::lock_guard<std::mutex> lock(done_mu_);
+  // Synchronize with the final runner's critical section before returning.
+  std::lock_guard<std::mutex> lock(s.done_mu);
 }
 
 void ParallelFor(size_t begin, size_t end, const std::function<void(size_t, size_t)>& chunk_fn,

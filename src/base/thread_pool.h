@@ -1,7 +1,9 @@
 // Work-helping thread pool. Parallel sections (FFT stages, MSM windows,
 // witness generation) nest freely: a thread waiting on its TaskGroup executes
-// queued tasks instead of blocking, so a pool worker that spawns a nested
-// parallel section can never deadlock the pool.
+// that group's own unstarted tasks instead of blocking, so a pool worker that
+// spawns a nested parallel section can never deadlock the pool — and, because
+// helping never picks up unrelated queue tasks, a task that blocks on a lock
+// held by the helping thread can never be pulled onto it.
 //
 // Every task carries the submitting thread's TaskContext (kernel-counter sink
 // and active trace span), so work done on pool workers is attributed to the
@@ -103,12 +105,18 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
-// A set of tasks whose completion can be awaited. Wait() helps execute queued
-// pool tasks while this group is unfinished, making nested parallelism safe.
+// A set of tasks whose completion can be awaited. Wait() helps execute
+// unstarted tasks of THIS group while it is unfinished, making nested
+// parallelism safe: a pool worker that spawns a nested parallel section runs
+// its own chunks instead of blocking. Helping is deliberately restricted to
+// the group's own tasks — running arbitrary pool tasks from Wait() can
+// self-deadlock when the helped task blocks on a lock (or C++ static-init
+// guard) the helping thread already holds, e.g. two sibling tasks both
+// reaching the same lazily-initialized cache.
 class TaskGroup {
  public:
-  explicit TaskGroup(ThreadPool& pool = ThreadPool::Global()) : pool_(pool) {}
-  ~TaskGroup() { Wait(); }
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::Global());
+  ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
@@ -118,10 +126,13 @@ class TaskGroup {
   void Wait();
 
  private:
+  struct State;
+
   ThreadPool& pool_;
-  std::atomic<size_t> pending_{0};
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
+  // Tasks live in the group's own deque; the pool queue only carries claim
+  // tickets holding shared ownership of the state, so a ticket that fires
+  // after Wait() already drained the deque is a harmless no-op.
+  std::shared_ptr<State> state_;
 };
 
 // Runs chunk_fn over [begin, end) split into contiguous chunks across the

@@ -1,0 +1,220 @@
+#include "src/compiler/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "src/base/check.h"
+#include "src/model/shape_inference.h"
+
+namespace zkml {
+namespace {
+
+// Flop weight of a single op, mirroring Model::ApproxFlops so shard balance
+// agrees with the optimizer's cost model.
+int64_t OpFlops(const Model& model, const std::vector<Shape>& shapes, const Op& op) {
+  const Shape& out = shapes[static_cast<size_t>(op.output)];
+  switch (op.type) {
+    case OpType::kConv2D: {
+      const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+      return 2 * out.NumElements() * w.dim(0) * w.dim(1) * w.dim(2);
+    }
+    case OpType::kDepthwiseConv2D: {
+      const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+      return 2 * out.NumElements() * w.dim(0) * w.dim(1);
+    }
+    case OpType::kFullyConnected: {
+      const Shape& w = model.weights[static_cast<size_t>(op.weights[0])].shape();
+      return 2 * w.NumElements();
+    }
+    case OpType::kBatchMatMul: {
+      const Shape& a = shapes[static_cast<size_t>(op.inputs[0])];
+      return 2 * out.NumElements() * a.dim(a.rank() - 1);
+    }
+    default:
+      return out.NumElements();
+  }
+}
+
+struct CutPoint {
+  size_t after_op;  // cut between ops[after_op] and ops[after_op + 1]
+  int tensor;       // the single activation live across the cut
+};
+
+// Positions where exactly one tensor is live across the boundary. A cut after
+// op i is legal iff one tensor defined at or before i is still read after i
+// (the model output counts as read past the end); residual spans keep two or
+// more tensors live and therefore admit no cut inside them.
+std::vector<CutPoint> ValidCuts(const Model& model) {
+  const size_t n = model.ops.size();
+  std::vector<CutPoint> cuts;
+  if (n < 2) {
+    return cuts;
+  }
+  // def[t]: index of the op producing tensor t (-1 for the model input).
+  // last_use[t]: last op index reading t (n for the model output).
+  std::unordered_map<int, int64_t> def, last_use;
+  def[model.input_tensor] = -1;
+  for (size_t j = 0; j < n; ++j) {
+    for (int t : model.ops[j].inputs) {
+      last_use[t] = static_cast<int64_t>(j);
+    }
+    def[model.ops[j].output] = static_cast<int64_t>(j);
+  }
+  last_use[model.output_tensor] = static_cast<int64_t>(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    int live_tensor = -1;
+    int live_count = 0;
+    for (const auto& [t, d] : def) {
+      auto it = last_use.find(t);
+      if (it == last_use.end()) {
+        continue;  // dead tensor
+      }
+      if (d <= static_cast<int64_t>(i) && it->second > static_cast<int64_t>(i)) {
+        live_tensor = t;
+        ++live_count;
+      }
+    }
+    if (live_count == 1) {
+      cuts.push_back({i, live_tensor});
+    }
+  }
+  return cuts;
+}
+
+// Extracts ops [first, last) as a standalone model reading `in_tensor` and
+// exposing `out_tensor`, with tensor ids and weight indices re-mapped.
+Model ExtractShard(const Model& model, const std::vector<Shape>& shapes, size_t first,
+                   size_t last, int in_tensor, int out_tensor, size_t shard_index,
+                   size_t num_shards) {
+  Model sub;
+  sub.name = model.name + ":shard" + std::to_string(shard_index) + "/" +
+             std::to_string(num_shards);
+  sub.input_shape = shapes[static_cast<size_t>(in_tensor)];
+  sub.input_tensor = 0;
+  sub.quant = model.quant;
+
+  std::unordered_map<int, int> tensor_map;
+  std::unordered_map<int, int> weight_map;
+  tensor_map[in_tensor] = 0;
+  int next_tensor = 1;
+  for (size_t j = first; j < last; ++j) {
+    const Op& op = model.ops[j];
+    Op mapped = op;
+    for (int& t : mapped.inputs) {
+      auto it = tensor_map.find(t);
+      // Cut validity guarantees every tensor an in-shard op reads is either
+      // the boundary activation or produced inside the shard.
+      ZKML_CHECK(it != tensor_map.end());
+      t = it->second;
+    }
+    for (int& w : mapped.weights) {
+      auto it = weight_map.find(w);
+      if (it == weight_map.end()) {
+        it = weight_map.emplace(w, static_cast<int>(sub.weights.size())).first;
+        sub.weights.push_back(model.weights[static_cast<size_t>(w)]);
+      }
+      w = it->second;
+    }
+    tensor_map[op.output] = next_tensor;
+    mapped.output = next_tensor++;
+    sub.ops.push_back(std::move(mapped));
+  }
+  sub.num_tensors = next_tensor;
+  auto out_it = tensor_map.find(out_tensor);
+  ZKML_CHECK(out_it != tensor_map.end());
+  sub.output_tensor = out_it->second;
+  return sub;
+}
+
+}  // namespace
+
+size_t MaxShards(const Model& model) { return ValidCuts(model).size() + 1; }
+
+StatusOr<ModelPartition> PartitionModel(const Model& model, size_t num_shards) {
+  if (num_shards == 0) {
+    return InvalidArgumentError("num_shards must be >= 1");
+  }
+  const std::vector<Shape> shapes = InferShapes(model);
+  const std::vector<CutPoint> cuts = ValidCuts(model);
+  if (num_shards > cuts.size() + 1) {
+    return InvalidArgumentError("model '" + model.name + "' admits at most " +
+                                std::to_string(cuts.size() + 1) + " shards (" +
+                                std::to_string(num_shards) + " requested)");
+  }
+
+  const size_t n = model.ops.size();
+  // Prefix flop sums: cost of ops [a, b) = prefix[b] - prefix[a].
+  std::vector<int64_t> prefix(n + 1, 0);
+  for (size_t j = 0; j < n; ++j) {
+    prefix[j + 1] = prefix[j] + OpFlops(model, shapes, model.ops[j]);
+  }
+  auto seg_cost = [&](size_t a, size_t b) { return prefix[b] - prefix[a]; };
+
+  // Choose num_shards-1 cuts minimizing the heaviest shard. dp[j][i]: best
+  // achievable max-shard cost covering ops [0, cuts[i].after_op + 1) with j
+  // cuts, the j-th being cuts[i]. Problem sizes are tiny (tens of ops), so
+  // the O(k * m^2) scan is fine.
+  const size_t k = num_shards;
+  std::vector<size_t> chosen;  // indices into `cuts`, ascending
+  if (k > 1) {
+    const size_t m = cuts.size();
+    constexpr int64_t kInf = std::numeric_limits<int64_t>::max();
+    std::vector<std::vector<int64_t>> dp(k, std::vector<int64_t>(m, kInf));
+    std::vector<std::vector<size_t>> parent(k, std::vector<size_t>(m, 0));
+    for (size_t i = 0; i < m; ++i) {
+      dp[1][i] = seg_cost(0, cuts[i].after_op + 1);
+    }
+    for (size_t j = 2; j < k; ++j) {
+      for (size_t i = j - 1; i < m; ++i) {
+        for (size_t l = j - 2; l < i; ++l) {
+          if (dp[j - 1][l] == kInf) continue;
+          const int64_t cand =
+              std::max(dp[j - 1][l], seg_cost(cuts[l].after_op + 1, cuts[i].after_op + 1));
+          if (cand < dp[j][i]) {
+            dp[j][i] = cand;
+            parent[j][i] = l;
+          }
+        }
+      }
+    }
+    int64_t best = kInf;
+    size_t best_i = 0;
+    for (size_t i = k - 2; i < m; ++i) {
+      if (dp[k - 1][i] == kInf) continue;
+      const int64_t cand = std::max(dp[k - 1][i], seg_cost(cuts[i].after_op + 1, n));
+      if (cand < best) {
+        best = cand;
+        best_i = i;
+      }
+    }
+    ZKML_CHECK(best != kInf);
+    chosen.resize(k - 1);
+    size_t i = best_i;
+    for (size_t j = k - 1; j >= 1; --j) {
+      chosen[j - 1] = i;
+      i = parent[j][i];
+    }
+  }
+
+  ModelPartition partition;
+  size_t first = 0;
+  int in_tensor = model.input_tensor;
+  for (size_t s = 0; s < k; ++s) {
+    const bool is_last = s + 1 == k;
+    const size_t last = is_last ? n : cuts[chosen[s]].after_op + 1;
+    const int out_tensor = is_last ? model.output_tensor : cuts[chosen[s]].tensor;
+    ModelShard shard;
+    shard.first_op = first;
+    shard.last_op = last;
+    shard.flops = seg_cost(first, last);
+    shard.model =
+        ExtractShard(model, shapes, first, last, in_tensor, out_tensor, s, k);
+    partition.shards.push_back(std::move(shard));
+    first = last;
+    in_tensor = out_tensor;
+  }
+  return partition;
+}
+
+}  // namespace zkml

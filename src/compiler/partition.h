@@ -1,0 +1,49 @@
+// Graph partitioner for sharded proving: cuts the model's topologically
+// ordered op list at layer boundaries where exactly one tensor is live, so
+// each shard is a self-contained sub-model that reads one boundary activation
+// and writes the next. Shards are balanced by the same flop accounting the
+// optimizer's cost model uses (Model::ApproxFlops), minimizing the cost of
+// the heaviest shard — the quantity that bounds parallel prover wall-clock.
+#ifndef SRC_COMPILER_PARTITION_H_
+#define SRC_COMPILER_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/model/graph.h"
+
+namespace zkml {
+
+// One contiguous slice [first_op, last_op) of the parent op list, extracted
+// as a standalone Model whose input is the boundary activation entering the
+// slice and whose output is the activation leaving it.
+struct ModelShard {
+  Model model;
+  size_t first_op = 0;
+  size_t last_op = 0;    // exclusive
+  int64_t flops = 0;     // cost-model weight of this slice
+};
+
+// An ordered chain of shards: shard i's output tensor is shard i+1's input.
+struct ModelPartition {
+  std::vector<ModelShard> shards;
+  size_t num_shards() const { return shards.size(); }
+};
+
+// Largest shard count PartitionModel can honour: one more than the number of
+// positions in the op list where the live-tensor frontier is a single tensor.
+// Residual/skip connections suppress cuts inside their span, so this is 1 for
+// a model that is one big diamond and ops.size() for a pure chain.
+size_t MaxShards(const Model& model);
+
+// Splits `model` into `num_shards` chained sub-models, choosing cut points
+// that minimize the flop cost of the heaviest shard. Tensor ids and weight
+// indices are re-mapped per shard; each shard's input_shape comes from shape
+// inference on the parent. Fails with InvalidArgument when num_shards is 0 or
+// exceeds MaxShards(model).
+StatusOr<ModelPartition> PartitionModel(const Model& model, size_t num_shards);
+
+}  // namespace zkml
+
+#endif  // SRC_COMPILER_PARTITION_H_

@@ -107,10 +107,49 @@ Status KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   // Pairing check simulated in the exponent (see header comment):
   //   C* - y*·G == (tau - z)·W.
   const G1 lhs = c_star - G1::Generator().ScalarMul(y_star);
+  if (defer_ != nullptr) {
+    // Sharded verification: record the claim; KzgAccumulator::Check folds
+    // every shard's claim into one RLC'd pairing check.
+    defer_->Add(KzgDeferredOpening{lhs, w, point});
+    return Status::Ok();
+  }
   const G1 rhs = G1::FromAffine(w).ScalarMul(setup_->tau - point);
   if (!(lhs == rhs)) {
     return VerifyFailedError("kzg: opening equation C* - y*G != (tau - z)W for batch of " +
                              std::to_string(commitments.size()) + " commitments");
+  }
+  return Status::Ok();
+}
+
+Status KzgAccumulator::Check(const KzgSetup& setup) const {
+  obs::Span span("kzg-aggregate-check");
+  static obs::Counter& checks =
+      obs::MetricsRegistry::Global().counter("pcs.kzg.aggregate_checks");
+  checks.Increment();
+  if (entries_.empty()) {
+    return InvalidArgumentError("kzg aggregate: no deferred openings to check");
+  }
+  // The RLC challenge is bound to every claim being combined, so an attacker
+  // cannot craft two bad claims that cancel.
+  Transcript transcript("zkml-kzg-aggregate");
+  for (const KzgDeferredOpening& e : entries_) {
+    transcript.AppendPoint("agg-lhs", e.lhs.ToAffine());
+    transcript.AppendPoint("agg-w", e.w);
+    transcript.AppendFr("agg-z", e.point);
+  }
+  const Fr r = transcript.ChallengeFr("kzg-aggregate-r");
+  // sum r^j lhs_j == sum r^j (tau - z_j) W_j — the exponent form of the single
+  // batched pairing e(sum r^j (C_j - y_j·G + z_j·W_j), H) = e(sum r^j W_j, tau·H).
+  G1 lhs_acc, rhs_acc;
+  Fr rj = Fr::One();
+  for (const KzgDeferredOpening& e : entries_) {
+    lhs_acc += e.lhs.ScalarMul(rj);
+    rhs_acc += G1::FromAffine(e.w).ScalarMul(rj * (setup.tau - e.point));
+    rj *= r;
+  }
+  if (!(lhs_acc == rhs_acc)) {
+    return VerifyFailedError("kzg aggregate: combined pairing check failed across " +
+                             std::to_string(entries_.size()) + " deferred openings");
   }
   return Status::Ok();
 }

@@ -23,13 +23,50 @@ struct KzgSetup {
   Fr tau;                        // trapdoor, used only by the simulated pairing check
 
   // Local (insecure, test/benchmark-only) setup. The real system uses the
-  // Perpetual Powers of Tau ceremony output.
+  // Perpetual Powers of Tau ceremony output. The trapdoor is drawn from the
+  // seed before the powers, so setups sharing a seed share tau regardless of
+  // max_len — per-shard setups of different sizes aggregate soundly.
   static KzgSetup Create(size_t max_len, uint64_t seed);
+};
+
+// One opening claim captured instead of checked: lhs == (tau - z)·W, the
+// exponent form of the pairing equation e(C* - y*·G, H) = e(W, (tau - z)·H).
+struct KzgDeferredOpening {
+  G1 lhs;      // C* - y*·G for the batch
+  G1Affine w;  // witness commitment
+  Fr point;    // opening point z
+};
+
+// Collects deferred openings across many proofs (one per shard in sharded
+// verification) and discharges them with a single random-linear-combination
+// check — the analog of one batched pairing instead of k. Not thread-safe;
+// accumulate from one thread.
+class KzgAccumulator {
+ public:
+  void Add(KzgDeferredOpening opening) { entries_.push_back(std::move(opening)); }
+  size_t size() const { return entries_.size(); }
+
+  // Draws an RLC challenge r from a transcript over every accumulated claim
+  // and verifies sum_j r^j·lhs_j == sum_j r^j·(tau - z_j)·W_j. A cheat in any
+  // single claim survives only with probability |entries|/|Fr|.
+  Status Check(const KzgSetup& setup) const;
+
+ private:
+  std::vector<KzgDeferredOpening> entries_;
 };
 
 class KzgPcs : public Pcs {
  public:
   explicit KzgPcs(std::shared_ptr<const KzgSetup> setup) : setup_(std::move(setup)) {}
+
+  // Deferred-verification mode: VerifyBatch records its final opening claim
+  // into `defer` (not owned) and reports success; the caller must discharge
+  // the accumulator with KzgAccumulator::Check. Proving is unaffected.
+  KzgPcs(std::shared_ptr<const KzgSetup> setup, KzgAccumulator* defer)
+      : setup_(std::move(setup)), defer_(defer) {}
+
+  const KzgSetup& setup() const { return *setup_; }
+  const std::shared_ptr<const KzgSetup>& shared_setup() const { return setup_; }
 
   PcsKind kind() const override { return PcsKind::kKzg; }
   size_t max_len() const override { return setup_->powers.size(); }
@@ -44,6 +81,7 @@ class KzgPcs : public Pcs {
 
  private:
   std::shared_ptr<const KzgSetup> setup_;
+  KzgAccumulator* defer_ = nullptr;
   LagrangeBasisCache lagrange_;
 };
 

@@ -33,6 +33,10 @@ const char* VerifyStageName(VerifyStage stage) {
       return "pcs-opening";
     case VerifyStage::kTrailingBytes:
       return "trailing-bytes";
+    case VerifyStage::kShardStitch:
+      return "shard-stitch";
+    case VerifyStage::kShardAggregate:
+      return "shard-aggregate";
   }
   return "unknown";
 }

@@ -33,6 +33,10 @@ enum class VerifyStage {
   kVanishingCheck,          // the reconstructed quotient identity at x
   kPcsOpening,              // a PCS batch-opening check
   kTrailingBytes,           // proof not fully consumed
+  // Sharded-verification stages (src/zkml/sharded.h): the composite verifier
+  // reuses VerifyResult so rejections stay stage-attributed end to end.
+  kShardStitch,             // boundary activations disagree with the statement
+  kShardAggregate,          // the combined batched-KZG pairing check
 };
 
 const char* VerifyStageName(VerifyStage stage);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <optional>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/tensor/quantizer.h"
+#include "src/zkml/sharded.h"
 
 namespace zkml {
 namespace serve {
@@ -55,6 +57,10 @@ struct ZkmlServer::Job {
   // worker holds the job. Written by the worker, read by the admin thread.
   std::atomic<uint8_t> stage{static_cast<uint8_t>(WireStage::kAdmission)};
   std::atomic<int> worker{-1};
+  // Sharded-prove progress (zero total = single-circuit job). shards_done is
+  // bumped from pool threads as shard proofs land, read by /statusz.
+  std::atomic<uint32_t> shards_total{0};
+  std::atomic<uint32_t> shards_done{0};
 
   std::promise<void> done_promise;
   std::shared_future<void> done;
@@ -395,6 +401,12 @@ obs::Json ZkmlServer::StatusJson() const {
       row.Set("request_id", job->request_id);
       row.Set("stage", WireStageName(static_cast<WireStage>(
                            job->stage.load(std::memory_order_relaxed))));
+      const uint32_t shards_total = job->shards_total.load(std::memory_order_relaxed);
+      if (shards_total > 0) {
+        // Per-shard stage marker, e.g. "2/4" = two of four shard proofs done.
+        row.Set("shard", std::to_string(job->shards_done.load(std::memory_order_relaxed)) +
+                             "/" + std::to_string(shards_total));
+      }
       row.Set("elapsed_s", SecondsBetween(job->enqueued, now));
       row.Set("deadline_in_s", SecondsBetween(now, job->deadline_tp));
       row.Set("reaped", job->reaped.load(std::memory_order_relaxed));
@@ -810,6 +822,19 @@ void ZkmlServer::ExecuteJobInner(const std::shared_ptr<Job>& job) {
     return;
   }
 
+  // Sharded proving takes its own pipeline: per-shard compilations flow
+  // through the cache under shard-suffixed keys, and the response carries a
+  // zkml.sharded_proof/v1 artifact. A request for >1 shards on a model whose
+  // graph admits no cut falls back to the single-circuit path (shards = 1 in
+  // the response tells the client what actually ran).
+  if (job->request.shards > 1) {
+    const size_t k = ResolveShardCount(*model, job->request.shards);
+    if (k > 1) {
+      ExecuteShardedJob(job, *model, k, queue_micros, started);
+      return;
+    }
+  }
+
   job->stage.store(static_cast<uint8_t>(WireStage::kCompile), std::memory_order_relaxed);
   const auto compile_start = SteadyClock::now();
   const std::string key =
@@ -891,6 +916,159 @@ void ZkmlServer::ExecuteJobInner(const std::shared_ptr<Job>& job) {
   job->response.queue_micros = queue_micros;
   job->response.prove_micros = MicrosBetween(started, finished);
   job->response.cache_hit = cache_hit ? 1 : 0;
+  job->response.shards = 1;
+  job->ok = true;
+  counters_->jobs_completed.Inc();
+  counters_->job_seconds->Record(
+      std::chrono::duration<double>(finished - job->enqueued).count());
+}
+
+void ZkmlServer::ExecuteShardedJob(const std::shared_ptr<Job>& job, const Model& model,
+                                   size_t num_shards, uint64_t queue_micros,
+                                   SteadyClock::time_point started) {
+  auto fail = [&](WireErrorCode code, WireStage stage, std::string message) {
+    job->ok = false;
+    job->error = {code, stage, std::move(message)};
+  };
+  auto fail_cancel = [&](const Status& s, WireStage stage) {
+    if (s.code() == StatusCode::kCancelled) {
+      counters_->jobs_cancelled.Inc();
+      fail(WireErrorCode::kCancelled, stage,
+           job->reaped.load(std::memory_order_relaxed) ? "reaped by watchdog: " + s.message()
+                                                       : s.message());
+    } else {
+      counters_->jobs_deadline_exceeded.Inc();
+      fail(WireErrorCode::kDeadlineExceeded, stage, s.message());
+    }
+  };
+
+  job->shards_total.store(static_cast<uint32_t>(num_shards), std::memory_order_relaxed);
+  job->stage.store(static_cast<uint8_t>(WireStage::kCompile), std::memory_order_relaxed);
+  const auto compile_start = SteadyClock::now();
+
+  ZkmlOptions zo;
+  zo.backend = job->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
+  zo.optimizer.backend = zo.backend;
+  zo.optimizer.min_columns = options_.optimizer_min_columns;
+  zo.optimizer.max_columns = options_.optimizer_max_columns;
+  zo.optimizer.max_k = options_.optimizer_max_k;
+
+  StatusOr<ModelPartition> partition = PartitionModel(model, num_shards);
+  if (!partition.ok()) {
+    counters_->jobs_failed_internal.Inc();
+    fail(WireErrorCode::kInternal, WireStage::kCompile, partition.status().message());
+    return;
+  }
+
+  // Each shard's circuit is cached independently under a shard-suffixed key,
+  // so repeat sharded jobs (and jobs at the same shard count from other
+  // connections) reuse every per-shard compilation.
+  CompiledShardedModel sharded;
+  sharded.model = model;
+  sharded.backend = zo.backend;
+  sharded.shards.resize(num_shards);
+  const std::string key_base = ModelHashHex(job->request.model_text);
+  const std::string backend_tag = job->request.backend == 1 ? ":ipa" : ":kzg";
+  bool cache_hit = true;
+  {
+    obs::Span span("serve.compile");
+    for (size_t i = 0; i < num_shards; ++i) {
+      const std::string key = key_base + ":shard" + std::to_string(i) + "/" +
+                              std::to_string(num_shards) + backend_tag;
+      StatusOr<std::shared_ptr<const CompiledModel>> compiled = cache_.GetOrCompile(
+          key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+            cache_hit = false;
+            return std::make_shared<const CompiledModel>(
+                CompileModel(partition->shards[i].model, zo));
+          });
+      if (!compiled.ok()) {
+        counters_->jobs_failed_internal.Inc();
+        fail(WireErrorCode::kInternal, WireStage::kCompile,
+             "shard " + std::to_string(i) + "/" + std::to_string(num_shards) + ": " +
+                 compiled.status().message());
+        return;
+      }
+      sharded.shards[i] = std::move(*compiled);
+      Status live = job->cancel->Check("compile");
+      if (!live.ok()) {
+        fail_cancel(live, WireStage::kCompile);
+        return;
+      }
+    }
+  }
+  sharded.partition = std::move(*partition);
+  sharded.compile_seconds = SecondsBetween(compile_start, SteadyClock::now());
+  counters_->stage_compile->Record(sharded.compile_seconds);
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kWitness), std::memory_order_relaxed);
+  const auto witness_start = SteadyClock::now();
+  Tensor<int64_t> input_q;
+  {
+    obs::Span span("serve.witness");
+    if (!job->request.input.empty()) {
+      if (static_cast<int64_t>(job->request.input.size()) != model.input_shape.NumElements()) {
+        counters_->jobs_rejected_malformed.Inc();
+        fail(WireErrorCode::kInputMismatch, WireStage::kWitness,
+             "input has " + std::to_string(job->request.input.size()) +
+                 " elements, model wants " + std::to_string(model.input_shape.NumElements()));
+        return;
+      }
+      input_q = Tensor<int64_t>(model.input_shape, std::move(job->request.input));
+    } else {
+      input_q = QuantizeTensor(SyntheticInput(model, job->request.seed), model.quant);
+    }
+  }
+  counters_->stage_witness->Record(SecondsBetween(witness_start, SteadyClock::now()));
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kProve), std::memory_order_relaxed);
+  const auto prove_start = SteadyClock::now();
+  Job* job_raw = job.get();  // the shared_ptr outlives CreateShardedProof
+  StatusOr<ShardedProof> proof = [&] {
+    obs::Span span("serve.prove");
+    return CreateShardedProof(sharded, input_q, job->cancel.get(),
+                              [job_raw](size_t done, size_t) {
+                                job_raw->shards_done.store(static_cast<uint32_t>(done),
+                                                           std::memory_order_relaxed);
+                              });
+  }();
+  const double prove_seconds = SecondsBetween(prove_start, SteadyClock::now());
+  counters_->stage_prove->Record(prove_seconds);
+  // Shard-count-labelled prove series alongside the aggregate, so scaling is
+  // visible per shard count (e.g. serve.stage_seconds.prove.shards4).
+  obs::MetricsRegistry::Global()
+      .histogram("serve.stage_seconds.prove.shards" + std::to_string(num_shards),
+                 kStageSecondsBuckets)
+      .Record(prove_seconds);
+  if (!proof.ok()) {
+    if (proof.status().code() == StatusCode::kCancelled ||
+        proof.status().code() == StatusCode::kDeadlineExceeded) {
+      fail_cancel(proof.status(), WireStage::kProve);
+    } else {
+      counters_->jobs_failed_internal.Inc();
+      fail(WireErrorCode::kInternal, WireStage::kProve, proof.status().message());
+    }
+    return;
+  }
+
+  if (!options_.report_dir.empty()) {
+    // Sharded jobs report the zkml.sharded_proof/v1 document instead of the
+    // single-circuit run report. Report I/O must never fail a proved job.
+    obs::Json doc = ShardedReportJson(sharded, *proof);
+    const std::string path =
+        options_.report_dir + "/job_" + std::to_string(job->id) + ".json";
+    std::ofstream out(path);
+    if (out) out << doc.DumpPretty() << "\n";
+  }
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kRespond), std::memory_order_relaxed);
+  const auto finished = SteadyClock::now();
+  job->response.proof = EncodeShardedProof(*proof);
+  job->response.instance = std::move(proof->instance);
+  job->response.output = proof->output_q.ToVector();
+  job->response.queue_micros = queue_micros;
+  job->response.prove_micros = MicrosBetween(started, finished);
+  job->response.cache_hit = cache_hit ? 1 : 0;
+  job->response.shards = static_cast<uint32_t>(num_shards);
   job->ok = true;
   counters_->jobs_completed.Inc();
   counters_->job_seconds->Record(

@@ -152,6 +152,12 @@ class ZkmlServer {
   // ExecuteJob wraps ExecuteJobInner with trace sampling and event emission.
   void ExecuteJob(const std::shared_ptr<Job>& job);
   void ExecuteJobInner(const std::shared_ptr<Job>& job);
+  // Sharded-prove pipeline (request.shards > 1 and the model admits cuts):
+  // per-shard compilations flow through the cache under shard-suffixed keys,
+  // and the response carries a zkml.sharded_proof/v1 artifact.
+  void ExecuteShardedJob(const std::shared_ptr<Job>& job, const Model& model,
+                         size_t num_shards, uint64_t queue_micros,
+                         std::chrono::steady_clock::time_point started);
 
   // Queue admission; null with *err filled (OVERLOADED / SHUTTING_DOWN) when
   // the job was not accepted.

@@ -209,6 +209,7 @@ std::vector<uint8_t> EncodeProveRequest(const ProveRequest& req) {
   }
   AppendLe<uint32_t>(&out, static_cast<uint32_t>(req.model_text.size()));
   out.insert(out.end(), req.model_text.begin(), req.model_text.end());
+  AppendLe<uint32_t>(&out, req.shards);
   return out;
 }
 
@@ -239,6 +240,7 @@ StatusOr<ProveRequest> DecodeProveRequest(const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> model_bytes;
   ZKML_RETURN_IF_ERROR(ReadBytes(payload, &off, model_len, "model text", &model_bytes));
   req.model_text.assign(model_bytes.begin(), model_bytes.end());
+  ZKML_RETURN_IF_ERROR(ReadLe(payload, &off, &req.shards, "shard count"));
   if (off != payload.size()) {
     return MalformedProofError(std::to_string(payload.size() - off) +
                                " trailing byte(s) in prove request");
@@ -261,6 +263,7 @@ std::vector<uint8_t> EncodeProveResponse(const ProveResponse& resp) {
   for (int64_t v : resp.output) {
     AppendLe<uint64_t>(&out, static_cast<uint64_t>(v));
   }
+  AppendLe<uint32_t>(&out, resp.shards);
   return out;
 }
 
@@ -295,6 +298,7 @@ StatusOr<ProveResponse> DecodeProveResponse(const std::vector<uint8_t>& payload)
     ZKML_RETURN_IF_ERROR(ReadLe(payload, &off, &raw, "output value"));
     resp.output[i] = static_cast<int64_t>(raw);
   }
+  ZKML_RETURN_IF_ERROR(ReadLe(payload, &off, &resp.shards, "response shard count"));
   if (off != payload.size()) {
     return MalformedProofError(std::to_string(payload.size() - off) +
                                " trailing byte(s) in prove response");

@@ -35,7 +35,9 @@ namespace zkml {
 namespace serve {
 
 inline constexpr uint8_t kWireMagic[4] = {'Z', 'K', 'S', 'V'};
-inline constexpr uint8_t kWireVersion = 1;
+// v2: ProveRequest/ProveResponse grew a trailing `shards` field (sharded
+// proving); v1 readers would see trailing bytes, so the version was bumped.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderSize = 24;
 // Default cap on payload size; a length prefix above the cap is rejected
 // before any allocation, so a hostile 4 GiB length cannot balloon memory.
@@ -116,6 +118,9 @@ struct ProveRequest {
   uint32_t deadline_ms = 0;          // 0 = server default
   uint64_t seed = 0;                 // synthetic-input seed when input empty
   std::vector<int64_t> input;        // explicit quantized input (optional)
+  // Requested shard count: 0/1 = single circuit, >1 = sharded proving (the
+  // server clamps to what the model's graph admits). v2 field.
+  uint32_t shards = 0;
 };
 
 struct ProveResponse {
@@ -125,6 +130,9 @@ struct ProveResponse {
   uint64_t queue_micros = 0;         // time spent waiting for a worker
   uint64_t prove_micros = 0;         // witness + proof construction
   uint8_t cache_hit = 0;             // compiled-circuit cache hit
+  // Shard count actually proved (after clamping): <=1 means `proof` is a
+  // single-circuit proof, >1 a zkml.sharded_proof/v1 artifact. v2 field.
+  uint32_t shards = 0;
 };
 
 struct WireError {

@@ -1,0 +1,107 @@
+// Tests for the graph partitioner behind sharded proving: cut-point legality
+// (single-live-tensor boundaries only), contiguous coverage of the parent op
+// list, flop balancing, and semantic equivalence — chaining the quantized
+// executor through the shards must reproduce the whole-model execution.
+#include <gtest/gtest.h>
+
+#include "src/compiler/partition.h"
+#include "src/layers/quant_executor.h"
+#include "src/model/model_builder.h"
+#include "src/model/zoo.h"
+#include "src/tensor/quantizer.h"
+
+namespace zkml {
+namespace {
+
+Model TinyChain() {
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  ModelBuilder mb("tiny-chain", Shape({6}), qp, 3);
+  int t = mb.FullyConnected(mb.input(), 4);
+  t = mb.Activation(t, NonlinFn::kRelu);
+  t = mb.FullyConnected(t, 3);
+  return mb.Finish(t);
+}
+
+TEST(PartitionTest, MaxShardsOfPureChainIsOpCount) {
+  const Model model = TinyChain();
+  EXPECT_EQ(MaxShards(model), model.ops.size());
+}
+
+TEST(PartitionTest, ResidualModelsStillAdmitSomeCut) {
+  // Residual spans suppress interior cut points but the zoo's residual models
+  // still expose at least one legal boundary between blocks.
+  EXPECT_GT(MaxShards(MakeResNetLite()), 1u);
+  EXPECT_GT(MaxShards(MakeMnistCnn()), 1u);
+}
+
+TEST(PartitionTest, InvalidShardCountsRejected) {
+  const Model model = TinyChain();
+  EXPECT_EQ(PartitionModel(model, 0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(PartitionModel(model, MaxShards(model) + 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, SingleShardIsWholeModel) {
+  const Model model = TinyChain();
+  const StatusOr<ModelPartition> part = PartitionModel(model, 1);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  ASSERT_EQ(part->num_shards(), 1u);
+  EXPECT_EQ(part->shards[0].first_op, 0u);
+  EXPECT_EQ(part->shards[0].last_op, model.ops.size());
+  EXPECT_EQ(part->shards[0].model.ops.size(), model.ops.size());
+}
+
+TEST(PartitionTest, ShardsAreContiguousAndCoverTheOpList) {
+  const Model model = MakeMnistCnn();
+  const size_t k = std::min<size_t>(3, MaxShards(model));
+  const StatusOr<ModelPartition> part = PartitionModel(model, k);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  ASSERT_EQ(part->num_shards(), k);
+
+  size_t cursor = 0;
+  for (const ModelShard& shard : part->shards) {
+    EXPECT_EQ(shard.first_op, cursor);
+    EXPECT_LT(shard.first_op, shard.last_op);
+    EXPECT_EQ(shard.model.ops.size(), shard.last_op - shard.first_op);
+    EXPECT_GT(shard.flops, 0);
+    cursor = shard.last_op;
+  }
+  EXPECT_EQ(cursor, model.ops.size());
+}
+
+TEST(PartitionTest, BalancedCutsBeatTheWorstNaiveSplit) {
+  // The partitioner minimizes the heaviest shard; it must never be worse than
+  // the whole model, and for a 2-way cut the heaviest shard must carry less
+  // than the full flop budget (otherwise the cut bought nothing).
+  const Model model = MakeVggLite();
+  const StatusOr<ModelPartition> part = PartitionModel(model, 2);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  int64_t total = 0, heaviest = 0;
+  for (const ModelShard& shard : part->shards) {
+    total += shard.flops;
+    heaviest = std::max(heaviest, shard.flops);
+  }
+  EXPECT_LT(heaviest, total);
+}
+
+TEST(PartitionTest, ChainedShardExecutionMatchesWholeModel) {
+  const Model model = MakeMnistCnn();
+  const size_t k = std::min<size_t>(4, MaxShards(model));
+  const StatusOr<ModelPartition> part = PartitionModel(model, k);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 7), model.quant);
+  Tensor<int64_t> cur = input;
+  for (const ModelShard& shard : part->shards) {
+    // Each shard's declared input shape is the boundary activation's shape.
+    EXPECT_EQ(shard.model.input_shape.NumElements(), cur.NumElements());
+    cur = RunQuantized(shard.model, cur);
+  }
+  const Tensor<int64_t> expected = RunQuantized(model, input);
+  EXPECT_EQ(cur.ToVector(), expected.ToVector());
+}
+
+}  // namespace
+}  // namespace zkml

@@ -14,6 +14,7 @@
 #include "src/model/zoo.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
+#include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 
 namespace zkml {
@@ -316,6 +317,81 @@ TEST(ServeTest, DrainRejectsNewWorkThenStopsClean) {
 
   server.Stop();  // joins every thread; reaching the next line is the test
   EXPECT_EQ(server.stats().jobs_completed, 0u);
+}
+
+// --- Sharded proving over the wire (protocol v2). ---
+
+TEST(ServeWireTest, ProvePayloadsRoundTripShardCount) {
+  ProveRequest req;
+  req.model_text = "m";
+  req.backend = 1;
+  req.deadline_ms = 250;
+  req.seed = 7;
+  req.input = {1, -2, 3};
+  req.shards = 4;
+  const StatusOr<ProveRequest> rt = DecodeProveRequest(EncodeProveRequest(req));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt->shards, 4u);
+  EXPECT_EQ(rt->model_text, "m");
+  EXPECT_EQ(rt->input, req.input);
+
+  ProveResponse resp;
+  resp.proof = {0xAA, 0xBB};
+  resp.output = {5};
+  resp.prove_micros = 123;
+  resp.shards = 2;
+  const StatusOr<ProveResponse> rr = DecodeProveResponse(EncodeProveResponse(resp));
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  EXPECT_EQ(rr->shards, 2u);
+  EXPECT_EQ(rr->proof, resp.proof);
+}
+
+TEST(ServeTest, ShardedProveReturnsVerifiableArtifact) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+
+  const Model model = MakeMnistCnn();
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 51), model.quant);
+  ProveRequest req;
+  req.model_text = MnistText();
+  req.seed = 51;
+  req.input = input.ToVector();
+  req.shards = 2;
+
+  StatusOr<ZkmlClient::ProveOutcome> first = client.Prove(req, 1, kProveWaitMs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->ok) << first->error.ToString();
+  EXPECT_EQ(first->response.shards, 2u);
+  EXPECT_TRUE(LooksLikeShardedProof(first->response.proof));
+  EXPECT_EQ(first->response.output, RunQuantized(model, input).ToVector());
+
+  // The artifact verifies against independently compiled shard keys, with the
+  // aggregated (single-pairing) opening check under KZG.
+  ZkmlOptions zo;
+  zo.backend = PcsKind::kKzg;
+  zo.optimizer.min_columns = 10;
+  zo.optimizer.max_columns = 26;
+  zo.optimizer.max_k = 14;
+  const StatusOr<CompiledShardedModel> compiled = CompileSharded(model, 2, zo);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const VerifyResult r =
+      VerifySharded(*compiled, first->response.instance, first->response.proof);
+  EXPECT_TRUE(r.ok()) << r.ToString();
+
+  // Re-proving the same sharded request hits the per-shard compile cache.
+  StatusOr<ZkmlClient::ProveOutcome> second = client.Prove(req, 2, kProveWaitMs);
+  ASSERT_TRUE(second.ok() && second->ok);
+  EXPECT_EQ(second->response.cache_hit, 1);
+  EXPECT_EQ(second->response.shards, 2u);
+
+  // A single-circuit request on the same connection still answers shards=1.
+  req.shards = 0;
+  StatusOr<ZkmlClient::ProveOutcome> single = client.Prove(req, 3, kProveWaitMs);
+  ASSERT_TRUE(single.ok() && single->ok);
+  EXPECT_EQ(single->response.shards, 1u);
+  EXPECT_FALSE(LooksLikeShardedProof(single->response.proof));
+  server.Stop();
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 #include "src/model/zoo.h"
 #include "src/plonk/mock_prover.h"
 #include "src/plonk/soundness.h"
+#include "src/tensor/quantizer.h"
+#include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 #include "tests/golden_circuit.h"
 
@@ -479,6 +481,104 @@ TEST(SoundnessAuditTest, TinyModelPassesFullAudit) {
   const StatusOr<obs::Json> reparsed = obs::Json::Parse(report.DumpPretty());
   ASSERT_TRUE(reparsed.ok());
   EXPECT_EQ(reparsed.value().Find("mutation")->Find("surviving_mutants")->AsInt(), 0);
+}
+
+// --- Sharded-proving forgeries: a prover that lies about a boundary
+// activation (the value stitching two adjacent shards) must be rejected with
+// a stage-attributed error, under both commitment backends.
+
+ZkmlOptions FastShardedOptions(PcsKind backend) {
+  ZkmlOptions options;
+  options.backend = backend;
+  options.optimizer.min_columns = 10;
+  options.optimizer.max_columns = 26;
+  options.optimizer.max_k = 14;
+  return options;
+}
+
+Model TinyChainModel() {
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  ModelBuilder mb("tiny-chain", Shape({6}), qp, 3);
+  int t = mb.FullyConnected(mb.input(), 4);
+  t = mb.Activation(t, NonlinFn::kRelu);
+  t = mb.FullyConnected(t, 3);
+  return mb.Finish(t);
+}
+
+class ShardedForgeryTest : public ::testing::TestWithParam<PcsKind> {};
+
+TEST_P(ShardedForgeryTest, MutatedBoundaryActivationRejected) {
+  const Model model = TinyChainModel();
+  const StatusOr<CompiledShardedModel> compiled =
+      CompileSharded(model, 2, FastShardedOptions(GetParam()));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 11), model.quant);
+  const StatusOr<ShardedProof> proof = CreateShardedProof(*compiled, input);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  ASSERT_TRUE(VerifySharded(*compiled, proof->instance, EncodeShardedProof(*proof)).ok());
+
+  // Forge the interior boundary: the activation shard 0 claims to hand to
+  // shard 1. Both shards read the same stored vector, so the lie must be
+  // caught by a shard's own instance check — with the culprit named.
+  ShardedProof forged = *proof;
+  ASSERT_EQ(forged.boundaries.size(), 3u);
+  forged.boundaries[1][0] += Fr::One();
+  const VerifyResult r =
+      VerifySharded(*compiled, forged.instance, EncodeShardedProof(forged));
+  ASSERT_FALSE(r.ok()) << "forged boundary activation accepted";
+  EXPECT_NE(r.stage, VerifyStage::kAccepted);
+  EXPECT_NE(r.ToString().find("shard"), std::string::npos) << r.ToString();
+}
+
+TEST_P(ShardedForgeryTest, MutatedOuterBoundaryRejectedAtStitchStage) {
+  const Model model = TinyChainModel();
+  const StatusOr<CompiledShardedModel> compiled =
+      CompileSharded(model, 2, FastShardedOptions(GetParam()));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 19), model.quant);
+  const StatusOr<ShardedProof> proof = CreateShardedProof(*compiled, input);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+
+  // Forge the artifact's copy of the model input while keeping the claimed
+  // statement honest: the outer-boundary consistency check fires first.
+  ShardedProof forged = *proof;
+  forged.boundaries.front()[0] += Fr::One();
+  const VerifyResult r =
+      VerifySharded(*compiled, proof->instance, EncodeShardedProof(forged));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.stage, VerifyStage::kShardStitch) << r.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ShardedForgeryTest,
+                         ::testing::Values(PcsKind::kKzg, PcsKind::kIpa),
+                         [](const ::testing::TestParamInfo<PcsKind>& info) {
+                           return info.param == PcsKind::kKzg ? "Kzg" : "Ipa";
+                         });
+
+TEST(ShardedForgeryTest2, KzgForgedOpeningCaughtOnlyByAggregateCheck) {
+  // KZG-specific: negate a shard proof's final witness point W by flipping
+  // the compressed-point prefix byte (2 <-> 3). The forged point deserializes
+  // cleanly and every inline shard check passes — the per-shard pairing check
+  // is deferred — so only the aggregate RLC pairing check can catch it. This
+  // pins down that the deferred path really gates acceptance.
+  const Model model = TinyChainModel();
+  const StatusOr<CompiledShardedModel> compiled =
+      CompileSharded(model, 2, FastShardedOptions(PcsKind::kKzg));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 23), model.quant);
+  const StatusOr<ShardedProof> proof = CreateShardedProof(*compiled, input);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+
+  ShardedProof forged = *proof;
+  std::vector<uint8_t>& pb = forged.shard_proofs[0];
+  ASSERT_GE(pb.size(), 33u);
+  pb[pb.size() - 33] ^= 0x01;  // compressed G1 prefix: y -> -y
+  const VerifyResult r =
+      VerifySharded(*compiled, forged.instance, EncodeShardedProof(forged));
+  ASSERT_FALSE(r.ok()) << "negated KZG witness point accepted";
+  EXPECT_EQ(r.stage, VerifyStage::kShardAggregate) << r.ToString();
 }
 
 }  // namespace

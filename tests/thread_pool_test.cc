@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -102,6 +103,39 @@ TEST(ThreadPoolTest, StatsSlotsSurviveShutdown) {
   uint64_t total = 0;
   for (const auto& w : stats.workers) total += w.tasks;
   EXPECT_EQ(total, stats.tasks_executed);
+}
+
+TEST(ThreadPoolTest, SiblingTasksSharingLazyInitDoNotDeadlock) {
+  // Regression: sibling tasks of one group that all funnel through a shared
+  // one-time initialization, where the initializer itself runs a nested
+  // parallel section. With queue-wide work helping, the initializing thread's
+  // nested Wait() could pick up a sibling task that then blocked on the
+  // init guard the thread itself held — self-deadlock (seen with concurrent
+  // shard compiles both reaching a lazily-measured hardware profile).
+  // Group-local helping must complete this shape on any pool width.
+  for (const size_t width : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(width);
+    std::once_flag once;
+    std::atomic<int> init_runs{0};
+    std::atomic<int> task_runs{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&] {
+        std::call_once(once, [&] {
+          // Nested parallel section inside the guarded initializer.
+          TaskGroup inner(pool);
+          for (int c = 0; c < 16; ++c) {
+            inner.Submit([&] { init_runs.fetch_add(1, std::memory_order_relaxed); });
+          }
+          inner.Wait();
+        });
+        task_runs.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    group.Wait();
+    EXPECT_EQ(init_runs.load(), 16);
+    EXPECT_EQ(task_runs.load(), 8);
+  }
 }
 
 }  // namespace
