@@ -24,6 +24,7 @@
 #include "src/plonk/quotient.h"
 #include "src/poly/domain.h"
 #include "src/tensor/quantizer.h"
+#include "src/zkml/batched.h"
 #include "src/zkml/sharded.h"
 
 namespace zkml {
@@ -520,6 +521,83 @@ void BM_ProveModel(benchmark::State& state, const char* zoo_name) {
 BENCHMARK_CAPTURE(BM_ProveModel, mnist, "mnist")
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ProveModel, vgg16, "vgg16")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Batched multi-inference proving (one circuit, N inferences) -----------
+//
+// One full prove of N inferences laid out in a single circuit, at N=1/2/4/8.
+// The size counter records N, so cost-per-inference is seconds/size — the
+// economics batching exists for (fixed columns, tables, and the permutation
+// argument are paid once, so per-inference cost falls below 1x as N grows).
+// At N=1 this is byte-identical to the single-circuit prove, making the N=1
+// record the baseline the CI perf-smoke per-inference gate divides by.
+void BM_ProveBatched(benchmark::State& state, const char* zoo_name) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const Model model = MakeZooModel(zoo_name);
+  StatusOr<CompiledBatchedModel> compiled = CompileBatched(model, batch);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  std::vector<Tensor<int64_t>> inputs_q;
+  for (size_t i = 0; i < batch; ++i) {
+    inputs_q.push_back(QuantizeTensor(SyntheticInput(model, 7 + i), model.quant));
+  }
+  double s_per_inf = 0;
+  for (auto _ : state) {
+    StatusOr<BatchedProof> proof = CreateBatchedProof(*compiled, inputs_q);
+    if (!proof.ok()) {
+      state.SkipWithError(proof.status().ToString().c_str());
+      return;
+    }
+    s_per_inf = proof->prove_seconds / static_cast<double>(batch);
+    benchmark::DoNotOptimize(proof->ProofBytes());
+  }
+  state.counters["size"] = static_cast<double>(batch);
+  state.counters["s_per_inf"] = s_per_inf;
+  state.counters["threads"] = static_cast<double>(ThreadPool::Global().num_threads());
+}
+BENCHMARK_CAPTURE(BM_ProveBatched, mnist, "mnist")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Cross-proof RLC batch verification ------------------------------------
+//
+// K independent proofs of the same model verified together: every KZG
+// opening claim folds into ONE pairing check (KzgAccumulator with per-proof
+// tags), so verify throughput (proofs/second = size/seconds) grows with K
+// while the pairing cost stays flat. Proof generation happens outside the
+// timing loop; each iteration is verification only.
+void BM_VerifyProofsBatched(benchmark::State& state, const char* zoo_name) {
+  const size_t count = static_cast<size_t>(state.range(0));
+  const Model model = MakeZooModel(zoo_name);
+  const CompiledModel compiled = CompileModel(model);
+  std::vector<ZkmlProof> proofs;
+  for (size_t i = 0; i < count; ++i) {
+    const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 7 + i), model.quant);
+    StatusOr<ZkmlProof> proof = ProveCancellable(compiled, input, nullptr);
+    if (!proof.ok()) {
+      state.SkipWithError(proof.status().ToString().c_str());
+      return;
+    }
+    proofs.push_back(std::move(proof).value());
+  }
+  std::vector<CrossProofClaim> claims(count);
+  for (size_t i = 0; i < count; ++i) {
+    claims[i] = {&compiled.pk.vk, compiled.pcs.get(), &proofs[i].instance, &proofs[i].bytes};
+  }
+  for (auto _ : state) {
+    const CrossProofVerdict verdict = VerifyProofsBatched(claims);
+    if (!verdict.ok()) {
+      state.SkipWithError(verdict.status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(verdict.stage);
+  }
+  state.counters["size"] = static_cast<double>(count);
+  state.counters["proofs_per_s"] =
+      benchmark::Counter(static_cast<double>(count), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK_CAPTURE(BM_VerifyProofsBatched, mnist, "mnist")
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // Console output plus a flat record per run for the JSON dump.

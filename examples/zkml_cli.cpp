@@ -25,6 +25,11 @@
 //                     proved concurrently; the proof file then holds a
 //                     zkml.sharded_proof/v1 artifact, which `verify` detects
 //                     and checks with one aggregated opening check
+//   --batch=N         prove: N>1 proves N inferences (seeds seed..seed+N-1)
+//                     in ONE circuit; the proof file then holds a
+//                     zkml.batched_proof/v1 artifact, which `verify` detects
+//                     (the statement is the concatenated per-inference
+//                     [input ‖ output] segments)
 //
 // Proof files carry the proof bytes plus the public statement; `verify`
 // rebuilds the verifying key deterministically from the model file, so the
@@ -61,6 +66,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/plonk/proof_io.h"
+#include "src/zkml/batched.h"
 #include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 
@@ -267,12 +273,67 @@ int CmdProveSharded(const Model& model, const std::string& proof_path, uint64_t 
   return kExitOk;
 }
 
+// Batched prove (--batch=N, N>1): N inferences (synthetic inputs from seeds
+// seed..seed+N-1) in ONE circuit; the proof file's proof-bytes slot holds the
+// zkml.batched_proof/v1 artifact and the instance slot the concatenated
+// statement, so `verify` works on the same file format.
+int CmdProveBatched(const Model& model, const std::string& proof_path, uint64_t seed,
+                    PcsKind backend, const std::string& report_path, int batch) {
+  StatusOr<CompiledBatchedModel> compiled =
+      CompileBatched(model, static_cast<size_t>(batch), CliOptions(backend));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "batched compile failed: %s\n", compiled.status().ToString().c_str());
+    return kExitMalformedInput;
+  }
+  std::vector<Tensor<int64_t>> inputs_q;
+  inputs_q.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    inputs_q.push_back(
+        QuantizeTensor(SyntheticInput(model, seed + static_cast<uint64_t>(i)), model.quant));
+  }
+  StatusOr<BatchedProof> proof = CreateBatchedProof(*compiled, inputs_q, &g_interrupt);
+  if (!proof.ok()) {
+    std::fprintf(stderr, "batched prove failed: %s\n", proof.status().ToString().c_str());
+    return proof.status().code() == StatusCode::kCancelled ||
+                   proof.status().code() == StatusCode::kDeadlineExceeded
+               ? kExitInterrupted
+               : kExitUsage;
+  }
+  if (!WriteProofFileBytes(proof_path, EncodeBatchedProof(*proof), proof->instance)) {
+    std::fprintf(stderr, "cannot write %s\n", proof_path.c_str());
+    return kExitUsage;
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << BatchedReportJson(*compiled, *proof).DumpPretty() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write run report %s\n", report_path.c_str());
+      return kExitUsage;
+    }
+    std::printf("batched run report -> %s\n", report_path.c_str());
+  }
+  std::printf("proved %d inferences of %s (seeds %llu..%llu) in one circuit in %.2fs "
+              "(%.2fs/inference, witness %.2fs): %zu artifact bytes -> %s\n",
+              batch, model.name.c_str(), static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + static_cast<uint64_t>(batch) - 1),
+              proof->prove_seconds, proof->prove_seconds / batch, proof->witness_seconds,
+              proof->ProofBytes(), proof_path.c_str());
+  return kExitOk;
+}
+
 int CmdProve(const std::string& model_path, const std::string& proof_path, uint64_t seed,
-             PcsKind backend, const std::string& report_path, int shards) {
+             PcsKind backend, const std::string& report_path, int shards, int batch) {
   Model model;
   int exit_code = kExitOk;
   if (!LoadModelOrReport(model_path, &model, &exit_code)) {
     return exit_code;
+  }
+  if (batch > 1 && shards > 1) {
+    std::fprintf(stderr, "--shards and --batch are mutually exclusive; pick one\n");
+    return kExitUsage;
+  }
+  if (batch > 1) {
+    return CmdProveBatched(model, proof_path, seed, backend, report_path, batch);
   }
   if (shards > 1) {
     return CmdProveSharded(model, proof_path, seed, backend, report_path, shards);
@@ -439,6 +500,21 @@ int CmdTelemetryValidate(const std::string& path) {
         return kExitMalformedInput;
       }
     }
+    if (schema->AsString() == kBatchedProofSchema) {
+      const obs::Json* batch = j.Find("batch");
+      const obs::Json* elems = j.Find("instance_elements");
+      if (batch == nullptr || elems == nullptr || !elems->is_array()) {
+        std::fprintf(stderr, "%s: %s document missing batch/instance_elements\n", path.c_str(),
+                     kBatchedProofSchema);
+        return kExitMalformedInput;
+      }
+      if (elems->size() != static_cast<size_t>(batch->AsInt())) {
+        std::fprintf(stderr,
+                     "%s: inconsistent batch (batch %lld, %zu instance_elements entries)\n",
+                     path.c_str(), static_cast<long long>(batch->AsInt()), elems->size());
+        return kExitMalformedInput;
+      }
+    }
     std::printf("%s: valid telemetry document (schema %s)\n", path.c_str(),
                 schema->AsString().c_str());
     return kExitOk;
@@ -516,6 +592,30 @@ int CmdVerify(const std::string& model_path, const std::string& proof_path, PcsK
     std::printf("INVALID (%s)\n", result.ToString().c_str());
     return kExitInvalidProof;
   }
+  // Batched artifacts ("ZKBP" magic) re-derive the batch size from the
+  // artifact's per-inference segment count; a lying count fails the stitch
+  // check against the concatenated statement.
+  if (LooksLikeBatchedProof(proof)) {
+    StatusOr<DecodedBatchedProof> decoded = DecodeBatchedProof(proof);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "error decoding batched artifact: %s\n",
+                   decoded.status().ToString().c_str());
+      return kExitMalformedInput;
+    }
+    StatusOr<CompiledBatchedModel> compiled =
+        CompileBatched(model, decoded->instances.size(), CliOptions(backend));
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "batched compile failed: %s\n", compiled.status().ToString().c_str());
+      return kExitMalformedInput;
+    }
+    const VerifyResult result = VerifyBatchedDetailed(*compiled, instance, proof);
+    if (result.ok()) {
+      std::printf("VALID (%zu inferences, one proof)\n", compiled->batch());
+      return kExitOk;
+    }
+    std::printf("INVALID (%s)\n", result.ToString().c_str());
+    return kExitInvalidProof;
+  }
   // The verifier recompiles deterministically (same optimizer + setup seed),
   // obtaining the same verifying key the prover used — no witness involved.
   const CompiledModel compiled = CompileModel(model, CliOptions(backend));
@@ -541,7 +641,8 @@ int Usage() {
                "       zkml_cli inspect <model-file>\n"
                "       zkml_cli optimize <model-file> [kzg|ipa]\n"
                "       zkml_cli profile <model-file> [kzg|ipa]\n"
-               "       zkml_cli prove [--shards=N] <model-file> <proof-file> [seed] [kzg|ipa]\n"
+               "       zkml_cli prove [--shards=N|--batch=N] <model-file> <proof-file> [seed] "
+               "[kzg|ipa]\n"
                "       zkml_cli verify <model-file> <proof-file> [kzg|ipa]\n"
                "       zkml_cli audit <model-file> [seed]\n"
                "       zkml_cli telemetry-validate [--prometheus] <file>\n");
@@ -549,7 +650,7 @@ int Usage() {
 }
 
 int Dispatch(const std::vector<std::string>& args, const std::string& report_path,
-             bool prometheus, int shards) {
+             bool prometheus, int shards, int batch) {
   if (args.size() < 2) {
     return Usage();
   }
@@ -578,7 +679,8 @@ int Dispatch(const std::vector<std::string>& args, const std::string& report_pat
   if (cmd == "prove" && args.size() >= 3) {
     InstallInterruptHandler();
     const uint64_t seed = args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 7;
-    return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path, shards);
+    return CmdProve(args[1], args[2], seed, backend_arg(4, PcsKind::kKzg), report_path, shards,
+                    batch);
   }
   if (cmd == "verify" && args.size() >= 3) {
     return CmdVerify(args[1], args[2], backend_arg(3, PcsKind::kKzg));
@@ -604,6 +706,7 @@ int main(int argc, char** argv) {
   std::string trace_path, metrics_path, report_path;
   bool prometheus = false;
   int shards = 0;
+  int batch = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -615,6 +718,8 @@ int main(int argc, char** argv) {
       report_path = arg.substr(9);
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = std::atoi(arg.substr(9).c_str());
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      batch = std::atoi(arg.substr(8).c_str());
     } else if (arg == "--prometheus") {
       prometheus = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -633,7 +738,7 @@ int main(int argc, char** argv) {
   {
     // The scope must close before export so every span has ended.
     obs::TracerScope scope(trace_path.empty() ? nullptr : &tracer);
-    code = Dispatch(args, report_path, prometheus, shards);
+    code = Dispatch(args, report_path, prometheus, shards, batch);
   }
   if (!trace_path.empty()) {
     if (Status s = tracer.WriteChromeTrace(trace_path); !s.ok()) {

@@ -15,6 +15,15 @@
 // --shards=N (>1) asks the daemon for sharded proving: the response then
 // carries a zkml.sharded_proof/v1 artifact and reports the shard count the
 // server actually used after clamping to what the model's graph admits.
+// --batch=N (>1) asks for batched multi-inference proving: each job proves N
+// inferences in one circuit and answers with a zkml.batched_proof/v1
+// artifact; throughput is reported both as proofs/sec and inferences/sec.
+//
+// Open-loop latencies are measured from each request's slot on the absolute
+// send schedule (not from the moment the sender finally fired), so a
+// generator that falls behind cannot hide queueing delay — the classic
+// coordinated-omission bug. The scheduled-vs-actual send lag is reported
+// and recorded in the artifact alongside the latencies.
 //
 // --out writes the full run as a JSON artifact (schema "zkml.loadgen/v1").
 // --admin-port scrapes the daemon's /metrics page before and after the run
@@ -73,6 +82,7 @@ struct LoadgenOptions {
   uint64_t seed = 1;
   int fault = 0;   // >0: run the fault injector with this many interactions
   int shards = 0;  // >1: request sharded proving (server clamps to the graph)
+  int batch = 0;   // >1: request batched multi-inference proving per job
 
   std::string out_file;            // JSON artifact (zkml.loadgen/v1)
   int admin_port = 0;              // >0: scrape /metrics before + after
@@ -82,7 +92,13 @@ struct LoadgenOptions {
 struct Outcomes {
   std::mutex mu;
   std::vector<double> latencies_s;
+  // Open-loop only: how late each request actually left relative to its slot
+  // on the absolute send schedule (scheduled-vs-actual lag). Nonzero lag
+  // means the generator could not sustain the requested rate, so open-loop
+  // latencies (measured from the schedule) already include it.
+  std::vector<double> send_lags_s;
   uint64_t ok = 0;
+  uint64_t inferences = 0;    // proven inferences (ok x batch actually run)
   uint64_t overloaded = 0;
   uint64_t deadline = 0;
   uint64_t other_error = 0;   // explicit error frames other than the above
@@ -185,11 +201,13 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
     for (;;) {
       const int i = next_request.fetch_add(1);
       if (i >= opt.requests) return;
+      std::chrono::steady_clock::time_point due{};
       if (opt.rate > 0) {
-        // Open-loop: request i is due at i/rate seconds; sleep until then
-        // and fire regardless of how many are still in flight elsewhere.
-        const auto due = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                  std::chrono::duration<double>(static_cast<double>(i) / opt.rate));
+        // Open-loop: request i is due at i/rate seconds on an ABSOLUTE
+        // schedule anchored at t0; sleep until then and fire regardless of
+        // how many are still in flight elsewhere.
+        due = t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(static_cast<double>(i) / opt.rate));
         std::this_thread::sleep_until(due);
       }
       serve::ProveRequest req;
@@ -198,11 +216,27 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
       req.deadline_ms = opt.deadline_ms;
       req.seed = opt.seed + static_cast<uint64_t>(i);
       req.shards = opt.shards > 0 ? static_cast<uint32_t>(opt.shards) : 0;
+      req.batch = opt.batch > 0 ? static_cast<uint32_t>(opt.batch) : 0;
       const auto start = std::chrono::steady_clock::now();
+      // Open-loop latency is measured from the SCHEDULED send time, not from
+      // `start`: when this thread falls behind its slots (a slow proof ahead
+      // of this request on the same connection), measuring from the actual
+      // send would silently drop that queueing delay from the tail — the
+      // coordinated-omission mistake. The scheduled-vs-actual gap is also
+      // recorded on its own so the artifact shows whether the generator
+      // sustained the requested rate.
+      const auto latency_origin = opt.rate > 0 ? due : start;
+      const double send_lag_s =
+          opt.rate > 0
+              ? std::max(0.0, std::chrono::duration<double>(start - due).count())
+              : 0.0;
       StatusOr<ZkmlClient::ProveOutcome> result =
           client->Prove(req, static_cast<uint64_t>(i) + 1, opt.timeout_ms);
-      const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - latency_origin)
+              .count();
       std::lock_guard<std::mutex> lock(out.mu);
+      if (opt.rate > 0) out.send_lags_s.push_back(send_lag_s);
       if (!result.ok()) {
         out.transport += 1;
         // The connection is unusable after a transport error; reconnect.
@@ -212,6 +246,7 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
       }
       if (result->ok) {
         out.ok += 1;
+        out.inferences += std::max<uint32_t>(1, result->response.batch);
         out.cache_hits += result->response.cache_hit;
         out.latencies_s.push_back(secs);
       } else if (result->error.code == serve::WireErrorCode::kOverloaded) {
@@ -246,8 +281,19 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
   const double p99 = Percentile(out.latencies_s, 0.99);
   const double pmax = Percentile(out.latencies_s, 1.0);
   if (!out.latencies_s.empty()) {
-    std::printf("  client: proofs/sec=%.3f p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
-                static_cast<double>(out.ok) / wall, p50, p90, p99, pmax);
+    std::printf("  client: proofs/sec=%.3f inferences/sec=%.3f p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+                static_cast<double>(out.ok) / wall,
+                static_cast<double>(out.inferences) / wall, p50, p90, p99, pmax);
+  }
+  double lag_mean = 0, lag_p99 = 0, lag_max = 0;
+  if (!out.send_lags_s.empty()) {
+    for (double s : out.send_lags_s) lag_mean += s;
+    lag_mean /= static_cast<double>(out.send_lags_s.size());
+    lag_p99 = Percentile(out.send_lags_s, 0.99);
+    lag_max = Percentile(out.send_lags_s, 1.0);
+    std::printf("  schedule: send lag mean=%.4fs p99=%.4fs max=%.4fs "
+                "(scheduled-vs-actual; latencies measured from the schedule)\n",
+                lag_mean, lag_p99, lag_max);
   }
 
   // Post-run scrape: the server's own account of the same run.
@@ -290,10 +336,12 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
     doc.Set("rate_per_sec", opt.rate);
     doc.Set("backend", opt.backend == 1 ? "ipa" : "kzg");
     doc.Set("shards", static_cast<uint64_t>(opt.shards > 0 ? opt.shards : 0));
+    doc.Set("batch", static_cast<uint64_t>(opt.batch > 0 ? opt.batch : 0));
     doc.Set("deadline_ms", static_cast<uint64_t>(opt.deadline_ms));
     doc.Set("wall_s", wall);
     obs::Json outcomes = obs::Json::Object();
     outcomes.Set("ok", out.ok);
+    outcomes.Set("inferences", out.inferences);
     outcomes.Set("overloaded", out.overloaded);
     outcomes.Set("deadline", out.deadline);
     outcomes.Set("other_error", out.other_error);
@@ -302,6 +350,8 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
     doc.Set("outcomes", std::move(outcomes));
     obs::Json client = obs::Json::Object();
     client.Set("proofs_per_sec", wall > 0 ? static_cast<double>(out.ok) / wall : 0.0);
+    client.Set("inferences_per_sec",
+               wall > 0 ? static_cast<double>(out.inferences) / wall : 0.0);
     client.Set("p50_s", p50);
     client.Set("p90_s", p90);
     client.Set("p99_s", p99);
@@ -310,6 +360,16 @@ int RunLoad(const LoadgenOptions& opt, const std::string& model_text) {
     for (double s : out.latencies_s) lat.Append(s);
     client.Set("latencies_s", std::move(lat));
     doc.Set("client", std::move(client));
+    if (opt.rate > 0) {
+      // Scheduled-vs-actual send lag: nonzero means open-loop latencies
+      // already carry generator-side queueing (measured from the schedule).
+      obs::Json sched = obs::Json::Object();
+      sched.Set("send_lag_mean_s", lag_mean);
+      sched.Set("send_lag_p99_s", lag_p99);
+      sched.Set("send_lag_max_s", lag_max);
+      sched.Set("latency_origin", "scheduled");
+      doc.Set("schedule", std::move(sched));
+    }
     if (server_view) {
       obs::Json server = obs::Json::Object();
       server.Set("jobs_completed", server_completed);
@@ -456,7 +516,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: zkml_loadgen --port=N [--host=H] [--zoo=mnist | --model=<file>]\n"
                "                    [--requests=N] [--workers=N] [--rate=R] [--deadline-ms=N]\n"
-               "                    [--backend=kzg|ipa] [--shards=N] [--timeout-ms=N] [--seed=N] [--fault=N]\n"
+               "                    [--backend=kzg|ipa] [--shards=N] [--batch=N] [--timeout-ms=N] [--seed=N] [--fault=N]\n"
                "                    [--out=<file>] [--admin-port=N] [--require-server-match]\n");
   return 1;
 }
@@ -482,6 +542,7 @@ int Main(int argc, char** argv) {
     else if (const char* v = val("seed")) opt.seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = val("fault")) opt.fault = std::atoi(v);
     else if (const char* v = val("shards")) opt.shards = std::atoi(v);
+    else if (const char* v = val("batch")) opt.batch = std::atoi(v);
     else if (const char* v = val("out")) opt.out_file = v;
     else if (const char* v = val("admin-port")) opt.admin_port = std::atoi(v);
     else if (arg == "--require-server-match") opt.require_server_match = true;

@@ -3,7 +3,7 @@
 // frames, slowloris writers, queue floods, and mid-proof disconnects are all
 // answered (or shed) without taking the process down.
 //
-//   zkml_serve [--port=N] [--workers=N] [--queue=N] [--cache=N]
+//   zkml_serve [--port=N] [--workers=N] [--queue=N] [--cache=N] [--coalesce=N]
 //              [--deadline-ms=N] [--max-deadline-ms=N] [--io-timeout-ms=N]
 //              [--drain-timeout-ms=N] [--max-frame-bytes=N]
 //              [--report-dir=<dir>] [--metrics=<file>] [--port-file=<file>]
@@ -53,7 +53,7 @@ bool ParseUintFlag(const std::string& arg, const char* name, uint64_t* out) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: zkml_serve [--port=N] [--workers=N] [--queue=N] [--cache=N]\n"
+               "usage: zkml_serve [--port=N] [--workers=N] [--queue=N] [--cache=N] [--coalesce=N]\n"
                "                  [--deadline-ms=N] [--max-deadline-ms=N] [--io-timeout-ms=N]\n"
                "                  [--drain-timeout-ms=N] [--max-frame-bytes=N]\n"
                "                  [--report-dir=<dir>] [--metrics=<file>] [--port-file=<file>]\n"
@@ -89,6 +89,8 @@ int main(int argc, char** argv) {
       options.queue_capacity = v;
     } else if (ParseUintFlag(arg, "cache", &v)) {
       options.cache_capacity = v;
+    } else if (ParseUintFlag(arg, "coalesce", &v)) {
+      options.coalesce_max = v;
     } else if (ParseUintFlag(arg, "deadline-ms", &v)) {
       options.default_deadline_ms = static_cast<uint32_t>(v);
     } else if (ParseUintFlag(arg, "max-deadline-ms", &v)) {

@@ -17,6 +17,7 @@ namespace zkml {
 struct PhysicalLayout {
   int num_columns = 10;  // io (advice) columns
   int k = 0;             // rows = 2^k
+  size_t batch = 1;      // independent inferences laid out in this circuit
   GadgetSet gadgets;
   std::vector<ImplChoice> per_op;  // empty => uniform default choice
 
@@ -36,9 +37,12 @@ struct PhysicalLayout {
 
 // Runs the lowering in estimate mode and fills in exact row counts and
 // constraint-system statistics. Also chooses k = FindOptimalK (the smallest
-// power of two covering rows and tables).
+// power of two covering rows and tables). With batch > 1 the model is lowered
+// `batch` times into the same grid: fixed columns, lookup tables, and cached
+// constants are shared, advice regions replicate, and the instance column is
+// the concatenation of per-inference [input ‖ output] segments.
 PhysicalLayout SimulateLayout(const Model& model, const GadgetSet& gadgets, int num_columns,
-                              const std::vector<ImplChoice>* per_op = nullptr);
+                              const std::vector<ImplChoice>* per_op = nullptr, size_t batch = 1);
 
 // A built circuit: constraint system + full assignment for one input.
 struct BuiltCircuit {
@@ -51,6 +55,23 @@ struct BuiltCircuit {
 // not fit (cannot happen when layout came from SimulateLayout on this model).
 BuiltCircuit BuildCircuit(const Model& model, const PhysicalLayout& layout,
                           const Tensor<int64_t>& input_q);
+
+// A built batched circuit: one assignment proving `inputs.size()` independent
+// inferences. Per-inference instance segments are contiguous and recorded as
+// [instance_offsets[i], instance_offsets[i+1]) half-open row ranges; with
+// batch == 1 the builder state is identical to BuildCircuit's.
+struct BuiltBatchedCircuit {
+  std::unique_ptr<CircuitBuilder> builder;
+  std::vector<Tensor<int64_t>> outputs_q;       // one per inference
+  std::vector<size_t> instance_offsets;         // size batch + 1
+  size_t num_instance_rows = 0;                 // == instance_offsets.back()
+};
+
+// Assign-mode batched build: lowers the model once per input into a single
+// circuit at `layout` (which must have been simulated with
+// layout.batch == inputs.size()).
+BuiltBatchedCircuit BuildBatchedCircuit(const Model& model, const PhysicalLayout& layout,
+                                        const std::vector<Tensor<int64_t>>& inputs_q);
 
 }  // namespace zkml
 

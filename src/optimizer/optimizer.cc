@@ -67,7 +67,7 @@ OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
 
   auto evaluate = [&](const GadgetSet& gs, int n_cols,
                       const std::vector<ImplChoice>* per_op) -> double {
-    PhysicalLayout layout = SimulateLayout(model, gs, n_cols, per_op);
+    PhysicalLayout layout = SimulateLayout(model, gs, n_cols, per_op, options.batch);
     ++result.plans_evaluated;
     plans_counter.Increment();
     if (layout.k > options.max_k) {
@@ -93,7 +93,7 @@ OptimizerResult OptimizeLayout(const Model& model, const HardwareProfile& hw,
     if (options.prune) {
       const int widest = std::max(options.max_columns,
                                   gs.relu_bits ? model.quant.table_bits + 2 : 0);
-      k_floor = SimulateLayout(model, gs, widest, nullptr).k;
+      k_floor = SimulateLayout(model, gs, widest, nullptr, options.batch).k;
       ++result.plans_evaluated;
       plans_counter.Increment();
     }

@@ -23,6 +23,11 @@ struct OptimizerOptions {
   bool prune = true;
   enum class Objective { kProvingTime, kProofSize };
   Objective objective = Objective::kProvingTime;
+  // Independent inferences laid out per circuit. The simulator replicates the
+  // advice regions `batch` times while tables and fixed columns stay shared,
+  // so the optimizer ranks layouts by whole-batch cost (divide by batch for
+  // per-inference economics).
+  size_t batch = 1;
 };
 
 struct RankedLayout {

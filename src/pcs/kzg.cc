@@ -108,11 +108,14 @@ Status KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   //   C* - y*·G == (tau - z)·W.
   const G1 lhs = c_star - G1::Generator().ScalarMul(y_star);
   if (defer_ != nullptr) {
-    // Sharded verification: record the claim; KzgAccumulator::Check folds
-    // every shard's claim into one RLC'd pairing check.
-    defer_->Add(KzgDeferredOpening{lhs, w, point});
+    // Deferred verification: record the claim; KzgAccumulator::Check folds
+    // every proof's claim into one RLC'd pairing check.
+    defer_->Add(KzgDeferredOpening{lhs, w, point, 0});
     return Status::Ok();
   }
+  static obs::Counter& pairings =
+      obs::MetricsRegistry::Global().counter("pcs.kzg.pairing_checks");
+  pairings.Increment();
   const G1 rhs = G1::FromAffine(w).ScalarMul(setup_->tau - point);
   if (!(lhs == rhs)) {
     return VerifyFailedError("kzg: opening equation C* - y*G != (tau - z)W for batch of " +
@@ -121,10 +124,12 @@ Status KzgPcs::VerifyBatch(const std::vector<PcsCommitment>& commitments,
   return Status::Ok();
 }
 
-Status KzgAccumulator::Check(const KzgSetup& setup) const {
+Status KzgAccumulator::Check(const KzgSetup& setup, std::vector<size_t>* blamed_tags) const {
   obs::Span span("kzg-aggregate-check");
   static obs::Counter& checks =
       obs::MetricsRegistry::Global().counter("pcs.kzg.aggregate_checks");
+  static obs::Counter& pairings =
+      obs::MetricsRegistry::Global().counter("pcs.kzg.pairing_checks");
   checks.Increment();
   if (entries_.empty()) {
     return InvalidArgumentError("kzg aggregate: no deferred openings to check");
@@ -147,11 +152,38 @@ Status KzgAccumulator::Check(const KzgSetup& setup) const {
     rhs_acc += G1::FromAffine(e.w).ScalarMul(rj * (setup.tau - e.point));
     rj *= r;
   }
-  if (!(lhs_acc == rhs_acc)) {
-    return VerifyFailedError("kzg aggregate: combined pairing check failed across " +
-                             std::to_string(entries_.size()) + " deferred openings");
+  pairings.Increment();
+  if (lhs_acc == rhs_acc) {
+    return Status::Ok();
   }
-  return Status::Ok();
+  // Rejection path: re-check each claim on its own to name the proofs whose
+  // openings are bad. These per-claim checks only run after the single
+  // aggregate pairing check has already failed.
+  std::vector<size_t> bad;
+  for (const KzgDeferredOpening& e : entries_) {
+    pairings.Increment();
+    if (!(e.lhs == G1::FromAffine(e.w).ScalarMul(setup.tau - e.point)) &&
+        (bad.empty() || bad.back() != e.tag)) {
+      bad.push_back(e.tag);
+    }
+  }
+  std::string who;
+  for (const size_t tag : bad) {
+    who += (who.empty() ? "" : ",") + std::to_string(tag);
+  }
+  if (blamed_tags != nullptr) {
+    blamed_tags->insert(blamed_tags->end(), bad.begin(), bad.end());
+  }
+  if (bad.empty()) {
+    // Every claim passes individually but the combination fails: impossible
+    // for honestly accumulated claims, so report it as corruption.
+    return VerifyFailedError("kzg aggregate: combined pairing check failed across " +
+                             std::to_string(entries_.size()) +
+                             " deferred openings (no individual claim blamed)");
+  }
+  return VerifyFailedError("kzg aggregate: combined pairing check failed across " +
+                           std::to_string(entries_.size()) +
+                           " deferred openings; blamed proof(s): " + who);
 }
 
 }  // namespace zkml

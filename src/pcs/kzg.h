@@ -35,24 +35,39 @@ struct KzgDeferredOpening {
   G1 lhs;      // C* - y*·G for the batch
   G1Affine w;  // witness commitment
   Fr point;    // opening point z
+  size_t tag;  // which proof this claim came from (shard/batch index)
 };
 
 // Collects deferred openings across many proofs (one per shard in sharded
-// verification) and discharges them with a single random-linear-combination
-// check — the analog of one batched pairing instead of k. Not thread-safe;
-// accumulate from one thread.
+// verification, one per proof in cross-proof batch verification) and
+// discharges them with a single random-linear-combination check — the analog
+// of one batched pairing instead of k. Not thread-safe; accumulate from one
+// thread.
 class KzgAccumulator {
  public:
-  void Add(KzgDeferredOpening opening) { entries_.push_back(std::move(opening)); }
+  // Tag stamped onto subsequently Add()ed claims; callers verifying several
+  // proofs into one accumulator set this to the proof's index before each
+  // proof so a rejection can name the culprit.
+  void SetTag(size_t tag) { tag_ = tag; }
+
+  void Add(KzgDeferredOpening opening) {
+    opening.tag = tag_;
+    entries_.push_back(std::move(opening));
+  }
   size_t size() const { return entries_.size(); }
 
   // Draws an RLC challenge r from a transcript over every accumulated claim
-  // and verifies sum_j r^j·lhs_j == sum_j r^j·(tau - z_j)·W_j. A cheat in any
-  // single claim survives only with probability |entries|/|Fr|.
-  Status Check(const KzgSetup& setup) const;
+  // and verifies sum_j r^j·lhs_j == sum_j r^j·(tau - z_j)·W_j with a single
+  // pairing check. A cheat in any single claim survives only with probability
+  // |entries|/|Fr|. On failure, each claim is re-checked individually
+  // (diagnostic only — these extra checks run on the rejection path) and the
+  // tags of the failing proofs are reported in the error message and, when
+  // `blamed_tags` is non-null, appended there.
+  Status Check(const KzgSetup& setup, std::vector<size_t>* blamed_tags = nullptr) const;
 
  private:
   std::vector<KzgDeferredOpening> entries_;
+  size_t tag_ = 0;
 };
 
 class KzgPcs : public Pcs {

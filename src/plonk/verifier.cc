@@ -37,6 +37,10 @@ const char* VerifyStageName(VerifyStage stage) {
       return "shard-stitch";
     case VerifyStage::kShardAggregate:
       return "shard-aggregate";
+    case VerifyStage::kBatchStitch:
+      return "batch-stitch";
+    case VerifyStage::kBatchAggregate:
+      return "batch-aggregate";
   }
   return "unknown";
 }

@@ -37,6 +37,9 @@ enum class VerifyStage {
   // reuses VerifyResult so rejections stay stage-attributed end to end.
   kShardStitch,             // boundary activations disagree with the statement
   kShardAggregate,          // the combined batched-KZG pairing check
+  // Batched multi-inference stages (src/zkml/batched.h).
+  kBatchStitch,             // a per-inference segment disagrees with the statement
+  kBatchAggregate,          // the cross-proof RLC pairing check
 };
 
 const char* VerifyStageName(VerifyStage stage);

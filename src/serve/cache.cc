@@ -1,5 +1,6 @@
 #include "src/serve/cache.h"
 
+#include "src/base/check.h"
 #include "src/transcript/sha256.h"
 
 namespace zkml {
@@ -34,8 +35,11 @@ StatusOr<std::shared_ptr<const CompiledModel>> CompiledModelCache::GetOrCompile(
         TouchLocked(e, key);
         return e.model;
       }
-      // In flight: wait for the compiler outside the lock.
+      // In flight: wait for the compiler outside the lock. The waiter count
+      // pins the entry against eviction (and against the owner's failure
+      // cleanup) until we have collected the result under the lock again.
       ++stats_.hits;
+      ++e.waiters;
       wait_on = e.ready;
     } else {
       ++stats_.misses;
@@ -49,16 +53,26 @@ StatusOr<std::shared_ptr<const CompiledModel>> CompiledModelCache::GetOrCompile(
   if (!i_compile) {
     wait_on.wait();
     std::lock_guard<std::mutex> lock(mu_);
+    // Our waiter count pinned the entry, so it is still here — eviction and
+    // failure cleanup both defer to pending waiters.
     auto it = entries_.find(key);
-    if (it == entries_.end() || it->second.model == nullptr) {
-      // The compile failed (entry cleared or holds the failure status);
-      // surface the original error rather than retrying under the waiter.
-      return it == entries_.end()
-                 ? UnavailableError("compile for model " + key + " failed in another request")
-                 : it->second.status;
+    ZKML_CHECK_MSG(it != entries_.end(), "pinned cache entry vanished");
+    Entry& e = it->second;
+    --e.waiters;
+    if (e.model == nullptr) {
+      // The compile failed; surface the original error rather than retrying
+      // under the waiter. The last waiter clears the key so a later request
+      // can retry from scratch.
+      const Status status = e.status;
+      if (e.failed && e.waiters == 0) {
+        entries_.erase(it);
+      }
+      return status;
     }
-    TouchLocked(it->second, key);
-    return it->second.model;
+    const std::shared_ptr<const CompiledModel> model = e.model;
+    TouchLocked(e, key);
+    EvictLocked();  // trim any eviction deferred while this entry was pinned
+    return model;
   }
 
   // We own the compile. Run it without holding the lock (it takes seconds).
@@ -75,16 +89,18 @@ StatusOr<std::shared_ptr<const CompiledModel>> CompiledModelCache::GetOrCompile(
       EvictLocked();
     } else {
       e.status = result.status();
+      e.failed = true;
     }
   }
   my_promise.set_value();
   if (!result.ok()) {
     // Clear the failed entry after waiters have been released so the next
-    // request retries from scratch. Waiters arriving in between read the
-    // stored status; both paths see the same error.
+    // request retries from scratch. Waiters still pinning the entry read the
+    // stored status and the last of them erases it; both paths see the same
+    // error.
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
-    if (it != entries_.end() && !it->second.in_lru) {
+    if (it != entries_.end() && !it->second.in_lru && it->second.waiters == 0) {
       entries_.erase(it);
     }
     return result.status();
@@ -99,11 +115,29 @@ void CompiledModelCache::TouchLocked(Entry& e, const std::string& key) {
 }
 
 void CompiledModelCache::EvictLocked() {
+  // Walk from the LRU end, skipping pinned entries (waiters still to collect
+  // their result). When everything over capacity is pinned the cache runs
+  // transiently oversized instead of dropping an entry out from under a
+  // thread; the deferred eviction happens when the last waiter unpins.
   while (lru_.size() > capacity_) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++stats_.evictions;
+    bool evicted = false;
+    for (auto vic = std::prev(lru_.end());; --vic) {
+      auto it = entries_.find(*vic);
+      ZKML_CHECK_MSG(it != entries_.end(), "lru key without a cache entry");
+      if (it->second.waiters == 0) {
+        lru_.erase(vic);
+        entries_.erase(it);
+        ++stats_.evictions;
+        evicted = true;
+        break;
+      }
+      if (vic == lru_.begin()) {
+        break;
+      }
+    }
+    if (!evicted) {
+      break;
+    }
   }
 }
 

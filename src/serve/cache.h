@@ -57,6 +57,12 @@ class CompiledModelCache {
     Status status;                               // failure reason when model is null
     std::list<std::string>::iterator lru_it;     // into lru_, valid once ready
     bool in_lru = false;
+    bool failed = false;  // compile finished with an error; cleared by the last waiter
+    // Threads blocked on `ready` that have not yet collected their result.
+    // A pinned entry (waiters > 0) is exempt from LRU eviction: dropping it
+    // between the future firing and a waiter re-acquiring the lock would turn
+    // a finished compile into a spurious UnavailableError.
+    int waiters = 0;
   };
 
   void TouchLocked(Entry& e, const std::string& key);

@@ -12,6 +12,7 @@
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
 #include "src/tensor/quantizer.h"
+#include "src/zkml/batched.h"
 #include "src/zkml/sharded.h"
 
 namespace zkml {
@@ -46,6 +47,9 @@ struct ZkmlServer::Job {
   uint64_t request_id = 0;
   ProveRequest request;
   uint32_t deadline_ms = 0;
+  // The wire version the client spoke; responses (and coalescing
+  // eligibility — a batched artifact needs a v3-aware reader) honour it.
+  uint8_t wire_version = kWireVersion;
 
   // shared_ptr so the watchdog can hold the token while the worker runs.
   std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
@@ -544,9 +548,9 @@ void ZkmlServer::AcceptLoop() {
 }
 
 bool ZkmlServer::SendFrame(Connection& conn, FrameType type, uint64_t request_id,
-                           const std::vector<uint8_t>& payload) {
+                           const std::vector<uint8_t>& payload, uint8_t version) {
   std::vector<uint8_t> out;
-  EncodeFrame(&out, type, request_id, payload);
+  EncodeFrame(&out, type, request_id, payload, version);
   Status s = conn.sock.WriteFull(out.data(), out.size(), options_.io_timeout_ms);
   if (!s.ok()) {
     if (s.code() == StatusCode::kDeadlineExceeded) {
@@ -557,9 +561,10 @@ bool ZkmlServer::SendFrame(Connection& conn, FrameType type, uint64_t request_id
   return true;
 }
 
-bool ZkmlServer::SendError(Connection& conn, uint64_t request_id, const WireError& err) {
+bool ZkmlServer::SendError(Connection& conn, uint64_t request_id, const WireError& err,
+                           uint8_t version) {
   counters_->RejectionsFor(err.stage).Inc();
-  return SendFrame(conn, FrameType::kError, request_id, EncodeWireError(err));
+  return SendFrame(conn, FrameType::kError, request_id, EncodeWireError(err), version);
 }
 
 void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
@@ -614,7 +619,7 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
 
     switch (hdr->type) {
       case FrameType::kPing:
-        if (!SendFrame(*conn, FrameType::kPong, hdr->request_id, {})) return;
+        if (!SendFrame(*conn, FrameType::kPong, hdr->request_id, {}, hdr->version)) return;
         continue;
       case FrameType::kProveRequest:
         break;
@@ -623,27 +628,32 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
         counters_->protocol_errors.Inc();
         SendError(*conn, hdr->request_id,
                   {WireErrorCode::kBadFrameType, WireStage::kFrameHeader,
-                   "frame type is not a client request"});
+                   "frame type is not a client request"},
+                  hdr->version);
         return;
     }
 
-    StatusOr<ProveRequest> req = DecodeProveRequest(payload);
+    // The payload is decoded against the version the frame declared: a
+    // down-level frame carrying fields it never defined is rejected here.
+    StatusOr<ProveRequest> req = DecodeProveRequest(payload, hdr->version);
     if (!req.ok()) {
       // Structurally invalid payload behind a valid CRC: the framing is still
       // sound, so reject the request but keep the connection.
       counters_->jobs_rejected_malformed.Inc();
       if (!SendError(*conn, hdr->request_id,
                      {WireErrorCode::kMalformedRequest, WireStage::kFramePayload,
-                      req.status().message()})) {
+                      req.status().message()},
+                     hdr->version)) {
         return;
       }
       continue;
     }
 
     WireError admit_err;
-    std::shared_ptr<Job> job = AdmitJob(std::move(*req), hdr->request_id, &admit_err);
+    std::shared_ptr<Job> job =
+        AdmitJob(std::move(*req), hdr->request_id, hdr->version, &admit_err);
     if (job == nullptr) {
-      if (!SendError(*conn, hdr->request_id, admit_err)) return;
+      if (!SendError(*conn, hdr->request_id, admit_err, hdr->version)) return;
       continue;
     }
 
@@ -654,9 +664,9 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
     bool sent;
     if (job->ok) {
       sent = SendFrame(*conn, FrameType::kProveResponse, hdr->request_id,
-                       EncodeProveResponse(job->response));
+                       EncodeProveResponse(job->response, hdr->version), hdr->version);
     } else {
-      sent = SendError(*conn, hdr->request_id, job->error);
+      sent = SendError(*conn, hdr->request_id, job->error, hdr->version);
     }
     counters_->stage_respond->Record(SecondsBetween(respond_start, SteadyClock::now()));
     if (!sent) return;
@@ -664,10 +674,12 @@ void ZkmlServer::HandleConnection(std::shared_ptr<Connection> conn) {
 }
 
 std::shared_ptr<ZkmlServer::Job> ZkmlServer::AdmitJob(ProveRequest request,
-                                                      uint64_t request_id, WireError* err) {
+                                                      uint64_t request_id,
+                                                      uint8_t wire_version, WireError* err) {
   auto job = std::make_shared<Job>();
   job->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job->request_id = request_id;
+  job->wire_version = wire_version;
   job->deadline_ms = request.deadline_ms == 0
                          ? options_.default_deadline_ms
                          : std::min(request.deadline_ms, options_.max_deadline_ms);
@@ -715,8 +727,13 @@ std::shared_ptr<ZkmlServer::Job> ZkmlServer::AdmitJob(ProveRequest request,
 }
 
 void ZkmlServer::WorkerLoop(int worker_index) {
+  // A job is coalescable when it asks for exactly one inference of one
+  // circuit and its client can read a zkml.batched_proof/v1 response (v3+).
+  const auto coalescable = [](const Job& j) {
+    return j.wire_version >= 3 && j.request.shards <= 1 && j.request.batch <= 1;
+  };
   for (;;) {
-    std::shared_ptr<Job> job;
+    std::vector<std::shared_ptr<Job>> group;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] {
@@ -725,19 +742,46 @@ void ZkmlServer::WorkerLoop(int worker_index) {
       if (queue_.empty()) {
         return;  // stopping_ and nothing left to drain
       }
-      job = std::move(queue_.front());
+      group.push_back(std::move(queue_.front()));
       queue_.pop_front();
-      job->worker.store(worker_index, std::memory_order_relaxed);
-      running_.push_back(job);
+      group.front()->worker.store(worker_index, std::memory_order_relaxed);
+      running_.push_back(group.front());
+      // Request coalescing: claim queued jobs for the same (model, backend)
+      // so one batched circuit proves them all. Only whole jobs are claimed —
+      // anything incompatible stays queued for another worker.
+      if (options_.coalesce_max > 1 && coalescable(*group.front())) {
+        const Job& lead = *group.front();
+        for (auto it = queue_.begin();
+             it != queue_.end() && group.size() < options_.coalesce_max;) {
+          Job& j = **it;
+          if (coalescable(j) && j.request.backend == lead.request.backend &&
+              j.request.model_text == lead.request.model_text) {
+            j.worker.store(worker_index, std::memory_order_relaxed);
+            running_.push_back(*it);
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
     }
 
-    ExecuteJob(job);
+    if (group.size() == 1) {
+      ExecuteJob(group.front());
+    } else {
+      ExecuteCoalescedJobs(group);
+    }
 
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      running_.erase(std::remove(running_.begin(), running_.end(), job), running_.end());
+      for (const auto& job : group) {
+        running_.erase(std::remove(running_.begin(), running_.end(), job), running_.end());
+      }
     }
-    job->done_promise.set_value();
+    for (const auto& job : group) {
+      job->done_promise.set_value();
+    }
   }
 }
 
@@ -819,6 +863,22 @@ void ZkmlServer::ExecuteJobInner(const std::shared_ptr<Job>& job) {
   if (!model.ok()) {
     counters_->jobs_rejected_malformed.Inc();
     fail(WireErrorCode::kMalformedModel, WireStage::kModelParse, model.status().message());
+    return;
+  }
+
+  if (job->request.batch > 1 && job->request.shards > 1) {
+    counters_->jobs_rejected_malformed.Inc();
+    fail(WireErrorCode::kMalformedRequest, WireStage::kModelParse,
+         "request asks for both sharded (" + std::to_string(job->request.shards) +
+             ") and batched (" + std::to_string(job->request.batch) +
+             ") proving; pick one");
+    return;
+  }
+
+  // Batched multi-inference proving: one circuit proves `batch` inferences
+  // and the response carries a zkml.batched_proof/v1 artifact.
+  if (job->request.batch > 1) {
+    ExecuteBatchedJob(job, *model, job->request.batch, queue_micros, started);
     return;
   }
 
@@ -1073,6 +1133,336 @@ void ZkmlServer::ExecuteShardedJob(const std::shared_ptr<Job>& job, const Model&
   counters_->jobs_completed.Inc();
   counters_->job_seconds->Record(
       std::chrono::duration<double>(finished - job->enqueued).count());
+}
+
+void ZkmlServer::ExecuteBatchedJob(const std::shared_ptr<Job>& job, const Model& model,
+                                   size_t batch, uint64_t queue_micros,
+                                   SteadyClock::time_point started) {
+  auto fail = [&](WireErrorCode code, WireStage stage, std::string message) {
+    job->ok = false;
+    job->error = {code, stage, std::move(message)};
+  };
+  auto fail_cancel = [&](const Status& s, WireStage stage) {
+    if (s.code() == StatusCode::kCancelled) {
+      counters_->jobs_cancelled.Inc();
+      fail(WireErrorCode::kCancelled, stage,
+           job->reaped.load(std::memory_order_relaxed) ? "reaped by watchdog: " + s.message()
+                                                       : s.message());
+    } else {
+      counters_->jobs_deadline_exceeded.Inc();
+      fail(WireErrorCode::kDeadlineExceeded, stage, s.message());
+    }
+  };
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kCompile), std::memory_order_relaxed);
+  const auto compile_start = SteadyClock::now();
+  // The batched circuit is a different circuit than the single-inference one
+  // (replicated advice regions, N-segment statement), so it caches under a
+  // batch-suffixed key next to the model's other compilations.
+  const std::string key = ModelHashHex(job->request.model_text) + ":batch" +
+                          std::to_string(batch) +
+                          (job->request.backend == 1 ? ":ipa" : ":kzg");
+  bool cache_hit = true;
+  StatusOr<std::shared_ptr<const CompiledModel>> compiled = [&] {
+    obs::Span span("serve.compile");
+    return cache_.GetOrCompile(key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+      cache_hit = false;
+      ZkmlOptions zo;
+      zo.backend = job->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
+      zo.optimizer.backend = zo.backend;
+      zo.optimizer.min_columns = options_.optimizer_min_columns;
+      zo.optimizer.max_columns = options_.optimizer_max_columns;
+      zo.optimizer.max_k = options_.optimizer_max_k;
+      StatusOr<CompiledBatchedModel> cb = CompileBatched(model, batch, zo);
+      if (!cb.ok()) return cb.status();
+      return std::make_shared<const CompiledModel>(std::move(cb->compiled));
+    });
+  }();
+  counters_->stage_compile->Record(SecondsBetween(compile_start, SteadyClock::now()));
+  if (!compiled.ok()) {
+    counters_->jobs_failed_internal.Inc();
+    fail(WireErrorCode::kInternal, WireStage::kCompile, compiled.status().message());
+    return;
+  }
+  Status live = job->cancel->Check("compile");
+  if (!live.ok()) {
+    fail_cancel(live, WireStage::kCompile);
+    return;
+  }
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kWitness), std::memory_order_relaxed);
+  const auto witness_start = SteadyClock::now();
+  const Model& m = (*compiled)->model;
+  const size_t per = static_cast<size_t>(m.input_shape.NumElements());
+  std::vector<Tensor<int64_t>> inputs_q;
+  inputs_q.reserve(batch);
+  {
+    obs::Span span("serve.witness");
+    if (!job->request.input.empty()) {
+      // Explicit input carries batch x per elements, inference-major.
+      if (job->request.input.size() != batch * per) {
+        counters_->jobs_rejected_malformed.Inc();
+        fail(WireErrorCode::kInputMismatch, WireStage::kWitness,
+             "batched input has " + std::to_string(job->request.input.size()) +
+                 " elements, batch " + std::to_string(batch) + " of this model wants " +
+                 std::to_string(batch * per) + " (" + std::to_string(per) +
+                 " per inference)");
+        return;
+      }
+      for (size_t i = 0; i < batch; ++i) {
+        std::vector<int64_t> slice(job->request.input.begin() + static_cast<ptrdiff_t>(i * per),
+                                   job->request.input.begin() +
+                                       static_cast<ptrdiff_t>((i + 1) * per));
+        inputs_q.emplace_back(m.input_shape, std::move(slice));
+      }
+    } else {
+      // Synthetic inputs: one distinct draw per inference, seeded seed + i so
+      // the batch is reproducible but not N copies of one tensor.
+      for (size_t i = 0; i < batch; ++i) {
+        inputs_q.push_back(QuantizeTensor(SyntheticInput(m, job->request.seed + i), m.quant));
+      }
+    }
+  }
+  counters_->stage_witness->Record(SecondsBetween(witness_start, SteadyClock::now()));
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kProve), std::memory_order_relaxed);
+  const auto prove_start = SteadyClock::now();
+  StatusOr<BatchedProof> proof = [&] {
+    obs::Span span("serve.prove");
+    return CreateBatchedProof(**compiled, inputs_q, job->cancel.get());
+  }();
+  const double prove_seconds = SecondsBetween(prove_start, SteadyClock::now());
+  counters_->stage_prove->Record(prove_seconds);
+  // Batch-size-labelled prove series so amortization is visible per N.
+  obs::MetricsRegistry::Global()
+      .histogram("serve.stage_seconds.prove.batch" + std::to_string(batch),
+                 kStageSecondsBuckets)
+      .Record(prove_seconds);
+  if (!proof.ok()) {
+    if (proof.status().code() == StatusCode::kCancelled ||
+        proof.status().code() == StatusCode::kDeadlineExceeded) {
+      fail_cancel(proof.status(), WireStage::kProve);
+    } else {
+      counters_->jobs_failed_internal.Inc();
+      fail(WireErrorCode::kInternal, WireStage::kProve, proof.status().message());
+    }
+    return;
+  }
+
+  if (!options_.report_dir.empty()) {
+    // Batched jobs report the zkml.batched_proof/v1 document. Report I/O must
+    // never fail a proved job.
+    obs::Json doc = BatchedReportJson(**compiled, *proof);
+    const std::string path =
+        options_.report_dir + "/job_" + std::to_string(job->id) + ".json";
+    std::ofstream out(path);
+    if (out) out << doc.DumpPretty() << "\n";
+  }
+
+  job->stage.store(static_cast<uint8_t>(WireStage::kRespond), std::memory_order_relaxed);
+  const auto finished = SteadyClock::now();
+  job->response.proof = EncodeBatchedProof(*proof);
+  job->response.instance = std::move(proof->instance);
+  job->response.output.clear();
+  for (const Tensor<int64_t>& out_q : proof->outputs_q) {
+    const std::vector<int64_t> v = out_q.ToVector();
+    job->response.output.insert(job->response.output.end(), v.begin(), v.end());
+  }
+  job->response.queue_micros = queue_micros;
+  job->response.prove_micros = MicrosBetween(started, finished);
+  job->response.cache_hit = cache_hit ? 1 : 0;
+  job->response.shards = 1;
+  job->response.batch = static_cast<uint32_t>(batch);
+  job->ok = true;
+  counters_->jobs_completed.Inc();
+  counters_->job_seconds->Record(
+      std::chrono::duration<double>(finished - job->enqueued).count());
+}
+
+void ZkmlServer::ExecuteCoalescedJobs(const std::vector<std::shared_ptr<Job>>& group) {
+  const auto started = SteadyClock::now();
+  const size_t batch = group.size();
+  const std::shared_ptr<Job>& lead = group.front();
+  auto fail_all = [&](WireErrorCode code, WireStage stage, const std::string& message) {
+    for (const auto& job : group) {
+      job->ok = false;
+      job->error = {code, stage, message};
+    }
+  };
+  auto set_stage = [&](WireStage stage) {
+    for (const auto& job : group) {
+      job->stage.store(static_cast<uint8_t>(stage), std::memory_order_relaxed);
+    }
+  };
+  auto log_jobs = [&](const std::vector<std::shared_ptr<Job>>& jobs) {
+    if (event_log_ == nullptr) return;
+    for (const auto& job : jobs) {
+      obs::Json fields = obs::Json::Object();
+      fields.Set("job_id", job->id);
+      fields.Set("request_id", job->request_id);
+      fields.Set("coalesced", static_cast<uint64_t>(batch));
+      fields.Set("elapsed_s", SecondsBetween(job->enqueued, SteadyClock::now()));
+      if (job->ok) {
+        LogEvent("job_completed", std::move(fields));
+      } else {
+        fields.Set("error", WireErrorCodeName(job->error.code));
+        fields.Set("stage", WireStageName(job->error.stage));
+        LogEvent("job_failed", std::move(fields));
+      }
+    }
+  };
+  auto log_outcome = [&] { log_jobs(group); };
+
+  for (const auto& job : group) {
+    counters_->stage_admission->Record(SecondsBetween(job->enqueued, started));
+  }
+
+  set_stage(WireStage::kModelParse);
+  StatusOr<Model> model = DeserializeModel(lead->request.model_text);
+  if (!model.ok()) {
+    counters_->jobs_rejected_malformed.Inc(batch);
+    fail_all(WireErrorCode::kMalformedModel, WireStage::kModelParse, model.status().message());
+    log_outcome();
+    return;
+  }
+  const size_t per = static_cast<size_t>(model->input_shape.NumElements());
+  // A member whose explicit input is malformed is failed alone; the rest of
+  // the group still proves (the batched circuit is compiled for the survivor
+  // count, so nothing is wasted on the reject).
+  std::vector<std::shared_ptr<Job>> good;
+  good.reserve(batch);
+  for (const auto& job : group) {
+    if (!job->request.input.empty() && job->request.input.size() != per) {
+      counters_->jobs_rejected_malformed.Inc();
+      job->ok = false;
+      job->error = {WireErrorCode::kInputMismatch, WireStage::kWitness,
+                    "input has " + std::to_string(job->request.input.size()) +
+                        " elements, model wants " + std::to_string(per)};
+    } else {
+      good.push_back(job);
+    }
+  }
+  if (good.size() < batch) {
+    // Group shrank: log the rejects here, then reprove what survives (a
+    // singleton falls back to the ordinary pipeline, which does its own
+    // logging; smaller groups recurse — terminating because every reject is
+    // final).
+    std::vector<std::shared_ptr<Job>> rejected;
+    for (const auto& job : group) {
+      if (std::find(good.begin(), good.end(), job) == good.end()) rejected.push_back(job);
+    }
+    log_jobs(rejected);
+    if (good.size() == 1) {
+      ExecuteJob(good.front());
+    } else if (good.size() > 1) {
+      ExecuteCoalescedJobs(good);
+    }
+    return;
+  }
+
+  set_stage(WireStage::kCompile);
+  const auto compile_start = SteadyClock::now();
+  const std::string key = ModelHashHex(lead->request.model_text) + ":batch" +
+                          std::to_string(batch) +
+                          (lead->request.backend == 1 ? ":ipa" : ":kzg");
+  bool cache_hit = true;
+  StatusOr<std::shared_ptr<const CompiledModel>> compiled = [&] {
+    obs::Span span("serve.compile");
+    return cache_.GetOrCompile(key, [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+      cache_hit = false;
+      ZkmlOptions zo;
+      zo.backend = lead->request.backend == 1 ? PcsKind::kIpa : PcsKind::kKzg;
+      zo.optimizer.backend = zo.backend;
+      zo.optimizer.min_columns = options_.optimizer_min_columns;
+      zo.optimizer.max_columns = options_.optimizer_max_columns;
+      zo.optimizer.max_k = options_.optimizer_max_k;
+      StatusOr<CompiledBatchedModel> cb = CompileBatched(*model, batch, zo);
+      if (!cb.ok()) return cb.status();
+      return std::make_shared<const CompiledModel>(std::move(cb->compiled));
+    });
+  }();
+  counters_->stage_compile->Record(SecondsBetween(compile_start, SteadyClock::now()));
+  if (!compiled.ok()) {
+    counters_->jobs_failed_internal.Inc(batch);
+    fail_all(WireErrorCode::kInternal, WireStage::kCompile, compiled.status().message());
+    log_outcome();
+    return;
+  }
+
+  set_stage(WireStage::kWitness);
+  const Model& m = (*compiled)->model;
+  std::vector<Tensor<int64_t>> inputs_q;
+  inputs_q.reserve(batch);
+  for (const auto& job : group) {
+    if (!job->request.input.empty()) {
+      inputs_q.emplace_back(m.input_shape, job->request.input);
+    } else {
+      inputs_q.push_back(QuantizeTensor(SyntheticInput(m, job->request.seed), m.quant));
+    }
+  }
+
+  // The lead job's token drives cancellation: it holds the oldest budget in
+  // the group, so a deadline that fires first fires there.
+  set_stage(WireStage::kProve);
+  const auto prove_start = SteadyClock::now();
+  StatusOr<BatchedProof> proof = [&] {
+    obs::Span span("serve.prove");
+    return CreateBatchedProof(**compiled, inputs_q, lead->cancel.get());
+  }();
+  const double prove_seconds = SecondsBetween(prove_start, SteadyClock::now());
+  counters_->stage_prove->Record(prove_seconds);
+  obs::MetricsRegistry::Global()
+      .histogram("serve.stage_seconds.prove.batch" + std::to_string(batch),
+                 kStageSecondsBuckets)
+      .Record(prove_seconds);
+  if (!proof.ok()) {
+    if (proof.status().code() == StatusCode::kCancelled) {
+      counters_->jobs_cancelled.Inc(batch);
+      fail_all(WireErrorCode::kCancelled, WireStage::kProve,
+               lead->reaped.load(std::memory_order_relaxed)
+                   ? "reaped by watchdog: " + proof.status().message()
+                   : proof.status().message());
+    } else if (proof.status().code() == StatusCode::kDeadlineExceeded) {
+      counters_->jobs_deadline_exceeded.Inc(batch);
+      fail_all(WireErrorCode::kDeadlineExceeded, WireStage::kProve, proof.status().message());
+    } else {
+      counters_->jobs_failed_internal.Inc(batch);
+      fail_all(WireErrorCode::kInternal, WireStage::kProve, proof.status().message());
+    }
+    log_outcome();
+    return;
+  }
+
+  if (!options_.report_dir.empty()) {
+    obs::Json doc = BatchedReportJson(**compiled, *proof);
+    doc.Set("coalesced", static_cast<uint64_t>(batch));
+    const std::string path =
+        options_.report_dir + "/job_" + std::to_string(lead->id) + ".json";
+    std::ofstream out(path);
+    if (out) out << doc.DumpPretty() << "\n";
+  }
+
+  // Every member gets the shared artifact and the full concatenated
+  // statement (both are needed to verify), plus its own inference's output.
+  set_stage(WireStage::kRespond);
+  const auto finished = SteadyClock::now();
+  const std::vector<uint8_t> artifact = EncodeBatchedProof(*proof);
+  for (size_t i = 0; i < group.size(); ++i) {
+    const std::shared_ptr<Job>& job = group[i];
+    job->response.proof = artifact;
+    job->response.instance = proof->instance;
+    job->response.output = proof->outputs_q[i].ToVector();
+    job->response.queue_micros = MicrosBetween(job->enqueued, started);
+    job->response.prove_micros = MicrosBetween(started, finished);
+    job->response.cache_hit = cache_hit ? 1 : 0;
+    job->response.shards = 1;
+    job->response.batch = static_cast<uint32_t>(batch);
+    job->ok = true;
+    counters_->job_seconds->Record(
+        std::chrono::duration<double>(finished - job->enqueued).count());
+  }
+  counters_->jobs_completed.Inc(batch);
+  log_outcome();
 }
 
 void ZkmlServer::WriteJobReport(const Job& job, const CompiledModel& compiled,

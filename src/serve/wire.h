@@ -37,7 +37,13 @@ namespace serve {
 inline constexpr uint8_t kWireMagic[4] = {'Z', 'K', 'S', 'V'};
 // v2: ProveRequest/ProveResponse grew a trailing `shards` field (sharded
 // proving); v1 readers would see trailing bytes, so the version was bumped.
-inline constexpr uint8_t kWireVersion = 2;
+// v3: a trailing `batch` field (batched multi-inference proving). The server
+// now accepts every version in [kMinWireVersion, kWireVersion], decodes each
+// payload against the frame's declared version (a version-1 frame smuggling
+// v2 fields as trailing bytes is hard-rejected, never silently ignored), and
+// answers at the version the client spoke.
+inline constexpr uint8_t kMinWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderSize = 24;
 // Default cap on payload size; a length prefix above the cap is rejected
 // before any allocation, so a hostile 4 GiB length cannot balloon memory.
@@ -87,6 +93,7 @@ enum class WireErrorCode : uint16_t {
 const char* WireErrorCodeName(WireErrorCode code);
 
 struct FrameHeader {
+  uint8_t version = kWireVersion;  // the version the peer spoke
   FrameType type = FrameType::kError;
   uint64_t request_id = 0;
   uint32_t payload_len = 0;
@@ -96,9 +103,10 @@ struct FrameHeader {
 // CRC-32 (IEEE 802.3, reflected) over `len` bytes.
 uint32_t Crc32(const uint8_t* data, size_t len);
 
-// Appends a complete frame (header + payload) to `out`.
+// Appends a complete frame (header + payload) to `out`. `version` lets the
+// server answer a down-level client at the version it spoke.
 void EncodeFrame(std::vector<uint8_t>* out, FrameType type, uint64_t request_id,
-                 const std::vector<uint8_t>& payload);
+                 const std::vector<uint8_t>& payload, uint8_t version = kWireVersion);
 
 // Validates and decodes a frame header from exactly kFrameHeaderSize bytes.
 // Fails kMalformedProof with a message naming the offending field; the
@@ -121,6 +129,10 @@ struct ProveRequest {
   // Requested shard count: 0/1 = single circuit, >1 = sharded proving (the
   // server clamps to what the model's graph admits). v2 field.
   uint32_t shards = 0;
+  // Requested batch size: 0/1 = one inference, >1 = batched multi-inference
+  // proving (one circuit, N inferences). With an explicit `input`, it must
+  // carry batch x model-input elements, inference-major. v3 field.
+  uint32_t batch = 0;
 };
 
 struct ProveResponse {
@@ -133,6 +145,10 @@ struct ProveResponse {
   // Shard count actually proved (after clamping): <=1 means `proof` is a
   // single-circuit proof, >1 a zkml.sharded_proof/v1 artifact. v2 field.
   uint32_t shards = 0;
+  // Batch size actually proved: <=1 means one inference; >1 means `proof` is
+  // a zkml.batched_proof/v1 artifact and `instance`/`output` concatenate the
+  // per-inference statements/outputs in order. v3 field.
+  uint32_t batch = 0;
 };
 
 struct WireError {
@@ -143,11 +159,19 @@ struct WireError {
   std::string ToString() const;
 };
 
-std::vector<uint8_t> EncodeProveRequest(const ProveRequest& req);
-StatusOr<ProveRequest> DecodeProveRequest(const std::vector<uint8_t>& payload);
+// Prove payload codecs are version-aware: fields introduced after `version`
+// are not written, and the decoder reads exactly the fields that version
+// defines. A version-1 payload trailed by a nonzero shards field (a v2
+// client lying about its version) is hard-rejected with a pointed message.
+std::vector<uint8_t> EncodeProveRequest(const ProveRequest& req,
+                                        uint8_t version = kWireVersion);
+StatusOr<ProveRequest> DecodeProveRequest(const std::vector<uint8_t>& payload,
+                                          uint8_t version = kWireVersion);
 
-std::vector<uint8_t> EncodeProveResponse(const ProveResponse& resp);
-StatusOr<ProveResponse> DecodeProveResponse(const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeProveResponse(const ProveResponse& resp,
+                                         uint8_t version = kWireVersion);
+StatusOr<ProveResponse> DecodeProveResponse(const std::vector<uint8_t>& payload,
+                                            uint8_t version = kWireVersion);
 
 std::vector<uint8_t> EncodeWireError(const WireError& err);
 StatusOr<WireError> DecodeWireError(const std::vector<uint8_t>& payload);

@@ -290,6 +290,7 @@ VerifyResult VerifySharded(const CompiledShardedModel& compiled,
     VerifyResult result;
     if (const auto* kzg = dynamic_cast<const KzgPcs*>(shard.pcs.get())) {
       setup = kzg->shared_setup();
+      accumulator.SetTag(i);
       KzgPcs deferred(setup, &accumulator);
       result = VerifyDetailed(shard.pk.vk, deferred, stitched, decoded->shard_proofs[i]);
     } else {

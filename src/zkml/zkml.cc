@@ -38,15 +38,28 @@ CompiledModel CompileModelWithLayout(const Model& model, const PhysicalLayout& l
   Timer keygen_timer;
   // Keygen runs on the zero-input circuit: fixed columns and copy constraints
   // are input-independent (the graph has no data-dependent control flow).
+  // Batched layouts (layout.batch > 1) replicate the zero inference so the
+  // keys cover every inference's advice region.
   Tensor<int64_t> zero(model.input_shape);
-  BuiltCircuit built = [&] {
+  size_t num_instance_rows = 0;
+  std::unique_ptr<CircuitBuilder> builder;
+  {
     obs::Span build_span("compile-build-circuit");
-    return BuildCircuit(model, layout, zero);
-  }();
-  compiled.pk = Keygen(built.builder->cs(), built.builder->assignment(), *compiled.pcs, layout.k);
+    if (layout.batch > 1) {
+      std::vector<Tensor<int64_t>> zeros(layout.batch, zero);
+      BuiltBatchedCircuit built = BuildBatchedCircuit(model, layout, zeros);
+      builder = std::move(built.builder);
+      num_instance_rows = built.num_instance_rows;
+    } else {
+      BuiltCircuit built = BuildCircuit(model, layout, zero);
+      builder = std::move(built.builder);
+      num_instance_rows = built.num_instance_rows;
+    }
+  }
+  compiled.pk = Keygen(builder->cs(), builder->assignment(), *compiled.pcs, layout.k);
   // The instance layout is input-independent, so the zero-input build fixes
   // the statement length the verifier must insist on.
-  compiled.pk.vk.num_instance_rows = built.num_instance_rows;
+  compiled.pk.vk.num_instance_rows = num_instance_rows;
   compiled.keygen_seconds = keygen_timer.ElapsedSeconds();
   return compiled;
 }
@@ -65,6 +78,11 @@ StatusOr<ZkmlProof> ProveCancellable(const CompiledModel& compiled,
                                      const Tensor<int64_t>& input_q,
                                      const CancelToken* cancel) {
   ZkmlProof out;
+  if (compiled.layout.batch > 1) {
+    return InvalidArgumentError("model was compiled for batch size " +
+                                std::to_string(compiled.layout.batch) +
+                                "; use CreateBatchedProof");
+  }
   ZKML_RETURN_IF_ERROR(CheckCancel(cancel, "witness-gen"));
   Timer witness_timer;
   BuiltCircuit built = [&] {

@@ -1,0 +1,140 @@
+// CompiledModelCache behaviour: hit/miss accounting, LRU eviction order,
+// concurrent-miss deduplication, failed-compile retry, and the eviction
+// pinning regression — an entry whose shared_future other threads still wait
+// on must never be dropped by LRU pressure (run under tsan in CI, this is
+// the race harness for the whole cache).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/model/model_builder.h"
+#include "src/serve/cache.h"
+#include "src/zkml/zkml.h"
+
+namespace zkml {
+namespace serve {
+namespace {
+
+// A real (tiny) compiled model: the cache contract hands out shared_ptrs to
+// live CompiledModels, so the test exercises genuine compile latency too.
+std::shared_ptr<const CompiledModel> CompileTiny(int variant) {
+  QuantParams qp;
+  qp.sf_bits = 5;
+  qp.table_bits = 10;
+  ModelBuilder mb("tiny-" + std::to_string(variant), Shape({4}), qp, 3);
+  int t = mb.FullyConnected(mb.input(), 2 + variant % 3);
+  const Model model = mb.Finish(t);
+  ZkmlOptions zo;
+  zo.optimizer.min_columns = 10;
+  zo.optimizer.max_columns = 26;
+  zo.optimizer.max_k = 14;
+  return std::make_shared<const CompiledModel>(CompileModel(model, zo));
+}
+
+TEST(CacheTest, HitsMissesAndLruEviction) {
+  CompiledModelCache cache(2);
+  auto get = [&](const std::string& key, int variant) {
+    return cache.GetOrCompile(key, [variant] {
+      return StatusOr<std::shared_ptr<const CompiledModel>>(CompileTiny(variant));
+    });
+  };
+  ASSERT_TRUE(get("a", 0).ok());
+  ASSERT_TRUE(get("b", 1).ok());
+  ASSERT_TRUE(get("a", 0).ok());  // touch a: b is now LRU
+  ASSERT_TRUE(get("c", 2).ok());  // evicts b
+  ASSERT_TRUE(get("a", 0).ok());  // still cached
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(CacheTest, FailedCompileIsNotCachedAndRetries) {
+  CompiledModelCache cache(2);
+  std::atomic<int> calls{0};
+  auto failing = [&]() -> StatusOr<std::shared_ptr<const CompiledModel>> {
+    ++calls;
+    return InternalError("flaky compile");
+  };
+  EXPECT_FALSE(cache.GetOrCompile("k", failing).ok());
+  EXPECT_FALSE(cache.GetOrCompile("k", failing).ok());
+  EXPECT_EQ(calls.load(), 2);  // the failure was not memoized
+  // A later success fills the key normally.
+  const auto ok = cache.GetOrCompile(
+      "k", [] { return StatusOr<std::shared_ptr<const CompiledModel>>(CompileTiny(0)); });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CacheTest, ConcurrentMissesOnOneKeyCompileOnce) {
+  CompiledModelCache cache(4);
+  std::atomic<int> compiles{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<StatusOr<std::shared_ptr<const CompiledModel>>> results(
+      kThreads, InternalError("unset"));
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<size_t>(i)] = cache.GetOrCompile("shared", [&] {
+        ++compiles;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return StatusOr<std::shared_ptr<const CompiledModel>>(CompileTiny(0));
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(compiles.load(), 1);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->get(), results[0]->get());  // everyone shares the one model
+  }
+}
+
+// Regression: compiling capacity+1 DISTINCT models concurrently used to let
+// LRU eviction drop an entry whose owner had fulfilled the promise but whose
+// waiters had not yet re-acquired the lock — the waiter then found the key
+// gone and reported a spurious failure for a compile that succeeded. Pinned
+// (waiters > 0) entries are now eviction-exempt; every requester below must
+// get its model back no matter how eviction interleaves. Run under tsan this
+// also proves the waiter/eviction bookkeeping is race-free.
+TEST(CacheTest, EvictionNeverDropsEntriesWithLiveWaiters) {
+  constexpr size_t kCapacity = 2;
+  constexpr int kModels = static_cast<int>(kCapacity) + 1;
+  constexpr int kWaitersPerModel = 3;
+  for (int round = 0; round < 5; ++round) {
+    CompiledModelCache cache(kCapacity);
+    std::vector<std::thread> threads;
+    std::vector<StatusOr<std::shared_ptr<const CompiledModel>>> results(
+        static_cast<size_t>(kModels * kWaitersPerModel), InternalError("unset"));
+    for (int m = 0; m < kModels; ++m) {
+      for (int w = 0; w < kWaitersPerModel; ++w) {
+        threads.emplace_back([&, m, w] {
+          results[static_cast<size_t>(m * kWaitersPerModel + w)] =
+              cache.GetOrCompile("model-" + std::to_string(m), [m] {
+                return StatusOr<std::shared_ptr<const CompiledModel>>(CompileTiny(m));
+              });
+        });
+      }
+    }
+    for (auto& t : threads) t.join();
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << "round " << round << ", requester " << i << ": a finished compile was lost: "
+          << results[i].status().ToString();
+      EXPECT_NE(results[i]->get(), nullptr);
+    }
+    // Pinning is transient: once every waiter has collected, the cache is
+    // back at capacity.
+    EXPECT_LE(cache.stats().entries, kCapacity);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace zkml

@@ -139,6 +139,59 @@ void InjectOne(const ZkmlServer& server, Rng& rng, ByteMutator& mutator, int kin
   }
 }
 
+// A version-1 prove-request frame smuggling a nonzero trailing shards field
+// (the v2 extension) must be hard-rejected with the pointed version-mismatch
+// message, not silently treated as an unsharded request — and not with the
+// generic trailing-bytes message either. This is a decoder contract, so it
+// gets its own deterministic case on top of the randomized corpus.
+TEST(ServeFaultTest, V1FrameWithNonzeroTrailingShardsHardRejected) {
+  ServeOptions options;
+  options.num_workers = 1;
+  ZkmlServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ProveRequest req;
+  req.model_text = "bogus model bytes";
+  std::vector<uint8_t> payload = EncodeProveRequest(req, /*version=*/1);
+  const uint32_t shards = 4;
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<uint8_t>(shards >> (8 * i)));
+  }
+  std::vector<uint8_t> frame;
+  EncodeFrame(&frame, FrameType::kProveRequest, 77, payload, /*version=*/1);
+
+  StatusOr<ZkmlClient> client = ZkmlClient::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->socket().WriteFull(frame.data(), frame.size(), 2000).ok());
+  StatusOr<std::pair<FrameHeader, std::vector<uint8_t>>> reply = client->ReadFrame(5000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->first.type, FrameType::kError);
+  StatusOr<WireError> err = DecodeWireError(reply->second);
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+  EXPECT_EQ(err->code, WireErrorCode::kMalformedRequest);
+  EXPECT_NE(err->message.find("wire version"), std::string::npos) << err->message;
+
+  // A clean v1 frame (no trailing field at all) decodes as a plain v1
+  // request and reaches the model parser (the template model is bogus),
+  // proving the rejection above is about the smuggled field, not v1 itself.
+  std::vector<uint8_t> frame2;
+  EncodeFrame(&frame2, FrameType::kProveRequest, 78, EncodeProveRequest(req, /*version=*/1),
+              /*version=*/1);
+  StatusOr<ZkmlClient> client2 = ZkmlClient::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(client2.ok());
+  ASSERT_TRUE(client2->socket().WriteFull(frame2.data(), frame2.size(), 2000).ok());
+  StatusOr<std::pair<FrameHeader, std::vector<uint8_t>>> reply2 = client2->ReadFrame(5000);
+  ASSERT_TRUE(reply2.ok()) << reply2.status().ToString();
+  ASSERT_EQ(reply2->first.type, FrameType::kError);
+  EXPECT_EQ(reply2->first.version, 1u);  // answered at the client's version
+  StatusOr<WireError> err2 = DecodeWireError(reply2->second);
+  ASSERT_TRUE(err2.ok());
+  EXPECT_EQ(err2->code, WireErrorCode::kMalformedModel);
+  EXPECT_EQ(err2->stage, WireStage::kModelParse);
+
+  server.Stop();
+}
+
 TEST(ServeFaultTest, SurvivesHundredsOfHostileWireInteractions) {
   ServeOptions options;
   options.num_workers = 1;

@@ -14,6 +14,7 @@
 #include "src/model/zoo.h"
 #include "src/serve/client.h"
 #include "src/serve/server.h"
+#include "src/zkml/batched.h"
 #include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 
@@ -391,6 +392,154 @@ TEST(ServeTest, ShardedProveReturnsVerifiableArtifact) {
   ASSERT_TRUE(single.ok() && single->ok);
   EXPECT_EQ(single->response.shards, 1u);
   EXPECT_FALSE(LooksLikeShardedProof(single->response.proof));
+  server.Stop();
+}
+
+// --- Batched proving over the wire (protocol v3). ---
+
+TEST(ServeWireTest, ProvePayloadsRoundTripBatchCount) {
+  ProveRequest req;
+  req.model_text = "m";
+  req.seed = 7;
+  req.batch = 3;
+  const StatusOr<ProveRequest> rt = DecodeProveRequest(EncodeProveRequest(req));
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt->batch, 3u);
+
+  // A v2 encode has no batch field; a v2 decode never reports one.
+  const StatusOr<ProveRequest> v2 =
+      DecodeProveRequest(EncodeProveRequest(req, /*version=*/2), /*version=*/2);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->batch, 0u);
+
+  ProveResponse resp;
+  resp.proof = {0xAA};
+  resp.batch = 4;
+  const StatusOr<ProveResponse> rr = DecodeProveResponse(EncodeProveResponse(resp));
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  EXPECT_EQ(rr->batch, 4u);
+}
+
+TEST(ServeTest, BatchedProveReturnsVerifiableArtifact) {
+  ZkmlServer server(FastServe());
+  ASSERT_TRUE(server.Start().ok());
+  ZkmlClient client = MustConnect(server);
+
+  const Model model = MakeMnistCnn();
+  ProveRequest req;
+  req.model_text = MnistText();
+  req.seed = 81;
+  req.batch = 2;
+
+  StatusOr<ZkmlClient::ProveOutcome> r = client.Prove(req, 1, kProveWaitMs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->ok) << r->error.ToString();
+  EXPECT_EQ(r->response.batch, 2u);
+  EXPECT_TRUE(LooksLikeBatchedProof(r->response.proof));
+
+  // The output is the concatenation of both inferences' reference runs
+  // (synthetic inputs from seed and seed+1).
+  std::vector<int64_t> expected;
+  for (uint64_t i = 0; i < 2; ++i) {
+    const Tensor<int64_t> input =
+        QuantizeTensor(SyntheticInput(model, req.seed + i), model.quant);
+    const std::vector<int64_t> out = RunQuantized(model, input).ToVector();
+    expected.insert(expected.end(), out.begin(), out.end());
+  }
+  EXPECT_EQ(r->response.output, expected);
+
+  // The artifact verifies against an independently compiled batched circuit.
+  ZkmlOptions zo;
+  zo.backend = PcsKind::kKzg;
+  zo.optimizer.min_columns = 10;
+  zo.optimizer.max_columns = 26;
+  zo.optimizer.max_k = 14;
+  const StatusOr<CompiledBatchedModel> compiled = CompileBatched(model, 2, zo);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const VerifyResult v =
+      VerifyBatchedDetailed(*compiled, r->response.instance, r->response.proof);
+  EXPECT_TRUE(v.ok()) << v.ToString();
+
+  // Asking for sharded AND batched proving in one request is rejected.
+  ProveRequest both = req;
+  both.shards = 2;
+  StatusOr<ZkmlClient::ProveOutcome> bad = client.Prove(both, 2, kProveWaitMs);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  ASSERT_FALSE(bad->ok);
+  EXPECT_EQ(bad->error.code, WireErrorCode::kMalformedRequest);
+  server.Stop();
+}
+
+TEST(ServeTest, CompatibleQueuedJobsCoalesceIntoOneBatchedProof) {
+  ServeOptions options = FastServe();
+  options.num_workers = 1;   // everything funnels through one worker
+  options.coalesce_max = 4;  // it may claim up to 3 queued compatible jobs
+  ZkmlServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const Model model = MakeMnistCnn();
+
+  // Occupy the single worker with a cold compile; the three jobs that arrive
+  // meanwhile queue up and must be claimed as ONE group when it frees.
+  StatusOr<ZkmlClient::ProveOutcome> head_result = InternalError("unset");
+  std::thread head([&] {
+    ZkmlClient c = MustConnect(server);
+    ProveRequest req;
+    req.model_text = MnistText();
+    req.seed = 90;
+    head_result = c.Prove(req, 1, kProveWaitMs);
+  });
+  // Give the head job time to be claimed before the group arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::vector<StatusOr<ZkmlClient::ProveOutcome>> results(3, InternalError("unset"));
+  std::vector<Tensor<int64_t>> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(
+        QuantizeTensor(SyntheticInput(model, 91 + static_cast<uint64_t>(i)), model.quant));
+  }
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      ZkmlClient c = MustConnect(server);
+      ProveRequest req;
+      req.model_text = MnistText();
+      req.seed = 91 + static_cast<uint64_t>(i);
+      req.input = inputs[static_cast<size_t>(i)].ToVector();
+      results[static_cast<size_t>(i)] = c.Prove(req, static_cast<uint64_t>(i) + 10, kProveWaitMs);
+    });
+  }
+  head.join();
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(head_result.ok() && head_result->ok);
+
+  // Every member of the group succeeded, shares the batched artifact, and
+  // got its OWN inference's output (matching its local reference run).
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = results[static_cast<size_t>(i)];
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(r->ok) << r->error.ToString();
+    EXPECT_EQ(r->response.batch, 3u) << "job " << i << " was not coalesced";
+    EXPECT_TRUE(LooksLikeBatchedProof(r->response.proof));
+    EXPECT_EQ(r->response.output,
+              RunQuantized(model, inputs[static_cast<size_t>(i)]).ToVector())
+        << "job " << i << " got another member's output";
+    EXPECT_EQ(r->response.proof, results[0]->response.proof)
+        << "group members must share one artifact";
+  }
+
+  // The shared artifact verifies against an independent batched circuit.
+  ZkmlOptions zo;
+  zo.backend = PcsKind::kKzg;
+  zo.optimizer.min_columns = 10;
+  zo.optimizer.max_columns = 26;
+  zo.optimizer.max_k = 14;
+  const StatusOr<CompiledBatchedModel> compiled = CompileBatched(model, 3, zo);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const VerifyResult v = VerifyBatchedDetailed(*compiled, results[0]->response.instance,
+                                               results[0]->response.proof);
+  EXPECT_TRUE(v.ok()) << v.ToString();
+  EXPECT_EQ(server.stats().jobs_completed, 4u);
   server.Stop();
 }
 

@@ -10,10 +10,12 @@
 #include "src/base/rng.h"
 #include "src/gadgets/circuit_builder.h"
 #include "src/model/model_builder.h"
+#include "src/obs/metrics.h"
 #include "src/model/zoo.h"
 #include "src/plonk/mock_prover.h"
 #include "src/plonk/soundness.h"
 #include "src/tensor/quantizer.h"
+#include "src/zkml/batched.h"
 #include "src/zkml/sharded.h"
 #include "src/zkml/zkml.h"
 #include "tests/golden_circuit.h"
@@ -556,6 +558,106 @@ INSTANTIATE_TEST_SUITE_P(Backends, ShardedForgeryTest,
                          [](const ::testing::TestParamInfo<PcsKind>& info) {
                            return info.param == PcsKind::kKzg ? "Kzg" : "Ipa";
                          });
+
+// --- Cross-proof RLC batch verification: K independent proofs folded into
+// one pairing check, with per-proof blame when exactly one of them is forged.
+
+TEST(CrossProofForgeryTest, EightHonestProofsCostExactlyOnePairingCheck) {
+  const Model model = TinyChainModel();
+  const CompiledModel compiled = CompileModel(model, FastShardedOptions(PcsKind::kKzg));
+  constexpr size_t kCount = 8;
+  std::vector<ZkmlProof> proofs;
+  for (size_t i = 0; i < kCount; ++i) {
+    const Tensor<int64_t> input =
+        QuantizeTensor(SyntheticInput(model, 100 + i), model.quant);
+    proofs.push_back(Prove(compiled, input));
+  }
+  std::vector<CrossProofClaim> claims(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    claims[i] = {&compiled.pk.vk, compiled.pcs.get(), &proofs[i].instance, &proofs[i].bytes};
+  }
+
+  obs::Counter& pairings = obs::MetricsRegistry::Global().counter("pcs.kzg.pairing_checks");
+  const uint64_t before = pairings.Value();
+  const CrossProofVerdict verdict = VerifyProofsBatched(claims);
+  const uint64_t after = pairings.Value();
+  EXPECT_TRUE(verdict.ok()) << verdict.status.ToString();
+  EXPECT_TRUE(verdict.blamed.empty());
+  // The acceptance property batching exists for: K=8 proofs, ONE pairing
+  // check. Every per-proof opening claim was deferred into the accumulator.
+  EXPECT_EQ(after - before, 1u);
+}
+
+TEST(CrossProofForgeryTest, OneForgedProofOfEightBlamedByIndex) {
+  const Model model = TinyChainModel();
+  const CompiledModel compiled = CompileModel(model, FastShardedOptions(PcsKind::kKzg));
+  constexpr size_t kCount = 8;
+  constexpr size_t kForged = 5;
+  std::vector<ZkmlProof> proofs;
+  for (size_t i = 0; i < kCount; ++i) {
+    const Tensor<int64_t> input =
+        QuantizeTensor(SyntheticInput(model, 200 + i), model.quant);
+    proofs.push_back(Prove(compiled, input));
+  }
+  // Negate proof 5's final KZG witness point via the compressed-point prefix
+  // byte: it deserializes cleanly and survives every inline transcript and
+  // evaluation check, so only the aggregate RLC pairing equality can catch
+  // it — and the diagnostic re-check must name exactly that proof.
+  std::vector<uint8_t>& pb = proofs[kForged].bytes;
+  ASSERT_GE(pb.size(), 33u);
+  pb[pb.size() - 33] ^= 0x01;
+
+  std::vector<CrossProofClaim> claims(kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    claims[i] = {&compiled.pk.vk, compiled.pcs.get(), &proofs[i].instance, &proofs[i].bytes};
+  }
+  const CrossProofVerdict verdict = VerifyProofsBatched(claims);
+  ASSERT_FALSE(verdict.ok()) << "forged proof accepted in the batch";
+  EXPECT_EQ(verdict.stage, VerifyStage::kBatchAggregate) << verdict.status.ToString();
+  ASSERT_EQ(verdict.blamed.size(), 1u);
+  EXPECT_EQ(verdict.blamed[0], kForged);
+}
+
+TEST(CrossProofForgeryTest, TamperedStatementBlamedWithoutPairingFailure) {
+  // A wrong public statement dies inside that claim's own verifier (the
+  // transcript re-derivation), so the blame needs no aggregate diagnostics.
+  const Model model = TinyChainModel();
+  const CompiledModel compiled = CompileModel(model, FastShardedOptions(PcsKind::kKzg));
+  std::vector<ZkmlProof> proofs;
+  for (size_t i = 0; i < 3; ++i) {
+    const Tensor<int64_t> input =
+        QuantizeTensor(SyntheticInput(model, 300 + i), model.quant);
+    proofs.push_back(Prove(compiled, input));
+  }
+  std::vector<Fr> lie = proofs[1].instance;
+  lie.back() += Fr::One();
+  std::vector<CrossProofClaim> claims(3);
+  for (size_t i = 0; i < 3; ++i) {
+    claims[i] = {&compiled.pk.vk, compiled.pcs.get(),
+                 i == 1 ? &lie : &proofs[i].instance, &proofs[i].bytes};
+  }
+  const CrossProofVerdict verdict = VerifyProofsBatched(claims);
+  ASSERT_FALSE(verdict.ok());
+  ASSERT_EQ(verdict.blamed.size(), 1u);
+  EXPECT_EQ(verdict.blamed[0], 1u);
+}
+
+TEST(CrossProofForgeryTest, IpaClaimsVerifyInlineInTheSameBatch) {
+  // Non-KZG backends have no deferred pairing claim; the batch verifier
+  // checks them inline and they share the verdict with KZG claims.
+  const Model model = TinyChainModel();
+  const CompiledModel kzg = CompileModel(model, FastShardedOptions(PcsKind::kKzg));
+  const CompiledModel ipa = CompileModel(model, FastShardedOptions(PcsKind::kIpa));
+  const Tensor<int64_t> input = QuantizeTensor(SyntheticInput(model, 400), model.quant);
+  const ZkmlProof pk_proof = Prove(kzg, input);
+  const ZkmlProof pi_proof = Prove(ipa, input);
+  const std::vector<CrossProofClaim> claims = {
+      {&kzg.pk.vk, kzg.pcs.get(), &pk_proof.instance, &pk_proof.bytes},
+      {&ipa.pk.vk, ipa.pcs.get(), &pi_proof.instance, &pi_proof.bytes},
+  };
+  const CrossProofVerdict verdict = VerifyProofsBatched(claims);
+  EXPECT_TRUE(verdict.ok()) << verdict.status.ToString();
+}
 
 TEST(ShardedForgeryTest2, KzgForgedOpeningCaughtOnlyByAggregateCheck) {
   // KZG-specific: negate a shard proof's final witness point W by flipping
